@@ -1,0 +1,55 @@
+//! Criterion bench: raw hierarchy throughput (trace accesses per second)
+//! across LLC sizes and inclusion modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use llc_policies::{build_policy, PolicyKind};
+use llc_sim::{CacheConfig, Cmp, HierarchyConfig, Inclusion, NullObserver};
+use llc_trace::{App, Scale, TraceSource};
+
+const ACCESSES: u64 = 200_000;
+
+fn config(llc_kib: u64, inclusion: Inclusion) -> HierarchyConfig {
+    HierarchyConfig {
+        cores: 8,
+        l1: CacheConfig::from_kib(16, 4).unwrap(),
+        l2: None,
+        llc: CacheConfig::from_kib(llc_kib, 16).unwrap(),
+        inclusion,
+    }
+}
+
+fn run(cfg: &HierarchyConfig, app: App) -> u64 {
+    let policy = build_policy(PolicyKind::Lru, cfg.llc.sets() as usize, cfg.llc.ways);
+    let mut cmp = Cmp::new(*cfg, policy).unwrap();
+    let mut obs = NullObserver;
+    let mut trace = app.workload(cfg.cores, Scale::Small);
+    let mut n = 0;
+    while n < ACCESSES {
+        match trace.next_access() {
+            Some(a) => cmp.access(a, &mut obs),
+            None => break,
+        }
+        n += 1;
+    }
+    cmp.llc_stats().misses()
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    g.throughput(Throughput::Elements(ACCESSES));
+    g.sample_size(10);
+    for llc_kib in [512u64, 2048] {
+        let cfg = config(llc_kib, Inclusion::NonInclusive);
+        g.bench_with_input(BenchmarkId::new("noninclusive", llc_kib), &cfg, |b, cfg| {
+            b.iter(|| run(cfg, App::Bodytrack));
+        });
+    }
+    let incl = config(512, Inclusion::Inclusive);
+    g.bench_with_input(BenchmarkId::new("inclusive", 512u64), &incl, |b, cfg| {
+        b.iter(|| run(cfg, App::Bodytrack));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

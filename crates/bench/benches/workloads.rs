@@ -1,0 +1,29 @@
+//! Criterion bench: trace-generation throughput of each workload model
+//! (the generator must be far faster than the simulator to never be the
+//! bottleneck).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use llc_trace::{App, Scale, TraceSource};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload-gen");
+    let n = 8 * Scale::Tiny.thread_accesses();
+    g.throughput(Throughput::Elements(n));
+    g.sample_size(10);
+    for app in [App::Blackscholes, App::Bodytrack, App::Dedup, App::Fft, App::Water, App::Ocean] {
+        g.bench_with_input(BenchmarkId::new("drain", app.label()), &app, |b, &app| {
+            b.iter(|| {
+                let mut w = app.workload(8, Scale::Tiny);
+                let mut sum = 0u64;
+                while let Some(a) = w.next_access() {
+                    sum = sum.wrapping_add(a.addr.raw());
+                }
+                sum
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

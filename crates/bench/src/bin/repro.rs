@@ -1,0 +1,27 @@
+//! Regenerates the paper-style tables and figures. See `repro --help`.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match llc_bench::parse_cli(args) {
+        Ok(cli) => {
+            // Stream experiment by experiment so long campaigns show
+            // progress even when stdout is redirected.
+            if cli.list {
+                print!("{}", llc_bench::experiment_list());
+            }
+            let mut single = cli.clone();
+            for &id in &cli.ids {
+                single.ids = vec![id];
+                single.list = false;
+                print!("{}", llc_bench::run_cli(&single));
+                let _ = std::io::stdout().flush();
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

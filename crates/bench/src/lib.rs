@@ -1,0 +1,198 @@
+//! # llc-bench — the reproduction harness
+//!
+//! The `repro` binary regenerates every table and figure of the
+//! paper-style evaluation (see `DESIGN.md` §6 for the index), and the
+//! Criterion benches measure the simulator's own performance.
+//!
+//! ```text
+//! cargo run --release -p llc-bench --bin repro -- list
+//! cargo run --release -p llc-bench --bin repro -- fig7
+//! cargo run --release -p llc-bench --bin repro -- --ctx quick all
+//! ```
+
+#![warn(missing_docs)]
+
+use llc_sharing::{run_experiment, ExperimentCtx, ExperimentId};
+use llc_trace::{App, Scale};
+
+/// Parsed command line of the `repro` binary.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Experiments to run.
+    pub ids: Vec<ExperimentId>,
+    /// Execution context.
+    pub ctx: ExperimentCtx,
+    /// Print the experiment list and exit.
+    pub list: bool,
+}
+
+/// Error produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage string printed on `--help` or a parse error.
+pub const USAGE: &str = "\
+usage: repro [OPTIONS] <experiment>... | all | list
+
+experiments: table1 table2 fig1..fig12 table3 abl1..abl5 (see `repro list`)
+
+options:
+  --ctx <paper|quick|test>   machine + workload scale preset (default: paper)
+  --scale <tiny|small|medium|large>  override the workload scale
+  --apps <a,b,c>             restrict to a comma-separated app subset
+  --threads <n>              override the core/thread count
+  -h, --help                 show this help
+";
+
+/// Parses the `repro` command line.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first invalid argument.
+pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
+    let mut ctx = ExperimentCtx::paper();
+    let mut ids: Vec<ExperimentId> = Vec::new();
+    let mut list = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ctx" => {
+                let v = it.next().ok_or_else(|| CliError("--ctx needs a value".into()))?;
+                ctx = match v.as_str() {
+                    "paper" => ExperimentCtx::paper(),
+                    "quick" => ExperimentCtx::quick(),
+                    "test" => ExperimentCtx::test(),
+                    other => return Err(CliError(format!("unknown ctx preset '{other}'"))),
+                };
+            }
+            "--scale" => {
+                let v = it.next().ok_or_else(|| CliError("--scale needs a value".into()))?;
+                ctx.scale =
+                    Scale::parse(&v).ok_or_else(|| CliError(format!("unknown scale '{v}'")))?;
+            }
+            "--apps" => {
+                let v = it.next().ok_or_else(|| CliError("--apps needs a value".into()))?;
+                let mut apps = Vec::new();
+                for name in v.split(',') {
+                    apps.push(
+                        App::parse(name.trim())
+                            .ok_or_else(|| CliError(format!("unknown app '{name}'")))?,
+                    );
+                }
+                if apps.is_empty() {
+                    return Err(CliError("--apps needs at least one app".into()));
+                }
+                ctx.apps = apps;
+            }
+            "--threads" => {
+                let v = it.next().ok_or_else(|| CliError("--threads needs a value".into()))?;
+                ctx.cores = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0 && n <= llc_sim::MAX_CORES)
+                    .ok_or_else(|| CliError(format!("bad thread count '{v}'")))?;
+            }
+            "-h" | "--help" => return Err(CliError(USAGE.into())),
+            "list" => list = true,
+            "all" => ids.extend(ExperimentId::ALL),
+            other => ids.push(
+                ExperimentId::parse(other)
+                    .ok_or_else(|| CliError(format!("unknown experiment '{other}'\n\n{USAGE}")))?,
+            ),
+        }
+    }
+    if !list && ids.is_empty() {
+        return Err(CliError(USAGE.into()));
+    }
+    ids.dedup();
+    Ok(Cli { ids, ctx, list })
+}
+
+/// Renders the experiment list.
+pub fn experiment_list() -> String {
+    let mut out = String::from("available experiments:\n");
+    for id in ExperimentId::ALL {
+        out.push_str(&format!("  {:<8} {}\n", id.label(), id.description()));
+    }
+    out
+}
+
+/// Runs the parsed experiments and returns the rendered report.
+pub fn run_cli(cli: &Cli) -> String {
+    let mut out = String::new();
+    if cli.list {
+        out.push_str(&experiment_list());
+    }
+    for &id in &cli.ids {
+        let started = std::time::Instant::now();
+        for table in run_experiment(id, &cli.ctx) {
+            out.push_str(&table.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!("[{} finished in {:.1?}]\n\n", id.label(), started.elapsed()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_single_experiment() {
+        let cli = parse_cli(args("fig7")).unwrap();
+        assert_eq!(cli.ids, vec![ExperimentId::Fig7]);
+        assert!(!cli.list);
+    }
+
+    #[test]
+    fn parses_all_and_presets() {
+        let cli = parse_cli(args("--ctx quick all")).unwrap();
+        assert_eq!(cli.ids.len(), ExperimentId::ALL.len());
+        assert_eq!(cli.ctx.llc_capacities, vec![1 << 20, 2 << 20]);
+    }
+
+    #[test]
+    fn parses_app_subset_and_threads() {
+        let cli = parse_cli(args("--apps fft,water --threads 4 fig1")).unwrap();
+        assert_eq!(cli.ctx.apps, vec![App::Fft, App::Water]);
+        assert_eq!(cli.ctx.cores, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_tokens() {
+        assert!(parse_cli(args("bogus")).is_err());
+        assert!(parse_cli(args("--apps nope fig1")).is_err());
+        assert!(parse_cli(args("--threads 0 fig1")).is_err());
+        assert!(parse_cli(args("")).is_err());
+    }
+
+    #[test]
+    fn list_requires_no_ids() {
+        let cli = parse_cli(args("list")).unwrap();
+        assert!(cli.list);
+        assert!(cli.ids.is_empty());
+        assert!(experiment_list().contains("fig7"));
+    }
+
+    #[test]
+    fn test_ctx_runs_an_experiment_end_to_end() {
+        let mut cli = parse_cli(args("--ctx test table1")).unwrap();
+        cli.ctx.apps.truncate(2);
+        let report = run_cli(&cli);
+        assert!(report.contains("Table 1"));
+        assert!(report.contains("cores"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Time-resolved sharing behaviour (experiment `fig11`).
+//!
+//! [`EpochSeries`] slices the LLC access stream into fixed-length epochs
+//! and records, per epoch, the share of hits that landed on
+//! already-shared generations. Phase-structured applications (`fft`,
+//! `ocean`, `mgrid`) show sharing arriving in bursts aligned with their
+//! communication phases — the time-varying behaviour that history-based
+//! fill-time predictors cannot track, i.e. the mechanism behind the
+//! paper's negative predictor result.
+
+use llc_sim::{AccessCtx, LiveGeneration, LlcObserver};
+
+/// Per-epoch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStat {
+    /// LLC accesses in the epoch.
+    pub accesses: u64,
+    /// LLC hits in the epoch.
+    pub hits: u64,
+    /// Hits whose target generation had ≥ 2 sharers at hit time.
+    pub shared_hits: u64,
+    /// Fills (misses) in the epoch.
+    pub fills: u64,
+}
+
+impl EpochStat {
+    /// Fraction of this epoch's hits that were to shared-so-far
+    /// generations.
+    pub fn shared_hit_fraction(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / self.hits as f64
+        }
+    }
+
+    /// Epoch miss ratio.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.fills as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Observer splitting the run into fixed-size epochs.
+#[derive(Debug)]
+pub struct EpochSeries {
+    epoch_len: u64,
+    epochs: Vec<EpochStat>,
+}
+
+impl EpochSeries {
+    /// Creates a series with `epoch_len` LLC accesses per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn new(epoch_len: u64) -> Self {
+        assert!(epoch_len > 0, "epoch length must be non-zero");
+        EpochSeries { epoch_len, epochs: Vec::new() }
+    }
+
+    fn epoch_at(&mut self, time: u64) -> &mut EpochStat {
+        let idx = (time / self.epoch_len) as usize;
+        if self.epochs.len() <= idx {
+            self.epochs.resize(idx + 1, EpochStat::default());
+        }
+        &mut self.epochs[idx]
+    }
+
+    /// The completed series.
+    pub fn epochs(&self) -> &[EpochStat] {
+        &self.epochs
+    }
+
+    /// Coefficient of variation of the per-epoch shared-hit fraction — a
+    /// single number summarizing how phase-bursty an application's sharing
+    /// is (≈ 0 for steady sharing, large for bursty sharing).
+    pub fn sharing_burstiness(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .epochs
+            .iter()
+            .filter(|e| e.hits > 0)
+            .map(EpochStat::shared_hit_fraction)
+            .collect();
+        if vals.len() < 2 {
+            return 0.0;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+impl LlcObserver for EpochSeries {
+    fn on_hit(&mut self, ctx: &AccessCtx, live: &LiveGeneration, _was_new_sharer: bool) {
+        let shared = live.is_shared_so_far();
+        let e = self.epoch_at(ctx.time);
+        e.accesses += 1;
+        e.hits += 1;
+        if shared {
+            e.shared_hits += 1;
+        }
+    }
+
+    fn on_fill(&mut self, ctx: &AccessCtx) {
+        let e = self.epoch_at(ctx.time);
+        e.accesses += 1;
+        e.fills += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::{AccessKind, Aux, BlockAddr, CoreId, Pc};
+
+    fn ctx(time: u64) -> AccessCtx {
+        AccessCtx {
+            block: BlockAddr::new(1),
+            pc: Pc::new(0x400),
+            core: CoreId::new(0),
+            kind: AccessKind::Read,
+            time,
+            aux: Aux::default(),
+        }
+    }
+
+    fn live(shared: bool) -> LiveGeneration {
+        LiveGeneration {
+            block: BlockAddr::new(1),
+            sharer_mask: if shared { 0b11 } else { 0b1 },
+            writer_mask: 0,
+            hits: 1,
+            fill_core: CoreId::new(0),
+            fill_time: 0,
+        }
+    }
+
+    #[test]
+    fn buckets_by_epoch() {
+        let mut s = EpochSeries::new(10);
+        s.on_fill(&ctx(0));
+        s.on_hit(&ctx(5), &live(true), false);
+        s.on_hit(&ctx(12), &live(false), false);
+        assert_eq!(s.epochs().len(), 2);
+        assert_eq!(s.epochs()[0].accesses, 2);
+        assert_eq!(s.epochs()[0].fills, 1);
+        assert_eq!(s.epochs()[0].shared_hits, 1);
+        assert_eq!(s.epochs()[1].hits, 1);
+        assert_eq!(s.epochs()[1].shared_hits, 0);
+        assert!((s.epochs()[0].shared_hit_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burstiness_zero_for_steady_sharing() {
+        let mut s = EpochSeries::new(2);
+        for t in 0..20 {
+            s.on_hit(&ctx(t), &live(true), false);
+        }
+        assert!(s.sharing_burstiness() < 1e-12);
+    }
+
+    #[test]
+    fn burstiness_positive_for_phased_sharing() {
+        let mut s = EpochSeries::new(10);
+        for t in 0..100 {
+            // Sharing only in every other epoch.
+            let shared = (t / 10) % 2 == 0;
+            s.on_hit(&ctx(t), &live(shared), false);
+        }
+        assert!(s.sharing_burstiness() > 0.5);
+    }
+
+    #[test]
+    fn miss_ratio_per_epoch() {
+        let mut s = EpochSeries::new(4);
+        s.on_fill(&ctx(0));
+        s.on_fill(&ctx(1));
+        s.on_hit(&ctx(2), &live(false), false);
+        s.on_hit(&ctx(3), &live(false), false);
+        assert!((s.epochs()[0].miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

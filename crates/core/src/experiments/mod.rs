@@ -1,0 +1,217 @@
+//! The experiment index: one module per table/figure of the paper-style
+//! evaluation, all driven through [`run_experiment`].
+
+mod characterization;
+mod config;
+mod extensions;
+mod oracle;
+mod phases;
+mod policies;
+mod predictor;
+
+use llc_sim::{CacheConfig, HierarchyConfig, Inclusion};
+use llc_trace::{App, Scale};
+
+use crate::report::Table;
+
+/// Shared parameters of an experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentCtx {
+    /// Simulated cores (one thread each).
+    pub cores: usize,
+    /// Private L1 geometry.
+    pub l1: CacheConfig,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// LLC capacities (bytes) to evaluate; the paper uses 4 MB and 8 MB.
+    pub llc_capacities: Vec<u64>,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Applications to run.
+    pub apps: Vec<App>,
+}
+
+impl ExperimentCtx {
+    /// The paper's configuration: 8 cores, 32 KB 8-way L1s, 16-way LLC of
+    /// 4 MB and 8 MB, medium-scale workloads, all sixteen applications.
+    pub fn paper() -> Self {
+        ExperimentCtx {
+            cores: 8,
+            l1: CacheConfig::from_kib(32, 8).expect("valid L1"),
+            llc_ways: 16,
+            llc_capacities: vec![4 << 20, 8 << 20],
+            scale: Scale::Medium,
+            apps: App::ALL.to_vec(),
+        }
+    }
+
+    /// A proportionally shrunk configuration for quick runs: small-scale
+    /// workloads against 1 MB / 2 MB LLCs (footprint-to-capacity pressure
+    /// comparable to the paper setup at a fraction of the time).
+    pub fn quick() -> Self {
+        ExperimentCtx {
+            cores: 8,
+            l1: CacheConfig::from_kib(16, 4).expect("valid L1"),
+            llc_ways: 16,
+            llc_capacities: vec![1 << 20, 2 << 20],
+            scale: Scale::Small,
+            apps: App::ALL.to_vec(),
+        }
+    }
+
+    /// A unit-test configuration: tiny workloads, 64 KB / 128 KB LLCs,
+    /// four cores, a four-app subset covering the sharing classes.
+    pub fn test() -> Self {
+        ExperimentCtx {
+            cores: 4,
+            l1: CacheConfig::from_kib(2, 2).expect("valid L1"),
+            llc_ways: 8,
+            llc_capacities: vec![64 << 10, 128 << 10],
+            scale: Scale::Tiny,
+            apps: vec![App::Swaptions, App::Bodytrack, App::Dedup, App::Fft],
+        }
+    }
+
+    /// The hierarchy for one LLC capacity (non-inclusive by default; see
+    /// [`ExperimentCtx::config_inclusive`]).
+    pub fn config(&self, llc_capacity: u64) -> HierarchyConfig {
+        HierarchyConfig {
+            cores: self.cores,
+            l1: self.l1,
+            l2: None,
+            llc: CacheConfig::new(llc_capacity, self.llc_ways).expect("valid LLC capacity"),
+            inclusion: Inclusion::NonInclusive,
+        }
+    }
+
+    /// Same hierarchy with an inclusive LLC (the `abl2` ablation).
+    pub fn config_inclusive(&self, llc_capacity: u64) -> HierarchyConfig {
+        HierarchyConfig { inclusion: Inclusion::Inclusive, ..self.config(llc_capacity) }
+    }
+
+    /// The primary (smallest) LLC configuration.
+    pub fn main_config(&self) -> HierarchyConfig {
+        self.config(self.llc_capacities[0])
+    }
+
+    /// Builds `app`'s workload under this context.
+    pub fn workload(&self, app: App) -> llc_trace::Workload {
+        app.workload(self.cores, self.scale)
+    }
+}
+
+/// Runs `f` once per app on its own OS thread and returns the results in
+/// app order. Workloads are rebuilt inside each closure, so nothing
+/// non-`Send` crosses threads.
+pub fn per_app<T, F>(apps: &[App], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(App) -> T + Sync,
+{
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = apps.iter().map(|&app| scope.spawn(move || f(app))).collect();
+        handles.into_iter().map(|h| h.join().expect("experiment worker panicked")).collect()
+    })
+}
+
+macro_rules! experiments {
+    ($( $variant:ident => ($label:literal, $desc:literal, $runner:path) ),+ $(,)?) => {
+        /// Identifier of one reproducible table/figure.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum ExperimentId {
+            $(
+                #[doc = $desc]
+                $variant,
+            )+
+        }
+
+        impl ExperimentId {
+            /// Every experiment, in report order.
+            pub const ALL: [ExperimentId; 20] = [ $(ExperimentId::$variant),+ ];
+
+            /// The experiment's short id (`fig1`, `table2`, `abl3`, …).
+            pub fn label(self) -> &'static str {
+                match self { $(ExperimentId::$variant => $label),+ }
+            }
+
+            /// One-line description.
+            pub fn description(self) -> &'static str {
+                match self { $(ExperimentId::$variant => $desc),+ }
+            }
+
+            /// Parses a short id (case-insensitive).
+            pub fn parse(s: &str) -> Option<ExperimentId> {
+                let s = s.to_ascii_lowercase();
+                $( if s == $label { return Some(ExperimentId::$variant); } )+
+                None
+            }
+        }
+
+        /// Runs one experiment, returning its rendered tables.
+        pub fn run_experiment(id: ExperimentId, ctx: &ExperimentCtx) -> Vec<Table> {
+            match id { $(ExperimentId::$variant => $runner(ctx)),+ }
+        }
+    };
+}
+
+experiments! {
+    Table1 => ("table1", "Simulated machine configuration", config::table1),
+    Table2 => ("table2", "Workload characteristics under LRU", characterization::table2),
+    Fig1 => ("fig1", "LLC hit decomposition: shared vs private generations", characterization::fig1),
+    Fig2 => ("fig2", "Generation population and occupancy decomposition", characterization::fig2),
+    Fig3 => ("fig3", "Sharing-degree distribution of shared generations", characterization::fig3),
+    Fig4 => ("fig4", "Read-only vs read-write decomposition of shared hits", characterization::fig4),
+    Fig5 => ("fig5", "Replacement policies vs Belady's OPT (misses normalized to LRU)", policies::fig5),
+    Fig6 => ("fig6", "Sharing-awareness: premature shared-block victimization rates", policies::fig6),
+    Fig7 => ("fig7", "Sharing-aware oracle on LRU: miss reduction (the headline result)", oracle::fig7),
+    Fig8 => ("fig8", "Sharing-aware oracle on recent policies", oracle::fig8),
+    Fig9 => ("fig9", "Fill-time sharing predictability: address vs PC history predictors", predictor::fig9),
+    Fig10 => ("fig10", "Predictor-driven wrapper vs the oracle: end-to-end gain recovery", predictor::fig10),
+    Fig11 => ("fig11", "Epoch-resolved shared-hit fraction for phase-structured apps", phases::fig11),
+    Fig12 => ("fig12", "Extension: modelled performance impact of the oracle", extensions::fig12),
+    Table3 => ("table3", "Predictor hardware budget sweep", predictor::table3),
+    Abl1 => ("abl1", "Ablation: oracle pre-pass iteration stability", oracle::abl1),
+    Abl2 => ("abl2", "Ablation: inclusive vs non-inclusive LLC", config::abl2),
+    Abl3 => ("abl3", "Ablation: oracle protection mode (eviction/insertion/both)", oracle::abl3),
+    Abl4 => ("abl4", "Extension: reactive vs predicted vs oracle protection ladder", extensions::abl4),
+    Abl5 => ("abl5", "Extension: multi-programmed mixes (no cross-program sharing)", extensions::abl5),
+}
+
+impl std::fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_parse_round_trip() {
+        for id in ExperimentId::ALL {
+            assert_eq!(ExperimentId::parse(id.label()), Some(id));
+        }
+        assert_eq!(ExperimentId::parse("FIG7"), Some(ExperimentId::Fig7));
+        assert_eq!(ExperimentId::parse("nope"), None);
+    }
+
+    #[test]
+    fn contexts_validate() {
+        for ctx in [ExperimentCtx::paper(), ExperimentCtx::quick(), ExperimentCtx::test()] {
+            for &cap in &ctx.llc_capacities {
+                ctx.config(cap).validate().expect("valid hierarchy");
+                ctx.config_inclusive(cap).validate().expect("valid hierarchy");
+            }
+        }
+    }
+
+    #[test]
+    fn per_app_preserves_order() {
+        use llc_trace::App;
+        let apps = [App::Fft, App::Swim, App::Dedup];
+        let labels = per_app(&apps, |a| a.label().to_string());
+        assert_eq!(labels, vec!["fft", "swim", "dedup"]);
+    }
+}

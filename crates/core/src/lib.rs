@@ -1,0 +1,60 @@
+//! # llc-sharing — the sharing characterization and oracle study
+//!
+//! The top of the reproduction stack: this crate drives the `llc-sim`
+//! hierarchy over `llc-trace` workloads with `llc-policies` replacement
+//! and `llc-predictors` predictors, and implements everything the paper
+//! *contributes*:
+//!
+//! * the **runner** with its exact offline pre-passes — Belady next-use
+//!   chains and per-access oracle sharing outcomes
+//!   ([`runner::simulate_opt`], [`runner::simulate_oracle`]);
+//! * the **characterization passes** — hit/occupancy decomposition by
+//!   sharing class ([`SharingProfile`]), premature shared-victimization
+//!   rates ([`VictimizationStats`]), epoch-resolved sharing
+//!   ([`EpochSeries`]);
+//! * the **experiment index** — every paper-style table and figure as a
+//!   runnable [`experiments::ExperimentId`].
+//!
+//! ## Example
+//!
+//! ```
+//! use llc_policies::PolicyKind;
+//! use llc_sharing::{simulate_kind, SharingProfile};
+//! use llc_sim::HierarchyConfig;
+//! use llc_trace::{App, Scale};
+//!
+//! let cfg = HierarchyConfig::tiny();
+//! let mut profile = SharingProfile::new();
+//! let result = simulate_kind(
+//!     &cfg,
+//!     PolicyKind::Lru,
+//!     &mut || App::Bodytrack.workload(cfg.cores, Scale::Tiny),
+//!     vec![&mut profile],
+//! );
+//! assert!(result.llc.accesses > 0);
+//! // bodytrack's shared model makes shared generations matter:
+//! assert!(profile.shared_hit_fraction() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod awareness;
+pub mod characterize;
+pub mod epochs;
+pub mod model;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use awareness::VictimizationStats;
+pub use characterize::{ClassTally, SharingProfile};
+pub use epochs::{EpochSeries, EpochStat};
+pub use model::LatencyModel;
+pub use experiments::{per_app, run_experiment, ExperimentCtx, ExperimentId};
+pub use report::{f2, f3, geomean, mean, pct, Table};
+pub use runner::{
+    compute_next_use, compute_shared_soon, oracle_window, run_simple, simulate, simulate_kind,
+    simulate_opt, simulate_oracle, simulate_oracle_opt, simulate_predictor_wrap, simulate_reactive,
+    CombinedProvider, NextUseProvider, OracleProvider, RunResult, StreamRecorder,
+};

@@ -1,0 +1,154 @@
+//! A first-order performance model on top of the miss counts.
+//!
+//! The paper reports miss counts only; this module adds the standard
+//! back-of-envelope translation into cycles so the oracle's miss
+//! reductions can be read as performance: a fixed-latency hierarchy and a
+//! one-IPC in-order core, i.e.
+//!
+//! ```text
+//! cycles = instructions
+//!        + L1 hits   × t_l1
+//!        + LLC hits  × t_llc
+//!        + LLC misses × t_mem
+//! ```
+//!
+//! This deliberately ignores overlap (MLP), so speedups are conservative
+//! upper-structure estimates — fine for *comparing* policies on identical
+//! access streams, which is the only use the experiments make of it.
+
+use crate::runner::RunResult;
+
+/// Fixed access latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Private-cache hit latency.
+    pub l1_hit: f64,
+    /// Shared-LLC hit latency.
+    pub llc_hit: f64,
+    /// Memory (LLC miss) latency.
+    pub memory: f64,
+}
+
+impl LatencyModel {
+    /// Typical mid-2010s CMP latencies: 3 / 30 / 220 cycles.
+    pub fn typical() -> Self {
+        LatencyModel { l1_hit: 3.0, llc_hit: 30.0, memory: 220.0 }
+    }
+
+    /// Total execution cycles of a run under the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is negative or non-finite.
+    pub fn cycles(&self, r: &RunResult) -> f64 {
+        self.validate();
+        r.instructions as f64
+            + r.l1.hits as f64 * self.l1_hit
+            + r.llc.hits as f64 * self.llc_hit
+            + r.llc.misses() as f64 * self.memory
+    }
+
+    /// Average memory access time per trace access, in cycles.
+    pub fn amat(&self, r: &RunResult) -> f64 {
+        self.validate();
+        if r.trace_accesses == 0 {
+            return 0.0;
+        }
+        (r.l1.hits as f64 * self.l1_hit
+            + r.llc.hits as f64 * (self.l1_hit + self.llc_hit)
+            + r.llc.misses() as f64 * (self.l1_hit + self.llc_hit + self.memory))
+            / r.trace_accesses as f64
+    }
+
+    /// Speedup of `improved` over `base` (same trace; asserts matching
+    /// instruction counts in debug builds).
+    pub fn speedup(&self, base: &RunResult, improved: &RunResult) -> f64 {
+        debug_assert_eq!(base.instructions, improved.instructions, "different traces");
+        self.cycles(base) / self.cycles(improved)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.l1_hit.is_finite()
+                && self.llc_hit.is_finite()
+                && self.memory.is_finite()
+                && self.l1_hit >= 0.0
+                && self.llc_hit >= 0.0
+                && self.memory >= 0.0,
+            "latencies must be finite and non-negative"
+        );
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::{LlcStats, PrivateCacheStats};
+
+    fn run(l1_hits: u64, llc_hits: u64, llc_misses: u64) -> RunResult {
+        RunResult {
+            policy: "test".into(),
+            llc: LlcStats {
+                accesses: llc_hits + llc_misses,
+                hits: llc_hits,
+                fills: llc_misses,
+                ..Default::default()
+            },
+            l1: PrivateCacheStats {
+                accesses: l1_hits + llc_hits + llc_misses,
+                hits: l1_hits,
+                ..Default::default()
+            },
+            l2: PrivateCacheStats::default(),
+            instructions: 1000,
+            trace_accesses: l1_hits + llc_hits + llc_misses,
+        }
+    }
+
+    #[test]
+    fn cycles_accumulate_by_level() {
+        let m = LatencyModel { l1_hit: 1.0, llc_hit: 10.0, memory: 100.0 };
+        let r = run(10, 5, 2);
+        // 1000 + 10*1 + 5*10 + 2*100 = 1260.
+        assert!((m.cycles(&r) - 1260.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_misses_is_a_speedup() {
+        let m = LatencyModel::typical();
+        let worse = run(100, 50, 50);
+        let better = run(100, 80, 20);
+        assert!(m.speedup(&worse, &better) > 1.0);
+        assert!((m.speedup(&worse, &worse) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amat_is_weighted_latency() {
+        let m = LatencyModel { l1_hit: 1.0, llc_hit: 10.0, memory: 100.0 };
+        let r = run(0, 0, 10);
+        // Every access goes to memory: 1 + 10 + 100 = 111.
+        assert!((m.amat(&r) - 111.0).abs() < 1e-9);
+        let r2 = run(10, 0, 0);
+        assert!((m.amat(&r2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_has_zero_amat() {
+        let m = LatencyModel::typical();
+        let r = run(0, 0, 0);
+        assert_eq!(m.amat(&r), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_latency() {
+        let m = LatencyModel { l1_hit: -1.0, llc_hit: 1.0, memory: 1.0 };
+        let _ = m.cycles(&run(1, 1, 1));
+    }
+}

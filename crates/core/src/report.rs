@@ -1,0 +1,188 @@
+//! Fixed-width table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A rendered experiment table (one per paper table/figure).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (e.g. `"Fig. 1 — LLC hit decomposition (4 MB, LRU)"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each row must have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes (methodology, averages).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as CSV (headers first, notes omitted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "### {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                first = false;
+                write!(f, "{cell:>w$}", w = *w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Geometric mean of positive values (ignores the rest); the replacement
+/// literature's standard cross-application average for normalized
+/// miss counts.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean (0 for an empty input).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["app", "misses"]);
+        t.row(vec!["fft".into(), "123".into()]);
+        t.row(vec!["bodytrack".into(), "7".into()]);
+        t.note("all numbers fictional");
+        let s = t.to_string();
+        assert!(s.contains("### Demo"));
+        assert!(s.contains("note: all numbers fictional"));
+        // Right-aligned within the column width.
+        assert!(s.contains("      fft"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn geomean_of_normalized_values() {
+        let g = geomean([0.5, 2.0]);
+        assert!((g - 1.0).abs() < 1e-12);
+        assert_eq!(geomean([]), 0.0);
+        // Non-positive values are skipped.
+        let g = geomean([0.0, 4.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_formatters() {
+        assert!((mean([1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean([]), 0.0);
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f2(1.005), "1.00"); // banker's-ish rounding is fine
+    }
+}

@@ -1,0 +1,573 @@
+//! The simulation driver: wires a trace source into the CMP, performs the
+//! offline pre-passes (Belady next-use chains, oracle sharing outcomes)
+//! and runs policies — realistic, OPT, oracle-wrapped or
+//! predictor-wrapped — over identical LLC reference streams.
+//!
+//! # Why pre-passes are exact
+//!
+//! In the default non-inclusive hierarchy the sequence of LLC references
+//! is a pure function of the workload and the private caches — it does not
+//! depend on the LLC replacement policy. Two runs of the same workload
+//! therefore produce *identical* LLC access streams, and an annotation
+//! computed at stream index `i` in a pre-pass describes exactly the access
+//! the second run performs at index `i`. This is what makes Belady's OPT
+//! exact and the oracle bits perfectly aligned.
+
+use std::collections::HashMap;
+
+use llc_policies::{
+    build_oracle_policy_with_mode, build_policy, build_reactive_policy, OracleWrap, PolicyKind,
+    ProtectMode,
+};
+use llc_predictors::{PredictorWrap, SharingPredictor};
+use llc_sim::{
+    AccessCtx, Aux, AuxProvider, BlockAddr, Cmp, CoreId, HierarchyConfig, LiveGeneration,
+    LlcObserver, LlcStats, MultiObserver, PrivateCacheStats, ReplacementPolicy,
+};
+use llc_trace::TraceSource;
+
+/// Aggregate result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Name of the policy that ran.
+    pub policy: String,
+    /// LLC counters.
+    pub llc: LlcStats,
+    /// Aggregated private L1 counters.
+    pub l1: PrivateCacheStats,
+    /// Aggregated private L2 counters (zero without an L2).
+    pub l2: PrivateCacheStats,
+    /// Instructions represented by the trace.
+    pub instructions: u64,
+    /// Trace records processed.
+    pub trace_accesses: u64,
+}
+
+impl RunResult {
+    /// LLC misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc.misses() as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L1 misses per kilo-instruction (aggregated over cores).
+    pub fn l1_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l1.misses() as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// Runs `policy` over `trace` with optional aux annotations and
+/// observers. The hierarchy is flushed at the end so every generation is
+/// reported.
+pub fn simulate<W: TraceSource>(
+    config: &HierarchyConfig,
+    policy: Box<dyn ReplacementPolicy>,
+    aux: Option<Box<dyn AuxProvider>>,
+    mut trace: W,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> RunResult {
+    let mut cmp = Cmp::new(*config, policy).expect("validated hierarchy config");
+    if let Some(aux) = aux {
+        cmp.set_aux_provider(aux);
+    }
+    let mut obs = MultiObserver::new(observers);
+    while let Some(a) = trace.next_access() {
+        cmp.access(a, &mut obs);
+    }
+    cmp.finish(&mut obs);
+    RunResult {
+        policy: cmp.llc().policy().name(),
+        llc: cmp.llc_stats(),
+        l1: cmp.l1_stats(),
+        l2: cmp.l2_stats(),
+        instructions: cmp.instructions(),
+        trace_accesses: cmp.trace_accesses(),
+    }
+}
+
+/// Runs a realistic policy (no annotations needed).
+pub fn simulate_kind<W, F>(
+    config: &HierarchyConfig,
+    kind: PolicyKind,
+    make_trace: &mut F,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> RunResult
+where
+    W: TraceSource,
+    F: FnMut() -> W,
+{
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    if kind == PolicyKind::Opt {
+        return simulate_opt(config, make_trace, observers);
+    }
+    simulate(config, build_policy(kind, sets, ways), None, make_trace(), observers)
+}
+
+/// Runs Belady's OPT: one recording pre-pass to compute next-use chains,
+/// then the OPT run itself.
+pub fn simulate_opt<W, F>(
+    config: &HierarchyConfig,
+    make_trace: &mut F,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> RunResult
+where
+    W: TraceSource,
+    F: FnMut() -> W,
+{
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let next_use = compute_next_use(config, make_trace());
+    simulate(
+        config,
+        build_policy(PolicyKind::Opt, sets, ways),
+        Some(Box::new(NextUseProvider::new(next_use))),
+        make_trace(),
+        observers,
+    )
+}
+
+/// Runs the sharing-aware oracle wrapper around `base`.
+///
+/// One recording pre-pass over the (policy-independent) LLC reference
+/// stream computes, for every access, whether another core touches the
+/// block within the retention horizon (`window`; `None` selects
+/// [`oracle_window`]); the wrapper then protects lines whose most recent
+/// access carried a positive answer.
+pub fn simulate_oracle<W, F>(
+    config: &HierarchyConfig,
+    base: PolicyKind,
+    mode: ProtectMode,
+    window: Option<u64>,
+    make_trace: &mut F,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> RunResult
+where
+    W: TraceSource,
+    F: FnMut() -> W,
+{
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let window = window.unwrap_or_else(|| oracle_window(config));
+    let outcomes = compute_shared_soon(config, make_trace(), window);
+    if base == PolicyKind::Opt {
+        let next_use = compute_next_use(config, make_trace());
+        let policy = Box::new(OracleWrap::with_mode(
+            build_policy(PolicyKind::Opt, sets, ways),
+            sets,
+            ways,
+            mode,
+        ));
+        return simulate(
+            config,
+            policy,
+            Some(Box::new(CombinedProvider::new(next_use, outcomes))),
+            make_trace(),
+            observers,
+        );
+    }
+    let policy = build_oracle_policy_with_mode(base, sets, ways, mode);
+    simulate(
+        config,
+        policy,
+        Some(Box::new(OracleProvider::new(outcomes))),
+        make_trace(),
+        observers,
+    )
+}
+
+/// Runs the oracle wrapper around Belady's OPT (needs both annotation
+/// kinds). Of theoretical interest only: OPT is already optimal, so the
+/// wrapper's victim restriction can only *add* misses. The integration
+/// tests assert exactly this one-sided bound — it is the quantitative
+/// form of "OPT is naturally sharing-aware: there is nothing left for the
+/// oracle to protect".
+pub fn simulate_oracle_opt<W, F>(
+    config: &HierarchyConfig,
+    make_trace: &mut F,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> RunResult
+where
+    W: TraceSource,
+    F: FnMut() -> W,
+{
+    simulate_oracle(config, PolicyKind::Opt, ProtectMode::Eviction, None, make_trace, observers)
+}
+
+/// Runs reactive (directory-driven, prediction-free) sharing protection
+/// around `base`: lines whose current generation is already shared are
+/// protected. The gap between this and the oracle is the part of the gain
+/// that genuinely requires fill-time prediction (experiment `abl4`).
+pub fn simulate_reactive<W, F>(
+    config: &HierarchyConfig,
+    base: PolicyKind,
+    make_trace: &mut F,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> RunResult
+where
+    W: TraceSource,
+    F: FnMut() -> W,
+{
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    simulate(config, build_reactive_policy(base, sets, ways), None, make_trace(), observers)
+}
+
+/// Runs a predictor-driven sharing-aware wrapper around `base` (the
+/// realistic end-to-end configuration of experiment `fig10`).
+pub fn simulate_predictor_wrap<W, F>(
+    config: &HierarchyConfig,
+    base: PolicyKind,
+    predictor: Box<dyn SharingPredictor>,
+    make_trace: &mut F,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> RunResult
+where
+    W: TraceSource,
+    F: FnMut() -> W,
+{
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let policy = Box::new(PredictorWrap::new(build_policy(base, sets, ways), predictor, sets, ways));
+    simulate(config, policy, None, make_trace(), observers)
+}
+
+/// Records the LLC reference stream and computes, for each access, the
+/// stream index of the next access to the same block.
+pub fn compute_next_use<W: TraceSource>(config: &HierarchyConfig, trace: W) -> Vec<u64> {
+    let mut recorder = StreamRecorder::default();
+    // The recording policy is irrelevant to the stream; LRU is cheap.
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    simulate(config, build_policy(PolicyKind::Lru, sets, ways), None, trace, vec![&mut recorder]);
+    let blocks = recorder.blocks;
+    let mut next_use = vec![u64::MAX; blocks.len()];
+    let mut last_seen: HashMap<BlockAddr, u64> = HashMap::new();
+    for (i, b) in blocks.iter().enumerate().rev() {
+        if let Some(&n) = last_seen.get(b) {
+            next_use[i] = n;
+        }
+        last_seen.insert(*b, i as u64);
+    }
+    next_use
+}
+
+/// Computes the oracle's answer vector from the (policy-independent) LLC
+/// reference stream: `outcome[t]` is `true` iff the block accessed at
+/// stream position `t` is touched by a *different core* within the next
+/// `window` LLC accesses.
+///
+/// This is the precise form of the paper's fill-time oracle question —
+/// "will this block be shared during its residency?" — made
+/// policy-independent by bounding "residency" with a retention horizon
+/// proportional to the LLC capacity (see [`oracle_window`]). Because the
+/// horizon grows with the cache, a larger LLC lets the oracle protect
+/// shared blocks with longer re-reference distances, which is exactly why
+/// the paper's oracle gains are larger at 8 MB than at 4 MB.
+///
+/// With an [`Inclusion::Inclusive`](llc_sim::Inclusion) hierarchy the LLC
+/// reference stream is *not* policy-independent (back-invalidations feed
+/// back into the private caches), so the annotations are an approximation
+/// there — the `abl2` ablation quantifies the effect.
+pub fn compute_shared_soon<W: TraceSource>(
+    config: &HierarchyConfig,
+    trace: W,
+    window: u64,
+) -> Vec<bool> {
+    let mut recorder = StreamRecorder::default();
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    simulate(config, build_policy(PolicyKind::Lru, sets, ways), None, trace, vec![&mut recorder]);
+    let n = recorder.blocks.len();
+    let mut outcome = vec![false; n];
+    // Backward scan: for each block keep (nearest future access n1 with
+    // core c1, nearest future access n2 whose core differs from c1).
+    struct Next {
+        n1: u64,
+        c1: CoreId,
+        n2: u64,
+    }
+    let mut next: HashMap<BlockAddr, Next> = HashMap::new();
+    for i in (0..n).rev() {
+        let block = recorder.blocks[i];
+        let core = recorder.cores[i];
+        if let Some(e) = next.get(&block) {
+            let next_diff = if e.c1 != core { e.n1 } else { e.n2 };
+            outcome[i] = next_diff != u64::MAX && next_diff - i as u64 <= window;
+        }
+        let entry = next.entry(block).or_insert(Next { n1: u64::MAX, c1: core, n2: u64::MAX });
+        let new_n2 = if entry.n1 != u64::MAX && entry.c1 != core { entry.n1 } else { entry.n2 };
+        *entry = Next { n1: i as u64, c1: core, n2: new_n2 };
+    }
+    outcome
+}
+
+/// The default oracle retention horizon for a hierarchy: four times the
+/// number of LLC lines. A block re-referenced within this many LLC
+/// accesses is plausibly retainable; the factor is swept in the `abl1`
+/// ablation.
+pub fn oracle_window(config: &HierarchyConfig) -> u64 {
+    4 * config.llc.lines()
+}
+
+/// Observer recording the block and core of every LLC access, in stream
+/// order.
+#[derive(Debug, Default)]
+pub struct StreamRecorder {
+    /// One entry per LLC access.
+    pub blocks: Vec<BlockAddr>,
+    /// The issuing core of each access.
+    pub cores: Vec<CoreId>,
+}
+
+impl StreamRecorder {
+    fn push(&mut self, ctx: &AccessCtx) {
+        debug_assert_eq!(ctx.time as usize, self.blocks.len());
+        self.blocks.push(ctx.block);
+        self.cores.push(ctx.core);
+    }
+}
+
+impl LlcObserver for StreamRecorder {
+    fn on_hit(&mut self, ctx: &AccessCtx, _: &LiveGeneration, _: bool) {
+        self.push(ctx);
+    }
+    fn on_fill(&mut self, ctx: &AccessCtx) {
+        self.push(ctx);
+    }
+}
+
+/// Aux provider feeding next-use chains to OPT.
+#[derive(Debug, Clone)]
+pub struct NextUseProvider {
+    next_use: Vec<u64>,
+}
+
+impl NextUseProvider {
+    /// Wraps a next-use vector (`u64::MAX` = never used again).
+    pub fn new(next_use: Vec<u64>) -> Self {
+        NextUseProvider { next_use }
+    }
+}
+
+impl AuxProvider for NextUseProvider {
+    fn aux_for(&mut self, time: u64, _block: BlockAddr) -> Aux {
+        let n = self.next_use.get(time as usize).copied().unwrap_or(u64::MAX);
+        Aux { next_use: (n != u64::MAX).then_some(n), oracle_shared: None }
+    }
+}
+
+/// Aux provider feeding oracle sharing outcomes to [`OracleWrap`].
+#[derive(Debug, Clone)]
+pub struct OracleProvider {
+    outcome: Vec<bool>,
+}
+
+impl OracleProvider {
+    /// Wraps an outcome vector indexed by LLC access stream position.
+    pub fn new(outcome: Vec<bool>) -> Self {
+        OracleProvider { outcome }
+    }
+}
+
+impl AuxProvider for OracleProvider {
+    fn aux_for(&mut self, time: u64, _block: BlockAddr) -> Aux {
+        let s = self.outcome.get(time as usize).copied().unwrap_or(false);
+        Aux { next_use: None, oracle_shared: Some(s) }
+    }
+}
+
+/// Aux provider feeding both annotation kinds (for `OracleWrap<Opt>`).
+#[derive(Debug, Clone)]
+pub struct CombinedProvider {
+    next_use: Vec<u64>,
+    outcome: Vec<bool>,
+}
+
+impl CombinedProvider {
+    /// Combines a next-use vector and an outcome vector.
+    pub fn new(next_use: Vec<u64>, outcome: Vec<bool>) -> Self {
+        CombinedProvider { next_use, outcome }
+    }
+}
+
+impl AuxProvider for CombinedProvider {
+    fn aux_for(&mut self, time: u64, _block: BlockAddr) -> Aux {
+        let n = self.next_use.get(time as usize).copied().unwrap_or(u64::MAX);
+        let s = self.outcome.get(time as usize).copied().unwrap_or(false);
+        Aux { next_use: (n != u64::MAX).then_some(n), oracle_shared: Some(s) }
+    }
+}
+
+/// Convenience: runs a policy (including OPT) with no observers.
+pub fn run_simple<W, F>(config: &HierarchyConfig, kind: PolicyKind, make_trace: &mut F) -> RunResult
+where
+    W: TraceSource,
+    F: FnMut() -> W,
+{
+    simulate_kind(config, kind, make_trace, vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_trace::{App, Scale};
+
+    fn cfg() -> HierarchyConfig {
+        HierarchyConfig::tiny()
+    }
+
+    fn make(app: App) -> impl FnMut() -> llc_trace::Workload {
+        move || app.workload(4, Scale::Tiny)
+    }
+
+    #[test]
+    fn llc_stream_is_policy_independent() {
+        let mut rec_lru = StreamRecorder::default();
+        let mut rec_rand = StreamRecorder::default();
+        let c = cfg();
+        simulate(
+            &c,
+            build_policy(PolicyKind::Lru, c.llc.sets() as usize, c.llc.ways),
+            None,
+            make(App::Bodytrack)(),
+            vec![&mut rec_lru],
+        );
+        simulate(
+            &c,
+            build_policy(PolicyKind::Random, c.llc.sets() as usize, c.llc.ways),
+            None,
+            make(App::Bodytrack)(),
+            vec![&mut rec_rand],
+        );
+        assert_eq!(rec_lru.blocks, rec_rand.blocks);
+        assert!(!rec_lru.blocks.is_empty());
+    }
+
+    #[test]
+    fn next_use_chains_are_consistent() {
+        let c = cfg();
+        let mut rec = StreamRecorder::default();
+        simulate(
+            &c,
+            build_policy(PolicyKind::Lru, c.llc.sets() as usize, c.llc.ways),
+            None,
+            make(App::Water)(),
+            vec![&mut rec],
+        );
+        let next = compute_next_use(&c, make(App::Water)());
+        assert_eq!(next.len(), rec.blocks.len());
+        for (i, &n) in next.iter().enumerate() {
+            if n != u64::MAX {
+                let n = n as usize;
+                assert!(n > i);
+                assert_eq!(rec.blocks[n], rec.blocks[i], "chain broken at {i}");
+                // No intervening access to the same block.
+                for j in i + 1..n {
+                    assert_ne!(rec.blocks[j], rec.blocks[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opt_beats_every_realistic_policy() {
+        let c = cfg();
+        for app in [App::Bodytrack, App::Fft, App::Canneal] {
+            let opt = simulate_opt(&c, &mut make(app), vec![]);
+            for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Random] {
+                let r = simulate_kind(&c, kind, &mut make(app), vec![]);
+                assert!(
+                    opt.llc.misses() <= r.llc.misses(),
+                    "{app}: OPT {} > {} {}",
+                    opt.llc.misses(),
+                    kind,
+                    r.llc.misses()
+                );
+                // Identical streams: same access counts.
+                assert_eq!(opt.llc.accesses, r.llc.accesses);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_never_hurts_much_and_usually_helps() {
+        let c = cfg();
+        for app in [App::Bodytrack, App::Streamcluster] {
+            let lru = simulate_kind(&c, PolicyKind::Lru, &mut make(app), vec![]);
+            let oracle = simulate_oracle(
+                &c,
+                PolicyKind::Lru,
+                ProtectMode::Eviction,
+                None,
+                &mut make(app),
+                vec![],
+            );
+            assert_eq!(lru.llc.accesses, oracle.llc.accesses);
+            // The oracle is an approximation (outcomes from the base run),
+            // so allow a small regression margin but catch blow-ups.
+            let limit = lru.llc.misses() + lru.llc.misses() / 20 + 10;
+            assert!(
+                oracle.llc.misses() <= limit,
+                "{app}: oracle {} vs LRU {}",
+                oracle.llc.misses(),
+                lru.llc.misses()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_soon_matches_brute_force() {
+        let c = cfg();
+        let mut rec = StreamRecorder::default();
+        simulate(
+            &c,
+            build_policy(PolicyKind::Lru, c.llc.sets() as usize, c.llc.ways),
+            None,
+            make(App::Dedup)(),
+            vec![&mut rec],
+        );
+        let window = 64u64;
+        let fast = compute_shared_soon(&c, make(App::Dedup)(), window);
+        assert_eq!(fast.len(), rec.blocks.len());
+        // Brute force on a prefix (quadratic).
+        let n = rec.blocks.len().min(3000);
+        for i in 0..n {
+            let mut expected = false;
+            for j in i + 1..rec.blocks.len().min(i + 1 + window as usize) {
+                if rec.blocks[j] == rec.blocks[i] && rec.cores[j] != rec.cores[i] {
+                    expected = true;
+                    break;
+                }
+            }
+            assert_eq!(fast[i], expected, "mismatch at stream position {i}");
+        }
+        // The workload has sharing, so some positions must be positive.
+        assert!(fast.iter().any(|&b| b));
+        assert!(fast.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn oracle_run_is_deterministic() {
+        let c = cfg();
+        let a = simulate_oracle(&c, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make(App::Water), vec![]);
+        let b = simulate_oracle(&c, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make(App::Water), vec![]);
+        assert_eq!(a.llc, b.llc);
+    }
+
+    #[test]
+    fn run_result_mpki_uses_instructions() {
+        let c = cfg();
+        let r = simulate_kind(&c, PolicyKind::Lru, &mut make(App::Swaptions), vec![]);
+        assert!(r.instructions > r.trace_accesses);
+        assert!(r.llc_mpki() > 0.0);
+        assert!(r.l1_mpki() >= r.llc_mpki());
+    }
+}

@@ -1,0 +1,257 @@
+//! Set-dueling machinery shared by DIP and DRRIP.
+//!
+//! A small number of *leader* sets are hard-wired to each of two competing
+//! policies (team A and team B). Misses in a leader set move a saturating
+//! policy-selector counter (PSEL) against that team; *follower* sets use
+//! whichever team currently has fewer leader misses (the PSEL's MSB).
+
+/// Which team a set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Team {
+    /// Hard-wired to policy A (e.g. SRRIP in DRRIP, LRU in DIP).
+    LeaderA,
+    /// Hard-wired to policy B (e.g. BRRIP in DRRIP, BIP in DIP).
+    LeaderB,
+    /// Uses the currently winning policy.
+    Follower,
+}
+
+/// Set-dueling monitor with a 10-bit PSEL.
+#[derive(Debug, Clone)]
+pub struct SetDuel {
+    stride: usize,
+    offset_b: usize,
+    psel: u32,
+    max: u32,
+}
+
+/// Number of leader sets per team (when the cache has enough sets).
+pub const LEADERS_PER_TEAM: usize = 32;
+
+impl SetDuel {
+    /// Creates a monitor for a cache with `sets` sets.
+    ///
+    /// With fewer than `2 * LEADERS_PER_TEAM` sets, every other set leads
+    /// for A and the rest for B (degenerate but well-defined; only unit
+    /// tests use such tiny caches).
+    pub fn new(sets: usize) -> Self {
+        let leaders = LEADERS_PER_TEAM.min(sets / 2).max(1);
+        let stride = (sets / leaders).max(2);
+        SetDuel { stride, offset_b: stride / 2, psel: 512, max: 1023 }
+    }
+
+    /// Returns the team of `set`.
+    pub fn team(&self, set: usize) -> Team {
+        let r = set % self.stride;
+        if r == 0 {
+            Team::LeaderA
+        } else if r == self.offset_b {
+            Team::LeaderB
+        } else {
+            Team::Follower
+        }
+    }
+
+    /// Records a miss (fill) in `set`, updating the PSEL if it is a leader.
+    pub fn on_miss(&mut self, set: usize) {
+        match self.team(set) {
+            Team::LeaderA => self.psel = (self.psel + 1).min(self.max),
+            Team::LeaderB => self.psel = self.psel.saturating_sub(1),
+            Team::Follower => {}
+        }
+    }
+
+    /// `true` if follower sets should currently use team B's policy
+    /// (i.e. team A's leaders have been missing more).
+    pub fn followers_use_b(&self) -> bool {
+        self.psel > self.max / 2
+    }
+
+    /// Should `set` use team B's policy right now?
+    pub fn use_b(&self, set: usize) -> bool {
+        match self.team(set) {
+            Team::LeaderA => false,
+            Team::LeaderB => true,
+            Team::Follower => self.followers_use_b(),
+        }
+    }
+
+    /// Current PSEL value (test hook).
+    pub fn psel(&self) -> u32 {
+        self.psel
+    }
+}
+
+
+/// Thread-aware set dueling (TA-DIP / TA-DRRIP, Jaleel et al.): one PSEL
+/// per hardware thread, so each thread independently picks the insertion
+/// policy that serves *its* misses best. This is the published fix for
+/// multi-programmed interference; the paper's point is that it still does
+/// nothing for *constructive* sharing.
+#[derive(Debug, Clone)]
+pub struct ThreadAwareDuel {
+    stride: usize,
+    offset_b: usize,
+    psel: Vec<u32>,
+    max: u32,
+}
+
+impl ThreadAwareDuel {
+    /// Creates a monitor for `sets` sets and `threads` hardware threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(sets: usize, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let inner = SetDuel::new(sets);
+        ThreadAwareDuel {
+            stride: inner.stride,
+            offset_b: inner.offset_b,
+            psel: vec![512; threads],
+            max: 1023,
+        }
+    }
+
+    /// Returns the team of `set` (same leader layout as [`SetDuel`]).
+    pub fn team(&self, set: usize) -> Team {
+        let r = set % self.stride;
+        if r == 0 {
+            Team::LeaderA
+        } else if r == self.offset_b {
+            Team::LeaderB
+        } else {
+            Team::Follower
+        }
+    }
+
+    /// Records a miss by `thread` in `set`.
+    pub fn on_miss(&mut self, set: usize, thread: usize) {
+        let team = self.team(set);
+        let max = self.max;
+        let p = &mut self.psel[thread];
+        match team {
+            Team::LeaderA => *p = (*p + 1).min(max),
+            Team::LeaderB => *p = p.saturating_sub(1),
+            Team::Follower => {}
+        }
+    }
+
+    /// Should `thread`'s fill into `set` use team B's policy?
+    pub fn use_b(&self, set: usize, thread: usize) -> bool {
+        match self.team(set) {
+            Team::LeaderA => false,
+            Team::LeaderB => true,
+            Team::Follower => self.psel[thread] > self.max / 2,
+        }
+    }
+
+    /// Current PSEL of `thread` (test hook).
+    pub fn psel(&self, thread: usize) -> u32 {
+        self.psel[thread]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_layout_has_both_teams() {
+        let d = SetDuel::new(4096);
+        let mut a = 0;
+        let mut b = 0;
+        for s in 0..4096 {
+            match d.team(s) {
+                Team::LeaderA => a += 1,
+                Team::LeaderB => b += 1,
+                Team::Follower => {}
+            }
+        }
+        assert_eq!(a, LEADERS_PER_TEAM);
+        assert_eq!(b, LEADERS_PER_TEAM);
+    }
+
+    #[test]
+    fn psel_moves_toward_less_missing_team() {
+        let mut d = SetDuel::new(64);
+        // Hammer team A's leader sets with misses.
+        let a_leader = (0..64).find(|&s| d.team(s) == Team::LeaderA).unwrap();
+        for _ in 0..600 {
+            d.on_miss(a_leader);
+        }
+        assert!(d.followers_use_b());
+        // Now hammer B harder.
+        let b_leader = (0..64).find(|&s| d.team(s) == Team::LeaderB).unwrap();
+        for _ in 0..1200 {
+            d.on_miss(b_leader);
+        }
+        assert!(!d.followers_use_b());
+    }
+
+    #[test]
+    fn leaders_ignore_psel() {
+        let mut d = SetDuel::new(256);
+        let a_leader = (0..256).find(|&s| d.team(s) == Team::LeaderA).unwrap();
+        let b_leader = (0..256).find(|&s| d.team(s) == Team::LeaderB).unwrap();
+        for _ in 0..2000 {
+            d.on_miss(a_leader); // drives followers to B
+        }
+        assert!(!d.use_b(a_leader));
+        assert!(d.use_b(b_leader));
+        let follower = (0..256).find(|&s| d.team(s) == Team::Follower).unwrap();
+        assert!(d.use_b(follower));
+    }
+
+    #[test]
+    fn psel_saturates() {
+        let mut d = SetDuel::new(64);
+        let a_leader = (0..64).find(|&s| d.team(s) == Team::LeaderA).unwrap();
+        for _ in 0..5000 {
+            d.on_miss(a_leader);
+        }
+        assert_eq!(d.psel(), 1023);
+        let b_leader = (0..64).find(|&s| d.team(s) == Team::LeaderB).unwrap();
+        for _ in 0..5000 {
+            d.on_miss(b_leader);
+        }
+        assert_eq!(d.psel(), 0);
+    }
+
+    #[test]
+    fn tiny_caches_still_have_leaders() {
+        let d = SetDuel::new(4);
+        let teams: Vec<Team> = (0..4).map(|s| d.team(s)).collect();
+        assert!(teams.contains(&Team::LeaderA));
+        assert!(teams.contains(&Team::LeaderB));
+    }
+
+    #[test]
+    fn thread_aware_psels_are_independent() {
+        let mut d = ThreadAwareDuel::new(256, 4);
+        let a_leader = (0..256).find(|&s| d.team(s) == Team::LeaderA).unwrap();
+        let b_leader = (0..256).find(|&s| d.team(s) == Team::LeaderB).unwrap();
+        // Thread 0 suffers under policy A; thread 1 suffers under B.
+        for _ in 0..800 {
+            d.on_miss(a_leader, 0);
+            d.on_miss(b_leader, 1);
+        }
+        let follower = (0..256).find(|&s| d.team(s) == Team::Follower).unwrap();
+        assert!(d.use_b(follower, 0), "thread 0 should switch to B");
+        assert!(!d.use_b(follower, 1), "thread 1 should stay on A");
+        // Leaders are hard-wired regardless of thread.
+        assert!(!d.use_b(a_leader, 0));
+        assert!(d.use_b(b_leader, 1));
+    }
+
+    #[test]
+    fn thread_aware_saturates_per_thread() {
+        let mut d = ThreadAwareDuel::new(64, 2);
+        let a_leader = (0..64).find(|&s| d.team(s) == Team::LeaderA).unwrap();
+        for _ in 0..5000 {
+            d.on_miss(a_leader, 1);
+        }
+        assert_eq!(d.psel(1), 1023);
+        assert_eq!(d.psel(0), 512); // untouched
+    }
+}

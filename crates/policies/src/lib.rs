@@ -1,0 +1,230 @@
+//! # llc-policies — LLC replacement policies for the sharing study
+//!
+//! Implementations of the replacement policies the paper evaluates or
+//! builds on:
+//!
+//! * the baseline: [`Lru`];
+//! * simple hardware policies: [`Nru`], [`Random`];
+//! * "recent proposals": the RRIP family ([`Rrip::srrip`], [`Rrip::brrip`],
+//!   [`Rrip::drrip`]), the DIP family ([`Dip::lip`], [`Dip::bip`],
+//!   [`Dip::dip`]) and [`Ship`] (SHiP-PC);
+//! * the offline optimum: [`Opt`] (Belady), driven by next-use
+//!   annotations;
+//! * the paper's contribution scaffold: [`OracleWrap`], the generic
+//!   sharing-aware oracle usable with any of the above;
+//! * a realistic prediction-free variant: [`ReactiveWrap`], protecting
+//!   lines the directory already knows to be shared.
+//!
+//! All policies implement [`llc_sim::ReplacementPolicy`] and honour the
+//! victim-candidate mask, which is how [`OracleWrap`] composes with them.
+//!
+//! ## Example
+//!
+//! ```
+//! use llc_policies::{build_policy, PolicyKind};
+//!
+//! let policy = build_policy(PolicyKind::Srrip, 4096, 16);
+//! assert_eq!(policy.name(), "SRRIP");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dip;
+pub mod duel;
+pub mod lru;
+pub mod nru;
+pub mod opt;
+pub mod oracle;
+pub mod random;
+pub mod reactive;
+pub mod rrip;
+pub mod ship;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use dip::{Dip, DipFlavor, BIP_EPSILON};
+pub use duel::{SetDuel, Team, ThreadAwareDuel, LEADERS_PER_TEAM};
+pub use lru::Lru;
+pub use nru::Nru;
+pub use opt::Opt;
+pub use oracle::{OracleWrap, ProtectMode};
+pub use random::Random;
+pub use reactive::ReactiveWrap;
+pub use rrip::{Rrip, RripFlavor, BRRIP_EPSILON, RRPV_BITS, RRPV_LONG, RRPV_MAX};
+pub use ship::{Ship, SHCT_ENTRIES, SHCT_MAX};
+
+use llc_sim::ReplacementPolicy;
+
+/// The policies the experiment harness can instantiate by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// True least-recently-used (the paper's baseline).
+    Lru,
+    /// Uniform-random replacement.
+    Random,
+    /// Not-recently-used (one reference bit).
+    Nru,
+    /// Static RRIP.
+    Srrip,
+    /// Bimodal RRIP.
+    Brrip,
+    /// Dynamic (set-dueling) RRIP.
+    Drrip,
+    /// Thread-aware DRRIP (per-thread PSELs).
+    TaDrrip,
+    /// LRU-insertion policy.
+    Lip,
+    /// Bimodal insertion policy.
+    Bip,
+    /// Dynamic (set-dueling) insertion policy.
+    Dip,
+    /// SHiP-PC.
+    Ship,
+    /// Belady's OPT (requires next-use annotations).
+    Opt,
+}
+
+impl PolicyKind {
+    /// All realistic (online) policies, in the order the paper-style
+    /// figures report them.
+    pub const REALISTIC: [PolicyKind; 11] = [
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Nru,
+        PolicyKind::Srrip,
+        PolicyKind::Brrip,
+        PolicyKind::Drrip,
+        PolicyKind::TaDrrip,
+        PolicyKind::Lip,
+        PolicyKind::Bip,
+        PolicyKind::Dip,
+        PolicyKind::Ship,
+    ];
+
+    /// The short display name used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Random => "Random",
+            PolicyKind::Nru => "NRU",
+            PolicyKind::Srrip => "SRRIP",
+            PolicyKind::Brrip => "BRRIP",
+            PolicyKind::Drrip => "DRRIP",
+            PolicyKind::TaDrrip => "TA-DRRIP",
+            PolicyKind::Lip => "LIP",
+            PolicyKind::Bip => "BIP",
+            PolicyKind::Dip => "DIP",
+            PolicyKind::Ship => "SHiP",
+            PolicyKind::Opt => "OPT",
+        }
+    }
+
+    /// Parses a label as produced by [`PolicyKind::label`]
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        let s = s.to_ascii_lowercase();
+        Some(match s.as_str() {
+            "lru" => PolicyKind::Lru,
+            "random" | "rand" => PolicyKind::Random,
+            "nru" => PolicyKind::Nru,
+            "srrip" => PolicyKind::Srrip,
+            "brrip" => PolicyKind::Brrip,
+            "drrip" => PolicyKind::Drrip,
+            "ta-drrip" | "tadrrip" => PolicyKind::TaDrrip,
+            "lip" => PolicyKind::Lip,
+            "bip" => PolicyKind::Bip,
+            "dip" => PolicyKind::Dip,
+            "ship" | "ship-pc" => PolicyKind::Ship,
+            "opt" | "belady" | "min" => PolicyKind::Opt,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Instantiates a policy for an LLC of `sets` sets and `ways` ways.
+///
+/// Deterministic: pseudo-random policies (Random, BRRIP, BIP and their
+/// dueling variants) derive their streams from fixed internal seeds.
+pub fn build_policy(kind: PolicyKind, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+    match kind {
+        PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
+        PolicyKind::Random => Box::new(Random::new(0x9d2c_5680)),
+        PolicyKind::Nru => Box::new(Nru::new(sets, ways)),
+        PolicyKind::Srrip => Box::new(Rrip::srrip(sets, ways)),
+        PolicyKind::Brrip => Box::new(Rrip::brrip(sets, ways, 0xb111)),
+        PolicyKind::Drrip => Box::new(Rrip::drrip(sets, ways, 0xd111)),
+        PolicyKind::TaDrrip => Box::new(Rrip::ta_drrip(sets, ways, llc_sim::MAX_CORES, 0x7ad1)),
+        PolicyKind::Lip => Box::new(Dip::lip(sets, ways)),
+        PolicyKind::Bip => Box::new(Dip::bip(sets, ways, 0xb19)),
+        PolicyKind::Dip => Box::new(Dip::dip(sets, ways, 0xd19)),
+        PolicyKind::Ship => Box::new(Ship::new(sets, ways)),
+        PolicyKind::Opt => Box::new(Opt::new(sets, ways)),
+    }
+}
+
+/// Instantiates `kind` wrapped in reactive (directory-driven) sharing
+/// protection.
+pub fn build_reactive_policy(
+    kind: PolicyKind,
+    sets: usize,
+    ways: usize,
+) -> Box<dyn ReplacementPolicy> {
+    Box::new(ReactiveWrap::new(build_policy(kind, sets, ways)))
+}
+
+/// Instantiates `kind` wrapped in the sharing-aware oracle
+/// ([`OracleWrap`], eviction-protection mode).
+pub fn build_oracle_policy(
+    kind: PolicyKind,
+    sets: usize,
+    ways: usize,
+) -> Box<dyn ReplacementPolicy> {
+    build_oracle_policy_with_mode(kind, sets, ways, ProtectMode::Eviction)
+}
+
+/// Instantiates `kind` wrapped in the sharing-aware oracle with an explicit
+/// protection mode.
+pub fn build_oracle_policy_with_mode(
+    kind: PolicyKind,
+    sets: usize,
+    ways: usize,
+    mode: ProtectMode,
+) -> Box<dyn ReplacementPolicy> {
+    Box::new(OracleWrap::with_mode(build_policy(kind, sets, ways), sets, ways, mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_all_realistic_policies() {
+        for kind in PolicyKind::REALISTIC {
+            let p = build_policy(kind, 64, 8);
+            assert_eq!(p.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for kind in PolicyKind::REALISTIC.into_iter().chain([PolicyKind::Opt]) {
+            assert_eq!(PolicyKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("belady"), Some(PolicyKind::Opt));
+        assert_eq!(PolicyKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn oracle_builder_wraps_base_name() {
+        let p = build_oracle_policy(PolicyKind::Drrip, 64, 8);
+        assert_eq!(p.name(), "Oracle(DRRIP)");
+    }
+}

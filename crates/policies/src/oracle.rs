@@ -1,0 +1,200 @@
+//! The paper's generic sharing-aware oracle wrapper.
+//!
+//! `OracleWrap<P>` composes with **any** base policy `P`. At fill time the
+//! oracle bit ([`llc_sim::Aux::oracle_shared`], computed by a pre-pass run
+//! of the unwrapped base policy) says whether the block will be shared
+//! (touched by ≥ 2 distinct cores) during its residency. The wrapper then
+//! protects predicted-shared lines:
+//!
+//! * [`ProtectMode::Eviction`] (default): victim selection is restricted to
+//!   predicted-*private* lines; a predicted-shared line is evicted only
+//!   when every candidate is predicted shared. The base policy still picks
+//!   *which* private line dies, so its recency/re-reference wisdom is kept.
+//! * [`ProtectMode::Insertion`]: a predicted-shared fill is immediately
+//!   "touch-promoted" (the base policy sees a hit right after the fill), a
+//!   policy-agnostic way of inserting with high priority.
+//! * [`ProtectMode::Both`]: both mechanisms.
+//!
+//! The same wrapper, fed by a realistic predictor instead of the oracle, is
+//! `llc-predictors`' `PredictorWrap`.
+
+use llc_sim::{AccessCtx, GenerationEnd, ReplacementPolicy, SetView};
+
+/// Where the wrapper applies sharing protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtectMode {
+    /// Restrict victim selection to predicted-private lines.
+    #[default]
+    Eviction,
+    /// Touch-promote predicted-shared fills.
+    Insertion,
+    /// Both of the above.
+    Both,
+}
+
+impl ProtectMode {
+    fn protects_eviction(self) -> bool {
+        matches!(self, ProtectMode::Eviction | ProtectMode::Both)
+    }
+    fn protects_insertion(self) -> bool {
+        matches!(self, ProtectMode::Insertion | ProtectMode::Both)
+    }
+}
+
+/// Sharing-aware oracle wrapper around a base policy.
+#[derive(Debug, Clone)]
+pub struct OracleWrap<P> {
+    base: P,
+    mode: ProtectMode,
+    ways: usize,
+    predicted_shared: Vec<bool>,
+}
+
+impl<P: ReplacementPolicy> OracleWrap<P> {
+    /// Wraps `base` for an LLC with `sets` sets of `ways` ways, protecting
+    /// at eviction time (the paper's oracle).
+    pub fn new(base: P, sets: usize, ways: usize) -> Self {
+        Self::with_mode(base, sets, ways, ProtectMode::Eviction)
+    }
+
+    /// Wraps `base` with an explicit [`ProtectMode`] (used by the `abl3`
+    /// ablation).
+    pub fn with_mode(base: P, sets: usize, ways: usize, mode: ProtectMode) -> Self {
+        OracleWrap { base, mode, ways, predicted_shared: vec![false; sets * ways] }
+    }
+
+    /// The wrapped base policy.
+    pub fn base(&self) -> &P {
+        &self.base
+    }
+
+    /// Whether the line in `(set, way)` is currently predicted shared
+    /// (test hook).
+    pub fn is_predicted_shared(&self, set: usize, way: usize) -> bool {
+        self.predicted_shared[set * self.ways + way]
+    }
+}
+
+impl<P: ReplacementPolicy> ReplacementPolicy for OracleWrap<P> {
+    fn name(&self) -> String {
+        match self.mode {
+            ProtectMode::Eviction => format!("Oracle({})", self.base.name()),
+            ProtectMode::Insertion => format!("OracleIns({})", self.base.name()),
+            ProtectMode::Both => format!("OracleBoth({})", self.base.name()),
+        }
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
+        let shared = ctx.aux.oracle_shared.unwrap_or(false);
+        self.predicted_shared[set * self.ways + way] = shared;
+        self.base.on_fill(set, way, ctx);
+        if shared && self.mode.protects_insertion() {
+            self.base.on_hit(set, way, ctx);
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
+        // Refresh the prediction: the oracle's answer at the latest access
+        // reflects the remaining residency most accurately.
+        if let Some(shared) = ctx.aux.oracle_shared {
+            self.predicted_shared[set * self.ways + way] = shared;
+        }
+        self.base.on_hit(set, way, ctx);
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize, gen: &GenerationEnd) {
+        self.base.on_evict(set, way, gen);
+    }
+
+    fn choose_victim(&mut self, set: usize, view: &SetView<'_>, ctx: &AccessCtx) -> usize {
+        if !self.mode.protects_eviction() {
+            return self.base.choose_victim(set, view, ctx);
+        }
+        let base_idx = set * self.ways;
+        let mut private_mask = 0u64;
+        for w in view.allowed_ways() {
+            if !self.predicted_shared[base_idx + w] {
+                private_mask |= 1u64 << w;
+            }
+        }
+        let restricted = if private_mask != 0 {
+            SetView { lines: view.lines, allowed: private_mask }
+        } else {
+            *view
+        };
+        self.base.choose_victim(set, &restricted, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::Lru;
+    use crate::testutil::{ctx_aux, full_view};
+
+    #[test]
+    fn shields_predicted_shared_lines() {
+        let mut p = OracleWrap::new(Lru::new(1, 3), 1, 3);
+        p.on_fill(0, 0, &ctx_aux(0, None, Some(true))); // oldest, but shared
+        p.on_fill(0, 1, &ctx_aux(1, None, Some(false)));
+        p.on_fill(0, 2, &ctx_aux(2, None, Some(false)));
+        let lines = full_view(3);
+        let view = SetView { lines: &lines, allowed: 0b111 };
+        // LRU would pick way 0; the oracle shields it, so the oldest
+        // private line (way 1) dies.
+        assert_eq!(p.choose_victim(0, &view, &ctx_aux(3, None, None)), 1);
+    }
+
+    #[test]
+    fn falls_back_when_all_predicted_shared() {
+        let mut p = OracleWrap::new(Lru::new(1, 2), 1, 2);
+        p.on_fill(0, 0, &ctx_aux(0, None, Some(true)));
+        p.on_fill(0, 1, &ctx_aux(1, None, Some(true)));
+        let lines = full_view(2);
+        let view = SetView { lines: &lines, allowed: 0b11 };
+        assert_eq!(p.choose_victim(0, &view, &ctx_aux(2, None, None)), 0); // plain LRU order
+    }
+
+    #[test]
+    fn hit_refreshes_prediction() {
+        let mut p = OracleWrap::new(Lru::new(1, 2), 1, 2);
+        p.on_fill(0, 0, &ctx_aux(0, None, Some(true)));
+        assert!(p.is_predicted_shared(0, 0));
+        // Later the oracle says the remaining residency is private.
+        p.on_hit(0, 0, &ctx_aux(5, None, Some(false)));
+        assert!(!p.is_predicted_shared(0, 0));
+    }
+
+    #[test]
+    fn missing_oracle_bit_means_private() {
+        let mut p = OracleWrap::new(Lru::new(1, 1), 1, 1);
+        p.on_fill(0, 0, &ctx_aux(0, None, None));
+        assert!(!p.is_predicted_shared(0, 0));
+    }
+
+    #[test]
+    fn insertion_mode_touch_promotes() {
+        // With an LRU base, a touch-promoted fill has a *newer* stamp than
+        // a plain fill made later... it does not — promotion matters for
+        // RRIP-like bases. Verify via SRRIP: a shared fill lands at RRPV 0.
+        use crate::rrip::Rrip;
+        let mut p =
+            OracleWrap::with_mode(Rrip::srrip(1, 2), 1, 2, ProtectMode::Insertion);
+        p.on_fill(0, 0, &ctx_aux(0, None, Some(true)));
+        p.on_fill(0, 1, &ctx_aux(1, None, Some(false)));
+        assert_eq!(p.base().rrpv(0, 0), 0); // promoted
+        assert_ne!(p.base().rrpv(0, 1), 0); // normal long insertion
+        // And eviction is NOT restricted in insertion mode.
+        let lines = full_view(2);
+        let view = SetView { lines: &lines, allowed: 0b10 };
+        assert_eq!(p.choose_victim(0, &view, &ctx_aux(2, None, None)), 1);
+    }
+
+    #[test]
+    fn name_reflects_mode_and_base() {
+        let p = OracleWrap::new(Lru::new(1, 1), 1, 1);
+        assert_eq!(p.name(), "Oracle(LRU)");
+        let q = OracleWrap::with_mode(Lru::new(1, 1), 1, 1, ProtectMode::Both);
+        assert_eq!(q.name(), "OracleBoth(LRU)");
+    }
+}

@@ -1,0 +1,46 @@
+//! Helpers shared by the policy unit tests.
+
+use llc_sim::{AccessCtx, AccessKind, Aux, BlockAddr, CoreId, LineView, Pc};
+
+/// An access context at logical time `t` touching block `t` from core 0.
+pub fn ctx(t: u64) -> AccessCtx {
+    AccessCtx {
+        block: BlockAddr::new(t),
+        pc: Pc::new(0x400),
+        core: CoreId::new(0),
+        kind: AccessKind::Read,
+        time: t,
+        aux: Aux::default(),
+    }
+}
+
+/// A context with an explicit block and PC (for SHiP / predictor tests).
+pub fn ctx_at(t: u64, block: u64, pc: u64) -> AccessCtx {
+    AccessCtx {
+        block: BlockAddr::new(block),
+        pc: Pc::new(pc),
+        core: CoreId::new(0),
+        kind: AccessKind::Read,
+        time: t,
+        aux: Aux::default(),
+    }
+}
+
+/// A context carrying OPT / oracle side-channel data.
+pub fn ctx_aux(t: u64, next_use: Option<u64>, oracle_shared: Option<bool>) -> AccessCtx {
+    AccessCtx {
+        block: BlockAddr::new(t),
+        pc: Pc::new(0x400),
+        core: CoreId::new(0),
+        kind: AccessKind::Read,
+        time: t,
+        aux: Aux { next_use, oracle_shared },
+    }
+}
+
+/// A set of `ways` anonymous valid lines.
+pub fn full_view(ways: usize) -> Vec<LineView> {
+    (0..ways)
+        .map(|w| LineView { block: BlockAddr::new(w as u64), sharer_count: 1, dirty: false })
+        .collect()
+}

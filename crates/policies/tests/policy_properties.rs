@@ -1,0 +1,147 @@
+//! Property tests over the policy implementations: every policy must pick
+//! only allowed victims and keep its metadata within bounds under
+//! arbitrary operation sequences.
+
+use llc_policies::{build_policy, OracleWrap, PolicyKind, ProtectMode, Rrip, RRPV_MAX};
+use llc_sim::{AccessCtx, AccessKind, Aux, BlockAddr, CoreId, LineView, Pc, SetView};
+use proptest::prelude::*;
+
+const SETS: usize = 4;
+const WAYS: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Fill { set: u8, way: u8 },
+    Hit { set: u8, way: u8 },
+    Victim { set: u8, mask: u8 },
+}
+
+fn ops(len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..SETS as u8, 0u8..WAYS as u8).prop_map(|(set, way)| Op::Fill { set, way }),
+            (0u8..SETS as u8, 0u8..WAYS as u8).prop_map(|(set, way)| Op::Hit { set, way }),
+            (0u8..SETS as u8, 1u8..=u8::MAX).prop_map(|(set, mask)| Op::Victim { set, mask }),
+        ],
+        len,
+    )
+}
+
+fn ctx(t: u64, oracle_shared: Option<bool>) -> AccessCtx {
+    AccessCtx {
+        block: BlockAddr::new(t % 97),
+        pc: Pc::new(0x400 + (t % 13) * 4),
+        core: CoreId::new((t % 4) as usize),
+        kind: if t % 5 == 0 { AccessKind::Write } else { AccessKind::Read },
+        time: t,
+        aux: Aux { next_use: Some(t + 1 + t % 31), oracle_shared },
+    }
+}
+
+fn lines() -> Vec<LineView> {
+    (0..WAYS)
+        .map(|w| LineView { block: BlockAddr::new(w as u64), sharer_count: 1, dirty: false })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every policy returns an allowed way for arbitrary sequences, and
+    /// never panics.
+    #[test]
+    fn victims_always_allowed(ops in ops(300), kind_idx in 0usize..12) {
+        let kinds = [
+            PolicyKind::Lru, PolicyKind::Random, PolicyKind::Nru,
+            PolicyKind::Srrip, PolicyKind::Brrip, PolicyKind::Drrip,
+            PolicyKind::TaDrrip, PolicyKind::Lip, PolicyKind::Bip,
+            PolicyKind::Dip, PolicyKind::Ship, PolicyKind::Opt,
+        ];
+        let mut p = build_policy(kinds[kind_idx], SETS, WAYS);
+        let lines = lines();
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            match op {
+                Op::Fill { set, way } => p.on_fill(set as usize, way as usize, &ctx(t, None)),
+                Op::Hit { set, way } => p.on_hit(set as usize, way as usize, &ctx(t, None)),
+                Op::Victim { set, mask } => {
+                    let view = SetView { lines: &lines, allowed: mask as u64 };
+                    let v = p.choose_victim(set as usize, &view, &ctx(t, None));
+                    prop_assert!(view.is_allowed(v),
+                        "{} picked disallowed way {} (mask {:#b})", p.name(), v, mask);
+                }
+            }
+        }
+    }
+
+    /// The oracle wrapper preserves the allowed-mask contract for any
+    /// base policy and any pattern of oracle bits.
+    #[test]
+    fn oracle_wrap_victims_always_allowed(ops in ops(300), bits in prop::collection::vec(prop::bool::ANY, 300)) {
+        let base = llc_policies::Lru::new(SETS, WAYS);
+        let mut p = OracleWrap::with_mode(base, SETS, WAYS, ProtectMode::Both);
+        let lines = lines();
+        for (i, op) in ops.into_iter().enumerate() {
+            let t = i as u64 + 1;
+            let bit = Some(bits[i]);
+            use llc_sim::ReplacementPolicy as _;
+            match op {
+                Op::Fill { set, way } => p.on_fill(set as usize, way as usize, &ctx(t, bit)),
+                Op::Hit { set, way } => p.on_hit(set as usize, way as usize, &ctx(t, bit)),
+                Op::Victim { set, mask } => {
+                    let view = SetView { lines: &lines, allowed: mask as u64 };
+                    let v = llc_sim::ReplacementPolicy::choose_victim(
+                        &mut p, set as usize, &view, &ctx(t, bit));
+                    prop_assert!(view.is_allowed(v),
+                        "oracle wrap picked disallowed way {} (mask {:#b})", v, mask);
+                }
+            }
+        }
+    }
+
+    /// RRIP's per-line values never leave [0, RRPV_MAX].
+    #[test]
+    fn rrip_values_stay_bounded(ops in ops(300)) {
+        let mut p = Rrip::srrip(SETS, WAYS);
+        let lines = lines();
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            match op {
+                Op::Fill { set, way } => {
+                    llc_sim::ReplacementPolicy::on_fill(&mut p, set as usize, way as usize, &ctx(t, None));
+                }
+                Op::Hit { set, way } => {
+                    llc_sim::ReplacementPolicy::on_hit(&mut p, set as usize, way as usize, &ctx(t, None));
+                }
+                Op::Victim { set, mask } => {
+                    let view = SetView { lines: &lines, allowed: mask as u64 };
+                    let _ = llc_sim::ReplacementPolicy::choose_victim(&mut p, set as usize, &view, &ctx(t, None));
+                }
+            }
+            for set in 0..SETS {
+                for way in 0..WAYS {
+                    prop_assert!(p.rrpv(set, way) <= RRPV_MAX);
+                }
+            }
+        }
+    }
+
+    /// LRU picks the least recently touched way among the allowed ones.
+    #[test]
+    fn lru_picks_least_recent_allowed(touch_order in Just(()), mask in 1u8..=u8::MAX) {
+        let _ = touch_order;
+        let mut p = llc_policies::Lru::new(1, WAYS);
+        use llc_sim::ReplacementPolicy as _;
+        for (t, way) in (0..WAYS).enumerate() {
+            p.on_fill(0, way, &ctx(t as u64, None));
+        }
+        let lines = lines();
+        let view = SetView { lines: &lines, allowed: mask as u64 };
+        let v = p.choose_victim(0, &view, &ctx(99, None));
+        // Least-recent allowed way = lowest set bit (fills happened in way
+        // order).
+        prop_assert_eq!(v, mask.trailing_zeros() as usize);
+    }
+}

@@ -1,0 +1,102 @@
+//! Saturating confidence counters.
+
+/// An n-bit saturating counter (1 ≤ n ≤ 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SatCounter {
+    /// Creates a counter with `bits` bits initialized to `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8, or if `init` exceeds the
+    /// maximum value.
+    pub fn new(bits: u32, init: u8) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
+        let max = ((1u16 << bits) - 1) as u8;
+        assert!(init <= max, "init {init} exceeds max {max}");
+        SatCounter { value: init, max }
+    }
+
+    /// Saturating increment.
+    pub fn inc(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    pub fn dec(&mut self) {
+        self.value = self.value.saturating_sub(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Maximum representable value.
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// `true` if the counter is in its upper half (the usual "taken" /
+    /// "shared" decision point).
+    pub fn is_high(&self) -> bool {
+        u16::from(self.value) * 2 > u16::from(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SatCounter::new(2, 0);
+        for _ in 0..10 {
+            c.inc();
+        }
+        assert_eq!(c.value(), 3);
+        for _ in 0..10 {
+            c.dec();
+        }
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn high_threshold_is_strict_majority() {
+        let mut c = SatCounter::new(2, 0);
+        assert!(!c.is_high()); // 0
+        c.inc();
+        assert!(!c.is_high()); // 1 (2*1 !> 3)
+        c.inc();
+        assert!(c.is_high()); // 2 (4 > 3)
+        c.inc();
+        assert!(c.is_high()); // 3
+    }
+
+    #[test]
+    fn one_bit_counter_works() {
+        let mut c = SatCounter::new(1, 0);
+        assert!(!c.is_high());
+        c.inc();
+        assert!(c.is_high());
+        assert_eq!(c.max(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn rejects_zero_bits() {
+        let _ = SatCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn rejects_out_of_range_init() {
+        let _ = SatCounter::new(2, 4);
+    }
+}

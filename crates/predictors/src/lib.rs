@@ -1,0 +1,46 @@
+//! # llc-predictors — fill-time sharing-behaviour predictors
+//!
+//! The paper's final question: can an LLC controller predict, at fill
+//! time, whether a block will be shared during its residency? This crate
+//! implements the two history-based designs the paper studies (indexed by
+//! **block address** and by **fill PC**), a tournament combination, trivial
+//! baselines, the full metric suite (accuracy / precision / recall / MCC /
+//! coverage), an offline [`PredictorStudy`] observer, and
+//! [`PredictorWrap`] — the realistic end-to-end replacement policy that
+//! drives the sharing-protection mechanism from a predictor instead of the
+//! oracle.
+//!
+//! ## Example
+//!
+//! ```
+//! use llc_predictors::{AddressPredictor, SharingPredictor, TableConfig};
+//! use llc_sim::{BlockAddr, Pc};
+//!
+//! let mut p = AddressPredictor::new(TableConfig::realistic());
+//! // Generations of block 7 keep turning out shared…
+//! p.train(BlockAddr::new(7), Pc::new(0x400), true);
+//! // …so the next fill of block 7 is predicted shared.
+//! assert!(p.predict(BlockAddr::new(7), Pc::new(0x999)).shared);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod counters;
+pub mod extensions;
+pub mod metrics;
+pub mod predictor;
+pub mod study;
+pub mod table;
+pub mod wrap;
+
+pub use counters::SatCounter;
+pub use extensions::{PhasePredictor, RegionPredictor, PHASE_BUCKETS};
+pub use metrics::ConfusionMatrix;
+pub use predictor::{
+    build_predictor, build_predictor_with, AddressPredictor, AlwaysShared, NeverShared,
+    PcPredictor, PredictorKind, SharingPredictor, TournamentPredictor,
+};
+pub use study::PredictorStudy;
+pub use table::{HistoryTable, Lookup, TableConfig};
+pub use wrap::PredictorWrap;

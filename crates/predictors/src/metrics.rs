@@ -1,0 +1,196 @@
+//! Prediction-quality metrics (confusion matrix and derived scores).
+
+use std::fmt;
+
+/// Confusion matrix over the two-class shared/private prediction problem,
+/// with coverage tracking.
+///
+/// "Positive" = shared. Every `(prediction, outcome)` pair recorded at
+/// generation end lands in one of the four cells; predictions that came
+/// from an untrained (missing) table entry are additionally counted as
+/// uncovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Predicted shared, was shared.
+    pub tp: u64,
+    /// Predicted shared, was private.
+    pub fp: u64,
+    /// Predicted private, was private.
+    pub tn: u64,
+    /// Predicted private, was shared.
+    pub fn_: u64,
+    /// Predictions that came from a trained table entry.
+    pub covered: u64,
+}
+
+impl ConfusionMatrix {
+    /// Records one prediction/outcome pair.
+    pub fn record(&mut self, predicted_shared: bool, was_shared: bool, covered: bool) {
+        match (predicted_shared, was_shared) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+        if covered {
+            self.covered += 1;
+        }
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of predictions that were correct.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Of the predicted-shared, the fraction actually shared.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Of the actually shared, the fraction predicted shared.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Matthews correlation coefficient in `[-1, 1]`; `0` for a useless
+    /// predictor even under heavy class imbalance (the right headline
+    /// metric for the paper's negative result, where "always private" can
+    /// score high accuracy).
+    pub fn mcc(&self) -> f64 {
+        let tp = self.tp as f64;
+        let fp = self.fp as f64;
+        let tn = self.tn as f64;
+        let fn_ = self.fn_ as f64;
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+
+    /// Fraction of predictions made from a trained entry.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.covered, self.total())
+    }
+
+    /// Fraction of outcomes that were actually shared (class prior).
+    pub fn shared_rate(&self) -> f64 {
+        ratio(self.tp + self.fn_, self.total())
+    }
+}
+
+impl std::ops::AddAssign for ConfusionMatrix {
+    fn add_assign(&mut self, rhs: Self) {
+        self.tp += rhs.tp;
+        self.fp += rhs.fp;
+        self.tn += rhs.tn;
+        self.fn_ += rhs.fn_;
+        self.covered += rhs.covered;
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "acc={:.3} prec={:.3} rec={:.3} mcc={:+.3} cov={:.3} (n={})",
+            self.accuracy(),
+            self.precision(),
+            self.recall(),
+            self.mcc(),
+            self.coverage(),
+            self.total()
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictor() {
+        let mut m = ConfusionMatrix::default();
+        for _ in 0..10 {
+            m.record(true, true, true);
+            m.record(false, false, true);
+        }
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert!((m.mcc() - 1.0).abs() < 1e-12);
+        assert_eq!(m.coverage(), 1.0);
+        assert_eq!(m.shared_rate(), 0.5);
+    }
+
+    #[test]
+    fn always_private_has_zero_mcc_despite_high_accuracy() {
+        let mut m = ConfusionMatrix::default();
+        // 90% private workload; predictor always says private.
+        for _ in 0..90 {
+            m.record(false, false, false);
+        }
+        for _ in 0..10 {
+            m.record(false, true, false);
+        }
+        assert!((m.accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.mcc(), 0.0);
+        assert_eq!(m.coverage(), 0.0);
+    }
+
+    #[test]
+    fn anti_predictor_has_negative_mcc() {
+        let mut m = ConfusionMatrix::default();
+        for _ in 0..50 {
+            m.record(true, false, true);
+            m.record(false, true, true);
+        }
+        assert!((m.mcc() + 1.0).abs() < 1e-12);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zeroes() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.mcc(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = ConfusionMatrix { tp: 1, fp: 2, tn: 3, fn_: 4, covered: 5 };
+        a += ConfusionMatrix { tp: 10, fp: 20, tn: 30, fn_: 40, covered: 50 };
+        assert_eq!(a.tp, 11);
+        assert_eq!(a.total(), 110);
+        assert_eq!(a.covered, 55);
+    }
+}

@@ -1,0 +1,477 @@
+//! The chip-multiprocessor: per-core private caches, a coherence directory
+//! for the private levels, and the shared LLC.
+//!
+//! # Modelled behaviour
+//!
+//! * Private caches are write-allocate, write-back, LRU. Dirty private
+//!   victims are written back to memory directly and do **not** perturb the
+//!   LLC (the LLC reference stream is the pure demand-miss stream, which
+//!   keeps it independent of the LLC replacement policy in non-inclusive
+//!   mode — a prerequisite for an exact Belady OPT).
+//! * Coherence is directory-based MESI-lite: a store by core *c* to a block
+//!   cached by other cores invalidates the remote private copies, so the
+//!   remote cores' next accesses miss privately and reach the LLC. This is
+//!   exactly the mechanism by which read-write sharing becomes visible to
+//!   the LLC on real hardware.
+//! * In [`Inclusion::Inclusive`] mode an LLC eviction back-invalidates all
+//!   private copies of the victim.
+
+use std::collections::HashMap;
+
+use crate::addr::{AccessKind, Addr, BlockAddr, CoreId, Pc};
+use crate::config::{ConfigError, HierarchyConfig, Inclusion};
+use crate::l1::{L1Access, PrivateCache};
+use crate::llc::{Llc, LlcObserver};
+use crate::replace::{AuxProvider, ReplacementPolicy};
+use crate::stats::{LlcStats, PrivateCacheStats};
+
+/// One record of a multi-threaded memory trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Core (= thread) issuing the access.
+    pub core: CoreId,
+    /// PC of the instruction.
+    pub pc: Pc,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Number of instructions this record represents: the memory
+    /// instruction itself plus the non-memory instructions since the
+    /// thread's previous access. Used for MPKI reporting.
+    ///
+    /// Note that synthetic workloads emit **block-granular** records (one
+    /// record per cache-block touch rather than per word access), the
+    /// standard form for LLC replacement studies; `instr_gap` then stands
+    /// for the whole intra-block access burst plus surrounding compute.
+    pub instr_gap: u32,
+}
+
+impl MemAccess {
+    /// Convenience constructor with `instr_gap = 1`.
+    pub fn new(core: CoreId, pc: Pc, addr: Addr, kind: AccessKind) -> Self {
+        MemAccess { core, pc, addr, kind, instr_gap: 1 }
+    }
+}
+
+/// The simulated chip-multiprocessor.
+pub struct Cmp<P> {
+    config: HierarchyConfig,
+    l1: Vec<PrivateCache>,
+    l2: Vec<PrivateCache>,
+    llc: Llc<P>,
+    /// For each block, the bit-vector of cores holding it in a private
+    /// cache. Entries are removed when the mask drops to zero.
+    private_dir: HashMap<BlockAddr, u32>,
+    instructions: u64,
+    trace_accesses: u64,
+}
+
+impl<P: ReplacementPolicy> Cmp<P> {
+    /// Builds an empty CMP from a configuration and an LLC policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(config: HierarchyConfig, policy: P) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let l1 = (0..config.cores).map(|_| PrivateCache::new(config.l1)).collect();
+        let l2 = match config.l2 {
+            Some(l2cfg) => (0..config.cores).map(|_| PrivateCache::new(l2cfg)).collect(),
+            None => Vec::new(),
+        };
+        Ok(Cmp {
+            config,
+            l1,
+            l2,
+            llc: Llc::new(config.llc, policy),
+            private_dir: HashMap::new(),
+            instructions: 0,
+            trace_accesses: 0,
+        })
+    }
+
+    /// The configuration this CMP was built from.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Installs an [`AuxProvider`] on the LLC.
+    pub fn set_aux_provider(&mut self, aux: Box<dyn AuxProvider>) {
+        self.llc.set_aux_provider(aux);
+    }
+
+    /// Total instructions represented by the processed trace records.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total trace records processed.
+    pub fn trace_accesses(&self) -> u64 {
+        self.trace_accesses
+    }
+
+    /// LLC counters.
+    pub fn llc_stats(&self) -> LlcStats {
+        self.llc.stats()
+    }
+
+    /// The LLC, for inspection.
+    pub fn llc(&self) -> &Llc<P> {
+        &self.llc
+    }
+
+    /// Aggregated L1 counters over all cores.
+    pub fn l1_stats(&self) -> PrivateCacheStats {
+        let mut total = PrivateCacheStats::default();
+        for c in &self.l1 {
+            total += c.stats();
+        }
+        total
+    }
+
+    /// Per-core L1 counters.
+    pub fn l1_stats_per_core(&self) -> Vec<PrivateCacheStats> {
+        self.l1.iter().map(|c| c.stats()).collect()
+    }
+
+    /// Aggregated L2 counters over all cores (zero if no L2 is configured).
+    pub fn l2_stats(&self) -> PrivateCacheStats {
+        let mut total = PrivateCacheStats::default();
+        for c in &self.l2 {
+            total += c.stats();
+        }
+        total
+    }
+
+    /// Processes one trace record through the hierarchy.
+    pub fn access(&mut self, a: MemAccess, obs: &mut dyn LlcObserver) {
+        debug_assert!(a.core.index() < self.config.cores, "core out of range");
+        self.trace_accesses += 1;
+        self.instructions += u64::from(a.instr_gap.max(1));
+        let block = a.addr.block();
+        let core = a.core.index();
+
+        // Coherence: a store invalidates remote private copies so remote
+        // readers re-fetch through the LLC.
+        if a.kind.is_write() {
+            self.invalidate_remote(block, a.core);
+        }
+
+        // L1.
+        match self.l1[core].access(block, a.kind.is_write()) {
+            L1Access::Hit => {
+                if a.kind.is_write() {
+                    // MESI upgrade: the directory observes the write even
+                    // though no LLC data access occurs.
+                    self.llc.note_upgrade(block, a.core);
+                }
+                self.dir_set(block, a.core);
+                return;
+            }
+            L1Access::Miss { victim } => {
+                if let Some(v) = victim {
+                    self.note_private_eviction(v.block, a.core);
+                }
+            }
+        }
+
+        // Optional L2.
+        if !self.l2.is_empty() {
+            match self.l2[core].access(block, a.kind.is_write()) {
+                L1Access::Hit => {
+                    if a.kind.is_write() {
+                        self.llc.note_upgrade(block, a.core);
+                    }
+                    self.dir_set(block, a.core);
+                    return;
+                }
+                L1Access::Miss { victim } => {
+                    if let Some(v) = victim {
+                        self.note_private_eviction(v.block, a.core);
+                    }
+                }
+            }
+        }
+
+        // LLC.
+        let result = self.llc.access(block, a.pc, a.core, a.kind, obs);
+        if self.config.inclusion == Inclusion::Inclusive {
+            if let Some(victim) = result.victim {
+                self.back_invalidate(victim);
+            }
+        }
+        self.dir_set(block, a.core);
+    }
+
+    /// Flushes all live LLC generations (call once at end of simulation).
+    pub fn finish(&mut self, obs: &mut dyn LlcObserver) {
+        self.llc.flush(obs);
+    }
+
+    fn dir_set(&mut self, block: BlockAddr, core: CoreId) {
+        *self.private_dir.entry(block).or_insert(0) |= core.bit();
+    }
+
+    /// Clears `core`'s directory bit for `block` unless the block is still
+    /// held by one of that core's private caches.
+    fn note_private_eviction(&mut self, block: BlockAddr, core: CoreId) {
+        let still_held = self.l1[core.index()].contains(block)
+            || self
+                .l2
+                .get(core.index())
+                .is_some_and(|l2| l2.contains(block));
+        if still_held {
+            return;
+        }
+        if let Some(mask) = self.private_dir.get_mut(&block) {
+            *mask &= !core.bit();
+            if *mask == 0 {
+                self.private_dir.remove(&block);
+            }
+        }
+    }
+
+    fn invalidate_remote(&mut self, block: BlockAddr, writer: CoreId) {
+        let Some(&mask) = self.private_dir.get(&block) else { return };
+        let remote = mask & !writer.bit();
+        if remote == 0 {
+            return;
+        }
+        for c in 0..self.config.cores {
+            if remote & (1u32 << c) != 0 {
+                self.l1[c].invalidate(block, false);
+                if let Some(l2) = self.l2.get_mut(c) {
+                    l2.invalidate(block, false);
+                }
+            }
+        }
+        self.private_dir.insert(block, mask & writer.bit());
+        if mask & writer.bit() == 0 {
+            self.private_dir.remove(&block);
+        }
+    }
+
+    fn back_invalidate(&mut self, block: BlockAddr) {
+        let Some(mask) = self.private_dir.remove(&block) else { return };
+        for c in 0..self.config.cores {
+            if mask & (1u32 << c) != 0 {
+                self.l1[c].invalidate(block, true);
+                if let Some(l2) = self.l2.get_mut(c) {
+                    l2.invalidate(block, true);
+                }
+            }
+        }
+    }
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for Cmp<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cmp")
+            .field("config", &self.config)
+            .field("llc", &self.llc)
+            .field("instructions", &self.instructions)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::llc::NullObserver;
+    use crate::replace::{AccessCtx, SetView};
+
+    /// LRU-by-insertion-order stand-in policy for hierarchy tests.
+    #[derive(Debug, Default)]
+    struct FifoPolicy {
+        fill_stamp: HashMap<(usize, usize), u64>,
+        clock: u64,
+    }
+
+    impl ReplacementPolicy for FifoPolicy {
+        fn name(&self) -> String {
+            "FIFO".into()
+        }
+        fn on_fill(&mut self, set: usize, way: usize, _: &AccessCtx) {
+            self.clock += 1;
+            self.fill_stamp.insert((set, way), self.clock);
+        }
+        fn on_hit(&mut self, _: usize, _: usize, _: &AccessCtx) {}
+        fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _: &AccessCtx) -> usize {
+            view.allowed_ways()
+                .min_by_key(|&w| self.fill_stamp.get(&(set, w)).copied().unwrap_or(0))
+                .expect("non-empty")
+        }
+    }
+
+    fn cfg() -> HierarchyConfig {
+        HierarchyConfig {
+            cores: 4,
+            l1: CacheConfig::new(4 * 2 * 64, 2).unwrap(), // 4 sets x 2 ways
+            l2: None,
+            llc: CacheConfig::new(16 * 4 * 64, 4).unwrap(), // 16 sets x 4 ways
+            inclusion: Inclusion::NonInclusive,
+        }
+    }
+
+    fn read(core: usize, addr: u64) -> MemAccess {
+        MemAccess::new(CoreId::new(core), Pc::new(0x400), Addr::new(addr), AccessKind::Read)
+    }
+
+    fn write(core: usize, addr: u64) -> MemAccess {
+        MemAccess::new(CoreId::new(core), Pc::new(0x500), Addr::new(addr), AccessKind::Write)
+    }
+
+    #[test]
+    fn l1_filters_repeated_accesses() {
+        let mut cmp = Cmp::new(cfg(), FifoPolicy::default()).unwrap();
+        let mut obs = NullObserver;
+        for _ in 0..10 {
+            cmp.access(read(0, 0x1000), &mut obs);
+        }
+        assert_eq!(cmp.llc_stats().accesses, 1); // only the first reaches LLC
+        assert_eq!(cmp.l1_stats().accesses, 10);
+        assert_eq!(cmp.l1_stats().hits, 9);
+    }
+
+    #[test]
+    fn read_only_sharing_reaches_llc_once_per_core() {
+        let mut cmp = Cmp::new(cfg(), FifoPolicy::default()).unwrap();
+        let mut obs = NullObserver;
+        for core in 0..4 {
+            for _ in 0..5 {
+                cmp.access(read(core, 0x2000), &mut obs);
+            }
+        }
+        // One compulsory LLC access per core; 3 of them hit the LLC.
+        assert_eq!(cmp.llc_stats().accesses, 4);
+        assert_eq!(cmp.llc_stats().hits, 3);
+        assert_eq!(cmp.llc_stats().hits_by_non_filler, 3);
+    }
+
+    #[test]
+    fn write_invalidates_remote_l1_copies() {
+        let mut cmp = Cmp::new(cfg(), FifoPolicy::default()).unwrap();
+        let mut obs = NullObserver;
+        cmp.access(read(0, 0x3000), &mut obs); // core0 caches it
+        cmp.access(read(1, 0x3000), &mut obs); // core1 caches it (LLC hit)
+        cmp.access(write(0, 0x3000), &mut obs); // invalidates core1's copy; core0 L1 hit
+        assert_eq!(cmp.llc_stats().accesses, 2);
+        // Core1 must now miss L1 and return to the LLC.
+        cmp.access(read(1, 0x3000), &mut obs);
+        assert_eq!(cmp.llc_stats().accesses, 3);
+        assert_eq!(cmp.llc_stats().hits, 2);
+    }
+
+    #[test]
+    fn ping_pong_sharing_alternates_llc_accesses() {
+        let mut cmp = Cmp::new(cfg(), FifoPolicy::default()).unwrap();
+        let mut obs = NullObserver;
+        // Two cores alternately write the same block: every access after the
+        // first one still reaches the LLC because the remote copy dies.
+        for i in 0..10 {
+            cmp.access(write(i % 2, 0x4000), &mut obs);
+        }
+        assert_eq!(cmp.llc_stats().accesses, 10);
+        assert_eq!(cmp.llc_stats().hits, 9);
+    }
+
+    #[test]
+    fn instruction_counting_uses_gaps() {
+        let mut cmp = Cmp::new(cfg(), FifoPolicy::default()).unwrap();
+        let mut obs = NullObserver;
+        let mut a = read(0, 0x5000);
+        a.instr_gap = 7;
+        cmp.access(a, &mut obs);
+        cmp.access(read(0, 0x5000), &mut obs);
+        assert_eq!(cmp.instructions(), 8);
+        assert_eq!(cmp.trace_accesses(), 2);
+    }
+
+    #[test]
+    fn inclusive_mode_back_invalidates() {
+        let mut c = cfg();
+        c.inclusion = Inclusion::Inclusive;
+        // LLC with 1 set x 2 ways so evictions are easy to force.
+        c.llc = CacheConfig::new(2 * 64, 2).unwrap();
+        let mut cmp = Cmp::new(c, FifoPolicy::default()).unwrap();
+        let mut obs = NullObserver;
+        // Distinct L1 sets to keep all three blocks in the L1: L1 has 4
+        // sets; blocks 0x0, 0x40, 0x80 map to L1 sets 0,1,2 and all to LLC
+        // set 0.
+        cmp.access(read(0, 0x0), &mut obs);
+        cmp.access(read(0, 0x40), &mut obs);
+        cmp.access(read(0, 0x80), &mut obs); // evicts 0x0 from LLC and from L1
+        assert_eq!(cmp.l1_stats().back_invalidations, 1);
+        // Re-reading 0x0 must go through the LLC again.
+        cmp.access(read(0, 0x0), &mut obs);
+        assert_eq!(cmp.llc_stats().accesses, 4);
+    }
+
+    #[test]
+    fn non_inclusive_mode_keeps_l1_copies() {
+        let mut c = cfg();
+        c.llc = CacheConfig::new(2 * 64, 2).unwrap(); // 1 set x 2 ways
+        let mut cmp = Cmp::new(c, FifoPolicy::default()).unwrap();
+        let mut obs = NullObserver;
+        cmp.access(read(0, 0x0), &mut obs);
+        cmp.access(read(0, 0x40), &mut obs);
+        cmp.access(read(0, 0x80), &mut obs); // LLC eviction of 0x0, L1 keeps it
+        assert_eq!(cmp.l1_stats().back_invalidations, 0);
+        cmp.access(read(0, 0x0), &mut obs); // L1 hit, LLC untouched
+        assert_eq!(cmp.llc_stats().accesses, 3);
+    }
+
+    #[test]
+    fn l2_filters_between_l1_and_llc() {
+        let mut c = cfg();
+        c.l2 = Some(CacheConfig::new(8 * 4 * 64, 4).unwrap());
+        let mut cmp = Cmp::new(c, FifoPolicy::default()).unwrap();
+        let mut obs = NullObserver;
+        // Touch 3 blocks in the same L1 set (L1: 4 sets, 2 ways) so one is
+        // evicted from L1 but still in L2.
+        cmp.access(read(0, 0x000), &mut obs); // L1 set 0
+        cmp.access(read(0, 0x100), &mut obs); // L1 set 0
+        cmp.access(read(0, 0x200), &mut obs); // L1 set 0 -> evicts 0x000
+        assert_eq!(cmp.llc_stats().accesses, 3);
+        // 0x000 hits in L2 without reaching the LLC.
+        cmp.access(read(0, 0x000), &mut obs);
+        assert_eq!(cmp.llc_stats().accesses, 3);
+        assert_eq!(cmp.l2_stats().hits, 1);
+    }
+
+    #[test]
+    fn l1_write_hits_upgrade_llc_generation() {
+        let mut cmp = Cmp::new(cfg(), FifoPolicy::default()).unwrap();
+        struct Last(Option<crate::llc::GenerationEnd>);
+        impl LlcObserver for Last {
+            fn on_generation_end(&mut self, gen: &crate::llc::GenerationEnd) {
+                self.0 = Some(*gen);
+            }
+        }
+        let mut obs = Last(None);
+        // Core 0 reads (LLC fill), core 1 reads (LLC hit) — then core 1
+        // writes while holding the block in its L1: an upgrade, not an
+        // LLC access.
+        cmp.access(read(0, 0x6000), &mut obs);
+        cmp.access(read(1, 0x6000), &mut obs);
+        cmp.access(write(1, 0x6000), &mut obs);
+        assert_eq!(cmp.llc_stats().accesses, 2, "upgrade must not be an LLC access");
+        cmp.finish(&mut obs);
+        let gen = obs.0.expect("one generation flushed");
+        assert!(gen.sharer_mask.count_ones() >= 2);
+        assert_eq!(gen.writes, 1, "the upgrade write must be recorded");
+        assert_eq!(gen.writer_mask.count_ones(), 1);
+    }
+
+    #[test]
+    fn finish_flushes_llc(){
+        let mut cmp = Cmp::new(cfg(), FifoPolicy::default()).unwrap();
+        let mut obs = NullObserver;
+        cmp.access(read(0, 0x7000), &mut obs);
+        cmp.finish(&mut obs);
+        assert_eq!(cmp.llc_stats().flushed, 1);
+        assert_eq!(cmp.llc().valid_lines(), 0);
+    }
+}

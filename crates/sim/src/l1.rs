@@ -1,0 +1,273 @@
+//! Per-core private cache (used for the L1 and the optional L2).
+//!
+//! Private caches always use true LRU replacement, matching the paper's
+//! setup where only the shared LLC's replacement policy is under study. The
+//! private caches exist to *filter* the access stream so that the LLC sees a
+//! realistic reference stream: only private-cache misses reach it, and
+//! coherence invalidations expose read-write sharing to the LLC as repeated
+//! misses from alternating cores.
+
+use crate::addr::BlockAddr;
+use crate::config::CacheConfig;
+use crate::stats::PrivateCacheStats;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    /// LRU timestamp: larger = more recently used.
+    stamp: u64,
+    dirty: bool,
+}
+
+/// Result of a demand access to a private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Access {
+    /// The block was present.
+    Hit,
+    /// The block was absent; it has been filled. If the fill displaced a
+    /// valid block, the victim is reported so the caller can update the
+    /// private-cache directory.
+    Miss {
+        /// Block evicted to make room, if any.
+        victim: Option<L1Victim>,
+    },
+}
+
+/// A block displaced from a private cache by a demand fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Victim {
+    /// The displaced block.
+    pub block: BlockAddr,
+    /// Whether the displaced block had been written.
+    pub dirty: bool,
+}
+
+/// A private set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct PrivateCache {
+    sets: u64,
+    ways: usize,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: PrivateCacheStats,
+}
+
+impl PrivateCache {
+    /// Creates an empty private cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let ways = config.ways;
+        PrivateCache {
+            sets,
+            ways,
+            lines: vec![Line::default(); (sets * ways as u64) as usize],
+            clock: 0,
+            stats: PrivateCacheStats::default(),
+        }
+    }
+
+    fn set_slice_mut(&mut self, set: u64) -> &mut [Line] {
+        let base = (set as usize) * self.ways;
+        &mut self.lines[base..base + self.ways]
+    }
+
+    /// Performs a demand access, filling on a miss (write-allocate).
+    pub fn access(&mut self, block: BlockAddr, write: bool) -> L1Access {
+        self.stats.accesses += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let set = block.set_index(self.sets);
+        let tag = block.tag(self.sets);
+        let ways = self.ways;
+        let sets = self.sets;
+        let lines = self.set_slice_mut(set);
+
+        // Hit path.
+        for line in lines.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.stamp = clock;
+                line.dirty |= write;
+                self.stats.hits += 1;
+                return L1Access::Hit;
+            }
+        }
+
+        // Miss: prefer an invalid way, else evict the LRU way.
+        let mut victim_way = 0;
+        let mut victim_stamp = u64::MAX;
+        let mut found_invalid = false;
+        for (w, line) in lines.iter().enumerate() {
+            if !line.valid {
+                victim_way = w;
+                found_invalid = true;
+                break;
+            }
+            if line.stamp < victim_stamp {
+                victim_stamp = line.stamp;
+                victim_way = w;
+            }
+        }
+
+        let line = &mut lines[victim_way];
+        let victim = if !found_invalid && line.valid {
+            let victim_block = BlockAddr::new(line.tag * sets + set);
+            Some(L1Victim { block: victim_block, dirty: line.dirty })
+        } else {
+            None
+        };
+        *line = Line { valid: true, tag, stamp: clock, dirty: write };
+        debug_assert!(victim.map_or(true, |v| v.block != block));
+        let _ = ways;
+        if victim.is_some() {
+            self.stats.evictions += 1;
+        }
+        L1Access::Miss { victim }
+    }
+
+    /// Returns `true` if `block` is currently cached (no LRU update).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        let set = block.set_index(self.sets);
+        let tag = block.tag(self.sets);
+        let base = (set as usize) * self.ways;
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Removes `block` if present (coherence invalidation). Returns `true`
+    /// if the block was present.
+    pub fn invalidate(&mut self, block: BlockAddr, back: bool) -> bool {
+        let set = block.set_index(self.sets);
+        let tag = block.tag(self.sets);
+        let lines = self.set_slice_mut(set);
+        for line in lines.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                line.dirty = false;
+                if back {
+                    self.stats.back_invalidations += 1;
+                } else {
+                    self.stats.invalidations += 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> PrivateCacheStats {
+        self.stats
+    }
+
+    /// Number of currently valid lines (for tests and occupancy checks).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PrivateCache {
+        // 4 sets x 2 ways.
+        PrivateCache::new(CacheConfig::new(4 * 2 * 64, 2).unwrap())
+    }
+
+    fn blk(set: u64, tag: u64) -> BlockAddr {
+        BlockAddr::new(tag * 4 + set)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(matches!(c.access(blk(0, 1), false), L1Access::Miss { victim: None }));
+        assert_eq!(c.access(blk(0, 1), false), L1Access::Hit);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        c.access(blk(0, 1), false);
+        c.access(blk(0, 2), false);
+        // Touch tag 1 so tag 2 becomes LRU.
+        c.access(blk(0, 1), false);
+        let r = c.access(blk(0, 3), false);
+        match r {
+            L1Access::Miss { victim: Some(v) } => assert_eq!(v.block, blk(0, 2)),
+            other => panic!("expected eviction of tag 2, got {other:?}"),
+        }
+        assert!(c.contains(blk(0, 1)));
+        assert!(!c.contains(blk(0, 2)));
+        assert!(c.contains(blk(0, 3)));
+    }
+
+    #[test]
+    fn dirty_propagates_to_victim() {
+        let mut c = tiny();
+        c.access(blk(1, 1), true);
+        c.access(blk(1, 2), false);
+        let r = c.access(blk(1, 3), false);
+        match r {
+            L1Access::Miss { victim: Some(v) } => {
+                assert_eq!(v.block, blk(1, 1));
+                assert!(v.dirty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(blk(1, 1), false);
+        c.access(blk(1, 1), true); // dirty via hit
+        c.access(blk(1, 2), false);
+        let r = c.access(blk(1, 3), false);
+        match r {
+            L1Access::Miss { victim: Some(v) } => assert!(v.dirty),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = tiny();
+        c.access(blk(2, 7), false);
+        assert!(c.contains(blk(2, 7)));
+        assert!(c.invalidate(blk(2, 7), false));
+        assert!(!c.contains(blk(2, 7)));
+        assert!(!c.invalidate(blk(2, 7), false));
+        assert_eq!(c.stats().invalidations, 1);
+        // Re-access misses and refills the invalidated way without an
+        // eviction.
+        assert!(matches!(c.access(blk(2, 7), false), L1Access::Miss { victim: None }));
+    }
+
+    #[test]
+    fn back_invalidation_counted_separately() {
+        let mut c = tiny();
+        c.access(blk(0, 9), false);
+        assert!(c.invalidate(blk(0, 9), true));
+        assert_eq!(c.stats().back_invalidations, 1);
+        assert_eq!(c.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        for set in 0..4 {
+            c.access(blk(set, 1), false);
+            c.access(blk(set, 2), false);
+        }
+        assert_eq!(c.valid_lines(), 8);
+        for set in 0..4 {
+            assert!(c.contains(blk(set, 1)));
+            assert!(c.contains(blk(set, 2)));
+        }
+    }
+}

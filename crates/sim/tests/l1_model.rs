@@ -1,0 +1,109 @@
+//! Model-based property test: the private cache must behave exactly like
+//! a reference LRU implementation built on ordered maps.
+
+use std::collections::HashMap;
+
+use llc_sim::{BlockAddr, CacheConfig, L1Access, PrivateCache};
+use proptest::prelude::*;
+
+/// Reference model: per set, a vector of (block, last-use) pairs.
+struct ModelLru {
+    sets: u64,
+    ways: usize,
+    sets_map: HashMap<u64, Vec<(BlockAddr, u64)>>,
+    clock: u64,
+}
+
+impl ModelLru {
+    fn new(sets: u64, ways: usize) -> Self {
+        ModelLru { sets, ways, sets_map: HashMap::new(), clock: 0 }
+    }
+
+    /// Returns (hit, victim).
+    fn access(&mut self, block: BlockAddr) -> (bool, Option<BlockAddr>) {
+        self.clock += 1;
+        let set = self.sets_map.entry(block.set_index(self.sets)).or_default();
+        if let Some(e) = set.iter_mut().find(|(b, _)| *b == block) {
+            e.1 = self.clock;
+            return (true, None);
+        }
+        let mut victim = None;
+        if set.len() == self.ways {
+            let (idx, _) =
+                set.iter().enumerate().min_by_key(|(_, (_, t))| *t).expect("full set");
+            victim = Some(set.remove(idx).0);
+        }
+        set.push((block, self.clock));
+        (false, victim)
+    }
+
+    fn contains(&self, block: BlockAddr) -> bool {
+        self.sets_map
+            .get(&block.set_index(self.sets))
+            .is_some_and(|s| s.iter().any(|(b, _)| *b == block))
+    }
+
+    fn invalidate(&mut self, block: BlockAddr) -> bool {
+        if let Some(set) = self.sets_map.get_mut(&block.set_index(self.sets)) {
+            if let Some(idx) = set.iter().position(|(b, _)| *b == block) {
+                set.remove(idx);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(u64),
+    Invalidate(u64),
+}
+
+fn ops(len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..64).prop_map(Op::Access),
+            (0u64..64).prop_map(Op::Invalidate),
+        ],
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn private_cache_matches_reference_lru(ops in ops(400)) {
+        // 4 sets x 4 ways.
+        let cfg = CacheConfig::new(4 * 4 * 64, 4).unwrap();
+        let mut dut = PrivateCache::new(cfg);
+        let mut model = ModelLru::new(4, 4);
+        for op in ops {
+            match op {
+                Op::Access(b) => {
+                    let block = BlockAddr::new(b);
+                    let (model_hit, model_victim) = model.access(block);
+                    match dut.access(block, false) {
+                        L1Access::Hit => prop_assert!(model_hit, "dut hit, model missed on {block}"),
+                        L1Access::Miss { victim } => {
+                            prop_assert!(!model_hit, "dut missed, model hit on {block}");
+                            prop_assert_eq!(victim.map(|v| v.block), model_victim);
+                        }
+                    }
+                }
+                Op::Invalidate(b) => {
+                    let block = BlockAddr::new(b);
+                    let dut_had = dut.invalidate(block, false);
+                    let model_had = model.invalidate(block);
+                    prop_assert_eq!(dut_had, model_had);
+                }
+            }
+            // Containment agrees over the whole universe.
+            for b in 0..64 {
+                let block = BlockAddr::new(b);
+                prop_assert_eq!(dut.contains(block), model.contains(block), "containment of {}", block);
+            }
+        }
+    }
+}

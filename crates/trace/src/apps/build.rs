@@ -1,0 +1,55 @@
+//! Shared boilerplate for the application-model builders.
+
+use crate::apps::{app_seed, App, Scale};
+use crate::layout::{AddressSpace, PcAllocator, PcSite, Region};
+use crate::patterns::Pattern;
+use crate::workload::{ThreadSpec, Workload};
+
+/// One address space and PC allocator per workload, with scale-aware
+/// region sizing.
+pub(crate) struct Build {
+    space: AddressSpace,
+    pcs: PcAllocator,
+    scale: Scale,
+    seed: u64,
+}
+
+impl Build {
+    pub(crate) fn new(app: App, scale: Scale) -> Self {
+        Build {
+            space: AddressSpace::new(),
+            pcs: PcAllocator::new(),
+            scale,
+            seed: app_seed(app),
+        }
+    }
+
+    /// Allocates a region whose size is `tiny_blocks` at `Scale::Tiny`,
+    /// scaled up by the scale's memory multiplier.
+    pub(crate) fn region(&mut self, tiny_blocks: u64) -> Region {
+        self.space.alloc(tiny_blocks * self.scale.mem_mult())
+    }
+
+    /// Allocates a fixed-size region (scale-independent; lock words and
+    /// other small hot structures).
+    pub(crate) fn region_fixed(&mut self, blocks: u64) -> Region {
+        self.space.alloc(blocks)
+    }
+
+    pub(crate) fn site(&mut self, n: u32) -> PcSite {
+        self.pcs.alloc(n)
+    }
+
+    pub(crate) fn accesses(&self) -> u64 {
+        self.scale.thread_accesses()
+    }
+
+    pub(crate) fn finish(self, specs: Vec<ThreadSpec>) -> Workload {
+        Workload::new(specs, self.seed)
+    }
+}
+
+/// Weighted arm shorthand.
+pub(crate) fn arm(weight: u32, p: impl Pattern + 'static) -> (u32, Box<dyn Pattern>) {
+    (weight, Box::new(p))
+}

@@ -1,0 +1,296 @@
+//! The synthetic application models.
+//!
+//! Sixteen named workloads whose **sharing structure** mimics the PARSEC,
+//! SPLASH-2 and SPEC OMP members the paper characterizes. The models are
+//! not instruction-accurate reproductions (the substitution DESIGN.md
+//! documents); they reproduce the property the paper's results rest on:
+//! the mixture of private, read-only-shared, producer–consumer, migratory
+//! and phase-shifting reuse seen by the shared LLC.
+
+mod build;
+mod parsec;
+mod specomp;
+mod splash2;
+
+use crate::workload::Workload;
+
+/// Benchmark suite an application model is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// PARSEC 2.1-style models.
+    Parsec,
+    /// SPLASH-2-style models.
+    Splash2,
+    /// SPEC OMP-style models.
+    SpecOmp,
+}
+
+impl Suite {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Parsec => "PARSEC",
+            Suite::Splash2 => "SPLASH-2",
+            Suite::SpecOmp => "SPEC OMP",
+        }
+    }
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Workload size knob.
+///
+/// `Tiny` keeps unit tests fast; `Small` suits CI-grade experiment runs;
+/// `Medium` is the default for reproducing the paper's figures (per-app
+/// footprints of tens of MB, well above the 8 MB LLC); `Large` doubles
+/// down for stability checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Unit-test size (≈ 80 K accesses, sub-MB footprints).
+    Tiny,
+    /// Quick-experiment size.
+    Small,
+    /// Paper-reproduction size (default).
+    #[default]
+    Medium,
+    /// Stress size.
+    Large,
+}
+
+impl Scale {
+    /// Multiplier applied to every region size (in blocks).
+    pub fn mem_mult(self) -> u64 {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 8,
+            Scale::Medium => 32,
+            Scale::Large => 64,
+        }
+    }
+
+    /// Number of accesses each thread issues.
+    pub fn thread_accesses(self) -> u64 {
+        match self {
+            Scale::Tiny => 20_000,
+            Scale::Small => 150_000,
+            Scale::Medium => 1_200_000,
+            Scale::Large => 4_000_000,
+        }
+    }
+
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "tiny" => Scale::Tiny,
+            "small" => Scale::Small,
+            "medium" => Scale::Medium,
+            "large" => Scale::Large,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The dominant sharing behaviour of a model (used in Table 2 and for
+/// interpreting results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingClass {
+    /// Essentially no cross-thread data reuse.
+    Private,
+    /// Read-only shared structures dominate.
+    ReadShared,
+    /// Producer–consumer pipeline sharing.
+    Pipeline,
+    /// Migratory read-write sharing.
+    Migratory,
+    /// Boundary (nearest-neighbour) sharing.
+    Boundary,
+    /// Barrier-phased, phase-shifting sharing.
+    PhaseShift,
+    /// Irregular fine-grained read-write sharing.
+    Irregular,
+}
+
+impl SharingClass {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SharingClass::Private => "private",
+            SharingClass::ReadShared => "read-shared",
+            SharingClass::Pipeline => "pipeline",
+            SharingClass::Migratory => "migratory",
+            SharingClass::Boundary => "boundary",
+            SharingClass::PhaseShift => "phase-shift",
+            SharingClass::Irregular => "irregular",
+        }
+    }
+}
+
+impl std::fmt::Display for SharingClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+macro_rules! apps {
+    ($( $variant:ident => ($label:literal, $suite:expr, $class:expr, $builder:path) ),+ $(,)?) => {
+        /// A named application model.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum App {
+            $(
+                #[doc = $label]
+                $variant,
+            )+
+        }
+
+        impl App {
+            /// Every model, in suite order.
+            pub const ALL: [App; 16] = [ $(App::$variant),+ ];
+
+            /// Display label (the modelled benchmark's name).
+            pub fn label(self) -> &'static str {
+                match self { $(App::$variant => $label),+ }
+            }
+
+            /// Suite the model is drawn from.
+            pub fn suite(self) -> Suite {
+                match self { $(App::$variant => $suite),+ }
+            }
+
+            /// Dominant sharing behaviour.
+            pub fn sharing_class(self) -> SharingClass {
+                match self { $(App::$variant => $class),+ }
+            }
+
+            /// Parses a label (case-insensitive).
+            pub fn parse(s: &str) -> Option<App> {
+                let s = s.to_ascii_lowercase();
+                $( if s == $label { return Some(App::$variant); } )+
+                None
+            }
+
+            /// Builds the model's workload for `threads` threads at
+            /// `scale`, with the model's fixed seed (fully
+            /// deterministic).
+            ///
+            /// # Panics
+            ///
+            /// Panics if `threads` is zero or exceeds
+            /// [`llc_sim::MAX_CORES`].
+            pub fn workload(self, threads: usize, scale: Scale) -> Workload {
+                assert!(threads > 0 && threads <= llc_sim::MAX_CORES, "bad thread count");
+                match self { $(App::$variant => $builder(threads, scale)),+ }
+            }
+        }
+    };
+}
+
+apps! {
+    Blackscholes => ("blackscholes", Suite::Parsec, SharingClass::Private, parsec::blackscholes),
+    Bodytrack => ("bodytrack", Suite::Parsec, SharingClass::ReadShared, parsec::bodytrack),
+    Canneal => ("canneal", Suite::Parsec, SharingClass::Irregular, parsec::canneal),
+    Dedup => ("dedup", Suite::Parsec, SharingClass::Pipeline, parsec::dedup),
+    Ferret => ("ferret", Suite::Parsec, SharingClass::Pipeline, parsec::ferret),
+    Fluidanimate => ("fluidanimate", Suite::Parsec, SharingClass::Boundary, parsec::fluidanimate),
+    Streamcluster => ("streamcluster", Suite::Parsec, SharingClass::ReadShared, parsec::streamcluster),
+    Swaptions => ("swaptions", Suite::Parsec, SharingClass::Private, parsec::swaptions),
+    Barnes => ("barnes", Suite::Splash2, SharingClass::ReadShared, splash2::barnes),
+    Fft => ("fft", Suite::Splash2, SharingClass::PhaseShift, splash2::fft),
+    Ocean => ("ocean", Suite::Splash2, SharingClass::Boundary, splash2::ocean),
+    Radix => ("radix", Suite::Splash2, SharingClass::PhaseShift, splash2::radix),
+    Water => ("water", Suite::Splash2, SharingClass::Migratory, splash2::water),
+    Equake => ("equake", Suite::SpecOmp, SharingClass::ReadShared, specomp::equake),
+    Mgrid => ("mgrid", Suite::SpecOmp, SharingClass::Boundary, specomp::mgrid),
+    Swim => ("swim", Suite::SpecOmp, SharingClass::Private, specomp::swim),
+}
+
+impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-app deterministic seed.
+pub(crate) fn app_seed(app: App) -> u64 {
+    llc_sim::splitmix64(0x5ee_d00 ^ app.label().bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TraceSource;
+
+    #[test]
+    fn all_apps_build_and_produce() {
+        for app in App::ALL {
+            let mut w = app.workload(4, Scale::Tiny);
+            let mut n = 0;
+            while let Some(a) = w.next_access().filter(|_| n < 1000) {
+                assert!(a.core.index() < 4);
+                n += 1;
+            }
+            assert_eq!(n, 1000, "{app} produced too few accesses");
+        }
+    }
+
+    #[test]
+    fn labels_parse_round_trip() {
+        for app in App::ALL {
+            assert_eq!(App::parse(app.label()), Some(app));
+        }
+        assert_eq!(App::parse("BODYTRACK"), Some(App::Bodytrack));
+        assert_eq!(App::parse("unknown"), None);
+    }
+
+    #[test]
+    fn suites_partition_the_apps() {
+        let parsec = App::ALL.iter().filter(|a| a.suite() == Suite::Parsec).count();
+        let splash = App::ALL.iter().filter(|a| a.suite() == Suite::Splash2).count();
+        let spec = App::ALL.iter().filter(|a| a.suite() == Suite::SpecOmp).count();
+        assert_eq!(parsec, 8);
+        assert_eq!(splash, 5);
+        assert_eq!(spec, 3);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let mut a = App::Fft.workload(4, Scale::Tiny);
+        let mut b = App::Fft.workload(4, Scale::Tiny);
+        for _ in 0..5000 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_apps() {
+        let seeds: std::collections::HashSet<u64> = App::ALL.iter().map(|&a| app_seed(a)).collect();
+        assert_eq!(seeds.len(), App::ALL.len());
+    }
+
+    #[test]
+    fn scale_controls_budget() {
+        let t = App::Swaptions.workload(2, Scale::Tiny);
+        assert_eq!(t.len_hint(), Some(2 * Scale::Tiny.thread_accesses()));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad thread count")]
+    fn zero_threads_rejected() {
+        let _ = App::Fft.workload(0, Scale::Tiny);
+    }
+}

@@ -1,0 +1,242 @@
+//! PARSEC-style application models.
+
+use crate::apps::build::{arm, Build};
+use crate::apps::{App, Scale};
+use crate::layout::Region;
+use crate::patterns::{
+    pipeline_channel, LockHot, Pattern, PrivateStream, PrivateWorkingSet, SharedReadOnly, Stencil,
+};
+use crate::workload::{ThreadSpec, Workload};
+
+/// `blackscholes`: embarrassingly parallel option pricing. Each thread
+/// streams through its own slice of the option array; a tiny read-only
+/// parameter table is the only shared data.
+pub(crate) fn blackscholes(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Blackscholes, scale);
+    let params = b.region_fixed(32);
+    let params_site = b.site(1);
+    let mut specs = Vec::new();
+    for _ in 0..threads {
+        let options = b.region(4096);
+        let s = b.site(2);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(15, PrivateStream::new(options, s, 4, 6)),
+                arm(1, SharedReadOnly::new(params, params_site, 0.8, 4)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `bodytrack`: particle-filter body tracking. All threads evaluate
+/// likelihoods against one large read-mostly model (image/edge maps) with
+/// heavy popularity skew, plus per-thread particle scratch.
+pub(crate) fn bodytrack(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Bodytrack, scale);
+    let model = b.region(4096);
+    let model_site = b.site(1);
+    let locks = b.region_fixed(8);
+    let locks_site = b.site(2);
+    let mut specs = Vec::new();
+    for _ in 0..threads {
+        let scratch = b.region(384);
+        let s = b.site(2);
+        let frames = b.region(4096);
+        let fs = b.site(2);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(6, SharedReadOnly::new(model, model_site, 0.7, 5)),
+                arm(3, PrivateWorkingSet::new(scratch, s, 0.8, 25, 4)),
+                arm(4, PrivateStream::new(frames, fs, 0, 5)),
+                arm(1, LockHot::new(locks, locks_site, 8)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `canneal`: simulated annealing over a huge netlist. Threads pick
+/// random elements and swap them: low-locality, fine-grained read-write
+/// sharing over one shared structure.
+pub(crate) fn canneal(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Canneal, scale);
+    let netlist = b.region(8192);
+    let mut specs = Vec::new();
+    for _ in 0..threads {
+        // A per-thread sampler over the *shared* netlist region: random
+        // read-write sharing (the "working set" pattern is
+        // region-agnostic).
+        let s = b.site(2);
+        let s2 = b.site(2);
+        let scratch = b.region(64);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(8, PrivateWorkingSet::new(netlist, s, 0.35, 12, 9)),
+                arm(2, PrivateWorkingSet::new(scratch, s2, 0.8, 30, 4)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `dedup`: a pipeline. Thread `i` consumes the ring written by thread
+/// `i-1` and produces into the ring read by thread `i+1`; stage 0 streams
+/// the input file.
+pub(crate) fn dedup(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Dedup, scale);
+    let stages = threads;
+    let mut producers: Vec<Option<crate::patterns::Producer>> = Vec::new();
+    let mut consumers: Vec<Option<crate::patterns::Consumer>> = Vec::new();
+    consumers.push(None);
+    for _ in 0..stages.saturating_sub(1) {
+        let ring = b.region(512);
+        let ps = b.site(1);
+        let cs = b.site(1);
+        let (p, c) = pipeline_channel(ring, ps, cs, 64, 5);
+        producers.push(Some(p));
+        consumers.push(Some(c));
+    }
+    producers.push(None);
+
+    let mut specs = Vec::new();
+    for (t, (prod, cons)) in producers.into_iter().zip(consumers).enumerate() {
+        let mut arms: Vec<(u32, Box<dyn Pattern>)> = Vec::new();
+        if t == 0 {
+            let input = b.region(4096);
+            arms.push(arm(6, PrivateStream::new(input, b.site(1), 0, 5)));
+        }
+        if let Some(c) = cons {
+            arms.push((5, Box::new(c)));
+        }
+        if let Some(p) = prod {
+            arms.push((5, Box::new(p)));
+        }
+        let scratch = b.region(128);
+        let s = b.site(2);
+        arms.push(arm(3, PrivateWorkingSet::new(scratch, s, 0.8, 30, 4)));
+        let local = b.region(2048);
+        let ls = b.site(2);
+        arms.push(arm(3, PrivateStream::new(local, ls, 2, 4)));
+        specs.push(ThreadSpec::new(arms, b.accesses()));
+    }
+    b.finish(specs)
+}
+
+/// `ferret`: similarity-search pipeline. Like `dedup` but with a large
+/// read-only shared database every middle stage queries.
+pub(crate) fn ferret(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Ferret, scale);
+    let database = b.region(4096);
+    let db_site = b.site(1);
+    let stages = threads;
+    let mut producers: Vec<Option<crate::patterns::Producer>> = Vec::new();
+    let mut consumers: Vec<Option<crate::patterns::Consumer>> = Vec::new();
+    consumers.push(None);
+    for _ in 0..stages.saturating_sub(1) {
+        let ring = b.region(128);
+        let ps = b.site(1);
+        let cs = b.site(1);
+        let (p, c) = pipeline_channel(ring, ps, cs, 8, 6);
+        producers.push(Some(p));
+        consumers.push(Some(c));
+    }
+    producers.push(None);
+
+    let mut specs = Vec::new();
+    for (t, (prod, cons)) in producers.into_iter().zip(consumers).enumerate() {
+        let mut arms: Vec<(u32, Box<dyn Pattern>)> = Vec::new();
+        if let Some(c) = cons {
+            arms.push((3, Box::new(c)));
+        }
+        if let Some(p) = prod {
+            arms.push((3, Box::new(p)));
+        }
+        // Middle stages do the ranking: database-heavy.
+        let db_weight = if t == 0 || t == stages - 1 { 2 } else { 8 };
+        arms.push(arm(db_weight, SharedReadOnly::new(database, db_site, 0.9, 7)));
+        let scratch = b.region(96);
+        let s = b.site(2);
+        arms.push(arm(2, PrivateWorkingSet::new(scratch, s, 0.8, 25, 4)));
+        let queries = b.region(2048);
+        let qs = b.site(2);
+        arms.push(arm(3, PrivateStream::new(queries, qs, 0, 6)));
+        specs.push(ThreadSpec::new(arms, b.accesses()));
+    }
+    b.finish(specs)
+}
+
+/// `fluidanimate`: particle fluid simulation on a spatial grid. Each
+/// thread sweeps its own cells and reads boundary cells of neighbouring
+/// partitions.
+pub(crate) fn fluidanimate(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Fluidanimate, scale);
+    let partitions: Vec<Region> = (0..threads).map(|_| b.region(1024)).collect();
+    let stencil_site = b.site(4);
+    let locks = b.region_fixed(16);
+    let locks_site = b.site(2);
+    let mut specs = Vec::new();
+    for t in 0..threads {
+        let left = partitions[(t + threads - 1) % threads];
+        let right = partitions[(t + 1) % threads];
+        let s = b.site(2);
+        let scratch = b.region(64);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(10, Stencil::new(partitions[t], left, right, stencil_site, 32, 6)),
+                arm(1, LockHot::new(locks, locks_site, 10)),
+                arm(2, PrivateWorkingSet::new(scratch, s, 0.8, 30, 4)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `streamcluster`: online clustering. Threads stream their own points
+/// and compare each against a small, extremely hot set of shared centres.
+pub(crate) fn streamcluster(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Streamcluster, scale);
+    let centres = b.region_fixed(256);
+    let centres_site = b.site(1);
+    let locks = b.region_fixed(4);
+    let locks_site = b.site(2);
+    let mut specs = Vec::new();
+    for _ in 0..threads {
+        let points = b.region(4096);
+        let s = b.site(2);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(8, PrivateStream::new(points, s, 0, 5)),
+                arm(5, SharedReadOnly::new(centres, centres_site, 0.7, 6)),
+                arm(1, LockHot::new(locks, locks_site, 9)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `swaptions`: Monte-Carlo swaption pricing; perfectly partitioned
+/// private working sets, the paper's "no sharing" control.
+pub(crate) fn swaptions(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Swaptions, scale);
+    let mut specs = Vec::new();
+    for _ in 0..threads {
+        let ws = b.region(1024);
+        let s = b.site(2);
+        let stream = b.region(512);
+        let s2 = b.site(2);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(7, PrivateWorkingSet::new(ws, s, 0.9, 20, 5)),
+                arm(3, PrivateStream::new(stream, s2, 3, 5)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}

@@ -1,0 +1,89 @@
+//! SPEC OMP-style application models.
+
+use crate::apps::build::{arm, Build};
+use crate::apps::{App, Scale};
+use crate::layout::Region;
+use crate::patterns::{LockHot, PhaseAlternate, PrivateStream, SharedReadOnly, Stencil};
+use crate::workload::{ThreadSpec, Workload};
+
+/// `equake`: earthquake simulation on an unstructured mesh. Every thread
+/// repeatedly reads the shared sparse matrix and connectivity (read-only,
+/// moderate skew) while streaming its own slice of the state vectors.
+pub(crate) fn equake(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Equake, scale);
+    let matrix = b.region(4096);
+    let matrix_site = b.site(1);
+    let reduction = b.region_fixed(4);
+    let red_site = b.site(2);
+    let mut specs = Vec::new();
+    for _ in 0..threads {
+        let vectors = b.region(1024);
+        let s = b.site(2);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(5, SharedReadOnly::new(matrix, matrix_site, 0.3, 7)),
+                arm(6, PrivateStream::new(vectors, s, 3, 5)),
+                arm(1, LockHot::new(reduction, red_site, 12)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `mgrid`: multigrid solver. Stencil sweeps at two grid levels: the fine
+/// level behaves like `ocean`; the coarse level is small enough that its
+/// boundary blocks become genuinely hot shared data.
+pub(crate) fn mgrid(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Mgrid, scale);
+    let fine: Vec<Region> = (0..threads).map(|_| b.region(2048)).collect();
+    let coarse: Vec<Region> = (0..threads).map(|_| b.region(512)).collect();
+    let fine_site = b.site(4);
+    let coarse_site = b.site(4);
+    let mut specs = Vec::new();
+    for t in 0..threads {
+        let fl = fine[(t + threads - 1) % threads];
+        let fr = fine[(t + 1) % threads];
+        let cl = coarse[(t + threads - 1) % threads];
+        let cr = coarse[(t + 1) % threads];
+        // The V-cycle alternates long fine-grid sweeps with short
+        // coarse-grid sweeps; the coarse grid's boundary blocks are the
+        // hot shared data.
+        let fine_sweep = Stencil::new(fine[t], fl, fr, fine_site, 64, 5);
+        let coarse_sweep = Stencil::new(coarse[t], cl, cr, coarse_site, 8, 5);
+        let fine_len = 4 * fine[t].blocks();
+        let coarse_len = 2 * coarse[t].blocks();
+        specs.push(ThreadSpec::single(
+            Box::new(PhaseAlternate::new(
+                Box::new(fine_sweep),
+                fine_len,
+                Box::new(coarse_sweep),
+                coarse_len,
+            )),
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `swim`: shallow-water stencil over enormous arrays; footprints dwarf
+/// any LLC, reuse is almost purely streaming, sharing is negligible — the
+/// memory-bound SPEC OMP control.
+pub(crate) fn swim(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Swim, scale);
+    let mut specs = Vec::new();
+    for _ in 0..threads {
+        let u = b.region(4096);
+        let v = b.region(4096);
+        let su = b.site(2);
+        let sv = b.site(2);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(5, PrivateStream::new(u, su, 2, 4)),
+                arm(5, PrivateStream::new(v, sv, 2, 4)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}

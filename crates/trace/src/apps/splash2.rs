@@ -1,0 +1,147 @@
+//! SPLASH-2-style application models.
+
+use crate::apps::build::{arm, Build};
+use crate::apps::{App, Scale};
+use crate::layout::Region;
+use crate::patterns::{
+    LockHot, Migratory, PhaseAlternate, PrivateStream, SharedReadOnly, Stencil, Transpose,
+};
+use crate::workload::{ThreadSpec, Workload};
+
+/// `barnes`: Barnes–Hut N-body. Threads walk a shared octree (read-mostly,
+/// hot near the root) and update their bodies; body records migrate
+/// between threads as the space is re-partitioned.
+pub(crate) fn barnes(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Barnes, scale);
+    let tree = b.region(4096);
+    let tree_site = b.site(1);
+    let bodies = b.region(1024);
+    let bodies_site = b.site(2);
+    let locks = b.region_fixed(8);
+    let locks_site = b.site(2);
+    let mut specs = Vec::new();
+    for t in 0..threads {
+        let scratch = b.region(1024);
+        let s = b.site(2);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(6, SharedReadOnly::new(tree, tree_site, 0.6, 8)),
+                arm(3, Migratory::new(bodies, bodies_site, 128, 12, t as u64, threads as u64, 7)),
+                arm(2, PrivateStream::new(scratch, s, 4, 4)),
+                arm(1, LockHot::new(locks, locks_site, 10)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `fft`: radix-√n six-step FFT. Barrier-separated all-to-all transposes
+/// dominate: the blocks a thread shares change wholesale at every phase.
+pub(crate) fn fft(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Fft, scale);
+    let matrix = b.region(4096);
+    let segments: Vec<Region> = matrix.split(threads);
+    let site = b.site(2);
+    let phase_len = segments[0].blocks();
+    let mut specs = Vec::new();
+    for t in 0..threads {
+        let scratch = b.region(1024);
+        let s = b.site(2);
+        // Communication (all-to-all transpose of one segment) alternates
+        // with a compute stretch on private scratch, as in the real
+        // six-step FFT.
+        let transpose = Transpose::new(segments.clone(), t, site, phase_len, 6);
+        let compute = PrivateStream::new(scratch, s, 3, 4);
+        let comm_len = 2 * phase_len; // one full transpose phase
+        specs.push(ThreadSpec::single(
+            Box::new(PhaseAlternate::new(
+                Box::new(transpose),
+                comm_len,
+                Box::new(compute),
+                comm_len,
+            )),
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `ocean`: red-black Gauss-Seidel over partitioned grids; classic
+/// boundary-row sharing with barrier phases and a contended global
+/// convergence check.
+pub(crate) fn ocean(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Ocean, scale);
+    let partitions: Vec<Region> = (0..threads).map(|_| b.region(2048)).collect();
+    let site = b.site(4);
+    let reduction = b.region_fixed(4);
+    let red_site = b.site(2);
+    let mut specs = Vec::new();
+    for t in 0..threads {
+        let left = partitions[(t + threads - 1) % threads];
+        let right = partitions[(t + 1) % threads];
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(12, Stencil::new(partitions[t], left, right, site, 64, 5)),
+                arm(1, LockHot::new(reduction, red_site, 12)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `radix`: parallel radix sort. Each pass permutes keys into buckets
+/// owned by other threads — all-to-all, phase-shifting write sharing, plus
+/// streaming reads of the local key array.
+pub(crate) fn radix(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Radix, scale);
+    let buckets = b.region(4096);
+    let segments: Vec<Region> = buckets.split(threads);
+    let site = b.site(2);
+    let phase_len = segments[0].blocks();
+    let mut specs = Vec::new();
+    for t in 0..threads {
+        let keys = b.region(2048);
+        let s = b.site(2);
+        // A radix pass: local counting sweep over the keys, then the
+        // all-to-all permutation into the shared buckets.
+        let permute = Transpose::new(segments.clone(), t, site, phase_len, 5);
+        let count = PrivateStream::new(keys, s, 2, 4);
+        let comm_len = 2 * phase_len;
+        specs.push(ThreadSpec::single(
+            Box::new(PhaseAlternate::new(
+                Box::new(count),
+                comm_len,
+                Box::new(permute),
+                comm_len,
+            )),
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}
+
+/// `water`: molecular dynamics with per-molecule locks; molecule records
+/// are the textbook migratory-sharing objects.
+pub(crate) fn water(threads: usize, scale: Scale) -> Workload {
+    let mut b = Build::new(App::Water, scale);
+    let molecules = b.region(4096);
+    let mol_site = b.site(2);
+    let globals = b.region_fixed(8);
+    let glob_site = b.site(2);
+    let mut specs = Vec::new();
+    for t in 0..threads {
+        let scratch = b.region(1024);
+        let s = b.site(2);
+        specs.push(ThreadSpec::new(
+            vec![
+                arm(7, Migratory::new(molecules, mol_site, 512, 16, t as u64, threads as u64, 8)),
+                arm(3, PrivateStream::new(scratch, s, 4, 4)),
+                arm(1, LockHot::new(globals, glob_site, 11)),
+            ],
+            b.accesses(),
+        ));
+    }
+    b.finish(specs)
+}

@@ -1,0 +1,262 @@
+//! A compact binary trace format for recording and replaying access
+//! streams.
+//!
+//! Synthetic workloads are regenerable, but a fixed on-disk trace is still
+//! useful: freezing a stream across tool versions, importing accesses
+//! captured elsewhere, or shipping a regression corpus. The format is
+//! deliberately trivial — a 16-byte header followed by fixed 20-byte
+//! little-endian records — so any tool can parse it.
+//!
+//! ```text
+//! header:  magic "LLCT" | u16 version | u16 reserved | u64 record count
+//! record:  u8 core | u8 kind (0 = read, 1 = write) | u16 instr_gap
+//!        | u64 pc | u64 addr
+//! ```
+
+use std::io::{self, Read, Write};
+
+use llc_sim::{AccessKind, Addr, CoreId, MemAccess, Pc, MAX_CORES};
+
+use crate::source::TraceSource;
+
+/// File-format magic bytes.
+pub const MAGIC: [u8; 4] = *b"LLCT";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+const RECORD_BYTES: usize = 20;
+
+/// Writes a trace to any [`Write`] sink.
+///
+/// The record count is part of the header, so the writer buffers nothing
+/// but must be told the count up front — use [`write_trace`] for the
+/// common "drain a source" case.
+#[derive(Debug)]
+pub struct TraceWriter<W> {
+    sink: W,
+    declared: u64,
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W, records: u64) -> io::Result<Self> {
+        sink.write_all(&MAGIC)?;
+        sink.write_all(&VERSION.to_le_bytes())?;
+        sink.write_all(&0u16.to_le_bytes())?;
+        sink.write_all(&records.to_le_bytes())?;
+        Ok(TraceWriter { sink, declared: records, written: 0 })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; fails if more records than declared are
+    /// written.
+    pub fn write(&mut self, a: &MemAccess) -> io::Result<()> {
+        if self.written == self.declared {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "more records than declared in the header",
+            ));
+        }
+        let mut rec = [0u8; RECORD_BYTES];
+        rec[0] = a.core.index() as u8;
+        rec[1] = u8::from(a.kind.is_write());
+        rec[2..4].copy_from_slice(&(a.instr_gap.min(u32::from(u16::MAX)) as u16).to_le_bytes());
+        rec[4..12].copy_from_slice(&a.pc.raw().to_le_bytes());
+        rec[12..20].copy_from_slice(&a.addr.raw().to_le_bytes());
+        self.sink.write_all(&rec)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Finishes the file, checking the declared count was met.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer records than declared were written.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.written != self.declared {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("declared {} records but wrote {}", self.declared, self.written),
+            ));
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Drains `source` into `sink` in trace-file format.
+///
+/// # Errors
+///
+/// Propagates I/O errors. Sources without a length hint are buffered
+/// first.
+pub fn write_trace<S: TraceSource, W: Write>(mut source: S, sink: W) -> io::Result<u64> {
+    match source.len_hint() {
+        Some(n) => {
+            let mut w = TraceWriter::new(sink, n)?;
+            let mut written = 0;
+            while let Some(a) = source.next_access() {
+                w.write(&a)?;
+                written += 1;
+            }
+            w.finish()?;
+            Ok(written)
+        }
+        None => {
+            let mut all = Vec::new();
+            while let Some(a) = source.next_access() {
+                all.push(a);
+            }
+            let mut w = TraceWriter::new(sink, all.len() as u64)?;
+            for a in &all {
+                w.write(a)?;
+            }
+            w.finish()?;
+            Ok(all.len() as u64)
+        }
+    }
+}
+
+/// Streams a trace back out of any [`Read`] source.
+#[derive(Debug)]
+pub struct TraceFileSource<R> {
+    reader: R,
+    remaining: u64,
+    total: u64,
+}
+
+impl<R: Read> TraceFileSource<R> {
+    /// Parses the header and prepares to stream records.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad magic, or an unsupported version.
+    pub fn new(mut reader: R) -> io::Result<Self> {
+        let mut header = [0u8; 16];
+        reader.read_exact(&mut header)?;
+        if header[0..4] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an LLCT trace"));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let total = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        Ok(TraceFileSource { reader, remaining: total, total })
+    }
+
+    fn read_record(&mut self) -> io::Result<MemAccess> {
+        let mut rec = [0u8; RECORD_BYTES];
+        self.reader.read_exact(&mut rec)?;
+        let core = usize::from(rec[0]);
+        if core >= MAX_CORES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "core id out of range"));
+        }
+        Ok(MemAccess {
+            core: CoreId::new(core),
+            kind: if rec[1] != 0 { AccessKind::Write } else { AccessKind::Read },
+            instr_gap: u32::from(u16::from_le_bytes([rec[2], rec[3]])),
+            pc: Pc::new(u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"))),
+            addr: Addr::new(u64::from_le_bytes(rec[12..20].try_into().expect("8 bytes"))),
+        })
+    }
+}
+
+impl<R: Read> TraceSource for TraceFileSource<R> {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.read_record() {
+            Ok(a) => {
+                self.remaining -= 1;
+                Some(a)
+            }
+            Err(_) => {
+                // Truncated file: stop cleanly.
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{App, Scale};
+    use crate::source::VecSource;
+
+    fn collect<S: TraceSource>(mut s: S) -> Vec<MemAccess> {
+        let mut v = Vec::new();
+        while let Some(a) = s.next_access() {
+            v.push(a);
+        }
+        v
+    }
+
+    #[test]
+    fn round_trips_a_workload_prefix() {
+        let mut w = App::Dedup.workload(4, Scale::Tiny);
+        let mut original = Vec::new();
+        for _ in 0..5000 {
+            original.push(w.next_access().expect("enough accesses"));
+        }
+        let mut buf = Vec::new();
+        write_trace(VecSource::new(original.clone()), &mut buf).expect("write");
+        let replay = TraceFileSource::new(buf.as_slice()).expect("header");
+        assert_eq!(replay.len_hint(), Some(5000));
+        assert_eq!(collect(replay), original);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(TraceFileSource::new(&b"NOPE"[..]).is_err());
+        let mut buf = Vec::new();
+        write_trace(VecSource::new(vec![]), &mut buf).expect("write empty");
+        buf[4] = 99; // corrupt version
+        assert!(TraceFileSource::new(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_stops_cleanly() {
+        let mut w = App::Swim.workload(2, Scale::Tiny);
+        let records: Vec<MemAccess> = (0..100).map(|_| w.next_access().unwrap()).collect();
+        let mut buf = Vec::new();
+        write_trace(VecSource::new(records), &mut buf).expect("write");
+        buf.truncate(16 + 50 * RECORD_BYTES + 7); // mid-record
+        let replay = TraceFileSource::new(buf.as_slice()).expect("header");
+        let got = collect(replay);
+        assert_eq!(got.len(), 50);
+    }
+
+    #[test]
+    fn writer_enforces_declared_count() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, 1).expect("header");
+        let a = MemAccess::new(CoreId::new(0), Pc::new(4), Addr::new(64), AccessKind::Read);
+        w.write(&a).expect("first record");
+        assert!(w.write(&a).is_err(), "over-declared write must fail");
+        // Under-writing fails at finish.
+        let mut buf2 = Vec::new();
+        let w2 = TraceWriter::new(&mut buf2, 2).expect("header");
+        assert!(w2.finish().is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Virtual address-space layout for synthetic workloads.
+//!
+//! Workload models allocate [`Region`]s from a bump allocator
+//! ([`AddressSpace`]) at page granularity, and static code addresses
+//! ([`llc_sim::Pc`] values) from a [`PcAllocator`] so that each loop site
+//! in a pattern has a distinct, stable PC — the signal the PC-indexed
+//! sharing predictor keys on.
+
+use llc_sim::{Addr, BlockAddr, Pc, BLOCK_BYTES};
+
+/// Allocation granularity (4 KB pages).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A contiguous range of cache blocks owned by one data structure of the
+/// synthetic program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base_block: u64,
+    blocks: u64,
+}
+
+impl Region {
+    /// Number of cache blocks in the region.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.blocks * BLOCK_BYTES
+    }
+
+    /// The `i`-th block of the region (wrapping around the region length,
+    /// so patterns can index with free-running counters).
+    pub fn block(&self, i: u64) -> BlockAddr {
+        debug_assert!(self.blocks > 0);
+        BlockAddr::new(self.base_block + (i % self.blocks))
+    }
+
+    /// A byte address inside the `i`-th block (block-aligned; the
+    /// simulator only looks at block granularity).
+    pub fn addr(&self, i: u64) -> Addr {
+        self.block(i).first_byte()
+    }
+
+    /// Splits the region into `n` equal chunks (the last chunk absorbs the
+    /// remainder). Used to give each thread its own segment of a shared
+    /// array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the number of blocks.
+    pub fn split(&self, n: usize) -> Vec<Region> {
+        assert!(n > 0 && (n as u64) <= self.blocks, "cannot split {} blocks into {n}", self.blocks);
+        let chunk = self.blocks / n as u64;
+        (0..n as u64)
+            .map(|i| {
+                let last = i == n as u64 - 1;
+                Region {
+                    base_block: self.base_block + i * chunk,
+                    blocks: if last { self.blocks - i * chunk } else { chunk },
+                }
+            })
+            .collect()
+    }
+
+    /// `true` if `block` lies inside the region.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        let b = block.raw();
+        b >= self.base_block && b < self.base_block + self.blocks
+    }
+}
+
+/// Bump allocator for the synthetic program's data segment.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    next_block: u64,
+}
+
+impl AddressSpace {
+    /// Creates an address space whose data segment starts at 256 MB (clear
+    /// of the synthetic code addresses).
+    pub fn new() -> Self {
+        AddressSpace { next_block: (256 << 20) / BLOCK_BYTES }
+    }
+
+    /// Allocates a page-aligned region of at least `blocks` cache blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn alloc(&mut self, blocks: u64) -> Region {
+        assert!(blocks > 0, "cannot allocate an empty region");
+        let blocks_per_page = PAGE_BYTES / BLOCK_BYTES;
+        let rounded = blocks.div_ceil(blocks_per_page) * blocks_per_page;
+        let region = Region { base_block: self.next_block, blocks };
+        self.next_block += rounded;
+        region
+    }
+
+    /// Total bytes allocated so far (the workload's data footprint).
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.next_block - (256 << 20) / BLOCK_BYTES) * BLOCK_BYTES
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Allocator of synthetic static instruction addresses.
+///
+/// Each pattern requests one `site` per static load/store in its inner
+/// loop; sites are 4 bytes apart, sites of different patterns 4 KB apart,
+/// mimicking distinct functions.
+#[derive(Debug, Clone)]
+pub struct PcAllocator {
+    next: u64,
+}
+
+impl PcAllocator {
+    /// Creates an allocator whose code segment starts at 4 MB.
+    pub fn new() -> Self {
+        PcAllocator { next: 4 << 20 }
+    }
+
+    /// Allocates a block of `sites` consecutive instruction addresses and
+    /// returns their base; site `i` is `base + 4 * i`.
+    pub fn alloc(&mut self, sites: u32) -> PcSite {
+        let base = self.next;
+        self.next += 4096.max(u64::from(sites) * 4);
+        PcSite { base }
+    }
+}
+
+impl Default for PcAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A group of static instruction addresses belonging to one pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcSite {
+    base: u64,
+}
+
+impl PcSite {
+    /// The PC of site `i`.
+    pub fn pc(&self, i: u32) -> Pc {
+        Pc::new(self.base + u64::from(i) * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc(100);
+        let b = space.alloc(100);
+        for i in 0..100 {
+            assert!(!b.contains(a.block(i)), "overlap at {i}");
+            assert!(!a.contains(b.block(i)), "overlap at {i}");
+        }
+    }
+
+    #[test]
+    fn block_indexing_wraps() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(10);
+        assert_eq!(r.block(0), r.block(10));
+        assert_eq!(r.block(3), r.block(13));
+        assert!(r.contains(r.block(9)));
+    }
+
+    #[test]
+    fn split_partitions_blocks() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(10);
+        let parts = r.split(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Region::blocks).sum::<u64>(), 10);
+        assert_eq!(parts[2].blocks(), 4); // remainder absorbed
+        // Disjoint and covering.
+        for i in 0..10 {
+            let b = r.block(i);
+            let owners = parts.iter().filter(|p| p.contains(b)).count();
+            assert_eq!(owners, 1);
+        }
+    }
+
+    #[test]
+    fn footprint_accumulates_page_rounded() {
+        let mut space = AddressSpace::new();
+        space.alloc(1); // rounds to one page = 64 blocks
+        assert_eq!(space.footprint_bytes(), PAGE_BYTES);
+        space.alloc(65); // rounds to two pages
+        assert_eq!(space.footprint_bytes(), 3 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn pc_sites_are_distinct() {
+        let mut pcs = PcAllocator::new();
+        let a = pcs.alloc(4);
+        let b = pcs.alloc(4);
+        assert_ne!(a.pc(0), b.pc(0));
+        assert_eq!(a.pc(1).raw(), a.pc(0).raw() + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn zero_alloc_rejected() {
+        AddressSpace::new().alloc(0);
+    }
+}

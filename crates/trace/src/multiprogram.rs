@@ -1,0 +1,146 @@
+//! Multi-programmed workload mixes.
+//!
+//! The paper's opening observation is that most LLC management proposals
+//! target *multi-programmed* workloads — independent programs that only
+//! interfere, never share constructively. This combinator builds such
+//! mixes from the application models: each program gets its own slice of
+//! cores and a disjoint address-space window, so all cross-program reuse
+//! disappears and only intra-program sharing (among each program's own
+//! threads) remains. Comparing sharing-aware gains on a mix against the
+//! full multi-threaded runs isolates how much of the benefit comes from
+//! genuine cross-thread sharing.
+
+use llc_sim::{Addr, CoreId, MemAccess, MAX_CORES};
+
+use crate::apps::{App, Scale};
+use crate::source::TraceSource;
+use crate::workload::Workload;
+
+/// Address-space window per program (1 TiB: far larger than any model's
+/// footprint, so windows never collide).
+const PROGRAM_WINDOW_BYTES: u64 = 1 << 40;
+
+/// A multi-programmed mix of application models.
+pub struct Multiprogram {
+    programs: Vec<Workload>,
+    core_base: Vec<usize>,
+    next: usize,
+    remaining: u64,
+    total: u64,
+}
+
+impl Multiprogram {
+    /// Builds a mix running each app in `apps` with `threads_each`
+    /// threads; program `i` occupies cores
+    /// `[i * threads_each, (i+1) * threads_each)` and the address window
+    /// `[i * 1 TiB, …)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty or needs more than
+    /// [`MAX_CORES`] cores.
+    pub fn new(apps: &[App], threads_each: usize, scale: Scale) -> Self {
+        assert!(!apps.is_empty(), "a mix needs at least one program");
+        assert!(threads_each > 0, "programs need at least one thread");
+        assert!(apps.len() * threads_each <= MAX_CORES, "mix exceeds MAX_CORES");
+        let programs: Vec<Workload> =
+            apps.iter().map(|a| a.workload(threads_each, scale)).collect();
+        let total = programs.iter().map(|w| w.len_hint().unwrap_or(0)).sum();
+        Multiprogram {
+            core_base: (0..apps.len()).map(|i| i * threads_each).collect(),
+            programs,
+            next: 0,
+            remaining: total,
+            total,
+        }
+    }
+
+    /// Number of programs in the mix.
+    pub fn programs(&self) -> usize {
+        self.programs.len()
+    }
+}
+
+impl TraceSource for Multiprogram {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // Fair rotation over non-exhausted programs.
+        for _ in 0..self.programs.len() {
+            let i = self.next;
+            self.next = (self.next + 1) % self.programs.len();
+            if let Some(a) = self.programs[i].next_access() {
+                self.remaining -= 1;
+                return Some(MemAccess {
+                    core: CoreId::new(self.core_base[i] + a.core.index()),
+                    addr: Addr::new(a.addr.raw() + i as u64 * PROGRAM_WINDOW_BYTES),
+                    ..a
+                });
+            }
+        }
+        None
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+impl std::fmt::Debug for Multiprogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Multiprogram")
+            .field("programs", &self.programs.len())
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix_partitions_cores_and_addresses() {
+        let mut m = Multiprogram::new(&[App::Swim, App::Bodytrack], 2, Scale::Tiny);
+        assert_eq!(m.programs(), 2);
+        let mut cores_by_window: Vec<HashSet<usize>> = vec![HashSet::new(), HashSet::new()];
+        let mut n = 0u64;
+        while let Some(a) = m.next_access() {
+            let window = (a.addr.raw() / PROGRAM_WINDOW_BYTES) as usize;
+            assert!(window < 2, "address escaped its window");
+            cores_by_window[window].insert(a.core.index());
+            n += 1;
+        }
+        assert_eq!(n, 2 * 2 * Scale::Tiny.thread_accesses());
+        assert_eq!(cores_by_window[0], HashSet::from([0, 1]));
+        assert_eq!(cores_by_window[1], HashSet::from([2, 3]));
+    }
+
+    #[test]
+    fn no_cross_program_blocks() {
+        let mut m = Multiprogram::new(&[App::Fft, App::Fft], 2, Scale::Tiny);
+        // Identical programs — but their address windows must never
+        // overlap.
+        let mut windows_per_block: std::collections::HashMap<u64, u64> = Default::default();
+        while let Some(a) = m.next_access() {
+            let w = a.addr.raw() / PROGRAM_WINDOW_BYTES;
+            let e = windows_per_block.entry(a.addr.block().raw()).or_insert(w);
+            assert_eq!(*e, w, "block appears in two windows");
+        }
+    }
+
+    #[test]
+    fn budget_is_sum_of_programs() {
+        let m = Multiprogram::new(&[App::Swim, App::Water, App::Dedup], 2, Scale::Tiny);
+        assert_eq!(m.len_hint(), Some(3 * 2 * Scale::Tiny.thread_accesses()));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_CORES")]
+    fn rejects_oversized_mix() {
+        let apps = vec![App::Swim; 17];
+        let _ = Multiprogram::new(&apps, 2, Scale::Tiny);
+    }
+}

@@ -1,0 +1,98 @@
+//! Coarse-grained phase alternation between two sub-patterns.
+//!
+//! Barrier-structured programs (`fft`, `radix`, `mgrid`) do not blend
+//! communication and computation uniformly: they run long compute phases
+//! on private data separated by communication phases that touch shared
+//! data. [`PhaseAlternate`] reproduces that macro-structure — and with it
+//! the *bursty* sharing time-series of Fig. 11 that history-based
+//! fill-time predictors cannot track.
+
+use rand::rngs::SmallRng;
+
+use super::{Pattern, PatternAccess};
+
+/// Alternates between pattern `a` (for `a_len` accesses) and pattern `b`
+/// (for `b_len` accesses), repeating forever.
+pub struct PhaseAlternate {
+    a: Box<dyn Pattern>,
+    b: Box<dyn Pattern>,
+    a_len: u64,
+    b_len: u64,
+    step: u64,
+}
+
+impl PhaseAlternate {
+    /// Creates the alternation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either phase length is zero.
+    pub fn new(a: Box<dyn Pattern>, a_len: u64, b: Box<dyn Pattern>, b_len: u64) -> Self {
+        assert!(a_len > 0 && b_len > 0, "phase lengths must be non-zero");
+        PhaseAlternate { a, b, a_len, b_len, step: 0 }
+    }
+
+    /// `true` while the next access comes from pattern `a`.
+    pub fn in_phase_a(&self) -> bool {
+        self.step % (self.a_len + self.b_len) < self.a_len
+    }
+}
+
+impl Pattern for PhaseAlternate {
+    fn next_access(&mut self, rng: &mut SmallRng) -> PatternAccess {
+        let use_a = self.in_phase_a();
+        self.step += 1;
+        if use_a {
+            self.a.next_access(rng)
+        } else {
+            self.b.next_access(rng)
+        }
+    }
+}
+
+impl std::fmt::Debug for PhaseAlternate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseAlternate")
+            .field("a_len", &self.a_len)
+            .field("b_len", &self.b_len)
+            .field("step", &self.step)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::AddressSpace;
+    use crate::layout::PcAllocator;
+    use crate::patterns::testutil::drain;
+    use crate::patterns::PrivateStream;
+
+    #[test]
+    fn alternates_in_long_stretches() {
+        let mut space = AddressSpace::new();
+        let ra = space.alloc(16);
+        let rb = space.alloc(16);
+        let mut pcs = PcAllocator::new();
+        let a = PrivateStream::new(ra, pcs.alloc(1), 0, 1);
+        let b = PrivateStream::new(rb, pcs.alloc(1), 0, 1);
+        let mut p = PhaseAlternate::new(Box::new(a), 5, Box::new(b), 3);
+        let accs = drain(&mut p, 16);
+        for (i, acc) in accs.iter().enumerate() {
+            let in_a = (i as u64) % 8 < 5;
+            assert_eq!(ra.contains(acc.block), in_a, "access {i}");
+            assert_eq!(rb.contains(acc.block), !in_a, "access {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase lengths")]
+    fn rejects_zero_length_phase() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(16);
+        let mut pcs = PcAllocator::new();
+        let a = PrivateStream::new(r, pcs.alloc(1), 0, 1);
+        let b = PrivateStream::new(r, pcs.alloc(1), 0, 1);
+        let _ = PhaseAlternate::new(Box::new(a), 0, Box::new(b), 1);
+    }
+}

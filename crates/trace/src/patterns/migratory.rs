@@ -1,0 +1,144 @@
+//! Migratory read-write sharing (`water`-, `barnes`-like object updates
+//! under locks).
+//!
+//! Objects (a few blocks each) are "held" by one thread for a burst of
+//! read-modify-write accesses, then logically passed to the next thread.
+//! Every thread's schedule is a rotation of the same object sequence, so
+//! as the interleaver advances all threads at a similar rate, each object
+//! is touched by a succession of different cores — the classic migratory
+//! pattern in which a block's sharer set grows slowly but its write set
+//! matches its read set.
+
+use llc_sim::AccessKind;
+use rand::rngs::SmallRng;
+
+use crate::layout::{PcSite, Region};
+
+use super::{Pattern, PatternAccess};
+
+/// Migratory-object pattern; construct one per thread over the *same*
+/// region with that thread's `tid`.
+#[derive(Debug, Clone)]
+pub struct Migratory {
+    region: Region,
+    site: PcSite,
+    objects: u64,
+    blocks_per_obj: u64,
+    hold: u64,
+    tid: u64,
+    threads: u64,
+    step: u64,
+    instr_gap: u32,
+}
+
+impl Migratory {
+    /// Creates the pattern.
+    ///
+    /// * `objects` — number of migratory objects carved out of `region`
+    ///   (clamped so each object has at least one block);
+    /// * `hold` — accesses a thread performs on an object before moving
+    ///   on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or `tid >= threads`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        region: Region,
+        site: PcSite,
+        objects: u64,
+        hold: u64,
+        tid: u64,
+        threads: u64,
+        instr_gap: u32,
+    ) -> Self {
+        assert!(threads > 0 && tid < threads, "bad thread index");
+        let objects = objects.clamp(1, region.blocks());
+        let blocks_per_obj = region.blocks() / objects;
+        Migratory {
+            region,
+            site,
+            objects,
+            blocks_per_obj: blocks_per_obj.max(1),
+            hold: hold.max(2),
+            tid,
+            threads,
+            step: 0,
+            instr_gap,
+        }
+    }
+}
+
+impl Pattern for Migratory {
+    fn next_access(&mut self, _rng: &mut SmallRng) -> PatternAccess {
+        let round = self.step / self.hold;
+        let within = self.step % self.hold;
+        self.step += 1;
+        // Rotate each thread's start so object j is visited by thread t at
+        // round ≡ j - t * objects/threads (mod objects): a hand-off chain.
+        let offset = self.tid * (self.objects / self.threads).max(1);
+        let obj = (round + offset) % self.objects;
+        let block_in_obj = within % self.blocks_per_obj;
+        // First half of the hold reads, second half writes back.
+        let write = within * 2 >= self.hold;
+        PatternAccess {
+            block: self.region.block(obj * self.blocks_per_obj + block_in_obj),
+            pc: self.site.pc(if write { 1 } else { 0 }),
+            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            instr_gap: self.instr_gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AddressSpace, PcAllocator};
+    use crate::patterns::testutil::drain;
+
+    #[test]
+    fn holds_object_for_hold_accesses() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(64);
+        let mut p = Migratory::new(r, PcAllocator::new().alloc(2), 16, 8, 0, 4, 5);
+        let accs = drain(&mut p, 16);
+        // First 8 accesses hit object 0's blocks, next 8 hit object 1's.
+        let obj_blocks = 64 / 16;
+        for a in &accs[..8] {
+            assert!(a.block.raw() - r.block(0).raw() < obj_blocks);
+        }
+        for a in &accs[8..] {
+            let off = a.block.raw() - r.block(0).raw();
+            assert!((obj_blocks..2 * obj_blocks).contains(&off));
+        }
+    }
+
+    #[test]
+    fn reads_then_writes_within_hold() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(64);
+        let mut p = Migratory::new(r, PcAllocator::new().alloc(2), 16, 8, 0, 4, 5);
+        let accs = drain(&mut p, 8);
+        assert!(accs[..4].iter().all(|a| !a.kind.is_write()));
+        assert!(accs[4..].iter().all(|a| a.kind.is_write()));
+    }
+
+    #[test]
+    fn different_threads_visit_same_objects_at_different_rounds() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(64);
+        let pcs = PcAllocator::new().alloc(2);
+        let mut t0 = Migratory::new(r, pcs, 16, 4, 0, 4, 5);
+        let mut t1 = Migratory::new(r, pcs, 16, 4, 1, 4, 5);
+        let a0 = drain(&mut t0, 64);
+        let a1 = drain(&mut t1, 64);
+        // Same time step => different objects (no concurrent holders).
+        for (x, y) in a0.iter().zip(&a1) {
+            assert_ne!(x.block, y.block);
+        }
+        // But over the run, both touch overlapping object sets.
+        let s0: std::collections::HashSet<_> = a0.iter().map(|a| a.block).collect();
+        let s1: std::collections::HashSet<_> = a1.iter().map(|a| a.block).collect();
+        assert!(s0.intersection(&s1).count() > 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Access-pattern primitives.
+//!
+//! Every synthetic application is a per-thread weighted mixture of these
+//! primitives. Each primitive captures one sharing behaviour from the
+//! taxonomy the multi-threaded characterization literature (SPLASH-2,
+//! PARSEC) established:
+//!
+//! | primitive | sharing behaviour |
+//! |---|---|
+//! | [`PrivateStream`] | none (sequential private data) |
+//! | [`PrivateWorkingSet`] | none (reused private data) |
+//! | [`SharedReadOnly`] | read-only sharing, skewed popularity |
+//! | [`LockHot`] | high-contention read-write sharing |
+//! | [`Producer`] / [`Consumer`] | pipeline (one-way read-write) sharing |
+//! | [`Migratory`] | migratory read-write sharing |
+//! | [`Stencil`] | boundary (nearest-neighbour) sharing |
+//! | [`Transpose`] | barrier-phased all-to-all sharing |
+//! | [`PhaseAlternate`] | coarse compute/communicate phase structure |
+
+mod alternate;
+mod migratory;
+mod pipeline;
+mod private;
+mod shared;
+mod stencil;
+
+pub use alternate::PhaseAlternate;
+pub use migratory::Migratory;
+pub use pipeline::{pipeline_channel, Consumer, Producer};
+pub use private::{PrivateStream, PrivateWorkingSet};
+pub use shared::{LockHot, SharedReadOnly};
+pub use stencil::{Stencil, Transpose};
+
+use llc_sim::{AccessKind, BlockAddr, Pc};
+use rand::rngs::SmallRng;
+
+/// One access produced by a pattern (thread and absolute ordering are
+/// added by the interleaver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternAccess {
+    /// Block touched.
+    pub block: BlockAddr,
+    /// Static instruction issuing the access.
+    pub pc: Pc,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Instructions represented by this access (the access itself plus
+    /// surrounding non-memory work).
+    pub instr_gap: u32,
+}
+
+/// A per-thread access-pattern generator.
+///
+/// Implementations are infinite streams: the workload layer decides how
+/// many accesses each thread contributes.
+pub trait Pattern {
+    /// Produces the next access of this pattern.
+    fn next_access(&mut self, rng: &mut SmallRng) -> PatternAccess;
+}
+
+impl<P: Pattern + ?Sized> Pattern for Box<P> {
+    fn next_access(&mut self, rng: &mut SmallRng) -> PatternAccess {
+        (**self).next_access(rng)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    use super::{Pattern, PatternAccess};
+
+    pub fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xfeed)
+    }
+
+    /// Pulls `n` accesses from a pattern.
+    pub fn drain<P: Pattern>(p: &mut P, n: usize) -> Vec<PatternAccess> {
+        let mut rng = rng();
+        (0..n).map(|_| p.next_access(&mut rng)).collect()
+    }
+}

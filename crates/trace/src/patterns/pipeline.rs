@@ -1,0 +1,163 @@
+//! Producer–consumer pipeline sharing (`dedup`-, `ferret`-, `x264`-like
+//! stage pipelines).
+//!
+//! A producer thread writes sequential blocks of a ring buffer; a consumer
+//! thread reads the same blocks a configurable lag behind. Each block is
+//! therefore written by one core and read by another shortly afterwards —
+//! one-way read-write sharing with a short sharing window, the pattern
+//! that makes early eviction of soon-to-be-consumed blocks so costly.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use llc_sim::AccessKind;
+use rand::rngs::SmallRng;
+
+use crate::layout::{PcSite, Region};
+
+use super::{Pattern, PatternAccess};
+
+/// Shared ring-head position of one pipeline channel.
+///
+/// `Rc<Cell<_>>` because all thread generators of a workload run on one OS
+/// thread; a trace source is not `Send`.
+pub type ChannelHead = Rc<Cell<u64>>;
+
+/// Creates the producer and consumer halves of a pipeline channel over
+/// `ring`.
+///
+/// `lag` is how many blocks the consumer trails the producer; it is
+/// clamped to at least 1.
+pub fn pipeline_channel(
+    ring: Region,
+    producer_site: PcSite,
+    consumer_site: PcSite,
+    lag: u64,
+    instr_gap: u32,
+) -> (Producer, Consumer) {
+    let head: ChannelHead = Rc::new(Cell::new(0));
+    (
+        Producer { ring, site: producer_site, head: Rc::clone(&head), instr_gap },
+        Consumer { ring, site: consumer_site, head, lag: lag.max(1), pos: 0, instr_gap },
+    )
+}
+
+/// The writing half of a pipeline channel.
+#[derive(Debug, Clone)]
+pub struct Producer {
+    ring: Region,
+    site: PcSite,
+    head: ChannelHead,
+    instr_gap: u32,
+}
+
+impl Pattern for Producer {
+    fn next_access(&mut self, _rng: &mut SmallRng) -> PatternAccess {
+        let h = self.head.get();
+        self.head.set(h + 1);
+        PatternAccess {
+            block: self.ring.block(h),
+            pc: self.site.pc(0),
+            kind: AccessKind::Write,
+            instr_gap: self.instr_gap,
+        }
+    }
+}
+
+/// The reading half of a pipeline channel.
+#[derive(Debug, Clone)]
+pub struct Consumer {
+    ring: Region,
+    site: PcSite,
+    head: ChannelHead,
+    lag: u64,
+    pos: u64,
+    instr_gap: u32,
+}
+
+impl Pattern for Consumer {
+    fn next_access(&mut self, _rng: &mut SmallRng) -> PatternAccess {
+        // Chase the producer, staying `lag` blocks behind; when caught up,
+        // re-read the most recent block (a stalled consumer polling).
+        let target = self.head.get().saturating_sub(self.lag);
+        if self.pos < target {
+            self.pos += 1;
+        }
+        PatternAccess {
+            block: self.ring.block(self.pos),
+            pc: self.site.pc(0),
+            kind: AccessKind::Read,
+            instr_gap: self.instr_gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AddressSpace, PcAllocator};
+    use crate::patterns::testutil::rng;
+
+    #[test]
+    fn consumer_reads_what_producer_wrote() {
+        let mut space = AddressSpace::new();
+        let ring = space.alloc(64);
+        let mut pcs = PcAllocator::new();
+        let (mut p, mut c) = pipeline_channel(ring, pcs.alloc(1), pcs.alloc(1), 4, 2);
+        let mut r = rng();
+        let mut produced = Vec::new();
+        for _ in 0..20 {
+            produced.push(p.next_access(&mut r).block);
+        }
+        let mut consumed = Vec::new();
+        for _ in 0..16 {
+            consumed.push(c.next_access(&mut r).block);
+        }
+        // Consumer visits the produced prefix in order (after its first
+        // catch-up step).
+        for (i, b) in consumed.iter().enumerate() {
+            assert_eq!(*b, produced[i + 1], "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn consumer_respects_lag() {
+        let mut space = AddressSpace::new();
+        let ring = space.alloc(64);
+        let mut pcs = PcAllocator::new();
+        let (mut p, mut c) = pipeline_channel(ring, pcs.alloc(1), pcs.alloc(1), 8, 1);
+        let mut r = rng();
+        for _ in 0..10 {
+            p.next_access(&mut r);
+        }
+        // Consumer may advance at most head - lag = 2 steps.
+        let mut last = None;
+        for _ in 0..10 {
+            last = Some(c.next_access(&mut r).block);
+        }
+        assert_eq!(last.unwrap(), ring.block(2));
+    }
+
+    #[test]
+    fn producer_writes_consumer_reads() {
+        let mut space = AddressSpace::new();
+        let ring = space.alloc(16);
+        let mut pcs = PcAllocator::new();
+        let (mut p, mut c) = pipeline_channel(ring, pcs.alloc(1), pcs.alloc(1), 1, 1);
+        let mut r = rng();
+        assert!(p.next_access(&mut r).kind.is_write());
+        assert!(!c.next_access(&mut r).kind.is_write());
+    }
+
+    #[test]
+    fn idle_channel_consumer_polls_block_zero() {
+        let mut space = AddressSpace::new();
+        let ring = space.alloc(16);
+        let mut pcs = PcAllocator::new();
+        let (_p, mut c) = pipeline_channel(ring, pcs.alloc(1), pcs.alloc(1), 4, 1);
+        let mut r = rng();
+        for _ in 0..5 {
+            assert_eq!(c.next_access(&mut r).block, ring.block(0));
+        }
+    }
+}

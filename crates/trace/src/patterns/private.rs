@@ -1,0 +1,144 @@
+//! Private (unshared) access patterns.
+
+use llc_sim::AccessKind;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::layout::{PcSite, Region};
+use crate::zipf::ZipfSampler;
+
+use super::{Pattern, PatternAccess};
+
+/// Sequential streaming over a private region (the dominant behaviour of
+/// `blackscholes`- and `swim`-like codes): reads with an occasional store,
+/// no reuse until the region wraps.
+#[derive(Debug, Clone)]
+pub struct PrivateStream {
+    region: Region,
+    site: PcSite,
+    pos: u64,
+    /// Every `write_every`-th access is a store; 0 disables stores.
+    write_every: u32,
+    counter: u32,
+    instr_gap: u32,
+}
+
+impl PrivateStream {
+    /// Creates a streaming pattern over `region`.
+    pub fn new(region: Region, site: PcSite, write_every: u32, instr_gap: u32) -> Self {
+        PrivateStream { region, site, pos: 0, write_every, counter: 0, instr_gap }
+    }
+}
+
+impl Pattern for PrivateStream {
+    fn next_access(&mut self, _rng: &mut SmallRng) -> PatternAccess {
+        self.counter = self.counter.wrapping_add(1);
+        let write = self.write_every > 0 && self.counter % self.write_every == 0;
+        let a = PatternAccess {
+            block: self.region.block(self.pos),
+            pc: self.site.pc(if write { 1 } else { 0 }),
+            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            instr_gap: self.instr_gap,
+        };
+        self.pos += 1;
+        a
+    }
+}
+
+/// Reused private working set (per-thread scratch data): Zipf-popular
+/// blocks of a private region with a configurable store fraction.
+#[derive(Debug, Clone)]
+pub struct PrivateWorkingSet {
+    region: Region,
+    site: PcSite,
+    zipf: ZipfSampler,
+    write_pct: u8,
+    instr_gap: u32,
+}
+
+impl PrivateWorkingSet {
+    /// Creates a working-set pattern over `region` with Zipf exponent
+    /// `theta` and `write_pct`% stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_pct > 100`.
+    pub fn new(region: Region, site: PcSite, theta: f64, write_pct: u8, instr_gap: u32) -> Self {
+        assert!(write_pct <= 100, "write percentage out of range");
+        let zipf = ZipfSampler::new(region.blocks().min(crate::zipf::MAX_SUPPORT), theta);
+        PrivateWorkingSet { region, site, zipf, write_pct, instr_gap }
+    }
+}
+
+impl Pattern for PrivateWorkingSet {
+    fn next_access(&mut self, rng: &mut SmallRng) -> PatternAccess {
+        let rank = self.zipf.sample(rng);
+        // Spread popular ranks across the region so the hot set is not one
+        // dense prefix of sets.
+        let idx = llc_sim::splitmix64(rank) % self.region.blocks();
+        let write = rng.gen_range(0..100) < u32::from(self.write_pct);
+        PatternAccess {
+            block: self.region.block(idx),
+            pc: self.site.pc(if write { 1 } else { 0 }),
+            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            instr_gap: self.instr_gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AddressSpace, PcAllocator};
+    use crate::patterns::testutil::drain;
+
+    #[test]
+    fn stream_walks_sequentially_and_wraps() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(4);
+        let mut p = PrivateStream::new(r, PcAllocator::new().alloc(2), 0, 3);
+        let accs = drain(&mut p, 8);
+        for (i, a) in accs.iter().enumerate() {
+            assert_eq!(a.block, r.block(i as u64));
+            assert_eq!(a.kind, AccessKind::Read);
+            assert_eq!(a.instr_gap, 3);
+        }
+        assert_eq!(accs[0].block, accs[4].block);
+    }
+
+    #[test]
+    fn stream_write_cadence() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(64);
+        let mut p = PrivateStream::new(r, PcAllocator::new().alloc(2), 4, 1);
+        let accs = drain(&mut p, 16);
+        let writes = accs.iter().filter(|a| a.kind.is_write()).count();
+        assert_eq!(writes, 4);
+        // Reads and writes use different PCs.
+        let rpc = accs.iter().find(|a| !a.kind.is_write()).unwrap().pc;
+        let wpc = accs.iter().find(|a| a.kind.is_write()).unwrap().pc;
+        assert_ne!(rpc, wpc);
+    }
+
+    #[test]
+    fn working_set_stays_in_region_with_requested_write_mix() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(128);
+        let mut p = PrivateWorkingSet::new(r, PcAllocator::new().alloc(2), 0.9, 30, 2);
+        let accs = drain(&mut p, 2000);
+        assert!(accs.iter().all(|a| r.contains(a.block)));
+        let writes = accs.iter().filter(|a| a.kind.is_write()).count();
+        assert!((400..800).contains(&writes), "write count {writes}");
+    }
+
+    #[test]
+    fn working_set_exhibits_reuse() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(1024);
+        let mut p = PrivateWorkingSet::new(r, PcAllocator::new().alloc(2), 1.1, 0, 1);
+        let accs = drain(&mut p, 4000);
+        let distinct: std::collections::HashSet<_> = accs.iter().map(|a| a.block).collect();
+        // Strong skew: far fewer distinct blocks than accesses.
+        assert!(distinct.len() < 1000, "distinct blocks {}", distinct.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Shared-data access patterns: read-only tables and contended hot blocks.
+
+use llc_sim::AccessKind;
+use rand::rngs::SmallRng;
+
+use crate::layout::{PcSite, Region};
+use crate::zipf::ZipfSampler;
+
+use super::{Pattern, PatternAccess};
+
+/// Read-only shared table with Zipf popularity (a `bodytrack`-like model,
+/// a `ferret`-like database, `streamcluster`-like centres): every thread
+/// reads the same region, so popular blocks accumulate many sharers while
+/// staying clean.
+#[derive(Debug, Clone)]
+pub struct SharedReadOnly {
+    region: Region,
+    site: PcSite,
+    zipf: ZipfSampler,
+    instr_gap: u32,
+}
+
+impl SharedReadOnly {
+    /// Creates a read-only shared pattern; construct one per thread over
+    /// the *same* region.
+    pub fn new(region: Region, site: PcSite, theta: f64, instr_gap: u32) -> Self {
+        let zipf = ZipfSampler::new(region.blocks().min(crate::zipf::MAX_SUPPORT), theta);
+        SharedReadOnly { region, site, zipf, instr_gap }
+    }
+}
+
+impl Pattern for SharedReadOnly {
+    fn next_access(&mut self, rng: &mut SmallRng) -> PatternAccess {
+        let rank = self.zipf.sample(rng);
+        let idx = llc_sim::splitmix64(rank) % self.region.blocks();
+        PatternAccess {
+            block: self.region.block(idx),
+            pc: self.site.pc(0),
+            kind: AccessKind::Read,
+            instr_gap: self.instr_gap,
+        }
+    }
+}
+
+/// Contended read-modify-write blocks (lock words, reduction variables,
+/// shared counters): each visit is a load followed by a store to the same
+/// block, producing intense read-write sharing and coherence ping-pong.
+#[derive(Debug, Clone)]
+pub struct LockHot {
+    region: Region,
+    site: PcSite,
+    zipf: ZipfSampler,
+    pending_store: Option<u64>,
+    instr_gap: u32,
+}
+
+impl LockHot {
+    /// Creates a contended-hot-block pattern; construct one per thread
+    /// over the *same* small region.
+    pub fn new(region: Region, site: PcSite, instr_gap: u32) -> Self {
+        let zipf = ZipfSampler::new(region.blocks(), 0.6);
+        LockHot { region, site, zipf, pending_store: None, instr_gap }
+    }
+}
+
+impl Pattern for LockHot {
+    fn next_access(&mut self, rng: &mut SmallRng) -> PatternAccess {
+        if let Some(idx) = self.pending_store.take() {
+            return PatternAccess {
+                block: self.region.block(idx),
+                pc: self.site.pc(1),
+                kind: AccessKind::Write,
+                instr_gap: self.instr_gap,
+            };
+        }
+        let idx = self.zipf.sample(rng);
+        self.pending_store = Some(idx);
+        PatternAccess {
+            block: self.region.block(idx),
+            pc: self.site.pc(0),
+            kind: AccessKind::Read,
+            instr_gap: self.instr_gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AddressSpace, PcAllocator};
+    use crate::patterns::testutil::drain;
+
+    #[test]
+    fn shared_read_only_never_writes() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(256);
+        let mut p = SharedReadOnly::new(r, PcAllocator::new().alloc(1), 1.0, 2);
+        let accs = drain(&mut p, 1000);
+        assert!(accs.iter().all(|a| !a.kind.is_write()));
+        assert!(accs.iter().all(|a| r.contains(a.block)));
+    }
+
+    #[test]
+    fn two_threads_share_popular_blocks() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(256);
+        let pcs = PcAllocator::new().alloc(1);
+        let mut t0 = SharedReadOnly::new(r, pcs, 1.0, 2);
+        let mut t1 = SharedReadOnly::new(r, pcs, 1.0, 2);
+        let a0: std::collections::HashSet<_> = drain(&mut t0, 500).iter().map(|a| a.block).collect();
+        let a1: std::collections::HashSet<_> = drain(&mut t1, 500).iter().map(|a| a.block).collect();
+        let common = a0.intersection(&a1).count();
+        assert!(common > 20, "threads share only {common} blocks");
+    }
+
+    #[test]
+    fn lock_hot_is_rmw_pairs() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(4);
+        let mut p = LockHot::new(r, PcAllocator::new().alloc(2), 6);
+        let accs = drain(&mut p, 10);
+        for pair in accs.chunks(2) {
+            assert_eq!(pair[0].kind, AccessKind::Read);
+            assert_eq!(pair[1].kind, AccessKind::Write);
+            assert_eq!(pair[0].block, pair[1].block);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Spatially structured sharing: nearest-neighbour stencils and
+//! barrier-phased all-to-all transposes.
+
+use llc_sim::AccessKind;
+use rand::rngs::SmallRng;
+
+use crate::layout::{PcSite, Region};
+
+use super::{Pattern, PatternAccess};
+
+/// Nearest-neighbour stencil sweep (`ocean`-, `fluidanimate`-,
+/// `mgrid`-like): a thread sweeps its own partition row by row
+/// (read-modify-write) and reads halo rows owned by its left and right
+/// neighbours at each row boundary. Only the boundary blocks are shared;
+/// interior blocks stay private — exactly the "small shared surface, large
+/// private volume" profile of grid codes.
+#[derive(Debug, Clone)]
+pub struct Stencil {
+    own: Region,
+    left: Region,
+    right: Region,
+    site: PcSite,
+    row_blocks: u64,
+    step: u64,
+    instr_gap: u32,
+}
+
+impl Stencil {
+    /// Creates a stencil over a thread's `own` partition, with the `left`
+    /// and `right` neighbours' partitions for halo reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_blocks` is zero.
+    pub fn new(
+        own: Region,
+        left: Region,
+        right: Region,
+        site: PcSite,
+        row_blocks: u64,
+        instr_gap: u32,
+    ) -> Self {
+        assert!(row_blocks > 0, "rows must be non-empty");
+        Stencil { own, left, right, site, row_blocks, step: 0, instr_gap }
+    }
+}
+
+impl Pattern for Stencil {
+    fn next_access(&mut self, _rng: &mut SmallRng) -> PatternAccess {
+        // Each "row" costs row_blocks + 2 accesses: halo read left, halo
+        // read right, then a RMW-ish sweep of the row (reads with a write
+        // every other block).
+        let cost = self.row_blocks + 2;
+        let row = self.step / cost;
+        let pos = self.step % cost;
+        self.step += 1;
+        if pos == 0 {
+            // Halo from the left neighbour: its *last* row of this sweep.
+            return PatternAccess {
+                block: self.left.block((row + 1) * self.row_blocks - 1),
+                pc: self.site.pc(0),
+                kind: AccessKind::Read,
+                instr_gap: self.instr_gap,
+            };
+        }
+        if pos == 1 {
+            // Halo from the right neighbour: its *first* row block.
+            return PatternAccess {
+                block: self.right.block(row * self.row_blocks),
+                pc: self.site.pc(1),
+                kind: AccessKind::Read,
+                instr_gap: self.instr_gap,
+            };
+        }
+        let i = row * self.row_blocks + (pos - 2);
+        let write = pos % 2 == 0;
+        PatternAccess {
+            block: self.own.block(i),
+            pc: self.site.pc(if write { 3 } else { 2 }),
+            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            instr_gap: self.instr_gap,
+        }
+    }
+}
+
+/// Barrier-phased all-to-all exchange (`fft`-, `radix`-like transpose):
+/// in phase *p*, thread *t* reads the matrix segment owned by thread
+/// `(t + p) mod n` and writes its own segment. The set of blocks a thread
+/// shares changes completely at every phase boundary — the phase-shifting
+/// behaviour that defeats history-based sharing predictors.
+#[derive(Debug, Clone)]
+pub struct Transpose {
+    segments: Vec<Region>,
+    own: usize,
+    site: PcSite,
+    phase_len: u64,
+    step: u64,
+    instr_gap: u32,
+}
+
+impl Transpose {
+    /// Creates the pattern for thread `own` over all threads' `segments`.
+    ///
+    /// `phase_len` is the number of accesses per phase (per thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, `own` is out of range, or
+    /// `phase_len` is zero.
+    pub fn new(
+        segments: Vec<Region>,
+        own: usize,
+        site: PcSite,
+        phase_len: u64,
+        instr_gap: u32,
+    ) -> Self {
+        assert!(!segments.is_empty() && own < segments.len(), "bad segment index");
+        assert!(phase_len > 0, "phase length must be non-zero");
+        Transpose { segments, own, site, phase_len, step: 0, instr_gap }
+    }
+
+    /// The phase the pattern is currently in.
+    pub fn phase(&self) -> u64 {
+        self.step / (2 * self.phase_len)
+    }
+}
+
+impl Pattern for Transpose {
+    fn next_access(&mut self, _rng: &mut SmallRng) -> PatternAccess {
+        // A phase is phase_len (read src, write own) pairs.
+        let pair = self.step / 2;
+        let is_write = self.step % 2 == 1;
+        let phase = pair / self.phase_len;
+        let pos = pair % self.phase_len;
+        self.step += 1;
+        let n = self.segments.len() as u64;
+        if is_write {
+            PatternAccess {
+                block: self.segments[self.own].block(pos),
+                pc: self.site.pc(1),
+                kind: AccessKind::Write,
+                instr_gap: self.instr_gap,
+            }
+        } else {
+            let src = ((self.own as u64 + phase) % n) as usize;
+            PatternAccess {
+                block: self.segments[src].block(pos),
+                pc: self.site.pc(0),
+                kind: AccessKind::Read,
+                instr_gap: self.instr_gap,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AddressSpace, PcAllocator};
+    use crate::patterns::testutil::drain;
+
+    fn three_regions() -> (Region, Region, Region) {
+        let mut space = AddressSpace::new();
+        (space.alloc(64), space.alloc(64), space.alloc(64))
+    }
+
+    #[test]
+    fn stencil_reads_both_halos_each_row() {
+        let (own, left, right) = three_regions();
+        let mut p = Stencil::new(own, left, right, PcAllocator::new().alloc(4), 6, 3);
+        let accs = drain(&mut p, 16); // two rows of cost 8
+        assert!(left.contains(accs[0].block));
+        assert!(right.contains(accs[1].block));
+        assert!(accs[2..8].iter().all(|a| own.contains(a.block)));
+        assert!(left.contains(accs[8].block));
+        assert!(right.contains(accs[9].block));
+    }
+
+    #[test]
+    fn stencil_halos_are_read_only_interior_is_rmw() {
+        let (own, left, right) = three_regions();
+        let mut p = Stencil::new(own, left, right, PcAllocator::new().alloc(4), 6, 3);
+        let accs = drain(&mut p, 8);
+        assert!(!accs[0].kind.is_write());
+        assert!(!accs[1].kind.is_write());
+        assert!(accs[2..8].iter().any(|a| a.kind.is_write()));
+        assert!(accs[2..8].iter().any(|a| !a.kind.is_write()));
+    }
+
+    #[test]
+    fn transpose_rotates_source_segment_per_phase() {
+        let mut space = AddressSpace::new();
+        let segs = vec![space.alloc(16), space.alloc(16), space.alloc(16)];
+        let mut p = Transpose::new(segs.clone(), 0, PcAllocator::new().alloc(2), 4, 2);
+        // Phase 0: reads own (src = 0). 4 pairs = 8 accesses.
+        let phase0 = drain(&mut p, 8);
+        for pair in phase0.chunks(2) {
+            assert!(segs[0].contains(pair[0].block));
+            assert!(pair[1].kind.is_write());
+            assert!(segs[0].contains(pair[1].block));
+        }
+        assert_eq!(p.phase(), 1);
+        // Phase 1: reads segment 1, writes own.
+        let phase1 = drain(&mut p, 8);
+        for pair in phase1.chunks(2) {
+            assert!(segs[1].contains(pair[0].block));
+            assert!(!pair[0].kind.is_write());
+            assert!(segs[0].contains(pair[1].block));
+        }
+    }
+
+    #[test]
+    fn transpose_threads_cross_read_each_other() {
+        let mut space = AddressSpace::new();
+        let segs = vec![space.alloc(16), space.alloc(16)];
+        let pcs = PcAllocator::new().alloc(2);
+        let mut t0 = Transpose::new(segs.clone(), 0, pcs, 4, 2);
+        let mut t1 = Transpose::new(segs.clone(), 1, pcs, 4, 2);
+        // Phase 1 for both: t0 reads seg1, t1 reads seg0.
+        let a0 = drain(&mut t0, 16);
+        let a1 = drain(&mut t1, 16);
+        assert!(a0[8..].iter().step_by(2).all(|a| segs[1].contains(a.block)));
+        assert!(a1[8..].iter().step_by(2).all(|a| segs[0].contains(a.block)));
+    }
+}

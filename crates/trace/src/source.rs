@@ -1,0 +1,83 @@
+//! The trace-source abstraction consumed by the simulator driver.
+
+use llc_sim::MemAccess;
+
+/// A finite stream of memory accesses.
+///
+/// Trace sources are consumed on a single thread and need not be `Send`
+/// (workload generators share in-process channel state via `Rc`).
+pub trait TraceSource {
+    /// Produces the next access, or `None` when the trace is exhausted.
+    fn next_access(&mut self) -> Option<MemAccess>;
+
+    /// Total number of accesses this source will produce, if known.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        (**self).next_access()
+    }
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+/// A trace source backed by a vector (tests and replaying recorded
+/// traces).
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    accesses: std::vec::IntoIter<MemAccess>,
+    len: u64,
+}
+
+impl VecSource {
+    /// Creates a source replaying `accesses` in order.
+    pub fn new(accesses: Vec<MemAccess>) -> Self {
+        let len = accesses.len() as u64;
+        VecSource { accesses: accesses.into_iter(), len }
+    }
+}
+
+impl TraceSource for VecSource {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        self.accesses.next()
+    }
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.len)
+    }
+}
+
+impl FromIterator<MemAccess> for VecSource {
+    fn from_iter<I: IntoIterator<Item = MemAccess>>(iter: I) -> Self {
+        VecSource::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::{AccessKind, Addr, CoreId, Pc};
+
+    fn acc(i: u64) -> MemAccess {
+        MemAccess::new(CoreId::new(0), Pc::new(i), Addr::new(i * 64), AccessKind::Read)
+    }
+
+    #[test]
+    fn vec_source_replays_in_order() {
+        let mut s = VecSource::new(vec![acc(1), acc(2), acc(3)]);
+        assert_eq!(s.len_hint(), Some(3));
+        assert_eq!(s.next_access().unwrap().pc, Pc::new(1));
+        assert_eq!(s.next_access().unwrap().pc, Pc::new(2));
+        assert_eq!(s.next_access().unwrap().pc, Pc::new(3));
+        assert!(s.next_access().is_none());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: VecSource = (0..5).map(acc).collect();
+        assert_eq!(s.len_hint(), Some(5));
+    }
+}

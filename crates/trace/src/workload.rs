@@ -1,0 +1,257 @@
+//! Multi-threaded workload assembly: per-thread pattern mixtures and the
+//! access interleaver.
+
+use llc_sim::{splitmix64, CoreId, MemAccess};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::patterns::Pattern;
+use crate::source::TraceSource;
+
+/// One simulated thread: a weighted mixture of patterns and an access
+/// budget.
+pub struct ThreadSpec {
+    arms: Vec<(u32, Box<dyn Pattern>)>,
+    total_weight: u32,
+    accesses: u64,
+}
+
+impl ThreadSpec {
+    /// Creates a thread that issues `accesses` accesses drawn from the
+    /// weighted `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Pattern>)>, accesses: u64) -> Self {
+        assert!(!arms.is_empty(), "a thread needs at least one pattern");
+        let total_weight: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total_weight > 0, "total pattern weight must be non-zero");
+        ThreadSpec { arms, total_weight, accesses }
+    }
+
+    /// Convenience: a thread running a single pattern.
+    pub fn single(pattern: Box<dyn Pattern>, accesses: u64) -> Self {
+        ThreadSpec::new(vec![(1, pattern)], accesses)
+    }
+}
+
+impl std::fmt::Debug for ThreadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadSpec")
+            .field("arms", &self.arms.len())
+            .field("accesses", &self.accesses)
+            .finish()
+    }
+}
+
+struct ThreadState {
+    core: CoreId,
+    spec: ThreadSpec,
+    rng: SmallRng,
+    issued: u64,
+}
+
+impl ThreadState {
+    fn exhausted(&self) -> bool {
+        self.issued >= self.spec.accesses
+    }
+
+    fn next(&mut self) -> MemAccess {
+        self.issued += 1;
+        let mut pick = self.rng.gen_range(0..self.spec.total_weight);
+        for (w, p) in &mut self.spec.arms {
+            if pick < *w {
+                let a = p.next_access(&mut self.rng);
+                return MemAccess {
+                    core: self.core,
+                    pc: a.pc,
+                    addr: a.block.first_byte(),
+                    kind: a.kind,
+                    instr_gap: a.instr_gap,
+                };
+            }
+            pick -= *w;
+        }
+        unreachable!("weighted pick within total weight")
+    }
+}
+
+/// A complete multi-threaded workload: the interleaving of all threads'
+/// access streams.
+///
+/// Interleaving is round-robin with random burst lengths of 1–8 accesses,
+/// emulating fine-grained hardware multi-threading across cores. Threads
+/// therefore advance at (stochastically) equal rates, which is what keeps
+/// barrier-phased patterns loosely in phase — the approximation this model
+/// makes in place of simulating real barriers.
+pub struct Workload {
+    threads: Vec<ThreadState>,
+    current: usize,
+    burst_left: u32,
+    rng: SmallRng,
+    remaining: u64,
+    total: u64,
+}
+
+impl Workload {
+    /// Assembles a workload from per-thread specs; thread `i` runs on core
+    /// `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty or exceeds
+    /// [`llc_sim::MAX_CORES`].
+    pub fn new(threads: Vec<ThreadSpec>, seed: u64) -> Self {
+        assert!(!threads.is_empty(), "a workload needs at least one thread");
+        assert!(threads.len() <= llc_sim::MAX_CORES, "too many threads");
+        let total: u64 = threads.iter().map(|t| t.accesses).sum();
+        let threads = threads
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| ThreadState {
+                core: CoreId::new(i),
+                spec,
+                rng: SmallRng::seed_from_u64(splitmix64(seed ^ (i as u64).wrapping_mul(0x1234_5678_9abc))),
+                issued: 0,
+            })
+            .collect();
+        Workload {
+            threads,
+            current: 0,
+            burst_left: 0,
+            rng: SmallRng::seed_from_u64(splitmix64(seed ^ 0xa110_f7ed_u64)),
+            remaining: total,
+            total,
+        }
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+impl TraceSource for Workload {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // Advance to a non-exhausted thread, honouring the current burst.
+        if self.burst_left == 0 || self.threads[self.current].exhausted() {
+            let n = self.threads.len();
+            let mut idx = (self.current + 1) % n;
+            for _ in 0..n {
+                if !self.threads[idx].exhausted() {
+                    break;
+                }
+                idx = (idx + 1) % n;
+            }
+            self.current = idx;
+            self.burst_left = self.rng.gen_range(1..=8);
+        }
+        debug_assert!(!self.threads[self.current].exhausted());
+        self.burst_left -= 1;
+        self.remaining -= 1;
+        Some(self.threads[self.current].next())
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("threads", &self.threads.len())
+            .field("total", &self.total)
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AddressSpace, PcAllocator};
+    use crate::patterns::PrivateStream;
+
+    fn stream_thread(space: &mut AddressSpace, pcs: &mut PcAllocator, n: u64) -> ThreadSpec {
+        let r = space.alloc(128);
+        ThreadSpec::single(Box::new(PrivateStream::new(r, pcs.alloc(2), 0, 1)), n)
+    }
+
+    #[test]
+    fn produces_exactly_the_budgeted_accesses() {
+        let mut space = AddressSpace::new();
+        let mut pcs = PcAllocator::new();
+        let threads =
+            (0..4).map(|_| stream_thread(&mut space, &mut pcs, 100)).collect::<Vec<_>>();
+        let mut w = Workload::new(threads, 42);
+        assert_eq!(w.len_hint(), Some(400));
+        let mut count = 0;
+        let mut per_core = [0u64; 4];
+        while let Some(a) = w.next_access() {
+            per_core[a.core.index()] += 1;
+            count += 1;
+        }
+        assert_eq!(count, 400);
+        assert_eq!(per_core, [100; 4]);
+    }
+
+    #[test]
+    fn interleaving_mixes_cores() {
+        let mut space = AddressSpace::new();
+        let mut pcs = PcAllocator::new();
+        let threads =
+            (0..2).map(|_| stream_thread(&mut space, &mut pcs, 1000)).collect::<Vec<_>>();
+        let mut w = Workload::new(threads, 7);
+        let mut switches = 0;
+        let mut last = None;
+        while let Some(a) = w.next_access() {
+            if last.is_some() && last != Some(a.core) {
+                switches += 1;
+            }
+            last = Some(a.core);
+        }
+        // With bursts of 1..=8 we expect hundreds of switches over 2000
+        // accesses.
+        assert!(switches > 200, "only {switches} switches");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let build = || {
+            let mut space = AddressSpace::new();
+            let mut pcs = PcAllocator::new();
+            let threads =
+                (0..3).map(|_| stream_thread(&mut space, &mut pcs, 50)).collect::<Vec<_>>();
+            Workload::new(threads, 99)
+        };
+        let mut a = build();
+        let mut b = build();
+        loop {
+            match (a.next_access(), b.next_access()) {
+                (None, None) => break,
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_budgets_drain_completely() {
+        let mut space = AddressSpace::new();
+        let mut pcs = PcAllocator::new();
+        let threads = vec![
+            stream_thread(&mut space, &mut pcs, 10),
+            stream_thread(&mut space, &mut pcs, 500),
+        ];
+        let mut w = Workload::new(threads, 1);
+        let mut per_core = [0u64; 2];
+        while let Some(a) = w.next_access() {
+            per_core[a.core.index()] += 1;
+        }
+        assert_eq!(per_core, [10, 500]);
+    }
+}

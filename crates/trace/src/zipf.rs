@@ -1,0 +1,114 @@
+//! Zipf-distributed sampling of block indices.
+//!
+//! Hot shared structures (a body-tracking model, a similarity database,
+//! cluster centres) are touched with a heavily skewed popularity profile;
+//! Zipf is the standard model. The sampler precomputes the CDF once and
+//! samples with a binary search, so per-access cost is `O(log n)`.
+
+use rand::Rng;
+
+/// Maximum supported support size (keeps the CDF table ≤ 16 MB).
+pub const MAX_SUPPORT: u64 = 1 << 21;
+
+/// A Zipf(θ) sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` items with exponent `theta` (0 =
+    /// uniform; ~0.8–1.2 models hot-data skews).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds [`MAX_SUPPORT`], or if `theta` is
+    /// negative or non-finite.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "support must be non-empty");
+        assert!(n <= MAX_SUPPORT, "support {n} exceeds MAX_SUPPORT");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of items.
+    pub fn support(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws an index in `0..n`; index 0 is the most popular.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose CDF value is >= u.
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut low = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // With θ=1 and n=1000, ranks 0..10 hold ≈ 39% of the mass.
+        let frac = low as f64 / n as f64;
+        assert!(frac > 0.30 && frac < 0.50, "rank-0..10 mass {frac}");
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((3500..6500).contains(&c), "uniform bucket off: {c}");
+        }
+    }
+
+    #[test]
+    fn single_item_support() {
+        let z = ZipfSampler::new(1, 1.2);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.support(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn rejects_empty_support() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests over the workload models: every app must produce
+//! well-formed, deterministic, budget-exact traces at any thread count.
+
+use llc_trace::{App, Scale, TraceSource};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Budget exactness and core validity hold for every (app, threads).
+    #[test]
+    fn budgets_and_cores(app_idx in 0usize..16, threads in 1usize..9) {
+        let app = App::ALL[app_idx];
+        let mut w = app.workload(threads, Scale::Tiny);
+        let expect = threads as u64 * Scale::Tiny.thread_accesses();
+        prop_assert_eq!(w.len_hint(), Some(expect));
+        let mut per_core = vec![0u64; threads];
+        let mut count = 0u64;
+        while let Some(a) = w.next_access() {
+            prop_assert!(a.core.index() < threads, "{} produced core {}", app, a.core);
+            prop_assert!(a.instr_gap >= 1);
+            prop_assert!(a.pc.raw() > 0);
+            per_core[a.core.index()] += 1;
+            count += 1;
+        }
+        prop_assert_eq!(count, expect);
+        for (c, n) in per_core.iter().enumerate() {
+            prop_assert_eq!(*n, Scale::Tiny.thread_accesses(), "core {} budget", c);
+        }
+        // Exhausted source stays exhausted.
+        prop_assert!(w.next_access().is_none());
+    }
+
+    /// Workload generation is bit-for-bit deterministic.
+    #[test]
+    fn deterministic(app_idx in 0usize..16) {
+        let app = App::ALL[app_idx];
+        let mut a = app.workload(3, Scale::Tiny);
+        let mut b = app.workload(3, Scale::Tiny);
+        for _ in 0..20_000 {
+            prop_assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    /// Sharing-class labels are honest: in apps labelled private almost no
+    /// accesses go to cross-thread blocks; in every other app a real share
+    /// of the access volume does (hot shared structures can be few blocks,
+    /// so this is access-weighted, not footprint-weighted).
+    #[test]
+    fn sharing_labels_are_honest(app_idx in 0usize..16) {
+        use std::collections::HashMap;
+        let app = App::ALL[app_idx];
+        // Pass 1: find cross-thread blocks.
+        let mut w = app.workload(4, Scale::Tiny);
+        let mut owners: HashMap<u64, u32> = HashMap::new();
+        while let Some(a) = w.next_access() {
+            *owners.entry(a.addr.block().raw()).or_insert(0) |= 1 << a.core.index();
+        }
+        // Pass 2 (identical stream): access-weighted share.
+        let mut w = app.workload(4, Scale::Tiny);
+        let mut total = 0u64;
+        let mut shared = 0u64;
+        while let Some(a) = w.next_access() {
+            total += 1;
+            if owners[&a.addr.block().raw()].count_ones() >= 2 {
+                shared += 1;
+            }
+        }
+        let frac = shared as f64 / total as f64;
+        match app.sharing_class() {
+            llc_trace::SharingClass::Private => {
+                prop_assert!(frac < 0.15, "{}: {:.3} of accesses to cross-thread blocks", app, frac);
+            }
+            _ => {
+                prop_assert!(frac > 0.05, "{}: only {:.4} of accesses to cross-thread blocks", app, frac);
+            }
+        }
+    }
+}

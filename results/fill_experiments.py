@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Assembles the per-experiment record of EXPERIMENTS.md from the verbatim
+`repro --ctx quick all` output in results/quick_all.txt."""
+
+import re
+import sys
+
+SRC = "results/quick_all.txt"
+DST = "EXPERIMENTS.md"
+
+COMMENTARY = {
+    "table1": "Machine configuration as simulated (quick preset shown; the paper preset doubles every capacity x4).",
+    "table2": "Workload inventory. Footprints exceed both LLC sizes for the pressure-heavy apps; the private controls (blackscholes, swaptions, swim) show near-zero shared footprint.",
+    "fig1": "Paper claim: shared blocks serve a disproportionate share of LLC hits. The MEAN row is the headline; the private controls anchor the bottom at ~0%.",
+    "fig2": "The contrast that motivates the paper: compare 'shared gens%' (population) against 'shared hits%' (importance) and the per-generation hit rates.",
+    "fig3": "Sharing degree: pairwise sharing dominates, with the read-shared apps (bodytrack, ferret, barnes) showing meaningful 5+ tails - consistent with the published characterizations of these suites.",
+    "fig4": "Read-only sharing carries most shared hits in the read-shared apps; migratory/pipeline apps (water, dedup, canneal) are read-write dominated.",
+    "fig5": "Policy tournament normalized to LRU, OPT as the bound. Expected shape: RRIP-family and SHiP around or below LRU on most apps, OPT clearly lowest (GEOMEAN row).",
+    "fig6": "Sharing-awareness characterization: OPT's premature shared-victimization rate is near zero; realistic policies evict soon-to-be-shared blocks at a much higher rate - the gap the oracle closes.",
+    "fig7": "THE HEADLINE. Paper (abstract): oracle on LRU removes 6% / 10% of misses at 4 MB / 8 MB. Our proportional machine reproduces the shape and band: see the MEAN row at both capacities (gain grows with capacity), with gains concentrated in the sharing-heavy apps and ~0 for the private controls.",
+    "fig8": "Oracle generality: every base policy leaves sharing-awareness on the table; the gains on SRRIP/DRRIP/SHiP show none of the 'recent proposals' capture it already.",
+    "fig9": "The predictability study. Read the MCC column (accuracy alone is inflated by the private-majority class prior, which the NeverShared baseline calibrates). Addr/PC stay well short of a usable predictor on the phase-shifting apps - the paper's negative result.",
+    "fig10": "End-to-end: the predictor-driven wrapper recovers only part of the oracle's gain (MEAN row), and essentially none on the phase-shifting apps. The extension columns (Region, PC+Phase) close part of the gap, supporting the paper's closing conjecture.",
+    "fig11": "Phase behaviour: the transpose/stencil apps (fft, radix, mgrid, ocean) show bursty shared-hit series (high burstiness coefficient), the mechanism behind the predictors' failure.",
+    "table3": "Budget sweep: growing the tables lifts coverage but the MCC ceiling barely moves - capacity is not the bottleneck, predictability is (the paper's conclusion).",
+    "abl1": "Oracle horizon sweep: gains are stable for W between 4x and 16x LLC lines; 1x under-protects. Default 4x.",
+    "abl2": "Inclusion ablation: the non-inclusive simplification does not change the fig1/fig7 conclusions; inclusive mode shifts absolute numbers slightly (back-invalidations add L1 misses).",
+    "abl3": "Protection placement: eviction-side restriction does the work; insertion-side touch-promotion alone is much weaker; combining adds little.",
+    "abl4": "Extension - the prediction-requirement ladder: reactive (directory-only) protection captures part of the oracle's gain for long-lived sharing; the remainder genuinely requires fill-time prediction.",
+    "abl5": "Extension - multi-programmed mixes: with disjoint address windows the oracle's gain collapses toward the small intra-program (2-thread) component, confirming that the effect measured in fig7 is cross-thread sharing, not an artifact.",
+    "fig12": "Extension - first-order performance: miss reductions translate to modelled speedups via a fixed-latency model (conservative, no MLP).",
+}
+
+def main():
+    text = open(SRC, encoding="utf-8").read()
+    # Split into experiment chunks by the trailing "[id finished in ...]" lines.
+    chunks = re.findall(r"(### .*?)\n\[(\w+) finished in ([^\]]+)\]\n", text, re.S)
+    if not chunks:
+        sys.exit("no experiment chunks found in " + SRC)
+    out = []
+    for body, ident, took in chunks:
+        out.append(f"### `{ident}` ({took})\n")
+        c = COMMENTARY.get(ident)
+        if c:
+            out.append(c + "\n")
+        out.append("\n```text\n" + body.strip() + "\n```\n\n")
+    md = open(DST, encoding="utf-8").read()
+    marker = "<!-- RESULTS -->"
+    if marker not in md:
+        sys.exit("marker missing in " + DST)
+    md = md.split(marker)[0] + marker + "\n\n" + "".join(out)
+    open(DST, "w", encoding="utf-8").write(md)
+    print(f"filled {len(chunks)} experiments into {DST}")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+//! # sharing-aware-llc
+//!
+//! A full, from-scratch reproduction of *Characterizing multi-threaded
+//! applications for designing sharing-aware last-level cache replacement
+//! policies* (R. Natarajan and M. Chaudhuri, IISWC 2013) as a Rust
+//! workspace:
+//!
+//! * [`sim`] — the trace-driven CMP cache hierarchy (private L1s,
+//!   MESI-lite coherence, shared LLC with per-generation sharing
+//!   tracking);
+//! * [`trace`] — sixteen synthetic PARSEC / SPLASH-2 / SPEC OMP workload
+//!   models built from sharing-pattern primitives;
+//! * [`policies`] — LRU, NRU, Random, the RRIP and DIP families, SHiP,
+//!   Belady's OPT, and the paper's generic sharing-aware oracle wrapper;
+//! * [`predictors`] — the fill-time sharing predictors (address- and
+//!   PC-indexed) and their metrics;
+//! * [`sharing`] — the characterization passes, the exact oracle/OPT
+//!   pre-passes, and the experiment index regenerating every table and
+//!   figure.
+//!
+//! This facade crate re-exports the workspace and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sharing_aware_llc::prelude::*;
+//!
+//! // Measure how much of bodytrack's LLC hit volume is served by shared
+//! // blocks on a small test machine.
+//! let cfg = HierarchyConfig::tiny();
+//! let mut profile = SharingProfile::new();
+//! simulate_kind(
+//!     &cfg,
+//!     PolicyKind::Lru,
+//!     &mut || App::Bodytrack.workload(cfg.cores, Scale::Tiny),
+//!     vec![&mut profile],
+//! );
+//! assert!(profile.shared_hit_fraction() > 0.1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use llc_policies as policies;
+pub use llc_predictors as predictors;
+pub use llc_sharing as sharing;
+pub use llc_sim as sim;
+pub use llc_trace as trace;
+
+/// The most commonly used items across the workspace, in one import.
+pub mod prelude {
+    pub use llc_policies::{
+        build_oracle_policy, build_policy, OracleWrap, PolicyKind, ProtectMode,
+    };
+    pub use llc_predictors::{
+        build_predictor, ConfusionMatrix, PredictorKind, PredictorStudy, PredictorWrap,
+        SharingPredictor, TableConfig,
+    };
+    pub use llc_sharing::{
+        run_experiment, simulate, simulate_kind, simulate_opt, simulate_oracle,
+        simulate_predictor_wrap, EpochSeries, ExperimentCtx, ExperimentId, RunResult,
+        SharingProfile, Table, VictimizationStats,
+    };
+    pub use llc_sim::{
+        AccessKind, Addr, BlockAddr, CacheConfig, Cmp, CoreId, GenerationEnd, HierarchyConfig,
+        Inclusion, LlcObserver, MemAccess, NullObserver, Pc, ReplacementPolicy,
+    };
+    pub use llc_trace::{App, Scale, SharingClass, Suite, TraceSource, Workload};
+}

@@ -1,0 +1,83 @@
+//! Every experiment in the index must run end-to-end on the test context
+//! and produce well-formed tables.
+
+use sharing_aware_llc::prelude::*;
+
+fn small_test_ctx() -> ExperimentCtx {
+    let mut ctx = ExperimentCtx::test();
+    // Two apps keep the all-experiments sweep fast.
+    ctx.apps.truncate(2);
+    ctx
+}
+
+#[test]
+fn every_experiment_produces_tables() {
+    let ctx = small_test_ctx();
+    for id in ExperimentId::ALL {
+        let tables = run_experiment(id, &ctx);
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in &tables {
+            assert!(!t.title.is_empty());
+            assert!(!t.headers.is_empty());
+            assert!(!t.rows.is_empty(), "{id}: empty table '{}'", t.title);
+            for row in &t.rows {
+                assert_eq!(row.len(), t.headers.len(), "{id}: ragged row in '{}'", t.title);
+            }
+            // Render both formats without panicking.
+            let _ = t.to_string();
+            let _ = t.to_csv();
+        }
+    }
+}
+
+#[test]
+fn fig7_reports_all_apps_plus_mean() {
+    let ctx = small_test_ctx();
+    let tables = run_experiment(ExperimentId::Fig7, &ctx);
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.rows.len(), ctx.apps.len() + 1);
+    assert_eq!(t.rows.last().unwrap()[0], "MEAN");
+    // Columns: app + 2 per LLC capacity.
+    assert_eq!(t.headers.len(), 1 + 2 * ctx.llc_capacities.len());
+}
+
+#[test]
+fn fig5_normalizes_lru_to_one() {
+    let ctx = small_test_ctx();
+    let tables = run_experiment(ExperimentId::Fig5, &ctx);
+    assert_eq!(tables.len(), ctx.llc_capacities.len());
+    for t in &tables {
+        let lru_col = t.headers.iter().position(|h| h == "LRU").expect("LRU column");
+        for row in t.rows.iter().filter(|r| r[0] != "GEOMEAN") {
+            let v: f64 = row[lru_col].parse().expect("numeric cell");
+            assert!((v - 1.0).abs() < 1e-9, "LRU column must be 1.000, got {v}");
+        }
+        // OPT never exceeds 1.0 (it cannot lose to LRU).
+        let opt_col = t.headers.iter().position(|h| h == "OPT").expect("OPT column");
+        for row in &t.rows {
+            let v: f64 = row[opt_col].parse().expect("numeric cell");
+            assert!(v <= 1.0 + 1e-9, "OPT normalized misses {v} > 1");
+        }
+    }
+}
+
+#[test]
+fn table1_documents_the_machine() {
+    let ctx = small_test_ctx();
+    let t = &run_experiment(ExperimentId::Table1, &ctx)[0];
+    let body = t.to_string();
+    assert!(body.contains("cores"));
+    assert!(body.contains("LLC"));
+}
+
+#[test]
+fn fig9_includes_the_never_shared_baseline() {
+    let ctx = small_test_ctx();
+    let tables = run_experiment(ExperimentId::Fig9, &ctx);
+    assert!(tables.iter().any(|t| t.title.contains("NeverShared")));
+    // Every predictor table has one row per app.
+    for t in &tables {
+        assert_eq!(t.rows.len(), ctx.apps.len());
+    }
+}
