@@ -35,6 +35,7 @@ fn bench_policies(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("run", kind.label()), &kind, |b, &kind| {
             b.iter(|| {
                 simulate_kind(&cfg, kind, &mut || App::Water.workload(8, Scale::Tiny), vec![])
+                    .expect("synthetic workload cannot fail")
                     .llc
                     .misses()
             });
@@ -50,6 +51,7 @@ fn bench_policies(c: &mut Criterion) {
                 &mut || App::Water.workload(8, Scale::Tiny),
                 vec![],
             )
+            .expect("synthetic workload cannot fail")
             .llc
             .misses()
         });

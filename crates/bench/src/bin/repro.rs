@@ -4,24 +4,42 @@ use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match llc_bench::parse_cli(args) {
-        Ok(cli) => {
-            // Stream experiment by experiment so long campaigns show
-            // progress even when stdout is redirected.
-            if cli.list {
-                print!("{}", llc_bench::experiment_list());
-            }
-            let mut single = cli.clone();
-            for &id in &cli.ids {
-                single.ids = vec![id];
-                single.list = false;
-                print!("{}", llc_bench::run_cli(&single));
-                let _ = std::io::stdout().flush();
-            }
-        }
+    let cli = match llc_bench::parse_cli(args) {
+        Ok(cli) => cli,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
+    };
+    if cli.list {
+        print!("{}", llc_bench::experiment_list());
+    }
+    if let Err(e) = llc_bench::prepare_manifest(&cli) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    // Stream experiment by experiment so long campaigns show progress
+    // even when stdout is redirected. Failures are rendered as FAILED
+    // rows by the suite harness; the exit code reports them at the end.
+    let mut failures = 0;
+    let mut single = cli.clone();
+    single.list = false;
+    for &id in &cli.ids {
+        single.ids = vec![id];
+        match llc_bench::run_cli(&single) {
+            Ok((out, failed)) => {
+                failures += failed;
+                print!("{out}");
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
     }
 }

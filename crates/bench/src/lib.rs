@@ -12,7 +12,10 @@
 
 #![warn(missing_docs)]
 
-use llc_sharing::{run_experiment, ExperimentCtx, ExperimentId};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use llc_sharing::{run_suite, ExperimentCtx, ExperimentId, ExperimentOutcome, RunError, SuiteConfig};
 use llc_trace::{App, Scale};
 
 /// Parsed command line of the `repro` binary.
@@ -24,6 +27,11 @@ pub struct Cli {
     pub ctx: ExperimentCtx,
     /// Print the experiment list and exit.
     pub list: bool,
+    /// Suite harness settings (watchdog, retries, checkpoint manifest).
+    pub suite: SuiteConfig,
+    /// Replay completed experiments from an existing `--out` manifest
+    /// instead of truncating it at startup.
+    pub resume: bool,
 }
 
 /// Error produced while parsing the command line.
@@ -49,6 +57,10 @@ options:
   --scale <tiny|small|medium|large>  override the workload scale
   --apps <a,b,c>             restrict to a comma-separated app subset
   --threads <n>              override the core/thread count
+  --out <path>               checkpoint completed experiments to a JSON manifest
+  --resume                   replay completed experiments from the --out manifest
+  --timeout <secs>           per-experiment wall-clock budget (0 disables; default 1800)
+  --retries <n>              IO retry attempts for manifest reads/writes (default 3)
   -h, --help                 show this help
 ";
 
@@ -61,6 +73,8 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
     let mut ctx = ExperimentCtx::paper();
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut list = false;
+    let mut suite = SuiteConfig::default();
+    let mut resume = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -100,6 +114,23 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
                     .filter(|&n| n > 0 && n <= llc_sim::MAX_CORES)
                     .ok_or_else(|| CliError(format!("bad thread count '{v}'")))?;
             }
+            "--out" => {
+                let v = it.next().ok_or_else(|| CliError("--out needs a path".into()))?;
+                suite.manifest_path = Some(PathBuf::from(v));
+            }
+            "--resume" => resume = true,
+            "--timeout" => {
+                let v = it.next().ok_or_else(|| CliError("--timeout needs seconds".into()))?;
+                let secs = v
+                    .parse::<u64>()
+                    .map_err(|_| CliError(format!("bad timeout '{v}'")))?;
+                suite.timeout = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--retries" => {
+                let v = it.next().ok_or_else(|| CliError("--retries needs a count".into()))?;
+                suite.io_retries =
+                    v.parse::<u32>().map_err(|_| CliError(format!("bad retry count '{v}'")))?;
+            }
             "-h" | "--help" => return Err(CliError(USAGE.into())),
             "list" => list = true,
             "all" => ids.extend(ExperimentId::ALL),
@@ -112,8 +143,11 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
     if !list && ids.is_empty() {
         return Err(CliError(USAGE.into()));
     }
+    if resume && suite.manifest_path.is_none() {
+        return Err(CliError("--resume requires --out <path>".into()));
+    }
     ids.dedup();
-    Ok(Cli { ids, ctx, list })
+    Ok(Cli { ids, ctx, list, suite, resume })
 }
 
 /// Renders the experiment list.
@@ -125,21 +159,63 @@ pub fn experiment_list() -> String {
     out
 }
 
-/// Runs the parsed experiments and returns the rendered report.
-pub fn run_cli(cli: &Cli) -> String {
+/// Truncates a stale `--out` manifest when `--resume` was not given, so a
+/// fresh run never silently replays last week's results. Call once per
+/// invocation, before the first [`run_cli`].
+///
+/// # Errors
+///
+/// Fails with [`RunError::Io`] if the stale manifest cannot be removed.
+pub fn prepare_manifest(cli: &Cli) -> Result<(), RunError> {
+    if let Some(path) = &cli.suite.manifest_path {
+        if !cli.resume && path.exists() {
+            std::fs::remove_file(path).map_err(|source| RunError::Io {
+                context: format!("removing stale manifest {}", path.display()),
+                source,
+            })?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the parsed experiments under the crash-isolating suite harness.
+/// Returns the rendered report and the number of failed experiments.
+///
+/// # Errors
+///
+/// Fails only if an existing checkpoint manifest cannot be read; failures
+/// *inside* experiments become `FAILED` rows in the rendered report.
+pub fn run_cli(cli: &Cli) -> Result<(String, usize), RunError> {
     let mut out = String::new();
     if cli.list {
         out.push_str(&experiment_list());
     }
-    for &id in &cli.ids {
-        let started = std::time::Instant::now();
-        for table in run_experiment(id, &cli.ctx) {
-            out.push_str(&table.to_string());
-            out.push('\n');
+    let started = std::time::Instant::now();
+    let report = run_suite(&cli.ids, &cli.ctx, &cli.suite)?;
+    for (id, outcome) in &report.outcomes {
+        match outcome {
+            ExperimentOutcome::Completed { tables } | ExperimentOutcome::Resumed { tables } => {
+                for table in tables {
+                    out.push_str(&table.to_string());
+                    out.push('\n');
+                }
+                let how = if matches!(outcome, ExperimentOutcome::Resumed { .. }) {
+                    "resumed from checkpoint"
+                } else {
+                    "finished"
+                };
+                out.push_str(&format!("[{} {how} in {:.1?}]\n\n", id.label(), started.elapsed()));
+            }
+            ExperimentOutcome::Failed { reason } => {
+                out.push_str(&format!("[{} FAILED: {reason}]\n\n", id.label()));
+            }
         }
-        out.push_str(&format!("[{} finished in {:.1?}]\n\n", id.label(), started.elapsed()));
     }
-    out
+    if report.failed() > 0 || !report.checkpoint_errors.is_empty() {
+        out.push_str(&report.summary().to_string());
+        out.push('\n');
+    }
+    Ok((out, report.failed()))
 }
 
 #[cfg(test)]
@@ -177,6 +253,20 @@ mod tests {
         assert!(parse_cli(args("--apps nope fig1")).is_err());
         assert!(parse_cli(args("--threads 0 fig1")).is_err());
         assert!(parse_cli(args("")).is_err());
+        assert!(parse_cli(args("--timeout soon fig1")).is_err());
+        assert!(parse_cli(args("--resume fig1")).is_err(), "--resume requires --out");
+    }
+
+    #[test]
+    fn parses_suite_flags() {
+        let cli = parse_cli(args("--out /tmp/m.json --resume --timeout 60 --retries 5 fig1"))
+            .unwrap();
+        assert_eq!(cli.suite.manifest_path, Some(std::path::PathBuf::from("/tmp/m.json")));
+        assert!(cli.resume);
+        assert_eq!(cli.suite.timeout, Some(Duration::from_secs(60)));
+        assert_eq!(cli.suite.io_retries, 5);
+        let cli = parse_cli(args("--timeout 0 fig1")).unwrap();
+        assert_eq!(cli.suite.timeout, None, "--timeout 0 disables the watchdog");
     }
 
     #[test]
@@ -191,7 +281,8 @@ mod tests {
     fn test_ctx_runs_an_experiment_end_to_end() {
         let mut cli = parse_cli(args("--ctx test table1")).unwrap();
         cli.ctx.apps.truncate(2);
-        let report = run_cli(&cli);
+        let (report, failed) = run_cli(&cli).expect("suite runs");
+        assert_eq!(failed, 0);
         assert!(report.contains("Table 1"));
         assert!(report.contains("cores"));
     }

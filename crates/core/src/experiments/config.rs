@@ -4,12 +4,13 @@ use llc_policies::{PolicyKind, ProtectMode};
 use llc_sim::BLOCK_BYTES;
 
 use crate::characterize::SharingProfile;
-use crate::experiments::{per_app, ExperimentCtx};
+use crate::error::RunError;
+use crate::experiments::{per_app_try, ExperimentCtx};
 use crate::report::{pct, Table};
 use crate::runner::{simulate_kind, simulate_oracle};
 
 /// Table 1: the simulated machine.
-pub(crate) fn table1(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn table1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let mut t = Table::new("Table 1 — Simulated machine configuration", &["component", "value"]);
     t.row(vec!["cores".into(), format!("{} (one thread per core)", ctx.cores)]);
     t.row(vec!["block size".into(), format!("{} B", BLOCK_BYTES)]);
@@ -25,29 +26,29 @@ pub(crate) fn table1(ctx: &ExperimentCtx) -> Vec<Table> {
     t.row(vec!["coherence".into(), "directory MESI-lite (write-invalidate)".into()]);
     t.row(vec!["workload scale".into(), ctx.scale.to_string()]);
     t.note("Timing is not modelled; all results are miss-count based, as in the paper.");
-    vec![t]
+    Ok(vec![t])
 }
 
 /// Ablation 2: does the non-inclusive simplification change the
 /// conclusions? Re-measures the fig1 shared-hit fraction and the fig7
 /// oracle gain with an inclusive LLC.
-pub(crate) fn abl2(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn abl2(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let mut t = Table::new(
         format!("Ablation 2 — inclusive vs non-inclusive LLC ({} KB)", cap >> 10),
         &["app", "shared-hit% NI", "shared-hit% incl", "oracle gain NI", "oracle gain incl"],
     );
-    let rows = per_app(&ctx.apps, |app| {
+    let rows = per_app_try(&ctx.apps, |app| {
         let mut result = vec![app.label().to_string()];
         for inclusive in [false, true] {
-            let cfg = if inclusive { ctx.config_inclusive(cap) } else { ctx.config(cap) };
+            let cfg = if inclusive { ctx.config_inclusive(cap)? } else { ctx.config(cap)? };
             let mut profile = SharingProfile::new();
             let lru = simulate_kind(
                 &cfg,
                 PolicyKind::Lru,
                 &mut || app.workload(ctx.cores, ctx.scale),
                 vec![&mut profile],
-            );
+            )?;
             let oracle = simulate_oracle(
                 &cfg,
                 PolicyKind::Lru,
@@ -55,18 +56,18 @@ pub(crate) fn abl2(ctx: &ExperimentCtx) -> Vec<Table> {
                 None,
                 &mut || app.workload(ctx.cores, ctx.scale),
                 vec![],
-            );
+            )?;
             let gain = 1.0 - oracle.llc.misses() as f64 / lru.llc.misses().max(1) as f64;
             result.push(pct(profile.shared_hit_fraction()));
             result.push(pct(gain));
         }
         // Reorder: app, sh-NI, sh-incl, gain-NI, gain-incl.
-        vec![result[0].clone(), result[1].clone(), result[3].clone(), result[2].clone(), result[4].clone()]
-    });
+        Ok(vec![result[0].clone(), result[1].clone(), result[3].clone(), result[2].clone(), result[4].clone()])
+    })?;
     for r in rows {
         t.row(r);
     }
     t.note("NI = non-inclusive (default). The inclusive LLC back-invalidates private copies on eviction.");
     t.note("Oracle gain = 1 - misses(Oracle(LRU)) / misses(LRU).");
-    vec![t]
+    Ok(vec![t])
 }

@@ -6,7 +6,8 @@ use llc_policies::{PolicyKind, ProtectMode};
 use llc_predictors::{build_predictor, PredictorKind};
 use llc_trace::{App, Multiprogram};
 
-use crate::experiments::{per_app, ExperimentCtx};
+use crate::error::RunError;
+use crate::experiments::{per_app_try, ExperimentCtx};
 use crate::report::{mean, pct, Table};
 use crate::model::LatencyModel;
 use crate::report::f3;
@@ -21,34 +22,34 @@ fn miss_reduction(base: u64, improved: u64) -> f64 {
 /// Ablation 4: how much of the oracle's gain actually *requires*
 /// prediction? The ladder: base LRU → reactive protection (directory
 /// knowledge only, no prediction) → best realistic predictor → oracle.
-pub(crate) fn abl4(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn abl4(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
-    let cfg = ctx.config(cap);
+    let cfg = ctx.config(cap)?;
     let mut t = Table::new(
         format!("Ablation 4 — reactive vs predicted vs oracle protection ({} KB LLC, base LRU)", cap >> 10),
         &["app", "reactive gain", "PC+Phase gain", "oracle gain", "reactive/oracle"],
     );
-    let rows: Vec<Vec<f64>> = per_app(&ctx.apps, |app| {
+    let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
         let mut make = || app.workload(ctx.cores, ctx.scale);
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).llc.misses();
-        let reactive = simulate_reactive(&cfg, PolicyKind::Lru, &mut make, vec![]).llc.misses();
+        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?.llc.misses();
+        let reactive = simulate_reactive(&cfg, PolicyKind::Lru, &mut make, vec![])?.llc.misses();
         let predicted = simulate_predictor_wrap(
             &cfg,
             PolicyKind::Lru,
             build_predictor(PredictorKind::PcPhase),
             &mut make,
             vec![],
-        )
+        )?
         .llc
         .misses();
         let oracle =
-            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])
+            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])?
                 .llc
                 .misses();
         let rg = miss_reduction(lru, reactive);
         let og = miss_reduction(lru, oracle);
-        vec![rg, miss_reduction(lru, predicted), og, if og > 0.0 { rg / og } else { 0.0 }]
-    });
+        Ok(vec![rg, miss_reduction(lru, predicted), og, if og > 0.0 { rg / og } else { 0.0 }])
+    })?;
     for (app, vals) in ctx.apps.iter().zip(&rows) {
         t.row(vec![
             app.label().to_string(),
@@ -66,7 +67,7 @@ pub(crate) fn abl4(ctx: &ExperimentCtx) -> Vec<Table> {
     t.row(mrow);
     t.note("reactive = protect lines already shared in the current generation (pure directory state, buildable today).");
     t.note("The reactive-to-oracle gap is the gain that genuinely requires fill-time prediction.");
-    vec![t]
+    Ok(vec![t])
 }
 
 /// The program mixes of `abl5`: four 2-thread programs each.
@@ -81,10 +82,10 @@ const MIXES: [(&str, [App; 4]); 3] = [
 /// toward whatever little intra-program (2-thread) sharing remains —
 /// supporting the paper's framing that multi-programmed-oriented policies
 /// address a different problem.
-pub(crate) fn abl5(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn abl5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let cfg = {
-        let mut c = ctx.config(cap);
+        let mut c = ctx.config(cap)?;
         c.cores = 8; // four programs x two threads
         c
     };
@@ -95,9 +96,9 @@ pub(crate) fn abl5(ctx: &ExperimentCtx) -> Vec<Table> {
     for (name, apps) in MIXES {
         let mut make = || Multiprogram::new(&apps, 2, ctx.scale);
         let mut profile = crate::characterize::SharingProfile::new();
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![&mut profile]);
+        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![&mut profile])?;
         let oracle =
-            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![]);
+            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])?;
         t.row(vec![
             name.to_string(),
             lru.llc.misses().to_string(),
@@ -107,23 +108,23 @@ pub(crate) fn abl5(ctx: &ExperimentCtx) -> Vec<Table> {
     }
     t.note("Each mix = four programs x two threads, disjoint 1 TiB address windows (no cross-program sharing).");
     t.note("Compare the oracle gains here against fig7's 8-thread single-program runs.");
-    vec![t]
+    Ok(vec![t])
 }
 
 /// Fig. 12 (extension): translate the oracle's miss reductions into
 /// first-order performance using the fixed-latency model.
-pub(crate) fn fig12(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn fig12(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let model = LatencyModel::typical();
     let mut tables = Vec::new();
     for &cap in &ctx.llc_capacities {
-        let cfg = ctx.config(cap);
+        let cfg = ctx.config(cap)?;
         let mut t = Table::new(
             format!("Fig. 12 — modelled performance of Oracle(LRU) ({} KB LLC)", cap >> 10),
             &["app", "LRU AMAT", "Oracle AMAT", "speedup"],
         );
-        let rows: Vec<(String, f64, f64, f64)> = per_app(&ctx.apps, |app| {
+        let rows: Vec<(String, f64, f64, f64)> = per_app_try(&ctx.apps, |app| {
             let mut make = || app.workload(ctx.cores, ctx.scale);
-            let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]);
+            let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?;
             let oracle = simulate_oracle(
                 &cfg,
                 PolicyKind::Lru,
@@ -131,14 +132,14 @@ pub(crate) fn fig12(ctx: &ExperimentCtx) -> Vec<Table> {
                 None,
                 &mut make,
                 vec![],
-            );
-            (
+            )?;
+            Ok((
                 app.label().to_string(),
                 model.amat(&lru),
                 model.amat(&oracle),
                 model.speedup(&lru, &oracle),
-            )
-        });
+            ))
+        })?;
         for (app, a, b, sp) in &rows {
             t.row(vec![app.clone(), f3(*a), f3(*b), f3(*sp)]);
         }
@@ -151,5 +152,5 @@ pub(crate) fn fig12(ctx: &ExperimentCtx) -> Vec<Table> {
         t.note("Fixed-latency model (3/30/220 cycles), IPC-1 core, no overlap: conservative comparisons only.");
         tables.push(t);
     }
-    tables
+    Ok(tables)
 }

@@ -12,6 +12,7 @@ mod predictor;
 use llc_sim::{CacheConfig, HierarchyConfig, Inclusion};
 use llc_trace::{App, Scale};
 
+use crate::error::RunError;
 use crate::report::Table;
 
 /// Shared parameters of an experiment run.
@@ -37,6 +38,7 @@ impl ExperimentCtx {
     pub fn paper() -> Self {
         ExperimentCtx {
             cores: 8,
+            // infallible: fixed power-of-two preset geometry.
             l1: CacheConfig::from_kib(32, 8).expect("valid L1"),
             llc_ways: 16,
             llc_capacities: vec![4 << 20, 8 << 20],
@@ -51,6 +53,7 @@ impl ExperimentCtx {
     pub fn quick() -> Self {
         ExperimentCtx {
             cores: 8,
+            // infallible: fixed power-of-two preset geometry.
             l1: CacheConfig::from_kib(16, 4).expect("valid L1"),
             llc_ways: 16,
             llc_capacities: vec![1 << 20, 2 << 20],
@@ -64,6 +67,7 @@ impl ExperimentCtx {
     pub fn test() -> Self {
         ExperimentCtx {
             cores: 4,
+            // infallible: fixed power-of-two preset geometry.
             l1: CacheConfig::from_kib(2, 2).expect("valid L1"),
             llc_ways: 8,
             llc_capacities: vec![64 << 10, 128 << 10],
@@ -74,24 +78,44 @@ impl ExperimentCtx {
 
     /// The hierarchy for one LLC capacity (non-inclusive by default; see
     /// [`ExperimentCtx::config_inclusive`]).
-    pub fn config(&self, llc_capacity: u64) -> HierarchyConfig {
-        HierarchyConfig {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Sim`] if `llc_capacity` (user-settable via
+    /// [`ExperimentCtx::llc_capacities`]) does not form a valid cache
+    /// geometry with [`llc_ways`](ExperimentCtx::llc_ways).
+    pub fn config(&self, llc_capacity: u64) -> Result<HierarchyConfig, RunError> {
+        Ok(HierarchyConfig {
             cores: self.cores,
             l1: self.l1,
             l2: None,
-            llc: CacheConfig::new(llc_capacity, self.llc_ways).expect("valid LLC capacity"),
+            llc: CacheConfig::new(llc_capacity, self.llc_ways)?,
             inclusion: Inclusion::NonInclusive,
-        }
+        })
     }
 
     /// Same hierarchy with an inclusive LLC (the `abl2` ablation).
-    pub fn config_inclusive(&self, llc_capacity: u64) -> HierarchyConfig {
-        HierarchyConfig { inclusion: Inclusion::Inclusive, ..self.config(llc_capacity) }
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExperimentCtx::config`].
+    pub fn config_inclusive(&self, llc_capacity: u64) -> Result<HierarchyConfig, RunError> {
+        Ok(HierarchyConfig { inclusion: Inclusion::Inclusive, ..self.config(llc_capacity)? })
     }
 
     /// The primary (smallest) LLC configuration.
-    pub fn main_config(&self) -> HierarchyConfig {
-        self.config(self.llc_capacities[0])
+    ///
+    /// # Errors
+    ///
+    /// Fails if [`llc_capacities`](ExperimentCtx::llc_capacities) is empty
+    /// or its first entry is not a valid geometry.
+    pub fn main_config(&self) -> Result<HierarchyConfig, RunError> {
+        let cap = *self.llc_capacities.first().ok_or_else(|| {
+            RunError::Sim(llc_sim::SimError::from(llc_sim::ConfigError::new(
+                "ExperimentCtx.llc_capacities is empty",
+            )))
+        })?;
+        self.config(cap)
     }
 
     /// Builds `app`'s workload under this context.
@@ -103,6 +127,11 @@ impl ExperimentCtx {
 /// Runs `f` once per app on its own OS thread and returns the results in
 /// app order. Workloads are rebuilt inside each closure, so nothing
 /// non-`Send` crosses threads.
+///
+/// A panicking worker is re-raised on the calling thread (with the
+/// original payload) so the suite runner's `catch_unwind` isolation sees
+/// it; sibling workers still run to completion first because the scope
+/// joins every handle.
 pub fn per_app<T, F>(apps: &[App], f: F) -> Vec<T>
 where
     T: Send,
@@ -111,8 +140,22 @@ where
     let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = apps.iter().map(|&app| scope.spawn(move || f(app))).collect();
-        handles.into_iter().map(|h| h.join().expect("experiment worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
     })
+}
+
+/// Fallible [`per_app`]: runs one `Result`-returning closure per app and
+/// collects into a single `Result`, failing with the first error in app
+/// order.
+pub fn per_app_try<T, F>(apps: &[App], f: F) -> Result<Vec<T>, RunError>
+where
+    T: Send,
+    F: Fn(App) -> Result<T, RunError> + Sync,
+{
+    per_app(apps, f).into_iter().collect()
 }
 
 macro_rules! experiments {
@@ -149,7 +192,11 @@ macro_rules! experiments {
         }
 
         /// Runs one experiment, returning its rendered tables.
-        pub fn run_experiment(id: ExperimentId, ctx: &ExperimentCtx) -> Vec<Table> {
+        ///
+        /// # Errors
+        ///
+        /// Propagates the first [`RunError`] any app run produced.
+        pub fn run_experiment(id: ExperimentId, ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             match id { $(ExperimentId::$variant => $runner(ctx)),+ }
         }
     };
@@ -201,10 +248,24 @@ mod tests {
     fn contexts_validate() {
         for ctx in [ExperimentCtx::paper(), ExperimentCtx::quick(), ExperimentCtx::test()] {
             for &cap in &ctx.llc_capacities {
-                ctx.config(cap).validate().expect("valid hierarchy");
-                ctx.config_inclusive(cap).validate().expect("valid hierarchy");
+                ctx.config(cap).expect("valid config").validate().expect("valid hierarchy");
+                ctx.config_inclusive(cap)
+                    .expect("valid config")
+                    .validate()
+                    .expect("valid hierarchy");
             }
+            ctx.main_config().expect("valid main config");
         }
+    }
+
+    #[test]
+    fn bad_capacities_are_typed_errors_not_panics() {
+        let mut ctx = ExperimentCtx::test();
+        ctx.llc_capacities = vec![12345]; // not a power-of-two geometry
+        assert!(matches!(ctx.config(12345), Err(RunError::Sim(_))));
+        assert!(matches!(ctx.main_config(), Err(RunError::Sim(_))));
+        ctx.llc_capacities.clear();
+        assert!(matches!(ctx.main_config(), Err(RunError::Sim(_))));
     }
 
     #[test]

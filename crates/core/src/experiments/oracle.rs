@@ -4,7 +4,8 @@
 
 use llc_policies::{PolicyKind, ProtectMode};
 
-use crate::experiments::{per_app, ExperimentCtx};
+use crate::error::RunError;
+use crate::experiments::{per_app_try, ExperimentCtx};
 use crate::report::{mean, pct, Table};
 use crate::runner::{simulate_kind, simulate_oracle};
 
@@ -14,7 +15,7 @@ fn miss_reduction(base: u64, improved: u64) -> f64 {
 
 /// Fig. 7: the abstract's headline — the sharing-aware oracle on LRU
 /// removes ~6% of misses at 4 MB and ~10% at 8 MB on average.
-pub(crate) fn fig7(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn fig7(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let mut headers: Vec<String> = vec!["app".into()];
     for &cap in &ctx.llc_capacities {
         headers.push(format!("LRU misses @{}KB", cap >> 10));
@@ -24,18 +25,18 @@ pub(crate) fn fig7(ctx: &ExperimentCtx) -> Vec<Table> {
         "Fig. 7 — Sharing-aware oracle on LRU: LLC miss reduction",
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let rows: Vec<(String, Vec<(u64, f64)>)> = per_app(&ctx.apps, |app| {
+    let rows: Vec<(String, Vec<(u64, f64)>)> = per_app_try(&ctx.apps, |app| {
         let mut cols = Vec::new();
         for &cap in &ctx.llc_capacities {
-            let cfg = ctx.config(cap);
+            let cfg = ctx.config(cap)?;
             let mut make = || app.workload(ctx.cores, ctx.scale);
-            let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]);
+            let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?;
             let oracle =
-                simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![]);
+                simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])?;
             cols.push((lru.llc.misses(), miss_reduction(lru.llc.misses(), oracle.llc.misses())));
         }
-        (app.label().to_string(), cols)
-    });
+        Ok((app.label().to_string(), cols))
+    })?;
     for (app, cols) in &rows {
         let mut cells = vec![app.clone()];
         for (m, r) in cols {
@@ -52,40 +53,39 @@ pub(crate) fn fig7(ctx: &ExperimentCtx) -> Vec<Table> {
     t.row(mean_row);
     t.note("Paper (abstract): oracle reduces LRU misses by 6% (4 MB) and 10% (8 MB) on average.");
     t.note("Oracle = OracleWrap(LRU), eviction protection, one base-policy pre-pass.");
-    vec![t]
+    Ok(vec![t])
 }
 
 /// Fig. 8: the same oracle wrapped around the recent proposals,
 /// quantifying how much sharing-awareness each is still missing.
-pub(crate) fn fig8(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn fig8(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let bases = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Drrip, PolicyKind::Ship];
     let mut tables = Vec::new();
     for &cap in &ctx.llc_capacities {
-        let cfg = ctx.config(cap);
+        let cfg = ctx.config(cap)?;
         let mut headers: Vec<String> = vec!["app".into()];
         headers.extend(bases.iter().map(|b| format!("Oracle({})", b.label())));
         let mut t = Table::new(
             format!("Fig. 8 — Oracle miss reduction per base policy ({} KB LLC)", cap >> 10),
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
-        let rows: Vec<Vec<f64>> = per_app(&ctx.apps, |app| {
-            bases
-                .iter()
-                .map(|&base| {
-                    let mut make = || app.workload(ctx.cores, ctx.scale);
-                    let plain = simulate_kind(&cfg, base, &mut make, vec![]);
-                    let oracle = simulate_oracle(
-                        &cfg,
-                        base,
-                        ProtectMode::Eviction,
-                        None,
-                        &mut make,
-                        vec![],
-                    );
-                    miss_reduction(plain.llc.misses(), oracle.llc.misses())
-                })
-                .collect()
-        });
+        let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
+            let mut vals = Vec::with_capacity(bases.len());
+            for &base in &bases {
+                let mut make = || app.workload(ctx.cores, ctx.scale);
+                let plain = simulate_kind(&cfg, base, &mut make, vec![])?;
+                let oracle = simulate_oracle(
+                    &cfg,
+                    base,
+                    ProtectMode::Eviction,
+                    None,
+                    &mut make,
+                    vec![],
+                )?;
+                vals.push(miss_reduction(plain.llc.misses(), oracle.llc.misses()));
+            }
+            Ok(vals)
+        })?;
         for (app, vals) in ctx.apps.iter().zip(&rows) {
             let mut cells = vec![app.label().to_string()];
             cells.extend(vals.iter().map(|&v| pct(v)));
@@ -99,14 +99,14 @@ pub(crate) fn fig8(ctx: &ExperimentCtx) -> Vec<Table> {
         t.note("Each column compares a base policy against the same policy with the sharing oracle.");
         tables.push(t);
     }
-    tables
+    Ok(tables)
 }
 
 /// Ablation 1: sensitivity of the oracle to its retention horizon (the
 /// window within which a cross-core touch counts as "will be shared").
-pub(crate) fn abl1(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn abl1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
-    let cfg = ctx.config(cap);
+    let cfg = ctx.config(cap)?;
     let lines = cfg.llc.lines();
     let factors: [u64; 3] = [1, 4, 16];
     let mut headers: Vec<String> = vec!["app".into(), "LRU misses".into()];
@@ -115,9 +115,9 @@ pub(crate) fn abl1(ctx: &ExperimentCtx) -> Vec<Table> {
         format!("Ablation 1 — oracle retention horizon ({} KB LLC, Oracle(LRU))", cap >> 10),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let rows = per_app(&ctx.apps, |app| {
+    let rows = per_app_try(&ctx.apps, |app| {
         let mut make = || app.workload(ctx.cores, ctx.scale);
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]);
+        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?;
         let mut cells = vec![app.label().to_string(), lru.llc.misses().to_string()];
         for f in factors {
             let o = simulate_oracle(
@@ -127,23 +127,23 @@ pub(crate) fn abl1(ctx: &ExperimentCtx) -> Vec<Table> {
                 Some(f * lines),
                 &mut make,
                 vec![],
-            );
+            )?;
             cells.push(pct(miss_reduction(lru.llc.misses(), o.llc.misses())));
         }
-        cells
-    });
+        Ok(cells)
+    })?;
     for r in rows {
         t.row(r);
     }
     t.note("W = horizon in LLC accesses within which a cross-core touch marks a block 'will be shared'. Default is 4x lines.");
-    vec![t]
+    Ok(vec![t])
 }
 
 /// Ablation 3: where should the protection act — eviction, insertion or
 /// both?
-pub(crate) fn abl3(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn abl3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
-    let cfg = ctx.config(cap);
+    let cfg = ctx.config(cap)?;
     let modes =
         [ProtectMode::Eviction, ProtectMode::Insertion, ProtectMode::Both];
     let bases = [PolicyKind::Lru, PolicyKind::Srrip];
@@ -157,18 +157,18 @@ pub(crate) fn abl3(ctx: &ExperimentCtx) -> Vec<Table> {
         format!("Ablation 3 — oracle protection mode ({} KB LLC), miss reduction", cap >> 10),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let rows: Vec<Vec<f64>> = per_app(&ctx.apps, |app| {
+    let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
         let mut vals = Vec::new();
         for &base in &bases {
             let mut make = || app.workload(ctx.cores, ctx.scale);
-            let plain = simulate_kind(&cfg, base, &mut make, vec![]);
+            let plain = simulate_kind(&cfg, base, &mut make, vec![])?;
             for &mode in &modes {
-                let o = simulate_oracle(&cfg, base, mode, None, &mut make, vec![]);
+                let o = simulate_oracle(&cfg, base, mode, None, &mut make, vec![])?;
                 vals.push(miss_reduction(plain.llc.misses(), o.llc.misses()));
             }
         }
-        vals
-    });
+        Ok(vals)
+    })?;
     for (app, vals) in ctx.apps.iter().zip(&rows) {
         let mut cells = vec![app.label().to_string()];
         cells.extend(vals.iter().map(|&v| pct(v)));
@@ -180,5 +180,5 @@ pub(crate) fn abl3(ctx: &ExperimentCtx) -> Vec<Table> {
     }
     t.row(mrow);
     t.note("insert = touch-promote predicted-shared fills; evict = restrict victims to predicted-private lines.");
-    vec![t]
+    Ok(vec![t])
 }

@@ -4,7 +4,8 @@ use llc_policies::PolicyKind;
 use llc_trace::App;
 
 use crate::epochs::EpochSeries;
-use crate::experiments::{per_app, ExperimentCtx};
+use crate::error::RunError;
+use crate::experiments::{per_app_try, ExperimentCtx};
 use crate::report::{f3, pct, Table};
 use crate::runner::simulate_kind;
 
@@ -15,9 +16,9 @@ const SERIES_POINTS: usize = 16;
 /// (`fft`, `ocean`, `mgrid`, `radix`) show bursty series — the behaviour
 /// that history-based fill-time predictors cannot track — while
 /// read-shared apps are steady.
-pub(crate) fn fig11(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn fig11(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
-    let cfg = ctx.config(cap);
+    let cfg = ctx.config(cap)?;
     // Keep the full app list but lead with the phase-structured ones.
     let mut apps: Vec<App> = ctx
         .apps
@@ -34,7 +35,7 @@ pub(crate) fn fig11(ctx: &ExperimentCtx) -> Vec<Table> {
         format!("Fig. 11 — Shared-hit fraction per epoch (LRU, {} KB LLC)", cap >> 10),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let rows = per_app(&apps, |app| {
+    let rows = per_app_try(&apps, |app| {
         // Pick the epoch length so the run divides into SERIES_POINTS
         // epochs: probe the LLC access count first.
         let probe = simulate_kind(
@@ -42,7 +43,7 @@ pub(crate) fn fig11(ctx: &ExperimentCtx) -> Vec<Table> {
             PolicyKind::Lru,
             &mut || app.workload(ctx.cores, ctx.scale),
             vec![],
-        );
+        )?;
         let epoch_len = (probe.llc.accesses / SERIES_POINTS as u64).max(1);
         let mut series = EpochSeries::new(epoch_len);
         simulate_kind(
@@ -50,18 +51,18 @@ pub(crate) fn fig11(ctx: &ExperimentCtx) -> Vec<Table> {
             PolicyKind::Lru,
             &mut || app.workload(ctx.cores, ctx.scale),
             vec![&mut series],
-        );
+        )?;
         let mut cells = vec![app.label().to_string(), f3(series.sharing_burstiness())];
         for i in 0..SERIES_POINTS {
             let v = series.epochs().get(i).map(|e| e.shared_hit_fraction()).unwrap_or(0.0);
             cells.push(pct(v));
         }
-        cells
-    });
+        Ok(cells)
+    })?;
     for r in rows {
         t.row(r);
     }
     t.note("burstiness = coefficient of variation of the per-epoch shared-hit fraction.");
     t.note("Bursty sharing means a block's next generation need not behave like its last one — the predictor's core difficulty.");
-    vec![t]
+    Ok(vec![t])
 }

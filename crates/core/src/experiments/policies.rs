@@ -4,7 +4,8 @@
 use llc_policies::PolicyKind;
 
 use crate::awareness::VictimizationStats;
-use crate::experiments::{per_app, ExperimentCtx};
+use crate::error::RunError;
+use crate::experiments::{per_app_try, ExperimentCtx};
 use crate::report::{f3, geomean, pct, Table};
 use crate::runner::simulate_kind;
 
@@ -22,31 +23,30 @@ pub(crate) const LINEUP: [PolicyKind; 8] = [
 
 /// Fig. 5: per-app LLC misses of each policy normalized to LRU, with OPT
 /// as the lower bound. One table per LLC size.
-pub(crate) fn fig5(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn fig5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let mut tables = Vec::new();
     for &cap in &ctx.llc_capacities {
-        let cfg = ctx.config(cap);
+        let cfg = ctx.config(cap)?;
         let mut headers: Vec<String> = vec!["app".into()];
         headers.extend(LINEUP.iter().map(|p| p.label().to_string()));
         let mut t = Table::new(
             format!("Fig. 5 — LLC misses normalized to LRU ({} KB LLC)", cap >> 10),
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
-        let rows: Vec<Vec<f64>> = per_app(&ctx.apps, |app| {
+        let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
             let mut make = || app.workload(ctx.cores, ctx.scale);
-            let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).llc.misses();
-            LINEUP
-                .iter()
-                .map(|&kind| {
-                    let misses = if kind == PolicyKind::Lru {
-                        lru
-                    } else {
-                        simulate_kind(&cfg, kind, &mut make, vec![]).llc.misses()
-                    };
-                    misses as f64 / lru.max(1) as f64
-                })
-                .collect()
-        });
+            let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?.llc.misses();
+            let mut vals = Vec::with_capacity(LINEUP.len());
+            for &kind in &LINEUP {
+                let misses = if kind == PolicyKind::Lru {
+                    lru
+                } else {
+                    simulate_kind(&cfg, kind, &mut make, vec![])?.llc.misses()
+                };
+                vals.push(misses as f64 / lru.max(1) as f64);
+            }
+            Ok(vals)
+        })?;
         for (app, vals) in ctx.apps.iter().zip(&rows) {
             let mut cells = vec![app.label().to_string()];
             cells.extend(vals.iter().map(|&v| f3(v)));
@@ -60,14 +60,14 @@ pub(crate) fn fig5(ctx: &ExperimentCtx) -> Vec<Table> {
         t.note("Below 1.000 = fewer misses than LRU. OPT is the non-bypassing optimal lower bound.");
         tables.push(t);
     }
-    tables
+    Ok(tables)
 }
 
 /// Fig. 6: how sharing-oblivious is each policy? Premature
 /// shared-victimization rates, with OPT as the reference.
-pub(crate) fn fig6(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn fig6(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
-    let cfg = ctx.config(cap);
+    let cfg = ctx.config(cap)?;
     let window = 64 * ctx.llc_ways as u64;
     let policies = [
         PolicyKind::Lru,
@@ -85,7 +85,7 @@ pub(crate) fn fig6(ctx: &ExperimentCtx) -> Vec<Table> {
         format!("Fig. 6 — Premature (shared) victimization rates ({} KB LLC, window {})", cap >> 10, window),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let rows = per_app(&ctx.apps, |app| {
+    let rows = per_app_try(&ctx.apps, |app| {
         let mut cells = vec![app.label().to_string()];
         for &kind in &policies {
             let mut stats = VictimizationStats::new(window);
@@ -94,16 +94,16 @@ pub(crate) fn fig6(ctx: &ExperimentCtx) -> Vec<Table> {
                 kind,
                 &mut || app.workload(ctx.cores, ctx.scale),
                 vec![&mut stats],
-            );
+            )?;
             cells.push(pct(stats.premature_rate()));
             cells.push(pct(stats.shared_victimization_rate()));
         }
-        cells
-    });
+        Ok(cells)
+    })?;
     for r in rows {
         t.row(r);
     }
     t.note("prem% = evictions refilled within the window; shvic% = those whose refill became shared.");
     t.note("OPT's near-zero shvic% is what 'OPT is naturally sharing-aware' means quantitatively.");
-    vec![t]
+    Ok(vec![t])
 }

@@ -6,15 +6,16 @@ use llc_predictors::{
     build_predictor, build_predictor_with, PredictorKind, PredictorStudy, TableConfig,
 };
 
-use crate::experiments::{per_app, ExperimentCtx};
+use crate::error::RunError;
+use crate::experiments::{per_app_try, ExperimentCtx};
 use crate::report::{f3, mean, pct, Table};
 use crate::runner::{simulate_kind, simulate_oracle, simulate_predictor_wrap};
 
 /// Fig. 9: the paper's predictability study — what accuracy can
 /// fill-time, history-based sharing predictors achieve?
-pub(crate) fn fig9(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn fig9(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
-    let cfg = ctx.config(cap);
+    let cfg = ctx.config(cap)?;
     let designs = [
         PredictorKind::Address,
         PredictorKind::Pc,
@@ -29,16 +30,16 @@ pub(crate) fn fig9(ctx: &ExperimentCtx) -> Vec<Table> {
             format!("Fig. 9 — {design} fill-time sharing predictor ({} KB LLC, LRU)", cap >> 10),
             &["app", "shared rate", "accuracy", "precision", "recall", "MCC", "coverage"],
         );
-        let rows = per_app(&ctx.apps, |app| {
+        let rows = per_app_try(&ctx.apps, |app| {
             let mut study = PredictorStudy::new(build_predictor(design));
             simulate_kind(
                 &cfg,
                 PolicyKind::Lru,
                 &mut || app.workload(ctx.cores, ctx.scale),
                 vec![&mut study],
-            );
+            )?;
             let m = study.matrix();
-            vec![
+            Ok(vec![
                 app.label().to_string(),
                 pct(m.shared_rate()),
                 pct(m.accuracy()),
@@ -46,8 +47,8 @@ pub(crate) fn fig9(ctx: &ExperimentCtx) -> Vec<Table> {
                 pct(m.recall()),
                 f3(m.mcc()),
                 pct(m.coverage()),
-            ]
-        });
+            ])
+        })?;
         for r in rows {
             t.row(r);
         }
@@ -57,25 +58,25 @@ pub(crate) fn fig9(ctx: &ExperimentCtx) -> Vec<Table> {
         }
         tables.push(t);
     }
-    tables
+    Ok(tables)
 }
 
 /// Fig. 10: drive the protection mechanism from the realistic predictors
 /// and compare against the oracle — how much of the oracle's gain
 /// survives?
-pub(crate) fn fig10(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn fig10(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
-    let cfg = ctx.config(cap);
+    let cfg = ctx.config(cap)?;
     let mut t = Table::new(
         format!("Fig. 10 — End-to-end: predictor-driven wrapper vs oracle ({} KB LLC, base LRU)", cap >> 10),
         &["app", "oracle gain", "Addr gain", "PC gain", "Addr+PC gain", "Region gain", "PC+Phase gain"],
     );
-    let rows: Vec<Vec<f64>> = per_app(&ctx.apps, |app| {
+    let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
         let mut make = || app.workload(ctx.cores, ctx.scale);
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).llc.misses();
+        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?.llc.misses();
         let red = |m: u64| 1.0 - m as f64 / lru.max(1) as f64;
         let oracle =
-            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![]);
+            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])?;
         let mut vals = vec![red(oracle.llc.misses())];
         for design in [
             PredictorKind::Address,
@@ -90,11 +91,11 @@ pub(crate) fn fig10(ctx: &ExperimentCtx) -> Vec<Table> {
                 build_predictor(design),
                 &mut make,
                 vec![],
-            );
+            )?;
             vals.push(red(r.llc.misses()));
         }
-        vals
-    });
+        Ok(vals)
+    })?;
     for (app, vals) in ctx.apps.iter().zip(&rows) {
         let mut cells = vec![app.label().to_string()];
         cells.extend(vals.iter().map(|&v| pct(v)));
@@ -107,13 +108,13 @@ pub(crate) fn fig10(ctx: &ExperimentCtx) -> Vec<Table> {
     t.row(mrow);
     t.note("gain = 1 - misses/misses(LRU). The gap between column 1 and columns 2-4 is the paper's negative result;");
     t.note("Region and PC+Phase are this reproduction's extensions testing the paper's closing conjecture.");
-    vec![t]
+    Ok(vec![t])
 }
 
 /// Table 3: predictor accuracy as a function of the hardware budget.
-pub(crate) fn table3(ctx: &ExperimentCtx) -> Vec<Table> {
+pub(crate) fn table3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
-    let cfg = ctx.config(cap);
+    let cfg = ctx.config(cap)?;
     let budgets = [
         ("512e/2b", TableConfig { entries: 512, assoc: 4, counter_bits: 2, init_on_shared: 2, tag_bits: 10 }),
         ("4096e/3b", TableConfig::realistic()),
@@ -129,7 +130,7 @@ pub(crate) fn table3(ctx: &ExperimentCtx) -> Vec<Table> {
             format!("Table 3 — {design} predictor budget sweep ({} KB LLC, LRU)", cap >> 10),
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
-        let rows = per_app(&ctx.apps, |app| {
+        let rows = per_app_try(&ctx.apps, |app| {
             let mut cells = vec![app.label().to_string()];
             for (_, table_cfg) in &budgets {
                 let mut study = PredictorStudy::new(build_predictor_with(design, *table_cfg));
@@ -138,17 +139,17 @@ pub(crate) fn table3(ctx: &ExperimentCtx) -> Vec<Table> {
                     PolicyKind::Lru,
                     &mut || app.workload(ctx.cores, ctx.scale),
                     vec![&mut study],
-                );
+                )?;
                 let m = study.matrix();
                 cells.push(format!("{}/{}", pct(m.accuracy()), f3(m.mcc())));
             }
-            cells
-        });
+            Ok(cells)
+        })?;
         for r in rows {
             t.row(r);
         }
         t.note("Larger tables lift coverage but the MCC ceiling is set by the behaviour, not the budget — the paper's conclusion.");
         tables.push(t);
     }
-    tables
+    Ok(tables)
 }

@@ -23,6 +23,7 @@
 //! use llc_sim::HierarchyConfig;
 //! use llc_trace::{App, Scale};
 //!
+//! # fn main() -> Result<(), llc_sharing::RunError> {
 //! let cfg = HierarchyConfig::tiny();
 //! let mut profile = SharingProfile::new();
 //! let result = simulate_kind(
@@ -30,10 +31,12 @@
 //!     PolicyKind::Lru,
 //!     &mut || App::Bodytrack.workload(cfg.cores, Scale::Tiny),
 //!     vec![&mut profile],
-//! );
+//! )?;
 //! assert!(result.llc.accesses > 0);
 //! // bodytrack's shared model makes shared generations matter:
 //! assert!(profile.shared_hit_fraction() > 0.0);
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -42,16 +45,20 @@
 pub mod awareness;
 pub mod characterize;
 pub mod epochs;
+pub mod error;
 pub mod model;
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod suite;
 
 pub use awareness::VictimizationStats;
 pub use characterize::{ClassTally, SharingProfile};
 pub use epochs::{EpochSeries, EpochStat};
+pub use error::RunError;
 pub use model::LatencyModel;
 pub use experiments::{per_app, run_experiment, ExperimentCtx, ExperimentId};
+pub use suite::{run_suite, run_suite_with, ExperimentOutcome, SuiteConfig, SuiteReport};
 pub use report::{f2, f3, geomean, mean, pct, Table};
 pub use runner::{
     compute_next_use, compute_shared_soon, oracle_window, run_simple, simulate, simulate_kind,

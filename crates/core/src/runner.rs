@@ -26,6 +26,8 @@ use llc_sim::{
 };
 use llc_trace::TraceSource;
 
+use crate::error::RunError;
+
 /// Aggregate result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
@@ -66,30 +68,43 @@ impl RunResult {
 /// Runs `policy` over `trace` with optional aux annotations and
 /// observers. The hierarchy is flushed at the end so every generation is
 /// reported.
+///
+/// # Errors
+///
+/// Returns [`RunError::Sim`] if the hierarchy configuration is invalid or
+/// a record names a core the hierarchy does not have (a trace recorded on
+/// a wider machine, or a corrupted core byte that slipped past the
+/// decoder), and [`RunError::Trace`] if the trace source ended on a
+/// decode error (file replay of a corrupt trace) rather than clean
+/// exhaustion.
 pub fn simulate<W: TraceSource>(
     config: &HierarchyConfig,
     policy: Box<dyn ReplacementPolicy>,
     aux: Option<Box<dyn AuxProvider>>,
     mut trace: W,
     observers: Vec<&mut dyn LlcObserver>,
-) -> RunResult {
-    let mut cmp = Cmp::new(*config, policy).expect("validated hierarchy config");
+) -> Result<RunResult, RunError> {
+    let mut cmp = Cmp::new(*config, policy).map_err(llc_sim::SimError::from)?;
     if let Some(aux) = aux {
         cmp.set_aux_provider(aux);
     }
     let mut obs = MultiObserver::new(observers);
     while let Some(a) = trace.next_access() {
+        cmp.check_access(&a)?;
         cmp.access(a, &mut obs);
     }
+    if let Some(e) = trace.take_error() {
+        return Err(RunError::Trace(e));
+    }
     cmp.finish(&mut obs);
-    RunResult {
+    Ok(RunResult {
         policy: cmp.llc().policy().name(),
         llc: cmp.llc_stats(),
         l1: cmp.l1_stats(),
         l2: cmp.l2_stats(),
         instructions: cmp.instructions(),
         trace_accesses: cmp.trace_accesses(),
-    }
+    })
 }
 
 /// Runs a realistic policy (no annotations needed).
@@ -98,7 +113,7 @@ pub fn simulate_kind<W, F>(
     kind: PolicyKind,
     make_trace: &mut F,
     observers: Vec<&mut dyn LlcObserver>,
-) -> RunResult
+) -> Result<RunResult, RunError>
 where
     W: TraceSource,
     F: FnMut() -> W,
@@ -117,14 +132,14 @@ pub fn simulate_opt<W, F>(
     config: &HierarchyConfig,
     make_trace: &mut F,
     observers: Vec<&mut dyn LlcObserver>,
-) -> RunResult
+) -> Result<RunResult, RunError>
 where
     W: TraceSource,
     F: FnMut() -> W,
 {
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    let next_use = compute_next_use(config, make_trace());
+    let next_use = compute_next_use(config, make_trace())?;
     simulate(
         config,
         build_policy(PolicyKind::Opt, sets, ways),
@@ -148,7 +163,7 @@ pub fn simulate_oracle<W, F>(
     window: Option<u64>,
     make_trace: &mut F,
     observers: Vec<&mut dyn LlcObserver>,
-) -> RunResult
+) -> Result<RunResult, RunError>
 where
     W: TraceSource,
     F: FnMut() -> W,
@@ -156,9 +171,9 @@ where
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
     let window = window.unwrap_or_else(|| oracle_window(config));
-    let outcomes = compute_shared_soon(config, make_trace(), window);
+    let outcomes = compute_shared_soon(config, make_trace(), window)?;
     if base == PolicyKind::Opt {
-        let next_use = compute_next_use(config, make_trace());
+        let next_use = compute_next_use(config, make_trace())?;
         let policy = Box::new(OracleWrap::with_mode(
             build_policy(PolicyKind::Opt, sets, ways),
             sets,
@@ -193,7 +208,7 @@ pub fn simulate_oracle_opt<W, F>(
     config: &HierarchyConfig,
     make_trace: &mut F,
     observers: Vec<&mut dyn LlcObserver>,
-) -> RunResult
+) -> Result<RunResult, RunError>
 where
     W: TraceSource,
     F: FnMut() -> W,
@@ -210,7 +225,7 @@ pub fn simulate_reactive<W, F>(
     base: PolicyKind,
     make_trace: &mut F,
     observers: Vec<&mut dyn LlcObserver>,
-) -> RunResult
+) -> Result<RunResult, RunError>
 where
     W: TraceSource,
     F: FnMut() -> W,
@@ -228,7 +243,7 @@ pub fn simulate_predictor_wrap<W, F>(
     predictor: Box<dyn SharingPredictor>,
     make_trace: &mut F,
     observers: Vec<&mut dyn LlcObserver>,
-) -> RunResult
+) -> Result<RunResult, RunError>
 where
     W: TraceSource,
     F: FnMut() -> W,
@@ -241,12 +256,15 @@ where
 
 /// Records the LLC reference stream and computes, for each access, the
 /// stream index of the next access to the same block.
-pub fn compute_next_use<W: TraceSource>(config: &HierarchyConfig, trace: W) -> Vec<u64> {
+pub fn compute_next_use<W: TraceSource>(
+    config: &HierarchyConfig,
+    trace: W,
+) -> Result<Vec<u64>, RunError> {
     let mut recorder = StreamRecorder::default();
     // The recording policy is irrelevant to the stream; LRU is cheap.
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    simulate(config, build_policy(PolicyKind::Lru, sets, ways), None, trace, vec![&mut recorder]);
+    simulate(config, build_policy(PolicyKind::Lru, sets, ways), None, trace, vec![&mut recorder])?;
     let blocks = recorder.blocks;
     let mut next_use = vec![u64::MAX; blocks.len()];
     let mut last_seen: HashMap<BlockAddr, u64> = HashMap::new();
@@ -256,7 +274,7 @@ pub fn compute_next_use<W: TraceSource>(config: &HierarchyConfig, trace: W) -> V
         }
         last_seen.insert(*b, i as u64);
     }
-    next_use
+    Ok(next_use)
 }
 
 /// Computes the oracle's answer vector from the (policy-independent) LLC
@@ -280,11 +298,11 @@ pub fn compute_shared_soon<W: TraceSource>(
     config: &HierarchyConfig,
     trace: W,
     window: u64,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, RunError> {
     let mut recorder = StreamRecorder::default();
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    simulate(config, build_policy(PolicyKind::Lru, sets, ways), None, trace, vec![&mut recorder]);
+    simulate(config, build_policy(PolicyKind::Lru, sets, ways), None, trace, vec![&mut recorder])?;
     let n = recorder.blocks.len();
     let mut outcome = vec![false; n];
     // Backward scan: for each block keep (nearest future access n1 with
@@ -306,7 +324,7 @@ pub fn compute_shared_soon<W: TraceSource>(
         let new_n2 = if entry.n1 != u64::MAX && entry.c1 != core { entry.n1 } else { entry.n2 };
         *entry = Next { n1: i as u64, c1: core, n2: new_n2 };
     }
-    outcome
+    Ok(outcome)
 }
 
 /// The default oracle retention horizon for a hierarchy: four times the
@@ -407,7 +425,15 @@ impl AuxProvider for CombinedProvider {
 }
 
 /// Convenience: runs a policy (including OPT) with no observers.
-pub fn run_simple<W, F>(config: &HierarchyConfig, kind: PolicyKind, make_trace: &mut F) -> RunResult
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn run_simple<W, F>(
+    config: &HierarchyConfig,
+    kind: PolicyKind,
+    make_trace: &mut F,
+) -> Result<RunResult, RunError>
 where
     W: TraceSource,
     F: FnMut() -> W,
@@ -439,14 +465,16 @@ mod tests {
             None,
             make(App::Bodytrack)(),
             vec![&mut rec_lru],
-        );
+        )
+        .expect("run");
         simulate(
             &c,
             build_policy(PolicyKind::Random, c.llc.sets() as usize, c.llc.ways),
             None,
             make(App::Bodytrack)(),
             vec![&mut rec_rand],
-        );
+        )
+        .expect("run");
         assert_eq!(rec_lru.blocks, rec_rand.blocks);
         assert!(!rec_lru.blocks.is_empty());
     }
@@ -461,8 +489,9 @@ mod tests {
             None,
             make(App::Water)(),
             vec![&mut rec],
-        );
-        let next = compute_next_use(&c, make(App::Water)());
+        )
+        .expect("run");
+        let next = compute_next_use(&c, make(App::Water)()).expect("pre-pass");
         assert_eq!(next.len(), rec.blocks.len());
         for (i, &n) in next.iter().enumerate() {
             if n != u64::MAX {
@@ -481,9 +510,9 @@ mod tests {
     fn opt_beats_every_realistic_policy() {
         let c = cfg();
         for app in [App::Bodytrack, App::Fft, App::Canneal] {
-            let opt = simulate_opt(&c, &mut make(app), vec![]);
+            let opt = simulate_opt(&c, &mut make(app), vec![]).expect("run");
             for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Random] {
-                let r = simulate_kind(&c, kind, &mut make(app), vec![]);
+                let r = simulate_kind(&c, kind, &mut make(app), vec![]).expect("run");
                 assert!(
                     opt.llc.misses() <= r.llc.misses(),
                     "{app}: OPT {} > {} {}",
@@ -501,7 +530,7 @@ mod tests {
     fn oracle_never_hurts_much_and_usually_helps() {
         let c = cfg();
         for app in [App::Bodytrack, App::Streamcluster] {
-            let lru = simulate_kind(&c, PolicyKind::Lru, &mut make(app), vec![]);
+            let lru = simulate_kind(&c, PolicyKind::Lru, &mut make(app), vec![]).expect("run");
             let oracle = simulate_oracle(
                 &c,
                 PolicyKind::Lru,
@@ -509,7 +538,8 @@ mod tests {
                 None,
                 &mut make(app),
                 vec![],
-            );
+            )
+            .expect("run");
             assert_eq!(lru.llc.accesses, oracle.llc.accesses);
             // The oracle is an approximation (outcomes from the base run),
             // so allow a small regression margin but catch blow-ups.
@@ -533,13 +563,14 @@ mod tests {
             None,
             make(App::Dedup)(),
             vec![&mut rec],
-        );
+        )
+        .expect("run");
         let window = 64u64;
-        let fast = compute_shared_soon(&c, make(App::Dedup)(), window);
+        let fast = compute_shared_soon(&c, make(App::Dedup)(), window).expect("pre-pass");
         assert_eq!(fast.len(), rec.blocks.len());
         // Brute force on a prefix (quadratic).
         let n = rec.blocks.len().min(3000);
-        for i in 0..n {
+        for (i, &got) in fast.iter().enumerate().take(n) {
             let mut expected = false;
             for j in i + 1..rec.blocks.len().min(i + 1 + window as usize) {
                 if rec.blocks[j] == rec.blocks[i] && rec.cores[j] != rec.cores[i] {
@@ -547,7 +578,7 @@ mod tests {
                     break;
                 }
             }
-            assert_eq!(fast[i], expected, "mismatch at stream position {i}");
+            assert_eq!(got, expected, "mismatch at stream position {i}");
         }
         // The workload has sharing, so some positions must be positive.
         assert!(fast.iter().any(|&b| b));
@@ -557,15 +588,17 @@ mod tests {
     #[test]
     fn oracle_run_is_deterministic() {
         let c = cfg();
-        let a = simulate_oracle(&c, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make(App::Water), vec![]);
-        let b = simulate_oracle(&c, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make(App::Water), vec![]);
+        let a = simulate_oracle(&c, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make(App::Water), vec![])
+            .expect("run");
+        let b = simulate_oracle(&c, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make(App::Water), vec![])
+            .expect("run");
         assert_eq!(a.llc, b.llc);
     }
 
     #[test]
     fn run_result_mpki_uses_instructions() {
         let c = cfg();
-        let r = simulate_kind(&c, PolicyKind::Lru, &mut make(App::Swaptions), vec![]);
+        let r = simulate_kind(&c, PolicyKind::Lru, &mut make(App::Swaptions), vec![]).expect("run");
         assert!(r.instructions > r.trace_accesses);
         assert!(r.llc_mpki() > 0.0);
         assert!(r.l1_mpki() >= r.llc_mpki());

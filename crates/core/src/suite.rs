@@ -1,0 +1,610 @@
+//! A crash-isolating, resumable experiment-suite runner.
+//!
+//! [`run_experiment`](crate::experiments::run_experiment) runs one
+//! experiment and returns its tables or a typed error. This module wraps
+//! that in the harness a long unattended campaign needs:
+//!
+//! * **Crash isolation** — each experiment runs on its own thread under
+//!   `catch_unwind`; a panic (or a typed error) becomes a structured
+//!   [`ExperimentOutcome::Failed`] row and the suite moves on instead of
+//!   aborting, so one broken experiment cannot take down an overnight run.
+//! * **Watchdog** — a configurable wall-clock budget per experiment. On
+//!   timeout the worker thread is abandoned (detached, never joined) and
+//!   the experiment is recorded as failed; the suite continues.
+//! * **Checkpointing** — each completed experiment's tables are appended
+//!   to a JSON manifest with an atomic write-to-temp-then-rename. A rerun
+//!   pointed at the same manifest replays completed experiments from disk
+//!   ([`ExperimentOutcome::Resumed`]) instead of recomputing their
+//!   OPT/oracle pre-passes.
+//! * **Bounded IO retry** — manifest reads and writes retry with
+//!   exponential backoff before giving up; a checkpoint that still fails
+//!   is recorded in the report but does not fail the suite.
+//!
+//! The manifest format is a small hand-rolled JSON document (this
+//! workspace deliberately has no serde dependency); see [`SuiteReport`]
+//! for the shape.
+
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::error::RunError;
+use crate::experiments::{run_experiment, ExperimentCtx, ExperimentId};
+use crate::report::Table;
+
+mod json;
+
+/// Configuration of the suite harness.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Wall-clock budget per experiment; `None` disables the watchdog.
+    pub timeout: Option<Duration>,
+    /// Additional attempts for a failing manifest read/write (0 = one
+    /// attempt, no retries).
+    pub io_retries: u32,
+    /// Backoff before the first retry; doubled after each failure.
+    pub retry_backoff: Duration,
+    /// Checkpoint manifest path; `None` disables checkpointing/resume.
+    pub manifest_path: Option<PathBuf>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            timeout: Some(Duration::from_secs(1800)),
+            io_retries: 3,
+            retry_backoff: Duration::from_millis(50),
+            manifest_path: None,
+        }
+    }
+}
+
+/// What happened to one experiment in a suite run.
+#[derive(Debug, Clone)]
+pub enum ExperimentOutcome {
+    /// Ran to completion in this invocation.
+    Completed {
+        /// The experiment's rendered tables.
+        tables: Vec<Table>,
+    },
+    /// Replayed from the checkpoint manifest without recomputation.
+    Resumed {
+        /// The tables as checkpointed by the earlier invocation.
+        tables: Vec<Table>,
+    },
+    /// Did not produce tables; the suite recorded why and moved on.
+    Failed {
+        /// Human-readable failure reason (typed error, panic payload or
+        /// watchdog timeout).
+        reason: String,
+    },
+}
+
+impl ExperimentOutcome {
+    /// The tables, if the experiment produced any.
+    pub fn tables(&self) -> Option<&[Table]> {
+        match self {
+            ExperimentOutcome::Completed { tables } | ExperimentOutcome::Resumed { tables } => {
+                Some(tables)
+            }
+            ExperimentOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// The result of a suite run: one outcome per requested experiment, in
+/// request order, plus any checkpoint-write complaints.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// One `(experiment, outcome)` row per requested experiment.
+    pub outcomes: Vec<(ExperimentId, ExperimentOutcome)>,
+    /// Checkpoint writes that failed even after retries (the suite still
+    /// completed; only resumability is degraded).
+    pub checkpoint_errors: Vec<String>,
+}
+
+impl SuiteReport {
+    /// Experiments that ran to completion in this invocation.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, ExperimentOutcome::Completed { .. }))
+            .count()
+    }
+
+    /// Experiments replayed from the checkpoint manifest.
+    pub fn resumed(&self) -> usize {
+        self.outcomes.iter().filter(|(_, o)| matches!(o, ExperimentOutcome::Resumed { .. })).count()
+    }
+
+    /// Experiments that failed (error, panic or timeout).
+    pub fn failed(&self) -> usize {
+        self.outcomes.iter().filter(|(_, o)| matches!(o, ExperimentOutcome::Failed { .. })).count()
+    }
+
+    /// A one-row-per-experiment status table for the end of a report.
+    pub fn summary(&self) -> Table {
+        let mut t = Table::new("Suite summary", &["experiment", "status", "detail"]);
+        for (id, outcome) in &self.outcomes {
+            let (status, detail) = match outcome {
+                ExperimentOutcome::Completed { tables } => {
+                    ("completed".to_string(), format!("{} table(s)", tables.len()))
+                }
+                ExperimentOutcome::Resumed { tables } => {
+                    ("resumed".to_string(), format!("{} table(s) from checkpoint", tables.len()))
+                }
+                ExperimentOutcome::Failed { reason } => ("FAILED".to_string(), reason.clone()),
+            };
+            t.row(vec![id.label().to_string(), status, detail]);
+        }
+        for e in &self.checkpoint_errors {
+            t.note(format!("checkpoint warning: {e}"));
+        }
+        t
+    }
+}
+
+/// Runs the given experiments under the full harness (isolation,
+/// watchdog, checkpoint/resume) using the real
+/// [`run_experiment`](crate::experiments::run_experiment).
+///
+/// # Errors
+///
+/// Fails only if an existing checkpoint manifest cannot be read or
+/// parsed — per-experiment failures are recorded in the report, not
+/// returned. Delete (or move) a corrupt manifest to proceed without it.
+pub fn run_suite(
+    ids: &[ExperimentId],
+    ctx: &ExperimentCtx,
+    config: &SuiteConfig,
+) -> Result<SuiteReport, RunError> {
+    run_suite_with(ids, ctx, config, run_experiment)
+}
+
+/// [`run_suite`] generic over the experiment body, so tests can inject
+/// panicking, hanging or counting experiments without touching the real
+/// registry.
+///
+/// # Errors
+///
+/// Same conditions as [`run_suite`].
+pub fn run_suite_with<F>(
+    ids: &[ExperimentId],
+    ctx: &ExperimentCtx,
+    config: &SuiteConfig,
+    run_fn: F,
+) -> Result<SuiteReport, RunError>
+where
+    F: Fn(ExperimentId, &ExperimentCtx) -> Result<Vec<Table>, RunError> + Send + Sync + 'static,
+{
+    let run_fn = Arc::new(run_fn);
+    let mut manifest = match &config.manifest_path {
+        Some(path) => load_manifest(path, config)?,
+        None => Manifest::default(),
+    };
+    let mut report = SuiteReport { outcomes: Vec::new(), checkpoint_errors: Vec::new() };
+
+    for &id in ids {
+        if let Some(tables) = manifest.get(id.label()) {
+            report.outcomes.push((id, ExperimentOutcome::Resumed { tables: tables.to_vec() }));
+            continue;
+        }
+        let outcome = run_isolated(id, ctx, config, Arc::clone(&run_fn));
+        if let (Some(path), ExperimentOutcome::Completed { tables }) =
+            (&config.manifest_path, &outcome)
+        {
+            manifest.insert(id.label(), tables.clone());
+            if let Err(e) = save_manifest(&manifest, path, config) {
+                report.checkpoint_errors.push(e.to_string());
+            }
+        }
+        report.outcomes.push((id, outcome));
+    }
+    Ok(report)
+}
+
+/// Runs one experiment on a dedicated thread under `catch_unwind` and the
+/// watchdog. On timeout the worker is abandoned: its thread keeps running
+/// detached until the process exits (acceptable for a batch harness; the
+/// alternative — killing a thread — is unsound in Rust).
+fn run_isolated<F>(
+    id: ExperimentId,
+    ctx: &ExperimentCtx,
+    config: &SuiteConfig,
+    run_fn: Arc<F>,
+) -> ExperimentOutcome
+where
+    F: Fn(ExperimentId, &ExperimentCtx) -> Result<Vec<Table>, RunError> + Send + Sync + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let ctx = ctx.clone();
+    let spawned = thread::Builder::new()
+        .name(format!("experiment-{}", id.label()))
+        .spawn(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| run_fn(id, &ctx)));
+            // The receiver may be gone after a watchdog timeout; that is
+            // fine, the outcome was already recorded.
+            let _ = tx.send(result);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => {
+            return ExperimentOutcome::Failed {
+                reason: format!("could not spawn experiment thread: {e}"),
+            }
+        }
+    };
+    let received = match config.timeout {
+        Some(limit) => match rx.recv_timeout(limit) {
+            Ok(r) => r,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                drop(handle); // abandon the worker; see the function docs
+                let e = RunError::TimedOut { label: id.label().to_string(), limit };
+                return ExperimentOutcome::Failed { reason: e.to_string() };
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return ExperimentOutcome::Failed {
+                    reason: "experiment thread exited without reporting".into(),
+                }
+            }
+        },
+        None => match rx.recv() {
+            Ok(r) => r,
+            Err(_) => {
+                return ExperimentOutcome::Failed {
+                    reason: "experiment thread exited without reporting".into(),
+                }
+            }
+        },
+    };
+    let _ = handle.join(); // already reported; join cannot block long
+    match received {
+        Ok(Ok(tables)) => ExperimentOutcome::Completed { tables },
+        Ok(Err(e)) => ExperimentOutcome::Failed { reason: e.to_string() },
+        Err(payload) => {
+            let e = RunError::Panicked {
+                label: id.label().to_string(),
+                reason: panic_message(payload.as_ref()),
+            };
+            ExperimentOutcome::Failed { reason: e.to_string() }
+        }
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Retries an IO operation with exponential backoff, converting the final
+/// failure into [`RunError::Io`].
+fn with_retries<T>(
+    config: &SuiteConfig,
+    context: &str,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> Result<T, RunError> {
+    let mut backoff = config.retry_backoff;
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..=config.io_retries {
+        if attempt > 0 {
+            thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(RunError::Io {
+        context: context.to_string(),
+        // infallible: the loop body ran at least once, so last_err is set.
+        source: last_err.expect("at least one attempt"),
+    })
+}
+
+/// The checkpoint manifest: completed experiments and their tables, in
+/// completion order.
+#[derive(Debug, Default)]
+struct Manifest {
+    entries: Vec<(String, Vec<Table>)>,
+}
+
+impl Manifest {
+    fn get(&self, label: &str) -> Option<&[Table]> {
+        self.entries.iter().find(|(l, _)| l == label).map(|(_, t)| t.as_slice())
+    }
+
+    fn insert(&mut self, label: &str, tables: Vec<Table>) {
+        if let Some(entry) = self.entries.iter_mut().find(|(l, _)| l == label) {
+            entry.1 = tables;
+        } else {
+            self.entries.push((label.to_string(), tables));
+        }
+    }
+}
+
+/// Loads a manifest; a missing file is an empty manifest, an unreadable
+/// or unparsable one is a typed error.
+fn load_manifest(path: &Path, config: &SuiteConfig) -> Result<Manifest, RunError> {
+    if !path.exists() {
+        return Ok(Manifest::default());
+    }
+    let text = with_retries(config, &format!("reading manifest {}", path.display()), || {
+        std::fs::read_to_string(path)
+    })?;
+    parse_manifest(&text).map_err(|reason| RunError::Manifest {
+        path: path.display().to_string(),
+        reason,
+    })
+}
+
+/// Writes the manifest atomically: serialize to `<path>.tmp`, then
+/// rename over the target, so a crash mid-write can never leave a
+/// half-written manifest where the next run would find it.
+fn save_manifest(manifest: &Manifest, path: &Path, config: &SuiteConfig) -> Result<(), RunError> {
+    let text = render_manifest(manifest);
+    let tmp = path.with_extension("tmp");
+    with_retries(config, &format!("writing manifest {}", path.display()), || {
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, path)
+    })
+}
+
+const MANIFEST_VERSION: u64 = 1;
+
+fn render_manifest(manifest: &Manifest) -> String {
+    use json::Value;
+    let entries: Vec<Value> = manifest
+        .entries
+        .iter()
+        .map(|(label, tables)| {
+            Value::object(vec![
+                ("id", Value::Str(label.clone())),
+                ("tables", Value::Array(tables.iter().map(table_to_json).collect())),
+            ])
+        })
+        .collect();
+    let doc = Value::object(vec![
+        ("version", Value::Num(MANIFEST_VERSION as f64)),
+        ("entries", Value::Array(entries)),
+    ]);
+    let mut out = doc.render();
+    out.push('\n');
+    out
+}
+
+fn table_to_json(t: &Table) -> json::Value {
+    use json::Value;
+    let strings = |v: &[String]| Value::Array(v.iter().map(|s| Value::Str(s.clone())).collect());
+    Value::object(vec![
+        ("title", Value::Str(t.title.clone())),
+        ("headers", strings(&t.headers)),
+        ("rows", Value::Array(t.rows.iter().map(|r| strings(r)).collect())),
+        ("notes", strings(&t.notes)),
+    ])
+}
+
+fn parse_manifest(text: &str) -> Result<Manifest, String> {
+    use json::Value;
+    let doc = json::parse(text)?;
+    let version = doc.field("version").and_then(Value::as_u64).ok_or("missing version")?;
+    if version != MANIFEST_VERSION {
+        return Err(format!("unsupported manifest version {version}"));
+    }
+    let entries = doc.field("entries").and_then(Value::as_array).ok_or("missing entries")?;
+    let mut manifest = Manifest::default();
+    for entry in entries {
+        let label = entry
+            .field("id")
+            .and_then(Value::as_str)
+            .ok_or("entry missing id")?
+            .to_string();
+        let tables = entry.field("tables").and_then(Value::as_array).ok_or("entry missing tables")?;
+        let tables: Result<Vec<Table>, String> = tables.iter().map(table_from_json).collect();
+        manifest.insert(&label, tables?);
+    }
+    Ok(manifest)
+}
+
+fn table_from_json(v: &json::Value) -> Result<Table, String> {
+    use json::Value;
+    let strings = |v: Option<&Value>, what: &str| -> Result<Vec<String>, String> {
+        v.and_then(Value::as_array)
+            .ok_or_else(|| format!("table missing {what}"))?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string).ok_or_else(|| format!("non-string in {what}")))
+            .collect()
+    };
+    let title =
+        v.field("title").and_then(Value::as_str).ok_or("table missing title")?.to_string();
+    let headers = strings(v.field("headers"), "headers")?;
+    let rows = v
+        .field("rows")
+        .and_then(Value::as_array)
+        .ok_or("table missing rows")?
+        .iter()
+        .map(|r| strings(Some(r), "row"))
+        .collect::<Result<Vec<_>, _>>()?;
+    for row in &rows {
+        if row.len() != headers.len() {
+            return Err(format!("ragged row in table {title:?}"));
+        }
+    }
+    let notes = strings(v.field("notes"), "notes")?;
+    Ok(Table { title, headers, rows, notes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(title: &str) -> Table {
+        let mut t = Table::new(title, &["k", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.note("a note with \"quotes\" and a \\ backslash");
+        t
+    }
+
+    fn quick_config() -> SuiteConfig {
+        SuiteConfig {
+            timeout: Some(Duration::from_secs(10)),
+            io_retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            manifest_path: None,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_tables() {
+        let mut m = Manifest::default();
+        m.insert("fig7", vec![table("Fig 7 — «headline», 100%")]);
+        m.insert("table1", vec![table("T1"), table("T1b")]);
+        let text = render_manifest(&m);
+        let back = parse_manifest(&text).expect("parse own output");
+        assert_eq!(back.entries.len(), 2);
+        let fig7 = back.get("fig7").expect("fig7 present");
+        assert_eq!(fig7.len(), 1);
+        assert_eq!(fig7[0].title, "Fig 7 — «headline», 100%");
+        assert_eq!(fig7[0].rows, vec![vec!["a".to_string(), "1".to_string()]]);
+        assert_eq!(back.get("table1").map(<[Table]>::len), Some(2));
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_error() {
+        assert!(parse_manifest("{").is_err());
+        assert!(parse_manifest("{\"version\": 99, \"entries\": []}").is_err());
+        assert!(parse_manifest("{\"version\": 1}").is_err());
+    }
+
+    #[test]
+    fn suite_records_failures_and_continues() {
+        let ctx = ExperimentCtx::test();
+        let ids = [ExperimentId::Table1, ExperimentId::Fig1, ExperimentId::Fig2];
+        let report = run_suite_with(&ids, &ctx, &quick_config(), |id, _ctx| match id {
+            ExperimentId::Fig1 => panic!("injected panic"),
+            ExperimentId::Fig2 => {
+                Err(RunError::UnknownExperiment { id: "injected error".into() })
+            }
+            _ => Ok(vec![Table::new("ok", &["x"])]),
+        })
+        .expect("suite runs");
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.failed(), 2);
+        match &report.outcomes[1].1 {
+            ExperimentOutcome::Failed { reason } => assert!(reason.contains("injected panic")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        match &report.outcomes[2].1 {
+            ExperimentOutcome::Failed { reason } => assert!(reason.contains("injected error")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_times_out_hung_experiments() {
+        let ctx = ExperimentCtx::test();
+        let config = SuiteConfig { timeout: Some(Duration::from_millis(50)), ..quick_config() };
+        let ids = [ExperimentId::Table1, ExperimentId::Fig1];
+        let report = run_suite_with(&ids, &ctx, &config, |id, _ctx| {
+            if id == ExperimentId::Table1 {
+                thread::sleep(Duration::from_secs(60)); // hangs well past the budget
+            }
+            Ok(vec![Table::new("ok", &["x"])])
+        })
+        .expect("suite runs");
+        match &report.outcomes[0].1 {
+            ExperimentOutcome::Failed { reason } => assert!(reason.contains("time budget")),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // The suite moved on past the hung experiment.
+        assert_eq!(report.completed(), 1);
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_experiments() {
+        let dir = std::env::temp_dir().join(format!("llc-suite-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let manifest = dir.join("manifest.json");
+        let _ = std::fs::remove_file(&manifest);
+        let config =
+            SuiteConfig { manifest_path: Some(manifest.clone()), ..quick_config() };
+        let ctx = ExperimentCtx::test();
+        let ids = [ExperimentId::Table1, ExperimentId::Fig1];
+
+        // First run: fig1 fails, table1 completes and is checkpointed.
+        let report = run_suite_with(&ids, &ctx, &config, |id, _ctx| {
+            if id == ExperimentId::Fig1 {
+                panic!("first run failure");
+            }
+            Ok(vec![Table::new("ok", &["x"])])
+        })
+        .expect("first run");
+        assert_eq!(report.completed(), 1);
+        assert!(manifest.exists(), "completed experiment must be checkpointed");
+
+        // Second run: table1 must come from the checkpoint (the closure
+        // panics if asked to recompute it), fig1 runs for real now.
+        let report = run_suite_with(&ids, &ctx, &config, |id, _ctx| {
+            if id == ExperimentId::Table1 {
+                panic!("resume must not recompute table1");
+            }
+            Ok(vec![Table::new("fig1 ok", &["x"])])
+        })
+        .expect("second run");
+        assert_eq!(report.resumed(), 1);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.failed(), 0);
+        let _ = std::fs::remove_file(&manifest);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_file_fails_the_suite_with_manifest_error() {
+        let dir = std::env::temp_dir();
+        let manifest = dir.join(format!("llc-suite-corrupt-{}.json", std::process::id()));
+        std::fs::write(&manifest, "this is not json").expect("write corrupt file");
+        let config = SuiteConfig { manifest_path: Some(manifest.clone()), ..quick_config() };
+        let ctx = ExperimentCtx::test();
+        let r = run_suite_with(&[ExperimentId::Table1], &ctx, &config, |_, _| Ok(vec![]));
+        assert!(matches!(r, Err(RunError::Manifest { .. })));
+        let _ = std::fs::remove_file(&manifest);
+    }
+
+    #[test]
+    fn retries_give_up_with_io_error() {
+        let config = quick_config();
+        let mut calls = 0;
+        let r: Result<(), RunError> = with_retries(&config, "always failing", || {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "nope"))
+        });
+        assert_eq!(calls, 2); // initial attempt + io_retries(1)
+        assert!(matches!(r, Err(RunError::Io { .. })));
+    }
+
+    #[test]
+    fn summary_table_shows_one_row_per_experiment() {
+        let report = SuiteReport {
+            outcomes: vec![
+                (ExperimentId::Table1, ExperimentOutcome::Completed { tables: vec![] }),
+                (ExperimentId::Fig1, ExperimentOutcome::Failed { reason: "boom".into() }),
+            ],
+            checkpoint_errors: vec!["disk full".into()],
+        };
+        let s = report.summary().to_string();
+        assert!(s.contains("table1"));
+        assert!(s.contains("FAILED"));
+        assert!(s.contains("boom"));
+        assert!(s.contains("disk full"));
+    }
+}

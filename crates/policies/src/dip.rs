@@ -44,6 +44,7 @@ impl Dip {
     }
 
     /// Creates a set-dueling DIP policy.
+    #[allow(clippy::self_named_constructors)] // `Dip::dip` mirrors `Dip::bip`
     pub fn dip(sets: usize, ways: usize, seed: u64) -> Self {
         Self::new(DipFlavor::Dip, sets, ways, seed)
     }
@@ -62,7 +63,7 @@ impl Dip {
 
     fn bip_mru(&mut self) -> bool {
         self.fill_seq += 1;
-        splitmix64(self.seed ^ self.fill_seq) % BIP_EPSILON == 0
+        splitmix64(self.seed ^ self.fill_seq).is_multiple_of(BIP_EPSILON)
     }
 
     /// The recency stamp of `(set, way)` (test hook).
@@ -111,6 +112,8 @@ impl ReplacementPolicy for Dip {
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
         view.allowed_ways()
             .min_by_key(|&w| self.stamps[set * self.ways + w])
+            // infallible: the hierarchy never requests a victim from an
+            // all-protected set (the oracle wrapper caps protections).
             .expect("victim candidates must be non-empty")
     }
 }

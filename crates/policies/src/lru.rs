@@ -47,6 +47,8 @@ impl ReplacementPolicy for Lru {
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
         view.allowed_ways()
             .min_by_key(|&w| self.stamps[set * self.ways + w])
+            // infallible: the hierarchy never requests a victim from an
+            // all-protected set (the oracle wrapper caps protections).
             .expect("victim candidates must be non-empty")
     }
 }

@@ -50,6 +50,8 @@ impl ReplacementPolicy for Nru {
                 }
             }
         }
+        // infallible: the hierarchy never requests a victim from an
+        // all-protected set (the oracle wrapper caps protections).
         view.allowed_ways().next().expect("victim candidates must be non-empty")
     }
 }

@@ -33,7 +33,7 @@ impl Opt {
 
     fn record(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         debug_assert!(
-            ctx.aux.next_use.map_or(true, |n| n > ctx.time),
+            ctx.aux.next_use.is_none_or(|n| n > ctx.time),
             "next use must lie in the future"
         );
         self.next_use[set * self.ways + way] = ctx.aux.next_use.unwrap_or(NEVER);
@@ -61,6 +61,8 @@ impl ReplacementPolicy for Opt {
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
         view.allowed_ways()
             .max_by_key(|&w| self.next_use[set * self.ways + w])
+            // infallible: the hierarchy never requests a victim from an
+            // all-protected set (the oracle wrapper caps protections).
             .expect("victim candidates must be non-empty")
     }
 }

@@ -42,6 +42,7 @@ impl ReplacementPolicy for Random {
         let n = view.allowed.count_ones() as u64;
         debug_assert!(n > 0, "victim candidates must be non-empty");
         let k = self.next() % n;
+        // infallible: k < n = count of allowed ways by construction.
         view.allowed_ways().nth(k as usize).expect("k < candidate count")
     }
 }

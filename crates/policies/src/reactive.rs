@@ -71,7 +71,7 @@ impl<P: ReplacementPolicy> ReplacementPolicy for ReactiveWrap<P> {
 mod tests {
     use super::*;
     use crate::lru::Lru;
-    use crate::testutil::{ctx, full_view};
+    use crate::testutil::ctx;
     use llc_sim::{BlockAddr, LineView};
 
     #[test]

@@ -92,7 +92,7 @@ impl Rrip {
 
     fn bimodal_long(&mut self) -> bool {
         self.fill_seq += 1;
-        splitmix64(self.seed ^ self.fill_seq) % BRRIP_EPSILON == 0
+        splitmix64(self.seed ^ self.fill_seq).is_multiple_of(BRRIP_EPSILON)
     }
 
     fn insertion_rrpv(&mut self, set: usize, thread: usize) -> u8 {
@@ -101,6 +101,7 @@ impl Rrip {
             RripFlavor::Bimodal => true,
             RripFlavor::Dynamic => self.duel.use_b(set),
             RripFlavor::ThreadAware => {
+                // infallible: ta_duel is always built for this flavor.
                 self.ta_duel.as_ref().expect("TA duel present").use_b(set, thread)
             }
         };
@@ -130,6 +131,7 @@ impl ReplacementPolicy for Rrip {
         match self.flavor {
             RripFlavor::Dynamic => self.duel.on_miss(set),
             RripFlavor::ThreadAware => {
+                // infallible: ta_duel is always built for this flavor.
                 self.ta_duel.as_mut().expect("TA duel present").on_miss(set, ctx.core.index());
             }
             _ => {}

@@ -32,7 +32,7 @@ fn ctx(t: u64, oracle_shared: Option<bool>) -> AccessCtx {
         block: BlockAddr::new(t % 97),
         pc: Pc::new(0x400 + (t % 13) * 4),
         core: CoreId::new((t % 4) as usize),
-        kind: if t % 5 == 0 { AccessKind::Write } else { AccessKind::Read },
+        kind: if t.is_multiple_of(5) { AccessKind::Write } else { AccessKind::Read },
         time: t,
         aux: Aux { next_use: Some(t + 1 + t % 31), oracle_shared },
     }
@@ -130,8 +130,7 @@ proptest! {
 
     /// LRU picks the least recently touched way among the allowed ones.
     #[test]
-    fn lru_picks_least_recent_allowed(touch_order in Just(()), mask in 1u8..=u8::MAX) {
-        let _ = touch_order;
+    fn lru_picks_least_recent_allowed(_touch_order in Just(()), mask in 1u8..=u8::MAX) {
         let mut p = llc_policies::Lru::new(1, WAYS);
         use llc_sim::ReplacementPolicy as _;
         for (t, way) in (0..WAYS).enumerate() {

@@ -38,7 +38,7 @@ impl TableConfig {
 
     fn validate(&self) {
         assert!(self.entries.is_power_of_two(), "entries must be a power of two");
-        assert!(self.assoc >= 1 && self.entries % self.assoc == 0, "bad associativity");
+        assert!(self.assoc >= 1 && self.entries.is_multiple_of(self.assoc), "bad associativity");
         assert!(self.tag_bits >= 1 && self.tag_bits <= 16, "tag bits must be 1..=16");
     }
 
@@ -155,6 +155,7 @@ impl HistoryTable {
             .find(|(_, e)| !e.valid)
             .map(|(w, _)| w)
             .unwrap_or_else(|| {
+                // infallible: predictor sets have assoc >= 1 entries.
                 set.iter().enumerate().min_by_key(|(_, e)| e.lru).map(|(w, _)| w).unwrap()
             });
         set[way] = Entry {

@@ -8,6 +8,13 @@ use crate::addr::{BLOCK_BYTES, MAX_CORES};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError(String);
 
+impl ConfigError {
+    /// Creates a configuration error with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        ConfigError(reason.into())
+    }
+}
+
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid configuration: {}", self.0)
@@ -15,6 +22,50 @@ impl fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Typed error for fallible simulator operations.
+///
+/// The hot per-access path stays infallible by design; this error covers
+/// construction and the pre-access validity checks callers perform when
+/// replaying externally produced traces against a concrete hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The hierarchy or cache configuration is invalid.
+    Config(ConfigError),
+    /// A trace record names a core the configured hierarchy does not have.
+    CoreOutOfRange {
+        /// The offending core id.
+        core: usize,
+        /// The configured core count.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::CoreOutOfRange { core, cores } => {
+                write!(f, "access from core {core} but the hierarchy has {cores} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::CoreOutOfRange { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
 
 /// Geometry of a single set-associative cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,7 +121,7 @@ impl CacheConfig {
                 self.capacity_bytes, BLOCK_BYTES
             )));
         }
-        if blocks % self.ways as u64 != 0 {
+        if !blocks.is_multiple_of(self.ways as u64) {
             return Err(ConfigError(format!(
                 "capacity of {} blocks is not divisible by {} ways",
                 blocks, self.ways
@@ -96,7 +147,7 @@ impl CacheConfig {
 
 impl fmt::Display for CacheConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.capacity_bytes % (1024 * 1024) == 0 {
+        if self.capacity_bytes.is_multiple_of(1024 * 1024) {
             write!(f, "{} MB {}-way", self.capacity_bytes / 1024 / 1024, self.ways)
         } else {
             write!(f, "{} KB {}-way", self.capacity_bytes / 1024, self.ways)
@@ -148,6 +199,7 @@ impl HierarchyConfig {
     pub fn baseline(llc_mib: u64) -> Self {
         HierarchyConfig {
             cores: 8,
+            // infallible: fixed power-of-two preset geometry.
             l1: CacheConfig::from_kib(32, 8).expect("valid L1 config"),
             l2: None,
             llc: CacheConfig::from_mib(llc_mib, 16).expect("valid LLC config"),
@@ -160,6 +212,7 @@ impl HierarchyConfig {
     pub fn tiny() -> Self {
         HierarchyConfig {
             cores: 4,
+            // infallible: fixed power-of-two preset geometry.
             l1: CacheConfig::from_kib(2, 2).expect("valid L1 config"),
             l2: None,
             llc: CacheConfig::from_kib(64, 8).expect("valid LLC config"),

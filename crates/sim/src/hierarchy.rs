@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 
 use crate::addr::{AccessKind, Addr, BlockAddr, CoreId, Pc};
-use crate::config::{ConfigError, HierarchyConfig, Inclusion};
+use crate::config::{ConfigError, HierarchyConfig, Inclusion, SimError};
 use crate::l1::{L1Access, PrivateCache};
 use crate::llc::{Llc, LlcObserver};
 use crate::replace::{AuxProvider, ReplacementPolicy};
@@ -142,6 +142,27 @@ impl<P: ReplacementPolicy> Cmp<P> {
             total += c.stats();
         }
         total
+    }
+
+    /// Validates that `a` can be processed by this hierarchy (its core id
+    /// names a configured core).
+    ///
+    /// The per-access hot path in [`Cmp::access`] only debug-asserts this
+    /// invariant; drivers replaying externally produced traces should
+    /// check each record first and surface the typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CoreOutOfRange`] when the record's core id is
+    /// not below the configured core count.
+    pub fn check_access(&self, a: &MemAccess) -> Result<(), SimError> {
+        if a.core.index() >= self.config.cores {
+            return Err(SimError::CoreOutOfRange {
+                core: a.core.index(),
+                cores: self.config.cores,
+            });
+        }
+        Ok(())
     }
 
     /// Processes one trace record through the hierarchy.

@@ -117,7 +117,7 @@ impl PrivateCache {
             None
         };
         *line = Line { valid: true, tag, stamp: clock, dirty: write };
-        debug_assert!(victim.map_or(true, |v| v.block != block));
+        debug_assert!(victim.is_none_or(|v| v.block != block));
         let _ = ways;
         if victim.is_some() {
             self.stats.evictions += 1;

@@ -62,7 +62,7 @@ pub mod stats;
 pub use addr::{
     splitmix64, AccessKind, Addr, BlockAddr, CoreId, Pc, BLOCK_BYTES, BLOCK_SHIFT, MAX_CORES,
 };
-pub use config::{CacheConfig, ConfigError, HierarchyConfig, Inclusion};
+pub use config::{CacheConfig, ConfigError, HierarchyConfig, Inclusion, SimError};
 pub use hierarchy::{Cmp, MemAccess};
 pub use l1::{L1Access, L1Victim, PrivateCache};
 pub use llc::{

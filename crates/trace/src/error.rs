@@ -1,0 +1,187 @@
+//! Typed errors for the binary trace format.
+
+use std::fmt;
+use std::io;
+
+/// Error produced while encoding or decoding an `LLCT` trace.
+///
+/// Every way a trace file can be malformed maps to a distinct variant, so
+/// callers can distinguish "the file is not a trace at all" from "the
+/// trace was cut short" from "a record is internally inconsistent" — and
+/// none of them panics.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O error other than a clean truncation.
+    Io(io::Error),
+    /// The file does not start with the `LLCT` magic bytes.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The header declares a format version this decoder cannot read.
+    UnsupportedVersion {
+        /// The declared version.
+        version: u16,
+    },
+    /// The stream ended inside the 16-byte header.
+    TruncatedHeader {
+        /// Header bytes actually present.
+        got: usize,
+    },
+    /// The stream ended inside a record, or before the declared record
+    /// count was reached.
+    Truncated {
+        /// Records successfully decoded before the cut.
+        decoded: u64,
+        /// Records the header declared.
+        declared: u64,
+    },
+    /// A record names a core outside the decoder's configured limit.
+    CoreOutOfRange {
+        /// The record's core id.
+        core: u8,
+        /// The active limit (either `MAX_CORES` or the replaying
+        /// hierarchy's core count).
+        limit: usize,
+        /// Index of the offending record.
+        index: u64,
+    },
+    /// A record's kind byte is neither 0 (read) nor 1 (write).
+    BadKind {
+        /// The record's kind byte.
+        kind: u8,
+        /// Index of the offending record.
+        index: u64,
+    },
+    /// The writer finished with a different record count than declared.
+    CountMismatch {
+        /// Records the header declared.
+        declared: u64,
+        /// Records actually written.
+        written: u64,
+    },
+    /// More records were written than the header declared.
+    RecordOverflow {
+        /// Records the header declared.
+        declared: u64,
+    },
+    /// An access carries a core id the 1-byte record encoding cannot hold.
+    CoreUnencodable {
+        /// The offending core id.
+        core: usize,
+    },
+}
+
+impl TraceError {
+    /// Clones the error for callers that need to both store and return it.
+    ///
+    /// `io::Error` is not `Clone`, so the `Io` variant clones as kind plus
+    /// message, losing any wrapped source — acceptable for the
+    /// park-and-replay use in the streaming decoder.
+    pub fn clone_inexact(&self) -> TraceError {
+        match self {
+            TraceError::Io(e) => TraceError::Io(io::Error::new(e.kind(), e.to_string())),
+            TraceError::BadMagic { found } => TraceError::BadMagic { found: *found },
+            TraceError::UnsupportedVersion { version } => {
+                TraceError::UnsupportedVersion { version: *version }
+            }
+            TraceError::TruncatedHeader { got } => TraceError::TruncatedHeader { got: *got },
+            TraceError::Truncated { decoded, declared } => {
+                TraceError::Truncated { decoded: *decoded, declared: *declared }
+            }
+            TraceError::CoreOutOfRange { core, limit, index } => {
+                TraceError::CoreOutOfRange { core: *core, limit: *limit, index: *index }
+            }
+            TraceError::BadKind { kind, index } => {
+                TraceError::BadKind { kind: *kind, index: *index }
+            }
+            TraceError::CountMismatch { declared, written } => {
+                TraceError::CountMismatch { declared: *declared, written: *written }
+            }
+            TraceError::RecordOverflow { declared } => {
+                TraceError::RecordOverflow { declared: *declared }
+            }
+            TraceError::CoreUnencodable { core } => TraceError::CoreUnencodable { core: *core },
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "not an LLCT trace (magic bytes {found:02x?})")
+            }
+            TraceError::UnsupportedVersion { version } => {
+                write!(f, "unsupported trace version {version}")
+            }
+            TraceError::TruncatedHeader { got } => {
+                write!(f, "truncated trace header: got {got} of 16 bytes")
+            }
+            TraceError::Truncated { decoded, declared } => {
+                write!(f, "truncated trace: decoded {decoded} of {declared} declared records")
+            }
+            TraceError::CoreOutOfRange { core, limit, index } => {
+                write!(f, "record {index}: core id {core} out of range (limit {limit})")
+            }
+            TraceError::BadKind { kind, index } => {
+                write!(f, "record {index}: invalid access kind {kind} (expected 0 or 1)")
+            }
+            TraceError::CountMismatch { declared, written } => {
+                write!(f, "declared {declared} records but wrote {written}")
+            }
+            TraceError::RecordOverflow { declared } => {
+                write!(f, "more records than the declared {declared} in the header")
+            }
+            TraceError::CoreUnencodable { core } => {
+                write!(f, "core id {core} does not fit the 1-byte record encoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(TraceError, &str)> = vec![
+            (TraceError::BadMagic { found: *b"NOPE" }, "not an LLCT trace"),
+            (TraceError::UnsupportedVersion { version: 9 }, "version 9"),
+            (TraceError::TruncatedHeader { got: 3 }, "3 of 16"),
+            (TraceError::Truncated { decoded: 5, declared: 10 }, "5 of 10"),
+            (TraceError::CoreOutOfRange { core: 40, limit: 32, index: 7 }, "core id 40"),
+            (TraceError::BadKind { kind: 3, index: 2 }, "invalid access kind 3"),
+            (TraceError::CountMismatch { declared: 2, written: 1 }, "declared 2"),
+            (TraceError::RecordOverflow { declared: 1 }, "more records"),
+            (TraceError::CoreUnencodable { core: 300 }, "core id 300"),
+        ];
+        for (e, needle) in cases {
+            let s = e.to_string();
+            assert!(s.contains(needle), "{s:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_errors_keep_their_source() {
+        let e = TraceError::from(io::Error::new(io::ErrorKind::PermissionDenied, "nope"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -26,6 +26,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod apps;
+pub mod error;
+pub mod fault;
 pub mod file;
 pub mod layout;
 pub mod multiprogram;
@@ -35,6 +37,8 @@ pub mod workload;
 pub mod zipf;
 
 pub use apps::{App, Scale, SharingClass, Suite};
+pub use error::TraceError;
+pub use fault::{CorruptingReader, Fault, FaultInjectingSource, FaultPlan};
 pub use layout::{AddressSpace, PcAllocator, PcSite, Region, PAGE_BYTES};
 pub use file::{write_trace, TraceFileSource, TraceWriter};
 pub use multiprogram::Multiprogram;

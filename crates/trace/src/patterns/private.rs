@@ -33,7 +33,7 @@ impl PrivateStream {
 impl Pattern for PrivateStream {
     fn next_access(&mut self, _rng: &mut SmallRng) -> PatternAccess {
         self.counter = self.counter.wrapping_add(1);
-        let write = self.write_every > 0 && self.counter % self.write_every == 0;
+        let write = self.write_every > 0 && self.counter.is_multiple_of(self.write_every);
         let a = PatternAccess {
             block: self.region.block(self.pos),
             pc: self.site.pc(if write { 1 } else { 0 }),
@@ -76,7 +76,7 @@ impl Pattern for PrivateWorkingSet {
         // Spread popular ranks across the region so the hot set is not one
         // dense prefix of sets.
         let idx = llc_sim::splitmix64(rank) % self.region.blocks();
-        let write = rng.gen_range(0..100) < u32::from(self.write_pct);
+        let write = rng.gen_range(0u32..100) < u32::from(self.write_pct);
         PatternAccess {
             block: self.region.block(idx),
             pc: self.site.pc(if write { 1 } else { 0 }),

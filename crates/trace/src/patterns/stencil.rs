@@ -73,7 +73,7 @@ impl Pattern for Stencil {
             };
         }
         let i = row * self.row_blocks + (pos - 2);
-        let write = pos % 2 == 0;
+        let write = pos.is_multiple_of(2);
         PatternAccess {
             block: self.own.block(i),
             pc: self.site.pc(if write { 3 } else { 2 }),

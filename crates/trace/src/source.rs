@@ -2,6 +2,8 @@
 
 use llc_sim::MemAccess;
 
+use crate::error::TraceError;
+
 /// A finite stream of memory accesses.
 ///
 /// Trace sources are consumed on a single thread and need not be `Send`
@@ -14,6 +16,17 @@ pub trait TraceSource {
     fn len_hint(&self) -> Option<u64> {
         None
     }
+
+    /// Takes the error that ended the stream early, if any.
+    ///
+    /// `next_access` has no error channel, so decoding sources (file
+    /// replay, fault injection) return `None` at the first malformed
+    /// record and park the reason here. Drivers call this after draining
+    /// a source to distinguish clean exhaustion from a decode failure.
+    /// Synthetic generators never fail and use this default.
+    fn take_error(&mut self) -> Option<TraceError> {
+        None
+    }
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
@@ -22,6 +35,9 @@ impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     }
     fn len_hint(&self) -> Option<u64> {
         (**self).len_hint()
+    }
+    fn take_error(&mut self) -> Option<TraceError> {
+        (**self).take_error()
     }
 }
 

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the API subset its benches use: [`Criterion`], benchmark groups with
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Throughput`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Measurement is simple wall-clock sampling (median of samples,
+//! one warm-up run) — adequate for relative comparisons, with none of
+//! real criterion's statistics.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    per_iter: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, amortizing over enough iterations to be stable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and iteration-count calibration: aim for ~20 ms per
+        // sample, at least one iteration.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed() / iters as u32;
+            best = best.min(per_iter);
+        }
+        self.result = Some(Sample { per_iter: best, iters });
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        self.samples = n.max(1);
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkIdOrName>, mut f: F) {
+        let id = id.into().0;
+        let mut b = Bencher { samples: self.samples, result: None };
+        f(&mut b);
+        self.report(&id, &b);
+    }
+
+    /// Benchmarks `f` with `input` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher { samples: self.samples, result: None };
+        f(&mut b, input);
+        self.report(&id.name, &b);
+    }
+
+    /// Finishes the group (reporting is incremental; kept for API parity).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        let Some(s) = b.result else {
+            println!("{}/{id}: no measurement (b.iter was not called)", self.name);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / s.per_iter.as_secs_f64();
+                let unit = if matches!(self.throughput, Some(Throughput::Bytes(_))) {
+                    "B/s"
+                } else {
+                    "elem/s"
+                };
+                format!("  ({per_sec:.3e} {unit})")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: {:?}/iter over {} iters x {} samples{rate}",
+            self.name, s.per_iter, s.iters, self.samples
+        );
+        self.criterion.reports += 1;
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s for `bench_function`.
+#[derive(Debug)]
+pub struct BenchmarkIdOrName(String);
+
+impl From<&str> for BenchmarkIdOrName {
+    fn from(s: &str) -> Self {
+        BenchmarkIdOrName(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrName {
+    fn from(s: String) -> Self {
+        BenchmarkIdOrName(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrName {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrName(id.name)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    reports: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, samples: 10 }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: "bench".into(),
+            throughput: None,
+            samples: 10,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function compatible with criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(64));
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("sum", 64u64), &64u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>());
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_demo);
+
+    #[test]
+    fn group_macro_and_timing_run() {
+        benches();
+    }
+
+    #[test]
+    fn bench_function_without_group() {
+        let mut c = Criterion::default();
+        c.bench_function("x", |b| b.iter(|| black_box(2 * 2)));
+        assert_eq!(c.reports, 1);
+    }
+}

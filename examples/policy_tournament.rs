@@ -40,7 +40,8 @@ fn main() {
             kind,
             &mut || app.workload(cfg.cores, Scale::Small),
             vec![&mut vic],
-        );
+        )
+        .expect("run");
         if kind == PolicyKind::Lru {
             lru_misses = r.llc.misses();
         }

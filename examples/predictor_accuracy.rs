@@ -45,7 +45,8 @@ fn main() {
                 PolicyKind::Lru,
                 &mut || app.workload(cfg.cores, Scale::Small),
                 vec![&mut study],
-            );
+            )
+            .expect("run");
             println!("  {:<12} {}", kind.label(), study.matrix());
         }
         println!();

@@ -39,7 +39,11 @@ fn main() {
         PolicyKind::Lru,
         &mut || app.workload(cfg.cores, scale),
         vec![&mut profile],
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
 
     println!("trace    : {} accesses, {} instructions", result.trace_accesses, result.instructions);
     println!("L1       : {}", result.l1);

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("recorded {written} accesses to {path} ({bytes} bytes, {:.1} B/access)",
         bytes as f64 / written as f64);
 
-    let live = llc_sharing::simulate_kind(&cfg, PolicyKind::Lru, &mut || build(&what), vec![]);
+    let live = llc_sharing::simulate_kind(&cfg, PolicyKind::Lru, &mut || build(&what), vec![])?;
     let replayed = llc_sharing::simulate_kind(
         &cfg,
         PolicyKind::Lru,
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("valid trace header")
         },
         vec![],
-    );
+    )?;
 
     println!("live run   : {}", live.llc);
     println!("replay run : {}", replayed.llc);

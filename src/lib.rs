@@ -36,7 +36,8 @@
 //!     PolicyKind::Lru,
 //!     &mut || App::Bodytrack.workload(cfg.cores, Scale::Tiny),
 //!     vec![&mut profile],
-//! );
+//! )
+//! .expect("simulation on a synthetic workload cannot fail");
 //! assert!(profile.shared_hit_fraction() > 0.1);
 //! ```
 
@@ -58,13 +59,14 @@ pub mod prelude {
         SharingPredictor, TableConfig,
     };
     pub use llc_sharing::{
-        run_experiment, simulate, simulate_kind, simulate_opt, simulate_oracle,
-        simulate_predictor_wrap, EpochSeries, ExperimentCtx, ExperimentId, RunResult,
-        SharingProfile, Table, VictimizationStats,
+        run_experiment, run_suite, run_suite_with, simulate, simulate_kind, simulate_opt,
+        simulate_oracle, simulate_predictor_wrap, EpochSeries, ExperimentCtx, ExperimentId,
+        ExperimentOutcome, RunError, RunResult, SharingProfile, SuiteConfig, SuiteReport, Table,
+        VictimizationStats,
     };
     pub use llc_sim::{
         AccessKind, Addr, BlockAddr, CacheConfig, Cmp, CoreId, GenerationEnd, HierarchyConfig,
         Inclusion, LlcObserver, MemAccess, NullObserver, Pc, ReplacementPolicy,
     };
-    pub use llc_trace::{App, Scale, SharingClass, Suite, TraceSource, Workload};
+    pub use llc_trace::{App, Scale, SharingClass, Suite, TraceError, TraceSource, Workload};
 }

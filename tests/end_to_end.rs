@@ -21,7 +21,8 @@ fn profile_of(app: App, cfg: &HierarchyConfig) -> (RunResult, SharingProfile) {
         PolicyKind::Lru,
         &mut || app.workload(cfg.cores, Scale::Tiny),
         vec![&mut profile],
-    );
+    )
+    .expect("run");
     (r, profile)
 }
 
@@ -83,7 +84,8 @@ fn accounting_identities_hold() {
             PolicyKind::Srrip,
             &mut || app.workload(cfg.cores, Scale::Tiny),
             vec![&mut profile],
-        );
+        )
+        .expect("run");
         // Every fill ends exactly one generation (incl. the final flush).
         assert_eq!(r.llc.fills, profile.generations(), "{app}: fills vs generations");
         assert_eq!(r.llc.fills, r.llc.evictions + r.llc.flushed, "{app}: fill balance");
@@ -102,9 +104,9 @@ fn opt_lower_bounds_all_policies_on_all_test_apps() {
     let cfg = test_cfg();
     for app in [App::Bodytrack, App::Water, App::Radix, App::Swim] {
         let mut make = || app.workload(cfg.cores, Scale::Tiny);
-        let opt = simulate_opt(&cfg, &mut make, vec![]).llc.misses();
+        let opt = simulate_opt(&cfg, &mut make, vec![]).expect("run").llc.misses();
         for kind in PolicyKind::REALISTIC {
-            let m = simulate_kind(&cfg, kind, &mut make, vec![]).llc.misses();
+            let m = simulate_kind(&cfg, kind, &mut make, vec![]).expect("run").llc.misses();
             assert!(opt <= m, "{app}: OPT {opt} > {} {m}", kind.label());
         }
     }
@@ -115,9 +117,10 @@ fn oracle_gains_concentrate_on_sharing_heavy_apps() {
     let cfg = test_cfg();
     let gain = |app: App| {
         let mut make = || app.workload(cfg.cores, Scale::Tiny);
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).llc.misses();
+        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).expect("run").llc.misses();
         let oracle =
             simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])
+                .expect("run")
                 .llc
                 .misses();
         1.0 - oracle as f64 / lru.max(1) as f64
@@ -140,8 +143,9 @@ fn oracle_cannot_improve_opt() {
     let cfg = test_cfg();
     let app = App::Bodytrack;
     let mut make = || app.workload(cfg.cores, Scale::Tiny);
-    let opt = simulate_opt(&cfg, &mut make, vec![]).llc.misses();
-    let wrapped = llc_sharing::simulate_oracle_opt(&cfg, &mut make, vec![]).llc.misses();
+    let opt = simulate_opt(&cfg, &mut make, vec![]).expect("run").llc.misses();
+    let wrapped =
+        llc_sharing::simulate_oracle_opt(&cfg, &mut make, vec![]).expect("run").llc.misses();
     assert!(wrapped >= opt, "wrapping OPT cannot reduce misses ({wrapped} < {opt})");
 }
 
@@ -155,7 +159,8 @@ fn predictor_study_runs_end_to_end() {
         PolicyKind::Lru,
         &mut || App::Ferret.workload(cfg.cores, Scale::Tiny),
         vec![&mut addr, &mut pc],
-    );
+    )
+    .expect("run");
     let (ma, mp) = (addr.matrix(), pc.matrix());
     assert!(ma.total() > 1000);
     assert_eq!(ma.total(), mp.total());
@@ -172,7 +177,7 @@ fn predictor_wrapper_is_safe_even_with_bad_predictions() {
     let cfg = test_cfg();
     let app = App::Ocean;
     let mut make = || app.workload(cfg.cores, Scale::Tiny);
-    let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).llc.misses();
+    let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).expect("run").llc.misses();
     let wrapped = simulate_predictor_wrap(
         &cfg,
         PolicyKind::Lru,
@@ -180,6 +185,7 @@ fn predictor_wrapper_is_safe_even_with_bad_predictions() {
         &mut make,
         vec![],
     )
+    .expect("run")
     .llc
     .misses();
     assert_eq!(lru, wrapped);
@@ -197,14 +203,16 @@ fn phase_shifting_apps_are_burstier_than_steady_ones() {
             PolicyKind::Lru,
             &mut || app.workload(cfg.cores, Scale::Tiny),
             vec![],
-        );
+        )
+        .expect("run");
         let mut series = EpochSeries::new((probe.llc.accesses / 16).max(1));
         simulate_kind(
             &cfg,
             PolicyKind::Lru,
             &mut || app.workload(cfg.cores, Scale::Tiny),
             vec![&mut series],
-        );
+        )
+        .expect("run");
         series.sharing_burstiness()
     };
     let fft = burstiness(App::Fft);

@@ -14,7 +14,7 @@ fn small_test_ctx() -> ExperimentCtx {
 fn every_experiment_produces_tables() {
     let ctx = small_test_ctx();
     for id in ExperimentId::ALL {
-        let tables = run_experiment(id, &ctx);
+        let tables = run_experiment(id, &ctx).unwrap_or_else(|e| panic!("{id} failed: {e}"));
         assert!(!tables.is_empty(), "{id} produced no tables");
         for t in &tables {
             assert!(!t.title.is_empty());
@@ -33,7 +33,7 @@ fn every_experiment_produces_tables() {
 #[test]
 fn fig7_reports_all_apps_plus_mean() {
     let ctx = small_test_ctx();
-    let tables = run_experiment(ExperimentId::Fig7, &ctx);
+    let tables = run_experiment(ExperimentId::Fig7, &ctx).expect("fig7 runs");
     assert_eq!(tables.len(), 1);
     let t = &tables[0];
     assert_eq!(t.rows.len(), ctx.apps.len() + 1);
@@ -45,7 +45,7 @@ fn fig7_reports_all_apps_plus_mean() {
 #[test]
 fn fig5_normalizes_lru_to_one() {
     let ctx = small_test_ctx();
-    let tables = run_experiment(ExperimentId::Fig5, &ctx);
+    let tables = run_experiment(ExperimentId::Fig5, &ctx).expect("fig5 runs");
     assert_eq!(tables.len(), ctx.llc_capacities.len());
     for t in &tables {
         let lru_col = t.headers.iter().position(|h| h == "LRU").expect("LRU column");
@@ -65,7 +65,7 @@ fn fig5_normalizes_lru_to_one() {
 #[test]
 fn table1_documents_the_machine() {
     let ctx = small_test_ctx();
-    let t = &run_experiment(ExperimentId::Table1, &ctx)[0];
+    let t = &run_experiment(ExperimentId::Table1, &ctx).expect("table1 runs")[0];
     let body = t.to_string();
     assert!(body.contains("cores"));
     assert!(body.contains("LLC"));
@@ -74,7 +74,7 @@ fn table1_documents_the_machine() {
 #[test]
 fn fig9_includes_the_never_shared_baseline() {
     let ctx = small_test_ctx();
-    let tables = run_experiment(ExperimentId::Fig9, &ctx);
+    let tables = run_experiment(ExperimentId::Fig9, &ctx).expect("fig9 runs");
     assert!(tables.iter().any(|t| t.title.contains("NeverShared")));
     // Every predictor table has one row per app.
     for t in &tables {

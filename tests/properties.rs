@@ -39,7 +39,8 @@ fn run_policy(kind: PolicyKind, trace: Vec<MemAccess>) -> (RunResult, SharingPro
         kind,
         &mut || VecSource::new(trace.clone()),
         vec![&mut profile],
-    );
+    )
+    .expect("run");
     (r, profile)
 }
 
@@ -66,7 +67,7 @@ proptest! {
     fn opt_is_optimal(trace in trace_strategy(600)) {
         let cfg = tiny_cfg();
         let opt = llc_sharing::simulate_opt(
-            &cfg, &mut || VecSource::new(trace.clone()), vec![]).llc.misses();
+            &cfg, &mut || VecSource::new(trace.clone()), vec![]).expect("run").llc.misses();
         for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Random,
                      PolicyKind::Ship, PolicyKind::Dip] {
             let m = run_policy(kind, trace.clone()).0.llc.misses();
@@ -109,9 +110,11 @@ proptest! {
         let mut big = small;
         big.llc = CacheConfig::from_kib(8, 8).expect("valid LLC");
         let ms = llc_sharing::simulate_kind(
-            &small, PolicyKind::Lru, &mut || VecSource::new(trace.clone()), vec![]).llc.misses();
+            &small, PolicyKind::Lru, &mut || VecSource::new(trace.clone()), vec![])
+            .expect("run").llc.misses();
         let mb = llc_sharing::simulate_kind(
-            &big, PolicyKind::Lru, &mut || VecSource::new(trace.clone()), vec![]).llc.misses();
+            &big, PolicyKind::Lru, &mut || VecSource::new(trace.clone()), vec![])
+            .expect("run").llc.misses();
         prop_assert!(mb <= ms, "8KB LRU missed more ({mb}) than 4KB ({ms})");
     }
 
@@ -121,13 +124,45 @@ proptest! {
     fn oracle_wrapper_bounded_regression(trace in trace_strategy(600)) {
         let cfg = tiny_cfg();
         let lru = llc_sharing::simulate_kind(
-            &cfg, PolicyKind::Lru, &mut || VecSource::new(trace.clone()), vec![]).llc.misses();
+            &cfg, PolicyKind::Lru, &mut || VecSource::new(trace.clone()), vec![])
+            .expect("run").llc.misses();
         let oracle = llc_sharing::simulate_oracle(
             &cfg, PolicyKind::Lru, ProtectMode::Eviction, None,
-            &mut || VecSource::new(trace.clone()), vec![]).llc.misses();
+            &mut || VecSource::new(trace.clone()), vec![]).expect("run").llc.misses();
         // Identical access counts, and misses within a generous envelope.
         prop_assert!(oracle <= lru + lru / 4 + 8,
             "oracle {} vs lru {}", oracle, lru);
+    }
+
+    /// Recorded traces round-trip bit-exactly through the binary format.
+    #[test]
+    fn trace_format_round_trips(trace in trace_strategy(300)) {
+        let mut bytes = Vec::new();
+        sharing_aware_llc::trace::write_trace(VecSource::new(trace.clone()), &mut bytes)
+            .expect("encode");
+        let back = sharing_aware_llc::trace::TraceFileSource::new(bytes.as_slice())
+            .expect("header")
+            .read_all()
+            .expect("decode");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Arbitrary byte-level corruption of a valid trace ends decoding in
+    /// Ok or a typed error — never a panic.
+    #[test]
+    fn corrupted_trace_decoding_never_panics(
+        trace in trace_strategy(200),
+        seed in 0u64..u64::MAX,
+        flips in 1usize..6,
+    ) {
+        use sharing_aware_llc::trace::{CorruptingReader, FaultPlan, TraceFileSource};
+        let mut bytes = Vec::new();
+        sharing_aware_llc::trace::write_trace(VecSource::new(trace), &mut bytes)
+            .expect("encode");
+        let plan = FaultPlan::random_bit_flips(seed, bytes.len() as u64, flips);
+        if let Ok(src) = TraceFileSource::new(CorruptingReader::new(bytes.as_slice(), &plan)) {
+            let _ = src.read_all();
+        }
     }
 
     /// Generation sharing data is consistent: sharer count bounds
@@ -157,7 +192,7 @@ proptest! {
         let mut check = Check(Vec::new());
         llc_sharing::simulate_kind(
             &tiny_cfg(), PolicyKind::Lru,
-            &mut || VecSource::new(trace.clone()), vec![&mut check]);
+            &mut || VecSource::new(trace.clone()), vec![&mut check]).expect("run");
         prop_assert!(check.0.is_empty(), "{}", check.0.join("; "));
     }
 }
