@@ -18,15 +18,22 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
-    // Stream experiment by experiment so long campaigns show progress
-    // even when stdout is redirected. Failures are rendered as FAILED
-    // rows by the suite harness; the exit code reports them at the end.
+    // Sequential runs stream experiment by experiment so long campaigns
+    // show progress even when stdout is redirected. Parallel runs
+    // (--jobs != 1) must hand the whole id list to one suite invocation —
+    // the worker pool lives inside run_suite, so a per-id loop would
+    // serialize it back down to one experiment at a time.
     let mut failures = 0;
-    let mut single = cli.clone();
-    single.list = false;
-    for &id in &cli.ids {
-        single.ids = vec![id];
-        match llc_bench::run_cli(&single) {
+    let batches: Vec<Vec<llc_sharing::ExperimentId>> = if cli.suite.jobs == 1 {
+        cli.ids.iter().map(|&id| vec![id]).collect()
+    } else {
+        vec![cli.ids.clone()]
+    };
+    let mut batch_cli = cli.clone();
+    batch_cli.list = false;
+    for ids in batches {
+        batch_cli.ids = ids;
+        match llc_bench::run_cli(&batch_cli) {
             Ok((out, failed)) => {
                 failures += failed;
                 print!("{out}");

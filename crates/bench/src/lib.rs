@@ -61,6 +61,7 @@ options:
   --resume                   replay completed experiments from the --out manifest
   --timeout <secs>           per-experiment wall-clock budget (0 disables; default 1800)
   --retries <n>              IO retry attempts for manifest reads/writes (default 3)
+  --jobs <n>                 experiments run concurrently (0 = all cores; default 1)
   -h, --help                 show this help
 ";
 
@@ -130,6 +131,11 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
                 let v = it.next().ok_or_else(|| CliError("--retries needs a count".into()))?;
                 suite.io_retries =
                     v.parse::<u32>().map_err(|_| CliError(format!("bad retry count '{v}'")))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| CliError("--jobs needs a count".into()))?;
+                suite.jobs =
+                    v.parse::<usize>().map_err(|_| CliError(format!("bad job count '{v}'")))?;
             }
             "-h" | "--help" => return Err(CliError(USAGE.into())),
             "list" => list = true,
@@ -254,17 +260,21 @@ mod tests {
         assert!(parse_cli(args("--threads 0 fig1")).is_err());
         assert!(parse_cli(args("")).is_err());
         assert!(parse_cli(args("--timeout soon fig1")).is_err());
+        assert!(parse_cli(args("--jobs many fig1")).is_err());
         assert!(parse_cli(args("--resume fig1")).is_err(), "--resume requires --out");
     }
 
     #[test]
     fn parses_suite_flags() {
-        let cli = parse_cli(args("--out /tmp/m.json --resume --timeout 60 --retries 5 fig1"))
-            .unwrap();
+        let cli =
+            parse_cli(args("--out /tmp/m.json --resume --timeout 60 --retries 5 --jobs 4 fig1"))
+                .unwrap();
         assert_eq!(cli.suite.manifest_path, Some(std::path::PathBuf::from("/tmp/m.json")));
         assert!(cli.resume);
         assert_eq!(cli.suite.timeout, Some(Duration::from_secs(60)));
         assert_eq!(cli.suite.io_retries, 5);
+        assert_eq!(cli.suite.jobs, 4);
+        assert_eq!(parse_cli(args("fig1")).unwrap().suite.jobs, 1, "sequential by default");
         let cli = parse_cli(args("--timeout 0 fig1")).unwrap();
         assert_eq!(cli.suite.timeout, None, "--timeout 0 disables the watchdog");
     }

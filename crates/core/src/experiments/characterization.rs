@@ -6,23 +6,21 @@ use llc_trace::App;
 use crate::characterize::SharingProfile;
 use crate::error::RunError;
 use crate::experiments::{per_app_try, ExperimentCtx};
+use crate::replay::replay_kind;
 use crate::report::{f2, mean, pct, Table};
-use crate::runner::{simulate_kind, RunResult};
+use crate::runner::RunResult;
 
-/// One app's LRU run with a sharing profile attached.
+/// One app's LRU run with a sharing profile attached (an LLC-only replay
+/// of the cached reference stream).
 fn profile_run(
     ctx: &ExperimentCtx,
     app: App,
     capacity: u64,
 ) -> Result<(RunResult, SharingProfile), RunError> {
     let cfg = ctx.config(capacity)?;
+    let stream = ctx.stream(app, &cfg)?;
     let mut profile = SharingProfile::new();
-    let result = simulate_kind(
-        &cfg,
-        PolicyKind::Lru,
-        &mut || app.workload(ctx.cores, ctx.scale),
-        vec![&mut profile],
-    )?;
+    let result = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![&mut profile])?;
     Ok((result, profile))
 }
 

@@ -6,6 +6,7 @@ use llc_sim::BLOCK_BYTES;
 use crate::characterize::SharingProfile;
 use crate::error::RunError;
 use crate::experiments::{per_app_try, ExperimentCtx};
+use crate::replay::{replay_kind, replay_oracle};
 use crate::report::{pct, Table};
 use crate::runner::{simulate_kind, simulate_oracle};
 
@@ -41,22 +42,35 @@ pub(crate) fn abl2(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let rows = per_app_try(&ctx.apps, |app| {
         let mut result = vec![app.label().to_string()];
         for inclusive in [false, true] {
+            // Non-inclusive: LLC-only replay of the cached stream.
+            // Inclusive: the stream is policy-dependent, so the measured
+            // runs must stay full simulations (simulate_* falls back).
             let cfg = if inclusive { ctx.config_inclusive(cap)? } else { ctx.config(cap)? };
             let mut profile = SharingProfile::new();
-            let lru = simulate_kind(
-                &cfg,
-                PolicyKind::Lru,
-                &mut || app.workload(ctx.cores, ctx.scale),
-                vec![&mut profile],
-            )?;
-            let oracle = simulate_oracle(
-                &cfg,
-                PolicyKind::Lru,
-                ProtectMode::Eviction,
-                None,
-                &mut || app.workload(ctx.cores, ctx.scale),
-                vec![],
-            )?;
+            let lru = if inclusive {
+                simulate_kind(
+                    &cfg,
+                    PolicyKind::Lru,
+                    &mut || app.workload(ctx.cores, ctx.scale),
+                    vec![&mut profile],
+                )?
+            } else {
+                let stream = ctx.stream(app, &cfg)?;
+                replay_kind(&cfg, PolicyKind::Lru, &stream, vec![&mut profile])?
+            };
+            let oracle = if inclusive {
+                simulate_oracle(
+                    &cfg,
+                    PolicyKind::Lru,
+                    ProtectMode::Eviction,
+                    None,
+                    &mut || app.workload(ctx.cores, ctx.scale),
+                    vec![],
+                )?
+            } else {
+                let stream = ctx.stream(app, &cfg)?;
+                replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?
+            };
             let gain = 1.0 - oracle.llc.misses() as f64 / lru.llc.misses().max(1) as f64;
             result.push(pct(profile.shared_hit_fraction()));
             result.push(pct(gain));

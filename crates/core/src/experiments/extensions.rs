@@ -8,12 +8,12 @@ use llc_trace::{App, Multiprogram};
 
 use crate::error::RunError;
 use crate::experiments::{per_app_try, ExperimentCtx};
+use crate::replay::{
+    replay_kind, replay_oracle, replay_predictor_wrap, replay_reactive, StreamKey, WorkloadId,
+};
 use crate::report::{mean, pct, Table};
 use crate::model::LatencyModel;
 use crate::report::f3;
-use crate::runner::{
-    simulate_kind, simulate_oracle, simulate_predictor_wrap, simulate_reactive,
-};
 
 fn miss_reduction(base: u64, improved: u64) -> f64 {
     1.0 - improved as f64 / base.max(1) as f64
@@ -30,20 +30,20 @@ pub(crate) fn abl4(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         &["app", "reactive gain", "PC+Phase gain", "oracle gain", "reactive/oracle"],
     );
     let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
-        let mut make = || app.workload(ctx.cores, ctx.scale);
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?.llc.misses();
-        let reactive = simulate_reactive(&cfg, PolicyKind::Lru, &mut make, vec![])?.llc.misses();
-        let predicted = simulate_predictor_wrap(
+        let stream = ctx.stream(app, &cfg)?;
+        let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?.llc.misses();
+        let reactive = replay_reactive(&cfg, PolicyKind::Lru, &stream, vec![])?.llc.misses();
+        let predicted = replay_predictor_wrap(
             &cfg,
             PolicyKind::Lru,
             build_predictor(PredictorKind::PcPhase),
-            &mut make,
+            &stream,
             vec![],
         )?
         .llc
         .misses();
         let oracle =
-            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])?
+            replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?
                 .llc
                 .misses();
         let rg = miss_reduction(lru, reactive);
@@ -94,11 +94,17 @@ pub(crate) fn abl5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         &["mix", "LRU misses", "oracle gain", "shared-hit%"],
     );
     for (name, apps) in MIXES {
-        let mut make = || Multiprogram::new(&apps, 2, ctx.scale);
+        let key = StreamKey {
+            workload: WorkloadId::Mix(name),
+            cores: cfg.cores,
+            scale: ctx.scale,
+            config: cfg,
+        };
+        let stream = ctx.streams.get_or_record(key, || Multiprogram::new(&apps, 2, ctx.scale))?;
         let mut profile = crate::characterize::SharingProfile::new();
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![&mut profile])?;
+        let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![&mut profile])?;
         let oracle =
-            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])?;
+            replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?;
         t.row(vec![
             name.to_string(),
             lru.llc.misses().to_string(),
@@ -123,14 +129,14 @@ pub(crate) fn fig12(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             &["app", "LRU AMAT", "Oracle AMAT", "speedup"],
         );
         let rows: Vec<(String, f64, f64, f64)> = per_app_try(&ctx.apps, |app| {
-            let mut make = || app.workload(ctx.cores, ctx.scale);
-            let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?;
-            let oracle = simulate_oracle(
+            let stream = ctx.stream(app, &cfg)?;
+            let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?;
+            let oracle = replay_oracle(
                 &cfg,
                 PolicyKind::Lru,
                 ProtectMode::Eviction,
                 None,
-                &mut make,
+                &stream,
                 vec![],
             )?;
             Ok((

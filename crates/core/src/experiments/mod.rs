@@ -9,10 +9,13 @@ mod phases;
 mod policies;
 mod predictor;
 
+use std::sync::Arc;
+
 use llc_sim::{CacheConfig, HierarchyConfig, Inclusion};
-use llc_trace::{App, Scale};
+use llc_trace::{App, RecordedStream, Scale};
 
 use crate::error::RunError;
+use crate::replay::{StreamCache, StreamKey, WorkloadId};
 use crate::report::Table;
 
 /// Shared parameters of an experiment run.
@@ -30,6 +33,10 @@ pub struct ExperimentCtx {
     pub scale: Scale,
     /// Applications to run.
     pub apps: Vec<App>,
+    /// Recorded LLC reference streams, shared across every experiment in a
+    /// suite run (cloning the ctx shares the cache): each (workload,
+    /// hierarchy) pair is recorded once, then every policy replays it.
+    pub streams: StreamCache,
 }
 
 impl ExperimentCtx {
@@ -44,6 +51,7 @@ impl ExperimentCtx {
             llc_capacities: vec![4 << 20, 8 << 20],
             scale: Scale::Medium,
             apps: App::ALL.to_vec(),
+            streams: StreamCache::new(),
         }
     }
 
@@ -59,6 +67,7 @@ impl ExperimentCtx {
             llc_capacities: vec![1 << 20, 2 << 20],
             scale: Scale::Small,
             apps: App::ALL.to_vec(),
+            streams: StreamCache::new(),
         }
     }
 
@@ -73,6 +82,7 @@ impl ExperimentCtx {
             llc_capacities: vec![64 << 10, 128 << 10],
             scale: Scale::Tiny,
             apps: vec![App::Swaptions, App::Bodytrack, App::Dedup, App::Fft],
+            streams: StreamCache::new(),
         }
     }
 
@@ -121,6 +131,26 @@ impl ExperimentCtx {
     /// Builds `app`'s workload under this context.
     pub fn workload(&self, app: App) -> llc_trace::Workload {
         app.workload(self.cores, self.scale)
+    }
+
+    /// The recorded LLC reference stream of `app` under `config`, from the
+    /// shared [`StreamCache`] (recorded on first use, replay-ready after).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::replay::record_stream`] errors.
+    pub fn stream(
+        &self,
+        app: App,
+        config: &HierarchyConfig,
+    ) -> Result<Arc<RecordedStream>, RunError> {
+        let key = StreamKey {
+            workload: WorkloadId::App(app),
+            cores: self.cores,
+            scale: self.scale,
+            config: *config,
+        };
+        self.streams.get_or_record(key, || self.workload(app))
     }
 }
 

@@ -2,12 +2,16 @@
 //! (generality over recent policies), `abl1` (pre-pass iterations) and
 //! `abl3` (protection-mode variants).
 
+//! All four experiments replay policies over cached reference streams
+//! (one recording per app and LLC size), so an oracle run costs a single
+//! backward scan plus an LLC-only replay.
+
 use llc_policies::{PolicyKind, ProtectMode};
 
 use crate::error::RunError;
 use crate::experiments::{per_app_try, ExperimentCtx};
+use crate::replay::{replay_kind, replay_oracle};
 use crate::report::{mean, pct, Table};
-use crate::runner::{simulate_kind, simulate_oracle};
 
 fn miss_reduction(base: u64, improved: u64) -> f64 {
     1.0 - improved as f64 / base.max(1) as f64
@@ -29,10 +33,10 @@ pub(crate) fn fig7(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         let mut cols = Vec::new();
         for &cap in &ctx.llc_capacities {
             let cfg = ctx.config(cap)?;
-            let mut make = || app.workload(ctx.cores, ctx.scale);
-            let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?;
+            let stream = ctx.stream(app, &cfg)?;
+            let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?;
             let oracle =
-                simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])?;
+                replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?;
             cols.push((lru.llc.misses(), miss_reduction(lru.llc.misses(), oracle.llc.misses())));
         }
         Ok((app.label().to_string(), cols))
@@ -70,18 +74,12 @@ pub(crate) fn fig8(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
         let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
+            let stream = ctx.stream(app, &cfg)?;
             let mut vals = Vec::with_capacity(bases.len());
             for &base in &bases {
-                let mut make = || app.workload(ctx.cores, ctx.scale);
-                let plain = simulate_kind(&cfg, base, &mut make, vec![])?;
-                let oracle = simulate_oracle(
-                    &cfg,
-                    base,
-                    ProtectMode::Eviction,
-                    None,
-                    &mut make,
-                    vec![],
-                )?;
+                let plain = replay_kind(&cfg, base, &stream, vec![])?;
+                let oracle =
+                    replay_oracle(&cfg, base, ProtectMode::Eviction, None, &stream, vec![])?;
                 vals.push(miss_reduction(plain.llc.misses(), oracle.llc.misses()));
             }
             Ok(vals)
@@ -116,16 +114,16 @@ pub(crate) fn abl1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let rows = per_app_try(&ctx.apps, |app| {
-        let mut make = || app.workload(ctx.cores, ctx.scale);
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?;
+        let stream = ctx.stream(app, &cfg)?;
+        let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?;
         let mut cells = vec![app.label().to_string(), lru.llc.misses().to_string()];
         for f in factors {
-            let o = simulate_oracle(
+            let o = replay_oracle(
                 &cfg,
                 PolicyKind::Lru,
                 ProtectMode::Eviction,
                 Some(f * lines),
-                &mut make,
+                &stream,
                 vec![],
             )?;
             cells.push(pct(miss_reduction(lru.llc.misses(), o.llc.misses())));
@@ -158,12 +156,12 @@ pub(crate) fn abl3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
+        let stream = ctx.stream(app, &cfg)?;
         let mut vals = Vec::new();
         for &base in &bases {
-            let mut make = || app.workload(ctx.cores, ctx.scale);
-            let plain = simulate_kind(&cfg, base, &mut make, vec![])?;
+            let plain = replay_kind(&cfg, base, &stream, vec![])?;
             for &mode in &modes {
-                let o = simulate_oracle(&cfg, base, mode, None, &mut make, vec![])?;
+                let o = replay_oracle(&cfg, base, mode, None, &stream, vec![])?;
                 vals.push(miss_reduction(plain.llc.misses(), o.llc.misses()));
             }
         }

@@ -6,8 +6,8 @@ use llc_trace::App;
 use crate::epochs::EpochSeries;
 use crate::error::RunError;
 use crate::experiments::{per_app_try, ExperimentCtx};
+use crate::replay::replay_kind;
 use crate::report::{f3, pct, Table};
-use crate::runner::simulate_kind;
 
 /// Number of epochs the time series is resampled to.
 const SERIES_POINTS: usize = 16;
@@ -36,22 +36,12 @@ pub(crate) fn fig11(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let rows = per_app_try(&apps, |app| {
-        // Pick the epoch length so the run divides into SERIES_POINTS
-        // epochs: probe the LLC access count first.
-        let probe = simulate_kind(
-            &cfg,
-            PolicyKind::Lru,
-            &mut || app.workload(ctx.cores, ctx.scale),
-            vec![],
-        )?;
-        let epoch_len = (probe.llc.accesses / SERIES_POINTS as u64).max(1);
+        // The stream length IS the LLC access count, so the epoch length
+        // needs no probe simulation.
+        let stream = ctx.stream(app, &cfg)?;
+        let epoch_len = (stream.len() as u64 / SERIES_POINTS as u64).max(1);
         let mut series = EpochSeries::new(epoch_len);
-        simulate_kind(
-            &cfg,
-            PolicyKind::Lru,
-            &mut || app.workload(ctx.cores, ctx.scale),
-            vec![&mut series],
-        )?;
+        replay_kind(&cfg, PolicyKind::Lru, &stream, vec![&mut series])?;
         let mut cells = vec![app.label().to_string(), f3(series.sharing_burstiness())];
         for i in 0..SERIES_POINTS {
             let v = series.epochs().get(i).map(|e| e.shared_hit_fraction()).unwrap_or(0.0);

@@ -1,13 +1,18 @@
 //! Policy-comparison experiments: `fig5` (misses vs OPT) and `fig6`
 //! (sharing-awareness of existing policies).
+//!
+//! Both record each (app, LLC size) reference stream once via the
+//! context's [`StreamCache`](crate::replay::StreamCache) and replay every
+//! policy over it — the whole lineup costs one hierarchy simulation per
+//! app instead of one per policy.
 
 use llc_policies::PolicyKind;
 
 use crate::awareness::VictimizationStats;
 use crate::error::RunError;
 use crate::experiments::{per_app_try, ExperimentCtx};
+use crate::replay::replay_kind;
 use crate::report::{f3, geomean, pct, Table};
-use crate::runner::simulate_kind;
 
 /// The policy lineup of the comparison figures.
 pub(crate) const LINEUP: [PolicyKind; 8] = [
@@ -34,14 +39,14 @@ pub(crate) fn fig5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
         let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
-            let mut make = || app.workload(ctx.cores, ctx.scale);
-            let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?.llc.misses();
+            let stream = ctx.stream(app, &cfg)?;
+            let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?.llc.misses();
             let mut vals = Vec::with_capacity(LINEUP.len());
             for &kind in &LINEUP {
                 let misses = if kind == PolicyKind::Lru {
                     lru
                 } else {
-                    simulate_kind(&cfg, kind, &mut make, vec![])?.llc.misses()
+                    replay_kind(&cfg, kind, &stream, vec![])?.llc.misses()
                 };
                 vals.push(misses as f64 / lru.max(1) as f64);
             }
@@ -86,15 +91,11 @@ pub(crate) fn fig6(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let rows = per_app_try(&ctx.apps, |app| {
+        let stream = ctx.stream(app, &cfg)?;
         let mut cells = vec![app.label().to_string()];
         for &kind in &policies {
             let mut stats = VictimizationStats::new(window);
-            simulate_kind(
-                &cfg,
-                kind,
-                &mut || app.workload(ctx.cores, ctx.scale),
-                vec![&mut stats],
-            )?;
+            replay_kind(&cfg, kind, &stream, vec![&mut stats])?;
             cells.push(pct(stats.premature_rate()));
             cells.push(pct(stats.shared_victimization_rate()));
         }

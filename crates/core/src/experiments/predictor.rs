@@ -8,8 +8,8 @@ use llc_predictors::{
 
 use crate::error::RunError;
 use crate::experiments::{per_app_try, ExperimentCtx};
+use crate::replay::{replay_kind, replay_oracle, replay_predictor_wrap};
 use crate::report::{f3, mean, pct, Table};
-use crate::runner::{simulate_kind, simulate_oracle, simulate_predictor_wrap};
 
 /// Fig. 9: the paper's predictability study — what accuracy can
 /// fill-time, history-based sharing predictors achieve?
@@ -31,13 +31,9 @@ pub(crate) fn fig9(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             &["app", "shared rate", "accuracy", "precision", "recall", "MCC", "coverage"],
         );
         let rows = per_app_try(&ctx.apps, |app| {
+            let stream = ctx.stream(app, &cfg)?;
             let mut study = PredictorStudy::new(build_predictor(design));
-            simulate_kind(
-                &cfg,
-                PolicyKind::Lru,
-                &mut || app.workload(ctx.cores, ctx.scale),
-                vec![&mut study],
-            )?;
+            replay_kind(&cfg, PolicyKind::Lru, &stream, vec![&mut study])?;
             let m = study.matrix();
             Ok(vec![
                 app.label().to_string(),
@@ -72,11 +68,11 @@ pub(crate) fn fig10(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         &["app", "oracle gain", "Addr gain", "PC gain", "Addr+PC gain", "Region gain", "PC+Phase gain"],
     );
     let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
-        let mut make = || app.workload(ctx.cores, ctx.scale);
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])?.llc.misses();
+        let stream = ctx.stream(app, &cfg)?;
+        let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?.llc.misses();
         let red = |m: u64| 1.0 - m as f64 / lru.max(1) as f64;
         let oracle =
-            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])?;
+            replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?;
         let mut vals = vec![red(oracle.llc.misses())];
         for design in [
             PredictorKind::Address,
@@ -85,11 +81,11 @@ pub(crate) fn fig10(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             PredictorKind::Region,
             PredictorKind::PcPhase,
         ] {
-            let r = simulate_predictor_wrap(
+            let r = replay_predictor_wrap(
                 &cfg,
                 PolicyKind::Lru,
                 build_predictor(design),
-                &mut make,
+                &stream,
                 vec![],
             )?;
             vals.push(red(r.llc.misses()));
@@ -131,15 +127,11 @@ pub(crate) fn table3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
         let rows = per_app_try(&ctx.apps, |app| {
+            let stream = ctx.stream(app, &cfg)?;
             let mut cells = vec![app.label().to_string()];
             for (_, table_cfg) in &budgets {
                 let mut study = PredictorStudy::new(build_predictor_with(design, *table_cfg));
-                simulate_kind(
-                    &cfg,
-                    PolicyKind::Lru,
-                    &mut || app.workload(ctx.cores, ctx.scale),
-                    vec![&mut study],
-                )?;
+                replay_kind(&cfg, PolicyKind::Lru, &stream, vec![&mut study])?;
                 let m = study.matrix();
                 cells.push(format!("{}/{}", pct(m.accuracy()), f3(m.mcc())));
             }

@@ -48,6 +48,7 @@ pub mod epochs;
 pub mod error;
 pub mod model;
 pub mod experiments;
+pub mod replay;
 pub mod report;
 pub mod runner;
 pub mod suite;
@@ -58,6 +59,10 @@ pub use epochs::{EpochSeries, EpochStat};
 pub use error::RunError;
 pub use model::LatencyModel;
 pub use experiments::{per_app, run_experiment, ExperimentCtx, ExperimentId};
+pub use replay::{
+    compute_annotations, record_stream, replay, replay_kind, replay_opt, replay_oracle,
+    replay_predictor_wrap, replay_reactive, Annotations, StreamCache, StreamKey, WorkloadId,
+};
 pub use suite::{run_suite, run_suite_with, ExperimentOutcome, SuiteConfig, SuiteReport};
 pub use report::{f2, f3, geomean, mean, pct, Table};
 pub use runner::{

@@ -1,0 +1,574 @@
+//! The stream-replay fast path: record the LLC reference stream once,
+//! then replay any number of replacement policies directly against the
+//! LLC — skipping trace generation and private-cache simulation entirely.
+//!
+//! # Why this is exact
+//!
+//! In the default non-inclusive hierarchy the LLC reference stream — the
+//! demand accesses *and* the coherence upgrades that mutate resident lines
+//! — is a pure function of the workload and the private caches,
+//! independent of the LLC replacement policy (DESIGN.md "Why pre-passes
+//! are exact"). [`record_stream`] captures that stream (plus the L1/L2
+//! counters and instruction totals, which are equally policy-independent)
+//! from one full-hierarchy run; [`replay`] then drives a bare
+//! [`Llc`] with it, producing **bit-identical** [`LlcStats`] to a full
+//! [`simulate`](crate::simulate) run of the same policy.
+//!
+//! # The inclusive-hierarchy caveat
+//!
+//! With [`Inclusion::Inclusive`] an LLC eviction back-invalidates private
+//! copies, so the reference stream *depends on the LLC policy*: a stream
+//! recorded under LRU is only an approximation of what another policy
+//! would see. Recording is still permitted (the oracle pre-passes have
+//! always used exactly this approximation for the `abl2` ablation), but
+//! the replay drivers refuse inclusive configurations — measured runs
+//! must fall back to full simulation there, and
+//! [`simulate_opt`](crate::simulate_opt) /
+//! [`simulate_oracle`](crate::simulate_oracle) do exactly that.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use fxhash::FxHashMap;
+use llc_policies::{
+    build_oracle_policy_with_mode, build_policy, build_reactive_policy, OracleWrap, PolicyKind,
+    ProtectMode,
+};
+use llc_predictors::{PredictorWrap, SharingPredictor};
+use llc_sim::{
+    AuxProvider, BlockAddr, Cmp, ConfigError, CoreId, HierarchyConfig, Inclusion, Llc,
+    LlcObserver, MultiObserver, ReplacementPolicy, SimError,
+};
+use llc_trace::{App, RecordedStream, Scale, TraceSource};
+
+use crate::error::RunError;
+use crate::runner::{
+    oracle_window, CombinedProvider, NextUseProvider, OracleProvider, RunResult, StreamRecorder,
+};
+
+/// Records the policy-independent LLC reference stream of `trace` under
+/// `config` with one full-hierarchy simulation (LRU in the LLC — the
+/// recording policy is irrelevant to the stream in non-inclusive mode and
+/// is the conventional approximation in inclusive mode).
+///
+/// # Errors
+///
+/// Returns [`RunError::Sim`] for an invalid configuration or an
+/// out-of-range core id, and [`RunError::Trace`] if the source ends on a
+/// decode error.
+pub fn record_stream<W: TraceSource>(
+    config: &HierarchyConfig,
+    mut trace: W,
+) -> Result<RecordedStream, RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let mut cmp =
+        Cmp::new(*config, build_policy(PolicyKind::Lru, sets, ways)).map_err(SimError::from)?;
+    let mut rec = StreamRecorder::with_capacity(trace.len_hint());
+    let mut instr_deltas = Vec::with_capacity(rec.blocks.capacity());
+    // Instructions accumulated since the previous LLC access; folded into
+    // the next access's delta (an observer cannot see `instr_gap`, so the
+    // recording loop threads it through here).
+    let mut pending_instr = 0u64;
+    while let Some(a) = trace.next_access() {
+        cmp.check_access(&a)?;
+        pending_instr += u64::from(a.instr_gap.max(1));
+        let before = rec.blocks.len();
+        cmp.access(a, &mut rec);
+        if rec.blocks.len() > before {
+            instr_deltas.push(pending_instr);
+            pending_instr = 0;
+        }
+    }
+    if let Some(e) = trace.take_error() {
+        return Err(RunError::Trace(e));
+    }
+    Ok(RecordedStream {
+        fingerprint: config.fingerprint(),
+        blocks: rec.blocks,
+        cores: rec.cores,
+        pcs: rec.pcs,
+        kinds: rec.kinds,
+        instr_deltas,
+        upgrades: rec.upgrades,
+        instructions: cmp.instructions(),
+        trace_accesses: cmp.trace_accesses(),
+        l1: cmp.l1_stats(),
+        l2: cmp.l2_stats(),
+    })
+}
+
+fn check_replayable(config: &HierarchyConfig, stream: &RecordedStream) -> Result<(), RunError> {
+    config.validate().map_err(SimError::from)?;
+    if config.inclusion == Inclusion::Inclusive {
+        return Err(ConfigError::new(
+            "stream replay requires a non-inclusive hierarchy (inclusive back-invalidations \
+             make the LLC reference stream policy-dependent); run the full simulation instead",
+        )
+        .into());
+    }
+    if stream.fingerprint != config.fingerprint() {
+        return Err(ConfigError::new(format!(
+            "recorded stream fingerprint {:#x} does not match hierarchy fingerprint {:#x}",
+            stream.fingerprint,
+            config.fingerprint()
+        ))
+        .into());
+    }
+    Ok(())
+}
+
+/// Replays `policy` over a [`RecordedStream`]: the `LlcOnly` driver. Only
+/// the LLC is simulated; the result's L1/L2 counters and instruction
+/// totals come from the recording. For any non-inclusive configuration
+/// the returned [`LlcStats`](llc_sim::LlcStats) are bit-identical to a
+/// full [`simulate`](crate::simulate) of the same policy over the same
+/// workload.
+///
+/// # Errors
+///
+/// Returns [`RunError::Sim`] if the configuration is invalid, inclusive
+/// (see the module docs), or does not match the stream's fingerprint.
+pub fn replay(
+    config: &HierarchyConfig,
+    policy: Box<dyn ReplacementPolicy>,
+    aux: Option<Box<dyn AuxProvider>>,
+    stream: &RecordedStream,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> Result<RunResult, RunError> {
+    check_replayable(config, stream)?;
+    let mut llc = Llc::new(config.llc, policy);
+    if let Some(aux) = aux {
+        llc.set_aux_provider(aux);
+    }
+    let mut obs = MultiObserver::new(observers);
+    let upgrades = &stream.upgrades;
+    let mut up = 0usize;
+    for i in 0..stream.len() {
+        // Upgrades recorded at LLC time `i` happened before access `i`.
+        while up < upgrades.len() && upgrades[up].at <= i as u64 {
+            llc.note_upgrade(upgrades[up].block, upgrades[up].core);
+            obs.on_upgrade(upgrades[up].block, upgrades[up].core);
+            up += 1;
+        }
+        llc.access(stream.blocks[i], stream.pcs[i], stream.cores[i], stream.kinds[i], &mut obs);
+    }
+    // Trailing upgrades (after the last access) land before the flush.
+    while up < upgrades.len() {
+        llc.note_upgrade(upgrades[up].block, upgrades[up].core);
+        obs.on_upgrade(upgrades[up].block, upgrades[up].core);
+        up += 1;
+    }
+    llc.flush(&mut obs);
+    Ok(RunResult {
+        policy: llc.policy().name(),
+        llc: llc.stats(),
+        l1: stream.l1,
+        l2: stream.l2,
+        instructions: stream.instructions,
+        trace_accesses: stream.trace_accesses,
+    })
+}
+
+/// Replays a realistic policy ([`PolicyKind::Opt`] dispatches to
+/// [`replay_opt`]).
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_kind(
+    config: &HierarchyConfig,
+    kind: PolicyKind,
+    stream: &RecordedStream,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> Result<RunResult, RunError> {
+    if kind == PolicyKind::Opt {
+        return replay_opt(config, stream, observers);
+    }
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    replay(config, build_policy(kind, sets, ways), None, stream, observers)
+}
+
+/// Replays Belady's OPT, deriving the next-use chains from the recording
+/// itself (no extra simulation passes).
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_opt(
+    config: &HierarchyConfig,
+    stream: &RecordedStream,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> Result<RunResult, RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let ann = compute_annotations(stream, 0);
+    replay(
+        config,
+        build_policy(PolicyKind::Opt, sets, ways),
+        Some(Box::new(NextUseProvider::new(ann.next_use))),
+        stream,
+        observers,
+    )
+}
+
+/// Replays the sharing-aware oracle wrapper around `base`, deriving both
+/// annotation vectors from the recording in a single fused backward scan
+/// (`None` selects [`oracle_window`]).
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_oracle(
+    config: &HierarchyConfig,
+    base: PolicyKind,
+    mode: ProtectMode,
+    window: Option<u64>,
+    stream: &RecordedStream,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> Result<RunResult, RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let window = window.unwrap_or_else(|| oracle_window(config));
+    let ann = compute_annotations(stream, window);
+    if base == PolicyKind::Opt {
+        let policy = Box::new(OracleWrap::with_mode(
+            build_policy(PolicyKind::Opt, sets, ways),
+            sets,
+            ways,
+            mode,
+        ));
+        return replay(
+            config,
+            policy,
+            Some(Box::new(CombinedProvider::new(ann.next_use, ann.shared_soon))),
+            stream,
+            observers,
+        );
+    }
+    let policy = build_oracle_policy_with_mode(base, sets, ways, mode);
+    replay(
+        config,
+        policy,
+        Some(Box::new(OracleProvider::new(ann.shared_soon))),
+        stream,
+        observers,
+    )
+}
+
+/// Replays reactive (directory-driven, prediction-free) sharing
+/// protection around `base`.
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_reactive(
+    config: &HierarchyConfig,
+    base: PolicyKind,
+    stream: &RecordedStream,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> Result<RunResult, RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    replay(config, build_reactive_policy(base, sets, ways), None, stream, observers)
+}
+
+/// Replays a predictor-driven sharing-aware wrapper around `base`.
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_predictor_wrap(
+    config: &HierarchyConfig,
+    base: PolicyKind,
+    predictor: Box<dyn SharingPredictor>,
+    stream: &RecordedStream,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> Result<RunResult, RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let policy =
+        Box::new(PredictorWrap::new(build_policy(base, sets, ways), predictor, sets, ways));
+    replay(config, policy, None, stream, observers)
+}
+
+/// Both offline annotation vectors, produced by one fused backward scan
+/// over a recorded stream (see [`compute_annotations`]).
+#[derive(Debug, Clone, Default)]
+pub struct Annotations {
+    /// For each access, the stream index of the next access to the same
+    /// block (`u64::MAX` = never used again). Feeds Belady's OPT.
+    pub next_use: Vec<u64>,
+    /// For each access, whether a *different core* touches the block
+    /// within the oracle retention window. Feeds the oracle wrapper.
+    pub shared_soon: Vec<bool>,
+}
+
+/// Computes `next_use` and `shared_soon` in **one** backward scan over
+/// `stream` — the fused form of the runner's historical
+/// `compute_next_use` + `compute_shared_soon` pre-passes, which each ran
+/// their own full simulation plus scan.
+///
+/// The fusion is exact because both annotations are functions of the same
+/// per-block recurrence: walking the stream backwards, keep for each
+/// block its nearest future access (`n1`, issued by core `c1`) and the
+/// nearest future access by a core other than `c1` (`n2`). Then
+/// `next_use[i] = n1` and `shared_soon[i]` asks whether the nearest
+/// future *differing-core* access falls within `window`.
+pub fn compute_annotations(stream: &RecordedStream, window: u64) -> Annotations {
+    let n = stream.len();
+    let mut next_use = vec![u64::MAX; n];
+    let mut shared_soon = vec![false; n];
+    struct Next {
+        n1: u64,
+        c1: CoreId,
+        n2: u64,
+    }
+    let mut next: FxHashMap<BlockAddr, Next> = FxHashMap::default();
+    for i in (0..n).rev() {
+        let block = stream.blocks[i];
+        let core = stream.cores[i];
+        if let Some(e) = next.get(&block) {
+            next_use[i] = e.n1;
+            let next_diff = if e.c1 != core { e.n1 } else { e.n2 };
+            shared_soon[i] = next_diff != u64::MAX && next_diff - i as u64 <= window;
+        }
+        let entry = next.entry(block).or_insert(Next { n1: u64::MAX, c1: core, n2: u64::MAX });
+        let new_n2 = if entry.n1 != u64::MAX && entry.c1 != core { entry.n1 } else { entry.n2 };
+        *entry = Next { n1: i as u64, c1: core, n2: new_n2 };
+    }
+    Annotations { next_use, shared_soon }
+}
+
+/// Identity of a workload for stream-cache keying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadId {
+    /// A single multi-threaded application.
+    App(App),
+    /// A named multiprogrammed mix (experiment `abl5`).
+    Mix(&'static str),
+}
+
+/// Cache key: workload identity × thread count × scale × hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamKey {
+    /// The workload.
+    pub workload: WorkloadId,
+    /// Thread/core count the workload was generated with.
+    pub cores: usize,
+    /// Workload scale.
+    pub scale: Scale,
+    /// The hierarchy the stream was recorded under.
+    pub config: HierarchyConfig,
+}
+
+type Slot = Arc<Mutex<Option<Arc<RecordedStream>>>>;
+
+/// A keyed, thread-safe cache of recorded streams, shared by every
+/// experiment in a suite so each (workload, hierarchy) pair is recorded
+/// exactly once no matter how many policies replay it — including from
+/// the suite's parallel workers.
+///
+/// Locking is two-level: a brief outer lock resolves the key to a
+/// per-key slot, and recording happens under the slot's own lock, so two
+/// experiments wanting *different* streams record concurrently while two
+/// wanting the *same* stream share one recording. Errors are not cached —
+/// a failed recording is retried by the next caller.
+#[derive(Debug, Clone, Default)]
+pub struct StreamCache {
+    inner: Arc<Mutex<HashMap<StreamKey, Slot>>>,
+}
+
+impl StreamCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        StreamCache::default()
+    }
+
+    /// Number of cached streams (recorded, not merely reserved).
+    pub fn len(&self) -> usize {
+        let map = lock_recovering(&self.inner);
+        map.values()
+            .filter(|slot| lock_recovering(slot).is_some())
+            .count()
+    }
+
+    /// `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the stream for `key`, recording it via `make_trace` under
+    /// `key.config` on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`record_stream`] errors; they are not cached.
+    pub fn get_or_record<W, F>(
+        &self,
+        key: StreamKey,
+        make_trace: F,
+    ) -> Result<Arc<RecordedStream>, RunError>
+    where
+        W: TraceSource,
+        F: FnOnce() -> W,
+    {
+        let slot = {
+            let mut map = lock_recovering(&self.inner);
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut guard = lock_recovering(&slot);
+        if let Some(stream) = guard.as_ref() {
+            return Ok(Arc::clone(stream));
+        }
+        let stream = Arc::new(record_stream(&key.config, make_trace())?);
+        *guard = Some(Arc::clone(&stream));
+        Ok(stream)
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock (a recording
+/// panic elsewhere must not wedge the whole cache — the poisoned slot
+/// simply holds `None` and is re-recorded).
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::LlcStats;
+    use llc_trace::{App, Scale};
+
+    fn cfg() -> HierarchyConfig {
+        HierarchyConfig::tiny()
+    }
+
+    fn stream_of(app: App) -> RecordedStream {
+        record_stream(&cfg(), app.workload(4, Scale::Tiny)).expect("record")
+    }
+
+    fn full_sim(kind: PolicyKind, app: App) -> LlcStats {
+        crate::runner::simulate_kind(&cfg(), kind, &mut || app.workload(4, Scale::Tiny), vec![])
+            .expect("simulate")
+            .llc
+    }
+
+    #[test]
+    fn replay_matches_full_simulation_for_every_policy_kind() {
+        let c = cfg();
+        let stream = stream_of(App::Bodytrack);
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Random,
+            PolicyKind::Nru,
+            PolicyKind::Srrip,
+            PolicyKind::Drrip,
+            PolicyKind::Dip,
+            PolicyKind::Ship,
+            PolicyKind::Opt,
+        ] {
+            let fast = replay_kind(&c, kind, &stream, vec![]).expect("replay");
+            assert_eq!(fast.llc, full_sim(kind, App::Bodytrack), "{kind} diverged");
+            assert_eq!(fast.instructions, stream.instructions);
+            assert_eq!(fast.trace_accesses, stream.trace_accesses);
+        }
+    }
+
+    #[test]
+    fn replay_oracle_matches_full_simulation() {
+        let c = cfg();
+        let stream = stream_of(App::Streamcluster);
+        for base in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Opt] {
+            let fast = replay_oracle(&c, base, ProtectMode::Eviction, None, &stream, vec![])
+                .expect("replay");
+            let slow = crate::runner::simulate_oracle(
+                &c,
+                base,
+                ProtectMode::Eviction,
+                None,
+                &mut || App::Streamcluster.workload(4, Scale::Tiny),
+                vec![],
+            )
+            .expect("simulate");
+            assert_eq!(fast.llc, slow.llc, "oracle({base}) diverged");
+        }
+    }
+
+    #[test]
+    fn fused_annotations_match_legacy_pre_passes() {
+        let c = cfg();
+        let window = 64;
+        let stream = stream_of(App::Dedup);
+        let ann = compute_annotations(&stream, window);
+        let next_legacy =
+            crate::runner::compute_next_use(&c, App::Dedup.workload(4, Scale::Tiny))
+                .expect("legacy next-use");
+        let shared_legacy = crate::runner::compute_shared_soon(
+            &c,
+            App::Dedup.workload(4, Scale::Tiny),
+            window,
+        )
+        .expect("legacy shared-soon");
+        assert_eq!(ann.next_use, next_legacy);
+        assert_eq!(ann.shared_soon, shared_legacy);
+    }
+
+    #[test]
+    fn replay_refuses_inclusive_and_mismatched_configs() {
+        let stream = stream_of(App::Fft);
+        let mut inclusive = cfg();
+        inclusive.inclusion = Inclusion::Inclusive;
+        assert!(matches!(
+            replay_kind(&inclusive, PolicyKind::Lru, &stream, vec![]),
+            Err(RunError::Sim(SimError::Config(_)))
+        ));
+        let mut other = cfg();
+        other.llc = llc_sim::CacheConfig::from_kib(128, 8).expect("valid");
+        assert!(matches!(
+            replay_kind(&other, PolicyKind::Lru, &stream, vec![]),
+            Err(RunError::Sim(SimError::Config(_)))
+        ));
+    }
+
+    #[test]
+    fn stream_cache_records_each_key_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = StreamCache::new();
+        let recordings = AtomicUsize::new(0);
+        let key = StreamKey {
+            workload: WorkloadId::App(App::Swaptions),
+            cores: 4,
+            scale: Scale::Tiny,
+            config: cfg(),
+        };
+        let a = cache
+            .get_or_record(key, || {
+                recordings.fetch_add(1, Ordering::SeqCst);
+                App::Swaptions.workload(4, Scale::Tiny)
+            })
+            .expect("record");
+        let b = cache
+            .get_or_record(key, || {
+                recordings.fetch_add(1, Ordering::SeqCst);
+                App::Swaptions.workload(4, Scale::Tiny)
+            })
+            .expect("cached");
+        assert_eq!(recordings.load(Ordering::SeqCst), 1, "second get must hit the cache");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn recorded_stream_round_trips_through_llcs_and_still_replays() {
+        let c = cfg();
+        let stream = stream_of(App::Bodytrack);
+        let bytes = stream.to_vec().expect("encode");
+        let back = RecordedStream::from_slice(&bytes).expect("decode");
+        assert_eq!(back, stream);
+        let a = replay_kind(&c, PolicyKind::Ship, &stream, vec![]).expect("replay");
+        let b = replay_kind(&c, PolicyKind::Ship, &back, vec![]).expect("replay decoded");
+        assert_eq!(a.llc, b.llc);
+    }
+}

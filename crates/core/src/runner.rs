@@ -12,8 +12,15 @@
 //! computed at stream index `i` in a pre-pass describes exactly the access
 //! the second run performs at index `i`. This is what makes Belady's OPT
 //! exact and the oracle bits perfectly aligned.
-
-use std::collections::HashMap;
+//!
+//! Since the stream-replay fast path landed, the annotated runs
+//! ([`simulate_opt`], [`simulate_oracle`]) exploit this property twice
+//! over: on a non-inclusive hierarchy they record the stream **once**
+//! ([`crate::replay::record_stream`]), derive all annotations from the
+//! recording in a single fused backward scan, and replay only the LLC —
+//! instead of running up to three full hierarchy simulations. Inclusive
+//! hierarchies keep the historical full-simulation path (see the
+//! [`crate::replay`] module docs for why).
 
 use llc_policies::{
     build_oracle_policy_with_mode, build_policy, build_reactive_policy, OracleWrap, PolicyKind,
@@ -21,12 +28,14 @@ use llc_policies::{
 };
 use llc_predictors::{PredictorWrap, SharingPredictor};
 use llc_sim::{
-    AccessCtx, Aux, AuxProvider, BlockAddr, Cmp, CoreId, HierarchyConfig, LiveGeneration,
-    LlcObserver, LlcStats, MultiObserver, PrivateCacheStats, ReplacementPolicy,
+    AccessCtx, AccessKind, Aux, AuxProvider, BlockAddr, Cmp, CoreId, HierarchyConfig, Inclusion,
+    LiveGeneration, LlcObserver, LlcStats, MultiObserver, Pc, PrivateCacheStats,
+    ReplacementPolicy,
 };
-use llc_trace::TraceSource;
+use llc_trace::{TraceSource, UpgradeEvent};
 
 use crate::error::RunError;
+use crate::replay::{compute_annotations, record_stream, replay_opt, replay_oracle};
 
 /// Aggregate result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,8 +135,11 @@ where
     simulate(config, build_policy(kind, sets, ways), None, make_trace(), observers)
 }
 
-/// Runs Belady's OPT: one recording pre-pass to compute next-use chains,
-/// then the OPT run itself.
+/// Runs Belady's OPT: one recording pass captures the LLC reference
+/// stream, the next-use chains are derived from the recording, and the
+/// OPT run itself replays only the LLC (non-inclusive hierarchies).
+/// Inclusive hierarchies fall back to the historical pre-pass + full
+/// simulation.
 pub fn simulate_opt<W, F>(
     config: &HierarchyConfig,
     make_trace: &mut F,
@@ -137,16 +149,20 @@ where
     W: TraceSource,
     F: FnMut() -> W,
 {
-    let sets = config.llc.sets() as usize;
-    let ways = config.llc.ways;
-    let next_use = compute_next_use(config, make_trace())?;
-    simulate(
-        config,
-        build_policy(PolicyKind::Opt, sets, ways),
-        Some(Box::new(NextUseProvider::new(next_use))),
-        make_trace(),
-        observers,
-    )
+    if config.inclusion == Inclusion::Inclusive {
+        let sets = config.llc.sets() as usize;
+        let ways = config.llc.ways;
+        let next_use = compute_next_use(config, make_trace())?;
+        return simulate(
+            config,
+            build_policy(PolicyKind::Opt, sets, ways),
+            Some(Box::new(NextUseProvider::new(next_use))),
+            make_trace(),
+            observers,
+        );
+    }
+    let stream = record_stream(config, make_trace())?;
+    replay_opt(config, &stream, observers)
 }
 
 /// Runs the sharing-aware oracle wrapper around `base`.
@@ -168,12 +184,22 @@ where
     W: TraceSource,
     F: FnMut() -> W,
 {
+    if config.inclusion != Inclusion::Inclusive {
+        // Fast path: one recording, fused annotations, LLC-only replay.
+        // (Historically `base == Opt` here cost THREE full pre-pass
+        // simulations; the recording now happens exactly once.)
+        let stream = record_stream(config, make_trace())?;
+        return replay_oracle(config, base, mode, window, &stream, observers);
+    }
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
     let window = window.unwrap_or_else(|| oracle_window(config));
-    let outcomes = compute_shared_soon(config, make_trace(), window)?;
+    // Inclusive: the stream depends on the policy, so the measured run
+    // must be a full simulation — but both annotation vectors still come
+    // from a single recording of the LRU-run approximation.
+    let stream = record_stream(config, make_trace())?;
+    let ann = compute_annotations(&stream, window);
     if base == PolicyKind::Opt {
-        let next_use = compute_next_use(config, make_trace())?;
         let policy = Box::new(OracleWrap::with_mode(
             build_policy(PolicyKind::Opt, sets, ways),
             sets,
@@ -183,7 +209,7 @@ where
         return simulate(
             config,
             policy,
-            Some(Box::new(CombinedProvider::new(next_use, outcomes))),
+            Some(Box::new(CombinedProvider::new(ann.next_use, ann.shared_soon))),
             make_trace(),
             observers,
         );
@@ -192,7 +218,7 @@ where
     simulate(
         config,
         policy,
-        Some(Box::new(OracleProvider::new(outcomes))),
+        Some(Box::new(OracleProvider::new(ann.shared_soon))),
         make_trace(),
         observers,
     )
@@ -260,21 +286,8 @@ pub fn compute_next_use<W: TraceSource>(
     config: &HierarchyConfig,
     trace: W,
 ) -> Result<Vec<u64>, RunError> {
-    let mut recorder = StreamRecorder::default();
-    // The recording policy is irrelevant to the stream; LRU is cheap.
-    let sets = config.llc.sets() as usize;
-    let ways = config.llc.ways;
-    simulate(config, build_policy(PolicyKind::Lru, sets, ways), None, trace, vec![&mut recorder])?;
-    let blocks = recorder.blocks;
-    let mut next_use = vec![u64::MAX; blocks.len()];
-    let mut last_seen: HashMap<BlockAddr, u64> = HashMap::new();
-    for (i, b) in blocks.iter().enumerate().rev() {
-        if let Some(&n) = last_seen.get(b) {
-            next_use[i] = n;
-        }
-        last_seen.insert(*b, i as u64);
-    }
-    Ok(next_use)
+    let stream = record_stream(config, trace)?;
+    Ok(compute_annotations(&stream, 0).next_use)
 }
 
 /// Computes the oracle's answer vector from the (policy-independent) LLC
@@ -299,32 +312,8 @@ pub fn compute_shared_soon<W: TraceSource>(
     trace: W,
     window: u64,
 ) -> Result<Vec<bool>, RunError> {
-    let mut recorder = StreamRecorder::default();
-    let sets = config.llc.sets() as usize;
-    let ways = config.llc.ways;
-    simulate(config, build_policy(PolicyKind::Lru, sets, ways), None, trace, vec![&mut recorder])?;
-    let n = recorder.blocks.len();
-    let mut outcome = vec![false; n];
-    // Backward scan: for each block keep (nearest future access n1 with
-    // core c1, nearest future access n2 whose core differs from c1).
-    struct Next {
-        n1: u64,
-        c1: CoreId,
-        n2: u64,
-    }
-    let mut next: HashMap<BlockAddr, Next> = HashMap::new();
-    for i in (0..n).rev() {
-        let block = recorder.blocks[i];
-        let core = recorder.cores[i];
-        if let Some(e) = next.get(&block) {
-            let next_diff = if e.c1 != core { e.n1 } else { e.n2 };
-            outcome[i] = next_diff != u64::MAX && next_diff - i as u64 <= window;
-        }
-        let entry = next.entry(block).or_insert(Next { n1: u64::MAX, c1: core, n2: u64::MAX });
-        let new_n2 = if entry.n1 != u64::MAX && entry.c1 != core { entry.n1 } else { entry.n2 };
-        *entry = Next { n1: i as u64, c1: core, n2: new_n2 };
-    }
-    Ok(outcome)
+    let stream = record_stream(config, trace)?;
+    Ok(compute_annotations(&stream, window).shared_soon)
 }
 
 /// The default oracle retention horizon for a hierarchy: four times the
@@ -335,21 +324,47 @@ pub fn oracle_window(config: &HierarchyConfig) -> u64 {
     4 * config.llc.lines()
 }
 
-/// Observer recording the block and core of every LLC access, in stream
-/// order.
+/// Observer recording every LLC access (block, core, PC, kind) plus the
+/// interleaved coherence upgrades, in stream order — everything a
+/// [`crate::replay::replay`] run needs to reproduce the LLC
+/// bit-identically.
 #[derive(Debug, Default)]
 pub struct StreamRecorder {
     /// One entry per LLC access.
     pub blocks: Vec<BlockAddr>,
     /// The issuing core of each access.
     pub cores: Vec<CoreId>,
+    /// The program counter of each access.
+    pub pcs: Vec<Pc>,
+    /// Read or write.
+    pub kinds: Vec<AccessKind>,
+    /// Coherence upgrades, positioned by the number of LLC accesses that
+    /// preceded them.
+    pub upgrades: Vec<UpgradeEvent>,
 }
 
 impl StreamRecorder {
+    /// Creates a recorder pre-sized from a trace length hint
+    /// ([`TraceSource::len_hint`]). LLC accesses are the private caches'
+    /// misses — typically a small fraction of the trace — so the capacity
+    /// is a quarter of the hint, bounded to keep a corrupt hint from
+    /// reserving gigabytes.
+    pub fn with_capacity(len_hint: Option<u64>) -> Self {
+        let cap = len_hint.map_or(0, |h| (h / 4).min(1 << 22) as usize);
+        StreamRecorder {
+            blocks: Vec::with_capacity(cap),
+            cores: Vec::with_capacity(cap),
+            pcs: Vec::with_capacity(cap),
+            kinds: Vec::with_capacity(cap),
+            upgrades: Vec::new(),
+        }
+    }
+
     fn push(&mut self, ctx: &AccessCtx) {
-        debug_assert_eq!(ctx.time as usize, self.blocks.len());
         self.blocks.push(ctx.block);
         self.cores.push(ctx.core);
+        self.pcs.push(ctx.pc);
+        self.kinds.push(ctx.kind);
     }
 }
 
@@ -359,6 +374,11 @@ impl LlcObserver for StreamRecorder {
     }
     fn on_fill(&mut self, ctx: &AccessCtx) {
         self.push(ctx);
+    }
+    fn on_upgrade(&mut self, block: BlockAddr, core: CoreId) {
+        // `on_hit`/`on_fill` fire exactly once per LLC access, in order,
+        // so `blocks.len()` is the LLC time this upgrade lands at.
+        self.upgrades.push(UpgradeEvent { at: self.blocks.len() as u64, block, core });
     }
 }
 

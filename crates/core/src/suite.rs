@@ -19,6 +19,14 @@
 //! * **Bounded IO retry** — manifest reads and writes retry with
 //!   exponential backoff before giving up; a checkpoint that still fails
 //!   is recorded in the report but does not fail the suite.
+//! * **Worker pool** — independent experiments run on up to
+//!   [`SuiteConfig::jobs`] workers concurrently (scoped threads, no extra
+//!   dependencies). Each worker still gets the full per-experiment
+//!   isolation and watchdog; completed experiments are checkpointed as
+//!   they finish (manifest writes serialized by a lock) and the report
+//!   keeps request order regardless of completion order. The shared
+//!   [`StreamCache`](crate::replay::StreamCache) in the context means
+//!   concurrent experiments record each reference stream only once.
 //!
 //! The manifest format is a small hand-rolled JSON document (this
 //! workspace deliberately has no serde dependency); see [`SuiteReport`]
@@ -27,8 +35,8 @@
 use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -50,6 +58,9 @@ pub struct SuiteConfig {
     pub retry_backoff: Duration,
     /// Checkpoint manifest path; `None` disables checkpointing/resume.
     pub manifest_path: Option<PathBuf>,
+    /// Maximum experiments running concurrently. `1` = sequential
+    /// (default); `0` = one worker per available hardware thread.
+    pub jobs: usize,
 }
 
 impl Default for SuiteConfig {
@@ -59,6 +70,18 @@ impl Default for SuiteConfig {
             io_retries: 3,
             retry_backoff: Duration::from_millis(50),
             manifest_path: None,
+            jobs: 1,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// The resolved worker count: [`jobs`](SuiteConfig::jobs), with `0`
+    /// meaning the machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
         }
     }
 }
@@ -182,29 +205,72 @@ where
     F: Fn(ExperimentId, &ExperimentCtx) -> Result<Vec<Table>, RunError> + Send + Sync + 'static,
 {
     let run_fn = Arc::new(run_fn);
-    let mut manifest = match &config.manifest_path {
+    let manifest = match &config.manifest_path {
         Some(path) => load_manifest(path, config)?,
         None => Manifest::default(),
     };
-    let mut report = SuiteReport { outcomes: Vec::new(), checkpoint_errors: Vec::new() };
 
-    for &id in ids {
-        if let Some(tables) = manifest.get(id.label()) {
-            report.outcomes.push((id, ExperimentOutcome::Resumed { tables: tables.to_vec() }));
-            continue;
-        }
-        let outcome = run_isolated(id, ctx, config, Arc::clone(&run_fn));
-        if let (Some(path), ExperimentOutcome::Completed { tables }) =
-            (&config.manifest_path, &outcome)
-        {
-            manifest.insert(id.label(), tables.clone());
-            if let Err(e) = save_manifest(&manifest, path, config) {
-                report.checkpoint_errors.push(e.to_string());
+    // Resolve resumes up front; everything left is independent work.
+    let mut slots: Vec<Option<ExperimentOutcome>> = Vec::with_capacity(ids.len());
+    let mut pending: Vec<(usize, ExperimentId)> = Vec::new();
+    for (i, &id) in ids.iter().enumerate() {
+        match manifest.get(id.label()) {
+            Some(tables) => {
+                slots.push(Some(ExperimentOutcome::Resumed { tables: tables.to_vec() }));
+            }
+            None => {
+                slots.push(None);
+                pending.push((i, id));
             }
         }
-        report.outcomes.push((id, outcome));
     }
-    Ok(report)
+
+    // Shared between workers: the manifest plus accumulated checkpoint
+    // complaints, both mutated under one lock so every completed
+    // experiment is persisted immediately, exactly as in sequential runs.
+    let checkpoint = Mutex::new((manifest, Vec::<String>::new()));
+    let result_slots: Vec<Mutex<Option<ExperimentOutcome>>> =
+        slots.iter_mut().map(|s| Mutex::new(s.take())).collect();
+    let next = AtomicUsize::new(0);
+    let workers = config.effective_jobs().min(pending.len().max(1));
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let w = next.fetch_add(1, Ordering::SeqCst);
+                let Some(&(slot, id)) = pending.get(w) else { break };
+                let outcome = run_isolated(id, ctx, config, Arc::clone(&run_fn));
+                if let (Some(path), ExperimentOutcome::Completed { tables }) =
+                    (&config.manifest_path, &outcome)
+                {
+                    let mut guard =
+                        checkpoint.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                    let (manifest, errors) = &mut *guard;
+                    manifest.insert(id.label(), tables.clone());
+                    if let Err(e) = save_manifest(manifest, path, config) {
+                        errors.push(e.to_string());
+                    }
+                }
+                *result_slots[slot].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
+            });
+        }
+    });
+
+    let outcomes = ids
+        .iter()
+        .zip(result_slots)
+        .map(|(&id, slot)| {
+            let outcome = slot
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                // infallible: every slot is either pre-filled (resumed) or
+                // assigned by the worker that claimed its pending index.
+                .expect("every experiment slot is filled");
+            (id, outcome)
+        })
+        .collect();
+    let (_, checkpoint_errors) =
+        checkpoint.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+    Ok(SuiteReport { outcomes, checkpoint_errors })
 }
 
 /// Runs one experiment on a dedicated thread under `catch_unwind` and the
@@ -461,6 +527,7 @@ mod tests {
             io_retries: 1,
             retry_backoff: Duration::from_millis(1),
             manifest_path: None,
+            jobs: 1,
         }
     }
 
@@ -590,6 +657,60 @@ mod tests {
         });
         assert_eq!(calls, 2); // initial attempt + io_retries(1)
         assert!(matches!(r, Err(RunError::Io { .. })));
+    }
+
+    #[test]
+    fn parallel_suite_preserves_request_order_and_checkpoints() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir = std::env::temp_dir().join(format!("llc-suite-par-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let manifest = dir.join("manifest.json");
+        let _ = std::fs::remove_file(&manifest);
+        let config =
+            SuiteConfig { jobs: 4, manifest_path: Some(manifest.clone()), ..quick_config() };
+        let ctx = ExperimentCtx::test();
+        let ids =
+            [ExperimentId::Table1, ExperimentId::Fig1, ExperimentId::Fig2, ExperimentId::Fig3];
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let report = {
+            let (in_flight, peak) = (Arc::clone(&in_flight), Arc::clone(&peak));
+            run_suite_with(&ids, &ctx, &config, move |id, _ctx| {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(30));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                if id == ExperimentId::Fig2 {
+                    panic!("injected parallel failure");
+                }
+                Ok(vec![Table::new(id.label(), &["x"])])
+            })
+            .expect("suite runs")
+        };
+        // Outcomes come back in request order no matter who finished first.
+        let labels: Vec<&str> = report.outcomes.iter().map(|(id, _)| id.label()).collect();
+        assert_eq!(labels, vec!["table1", "fig1", "fig2", "fig3"]);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.failed(), 1);
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "with 4 jobs and 30ms experiments, some must overlap"
+        );
+        // Completed experiments were checkpointed despite the pool.
+        let saved = parse_manifest(&std::fs::read_to_string(&manifest).expect("manifest"))
+            .expect("valid manifest");
+        assert!(saved.get("table1").is_some());
+        assert!(saved.get("fig2").is_none(), "failed experiment must not be checkpointed");
+        let _ = std::fs::remove_file(&manifest);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        let config = SuiteConfig { jobs: 0, ..quick_config() };
+        assert!(config.effective_jobs() >= 1);
+        let config = SuiteConfig { jobs: 3, ..quick_config() };
+        assert_eq!(config.effective_jobs(), 3);
     }
 
     #[test]

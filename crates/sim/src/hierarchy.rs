@@ -16,7 +16,7 @@
 //! * In [`Inclusion::Inclusive`] mode an LLC eviction back-invalidates all
 //!   private copies of the victim.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use crate::addr::{AccessKind, Addr, BlockAddr, CoreId, Pc};
 use crate::config::{ConfigError, HierarchyConfig, Inclusion, SimError};
@@ -61,8 +61,9 @@ pub struct Cmp<P> {
     l2: Vec<PrivateCache>,
     llc: Llc<P>,
     /// For each block, the bit-vector of cores holding it in a private
-    /// cache. Entries are removed when the mask drops to zero.
-    private_dir: HashMap<BlockAddr, u32>,
+    /// cache. Entries are removed when the mask drops to zero. FxHash-keyed:
+    /// this map is consulted on every trace record (the coherence hot path).
+    private_dir: FxHashMap<BlockAddr, u32>,
     instructions: u64,
     trace_accesses: u64,
 }
@@ -85,7 +86,7 @@ impl<P: ReplacementPolicy> Cmp<P> {
             l1,
             l2,
             llc: Llc::new(config.llc, policy),
-            private_dir: HashMap::new(),
+            private_dir: FxHashMap::default(),
             instructions: 0,
             trace_accesses: 0,
         })
@@ -186,6 +187,7 @@ impl<P: ReplacementPolicy> Cmp<P> {
                     // MESI upgrade: the directory observes the write even
                     // though no LLC data access occurs.
                     self.llc.note_upgrade(block, a.core);
+                    obs.on_upgrade(block, a.core);
                 }
                 self.dir_set(block, a.core);
                 return;
@@ -203,6 +205,7 @@ impl<P: ReplacementPolicy> Cmp<P> {
                 L1Access::Hit => {
                     if a.kind.is_write() {
                         self.llc.note_upgrade(block, a.core);
+                        obs.on_upgrade(block, a.core);
                     }
                     self.dir_set(block, a.core);
                     return;
@@ -298,6 +301,8 @@ impl<P: std::fmt::Debug> std::fmt::Debug for Cmp<P> {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use crate::config::CacheConfig;
     use crate::llc::NullObserver;

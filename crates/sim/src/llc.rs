@@ -107,6 +107,15 @@ pub trait LlcObserver {
     fn on_generation_end(&mut self, gen: &GenerationEnd) {
         let _ = gen;
     }
+
+    /// `core` wrote `block` while holding it in a private cache (a MESI
+    /// upgrade): no LLC demand access happened, but the resident line's
+    /// sharer/writer bookkeeping was updated via
+    /// [`Llc::note_upgrade`](crate::Llc::note_upgrade). Stream recorders
+    /// must capture these to replay the LLC bit-identically.
+    fn on_upgrade(&mut self, block: BlockAddr, core: CoreId) {
+        let _ = (block, core);
+    }
 }
 
 /// A no-op observer.
@@ -147,6 +156,11 @@ impl LlcObserver for MultiObserver<'_> {
     fn on_generation_end(&mut self, gen: &GenerationEnd) {
         for o in &mut self.observers {
             o.on_generation_end(gen);
+        }
+    }
+    fn on_upgrade(&mut self, block: BlockAddr, core: CoreId) {
+        for o in &mut self.observers {
+            o.on_upgrade(block, core);
         }
     }
 }

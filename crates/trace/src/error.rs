@@ -23,10 +23,13 @@ pub enum TraceError {
         /// The declared version.
         version: u16,
     },
-    /// The stream ended inside the 16-byte header.
+    /// The stream ended inside the fixed-size header.
     TruncatedHeader {
         /// Header bytes actually present.
         got: usize,
+        /// Header bytes the format requires (16 for `.llct` traces,
+        /// 128 for `.llcs` stream recordings).
+        expected: usize,
     },
     /// The stream ended inside a record, or before the declared record
     /// count was reached.
@@ -70,6 +73,17 @@ pub enum TraceError {
         /// The offending core id.
         core: usize,
     },
+    /// An upgrade record in a `.llcs` stream recording is out of order or
+    /// points past the end of the access stream.
+    BadUpgrade {
+        /// The record's claimed position in the LLC access stream.
+        at: u64,
+        /// The recording's declared access count (`at` may be at most this:
+        /// an upgrade after the last access is applied before the flush).
+        accesses: u64,
+        /// Index of the offending upgrade record.
+        index: u64,
+    },
 }
 
 impl TraceError {
@@ -85,7 +99,9 @@ impl TraceError {
             TraceError::UnsupportedVersion { version } => {
                 TraceError::UnsupportedVersion { version: *version }
             }
-            TraceError::TruncatedHeader { got } => TraceError::TruncatedHeader { got: *got },
+            TraceError::TruncatedHeader { got, expected } => {
+                TraceError::TruncatedHeader { got: *got, expected: *expected }
+            }
             TraceError::Truncated { decoded, declared } => {
                 TraceError::Truncated { decoded: *decoded, declared: *declared }
             }
@@ -102,6 +118,9 @@ impl TraceError {
                 TraceError::RecordOverflow { declared: *declared }
             }
             TraceError::CoreUnencodable { core } => TraceError::CoreUnencodable { core: *core },
+            TraceError::BadUpgrade { at, accesses, index } => {
+                TraceError::BadUpgrade { at: *at, accesses: *accesses, index: *index }
+            }
         }
     }
 }
@@ -116,8 +135,8 @@ impl fmt::Display for TraceError {
             TraceError::UnsupportedVersion { version } => {
                 write!(f, "unsupported trace version {version}")
             }
-            TraceError::TruncatedHeader { got } => {
-                write!(f, "truncated trace header: got {got} of 16 bytes")
+            TraceError::TruncatedHeader { got, expected } => {
+                write!(f, "truncated header: got {got} of {expected} bytes")
             }
             TraceError::Truncated { decoded, declared } => {
                 write!(f, "truncated trace: decoded {decoded} of {declared} declared records")
@@ -136,6 +155,13 @@ impl fmt::Display for TraceError {
             }
             TraceError::CoreUnencodable { core } => {
                 write!(f, "core id {core} does not fit the 1-byte record encoding")
+            }
+            TraceError::BadUpgrade { at, accesses, index } => {
+                write!(
+                    f,
+                    "upgrade record {index}: position {at} is out of order or past the \
+                     {accesses} recorded accesses"
+                )
             }
         }
     }
@@ -165,13 +191,14 @@ mod tests {
         let cases: Vec<(TraceError, &str)> = vec![
             (TraceError::BadMagic { found: *b"NOPE" }, "not an LLCT trace"),
             (TraceError::UnsupportedVersion { version: 9 }, "version 9"),
-            (TraceError::TruncatedHeader { got: 3 }, "3 of 16"),
+            (TraceError::TruncatedHeader { got: 3, expected: 16 }, "3 of 16"),
             (TraceError::Truncated { decoded: 5, declared: 10 }, "5 of 10"),
             (TraceError::CoreOutOfRange { core: 40, limit: 32, index: 7 }, "core id 40"),
             (TraceError::BadKind { kind: 3, index: 2 }, "invalid access kind 3"),
             (TraceError::CountMismatch { declared: 2, written: 1 }, "declared 2"),
             (TraceError::RecordOverflow { declared: 1 }, "more records"),
             (TraceError::CoreUnencodable { core: 300 }, "core id 300"),
+            (TraceError::BadUpgrade { at: 9, accesses: 4, index: 1 }, "position 9"),
         ];
         for (e, needle) in cases {
             let s = e.to_string();

@@ -184,7 +184,7 @@ impl<R: Read> TraceFileSource<R> {
     pub fn new(mut reader: R) -> Result<Self, TraceError> {
         let mut header = [0u8; HEADER_BYTES];
         read_exact_or_truncated(&mut reader, &mut header).map_err(|failure| match failure {
-            ReadFailure::Eof(got) => TraceError::TruncatedHeader { got },
+            ReadFailure::Eof(got) => TraceError::TruncatedHeader { got, expected: HEADER_BYTES },
             ReadFailure::Io(e) => TraceError::Io(e),
         })?;
         if header[0..4] != MAGIC {
@@ -311,7 +311,7 @@ impl<R: Read> TraceFileSource<R> {
 
 /// Why [`read_exact_or_truncated`] could not fill its buffer: a clean EOF
 /// after `Eof(n)` bytes, or a real I/O error.
-enum ReadFailure {
+pub(crate) enum ReadFailure {
     Eof(usize),
     Io(io::Error),
 }
@@ -319,7 +319,10 @@ enum ReadFailure {
 /// Reads exactly `buf.len()` bytes, distinguishing clean truncation from
 /// other I/O failures (unlike [`Read::read_exact`], which folds both into
 /// `UnexpectedEof`-flavoured errors and may leave the buffer clobbered).
-fn read_exact_or_truncated<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), ReadFailure> {
+pub(crate) fn read_exact_or_truncated<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+) -> Result<(), ReadFailure> {
     let mut filled = 0;
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {
@@ -390,7 +393,7 @@ mod tests {
     fn truncated_header_is_a_typed_error() {
         assert!(matches!(
             TraceFileSource::new(&b"LLCT"[..]),
-            Err(TraceError::TruncatedHeader { got: 4 })
+            Err(TraceError::TruncatedHeader { got: 4, expected: HEADER_BYTES })
         ));
     }
 

@@ -33,6 +33,7 @@ pub mod layout;
 pub mod multiprogram;
 pub mod patterns;
 pub mod source;
+pub mod stream;
 pub mod workload;
 pub mod zipf;
 
@@ -47,5 +48,6 @@ pub use patterns::{
     PrivateStream, PrivateWorkingSet, Producer, SharedReadOnly, Stencil, Transpose,
 };
 pub use source::{TraceSource, VecSource};
+pub use stream::{read_stream, write_stream, RecordedStream, UpgradeEvent};
 pub use workload::{ThreadSpec, Workload};
 pub use zipf::ZipfSampler;

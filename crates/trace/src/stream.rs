@@ -1,0 +1,489 @@
+//! Recorded LLC reference streams and their `.llcs` on-disk format.
+//!
+//! In the non-inclusive hierarchy the sequence of LLC references — and the
+//! coherence *upgrade* events that mutate resident lines without an LLC
+//! access — is a pure function of the workload and the private caches,
+//! independent of the LLC replacement policy. A [`RecordedStream`] captures
+//! that sequence once; any number of replacement policies can then be
+//! replayed directly against the LLC, skipping trace generation and private
+//! cache simulation entirely (see `llc_sharing::replay`).
+//!
+//! The binary format mirrors the `.llct` trace format's failure model: a
+//! fixed little-endian header, fixed-size records, and a distinct
+//! [`TraceError`] for every way a file can be malformed — never a panic.
+//!
+//! ```text
+//! header (128 bytes):
+//!   magic "LLCS" | u16 version | u16 reserved
+//!   | u64 access count | u64 upgrade count
+//!   | u64 instructions | u64 trace accesses | u64 config fingerprint
+//!   | 5 x u64 L1 stats | 5 x u64 L2 stats
+//! access record (26 bytes):
+//!   u8 core | u8 kind (0 = read, 1 = write) | u64 pc | u64 block
+//!   | u64 instr delta
+//! upgrade record (17 bytes):
+//!   u64 at | u64 block | u8 core
+//! ```
+//!
+//! Upgrade records must be sorted by `at` (non-decreasing) with
+//! `at <= access count`; a replay applies every upgrade with `at == i`
+//! before access `i`, and trailing upgrades (`at == access count`) before
+//! the end-of-run flush.
+
+use std::io::{Read, Write};
+
+use llc_sim::{AccessKind, BlockAddr, CoreId, Pc, PrivateCacheStats, MAX_CORES};
+
+use crate::error::TraceError;
+use crate::file::{read_exact_or_truncated, ReadFailure};
+
+/// `.llcs` file-format magic bytes.
+pub const STREAM_MAGIC: [u8; 4] = *b"LLCS";
+
+/// Current `.llcs` format version.
+pub const STREAM_VERSION: u16 = 1;
+
+/// Size of the fixed `.llcs` header in bytes.
+pub const STREAM_HEADER_BYTES: usize = 128;
+
+/// Size of one access record in bytes.
+pub const ACCESS_RECORD_BYTES: usize = 26;
+
+/// Size of one upgrade record in bytes.
+pub const UPGRADE_RECORD_BYTES: usize = 17;
+
+/// A coherence upgrade observed during recording: `core` wrote `block`
+/// while holding it privately, at LLC logical time `at` (i.e. after `at`
+/// LLC accesses had been processed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpgradeEvent {
+    /// LLC logical time of the upgrade. A replay applies this event before
+    /// the access with the same index; `at == len()` means "after the last
+    /// access, before the flush".
+    pub at: u64,
+    /// The written block.
+    pub block: BlockAddr,
+    /// The writing core.
+    pub core: CoreId,
+}
+
+/// A policy-independent LLC reference stream captured from one full
+/// hierarchy simulation, with everything needed to rebuild a complete
+/// `RunResult` from an LLC-only replay.
+///
+/// The per-access vectors (`blocks`, `cores`, `pcs`, `kinds`,
+/// `instr_deltas`) are parallel: entry `i` describes the `i`-th LLC demand
+/// access. `instr_deltas[i]` is the number of trace instructions consumed
+/// since the previous LLC access (u64: a delta sums many `u32` gaps).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordedStream {
+    /// Fingerprint of the [`HierarchyConfig`](llc_sim::HierarchyConfig)
+    /// the stream was recorded under (see
+    /// `HierarchyConfig::fingerprint`). Replaying against a different
+    /// hierarchy is meaningless; callers should check this.
+    pub fingerprint: u64,
+    /// Block of each LLC access.
+    pub blocks: Vec<BlockAddr>,
+    /// Issuing core of each LLC access.
+    pub cores: Vec<CoreId>,
+    /// PC of each LLC access.
+    pub pcs: Vec<Pc>,
+    /// Read/write kind of each LLC access.
+    pub kinds: Vec<AccessKind>,
+    /// Instructions consumed since the previous LLC access.
+    pub instr_deltas: Vec<u64>,
+    /// Coherence upgrades, sorted by [`UpgradeEvent::at`].
+    pub upgrades: Vec<UpgradeEvent>,
+    /// Total instructions of the recorded run.
+    pub instructions: u64,
+    /// Total trace records of the recorded run.
+    pub trace_accesses: u64,
+    /// Aggregated L1 counters of the recorded run.
+    pub l1: PrivateCacheStats,
+    /// Aggregated L2 counters of the recorded run.
+    pub l2: PrivateCacheStats,
+}
+
+impl RecordedStream {
+    /// Number of LLC accesses in the stream.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the stream holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Encodes the stream to an in-memory `.llcs` image.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`write_stream`].
+    pub fn to_vec(&self) -> Result<Vec<u8>, TraceError> {
+        let mut buf = Vec::with_capacity(
+            STREAM_HEADER_BYTES
+                + self.len() * ACCESS_RECORD_BYTES
+                + self.upgrades.len() * UPGRADE_RECORD_BYTES,
+        );
+        write_stream(self, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Decodes a stream from an in-memory `.llcs` image.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`read_stream`].
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, TraceError> {
+        read_stream(bytes)
+    }
+}
+
+fn encode_private_stats(out: &mut [u8], s: &PrivateCacheStats) {
+    out[0..8].copy_from_slice(&s.accesses.to_le_bytes());
+    out[8..16].copy_from_slice(&s.hits.to_le_bytes());
+    out[16..24].copy_from_slice(&s.evictions.to_le_bytes());
+    out[24..32].copy_from_slice(&s.invalidations.to_le_bytes());
+    out[32..40].copy_from_slice(&s.back_invalidations.to_le_bytes());
+}
+
+fn read_u64(bytes: &[u8]) -> u64 {
+    // infallible: callers pass fixed 8-byte windows of a fixed-size buffer.
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+fn decode_private_stats(bytes: &[u8]) -> PrivateCacheStats {
+    PrivateCacheStats {
+        accesses: read_u64(&bytes[0..8]),
+        hits: read_u64(&bytes[8..16]),
+        evictions: read_u64(&bytes[16..24]),
+        invalidations: read_u64(&bytes[24..32]),
+        back_invalidations: read_u64(&bytes[32..40]),
+    }
+}
+
+/// Writes a [`RecordedStream`] to any [`Write`] sink in `.llcs` format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::CoreUnencodable`] if a core id does not fit the
+/// 1-byte record encoding, [`TraceError::BadUpgrade`] if the upgrade list
+/// is unsorted or points past the access stream (refusing to write a file
+/// the decoder would reject), and propagates sink I/O errors.
+pub fn write_stream<W: Write>(stream: &RecordedStream, mut sink: W) -> Result<(), TraceError> {
+    let n = stream.len() as u64;
+    let mut header = [0u8; STREAM_HEADER_BYTES];
+    header[0..4].copy_from_slice(&STREAM_MAGIC);
+    header[4..6].copy_from_slice(&STREAM_VERSION.to_le_bytes());
+    // bytes 6..8 reserved, zero.
+    header[8..16].copy_from_slice(&n.to_le_bytes());
+    header[16..24].copy_from_slice(&(stream.upgrades.len() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&stream.instructions.to_le_bytes());
+    header[32..40].copy_from_slice(&stream.trace_accesses.to_le_bytes());
+    header[40..48].copy_from_slice(&stream.fingerprint.to_le_bytes());
+    encode_private_stats(&mut header[48..88], &stream.l1);
+    encode_private_stats(&mut header[88..128], &stream.l2);
+    sink.write_all(&header)?;
+
+    for i in 0..stream.len() {
+        let core = stream.cores[i].index();
+        if core > usize::from(u8::MAX) {
+            return Err(TraceError::CoreUnencodable { core });
+        }
+        let mut rec = [0u8; ACCESS_RECORD_BYTES];
+        rec[0] = core as u8;
+        rec[1] = u8::from(stream.kinds[i].is_write());
+        rec[2..10].copy_from_slice(&stream.pcs[i].raw().to_le_bytes());
+        rec[10..18].copy_from_slice(&stream.blocks[i].raw().to_le_bytes());
+        rec[18..26].copy_from_slice(&stream.instr_deltas[i].to_le_bytes());
+        sink.write_all(&rec)?;
+    }
+
+    let mut prev_at = 0u64;
+    for (i, u) in stream.upgrades.iter().enumerate() {
+        if u.at < prev_at || u.at > n {
+            return Err(TraceError::BadUpgrade { at: u.at, accesses: n, index: i as u64 });
+        }
+        prev_at = u.at;
+        let core = u.core.index();
+        if core > usize::from(u8::MAX) {
+            return Err(TraceError::CoreUnencodable { core });
+        }
+        let mut rec = [0u8; UPGRADE_RECORD_BYTES];
+        rec[0..8].copy_from_slice(&u.at.to_le_bytes());
+        rec[8..16].copy_from_slice(&u.block.raw().to_le_bytes());
+        rec[16] = core as u8;
+        sink.write_all(&rec)?;
+    }
+    sink.flush()?;
+    Ok(())
+}
+
+/// Reads a [`RecordedStream`] from any [`Read`] source, validating every
+/// field the way the `.llct` decoder does.
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadMagic`], [`TraceError::UnsupportedVersion`] or
+/// [`TraceError::TruncatedHeader`] for a malformed header;
+/// [`TraceError::Truncated`], [`TraceError::CoreOutOfRange`] or
+/// [`TraceError::BadKind`] for malformed access records;
+/// [`TraceError::BadUpgrade`] for an out-of-order or out-of-range upgrade
+/// record; and propagates other I/O errors. Never panics on any input.
+pub fn read_stream<R: Read>(mut reader: R) -> Result<RecordedStream, TraceError> {
+    let mut header = [0u8; STREAM_HEADER_BYTES];
+    read_exact_or_truncated(&mut reader, &mut header).map_err(|failure| match failure {
+        ReadFailure::Eof(got) => {
+            TraceError::TruncatedHeader { got, expected: STREAM_HEADER_BYTES }
+        }
+        ReadFailure::Io(e) => TraceError::Io(e),
+    })?;
+    if header[0..4] != STREAM_MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&header[0..4]);
+        return Err(TraceError::BadMagic { found });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != STREAM_VERSION {
+        return Err(TraceError::UnsupportedVersion { version });
+    }
+    let accesses = read_u64(&header[8..16]);
+    let upgrades = read_u64(&header[16..24]);
+    let declared = accesses.saturating_add(upgrades);
+
+    let mut stream = RecordedStream {
+        fingerprint: read_u64(&header[40..48]),
+        instructions: read_u64(&header[24..32]),
+        trace_accesses: read_u64(&header[32..40]),
+        l1: decode_private_stats(&header[48..88]),
+        l2: decode_private_stats(&header[88..128]),
+        ..RecordedStream::default()
+    };
+    // Clamp pre-allocation so a corrupt header cannot trigger a huge
+    // up-front allocation (same defence as the `.llct` decoder).
+    let cap = usize::try_from(accesses).unwrap_or(0).min(1 << 20);
+    stream.blocks.reserve(cap);
+    stream.cores.reserve(cap);
+    stream.pcs.reserve(cap);
+    stream.kinds.reserve(cap);
+    stream.instr_deltas.reserve(cap);
+    stream.upgrades.reserve(usize::try_from(upgrades).unwrap_or(0).min(1 << 20));
+
+    let mut decoded = 0u64;
+    for index in 0..accesses {
+        let mut rec = [0u8; ACCESS_RECORD_BYTES];
+        read_exact_or_truncated(&mut reader, &mut rec).map_err(|failure| match failure {
+            ReadFailure::Eof(_) => TraceError::Truncated { decoded, declared },
+            ReadFailure::Io(e) => TraceError::Io(e),
+        })?;
+        let core = usize::from(rec[0]);
+        if core >= MAX_CORES {
+            return Err(TraceError::CoreOutOfRange { core: rec[0], limit: MAX_CORES, index });
+        }
+        let kind = match rec[1] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            k => return Err(TraceError::BadKind { kind: k, index }),
+        };
+        stream.cores.push(CoreId::new(core));
+        stream.kinds.push(kind);
+        stream.pcs.push(Pc::new(read_u64(&rec[2..10])));
+        stream.blocks.push(BlockAddr::new(read_u64(&rec[10..18])));
+        stream.instr_deltas.push(read_u64(&rec[18..26]));
+        decoded += 1;
+    }
+
+    let mut prev_at = 0u64;
+    for index in 0..upgrades {
+        let mut rec = [0u8; UPGRADE_RECORD_BYTES];
+        read_exact_or_truncated(&mut reader, &mut rec).map_err(|failure| match failure {
+            ReadFailure::Eof(_) => TraceError::Truncated { decoded, declared },
+            ReadFailure::Io(e) => TraceError::Io(e),
+        })?;
+        let at = read_u64(&rec[0..8]);
+        if at < prev_at || at > accesses {
+            return Err(TraceError::BadUpgrade { at, accesses, index });
+        }
+        prev_at = at;
+        let core = usize::from(rec[16]);
+        if core >= MAX_CORES {
+            return Err(TraceError::CoreOutOfRange { core: rec[16], limit: MAX_CORES, index });
+        }
+        stream.upgrades.push(UpgradeEvent {
+            at,
+            block: BlockAddr::new(read_u64(&rec[8..16])),
+            core: CoreId::new(core),
+        });
+        decoded += 1;
+    }
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{CorruptingReader, Fault, FaultPlan};
+
+    fn sample() -> RecordedStream {
+        let n = 40usize;
+        let mut s = RecordedStream {
+            fingerprint: 0xFEED_FACE_CAFE_BEEF,
+            instructions: 1234,
+            trace_accesses: 567,
+            l1: PrivateCacheStats {
+                accesses: 500,
+                hits: 450,
+                evictions: 10,
+                invalidations: 3,
+                back_invalidations: 1,
+            },
+            l2: PrivateCacheStats::default(),
+            ..RecordedStream::default()
+        };
+        for i in 0..n {
+            s.blocks.push(BlockAddr::new(i as u64 * 3 % 17));
+            s.cores.push(CoreId::new(i % 4));
+            s.pcs.push(Pc::new(0x400 + i as u64));
+            s.kinds.push(if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read });
+            s.instr_deltas.push(i as u64 + 1);
+        }
+        s.upgrades = vec![
+            UpgradeEvent { at: 0, block: BlockAddr::new(3), core: CoreId::new(1) },
+            UpgradeEvent { at: 7, block: BlockAddr::new(6), core: CoreId::new(2) },
+            UpgradeEvent { at: 7, block: BlockAddr::new(9), core: CoreId::new(0) },
+            UpgradeEvent { at: 40, block: BlockAddr::new(12), core: CoreId::new(3) },
+        ];
+        s
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let s = sample();
+        let bytes = s.to_vec().expect("encode");
+        assert_eq!(
+            bytes.len(),
+            STREAM_HEADER_BYTES + 40 * ACCESS_RECORD_BYTES + 4 * UPGRADE_RECORD_BYTES
+        );
+        let back = RecordedStream::from_slice(&bytes).expect("decode");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let s = RecordedStream::default();
+        let back = RecordedStream::from_slice(&s.to_vec().expect("encode")).expect("decode");
+        assert_eq!(back, s);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_short_header() {
+        assert!(matches!(
+            read_stream(&b"NOPE"[..]),
+            Err(TraceError::TruncatedHeader { got: 4, expected: STREAM_HEADER_BYTES })
+        ));
+        let mut bytes = sample().to_vec().expect("encode");
+        bytes[0] = b'X';
+        assert!(matches!(
+            RecordedStream::from_slice(&bytes),
+            Err(TraceError::BadMagic { .. })
+        ));
+        let mut bytes = sample().to_vec().expect("encode");
+        bytes[4] = 9;
+        assert!(matches!(
+            RecordedStream::from_slice(&bytes),
+            Err(TraceError::UnsupportedVersion { version: 9 })
+        ));
+    }
+
+    #[test]
+    fn truncation_mid_record_is_typed() {
+        let bytes = sample().to_vec().expect("encode");
+        let cut = STREAM_HEADER_BYTES + 5 * ACCESS_RECORD_BYTES + 3;
+        assert!(matches!(
+            RecordedStream::from_slice(&bytes[..cut]),
+            Err(TraceError::Truncated { decoded: 5, declared: 44 })
+        ));
+        // Cut inside the upgrade section too.
+        let cut = STREAM_HEADER_BYTES + 40 * ACCESS_RECORD_BYTES + UPGRADE_RECORD_BYTES + 1;
+        assert!(matches!(
+            RecordedStream::from_slice(&bytes[..cut]),
+            Err(TraceError::Truncated { decoded: 41, declared: 44 })
+        ));
+    }
+
+    #[test]
+    fn bad_kind_and_core_are_typed() {
+        let mut bytes = sample().to_vec().expect("encode");
+        bytes[STREAM_HEADER_BYTES + ACCESS_RECORD_BYTES + 1] = 7; // kind of record 1
+        assert!(matches!(
+            RecordedStream::from_slice(&bytes),
+            Err(TraceError::BadKind { kind: 7, index: 1 })
+        ));
+        let mut bytes = sample().to_vec().expect("encode");
+        bytes[STREAM_HEADER_BYTES] = 200; // core of record 0
+        assert!(matches!(
+            RecordedStream::from_slice(&bytes),
+            Err(TraceError::CoreOutOfRange { core: 200, index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn unsorted_or_out_of_range_upgrades_are_rejected() {
+        // Decoder side: corrupt the third upgrade's `at` to precede its
+        // predecessor (7 -> 1 while upgrade 1 sits at 7).
+        let mut bytes = sample().to_vec().expect("encode");
+        let off = STREAM_HEADER_BYTES + 40 * ACCESS_RECORD_BYTES + 2 * UPGRADE_RECORD_BYTES;
+        bytes[off..off + 8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(matches!(
+            RecordedStream::from_slice(&bytes),
+            Err(TraceError::BadUpgrade { at: 1, accesses: 40, index: 2 })
+        ));
+        // …and to point past the stream (41 > 40 accesses).
+        let mut bytes = sample().to_vec().expect("encode");
+        bytes[off..off + 8].copy_from_slice(&41u64.to_le_bytes());
+        assert!(matches!(
+            RecordedStream::from_slice(&bytes),
+            Err(TraceError::BadUpgrade { at: 41, accesses: 40, index: 2 })
+        ));
+        // Writer side: refuse to encode what the decoder would reject.
+        let mut s = sample();
+        s.upgrades[0].at = 99;
+        assert!(matches!(
+            s.to_vec(),
+            Err(TraceError::BadUpgrade { at: 99, accesses: 40, index: 0 })
+        ));
+    }
+
+    #[test]
+    fn random_corruption_never_panics_the_decoder() {
+        // Mirror of the `.llct` fault-injection suite: whatever a random
+        // bit flip or truncation hits, decoding must end in Ok or a typed
+        // error, never a panic. Payload flips are silent by design.
+        let bytes = sample().to_vec().expect("encode");
+        for seed in 0..200u64 {
+            let plan = FaultPlan::random_bit_flips(seed, bytes.len() as u64, 3);
+            let r = CorruptingReader::new(bytes.as_slice(), &plan);
+            let _ = read_stream(r);
+        }
+        for seed in 0..50u64 {
+            let offset = llc_sim::splitmix64(seed) % (bytes.len() as u64 + 1);
+            let plan = FaultPlan::new().with(Fault::TruncateAt { offset });
+            let r = CorruptingReader::new(bytes.as_slice(), &plan);
+            let _ = read_stream(r);
+        }
+    }
+
+    #[test]
+    fn header_count_corruption_cannot_exhaust_memory() {
+        // Blow the declared access count up to u64::MAX: decoding must fail
+        // with a typed truncation error, not attempt the allocation.
+        let mut bytes = sample().to_vec().expect("encode");
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            RecordedStream::from_slice(&bytes),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline vendored stand-in for the `fxhash` crate.
+//!
+//! The build environment has no network access to a crates.io registry, so
+//! this shim provides the API subset the workspace uses: [`FxHasher`] (the
+//! multiply-rotate hash popularized by Firefox and rustc), the
+//! [`FxBuildHasher`] zero-state builder, and the [`FxHashMap`] /
+//! [`FxHashSet`] aliases.
+//!
+//! FxHash is *not* collision-resistant against adversarial keys; it is used
+//! here only on simulator-internal keys (block addresses, experiment ids)
+//! where throughput matters and inputs are not attacker-controlled.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the original FxHash (a truncation of the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-rotate hasher.
+///
+/// Mixes one machine word at a time: `state = (state.rotate_left(5) ^ word)
+/// * SEED`. Fast for short fixed-size keys such as newtyped addresses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Zero-state [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] keyed by FxHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] keyed by FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes a single hashable value with FxHash (convenience mirror of the
+/// real crate's `fxhash::hash64`).
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&(i as u32)));
+        }
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        let a = hash64(&0x1234_5678u64);
+        let b = hash64(&0x1234_5678u64);
+        assert_eq!(a, b);
+        // Sequential block addresses must not collide, and the *high* bits
+        // must spread (hashbrown derives bucket control bytes from them;
+        // FxHash's low bits are weak by construction, as in the real crate).
+        let mut full = FxHashSet::default();
+        let mut high = FxHashSet::default();
+        for i in 0..4096u64 {
+            let h = hash64(&(i * 64));
+            full.insert(h);
+            high.insert(h >> 54);
+        }
+        assert_eq!(full.len(), 4096, "sequential blocks must not collide");
+        assert!(high.len() > 900, "poor high-bit spread: {} buckets", high.len());
+    }
+
+    #[test]
+    fn partial_words_hash_differently() {
+        assert_ne!(hash64(&[1u8, 2, 3][..]), hash64(&[1u8, 2, 4][..]));
+        assert_ne!(hash64("abc"), hash64("abd"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Equivalence of the stream-replay fast path with full-hierarchy
+//! simulation, plus the pre-pass-count regression from the
+//! `simulate_oracle(base == Opt)` bugfix.
+//!
+//! The legacy annotation vectors are recomputed *test-locally* (an LLC
+//! observer captures the stream, then separate plain-`HashMap` scans
+//! derive `next_use` and `shared_soon`), so these tests stay independent
+//! of the fused production scan they are checking.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use llc_sharing::{
+    oracle_window, record_stream, replay_kind, replay_oracle, simulate, simulate_opt,
+    simulate_oracle, NextUseProvider, OracleProvider,
+};
+use llc_sim::{AccessCtx, LiveGeneration};
+use proptest::prelude::*;
+use sharing_aware_llc::policies::build_oracle_policy_with_mode;
+use sharing_aware_llc::prelude::*;
+use sharing_aware_llc::trace::VecSource;
+
+fn no_l2_cfg() -> HierarchyConfig {
+    HierarchyConfig {
+        cores: 4,
+        l1: CacheConfig::from_kib(1, 2).expect("valid L1"),
+        l2: None,
+        llc: CacheConfig::from_kib(4, 4).expect("valid LLC"),
+        inclusion: Inclusion::NonInclusive,
+    }
+}
+
+fn with_l2_cfg() -> HierarchyConfig {
+    HierarchyConfig {
+        cores: 4,
+        l1: CacheConfig::from_kib(1, 2).expect("valid L1"),
+        l2: Some(CacheConfig::from_kib(2, 2).expect("valid L2")),
+        llc: CacheConfig::from_kib(8, 8).expect("valid LLC"),
+        inclusion: Inclusion::NonInclusive,
+    }
+}
+
+/// Strategy: a random multi-threaded trace over a small block universe
+/// (so sets conflict and sharing happens).
+fn trace_strategy(len: usize) -> impl Strategy<Value = Vec<MemAccess>> {
+    prop::collection::vec((0usize..4, 0u64..96, prop::bool::ANY, 0u64..8), len).prop_map(|v| {
+        v.into_iter()
+            .map(|(core, block, write, pc)| MemAccess {
+                core: CoreId::new(core),
+                pc: Pc::new(0x400 + pc * 4),
+                addr: Addr::new(block * 64),
+                kind: if write { AccessKind::Write } else { AccessKind::Read },
+                instr_gap: 3,
+            })
+            .collect()
+    })
+}
+
+/// Captures the (block, core) LLC reference stream from a full
+/// simulation, independently of `record_stream`.
+#[derive(Default)]
+struct Capture {
+    blocks: Vec<BlockAddr>,
+    cores: Vec<CoreId>,
+}
+
+impl LlcObserver for Capture {
+    fn on_hit(&mut self, ctx: &AccessCtx, _: &LiveGeneration, _: bool) {
+        self.blocks.push(ctx.block);
+        self.cores.push(ctx.core);
+    }
+    fn on_fill(&mut self, ctx: &AccessCtx) {
+        self.blocks.push(ctx.block);
+        self.cores.push(ctx.core);
+    }
+}
+
+/// The pre-fusion `next_use` scan: for each stream position, the index of
+/// the next access to the same block (`u64::MAX` if never).
+fn legacy_next_use(blocks: &[BlockAddr]) -> Vec<u64> {
+    let mut next: HashMap<BlockAddr, u64> = HashMap::new();
+    let mut out = vec![u64::MAX; blocks.len()];
+    for (i, &b) in blocks.iter().enumerate().rev() {
+        out[i] = next.get(&b).copied().unwrap_or(u64::MAX);
+        next.insert(b, i as u64);
+    }
+    out
+}
+
+/// The pre-fusion `shared_soon` scan: `true` iff a *different* core
+/// touches the block within the next `window` stream positions.
+fn legacy_shared_soon(blocks: &[BlockAddr], cores: &[CoreId], window: u64) -> Vec<bool> {
+    let mut out = vec![false; blocks.len()];
+    for i in 0..blocks.len() {
+        for j in i + 1..blocks.len().min(i + 1 + window as usize) {
+            if blocks[j] == blocks[i] && cores[j] != cores[i] {
+                out[i] = true;
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Runs `simulate` while capturing the stream (for legacy annotations).
+fn capture_stream(cfg: &HierarchyConfig, trace: &[MemAccess]) -> Capture {
+    let sets = cfg.llc.sets() as usize;
+    let ways = cfg.llc.ways;
+    let mut cap = Capture::default();
+    simulate(
+        cfg,
+        build_policy(PolicyKind::Lru, sets, ways),
+        None,
+        VecSource::new(trace.to_vec()),
+        vec![&mut cap],
+    )
+    .expect("capture run");
+    cap
+}
+
+/// A `TraceSource` wrapper counting how many times the underlying trace
+/// was instantiated (one bump per construction).
+struct CountingSource {
+    inner: VecSource,
+}
+
+impl CountingSource {
+    fn new(trace: Vec<MemAccess>, count: &Rc<Cell<usize>>) -> Self {
+        count.set(count.get() + 1);
+        CountingSource { inner: VecSource::new(trace) }
+    }
+}
+
+impl TraceSource for CountingSource {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        self.inner.next_access()
+    }
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+    fn take_error(&mut self) -> Option<TraceError> {
+        self.inner.take_error()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LLC-only replay is bit-identical to full-hierarchy simulation for
+    /// every policy kind, on hierarchies with and without an L2.
+    #[test]
+    fn replay_matches_full_simulation(trace in trace_strategy(600)) {
+        for cfg in [no_l2_cfg(), with_l2_cfg()] {
+            let sets = cfg.llc.sets() as usize;
+            let ways = cfg.llc.ways;
+            let stream = record_stream(&cfg, VecSource::new(trace.clone())).expect("record");
+            for kind in [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Nru,
+                         PolicyKind::Srrip, PolicyKind::Brrip, PolicyKind::Drrip,
+                         PolicyKind::TaDrrip, PolicyKind::Lip, PolicyKind::Bip,
+                         PolicyKind::Dip, PolicyKind::Ship] {
+                let full = simulate(
+                    &cfg, build_policy(kind, sets, ways), None,
+                    VecSource::new(trace.clone()), vec![]).expect("full run");
+                let fast = replay_kind(&cfg, kind, &stream, vec![]).expect("replay");
+                prop_assert_eq!(full.llc, fast.llc, "kind {}", kind.label());
+                prop_assert_eq!(full.l1, fast.l1);
+                prop_assert_eq!(full.l2, fast.l2);
+                prop_assert_eq!(full.instructions, fast.instructions);
+                prop_assert_eq!(full.trace_accesses, fast.trace_accesses);
+            }
+        }
+    }
+
+    /// OPT replay matches the legacy pipeline: a capture pass, an
+    /// independent next-use scan, and a full annotated simulation.
+    #[test]
+    fn opt_replay_matches_legacy_pipeline(trace in trace_strategy(500)) {
+        for cfg in [no_l2_cfg(), with_l2_cfg()] {
+            let sets = cfg.llc.sets() as usize;
+            let ways = cfg.llc.ways;
+            let cap = capture_stream(&cfg, &trace);
+            let full = simulate(
+                &cfg,
+                build_policy(PolicyKind::Opt, sets, ways),
+                Some(Box::new(NextUseProvider::new(legacy_next_use(&cap.blocks)))),
+                VecSource::new(trace.clone()),
+                vec![],
+            ).expect("legacy OPT run");
+            let fast = simulate_opt(
+                &cfg, &mut || VecSource::new(trace.clone()), vec![]).expect("fast OPT run");
+            prop_assert_eq!(full.llc, fast.llc);
+        }
+    }
+
+    /// Oracle replay matches the legacy pipeline: a capture pass, an
+    /// independent brute-force shared-soon scan, and a full annotated
+    /// simulation.
+    #[test]
+    fn oracle_replay_matches_legacy_pipeline(trace in trace_strategy(400)) {
+        let cfg = no_l2_cfg();
+        let sets = cfg.llc.sets() as usize;
+        let ways = cfg.llc.ways;
+        let window = oracle_window(&cfg);
+        let cap = capture_stream(&cfg, &trace);
+        let shared = legacy_shared_soon(&cap.blocks, &cap.cores, window);
+        for base in [PolicyKind::Lru, PolicyKind::Srrip] {
+            let full = simulate(
+                &cfg,
+                build_oracle_policy_with_mode(base, sets, ways, ProtectMode::Eviction),
+                Some(Box::new(OracleProvider::new(shared.clone()))),
+                VecSource::new(trace.clone()),
+                vec![],
+            ).expect("legacy oracle run");
+            let stream = record_stream(&cfg, VecSource::new(trace.clone())).expect("record");
+            let fast = replay_oracle(
+                &cfg, base, ProtectMode::Eviction, None, &stream, vec![]).expect("oracle replay");
+            prop_assert_eq!(full.llc, fast.llc, "base {}", base.label());
+        }
+    }
+}
+
+/// The `simulate_oracle(base == Opt)` bugfix: the trace must be
+/// instantiated exactly once per run (historically the OPT-base oracle
+/// paid THREE pre-pass instantiations).
+#[test]
+fn annotated_runs_instantiate_the_trace_once() {
+    let cfg = no_l2_cfg();
+    let trace: Vec<MemAccess> = (0..400)
+        .map(|i| MemAccess {
+            core: CoreId::new(i % 4),
+            pc: Pc::new(0x400),
+            addr: Addr::new((i as u64 % 64) * 64),
+            kind: if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read },
+            instr_gap: 3,
+        })
+        .collect();
+
+    let count = Rc::new(Cell::new(0usize));
+    simulate_opt(&cfg, &mut || CountingSource::new(trace.clone(), &count), vec![])
+        .expect("OPT run");
+    assert_eq!(count.get(), 1, "simulate_opt must record the stream exactly once");
+
+    count.set(0);
+    simulate_oracle(
+        &cfg,
+        PolicyKind::Opt,
+        ProtectMode::Eviction,
+        None,
+        &mut || CountingSource::new(trace.clone(), &count),
+        vec![],
+    )
+    .expect("oracle(OPT) run");
+    assert_eq!(count.get(), 1, "simulate_oracle(base=Opt) must record the stream exactly once");
+
+    count.set(0);
+    simulate_oracle(
+        &cfg,
+        PolicyKind::Lru,
+        ProtectMode::Eviction,
+        None,
+        &mut || CountingSource::new(trace.clone(), &count),
+        vec![],
+    )
+    .expect("oracle(LRU) run");
+    assert_eq!(count.get(), 1, "simulate_oracle(base=Lru) must record the stream exactly once");
+}
