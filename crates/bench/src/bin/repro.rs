@@ -4,6 +4,27 @@ use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Service verbs (serve/submit/status/…) go to the llc-serve layer;
+    // everything else is the classic batch experiment runner.
+    if args.first().is_some_and(|v| llc_serve::cli::is_serve_verb(v)) {
+        let command = match llc_serve::cli::parse(&args) {
+            Ok(command) => command,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        match llc_serve::cli::run(&command) {
+            Ok(out) => {
+                print!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let cli = match llc_bench::parse_cli(args) {
         Ok(cli) => cli,
         Err(e) => {

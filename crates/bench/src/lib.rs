@@ -62,7 +62,12 @@ options:
   --timeout <secs>           per-experiment wall-clock budget (0 disables; default 1800)
   --retries <n>              IO retry attempts for manifest reads/writes (default 3)
   --jobs <n>                 experiments run concurrently (0 = all cores; default 1)
+  --stream-cache-mb <n>      in-memory stream cache cap in MiB (default sized
+                             off --jobs: 512 MiB per job, 2 GiB floor)
   -h, --help                 show this help
+
+service mode: repro serve | submit | status | watch | result | cancel | stats | stop
+              (see `repro serve --help`)
 ";
 
 /// Parses the `repro` command line.
@@ -76,6 +81,7 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
     let mut list = false;
     let mut suite = SuiteConfig::default();
     let mut resume = false;
+    let mut stream_cache_mb: Option<u64> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -137,6 +143,17 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
                 suite.jobs =
                     v.parse::<usize>().map_err(|_| CliError(format!("bad job count '{v}'")))?;
             }
+            "--stream-cache-mb" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--stream-cache-mb needs a size".into()))?;
+                stream_cache_mb = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| CliError(format!("bad cache size '{v}'")))?,
+                );
+            }
             "-h" | "--help" => return Err(CliError(USAGE.into())),
             "list" => list = true,
             "all" => ids.extend(ExperimentId::ALL),
@@ -153,6 +170,17 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
         return Err(CliError("--resume requires --out <path>".into()));
     }
     ids.dedup();
+    // Bound the shared stream cache: an explicit --stream-cache-mb wins,
+    // otherwise the default is sized off the suite's concurrency.
+    let effective_jobs = if suite.jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        suite.jobs
+    };
+    let limit = stream_cache_mb
+        .map(|mb| mb << 20)
+        .unwrap_or_else(|| llc_sharing::StreamCache::default_limit(effective_jobs));
+    ctx.streams.set_limit(Some(limit));
     Ok(Cli { ids, ctx, list, suite, resume })
 }
 
@@ -277,6 +305,20 @@ mod tests {
         assert_eq!(parse_cli(args("fig1")).unwrap().suite.jobs, 1, "sequential by default");
         let cli = parse_cli(args("--timeout 0 fig1")).unwrap();
         assert_eq!(cli.suite.timeout, None, "--timeout 0 disables the watchdog");
+    }
+
+    #[test]
+    fn stream_cache_flag_caps_the_shared_cache() {
+        let cli = parse_cli(args("--stream-cache-mb 64 fig1")).unwrap();
+        assert_eq!(cli.ctx.streams.stats().limit, Some(64 << 20));
+        let cli = parse_cli(args("fig1")).unwrap();
+        assert_eq!(
+            cli.ctx.streams.stats().limit,
+            Some(llc_sharing::StreamCache::default_limit(1)),
+            "sequential default: 2 GiB floor"
+        );
+        assert!(parse_cli(args("--stream-cache-mb 0 fig1")).is_err());
+        assert!(parse_cli(args("--stream-cache-mb lots fig1")).is_err());
     }
 
     #[test]

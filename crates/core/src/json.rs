@@ -1,14 +1,21 @@
-//! A minimal JSON reader/writer for the checkpoint manifest.
+//! A minimal JSON reader/writer shared by the checkpoint manifest and the
+//! `llc-serve` HTTP API.
 //!
-//! The workspace deliberately carries no serde dependency, and the
-//! manifest only needs objects, arrays, strings and small integers, so
+//! The workspace deliberately carries no serde dependency, and its JSON
+//! documents only need objects, arrays, strings and small integers, so
 //! this hand-rolled implementation covers exactly that: full string
 //! escaping (including `\uXXXX`), numbers parsed as `f64`, and strict
 //! errors on trailing garbage or malformed input.
+//!
+//! [`table_to_json`] / [`table_from_json`] define the canonical JSON shape
+//! of a rendered [`Table`], used both by the suite checkpoint manifest and
+//! by the persistent result store behind `llc-serve`.
+
+use crate::report::Table;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(super) enum Value {
+pub enum Value {
     /// Object as an ordered list of `(key, value)` pairs.
     Object(Vec<(String, Value)>),
     /// Array.
@@ -25,12 +32,12 @@ pub(super) enum Value {
 
 impl Value {
     /// Builds an object from `(&str, Value)` pairs.
-    pub(super) fn object(fields: Vec<(&str, Value)>) -> Value {
+    pub fn object(fields: Vec<(&str, Value)>) -> Value {
         Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Looks up a field if this is an object.
-    pub(super) fn field(&self, name: &str) -> Option<&Value> {
+    pub fn field(&self, name: &str) -> Option<&Value> {
         match self {
             Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
             _ => None,
@@ -38,7 +45,7 @@ impl Value {
     }
 
     /// The string payload, if this is a string.
-    pub(super) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
@@ -46,7 +53,7 @@ impl Value {
     }
 
     /// The elements, if this is an array.
-    pub(super) fn as_array(&self) -> Option<&[Value]> {
+    pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Array(v) => Some(v),
             _ => None,
@@ -54,7 +61,7 @@ impl Value {
     }
 
     /// The number as a `u64`, if this is a non-negative integer.
-    pub(super) fn as_u64(&self) -> Option<u64> {
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
@@ -64,7 +71,7 @@ impl Value {
     }
 
     /// Serializes to compact JSON.
-    pub(super) fn render(&self) -> String {
+    pub fn render(&self) -> String {
         let mut out = String::new();
         self.render_into(&mut out);
         out
@@ -125,7 +132,7 @@ fn escape_into(s: &str, out: &mut String) {
 }
 
 /// Parses a complete JSON document; trailing non-whitespace is an error.
-pub(super) fn parse(text: &str) -> Result<Value, String> {
+pub fn parse(text: &str) -> Result<Value, String> {
     let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
     let v = p.value()?;
     p.skip_ws();
@@ -322,6 +329,52 @@ impl Parser<'_> {
     }
 }
 
+/// Encodes a [`Table`] as the canonical JSON object
+/// (`{"title","headers","rows","notes"}`) used by checkpoint manifests
+/// and the `llc-serve` result store.
+pub fn table_to_json(t: &Table) -> Value {
+    let strings = |v: &[String]| Value::Array(v.iter().map(|s| Value::Str(s.clone())).collect());
+    Value::object(vec![
+        ("title", Value::Str(t.title.clone())),
+        ("headers", strings(&t.headers)),
+        ("rows", Value::Array(t.rows.iter().map(|r| strings(r)).collect())),
+        ("notes", strings(&t.notes)),
+    ])
+}
+
+/// Decodes a [`Table`] from its canonical JSON object, validating the
+/// shape (string cells, rows as wide as the header).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural problem.
+pub fn table_from_json(v: &Value) -> Result<Table, String> {
+    let strings = |v: Option<&Value>, what: &str| -> Result<Vec<String>, String> {
+        v.and_then(Value::as_array)
+            .ok_or_else(|| format!("table missing {what}"))?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string).ok_or_else(|| format!("non-string in {what}")))
+            .collect()
+    };
+    let title =
+        v.field("title").and_then(Value::as_str).ok_or("table missing title")?.to_string();
+    let headers = strings(v.field("headers"), "headers")?;
+    let rows = v
+        .field("rows")
+        .and_then(Value::as_array)
+        .ok_or("table missing rows")?
+        .iter()
+        .map(|r| strings(Some(r), "row"))
+        .collect::<Result<Vec<_>, _>>()?;
+    for row in &rows {
+        if row.len() != headers.len() {
+            return Err(format!("ragged row in table {title:?}"));
+        }
+    }
+    let notes = strings(v.field("notes"), "notes")?;
+    Ok(Table { title, headers, rows, notes })
+}
+
 fn utf8_width(first: u8) -> usize {
     match first {
         0x00..=0x7F => 1,
@@ -363,6 +416,19 @@ mod tests {
     fn unicode_escapes_decode() {
         let v = parse("\"a\\u00e9b\\u0041, raw é too\"").expect("parse");
         assert_eq!(v.as_str(), Some("aébA, raw é too"));
+    }
+
+    #[test]
+    fn tables_round_trip_through_json() {
+        let mut t = Table::new("T — «x»", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("note with \"quotes\"");
+        let back = table_from_json(&table_to_json(&t)).expect("round trip");
+        assert_eq!(back.title, t.title);
+        assert_eq!(back.headers, t.headers);
+        assert_eq!(back.rows, t.rows);
+        assert_eq!(back.notes, t.notes);
+        assert!(table_from_json(&parse("{\"title\":\"x\"}").expect("parse")).is_err());
     }
 
     #[test]

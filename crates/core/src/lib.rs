@@ -46,6 +46,7 @@ pub mod awareness;
 pub mod characterize;
 pub mod epochs;
 pub mod error;
+pub mod json;
 pub mod model;
 pub mod experiments;
 pub mod replay;
@@ -61,9 +62,13 @@ pub use model::LatencyModel;
 pub use experiments::{per_app, run_experiment, ExperimentCtx, ExperimentId};
 pub use replay::{
     compute_annotations, record_stream, replay, replay_kind, replay_opt, replay_oracle,
-    replay_predictor_wrap, replay_reactive, Annotations, StreamCache, StreamKey, WorkloadId,
+    replay_predictor_wrap, replay_reactive, Annotations, StreamCache, StreamCacheStats, StreamKey,
+    WorkloadId,
 };
-pub use suite::{run_suite, run_suite_with, ExperimentOutcome, SuiteConfig, SuiteReport};
+pub use suite::pool::scoped_workers;
+pub use suite::{
+    run_guarded, run_suite, run_suite_with, ExperimentOutcome, SuiteConfig, SuiteReport,
+};
 pub use report::{f2, f3, geomean, mean, pct, Table};
 pub use runner::{
     compute_next_use, compute_shared_soon, oracle_window, run_simple, simulate, simulate_kind,

@@ -39,7 +39,7 @@ use llc_sim::{
     AuxProvider, BlockAddr, Cmp, ConfigError, CoreId, HierarchyConfig, Inclusion, Llc,
     LlcObserver, MultiObserver, ReplacementPolicy, SimError,
 };
-use llc_trace::{App, RecordedStream, Scale, TraceSource};
+use llc_trace::{App, RecordedStream, Scale, StreamStore, TraceSource};
 
 use crate::error::RunError;
 use crate::runner::{
@@ -350,6 +350,27 @@ pub enum WorkloadId {
     Mix(&'static str),
 }
 
+impl WorkloadId {
+    /// The workload's stable name (an app label or a mix name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadId::App(app) => app.label(),
+            WorkloadId::Mix(name) => name,
+        }
+    }
+}
+
+/// FNV-1a over a byte string; folded into the splitmix chain of
+/// [`StreamKey::fingerprint`] so workload names contribute stably.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Cache key: workload identity × thread count × scale × hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamKey {
@@ -363,34 +384,160 @@ pub struct StreamKey {
     pub config: HierarchyConfig,
 }
 
+impl StreamKey {
+    /// A stable 64-bit fingerprint of the key, safe to persist: it
+    /// content-addresses `.llcs` recordings in an on-disk
+    /// [`StreamStore`], so — unlike `Hash` — it is defined by this crate
+    /// (a splitmix64 chain over the workload name, thread count, scale
+    /// and the hierarchy's own stable fingerprint) and does not change
+    /// across Rust releases, platforms or process restarts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0x4c4c_4353_4b45_5931; // "LLCSKEY1"
+        let mut fold = |v: u64| h = llc_sim::splitmix64(h ^ v);
+        fold(match self.workload {
+            WorkloadId::App(_) => 1,
+            WorkloadId::Mix(_) => 2,
+        });
+        fold(fnv1a64(self.workload.label().as_bytes()));
+        fold(self.cores as u64);
+        fold(fnv1a64(self.scale.to_string().as_bytes()));
+        fold(self.config.fingerprint());
+        h
+    }
+}
+
 type Slot = Arc<Mutex<Option<Arc<RecordedStream>>>>;
 
+/// Counters of a [`StreamCache`] and its optional disk backing — the
+/// numbers `llc-serve` reports under `GET /store/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamCacheStats {
+    /// Requests answered from process memory.
+    pub hits: u64,
+    /// Requests answered by loading a `.llcs` file from the attached
+    /// [`StreamStore`] (no simulation ran).
+    pub disk_hits: u64,
+    /// Requests that had to record the stream with a full simulation.
+    pub misses: u64,
+    /// Entries evicted from memory by the byte cap (their disk copies,
+    /// if any, survive).
+    pub evictions: u64,
+    /// Stored-copy failures that were recovered by re-recording (a
+    /// corrupt `.llcs` file) or shrugged off (a failed persist).
+    pub disk_errors: u64,
+    /// Encoded bytes currently held in memory.
+    pub bytes: u64,
+    /// The configured in-memory byte cap, if any.
+    pub limit: Option<u64>,
+}
+
+/// One cache entry: the slot streams are recorded into, plus the LRU
+/// bookkeeping the byte cap needs.
+#[derive(Debug, Default)]
+struct CacheEntry {
+    slot: Slot,
+    /// Recency stamp (monotone per-cache counter; larger = fresher).
+    stamp: u64,
+    /// Encoded size once recorded; 0 while the recording is in flight.
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<StreamKey, CacheEntry>,
+    clock: u64,
+    limit: Option<u64>,
+    store: Option<StreamStore>,
+    stats: StreamCacheStats,
+}
+
 /// A keyed, thread-safe cache of recorded streams, shared by every
-/// experiment in a suite so each (workload, hierarchy) pair is recorded
-/// exactly once no matter how many policies replay it — including from
-/// the suite's parallel workers.
+/// experiment in a suite (or every job in an `llc-serve` daemon) so each
+/// (workload, hierarchy) pair is recorded exactly once no matter how many
+/// policies replay it — including from parallel workers.
 ///
 /// Locking is two-level: a brief outer lock resolves the key to a
 /// per-key slot, and recording happens under the slot's own lock, so two
 /// experiments wanting *different* streams record concurrently while two
 /// wanting the *same* stream share one recording. Errors are not cached —
 /// a failed recording is retried by the next caller.
+///
+/// Two optional behaviours, both off by default:
+///
+/// * **A byte cap** ([`StreamCache::set_limit`]): the cache tracks the
+///   encoded size of every resident stream and evicts the
+///   least-recently-used entries when an insert pushes the total over
+///   the cap (the newest entry is never evicted, so a single oversized
+///   stream still caches). Counters are exposed via
+///   [`StreamCache::stats`].
+/// * **A persistent backing store** ([`StreamCache::attach_store`]): the
+///   in-memory cache becomes a read-through layer over an on-disk
+///   [`StreamStore`] keyed by [`StreamKey::fingerprint`]. A miss first
+///   tries the store (a *disk hit* skips the recording simulation
+///   entirely, even in a fresh process); a recording is persisted back.
+///   A corrupt stored file is counted, re-recorded and overwritten —
+///   never an error for the caller.
 #[derive(Debug, Clone, Default)]
 pub struct StreamCache {
-    inner: Arc<Mutex<HashMap<StreamKey, Slot>>>,
+    inner: Arc<Mutex<CacheInner>>,
 }
 
 impl StreamCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded, memory-only cache.
     pub fn new() -> Self {
         StreamCache::default()
     }
 
+    /// Creates an empty cache with an in-memory byte cap.
+    pub fn with_limit(limit_bytes: u64) -> Self {
+        let cache = StreamCache::new();
+        cache.set_limit(Some(limit_bytes));
+        cache
+    }
+
+    /// Sets (or clears) the in-memory byte cap and evicts immediately if
+    /// the cache is already over the new cap.
+    pub fn set_limit(&self, limit_bytes: Option<u64>) {
+        let mut inner = lock_recovering(&self.inner);
+        inner.limit = limit_bytes;
+        Self::evict_over_limit(&mut inner, None);
+    }
+
+    /// Attaches a persistent [`StreamStore`]; the cache becomes a
+    /// read-through/write-through layer over it.
+    pub fn attach_store(&self, store: StreamStore) {
+        lock_recovering(&self.inner).store = Some(store);
+    }
+
+    /// Builds a cache backed by `store` with an in-memory cap.
+    pub fn with_store(store: StreamStore, limit_bytes: Option<u64>) -> Self {
+        let cache = StreamCache::new();
+        cache.attach_store(store);
+        cache.set_limit(limit_bytes);
+        cache
+    }
+
+    /// The default in-memory byte cap for a run with `jobs` concurrent
+    /// experiments: 512 MiB of encoded streams per job — comfortably the
+    /// working set of a paper-scale experiment — with a 2 GiB floor so
+    /// small worker counts never thrash the suite's shared recordings.
+    pub fn default_limit(jobs: usize) -> u64 {
+        ((jobs.max(1) as u64) * (512 << 20)).max(2 << 30)
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> StreamCacheStats {
+        let inner = lock_recovering(&self.inner);
+        StreamCacheStats { limit: inner.limit, ..inner.stats }
+    }
+
     /// Number of cached streams (recorded, not merely reserved).
     pub fn len(&self) -> usize {
-        let map = lock_recovering(&self.inner);
-        map.values()
-            .filter(|slot| lock_recovering(slot).is_some())
+        let inner = lock_recovering(&self.inner);
+        inner
+            .map
+            .values()
+            .filter(|entry| lock_recovering(&entry.slot).is_some())
             .count()
     }
 
@@ -399,12 +546,16 @@ impl StreamCache {
         self.len() == 0
     }
 
-    /// Returns the stream for `key`, recording it via `make_trace` under
-    /// `key.config` on first use.
+    /// Returns the stream for `key`: from memory if resident, else from
+    /// the attached store's `.llcs` file if present and intact, else by
+    /// recording it via `make_trace` under `key.config` (and persisting
+    /// the recording if a store is attached).
     ///
     /// # Errors
     ///
-    /// Propagates [`record_stream`] errors; they are not cached.
+    /// Propagates [`record_stream`] errors; they are not cached. Disk
+    /// problems never fail the call — a corrupt stored copy falls back
+    /// to re-recording and a failed persist only bumps a counter.
     pub fn get_or_record<W, F>(
         &self,
         key: StreamKey,
@@ -414,17 +565,86 @@ impl StreamCache {
         W: TraceSource,
         F: FnOnce() -> W,
     {
-        let slot = {
-            let mut map = lock_recovering(&self.inner);
-            Arc::clone(map.entry(key).or_default())
+        let (slot, store) = {
+            let mut inner = lock_recovering(&self.inner);
+            inner.clock += 1;
+            let clock = inner.clock;
+            let entry = inner.map.entry(key).or_default();
+            entry.stamp = clock;
+            (Arc::clone(&entry.slot), inner.store.clone())
         };
         let mut guard = lock_recovering(&slot);
         if let Some(stream) = guard.as_ref() {
-            return Ok(Arc::clone(stream));
+            let stream = Arc::clone(stream);
+            drop(guard);
+            lock_recovering(&self.inner).stats.hits += 1;
+            return Ok(stream);
         }
-        let stream = Arc::new(record_stream(&key.config, make_trace())?);
+
+        // Not in memory: try the persistent store, then record. Both
+        // happen under the slot lock so concurrent requesters of the same
+        // key share one load/recording.
+        let fp = key.fingerprint();
+        let mut from_disk = false;
+        let stream = match store.as_ref().map(|s| s.load(fp)) {
+            Some(Ok(Some(stream))) => {
+                from_disk = true;
+                Arc::new(stream)
+            }
+            Some(Err(_)) => {
+                // Corrupt stored copy: count it, re-record, overwrite.
+                lock_recovering(&self.inner).stats.disk_errors += 1;
+                Arc::new(record_stream(&key.config, make_trace())?)
+            }
+            Some(Ok(None)) | None => Arc::new(record_stream(&key.config, make_trace())?),
+        };
+        if !from_disk {
+            if let Some(store) = store.as_ref() {
+                if store.save(fp, &stream).is_err() {
+                    lock_recovering(&self.inner).stats.disk_errors += 1;
+                }
+            }
+        }
         *guard = Some(Arc::clone(&stream));
+        drop(guard);
+
+        // Account the insert and enforce the cap (never evicting the
+        // entry just inserted).
+        let mut inner = lock_recovering(&self.inner);
+        if from_disk {
+            inner.stats.disk_hits += 1;
+        } else {
+            inner.stats.misses += 1;
+        }
+        let size = stream.encoded_len() as u64;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            let grown = size.saturating_sub(entry.bytes);
+            entry.bytes = size;
+            inner.stats.bytes += grown;
+        }
+        Self::evict_over_limit(&mut inner, Some(&key));
         Ok(stream)
+    }
+
+    /// Evicts least-recently-used recorded entries until the cache fits
+    /// its cap again. `keep` (the entry being inserted) and in-flight
+    /// recordings (`bytes == 0`) are never evicted.
+    fn evict_over_limit(inner: &mut CacheInner, keep: Option<&StreamKey>) {
+        let Some(limit) = inner.limit else { return };
+        while inner.stats.bytes > limit {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|&(k, e)| e.bytes > 0 && Some(k) != keep)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            // infallible: the key was just found in the map under the
+            // same lock.
+            let entry = inner.map.remove(&victim).expect("victim present");
+            inner.stats.bytes -= entry.bytes;
+            inner.stats.evictions += 1;
+        }
     }
 }
 
@@ -558,6 +778,151 @@ mod tests {
         assert_eq!(recordings.load(Ordering::SeqCst), 1, "second get must hit the cache");
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
+    }
+
+    fn key_for(app: App) -> StreamKey {
+        StreamKey { workload: WorkloadId::App(app), cores: 4, scale: Scale::Tiny, config: cfg() }
+    }
+
+    #[test]
+    fn stream_key_fingerprints_are_stable_and_distinct() {
+        let key = key_for(App::Fft);
+        assert_eq!(key.fingerprint(), key.fingerprint());
+        // Pin the value: fingerprints name files in the persistent store,
+        // so silently changing the scheme would orphan every stored
+        // stream. Bump the seed constant if the scheme must change.
+        assert_eq!(key.fingerprint(), 0x8641_6d06_bf56_88ce);
+        assert_ne!(key.fingerprint(), key_for(App::Dedup).fingerprint());
+        let mut other = key_for(App::Fft);
+        other.cores = 8;
+        assert_ne!(key.fingerprint(), other.fingerprint());
+        let mut other = key_for(App::Fft);
+        other.scale = Scale::Small;
+        assert_ne!(key.fingerprint(), other.fingerprint());
+        let mut other = key_for(App::Fft);
+        other.config.llc = llc_sim::CacheConfig::from_kib(128, 8).expect("valid");
+        assert_ne!(key.fingerprint(), other.fingerprint());
+        assert_ne!(
+            StreamKey { workload: WorkloadId::Mix("fft"), ..key }.fingerprint(),
+            key.fingerprint(),
+            "an app and a mix with the same name must not collide"
+        );
+    }
+
+    #[test]
+    fn byte_cap_evicts_lru_and_counts() {
+        let apps = [App::Swaptions, App::Bodytrack, App::Dedup, App::Fft];
+        let unbounded = StreamCache::new();
+        let mut sizes = Vec::new();
+        for &app in &apps {
+            let s = unbounded
+                .get_or_record(key_for(app), || app.workload(4, Scale::Tiny))
+                .expect("record");
+            sizes.push(s.encoded_len() as u64);
+        }
+        assert_eq!(unbounded.stats().bytes, sizes.iter().sum::<u64>());
+        assert_eq!(unbounded.stats().evictions, 0);
+
+        // Cap at exactly the two largest-so-far entries' budget: holding
+        // all four is impossible, so older entries must be evicted.
+        let limit = sizes[2] + sizes[3];
+        let bounded = StreamCache::with_limit(limit);
+        for &app in &apps {
+            bounded
+                .get_or_record(key_for(app), || app.workload(4, Scale::Tiny))
+                .expect("record");
+        }
+        let stats = bounded.stats();
+        assert_eq!(stats.limit, Some(limit));
+        assert!(stats.bytes <= limit, "cache over its cap: {stats:?}");
+        assert!(stats.evictions > 0, "expected evictions: {stats:?}");
+        assert_eq!(stats.misses as usize, apps.len());
+        assert!(bounded.len() < apps.len());
+
+        // A re-request of an evicted stream is a miss that re-records.
+        let before = bounded.stats().misses;
+        bounded
+            .get_or_record(key_for(App::Swaptions), || App::Swaptions.workload(4, Scale::Tiny))
+            .expect("re-record");
+        assert_eq!(bounded.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn hits_touch_lru_order() {
+        let apps = [App::Swaptions, App::Bodytrack, App::Dedup];
+        let cache = StreamCache::new();
+        let mut sizes = Vec::new();
+        for &app in &apps {
+            let s = cache
+                .get_or_record(key_for(app), || app.workload(4, Scale::Tiny))
+                .expect("record");
+            sizes.push(s.encoded_len() as u64);
+        }
+        // Touch the oldest entry, then shrink the cap so exactly one
+        // entry must go: the victim must be Bodytrack (now the LRU), not
+        // the freshly touched Swaptions.
+        cache
+            .get_or_record(key_for(App::Swaptions), || App::Swaptions.workload(4, Scale::Tiny))
+            .expect("hit");
+        assert_eq!(cache.stats().hits, 1);
+        cache.set_limit(Some(sizes.iter().sum::<u64>() - 1));
+        assert_eq!(cache.stats().evictions, 1);
+        let miss_free = cache.stats().misses;
+        cache
+            .get_or_record(key_for(App::Swaptions), || App::Swaptions.workload(4, Scale::Tiny))
+            .expect("still resident");
+        cache
+            .get_or_record(key_for(App::Dedup), || App::Dedup.workload(4, Scale::Tiny))
+            .expect("still resident");
+        assert_eq!(cache.stats().misses, miss_free, "touched entries must have survived");
+    }
+
+    #[test]
+    fn store_backed_cache_reads_through_and_recovers_from_corruption() {
+        use llc_trace::StreamStore;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir =
+            std::env::temp_dir().join(format!("llc-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StreamStore::open(&dir).expect("open store");
+        let key = key_for(App::Bodytrack);
+        let recordings = AtomicUsize::new(0);
+        let make = || {
+            recordings.fetch_add(1, Ordering::SeqCst);
+            App::Bodytrack.workload(4, Scale::Tiny)
+        };
+
+        // First process lifetime: records once, persists.
+        let first = StreamCache::with_store(store.clone(), None);
+        let a = first.get_or_record(key, make).expect("record");
+        assert_eq!(recordings.load(Ordering::SeqCst), 1);
+        assert!(store.contains(key.fingerprint()));
+        assert_eq!(first.stats().misses, 1);
+
+        // "Restart": a fresh cache over the same directory must serve the
+        // stream from disk without simulating.
+        let second = StreamCache::with_store(store.clone(), None);
+        let b = second.get_or_record(key, make).expect("disk hit");
+        assert_eq!(recordings.load(Ordering::SeqCst), 1, "disk hit must not re-record");
+        assert_eq!(second.stats().disk_hits, 1);
+        assert_eq!(second.stats().misses, 0);
+        assert_eq!(*a, *b);
+
+        // Corrupt the stored copy: the next fresh cache falls back to
+        // re-recording (typed error internally, never surfaced) and
+        // overwrites the bad file.
+        let path = store.path_for(key.fingerprint());
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate");
+        let third = StreamCache::with_store(store.clone(), None);
+        let c = third.get_or_record(key, make).expect("recover");
+        assert_eq!(recordings.load(Ordering::SeqCst), 2, "corruption must re-record");
+        assert_eq!(third.stats().disk_errors, 1);
+        assert_eq!(*a, *c);
+        let healed = StreamCache::with_store(store.clone(), None);
+        healed.get_or_record(key, make).expect("healed");
+        assert_eq!(recordings.load(Ordering::SeqCst), 2, "overwritten copy must load");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -42,9 +42,10 @@ use std::time::Duration;
 
 use crate::error::RunError;
 use crate::experiments::{run_experiment, ExperimentCtx, ExperimentId};
+use crate::json;
 use crate::report::Table;
 
-mod json;
+pub mod pool;
 
 /// Configuration of the suite harness.
 #[derive(Debug, Clone)]
@@ -233,26 +234,21 @@ where
         slots.iter_mut().map(|s| Mutex::new(s.take())).collect();
     let next = AtomicUsize::new(0);
     let workers = config.effective_jobs().min(pending.len().max(1));
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let w = next.fetch_add(1, Ordering::SeqCst);
-                let Some(&(slot, id)) = pending.get(w) else { break };
-                let outcome = run_isolated(id, ctx, config, Arc::clone(&run_fn));
-                if let (Some(path), ExperimentOutcome::Completed { tables }) =
-                    (&config.manifest_path, &outcome)
-                {
-                    let mut guard =
-                        checkpoint.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-                    let (manifest, errors) = &mut *guard;
-                    manifest.insert(id.label(), tables.clone());
-                    if let Err(e) = save_manifest(manifest, path, config) {
-                        errors.push(e.to_string());
-                    }
-                }
-                *result_slots[slot].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
-            });
+    pool::scoped_workers(workers, |_| loop {
+        let w = next.fetch_add(1, Ordering::SeqCst);
+        let Some(&(slot, id)) = pending.get(w) else { break };
+        let outcome = run_isolated(id, ctx, config, Arc::clone(&run_fn));
+        if let (Some(path), ExperimentOutcome::Completed { tables }) =
+            (&config.manifest_path, &outcome)
+        {
+            let mut guard = checkpoint.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let (manifest, errors) = &mut *guard;
+            manifest.insert(id.label(), tables.clone());
+            if let Err(e) = save_manifest(manifest, path, config) {
+                errors.push(e.to_string());
+            }
         }
+        *result_slots[slot].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
     });
 
     let outcomes = ids
@@ -273,10 +269,75 @@ where
     Ok(SuiteReport { outcomes, checkpoint_errors })
 }
 
-/// Runs one experiment on a dedicated thread under `catch_unwind` and the
-/// watchdog. On timeout the worker is abandoned: its thread keeps running
-/// detached until the process exits (acceptable for a batch harness; the
-/// alternative — killing a thread — is unsound in Rust).
+/// Runs `work` on a dedicated thread under `catch_unwind` and a watchdog,
+/// converting a panic into [`RunError::Panicked`] and a blown time budget
+/// into [`RunError::TimedOut`] (both labelled with `label`). On timeout
+/// the worker is abandoned: its thread keeps running detached until the
+/// process exits (acceptable for a batch harness or a daemon discarding
+/// the result; the alternative — killing a thread — is unsound in Rust).
+///
+/// This is the isolation primitive behind both the suite runner's
+/// per-experiment crash containment and the `llc-serve` daemon's job
+/// execution (including `DELETE /jobs/{id}` cancellation of a running
+/// job, which abandons the guarded thread the same way).
+///
+/// # Errors
+///
+/// Returns `work`'s own error, or the panic/timeout/spawn-failure it was
+/// shielded from.
+pub fn run_guarded<T, F>(label: &str, timeout: Option<Duration>, work: F) -> Result<T, RunError>
+where
+    T: Send + 'static,
+    F: FnOnce() -> Result<T, RunError> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let spawned = thread::Builder::new()
+        .name(format!("guarded-{label}"))
+        .spawn(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(work));
+            // The receiver may be gone after a watchdog timeout; that is
+            // fine, the outcome was already recorded.
+            let _ = tx.send(result);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => {
+            return Err(RunError::Io {
+                context: format!("spawning guarded thread for {label}"),
+                source: e,
+            })
+        }
+    };
+    let disconnected = || RunError::Panicked {
+        label: label.to_string(),
+        reason: "worker thread exited without reporting".into(),
+    };
+    let received = match timeout {
+        Some(limit) => match rx.recv_timeout(limit) {
+            Ok(r) => r,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                drop(handle); // abandon the worker; see the function docs
+                return Err(RunError::TimedOut { label: label.to_string(), limit });
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Err(disconnected()),
+        },
+        None => match rx.recv() {
+            Ok(r) => r,
+            Err(_) => return Err(disconnected()),
+        },
+    };
+    let _ = handle.join(); // already reported; join cannot block long
+    match received {
+        Ok(result) => result,
+        Err(payload) => Err(RunError::Panicked {
+            label: label.to_string(),
+            reason: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Runs one experiment under [`run_guarded`], folding the typed error
+/// into a structured suite outcome.
 fn run_isolated<F>(
     id: ExperimentId,
     ctx: &ExperimentCtx,
@@ -286,58 +347,10 @@ fn run_isolated<F>(
 where
     F: Fn(ExperimentId, &ExperimentCtx) -> Result<Vec<Table>, RunError> + Send + Sync + 'static,
 {
-    let (tx, rx) = mpsc::channel();
     let ctx = ctx.clone();
-    let spawned = thread::Builder::new()
-        .name(format!("experiment-{}", id.label()))
-        .spawn(move || {
-            let result = panic::catch_unwind(AssertUnwindSafe(|| run_fn(id, &ctx)));
-            // The receiver may be gone after a watchdog timeout; that is
-            // fine, the outcome was already recorded.
-            let _ = tx.send(result);
-        });
-    let handle = match spawned {
-        Ok(h) => h,
-        Err(e) => {
-            return ExperimentOutcome::Failed {
-                reason: format!("could not spawn experiment thread: {e}"),
-            }
-        }
-    };
-    let received = match config.timeout {
-        Some(limit) => match rx.recv_timeout(limit) {
-            Ok(r) => r,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                drop(handle); // abandon the worker; see the function docs
-                let e = RunError::TimedOut { label: id.label().to_string(), limit };
-                return ExperimentOutcome::Failed { reason: e.to_string() };
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return ExperimentOutcome::Failed {
-                    reason: "experiment thread exited without reporting".into(),
-                }
-            }
-        },
-        None => match rx.recv() {
-            Ok(r) => r,
-            Err(_) => {
-                return ExperimentOutcome::Failed {
-                    reason: "experiment thread exited without reporting".into(),
-                }
-            }
-        },
-    };
-    let _ = handle.join(); // already reported; join cannot block long
-    match received {
-        Ok(Ok(tables)) => ExperimentOutcome::Completed { tables },
-        Ok(Err(e)) => ExperimentOutcome::Failed { reason: e.to_string() },
-        Err(payload) => {
-            let e = RunError::Panicked {
-                label: id.label().to_string(),
-                reason: panic_message(payload.as_ref()),
-            };
-            ExperimentOutcome::Failed { reason: e.to_string() }
-        }
+    match run_guarded(id.label(), config.timeout, move || run_fn(id, &ctx)) {
+        Ok(tables) => ExperimentOutcome::Completed { tables },
+        Err(e) => ExperimentOutcome::Failed { reason: e.to_string() },
     }
 }
 
@@ -414,15 +427,14 @@ fn load_manifest(path: &Path, config: &SuiteConfig) -> Result<Manifest, RunError
     })
 }
 
-/// Writes the manifest atomically: serialize to `<path>.tmp`, then
-/// rename over the target, so a crash mid-write can never leave a
+/// Writes the manifest crash-safely via [`llc_trace::atomic_write`]:
+/// serialize to a temporary sibling file, fsync, then rename over the
+/// target, so a crash mid-write can never leave a truncated or
 /// half-written manifest where the next run would find it.
 fn save_manifest(manifest: &Manifest, path: &Path, config: &SuiteConfig) -> Result<(), RunError> {
     let text = render_manifest(manifest);
-    let tmp = path.with_extension("tmp");
     with_retries(config, &format!("writing manifest {}", path.display()), || {
-        std::fs::write(&tmp, &text)?;
-        std::fs::rename(&tmp, path)
+        llc_trace::atomic_write(path, text.as_bytes())
     })
 }
 
@@ -436,7 +448,7 @@ fn render_manifest(manifest: &Manifest) -> String {
         .map(|(label, tables)| {
             Value::object(vec![
                 ("id", Value::Str(label.clone())),
-                ("tables", Value::Array(tables.iter().map(table_to_json).collect())),
+                ("tables", Value::Array(tables.iter().map(json::table_to_json).collect())),
             ])
         })
         .collect();
@@ -447,17 +459,6 @@ fn render_manifest(manifest: &Manifest) -> String {
     let mut out = doc.render();
     out.push('\n');
     out
-}
-
-fn table_to_json(t: &Table) -> json::Value {
-    use json::Value;
-    let strings = |v: &[String]| Value::Array(v.iter().map(|s| Value::Str(s.clone())).collect());
-    Value::object(vec![
-        ("title", Value::Str(t.title.clone())),
-        ("headers", strings(&t.headers)),
-        ("rows", Value::Array(t.rows.iter().map(|r| strings(r)).collect())),
-        ("notes", strings(&t.notes)),
-    ])
 }
 
 fn parse_manifest(text: &str) -> Result<Manifest, String> {
@@ -476,38 +477,11 @@ fn parse_manifest(text: &str) -> Result<Manifest, String> {
             .ok_or("entry missing id")?
             .to_string();
         let tables = entry.field("tables").and_then(Value::as_array).ok_or("entry missing tables")?;
-        let tables: Result<Vec<Table>, String> = tables.iter().map(table_from_json).collect();
+        let tables: Result<Vec<Table>, String> =
+            tables.iter().map(json::table_from_json).collect();
         manifest.insert(&label, tables?);
     }
     Ok(manifest)
-}
-
-fn table_from_json(v: &json::Value) -> Result<Table, String> {
-    use json::Value;
-    let strings = |v: Option<&Value>, what: &str| -> Result<Vec<String>, String> {
-        v.and_then(Value::as_array)
-            .ok_or_else(|| format!("table missing {what}"))?
-            .iter()
-            .map(|s| s.as_str().map(str::to_string).ok_or_else(|| format!("non-string in {what}")))
-            .collect()
-    };
-    let title =
-        v.field("title").and_then(Value::as_str).ok_or("table missing title")?.to_string();
-    let headers = strings(v.field("headers"), "headers")?;
-    let rows = v
-        .field("rows")
-        .and_then(Value::as_array)
-        .ok_or("table missing rows")?
-        .iter()
-        .map(|r| strings(Some(r), "row"))
-        .collect::<Result<Vec<_>, _>>()?;
-    for row in &rows {
-        if row.len() != headers.len() {
-            return Err(format!("ragged row in table {title:?}"));
-        }
-    }
-    let notes = strings(v.field("notes"), "notes")?;
-    Ok(Table { title, headers, rows, notes })
 }
 
 #[cfg(test)]

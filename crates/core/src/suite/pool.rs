@@ -1,0 +1,74 @@
+//! The bounded scoped worker pool shared by the suite runner and the
+//! `llc-serve` daemon.
+//!
+//! The pool is deliberately tiny: `N` scoped OS threads each run the same
+//! role closure until it returns. No work queue is imposed — the suite
+//! claims pending experiment indices through an atomic counter, while the
+//! daemon's roles pull job ids from a channel — so the scheduling policy
+//! stays with the caller and the pool only owns thread lifecycle
+//! (spawning, naming, joining). `std::thread::scope` means borrowed state
+//! (caches, checkpoints, job tables) can be shared without `'static`
+//! gymnastics, and the call does not return until every role has.
+
+use std::thread;
+
+/// Runs `role` on `workers` scoped threads and blocks until all of them
+/// return. Each invocation receives its worker index (`0..workers`).
+///
+/// A panicking role is re-raised on the calling thread after every
+/// sibling has finished, so the pool never silently swallows a crash —
+/// callers wanting isolation run their work under
+/// [`run_guarded`](crate::suite::run_guarded) inside the role.
+pub fn scoped_workers<F>(workers: usize, role: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let role = &role;
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                thread::Builder::new()
+                    .name(format!("pool-worker-{w}"))
+                    .spawn_scoped(scope, move || role(w))
+                    // infallible: scoped spawn fails only on OS thread
+                    // exhaustion, where the suite cannot proceed anyway.
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_once_with_its_index() {
+        let seen = AtomicUsize::new(0);
+        scoped_workers(4, |w| {
+            seen.fetch_add(1 << (8 * w), Ordering::SeqCst);
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 0x0101_0101);
+    }
+
+    #[test]
+    fn worker_panics_propagate_after_siblings_finish() {
+        let completed = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scoped_workers(3, |w| {
+                if w == 1 {
+                    panic!("injected pool panic");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(completed.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,410 @@
+//! The service subcommands of the `repro` binary:
+//!
+//! ```text
+//! repro serve  --listen 127.0.0.1:7119 --store ./llc-store --jobs 2
+//! repro submit fig7 --preset test [--watch]
+//! repro status 1 | repro watch 1 | repro result 1 | repro cancel 1
+//! repro stats  | repro stop
+//! ```
+//!
+//! Everything speaks the daemon's JSON API through [`Client`]; `serve`
+//! hosts the daemon in-process. Both sides resolve a submission through
+//! the same [`JobSpec`] → `ExperimentCtx` path the batch runner uses.
+
+use std::time::Duration;
+
+use llc_sharing::json::{table_from_json, Value};
+use llc_trace::{App, Scale};
+
+use crate::client::{job_id_of, Client};
+use crate::jobs::JobId;
+use crate::server::{Server, ServerConfig};
+use crate::spec::JobSpec;
+use crate::ServeError;
+
+/// The default daemon address used when `--addr`/`--listen` is omitted.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7119";
+
+/// The default persistent store directory.
+pub const DEFAULT_STORE: &str = "llc-store";
+
+/// Usage text for the service subcommands.
+pub const USAGE: &str = "\
+service subcommands:
+  repro serve [--listen ADDR] [--store DIR] [--jobs N] [--timeout SECS]
+              [--stream-cache-mb MB]
+      host the simulation daemon (default listen 127.0.0.1:7119,
+      store ./llc-store, 2 workers, 1800 s per-job watchdog)
+  repro submit <experiment> [--preset paper|quick|test] [--scale S]
+              [--threads N] [--apps a,b,c] [--addr ADDR] [--watch]
+      submit a job (with --watch: wait and print its tables)
+  repro status <id>   [--addr ADDR]   job state
+  repro watch  <id>   [--addr ADDR] [--deadline SECS]   wait for a job
+  repro result <id>   [--addr ADDR]   print a finished job's tables
+  repro cancel <id>   [--addr ADDR]   cancel a job
+  repro stats         [--addr ADDR]   store/service counters (JSON)
+  repro stop          [--addr ADDR]   shut the daemon down
+";
+
+/// A parsed service subcommand.
+#[derive(Debug, Clone)]
+pub enum ServeCommand {
+    /// Host the daemon.
+    Serve(ServerConfig),
+    /// Submit a job, optionally waiting for its tables.
+    Submit {
+        /// Daemon address.
+        addr: String,
+        /// The job to submit.
+        spec: JobSpec,
+        /// Wait for completion and print the tables.
+        watch: bool,
+    },
+    /// Print a job's status document.
+    Status {
+        /// Daemon address.
+        addr: String,
+        /// The job.
+        id: JobId,
+    },
+    /// Wait for a job to reach a terminal state.
+    Watch {
+        /// Daemon address.
+        addr: String,
+        /// The job.
+        id: JobId,
+        /// Give up after this long.
+        deadline: Duration,
+    },
+    /// Print a finished job's tables.
+    Result {
+        /// Daemon address.
+        addr: String,
+        /// The job.
+        id: JobId,
+    },
+    /// Cancel a job.
+    Cancel {
+        /// Daemon address.
+        addr: String,
+        /// The job.
+        id: JobId,
+    },
+    /// Print the store/service counters.
+    Stats {
+        /// Daemon address.
+        addr: String,
+    },
+    /// Ask the daemon to shut down.
+    Stop {
+        /// Daemon address.
+        addr: String,
+    },
+}
+
+/// `true` if `verb` names a service subcommand this module handles.
+pub fn is_serve_verb(verb: &str) -> bool {
+    matches!(verb, "serve" | "submit" | "status" | "watch" | "result" | "cancel" | "stats" | "stop")
+}
+
+/// Parses a service subcommand (the first argument must satisfy
+/// [`is_serve_verb`]).
+///
+/// # Errors
+///
+/// Returns a human-readable message (often [`USAGE`]) for the first
+/// invalid argument.
+pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
+    let (verb, rest) = args.split_first().ok_or(USAGE)?;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut positional: Vec<String> = Vec::new();
+    match verb.as_str() {
+        "serve" => {
+            let mut config = ServerConfig::new(DEFAULT_ADDR, DEFAULT_STORE);
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+                };
+                match arg.as_str() {
+                    "--listen" => config.listen = value("--listen")?,
+                    "--store" => config.store_dir = value("--store")?.into(),
+                    "--jobs" => {
+                        let v = value("--jobs")?;
+                        config.jobs = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad job count '{v}'"))?;
+                    }
+                    "--timeout" => {
+                        let v = value("--timeout")?;
+                        let secs =
+                            v.parse::<u64>().map_err(|_| format!("bad timeout '{v}'"))?;
+                        config.timeout = (secs > 0).then(|| Duration::from_secs(secs));
+                    }
+                    "--stream-cache-mb" => {
+                        let v = value("--stream-cache-mb")?;
+                        let mb = v
+                            .parse::<u64>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad cache size '{v}'"))?;
+                        config.stream_cache_limit = Some(mb << 20);
+                    }
+                    other => return Err(format!("unknown serve flag '{other}'\n\n{USAGE}")),
+                }
+            }
+            return Ok(ServeCommand::Serve(config));
+        }
+        "submit" => {
+            let mut preset = "paper".to_string();
+            let mut scale = None;
+            let mut threads = None;
+            let mut apps = None;
+            let mut watch = false;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+                };
+                match arg.as_str() {
+                    "--addr" => addr = value("--addr")?,
+                    "--preset" => {
+                        let v = value("--preset")?;
+                        if !matches!(v.as_str(), "paper" | "quick" | "test") {
+                            return Err(format!("unknown preset '{v}'"));
+                        }
+                        preset = v;
+                    }
+                    "--scale" => {
+                        let v = value("--scale")?;
+                        scale =
+                            Some(Scale::parse(&v).ok_or_else(|| format!("unknown scale '{v}'"))?);
+                    }
+                    "--threads" => {
+                        let v = value("--threads")?;
+                        threads = Some(
+                            v.parse::<usize>()
+                                .ok()
+                                .filter(|&n| n > 0 && n <= llc_sim::MAX_CORES)
+                                .ok_or_else(|| format!("bad thread count '{v}'"))?,
+                        );
+                    }
+                    "--apps" => {
+                        let v = value("--apps")?;
+                        let mut parsed = Vec::new();
+                        for name in v.split(',') {
+                            parsed.push(
+                                App::parse(name.trim())
+                                    .ok_or_else(|| format!("unknown app '{name}'"))?,
+                            );
+                        }
+                        if parsed.is_empty() {
+                            return Err("--apps needs at least one app".into());
+                        }
+                        apps = Some(parsed);
+                    }
+                    "--watch" => watch = true,
+                    other => positional.push(other.to_string()),
+                }
+            }
+            let [experiment] = positional.as_slice() else {
+                return Err(format!("submit needs exactly one experiment\n\n{USAGE}"));
+            };
+            let experiment = llc_sharing::ExperimentId::parse(experiment)
+                .ok_or_else(|| format!("unknown experiment '{experiment}'"))?;
+            let spec = JobSpec { experiment, preset, scale, threads, apps };
+            return Ok(ServeCommand::Submit { addr, spec, watch });
+        }
+        _ => {}
+    }
+    // The remaining verbs share the `[id] --addr --deadline` shape.
+    let mut deadline = Duration::from_secs(3600);
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--deadline" => {
+                let v = value("--deadline")?;
+                deadline = Duration::from_secs(
+                    v.parse::<u64>().map_err(|_| format!("bad deadline '{v}'"))?,
+                );
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let job_id = |positional: &[String]| -> Result<JobId, String> {
+        let [id] = positional else {
+            return Err(format!("{verb} needs exactly one job id\n\n{USAGE}"));
+        };
+        id.parse::<u64>().map(JobId).map_err(|_| format!("bad job id '{id}'"))
+    };
+    match verb.as_str() {
+        "status" => Ok(ServeCommand::Status { addr, id: job_id(&positional)? }),
+        "watch" => Ok(ServeCommand::Watch { addr, id: job_id(&positional)?, deadline }),
+        "result" => Ok(ServeCommand::Result { addr, id: job_id(&positional)? }),
+        "cancel" => Ok(ServeCommand::Cancel { addr, id: job_id(&positional)? }),
+        "stats" if positional.is_empty() => Ok(ServeCommand::Stats { addr }),
+        "stop" if positional.is_empty() => Ok(ServeCommand::Stop { addr }),
+        _ => Err(format!("unknown service subcommand '{verb}'\n\n{USAGE}")),
+    }
+}
+
+/// Executes a parsed service subcommand and returns its printable
+/// output. `Serve` prints its listening line eagerly (it blocks until
+/// shutdown), everything else returns quietly.
+///
+/// # Errors
+///
+/// Propagates daemon/client failures as [`ServeError`].
+pub fn run(command: &ServeCommand) -> Result<String, ServeError> {
+    match command {
+        ServeCommand::Serve(config) => {
+            let server = Server::bind(config)?;
+            println!(
+                "llc-serve listening on {} (store {}, {} workers)",
+                server.local_addr(),
+                config.store_dir.display(),
+                config.jobs.max(1)
+            );
+            server.run()?;
+            Ok("llc-serve stopped\n".to_string())
+        }
+        ServeCommand::Submit { addr, spec, watch } => {
+            let client = Client::new(addr.clone());
+            let doc = client.submit(spec)?;
+            let id = job_id_of(&doc)?;
+            if !watch {
+                return Ok(format!("{}\n", doc.render()));
+            }
+            let status = client.watch(id, Duration::from_secs(3600))?;
+            let state = status.field("state").and_then(Value::as_str).unwrap_or("?");
+            if state != "done" {
+                return Ok(format!("{}\n", status.render()));
+            }
+            render_result(&client.result(id)?)
+        }
+        ServeCommand::Status { addr, id } => {
+            Ok(format!("{}\n", Client::new(addr.clone()).status(*id)?.render()))
+        }
+        ServeCommand::Watch { addr, id, deadline } => {
+            Ok(format!("{}\n", Client::new(addr.clone()).watch(*id, *deadline)?.render()))
+        }
+        ServeCommand::Result { addr, id } => {
+            render_result(&Client::new(addr.clone()).result(*id)?)
+        }
+        ServeCommand::Cancel { addr, id } => {
+            Ok(format!("{}\n", Client::new(addr.clone()).cancel(*id)?.render()))
+        }
+        ServeCommand::Stats { addr } => {
+            Ok(format!("{}\n", Client::new(addr.clone()).stats()?.render()))
+        }
+        ServeCommand::Stop { addr } => {
+            Ok(format!("{}\n", Client::new(addr.clone()).shutdown()?.render()))
+        }
+    }
+}
+
+/// Renders a result document's tables as the same text the batch runner
+/// prints.
+fn render_result(doc: &Value) -> Result<String, ServeError> {
+    let tables = doc
+        .field("tables")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServeError::Protocol("result document has no tables".into()))?;
+    let mut out = String::new();
+    for table in tables {
+        let table = table_from_json(table)
+            .map_err(|e| ServeError::Protocol(format!("bad table in result: {e}")))?;
+        out.push_str(&table.to_string());
+        out.push('\n');
+    }
+    if let Some(true) = doc.field("from_store").map(|v| v == &Value::Bool(true)) {
+        out.push_str("[served from the persistent store]\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sharing::ExperimentId;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cmd = parse(&args(
+            "serve --listen 127.0.0.1:0 --store /tmp/s --jobs 3 --timeout 60 --stream-cache-mb 64",
+        ))
+        .expect("parse");
+        let ServeCommand::Serve(config) = cmd else { panic!("not serve: {cmd:?}") };
+        assert_eq!(config.listen, "127.0.0.1:0");
+        assert_eq!(config.store_dir, std::path::PathBuf::from("/tmp/s"));
+        assert_eq!(config.jobs, 3);
+        assert_eq!(config.timeout, Some(Duration::from_secs(60)));
+        assert_eq!(config.stream_cache_limit, Some(64 << 20));
+        let ServeCommand::Serve(config) = parse(&args("serve")).expect("defaults") else {
+            panic!()
+        };
+        assert_eq!(config.listen, DEFAULT_ADDR);
+        assert!(config.stream_cache_limit.is_none());
+    }
+
+    #[test]
+    fn parses_submit() {
+        let cmd = parse(&args(
+            "submit fig7 --preset test --scale tiny --threads 4 --apps fft,dedup --watch",
+        ))
+        .expect("parse");
+        let ServeCommand::Submit { spec, watch, addr } = cmd else { panic!("not submit") };
+        assert_eq!(spec.experiment, ExperimentId::Fig7);
+        assert_eq!(spec.preset, "test");
+        assert_eq!(spec.threads, Some(4));
+        assert!(watch);
+        assert_eq!(addr, DEFAULT_ADDR);
+    }
+
+    #[test]
+    fn parses_job_verbs_and_stats() {
+        assert!(matches!(
+            parse(&args("status 7 --addr 127.0.0.1:9")).expect("parse"),
+            ServeCommand::Status { id: JobId(7), .. }
+        ));
+        assert!(matches!(
+            parse(&args("watch 2 --deadline 5")).expect("parse"),
+            ServeCommand::Watch { id: JobId(2), deadline, .. } if deadline == Duration::from_secs(5)
+        ));
+        assert!(matches!(parse(&args("result 1")).expect("parse"), ServeCommand::Result { .. }));
+        assert!(matches!(parse(&args("cancel 1")).expect("parse"), ServeCommand::Cancel { .. }));
+        assert!(matches!(parse(&args("stats")).expect("parse"), ServeCommand::Stats { .. }));
+        assert!(matches!(parse(&args("stop")).expect("parse"), ServeCommand::Stop { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        for bad in [
+            "submit",
+            "submit nope",
+            "submit fig7 fig8",
+            "submit fig7 --preset huge",
+            "submit fig7 --threads 0",
+            "status",
+            "status seven",
+            "stats 1",
+            "serve --jobs 0",
+            "serve --bogus",
+            "frobnicate",
+        ] {
+            assert!(parse(&args(bad)).is_err(), "{bad:?} should be rejected");
+        }
+        assert!(is_serve_verb("serve") && is_serve_verb("watch"));
+        assert!(!is_serve_verb("fig7"));
+    }
+}

@@ -1,0 +1,167 @@
+//! A blocking client for the daemon's JSON API — one `TcpStream`
+//! connection per request, mirroring the server's `Connection: close`
+//! discipline. This is what `repro submit/status/result/watch` drive.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use llc_sharing::json::{self, Value};
+
+use crate::http::parse_response;
+use crate::jobs::JobId;
+use crate::spec::JobSpec;
+use crate::{io_err, ServeError};
+
+/// A client bound to one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (e.g. `127.0.0.1:7119`) with a
+    /// 10-second per-request socket timeout.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into(), timeout: Duration::from_secs(10) }
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Performs one request and decodes the JSON answer.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for socket failures, [`ServeError::Protocol`]
+    /// for unparsable answers, and [`ServeError::Api`] for any non-2xx
+    /// status (carrying the server's `error` message).
+    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<Value, ServeError> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| io_err(format!("connecting to {}", self.addr), e))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| io_err("setting socket timeout", e))?;
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .map_err(|e| io_err(format!("sending {method} {path}"), e))?;
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| io_err(format!("reading the {method} {path} response"), e))?;
+        let (status, text) = parse_response(&raw)?;
+        let value = json::parse(&text)
+            .map_err(|e| ServeError::Protocol(format!("bad JSON in response: {e}")))?;
+        if (200..300).contains(&status) {
+            Ok(value)
+        } else {
+            let message = value
+                .field("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified server error")
+                .to_string();
+            Err(ServeError::Api { status, message })
+        }
+    }
+
+    /// Submits a job; the answer carries `id`, `state` and `fingerprint`
+    /// (state `done` means it was served from the persistent store).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn submit(&self, spec: &JobSpec) -> Result<Value, ServeError> {
+        self.request("POST", "/jobs", Some(&spec.to_json().render()))
+    }
+
+    /// Fetches a job's status document.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn status(&self, id: JobId) -> Result<Value, ServeError> {
+        self.request("GET", &format!("/jobs/{id}"), None)
+    }
+
+    /// Fetches a completed job's tables document.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; an unfinished job is a 409 [`ServeError::Api`].
+    pub fn result(&self, id: JobId) -> Result<Value, ServeError> {
+        self.request("GET", &format!("/jobs/{id}/result"), None)
+    }
+
+    /// Cancels a job.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn cancel(&self, id: JobId) -> Result<Value, ServeError> {
+        self.request("DELETE", &format!("/jobs/{id}"), None)
+    }
+
+    /// Fetches the store/service counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn stats(&self) -> Result<Value, ServeError> {
+        self.request("GET", "/store/stats", None)
+    }
+
+    /// Asks the daemon to shut down.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&self) -> Result<Value, ServeError> {
+        self.request("POST", "/shutdown", None)
+    }
+
+    /// Polls a job until it reaches a terminal state (or `deadline`
+    /// elapses), returning the final status document.
+    ///
+    /// # Errors
+    ///
+    /// Request errors propagate; a blown deadline is a
+    /// [`ServeError::Protocol`] naming the last observed state.
+    pub fn watch(&self, id: JobId, deadline: Duration) -> Result<Value, ServeError> {
+        let started = Instant::now();
+        loop {
+            let status = self.status(id)?;
+            let state = status.field("state").and_then(Value::as_str).unwrap_or("?").to_string();
+            if matches!(state.as_str(), "done" | "failed" | "cancelled") {
+                return Ok(status);
+            }
+            if started.elapsed() >= deadline {
+                return Err(ServeError::Protocol(format!(
+                    "job {id} still {state} after {deadline:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+/// Extracts the job id from a submit/status document.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] if the document has no numeric `id`.
+pub fn job_id_of(doc: &Value) -> Result<JobId, ServeError> {
+    doc.field("id")
+        .and_then(Value::as_u64)
+        .map(JobId)
+        .ok_or_else(|| ServeError::Protocol("response has no job id".into()))
+}

@@ -1,0 +1,242 @@
+//! A deliberately minimal HTTP/1.1 subset, enough for a JSON API on a
+//! loopback socket: one request per connection (`Connection: close`),
+//! request bodies sized by `Content-Length`, and hard caps on header and
+//! body sizes so a misbehaving peer cannot balloon the daemon.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::{io_err, ServeError};
+
+/// Maximum accepted size of the request line plus headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request body size.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The request path (query strings are not used by this API).
+    pub path: String,
+    /// The request body (empty when none was sent).
+    pub body: String,
+}
+
+/// An HTTP response to be serialized.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response { status, body: body.into() }
+    }
+
+    /// A JSON error response: `{"error": <message>}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\":");
+        body.push_str(&llc_sharing::json::Value::Str(message.to_string()).render());
+        body.push('}');
+        Response { status, body }
+    }
+}
+
+/// The standard reason phrase for the status codes this API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one HTTP request from `stream`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for malformed or oversized requests
+/// and [`ServeError::Io`] for socket failures.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| io_err("reading request line", e))?;
+    if line.is_empty() {
+        return Err(ServeError::Protocol("empty request".into()));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("missing method".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("missing path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::Protocol(format!("unsupported version {version:?}")));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| io_err("reading header", e))?;
+        head.push_str(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ServeError::Protocol("request headers too large".into()));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| ServeError::Protocol(format!("bad content-length {value:?}")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| io_err("reading request body", e))?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ServeError::Protocol("request body is not UTF-8".into()))?;
+    Ok(Request { method, path, body })
+}
+
+/// Serializes `response` onto `stream` (JSON content type, explicit
+/// length, `Connection: close`).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Parses an HTTP response (status code and body) from raw bytes — the
+/// client side of the exchange. Tolerant of anything after the status
+/// code on the status line; the body is everything past the blank line.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for responses without a parsable
+/// status line or header terminator.
+pub fn parse_response(raw: &[u8]) -> Result<(u16, String), ServeError> {
+    let text = String::from_utf8_lossy(raw);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ServeError::Protocol("missing status code".into()))?;
+    let body = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_string(),
+        None => return Err(ServeError::Protocol("missing header terminator".into())),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn round_trip(raw: &str) -> Result<Request, ServeError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_string();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(raw.as_bytes()).expect("write");
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let r = read_request(&mut conn);
+        writer.join().expect("writer");
+        r
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let r = round_trip(
+            "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .expect("parse");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/jobs");
+        assert_eq!(r.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let r = round_trip("get /store/stats HTTP/1.1\r\n\r\n").expect("parse");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/store/stats");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized() {
+        assert!(round_trip("\r\n").is_err());
+        assert!(round_trip("GET\r\n\r\n").is_err());
+        assert!(round_trip("GET / SPDY/99\r\n\r\n").is_err());
+        assert!(round_trip("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(round_trip(&huge).is_err());
+    }
+
+    #[test]
+    fn response_round_trips_through_parser() {
+        let r = Response::error(404, "no such job \"7\"");
+        let raw = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\n\r\n{}",
+            r.status,
+            reason(r.status),
+            r.body.len(),
+            r.body
+        );
+        let (status, body) = parse_response(raw.as_bytes()).expect("parse");
+        assert_eq!(status, 404);
+        let v = llc_sharing::json::parse(&body).expect("valid JSON");
+        assert_eq!(
+            v.field("error").and_then(llc_sharing::json::Value::as_str),
+            Some("no such job \"7\"")
+        );
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! The in-memory job table: submission, state transitions, cancellation
+//! and the daemon's service counters.
+//!
+//! Jobs are ephemeral (a restart empties the table); the *artifacts* —
+//! streams and result tables — live in the persistent stores, which is
+//! why a re-submitted spec after a restart is still a store hit.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use llc_sharing::RunError;
+
+use crate::spec::JobSpec;
+
+/// A job's identifier, unique within one daemon process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The lifecycle of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; tables are in the result store.
+    Done {
+        /// `true` if the result was served from the persistent store
+        /// without touching the simulator.
+        from_store: bool,
+    },
+    /// The run produced a typed error (recorded verbatim).
+    Failed {
+        /// Human-readable failure description.
+        reason: String,
+    },
+    /// Cancelled via `DELETE /jobs/{id}`.
+    Cancelled,
+}
+
+impl JobState {
+    /// The state's wire label (`queued`, `running`, `done`, `failed`,
+    /// `cancelled`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// `true` once the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done { .. } | JobState::Failed { .. } | JobState::Cancelled)
+    }
+}
+
+/// One tracked job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job's id.
+    pub id: JobId,
+    /// The validated submission.
+    pub spec: JobSpec,
+    /// The spec's content-address in the result store.
+    pub fingerprint: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Cooperative cancellation flag, shared with the executing worker.
+    pub cancel: Arc<AtomicBool>,
+}
+
+/// Monotone service counters, exposed via `GET /store/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounters {
+    /// Jobs accepted by `POST /jobs`.
+    pub submitted: u64,
+    /// Jobs that reached `Done`.
+    pub completed: u64,
+    /// Jobs that reached `Failed`.
+    pub failed: u64,
+    /// Jobs that reached `Cancelled`.
+    pub cancelled: u64,
+    /// Jobs answered from the persistent result store (no simulation).
+    pub result_hits: u64,
+    /// Jobs that actually ran the simulator.
+    pub simulated: u64,
+    /// Stored results that failed to decode and were recomputed.
+    pub result_errors: u64,
+}
+
+/// The daemon's shared job table.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    next: AtomicU64,
+    counters: Mutex<JobCounters>,
+}
+
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> JobTable {
+        JobTable::default()
+    }
+
+    /// Registers a new queued job and returns its record.
+    pub fn submit(&self, spec: JobSpec, fingerprint: u64) -> JobRecord {
+        let id = JobId(self.next.fetch_add(1, Ordering::Relaxed) + 1);
+        let record = JobRecord {
+            id,
+            spec,
+            fingerprint,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        lock_recovering(&self.jobs).insert(id.0, record.clone());
+        lock_recovering(&self.counters).submitted += 1;
+        record
+    }
+
+    /// A snapshot of job `id`, if it exists.
+    pub fn get(&self, id: JobId) -> Option<JobRecord> {
+        lock_recovering(&self.jobs).get(&id.0).cloned()
+    }
+
+    /// Moves job `id` into `state`, unless it already reached a terminal
+    /// state (a worker finishing an abandoned, cancelled job must not
+    /// resurrect it). Returns the state now in effect.
+    pub fn transition(&self, id: JobId, state: JobState) -> Option<JobState> {
+        let mut jobs = lock_recovering(&self.jobs);
+        let record = jobs.get_mut(&id.0)?;
+        if !record.state.is_terminal() {
+            match &state {
+                JobState::Done { .. } => lock_recovering(&self.counters).completed += 1,
+                JobState::Failed { .. } => lock_recovering(&self.counters).failed += 1,
+                JobState::Cancelled => lock_recovering(&self.counters).cancelled += 1,
+                _ => {}
+            }
+            record.state = state;
+        }
+        Some(record.state.clone())
+    }
+
+    /// Cancels job `id`: a queued or running job becomes `Cancelled` (a
+    /// running worker sees the flag and abandons its guarded thread); a
+    /// terminal job is left untouched. Returns the state now in effect.
+    pub fn cancel(&self, id: JobId) -> Option<JobState> {
+        let flag = self.get(id)?.cancel;
+        flag.store(true, Ordering::Relaxed);
+        self.transition(id, JobState::Cancelled)
+    }
+
+    /// A snapshot of the service counters.
+    pub fn counters(&self) -> JobCounters {
+        *lock_recovering(&self.counters)
+    }
+
+    /// Bumps one counter through `f`.
+    pub fn count(&self, f: impl FnOnce(&mut JobCounters)) {
+        f(&mut lock_recovering(&self.counters));
+    }
+
+    /// Number of jobs ever submitted.
+    pub fn len(&self) -> usize {
+        lock_recovering(&self.jobs).len()
+    }
+
+    /// `true` if no job was ever submitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The outcome of a cancellable guarded run.
+#[derive(Debug)]
+pub enum GuardedOutcome<T> {
+    /// The work finished (with its own result or error).
+    Finished(Result<T, RunError>),
+    /// The cancel flag was raised; the worker thread was abandoned
+    /// exactly like a suite watchdog timeout (it keeps running detached
+    /// and its result is discarded).
+    Cancelled,
+}
+
+/// Runs `work` on a dedicated thread under `catch_unwind`, a watchdog
+/// *and* a cancellation flag — the daemon-side sibling of
+/// [`llc_sharing::run_guarded`], which it matches in panic/timeout
+/// semantics while additionally polling `cancel` so `DELETE /jobs/{id}`
+/// can abandon a run in progress.
+pub fn run_cancellable<T, F>(
+    label: &str,
+    timeout: Option<Duration>,
+    cancel: &AtomicBool,
+    work: F,
+) -> GuardedOutcome<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> Result<T, RunError> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let spawned = thread::Builder::new().name(format!("job-{label}")).spawn(move || {
+        let result = panic::catch_unwind(AssertUnwindSafe(work));
+        // The receiver may be gone after a cancel/timeout; that is fine.
+        let _ = tx.send(result);
+    });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => {
+            return GuardedOutcome::Finished(Err(RunError::Io {
+                context: format!("spawning job thread for {label}"),
+                source: e,
+            }))
+        }
+    };
+    let started = Instant::now();
+    let received = loop {
+        if cancel.load(Ordering::Relaxed) {
+            drop(handle); // abandon the worker; see GuardedOutcome::Cancelled
+            return GuardedOutcome::Cancelled;
+        }
+        if let Some(limit) = timeout {
+            if started.elapsed() >= limit {
+                drop(handle);
+                return GuardedOutcome::Finished(Err(RunError::TimedOut {
+                    label: label.to_string(),
+                    limit,
+                }));
+            }
+        }
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(r) => break r,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return GuardedOutcome::Finished(Err(RunError::Panicked {
+                    label: label.to_string(),
+                    reason: "worker thread exited without reporting".into(),
+                }))
+            }
+        }
+    };
+    let _ = handle.join(); // already reported; join cannot block long
+    GuardedOutcome::Finished(match received {
+        Ok(result) => result,
+        Err(payload) => {
+            let reason = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            Err(RunError::Panicked { label: label.to_string(), reason })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sharing::ExperimentId;
+
+    fn spec() -> JobSpec {
+        JobSpec::new(ExperimentId::Table1, "test")
+    }
+
+    #[test]
+    fn submit_get_and_transition() {
+        let table = JobTable::new();
+        assert!(table.is_empty());
+        let a = table.submit(spec(), 1);
+        let b = table.submit(spec(), 2);
+        assert_ne!(a.id, b.id);
+        assert_eq!(table.get(a.id).expect("present").state, JobState::Queued);
+        assert_eq!(
+            table.transition(a.id, JobState::Running),
+            Some(JobState::Running)
+        );
+        assert_eq!(
+            table.transition(a.id, JobState::Done { from_store: false }),
+            Some(JobState::Done { from_store: false })
+        );
+        assert!(table.get(JobId(999)).is_none());
+        assert!(table.transition(JobId(999), JobState::Running).is_none());
+        let c = table.counters();
+        assert_eq!((c.submitted, c.completed), (2, 1));
+    }
+
+    #[test]
+    fn terminal_states_stick() {
+        let table = JobTable::new();
+        let job = table.submit(spec(), 1);
+        table.cancel(job.id);
+        assert!(job.cancel.load(Ordering::Relaxed) || table.get(job.id).is_some());
+        // A worker finishing the abandoned run must not resurrect it.
+        assert_eq!(
+            table.transition(job.id, JobState::Done { from_store: false }),
+            Some(JobState::Cancelled)
+        );
+        let c = table.counters();
+        assert_eq!((c.cancelled, c.completed), (1, 0));
+    }
+
+    #[test]
+    fn run_cancellable_passes_results_through() {
+        let cancel = AtomicBool::new(false);
+        match run_cancellable("ok", None, &cancel, || Ok(7)) {
+            GuardedOutcome::Finished(Ok(n)) => assert_eq!(n, 7),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_cancellable_contains_panics() {
+        let cancel = AtomicBool::new(false);
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let outcome = run_cancellable::<(), _>("boom", None, &cancel, || panic!("kaboom"));
+        panic::set_hook(prev);
+        match outcome {
+            GuardedOutcome::Finished(Err(RunError::Panicked { label, .. })) => {
+                assert_eq!(label, "boom");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_cancellable_times_out_and_cancels() {
+        let cancel = AtomicBool::new(false);
+        let outcome = run_cancellable::<(), _>(
+            "slow",
+            Some(Duration::from_millis(30)),
+            &cancel,
+            || {
+                thread::sleep(Duration::from_secs(30));
+                Ok(())
+            },
+        );
+        assert!(matches!(
+            outcome,
+            GuardedOutcome::Finished(Err(RunError::TimedOut { .. }))
+        ));
+
+        let cancel = AtomicBool::new(true); // pre-cancelled
+        let outcome = run_cancellable::<(), _>("gone", None, &cancel, || {
+            thread::sleep(Duration::from_secs(30));
+            Ok(())
+        });
+        assert!(matches!(outcome, GuardedOutcome::Cancelled));
+    }
+}

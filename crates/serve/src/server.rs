@@ -1,0 +1,447 @@
+//! The daemon: a `TcpListener` accept loop plus a bounded worker pool
+//! (the same [`llc_sharing::scoped_workers`] primitive the suite runner
+//! schedules on), all over one shared [`ServerState`].
+//!
+//! Worker 0 owns the socket; workers `1..=jobs` drain the job queue.
+//! Every expensive artifact is memoized through the persistent stores,
+//! so a re-submitted spec — even after a daemon restart — completes as a
+//! store hit without touching the simulator.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use llc_sharing::json::Value;
+use llc_sharing::{run_experiment, scoped_workers, StreamCache};
+use llc_trace::StreamStore;
+
+use crate::http::{read_request, write_response, Request, Response};
+use crate::jobs::{run_cancellable, GuardedOutcome, JobId, JobRecord, JobState, JobTable};
+use crate::spec::JobSpec;
+use crate::store::ResultStore;
+use crate::{io_err, ServeError};
+
+/// How the daemon is wired up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to listen on (e.g. `127.0.0.1:7119`; port 0 picks one).
+    pub listen: String,
+    /// Root of the persistent store; streams live under `streams/`,
+    /// results under `results/`.
+    pub store_dir: PathBuf,
+    /// Concurrent job workers.
+    pub jobs: usize,
+    /// Per-job wall-clock budget (`None` disables the watchdog).
+    pub timeout: Option<Duration>,
+    /// In-memory stream-cache byte cap; `None` applies
+    /// [`StreamCache::default_limit`] for the worker count.
+    pub stream_cache_limit: Option<u64>,
+}
+
+impl ServerConfig {
+    /// A config with the default worker count (2), a 30-minute job
+    /// watchdog and the default stream-cache cap.
+    pub fn new(listen: impl Into<String>, store_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            listen: listen.into(),
+            store_dir: store_dir.into(),
+            jobs: 2,
+            timeout: Some(Duration::from_secs(1800)),
+            stream_cache_limit: None,
+        }
+    }
+}
+
+/// Shared state behind every connection and worker.
+#[derive(Debug)]
+struct ServerState {
+    jobs: JobTable,
+    results: ResultStore,
+    streams: StreamCache,
+    stream_store: StreamStore,
+    timeout: Option<Duration>,
+    queue_tx: Mutex<mpsc::Sender<JobId>>,
+    queue_rx: Mutex<mpsc::Receiver<JobId>>,
+    shutdown: AtomicBool,
+}
+
+/// A handle for stopping a running [`Server`] from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerControl {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+// The control holds its own Arc'd flag mirroring the state's; see
+// Server::bind.
+impl ServerControl {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the daemon to stop; `Server::run` returns shortly after.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The simulation daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    control_flag: Arc<AtomicBool>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener and opens (creating if needed) the persistent
+    /// stores.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound or the store directories
+    /// cannot be created.
+    pub fn bind(config: &ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| io_err(format!("binding {}", config.listen), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| io_err("reading bound address", e))?;
+        let stream_store = StreamStore::open(config.store_dir.join("streams")).map_err(|e| {
+            io_err(format!("creating stream store under {}", config.store_dir.display()), e)
+        })?;
+        let results = ResultStore::open(config.store_dir.join("results"))?;
+        let workers = config.jobs.max(1);
+        let limit = config
+            .stream_cache_limit
+            .unwrap_or_else(|| StreamCache::default_limit(workers));
+        let streams = StreamCache::with_store(stream_store.clone(), Some(limit));
+        let (tx, rx) = mpsc::channel();
+        let state = Arc::new(ServerState {
+            jobs: JobTable::new(),
+            results,
+            streams,
+            stream_store,
+            timeout: config.timeout,
+            queue_tx: Mutex::new(tx),
+            queue_rx: Mutex::new(rx),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, addr, state, control_flag: Arc::new(AtomicBool::new(false)), workers })
+    }
+
+    /// The bound address (useful with `listen = "127.0.0.1:0"`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop this server from another thread (or via
+    /// `POST /shutdown` on the socket).
+    pub fn control(&self) -> ServerControl {
+        ServerControl { shutdown: Arc::clone(&self.control_flag), addr: self.addr }
+    }
+
+    /// Runs the daemon until [`ServerControl::shutdown`] or
+    /// `POST /shutdown`: worker 0 accepts connections, the rest execute
+    /// jobs. Returns once every worker has drained.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the listener cannot be switched to non-blocking
+    /// accepts; per-connection errors are answered on the wire and
+    /// per-job errors become `failed` job states.
+    pub fn run(&self) -> Result<(), ServeError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err("setting the listener non-blocking", e))?;
+        let state = &self.state;
+        let listener = &self.listener;
+        let control_flag = &self.control_flag;
+        scoped_workers(self.workers + 1, |w| {
+            if w == 0 {
+                accept_loop(listener, state, control_flag);
+            } else {
+                worker_loop(state);
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Accepts and answers connections until shutdown, then raises the
+/// state's flag so job workers drain too.
+fn accept_loop(listener: &TcpListener, state: &ServerState, control_flag: &AtomicBool) {
+    loop {
+        if control_flag.load(Ordering::Relaxed) || state.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => handle_connection(stream, state),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            // Transient accept errors (aborted handshakes etc.) are not
+            // fatal for a daemon; back off briefly and keep serving.
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    state.shutdown.store(true, Ordering::Relaxed);
+}
+
+/// Reads one request, routes it, writes one response.
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(state, &request),
+        Err(ServeError::Protocol(msg)) => Response::error(400, &msg),
+        Err(_) => return, // peer vanished mid-request; nothing to answer
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+/// Dispatches one request to its handler.
+fn route(state: &ServerState, request: &Request) -> Response {
+    let path = request.path.trim_end_matches('/');
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit_job(state, &request.body),
+        ("GET", ["jobs", id]) => with_job(state, id, |job| Response::json(200, job_json(&job))),
+        ("GET", ["jobs", id, "result"]) => with_job(state, id, |job| job_result(state, &job)),
+        ("DELETE", ["jobs", id]) => with_job(state, id, |job| {
+            // infallible: with_job just confirmed the id exists.
+            let now = state.jobs.cancel(job.id).expect("job exists");
+            let mut job = job;
+            job.state = now;
+            Response::json(200, job_json(&job))
+        }),
+        ("GET", ["store", "stats"]) => store_stats(state),
+        ("GET", ["healthz"]) => Response::json(200, "{\"ok\":true}"),
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::Relaxed);
+            Response::json(200, "{\"ok\":true}")
+        }
+        (_, ["jobs", ..]) | (_, ["store", ..]) | (_, ["healthz"]) | (_, ["shutdown"]) => {
+            Response::error(405, &format!("{} not supported on {}", request.method, request.path))
+        }
+        _ => Response::error(404, &format!("no such route {}", request.path)),
+    }
+}
+
+/// Parses `{id}` and hands the job snapshot to `f`, or answers 404.
+fn with_job(state: &ServerState, id: &str, f: impl FnOnce(JobRecord) -> Response) -> Response {
+    match id.parse::<u64>().ok().and_then(|n| state.jobs.get(JobId(n))) {
+        Some(job) => f(job),
+        None => Response::error(404, &format!("no such job {id:?}")),
+    }
+}
+
+/// `POST /jobs`: validate, register, and either answer from the
+/// persistent result store (no simulation, HTTP 200) or enqueue for a
+/// worker (HTTP 202).
+fn submit_job(state: &ServerState, body: &str) -> Response {
+    let spec = match JobSpec::from_json_text(body) {
+        Ok(spec) => spec,
+        Err(ServeError::Protocol(msg)) => return Response::error(400, &msg),
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    let fingerprint = spec.fingerprint();
+    let job = state.jobs.submit(spec, fingerprint);
+    // Serve straight from the store when the result is already on disk —
+    // the content-address makes re-submission free, across restarts.
+    match state.results.load(fingerprint) {
+        Ok(Some(_tables)) => {
+            state.jobs.count(|c| c.result_hits += 1);
+            let now = state
+                .jobs
+                .transition(job.id, JobState::Done { from_store: true })
+                // infallible: the job was inserted above.
+                .expect("job exists");
+            let mut job = job;
+            job.state = now;
+            return Response::json(200, job_json(&job));
+        }
+        Ok(None) => {}
+        Err(_) => {
+            // A corrupt stored result is recomputed, like a corrupt
+            // stream recording.
+            state.jobs.count(|c| c.result_errors += 1);
+        }
+    }
+    // infallible: the receiver lives in the same state object.
+    state
+        .queue_tx
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .send(job.id)
+        .expect("queue receiver outlives the listener");
+    Response::json(202, job_json(&job))
+}
+
+/// `GET /jobs/{id}/result`.
+fn job_result(state: &ServerState, job: &JobRecord) -> Response {
+    match &job.state {
+        JobState::Done { from_store } => match state.results.load(job.fingerprint) {
+            Ok(Some(tables)) => {
+                let doc = Value::object(vec![
+                    ("id", Value::Num(job.id.0 as f64)),
+                    ("experiment", Value::Str(job.spec.experiment.label().to_string())),
+                    ("fingerprint", Value::Str(format!("{:016x}", job.fingerprint))),
+                    ("from_store", Value::Bool(*from_store)),
+                    (
+                        "tables",
+                        Value::Array(
+                            tables.iter().map(llc_sharing::json::table_to_json).collect(),
+                        ),
+                    ),
+                ]);
+                Response::json(200, doc.render())
+            }
+            Ok(None) => Response::error(500, "result vanished from the store"),
+            Err(e) => Response::error(500, &e.to_string()),
+        },
+        JobState::Failed { reason } => Response::error(409, &format!("job failed: {reason}")),
+        JobState::Cancelled => Response::error(409, "job was cancelled"),
+        _ => Response::error(409, &format!("job is still {}", job.state.label())),
+    }
+}
+
+/// `GET /store/stats`: stream-cache counters, disk usage of both stores,
+/// and the job counters.
+fn store_stats(state: &ServerState) -> Response {
+    let s = state.streams.stats();
+    let (stream_files, stream_bytes) = state.stream_store.disk_stats().unwrap_or((0, 0));
+    let (result_files, result_bytes) = state.results.disk_stats().unwrap_or((0, 0));
+    let c = state.jobs.counters();
+    let num = |n: u64| Value::Num(n as f64);
+    let doc = Value::object(vec![
+        (
+            "streams",
+            Value::object(vec![
+                ("memory_hits", num(s.hits)),
+                ("disk_hits", num(s.disk_hits)),
+                ("misses", num(s.misses)),
+                ("evictions", num(s.evictions)),
+                ("disk_errors", num(s.disk_errors)),
+                ("memory_bytes", num(s.bytes)),
+                ("memory_limit", s.limit.map_or(Value::Null, num)),
+                ("disk_files", num(stream_files)),
+                ("disk_bytes", num(stream_bytes)),
+            ]),
+        ),
+        (
+            "results",
+            Value::object(vec![
+                ("hits", num(c.result_hits)),
+                ("errors", num(c.result_errors)),
+                ("disk_files", num(result_files)),
+                ("disk_bytes", num(result_bytes)),
+            ]),
+        ),
+        (
+            "jobs",
+            Value::object(vec![
+                ("submitted", num(c.submitted)),
+                ("completed", num(c.completed)),
+                ("failed", num(c.failed)),
+                ("cancelled", num(c.cancelled)),
+                ("simulated", num(c.simulated)),
+            ]),
+        ),
+    ]);
+    Response::json(200, doc.render())
+}
+
+/// The wire form of a job snapshot.
+fn job_json(job: &JobRecord) -> String {
+    let mut fields = vec![
+        ("id", Value::Num(job.id.0 as f64)),
+        ("state", Value::Str(job.state.label().to_string())),
+        ("experiment", Value::Str(job.spec.experiment.label().to_string())),
+        ("fingerprint", Value::Str(format!("{:016x}", job.fingerprint))),
+        ("summary", Value::Str(job.spec.summary())),
+    ];
+    if let JobState::Done { from_store } = &job.state {
+        fields.push(("from_store", Value::Bool(*from_store)));
+    }
+    if let JobState::Failed { reason } = &job.state {
+        fields.push(("reason", Value::Str(reason.clone())));
+    }
+    Value::object(fields).render()
+}
+
+/// Pops queued jobs and executes them until shutdown.
+fn worker_loop(state: &ServerState) {
+    loop {
+        if state.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let received = state
+            .queue_rx
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .recv_timeout(Duration::from_millis(50));
+        match received {
+            Ok(id) => execute_job(state, id),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Runs one queued job to a terminal state.
+fn execute_job(state: &ServerState, id: JobId) {
+    let Some(job) = state.jobs.get(id) else { return };
+    if job.state.is_terminal() {
+        return; // cancelled (or already answered) while queued
+    }
+    state.jobs.transition(id, JobState::Running);
+    // A duplicate spec submitted moments earlier may have finished while
+    // this copy sat in the queue; re-check the store before simulating.
+    match state.results.load(job.fingerprint) {
+        Ok(Some(_)) => {
+            state.jobs.count(|c| c.result_hits += 1);
+            state.jobs.transition(id, JobState::Done { from_store: true });
+            return;
+        }
+        Ok(None) => {}
+        Err(_) => state.jobs.count(|c| c.result_errors += 1),
+    }
+    let mut ctx = job.spec.build_ctx();
+    // All jobs share the daemon's bounded, store-backed stream cache.
+    ctx.streams = state.streams.clone();
+    let experiment = job.spec.experiment;
+    let label = format!("{}-job{}", experiment.label(), id.0);
+    let outcome = run_cancellable(&label, state.timeout, &job.cancel, move || {
+        run_experiment(experiment, &ctx)
+    });
+    match outcome {
+        GuardedOutcome::Finished(Ok(tables)) => {
+            state.jobs.count(|c| c.simulated += 1);
+            match state.results.save(job.fingerprint, experiment.label(), &tables) {
+                Ok(()) => {
+                    state.jobs.transition(id, JobState::Done { from_store: false });
+                }
+                Err(e) => {
+                    // GET result reads from disk, so an unsaved result is
+                    // a failed job, not a silent success.
+                    state.jobs.transition(
+                        id,
+                        JobState::Failed { reason: format!("persisting result: {e}") },
+                    );
+                }
+            }
+        }
+        GuardedOutcome::Finished(Err(e)) => {
+            state.jobs.transition(id, JobState::Failed { reason: e.to_string() });
+        }
+        // The cancel handler already moved the job to Cancelled; the
+        // abandoned thread's result is discarded.
+        GuardedOutcome::Cancelled => {}
+    }
+}

@@ -1,0 +1,211 @@
+//! The persistent result store: completed experiment tables, one JSON
+//! document per job fingerprint, written crash-safely with the same
+//! atomic-rename discipline as the `.llcs` stream store.
+//!
+//! ```text
+//! <dir>/<%016x fingerprint>.json
+//! ```
+//!
+//! Each document is self-describing:
+//!
+//! ```json
+//! {"version": 1, "fingerprint": "00123abc...", "experiment": "fig7",
+//!  "tables": [{"title": ..., "headers": ..., "rows": ..., "notes": ...}]}
+//! ```
+//!
+//! A document that is missing is `Ok(None)`; one that exists but cannot
+//! be decoded (truncated, corrupted, wrong fingerprint after a rename) is
+//! a [`ServeError::Protocol`] — the daemon treats that exactly like the
+//! stream cache treats a bad `.llcs`: count it, recompute, overwrite.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use llc_sharing::json::{self, table_from_json, table_to_json, Value};
+use llc_sharing::Table;
+use llc_trace::atomic_write;
+
+use crate::{io_err, ServeError};
+
+/// File extension of stored result documents.
+pub const RESULT_FILE_EXT: &str = "json";
+
+/// Format version of the stored documents.
+pub const RESULT_FORMAT_VERSION: u64 = 1;
+
+/// A directory of content-addressed experiment results.
+///
+/// Cloning is cheap (the store is just a path); concurrent access is safe
+/// because writes are atomic renames.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the result store under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ResultStore, ServeError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| io_err(format!("creating result store {}", dir.display()), e))?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path for fingerprint `fp`.
+    pub fn path_for(&self, fp: u64) -> PathBuf {
+        self.dir.join(format!("{fp:016x}.{RESULT_FILE_EXT}"))
+    }
+
+    /// `true` if a result for `fp` is on disk.
+    pub fn contains(&self, fp: u64) -> bool {
+        self.path_for(fp).exists()
+    }
+
+    /// Loads the tables stored under `fp`, or `Ok(None)` if there is no
+    /// stored result.
+    ///
+    /// # Errors
+    ///
+    /// A document that exists but cannot be decoded or fails validation
+    /// (bad JSON, unknown version, fingerprint mismatch, malformed
+    /// tables) is a [`ServeError::Protocol`], so the caller can
+    /// distinguish "never computed" from "stored copy is bad" and fall
+    /// back to recomputing.
+    pub fn load(&self, fp: u64) -> Result<Option<Vec<Table>>, ServeError> {
+        let path = self.path_for(fp);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(format!("reading {}", path.display()), e)),
+        };
+        let bad = |msg: String| ServeError::Protocol(format!("{}: {msg}", path.display()));
+        let v = json::parse(&text).map_err(|e| bad(format!("bad JSON: {e}")))?;
+        let version = v.field("version").and_then(Value::as_u64);
+        if version != Some(RESULT_FORMAT_VERSION) {
+            return Err(bad(format!("unsupported result version {version:?}")));
+        }
+        let stored_fp = v
+            .field("fingerprint")
+            .and_then(Value::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| bad("missing fingerprint".into()))?;
+        if stored_fp != fp {
+            return Err(bad(format!(
+                "fingerprint mismatch: document says {stored_fp:016x}, file name says {fp:016x}"
+            )));
+        }
+        let tables = v
+            .field("tables")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("missing tables".into()))?
+            .iter()
+            .map(table_from_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(bad)?;
+        Ok(Some(tables))
+    }
+
+    /// Persists `tables` under `fp` with an atomic, fsynced write,
+    /// replacing any previous (possibly corrupt) copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, fp: u64, experiment: &str, tables: &[Table]) -> Result<(), ServeError> {
+        let doc = Value::object(vec![
+            ("version", Value::Num(RESULT_FORMAT_VERSION as f64)),
+            ("fingerprint", Value::Str(format!("{fp:016x}"))),
+            ("experiment", Value::Str(experiment.to_string())),
+            ("tables", Value::Array(tables.iter().map(table_to_json).collect())),
+        ]);
+        let path = self.path_for(fp);
+        atomic_write(&path, doc.render().as_bytes())
+            .map_err(|e| io_err(format!("writing {}", path.display()), e))
+    }
+
+    /// Counts the stored results and their total size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk errors; a missing directory counts as
+    /// empty.
+    pub fn disk_stats(&self) -> io::Result<(u64, u64)> {
+        llc_trace::store::dir_stats(&self.dir, RESULT_FILE_EXT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir = std::env::temp_dir().join(format!("llcs-results-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultStore::open(&dir).expect("open store")
+    }
+
+    fn sample_tables() -> Vec<Table> {
+        let mut t = Table::new("Figure 7 — oracle gain", &["app", "gain"]);
+        t.row(vec!["fft".into(), "12.3%".into()]);
+        t.note("tiny scale");
+        vec![t]
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let store = temp_store("roundtrip");
+        assert!(store.load(0xfeed).expect("empty load").is_none());
+        let tables = sample_tables();
+        store.save(0xfeed, "fig7", &tables).expect("save");
+        assert!(store.contains(0xfeed));
+        let back = store.load(0xfeed).expect("load").expect("present");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].title, tables[0].title);
+        assert_eq!(back[0].rows, tables[0].rows);
+        let (files, bytes) = store.disk_stats().expect("stats");
+        assert_eq!(files, 1);
+        assert!(bytes > 0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corruption_and_mismatches_are_typed_errors() {
+        let store = temp_store("corrupt");
+        let tables = sample_tables();
+        store.save(0xbeef, "fig7", &tables).expect("save");
+        // Truncated JSON.
+        let path = store.path_for(0xbeef);
+        let text = fs::read_to_string(&path).expect("read");
+        fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+        assert!(matches!(store.load(0xbeef), Err(ServeError::Protocol(_))));
+        // A valid document filed under the wrong name (e.g. a manual
+        // rename) must not be served as someone else's result.
+        store.save(0xbeef, "fig7", &tables).expect("re-save");
+        fs::rename(store.path_for(0xbeef), store.path_for(0xdead)).expect("rename");
+        assert!(matches!(store.load(0xdead), Err(ServeError::Protocol(_))));
+        // Recovery: overwrite the bad entry.
+        store.save(0xdead, "fig7", &tables).expect("overwrite");
+        assert!(store.load(0xdead).expect("load").is_some());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn rejects_future_format_versions() {
+        let store = temp_store("version");
+        let path = store.path_for(1);
+        fs::write(&path, "{\"version\":99,\"fingerprint\":\"0000000000000001\",\"tables\":[]}")
+            .expect("write");
+        assert!(matches!(store.load(1), Err(ServeError::Protocol(_))));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

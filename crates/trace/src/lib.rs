@@ -33,6 +33,7 @@ pub mod layout;
 pub mod multiprogram;
 pub mod patterns;
 pub mod source;
+pub mod store;
 pub mod stream;
 pub mod workload;
 pub mod zipf;
@@ -48,6 +49,7 @@ pub use patterns::{
     PrivateStream, PrivateWorkingSet, Producer, SharedReadOnly, Stencil, Transpose,
 };
 pub use source::{TraceSource, VecSource};
+pub use store::{atomic_write, StreamStore};
 pub use stream::{read_stream, write_stream, RecordedStream, UpgradeEvent};
 pub use workload::{ThreadSpec, Workload};
 pub use zipf::ZipfSampler;

@@ -1,0 +1,255 @@
+//! A persistent, content-addressed store of `.llcs` stream recordings.
+//!
+//! The store maps a 64-bit key fingerprint (computed by the caller from
+//! the workload identity and the hierarchy it was recorded under — see
+//! `llc_sharing::StreamKey::fingerprint`) to one `.llcs` file under a
+//! directory:
+//!
+//! ```text
+//! <dir>/streams/<%016x fingerprint>.llcs
+//! ```
+//!
+//! Everything follows the PR 1 failure model: a stored file that is
+//! truncated, bit-flipped or not a stream at all surfaces as a typed
+//! [`TraceError`] from [`StreamStore::load`], never a panic — callers fall
+//! back to re-recording and overwrite the bad file. Writes are
+//! crash-safe: the encoded stream goes to a temporary file in the same
+//! directory, is fsynced, and is atomically renamed into place, so a
+//! crash mid-write can never leave a half-written `.llcs` where a later
+//! load would find it.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::error::TraceError;
+use crate::stream::{read_stream, RecordedStream};
+
+/// File extension of stored stream recordings.
+pub const STREAM_FILE_EXT: &str = "llcs";
+
+/// Writes `bytes` to `path` crash-safely: the data lands in a temporary
+/// sibling file first, is fsynced, and is renamed over the target, so
+/// `path` only ever holds either its previous content or the complete new
+/// content. The temporary name embeds the process id so two processes
+/// writing the same target cannot collide mid-write.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem errors; on failure the temporary
+/// file is removed on a best-effort basis.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// A directory of content-addressed `.llcs` stream recordings.
+///
+/// Cloning is cheap (the store is just a path); concurrent readers and
+/// writers are safe because every write is an atomic rename and every
+/// read opens a complete, already-renamed file.
+#[derive(Debug, Clone)]
+pub struct StreamStore {
+    dir: PathBuf,
+}
+
+impl StreamStore {
+    /// Opens (creating if needed) the stream store under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<StreamStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(StreamStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path for fingerprint `fp`.
+    pub fn path_for(&self, fp: u64) -> PathBuf {
+        self.dir.join(format!("{fp:016x}.{STREAM_FILE_EXT}"))
+    }
+
+    /// `true` if a recording for `fp` is on disk.
+    pub fn contains(&self, fp: u64) -> bool {
+        self.path_for(fp).exists()
+    }
+
+    /// Loads the recording stored under `fp`, or `Ok(None)` if there is
+    /// none.
+    ///
+    /// # Errors
+    ///
+    /// A file that exists but cannot be decoded — truncated, corrupted or
+    /// not a `.llcs` stream — is a typed [`TraceError`], so the caller can
+    /// distinguish "never recorded" (`Ok(None)`) from "stored copy is
+    /// bad" and fall back to re-recording in the latter case.
+    pub fn load(&self, fp: u64) -> Result<Option<RecordedStream>, TraceError> {
+        let path = self.path_for(fp);
+        let file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(TraceError::Io(e)),
+        };
+        read_stream(io::BufReader::new(file)).map(Some)
+    }
+
+    /// Persists `stream` under `fp` with an atomic, fsynced write,
+    /// replacing any previous (possibly corrupt) copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors and filesystem errors as [`TraceError`].
+    pub fn save(&self, fp: u64, stream: &RecordedStream) -> Result<(), TraceError> {
+        let bytes = stream.to_vec()?;
+        atomic_write(&self.path_for(fp), &bytes).map_err(TraceError::Io)
+    }
+
+    /// Removes the recording stored under `fp` (missing files are fine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than `NotFound`.
+    pub fn remove(&self, fp: u64) -> io::Result<()> {
+        match fs::remove_file(self.path_for(fp)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Counts the stored recordings and their total size in bytes
+    /// (temporary files from in-flight writes are excluded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk errors.
+    pub fn disk_stats(&self) -> io::Result<(u64, u64)> {
+        dir_stats(&self.dir, STREAM_FILE_EXT)
+    }
+}
+
+/// Counts files with extension `ext` directly under `dir` and sums their
+/// sizes. Shared by the stream store and `llc-serve`'s result store.
+///
+/// # Errors
+///
+/// Propagates directory-walk errors; a missing directory counts as empty.
+pub fn dir_stats(dir: &Path, ext: &str) -> io::Result<(u64, u64)> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((0, 0)),
+        Err(e) => return Err(e),
+    };
+    let mut files = 0u64;
+    let mut bytes = 0u64;
+    for entry in entries {
+        let entry = entry?;
+        if entry.path().extension().is_some_and(|e| e == ext) {
+            files += 1;
+            bytes += entry.metadata()?.len();
+        }
+    }
+    Ok((files, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::{AccessKind, BlockAddr, CoreId, Pc};
+
+    fn sample(n: usize) -> RecordedStream {
+        let mut s = RecordedStream { fingerprint: 42, instructions: 10, ..Default::default() };
+        for i in 0..n {
+            s.blocks.push(BlockAddr::new(i as u64));
+            s.cores.push(CoreId::new(i % 2));
+            s.pcs.push(Pc::new(0x100 + i as u64));
+            s.kinds.push(AccessKind::Read);
+            s.instr_deltas.push(1);
+        }
+        s
+    }
+
+    fn temp_store(tag: &str) -> StreamStore {
+        let dir = std::env::temp_dir().join(format!("llcs-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        StreamStore::open(&dir).expect("open store")
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let store = temp_store("roundtrip");
+        let s = sample(20);
+        assert!(store.load(7).expect("empty load").is_none());
+        assert!(!store.contains(7));
+        store.save(7, &s).expect("save");
+        assert!(store.contains(7));
+        let back = store.load(7).expect("load").expect("present");
+        assert_eq!(back, s);
+        let (files, bytes) = store.disk_stats().expect("stats");
+        assert_eq!(files, 1);
+        assert_eq!(bytes, s.to_vec().expect("encode").len() as u64);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_file_is_a_typed_error_and_overwritable() {
+        let store = temp_store("corrupt");
+        let s = sample(12);
+        store.save(9, &s).expect("save");
+        // Truncate the stored file mid-record.
+        let path = store.path_for(9);
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(matches!(store.load(9), Err(TraceError::Truncated { .. })));
+        // Garbage that is not a stream at all (long enough to pass the
+        // header read, so the magic check is what rejects it).
+        fs::write(&path, vec![b'X'; 256]).expect("garbage");
+        assert!(matches!(store.load(9), Err(TraceError::BadMagic { .. })));
+        // The recovery path: re-save over the bad copy and load cleanly.
+        store.save(9, &s).expect("re-save");
+        assert_eq!(store.load(9).expect("load").expect("present"), s);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let store = temp_store("atomic");
+        store.save(1, &sample(5)).expect("save");
+        store.save(1, &sample(8)).expect("overwrite");
+        let leftovers: Vec<_> = fs::read_dir(store.dir())
+            .expect("read dir")
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().map_or(true, |x| x != "llcs"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert_eq!(store.load(1).expect("load").expect("present").len(), 8);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let store = temp_store("remove");
+        store.save(3, &sample(4)).expect("save");
+        store.remove(3).expect("remove");
+        store.remove(3).expect("remove again");
+        assert!(store.load(3).expect("load").is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -115,17 +115,21 @@ impl RecordedStream {
         self.blocks.is_empty()
     }
 
+    /// The exact `.llcs` encoding size of the stream in bytes — also the
+    /// byte weight `llc_sharing::StreamCache` charges against its cap.
+    pub fn encoded_len(&self) -> usize {
+        STREAM_HEADER_BYTES
+            + self.len() * ACCESS_RECORD_BYTES
+            + self.upgrades.len() * UPGRADE_RECORD_BYTES
+    }
+
     /// Encodes the stream to an in-memory `.llcs` image.
     ///
     /// # Errors
     ///
     /// Same conditions as [`write_stream`].
     pub fn to_vec(&self) -> Result<Vec<u8>, TraceError> {
-        let mut buf = Vec::with_capacity(
-            STREAM_HEADER_BYTES
-                + self.len() * ACCESS_RECORD_BYTES
-                + self.upgrades.len() * UPGRADE_RECORD_BYTES,
-        );
+        let mut buf = Vec::with_capacity(self.encoded_len());
         write_stream(self, &mut buf)?;
         Ok(buf)
     }

@@ -1,18 +1,27 @@
-//! Record a workload (or a multi-programmed mix) to the binary trace
-//! format, replay it through the simulator, and confirm the replay is
-//! bit-identical to simulating the live generator.
+//! Record an app's LLC reference stream into the persistent
+//! content-addressed store, prove that a *fresh process* replays it from
+//! disk without re-simulating, and confirm the disk-restored stream is
+//! bit-identical to the live generator.
 //!
 //! ```text
-//! cargo run --release --example record_replay [app|mix] [path]
+//! cargo run --release --example record_replay [app] [store-dir]
 //! ```
+//!
+//! Run it twice: the first run records and persists the stream; the
+//! second run (a genuinely new process) starts from the `.llcs` file —
+//! the same mechanism behind `repro serve`'s stream store.
 
 use sharing_aware_llc::prelude::*;
-use sharing_aware_llc::trace::{write_trace, Multiprogram, TraceFileSource};
+use sharing_aware_llc::sharing::{replay_kind, StreamCache, StreamKey, WorkloadId};
+use sharing_aware_llc::trace::StreamStore;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let what = args.next().unwrap_or_else(|| "ferret".into());
-    let path = args.next().unwrap_or_else(|| "/tmp/sharing-aware-llc-trace.llct".into());
+    let dir = args.next().unwrap_or_else(|| {
+        std::env::temp_dir().join("sharing-aware-llc-store").display().to_string()
+    });
+    let app = App::parse(&what).unwrap_or_else(|| panic!("unknown app '{what}'"));
 
     let cfg = HierarchyConfig {
         cores: 8,
@@ -21,44 +30,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         llc: CacheConfig::from_kib(512, 16)?,
         inclusion: Inclusion::NonInclusive,
     };
-
-    // Build the source twice: once to record, once to simulate live.
-    let build = |what: &str| -> Box<dyn TraceSource> {
-        if what == "mix" {
-            Box::new(Multiprogram::new(
-                &[App::Bodytrack, App::Swim, App::Water, App::Fft],
-                2,
-                Scale::Tiny,
-            ))
-        } else {
-            let app = App::parse(what).unwrap_or_else(|| panic!("unknown app '{what}'"));
-            Box::new(app.workload(cfg.cores, Scale::Tiny))
-        }
+    let key = StreamKey {
+        workload: WorkloadId::App(app),
+        cores: cfg.cores,
+        scale: Scale::Tiny,
+        config: cfg,
     };
+    let store = StreamStore::open(&dir)?;
+    let path = store.path_for(key.fingerprint());
+    println!("stream key fingerprint : {:016x}", key.fingerprint());
+    println!("persistent store entry : {}", path.display());
 
-    let file = std::fs::File::create(&path)?;
-    let written = write_trace(build(&what), std::io::BufWriter::new(file))?;
-    let bytes = std::fs::metadata(&path)?.len();
-    println!("recorded {written} accesses to {path} ({bytes} bytes, {:.1} B/access)",
-        bytes as f64 / written as f64);
+    // Phase 1 — a store-backed cache. The first process to ask records
+    // the stream and persists it; every later process (re-run this
+    // example!) gets a disk hit instead of a simulation.
+    let cache = StreamCache::with_store(store.clone(), None);
+    let stream = cache.get_or_record(key, || app.workload(cfg.cores, Scale::Tiny))?;
+    let stats = cache.stats();
+    if stats.disk_hits > 0 {
+        println!(
+            "loaded {} accesses from disk (recorded by an earlier process)",
+            stream.len()
+        );
+    } else {
+        println!(
+            "recorded {} accesses ({} bytes on disk)",
+            stream.len(),
+            std::fs::metadata(&path)?.len()
+        );
+    }
 
-    let live = llc_sharing::simulate_kind(&cfg, PolicyKind::Lru, &mut || build(&what), vec![])?;
-    let replayed = llc_sharing::simulate_kind(
-        &cfg,
-        PolicyKind::Lru,
-        &mut || {
-            TraceFileSource::new(std::io::BufReader::new(
-                std::fs::File::open(&path).expect("trace file readable"),
-            ))
-            .expect("valid trace header")
-        },
-        vec![],
-    )?;
+    // Phase 2 — a "restarted process": a brand-new cache over the same
+    // directory. It must serve the stream from disk, not re-record.
+    drop(cache);
+    let fresh = StreamCache::with_store(store, None);
+    let restored = fresh.get_or_record(key, || app.workload(cfg.cores, Scale::Tiny))?;
+    let fresh_stats = fresh.stats();
+    assert_eq!(fresh_stats.misses, 0, "a fresh cache must not re-record");
+    assert_eq!(fresh_stats.disk_hits, 1, "the stream comes from the store");
+    assert_eq!(*restored, *stream, "the disk copy is the recording, byte for byte");
+    println!("fresh cache restored the stream from disk without simulating ✓");
 
+    // Phase 3 — the disk-restored stream replays bit-identically to
+    // simulating the live generator.
+    let live =
+        simulate_kind(&cfg, PolicyKind::Lru, &mut || app.workload(cfg.cores, Scale::Tiny), vec![])?;
+    let replayed = replay_kind(&cfg, PolicyKind::Lru, &restored, vec![])?;
     println!("live run   : {}", live.llc);
     println!("replay run : {}", replayed.llc);
     assert_eq!(live.llc, replayed.llc, "replay must be bit-identical");
-    assert_eq!(live.l1, replayed.l1);
-    println!("replay is bit-identical to the live generator ✓");
+    println!("replay from the persistent store is bit-identical to the live generator ✓");
     Ok(())
 }

@@ -16,7 +16,9 @@
 //!   PC-indexed) and their metrics;
 //! * [`sharing`] — the characterization passes, the exact oracle/OPT
 //!   pre-passes, and the experiment index regenerating every table and
-//!   figure.
+//!   figure;
+//! * [`serve`] — the job-queue simulation daemon (`repro serve`) with its
+//!   persistent content-addressed stream & result store.
 //!
 //! This facade crate re-exports the workspace and hosts the runnable
 //! examples (`examples/`) and the cross-crate integration tests
@@ -45,6 +47,7 @@
 
 pub use llc_policies as policies;
 pub use llc_predictors as predictors;
+pub use llc_serve as serve;
 pub use llc_sharing as sharing;
 pub use llc_sim as sim;
 pub use llc_trace as trace;

@@ -1,0 +1,121 @@
+//! Cross-crate tests of the persistent content-addressed stream store:
+//! `.llcs` disk round-trips, fingerprint stability across independent
+//! "runs", and the corruption → typed error → re-record fallback.
+
+use sharing_aware_llc::prelude::*;
+use sharing_aware_llc::sharing::{replay_kind, StreamCache, StreamKey, WorkloadId};
+use sharing_aware_llc::trace::StreamStore;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("llcs-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_cfg() -> HierarchyConfig {
+    HierarchyConfig {
+        cores: 4,
+        l1: CacheConfig::from_kib(2, 2).expect("valid L1"),
+        l2: None,
+        llc: CacheConfig::from_kib(64, 8).expect("valid LLC"),
+        inclusion: Inclusion::NonInclusive,
+    }
+}
+
+fn key_for(app: App, cfg: HierarchyConfig) -> StreamKey {
+    StreamKey { workload: WorkloadId::App(app), cores: cfg.cores, scale: Scale::Tiny, config: cfg }
+}
+
+#[test]
+fn fingerprints_are_stable_across_independent_runs() {
+    let cfg = small_cfg();
+    // Two keys built from scratch — as two processes would — agree.
+    let a = key_for(App::Fft, cfg).fingerprint();
+    let b = key_for(App::Fft, small_cfg()).fingerprint();
+    assert_eq!(a, b, "fingerprints must be derivable, not per-process");
+    // A key computed on another thread (fresh stack, no shared state)
+    // also agrees.
+    let c = std::thread::spawn(move || key_for(App::Fft, small_cfg()).fingerprint())
+        .join()
+        .expect("thread");
+    assert_eq!(a, c);
+    // And the address space is actually being used: any semantic change
+    // moves the fingerprint.
+    assert_ne!(a, key_for(App::Dedup, cfg).fingerprint());
+    let mut bigger = small_cfg();
+    bigger.llc = CacheConfig::from_kib(128, 8).expect("valid LLC");
+    assert_ne!(a, key_for(App::Fft, bigger).fingerprint());
+}
+
+#[test]
+fn llcs_files_round_trip_and_replay_identically() {
+    let dir = temp_dir("roundtrip");
+    let cfg = small_cfg();
+    let key = key_for(App::Bodytrack, cfg);
+
+    // Record through a store-backed cache; the .llcs file appears.
+    let store = StreamStore::open(&dir).expect("open store");
+    let cache = StreamCache::with_store(store.clone(), None);
+    let recorded = cache
+        .get_or_record(key, || App::Bodytrack.workload(cfg.cores, Scale::Tiny))
+        .expect("record");
+    assert!(store.contains(key.fingerprint()), "recording is persisted");
+
+    // A second store handle (same directory, fresh state — a "new run")
+    // loads the identical stream.
+    let reopened = StreamStore::open(&dir).expect("reopen store");
+    let loaded = reopened
+        .load(key.fingerprint())
+        .expect("load")
+        .expect("present");
+    assert_eq!(loaded, *recorded, "disk round-trip is lossless");
+
+    // And the loaded copy replays bit-identically to the live workload.
+    let live = simulate_kind(
+        &cfg,
+        PolicyKind::Lru,
+        &mut || App::Bodytrack.workload(cfg.cores, Scale::Tiny),
+        vec![],
+    )
+    .expect("live run");
+    let replayed = replay_kind(&cfg, PolicyKind::Lru, &loaded, vec![]).expect("replay");
+    assert_eq!(live.llc, replayed.llc, "replay from disk is bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corruption_is_a_typed_error_and_the_cache_re_records() {
+    let dir = temp_dir("corruption");
+    let cfg = small_cfg();
+    let key = key_for(App::Swaptions, cfg);
+    let store = StreamStore::open(&dir).expect("open store");
+
+    let cache = StreamCache::with_store(store.clone(), None);
+    let original = cache
+        .get_or_record(key, || App::Swaptions.workload(cfg.cores, Scale::Tiny))
+        .expect("record");
+
+    // Truncate the stored file: a direct load is a typed TraceError,
+    // never a panic.
+    let path = store.path_for(key.fingerprint());
+    let bytes = std::fs::read(&path).expect("read");
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate");
+    assert!(
+        matches!(store.load(key.fingerprint()), Err(TraceError::Truncated { .. })),
+        "truncation surfaces as TraceError::Truncated"
+    );
+
+    // A fresh cache over the damaged store falls back to re-recording —
+    // the caller never sees the corruption — and heals the disk copy.
+    let fresh = StreamCache::with_store(store.clone(), None);
+    let recovered = fresh
+        .get_or_record(key, || App::Swaptions.workload(cfg.cores, Scale::Tiny))
+        .expect("re-record over corruption");
+    assert_eq!(*recovered, *original, "deterministic workloads re-record identically");
+    let stats = fresh.stats();
+    assert_eq!(stats.disk_errors, 1, "the bad copy was counted");
+    assert_eq!(stats.misses, 1, "recovery ran one recording simulation");
+    let healed = store.load(key.fingerprint()).expect("healed load").expect("present");
+    assert_eq!(healed, *original, "the overwritten file is intact again");
+    let _ = std::fs::remove_dir_all(&dir);
+}
