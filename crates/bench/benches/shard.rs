@@ -1,0 +1,142 @@
+//! Bench: set-sharded replay vs sequential replay.
+//!
+//! Records one LLC reference stream, then replays a 3-policy per-set
+//! suite — LRU, SRRIP, OPT — through `replay_kind_sharded` at 1, 2, 4
+//! and 8 shards. Shard count 1 is the sequential path; the others fan
+//! the set ranges out over `scoped_workers`. Sharded replay is
+//! bit-identical to sequential replay (asserted here on the summed miss
+//! counts, and property-tested in `tests/shard_equivalence.rs`), so the
+//! only thing this benchmark measures is wall-clock.
+//!
+//! Writes the measurements to `BENCH_shard.json` at the workspace root
+//! (override with `BENCH_SHARD_OUT`) and exits nonzero if the best
+//! speedup across shard counts falls below `BENCH_SHARD_MIN_SPEEDUP`
+//! (default 1.0), so CI can assert sharding never becomes a slowdown.
+//! On a single-hardware-thread host the floor is skipped (sharding
+//! cannot win without a second core); the checksum assertion still runs.
+
+use std::time::{Duration, Instant};
+
+use criterion::black_box;
+use llc_policies::PolicyKind;
+use llc_sharing::{record_stream, replay_kind_sharded};
+use llc_sim::{CacheConfig, HierarchyConfig, Inclusion};
+use llc_trace::{App, Scale};
+
+const APP: App = App::Swaptions;
+const CORES: usize = 4;
+const SCALE: Scale = Scale::Small;
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Policy labels of the measured suite, for the report.
+const SUITE: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Opt];
+
+fn config() -> HierarchyConfig {
+    // Same paper-style hierarchy as the streams bench: a 1 MiB 16-way
+    // LLC gives 1024 sets, so even 8 shards get 128 sets each.
+    HierarchyConfig {
+        cores: CORES,
+        l1: CacheConfig::from_kib(32, 8).unwrap(),
+        l2: Some(CacheConfig::from_kib(256, 8).unwrap()),
+        llc: CacheConfig::from_kib(1024, 16).unwrap(),
+        inclusion: Inclusion::NonInclusive,
+    }
+}
+
+/// Medians wall-clock over `samples` runs of `f`.
+fn time<F: FnMut() -> u64>(samples: usize, mut f: F) -> (Duration, u64) {
+    let mut times = Vec::with_capacity(samples);
+    let mut checksum = 0;
+    for _ in 0..samples {
+        let start = Instant::now();
+        checksum = black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort();
+    (times[times.len() / 2], checksum)
+}
+
+fn main() {
+    let samples: usize = std::env::var("BENCH_SHARD_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let min_speedup: f64 = std::env::var("BENCH_SHARD_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let cfg = config();
+
+    let stream = record_stream(&cfg, APP.workload(CORES, SCALE)).expect("recording runs");
+    let llc_refs = stream.len() as u64;
+
+    let mut medians = Vec::with_capacity(SHARDS.len());
+    let mut checksums = Vec::with_capacity(SHARDS.len());
+    for &shards in &SHARDS {
+        let (median, checksum) = time(samples, || {
+            SUITE
+                .iter()
+                .map(|&kind| {
+                    replay_kind_sharded(&cfg, kind, &stream, shards)
+                        .expect("replay runs")
+                        .llc
+                        .misses()
+                })
+                .sum()
+        });
+        medians.push(median);
+        checksums.push(checksum);
+        println!(
+            "shard/replay_x{shards}: {median:?}/iter over {samples} samples ({} policies)",
+            SUITE.len()
+        );
+    }
+    assert!(
+        checksums.iter().all(|&c| c == checksums[0]),
+        "sharded replay must reproduce the sequential miss counts: {checksums:?}"
+    );
+
+    let sequential = medians[0];
+    let speedups: Vec<f64> = medians
+        .iter()
+        .map(|m| sequential.as_secs_f64() / m.as_secs_f64().max(f64::EPSILON))
+        .collect();
+    let best = speedups[1..].iter().copied().fold(0.0f64, f64::max);
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("shard/speedup_best:  {best:.2}x (gate: >= {min_speedup:.2}x, {host_threads} host threads)");
+
+    let fmt_list = |items: Vec<String>| items.join(", ");
+    let out = std::env::var("BENCH_SHARD_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json").into());
+    let json = format!(
+        "{{\n  \"benchmark\": \"shard\",\n  \"workload\": \"{}\",\n  \"scale\": \"{}\",\n  \
+         \"cores\": {},\n  \"sets\": {},\n  \"host_threads\": {},\n  \"policies\": [\"{}\"],\n  \
+         \"samples\": {},\n  \"llc_refs\": {},\n  \"shards\": [{}],\n  \"ms\": [{}],\n  \
+         \"speedups\": [{}],\n  \"speedup\": {:.3},\n  \"min_speedup\": {:.3}\n}}\n",
+        APP.label(),
+        SCALE,
+        CORES,
+        cfg.llc.sets(),
+        host_threads,
+        SUITE.map(|k| k.label()).join("\", \""),
+        samples,
+        llc_refs,
+        fmt_list(SHARDS.iter().map(|s| s.to_string()).collect()),
+        fmt_list(medians.iter().map(|m| format!("{:.3}", m.as_secs_f64() * 1e3)).collect()),
+        fmt_list(speedups.iter().map(|s| format!("{s:.3}")).collect()),
+        best,
+        min_speedup,
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("error: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("shard/report:        {out}");
+
+    if host_threads < 2 {
+        println!("shard/gate:          skipped (single-hardware-thread host)");
+    } else if best < min_speedup {
+        eprintln!("error: sharded speedup {best:.2}x below required {min_speedup:.2}x");
+        std::process::exit(1);
+    }
+}

@@ -61,7 +61,8 @@ options:
   --resume                   replay completed experiments from the --out manifest
   --timeout <secs>           per-experiment wall-clock budget (0 disables; default 1800)
   --retries <n>              IO retry attempts for manifest reads/writes (default 3)
-  --jobs <n>                 experiments run concurrently (0 = all cores; default 1)
+  --jobs <n>                 experiments run concurrently (0 = all cores, the
+                             default; pass 1 to force sequential runs)
   --stream-cache-mb <n>      in-memory stream cache cap in MiB (default sized
                              off --jobs: 512 MiB per job, 2 GiB floor)
   -h, --help                 show this help
@@ -79,7 +80,9 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
     let mut ctx = ExperimentCtx::paper();
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut list = false;
-    let mut suite = SuiteConfig::default();
+    // The CLI defaults to all cores (`--jobs 0`); the library-level
+    // `SuiteConfig::default()` stays sequential so embedders opt in.
+    let mut suite = SuiteConfig { jobs: 0, ..SuiteConfig::default() };
     let mut resume = false;
     let mut stream_cache_mb: Option<u64> = None;
     let mut it = args.into_iter();
@@ -302,7 +305,8 @@ mod tests {
         assert_eq!(cli.suite.timeout, Some(Duration::from_secs(60)));
         assert_eq!(cli.suite.io_retries, 5);
         assert_eq!(cli.suite.jobs, 4);
-        assert_eq!(parse_cli(args("fig1")).unwrap().suite.jobs, 1, "sequential by default");
+        assert_eq!(parse_cli(args("fig1")).unwrap().suite.jobs, 0, "all cores by default");
+        assert_eq!(parse_cli(args("--jobs 1 fig1")).unwrap().suite.jobs, 1);
         let cli = parse_cli(args("--timeout 0 fig1")).unwrap();
         assert_eq!(cli.suite.timeout, None, "--timeout 0 disables the watchdog");
     }
@@ -311,11 +315,18 @@ mod tests {
     fn stream_cache_flag_caps_the_shared_cache() {
         let cli = parse_cli(args("--stream-cache-mb 64 fig1")).unwrap();
         assert_eq!(cli.ctx.streams.stats().limit, Some(64 << 20));
-        let cli = parse_cli(args("fig1")).unwrap();
+        let cli = parse_cli(args("--jobs 1 fig1")).unwrap();
         assert_eq!(
             cli.ctx.streams.stats().limit,
             Some(llc_sharing::StreamCache::default_limit(1)),
-            "sequential default: 2 GiB floor"
+            "sequential run: 2 GiB floor"
+        );
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cli = parse_cli(args("fig1")).unwrap();
+        assert_eq!(
+            cli.ctx.streams.stats().limit,
+            Some(llc_sharing::StreamCache::default_limit(cores)),
+            "default cache cap is sized off the all-cores job count"
         );
         assert!(parse_cli(args("--stream-cache-mb 0 fig1")).is_err());
         assert!(parse_cli(args("--stream-cache-mb lots fig1")).is_err());

@@ -1,0 +1,156 @@
+//! The ambient worker-donation budget behind automatic set-sharded
+//! replay.
+//!
+//! A suite (or the `llc-serve` daemon) knows how many workers the user
+//! granted (`--jobs`) and how many are actually busy; whatever is left
+//! over is *donated* here as a process-global pool of spare-worker
+//! permits. The replay drivers ([`crate::replay_kind`] and friends)
+//! borrow from the pool when they are about to replay a per-set-state
+//! policy with no observers attached: `k` borrowed permits turn one
+//! sequential replay into a `k + 1`-way set-sharded replay (see
+//! [`crate::replay_sharded`]), so a lone runnable experiment still
+//! saturates the machine.
+//!
+//! Borrowing only ever changes *how fast* a replay runs, never what it
+//! computes — sharded replay is bit-identical to sequential replay — so
+//! the pool needs no fairness or ordering guarantees. A single atomic
+//! counter suffices: donations add permits, schedulers reclaim permits
+//! when workers become busy again (the count may transiently go
+//! negative while both race; borrowers simply see an empty pool), and
+//! borrows are returned by an RAII guard. Processes that never donate —
+//! unit tests, library users driving [`crate::replay`] directly — keep
+//! an empty pool and always replay sequentially.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+static PERMITS: AtomicIsize = AtomicIsize::new(0);
+
+/// Resets the pool to exactly `permits` spare workers. Schedulers call
+/// this once at start-up (suite launch, daemon bind) so permits left
+/// over from an earlier run in the same process cannot leak across.
+pub fn reset(permits: usize) {
+    PERMITS.store(permits as isize, Ordering::SeqCst);
+}
+
+/// Donates `n` spare workers to the pool (a suite worker running out of
+/// claimable experiments, a daemon job finishing).
+pub fn donate(n: usize) {
+    PERMITS.fetch_add(n as isize, Ordering::SeqCst);
+}
+
+/// Reclaims `n` workers from the pool (a daemon job starting). The
+/// count may transiently dip below zero when every spare worker is
+/// currently borrowed; it self-corrects as borrows are returned.
+pub fn reclaim(n: usize) {
+    PERMITS.fetch_sub(n as isize, Ordering::SeqCst);
+}
+
+/// Spare workers currently available for borrowing.
+pub fn available() -> usize {
+    PERMITS.load(Ordering::SeqCst).max(0) as usize
+}
+
+/// Borrows up to `max` spare workers, returning an RAII guard that
+/// gives them back on drop. May return an empty borrow ([`Borrowed::count`]
+/// `== 0`) when the pool is dry.
+pub fn borrow(max: usize) -> Borrowed {
+    // Saturate before the cast: `usize::MAX as isize` would be negative.
+    let max = max.min(isize::MAX as usize) as isize;
+    let mut current = PERMITS.load(Ordering::SeqCst);
+    loop {
+        let take = current.max(0).min(max);
+        if take == 0 {
+            return Borrowed { taken: 0 };
+        }
+        match PERMITS.compare_exchange_weak(
+            current,
+            current - take,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return Borrowed { taken: take as usize },
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// A borrow of spare workers; returns them to the pool on drop.
+#[derive(Debug)]
+pub struct Borrowed {
+    taken: usize,
+}
+
+impl Borrowed {
+    /// Number of workers actually borrowed (possibly zero).
+    pub fn count(&self) -> usize {
+        self.taken
+    }
+}
+
+impl Drop for Borrowed {
+    fn drop(&mut self) {
+        if self.taken > 0 {
+            donate(self.taken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The pool is process-global, so these tests serialize behind one
+    // lock to avoid observing each other's permits.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn borrow_is_capped_by_pool_and_request() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        reset(3);
+        let a = borrow(2);
+        assert_eq!(a.count(), 2);
+        let b = borrow(5);
+        assert_eq!(b.count(), 1);
+        let c = borrow(1);
+        assert_eq!(c.count(), 0);
+        drop(a);
+        assert_eq!(available(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(available(), 3);
+        reset(0);
+    }
+
+    #[test]
+    fn reclaim_may_go_negative_and_recovers() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        reset(1);
+        let a = borrow(1);
+        assert_eq!(a.count(), 1);
+        reclaim(1); // pool now at -1
+        assert_eq!(available(), 0);
+        drop(a); // returns the borrow: pool back to 0
+        assert_eq!(available(), 0);
+        donate(1);
+        assert_eq!(available(), 1);
+        reset(0);
+    }
+
+    #[test]
+    fn empty_pool_always_replays_sequentially() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        reset(0);
+        assert_eq!(borrow(8).count(), 0);
+    }
+
+    #[test]
+    fn unbounded_borrow_request_saturates() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        reset(2);
+        let a = borrow(usize::MAX);
+        assert_eq!(a.count(), 2);
+        drop(a);
+        assert_eq!(available(), 2);
+        reset(0);
+    }
+}

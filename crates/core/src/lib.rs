@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod awareness;
+pub mod budget;
 pub mod characterize;
 pub mod epochs;
 pub mod error;
@@ -61,9 +62,10 @@ pub use error::RunError;
 pub use model::LatencyModel;
 pub use experiments::{per_app, run_experiment, ExperimentCtx, ExperimentId};
 pub use replay::{
-    compute_annotations, record_stream, replay, replay_kind, replay_opt, replay_oracle,
-    replay_predictor_wrap, replay_reactive, Annotations, StreamCache, StreamCacheStats, StreamKey,
-    WorkloadId,
+    compute_annotations, record_stream, replay, replay_characterized_sharded, replay_kind,
+    replay_kind_sharded, replay_opt, replay_opt_sharded, replay_oracle, replay_oracle_sharded,
+    replay_predictor_wrap, replay_reactive, replay_sharded, Annotations, AuxFactory,
+    PolicyFactory, StreamCache, StreamCacheStats, StreamKey, WorkloadId,
 };
 pub use suite::pool::scoped_workers;
 pub use suite::{

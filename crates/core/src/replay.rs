@@ -37,14 +37,17 @@ use llc_policies::{
 use llc_predictors::{PredictorWrap, SharingPredictor};
 use llc_sim::{
     AuxProvider, BlockAddr, Cmp, ConfigError, CoreId, HierarchyConfig, Inclusion, Llc,
-    LlcObserver, MultiObserver, ReplacementPolicy, SimError,
+    LlcObserver, LlcStats, MultiObserver, ReplacementPolicy, SimError, StateScope,
 };
-use llc_trace::{App, RecordedStream, Scale, StreamStore, TraceSource};
+use llc_trace::{App, RecordedStream, Scale, ShardIndex, StreamStore, TraceSource};
 
+use crate::budget;
+use crate::characterize::SharingProfile;
 use crate::error::RunError;
 use crate::runner::{
     oracle_window, CombinedProvider, NextUseProvider, OracleProvider, RunResult, StreamRecorder,
 };
+use crate::suite::pool::scoped_workers;
 
 /// Records the policy-independent LLC reference stream of `trace` under
 /// `config` with one full-hierarchy simulation (LRU in the LLC — the
@@ -170,8 +173,224 @@ pub fn replay(
     })
 }
 
+/// A thread-safe factory producing one replacement-policy instance per
+/// shard of a set-sharded replay.
+pub type PolicyFactory<'a> = &'a (dyn Fn() -> Box<dyn ReplacementPolicy> + Sync);
+
+/// A thread-safe factory producing one aux provider per shard of a
+/// set-sharded replay (providers built from [`Arc`]-shared annotation
+/// vectors, so the factories are cheap).
+pub type AuxFactory<'a> = &'a (dyn Fn() -> Box<dyn AuxProvider> + Sync);
+
+/// The largest number of spare workers one replay will borrow from the
+/// donation pool — a sanity bound far above any realistic core count,
+/// not a tuning knob (the pool itself reflects the `--jobs` grant).
+const MAX_DONATED_WORKERS: usize = 63;
+
+/// Observer for sharded replays that were asked for stats only.
+struct DiscardObserver;
+
+impl LlcObserver for DiscardObserver {}
+
+/// Replays a stream split into contiguous set-range shards, one LLC (and
+/// one policy instance, and one observer) per shard, fanned out over
+/// scoped worker threads — the parallel twin of [`replay`].
+///
+/// Each shard's LLC covers only its set range but keeps the full
+/// geometry for indexing, and is driven with the *global* stream index
+/// as its logical clock ([`Llc::seek_time`]), so for any policy whose
+/// state is per-set ([`StateScope::PerSet`]) the merged result is
+/// **bit-identical** to the sequential replay: sets never interact, every
+/// timestamp matches, and [`LlcStats`] merging is pure `u64` addition in
+/// fixed shard order. The caller is responsible for the scope check —
+/// the public wrappers ([`replay_kind_sharded`] & co.) fall back to
+/// sequential replay for [`StateScope::Global`] policies.
+///
+/// Returns the merged result plus the per-shard observers (in ascending
+/// set order) for the caller to merge.
+fn replay_sharded_core<O, F>(
+    config: &HierarchyConfig,
+    make_policy: PolicyFactory<'_>,
+    make_aux: Option<AuxFactory<'_>>,
+    stream: &RecordedStream,
+    index: &ShardIndex,
+    make_obs: &F,
+) -> Result<(RunResult, Vec<O>), RunError>
+where
+    O: LlcObserver + Send,
+    F: Fn() -> O + Sync,
+{
+    check_replayable(config, stream)?;
+    if index.sets() != config.llc.sets() {
+        return Err(ConfigError::new(format!(
+            "shard index built for {} sets cannot drive an LLC with {} sets",
+            index.sets(),
+            config.llc.sets()
+        ))
+        .into());
+    }
+    let shards = index.shards();
+    let slots: Vec<Mutex<Option<(String, LlcStats, O)>>> =
+        shards.iter().map(|_| Mutex::new(None)).collect();
+    scoped_workers(shards.len(), |w| {
+        let shard = &shards[w];
+        let mut llc = Llc::new_range(config.llc, make_policy(), shard.set_base, shard.set_len);
+        if let Some(make_aux) = make_aux {
+            llc.set_aux_provider(make_aux());
+        }
+        let mut obs = make_obs();
+        let upgrades = &stream.upgrades;
+        let mut up = 0usize;
+        for &pos in &shard.accesses {
+            let i = pos as usize;
+            // Upgrades recorded at LLC time `i` happened before access
+            // `i`; only this shard's upgrades touch this shard's lines.
+            while up < shard.upgrades.len() {
+                let u = &upgrades[shard.upgrades[up] as usize];
+                if u.at > i as u64 {
+                    break;
+                }
+                llc.note_upgrade(u.block, u.core);
+                obs.on_upgrade(u.block, u.core);
+                up += 1;
+            }
+            // The shard's logical clock is the *global* stream index, so
+            // every timestamp the policy or observer sees (LRU order,
+            // OPT next-use chains, generation spans) matches the
+            // sequential run exactly.
+            llc.seek_time(i as u64);
+            llc.access(stream.blocks[i], stream.pcs[i], stream.cores[i], stream.kinds[i], &mut obs);
+        }
+        while up < shard.upgrades.len() {
+            let u = &upgrades[shard.upgrades[up] as usize];
+            llc.note_upgrade(u.block, u.core);
+            obs.on_upgrade(u.block, u.core);
+            up += 1;
+        }
+        llc.seek_time(stream.len() as u64);
+        llc.flush(&mut obs);
+        *lock_recovering(&slots[w]) = Some((llc.policy().name(), llc.stats(), obs));
+    });
+    let mut llc_stats = LlcStats::default();
+    let mut policy = String::new();
+    let mut observers = Vec::with_capacity(shards.len());
+    for slot in slots {
+        let (name, stats, obs) = slot
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            // infallible: `scoped_workers` re-raises worker panics, so
+            // reaching this line means every worker filled its slot.
+            .expect("every shard slot is filled");
+        llc_stats += stats;
+        policy = name;
+        observers.push(obs);
+    }
+    Ok((
+        RunResult {
+            policy,
+            llc: llc_stats,
+            l1: stream.l1,
+            l2: stream.l2,
+            instructions: stream.instructions,
+            trace_accesses: stream.trace_accesses,
+        },
+        observers,
+    ))
+}
+
+/// Set-sharded replay with no observers: stats only. See
+/// [`replay_sharded_core`] for the exactness argument; the caller is
+/// responsible for only passing per-set-state policies (the `*_sharded`
+/// wrappers check and fall back).
+///
+/// # Errors
+///
+/// Same conditions as [`replay`], plus a config error if `index` was
+/// built for a different set count.
+pub fn replay_sharded(
+    config: &HierarchyConfig,
+    make_policy: PolicyFactory<'_>,
+    make_aux: Option<AuxFactory<'_>>,
+    stream: &RecordedStream,
+    index: &ShardIndex,
+) -> Result<RunResult, RunError> {
+    let (result, _) =
+        replay_sharded_core(config, make_policy, make_aux, stream, index, &|| DiscardObserver)?;
+    Ok(result)
+}
+
+/// Process-global registry associating streams handed out by a
+/// [`StreamCache`] with their lazily built [`ShardIndex`]es, so every
+/// policy replaying the same recording shares one index build per shard
+/// count. Streams are matched by allocation identity (the `Arc` the
+/// cache holds), which is stable for as long as the stream is alive;
+/// entries whose stream has been dropped (e.g. evicted by the cache's
+/// byte cap) are pruned on the next registration, which bounds the
+/// registry — and the indices it keeps alive — by the cache contents.
+mod shard_registry {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, Weak};
+
+    use llc_trace::{RecordedStream, ShardIndex};
+
+    use super::lock_recovering;
+
+    /// Per-stream cache of shard indices, keyed by (set count, shard
+    /// count).
+    pub(super) type IndexMap = Mutex<HashMap<(u64, usize), Arc<ShardIndex>>>;
+
+    static REGISTRY: Mutex<Vec<(Weak<RecordedStream>, Arc<IndexMap>)>> = Mutex::new(Vec::new());
+
+    /// Registers a cached stream (idempotent), pruning dead entries.
+    pub(super) fn register(stream: &Arc<RecordedStream>) {
+        let mut reg = lock_recovering(&REGISTRY);
+        reg.retain(|(weak, _)| weak.strong_count() > 0);
+        if reg.iter().any(|(weak, _)| weak.upgrade().is_some_and(|s| Arc::ptr_eq(&s, stream))) {
+            return;
+        }
+        reg.push((Arc::downgrade(stream), Arc::new(Mutex::new(HashMap::new()))));
+    }
+
+    /// The index map of a registered stream, or `None` for ad-hoc
+    /// streams that never went through a cache.
+    pub(super) fn lookup(stream: &RecordedStream) -> Option<Arc<IndexMap>> {
+        let reg = lock_recovering(&REGISTRY);
+        reg.iter()
+            .find(|(weak, _)| weak.upgrade().is_some_and(|s| std::ptr::eq(&*s, stream)))
+            .map(|(_, map)| Arc::clone(map))
+    }
+}
+
+/// Builds (or fetches) the shard index splitting `stream` over `shards`
+/// contiguous set ranges. Streams handed out by a [`StreamCache`] cache
+/// their indices next to the stream, so concurrent replays of the same
+/// recording share one build; ad-hoc streams build privately. Returns
+/// `None` for streams too large for `u32` index positions (the caller
+/// replays sequentially).
+fn shard_index_for(stream: &RecordedStream, sets: u64, shards: usize) -> Option<Arc<ShardIndex>> {
+    match shard_registry::lookup(stream) {
+        Some(map) => {
+            let mut map = lock_recovering(&map);
+            if let Some(index) = map.get(&(sets, shards)) {
+                return Some(Arc::clone(index));
+            }
+            let index = Arc::new(ShardIndex::build(stream, sets, shards)?);
+            map.insert((sets, shards), Arc::clone(&index));
+            Some(index)
+        }
+        None => ShardIndex::build(stream, sets, shards).map(Arc::new),
+    }
+}
+
 /// Replays a realistic policy ([`PolicyKind::Opt`] dispatches to
 /// [`replay_opt`]).
+///
+/// With no observers attached, a per-set-state policy
+/// ([`StateScope::PerSet`]) automatically borrows any spare workers a
+/// suite or daemon has donated (see [`crate::budget`]) and runs
+/// set-sharded — same bits, less wall-clock. Global-state policies,
+/// observer-carrying runs, and processes that never donate replay
+/// sequentially.
 ///
 /// # Errors
 ///
@@ -187,11 +406,113 @@ pub fn replay_kind(
     }
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    replay(config, build_policy(kind, sets, ways), None, stream, observers)
+    let policy = build_policy(kind, sets, ways);
+    if observers.is_empty() && policy.state_scope() == StateScope::PerSet {
+        let borrowed = budget::borrow(MAX_DONATED_WORKERS);
+        if borrowed.count() > 0 {
+            if let Some(index) = shard_index_for(stream, config.llc.sets(), borrowed.count() + 1) {
+                return replay_sharded(
+                    config,
+                    &|| build_policy(kind, sets, ways),
+                    None,
+                    stream,
+                    &index,
+                );
+            }
+        }
+    }
+    replay(config, policy, None, stream, observers)
+}
+
+/// Explicitly set-sharded [`replay_kind`]: splits the stream into (at
+/// most) `shards` set ranges and replays them in parallel. For
+/// [`StateScope::Global`] policies — DIP/DRRIP (global PSEL), SHiP
+/// (global SHCT) — or streams too large to index, this transparently
+/// falls back to the sequential path and still returns the exact result.
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_kind_sharded(
+    config: &HierarchyConfig,
+    kind: PolicyKind,
+    stream: &RecordedStream,
+    shards: usize,
+) -> Result<RunResult, RunError> {
+    if kind == PolicyKind::Opt {
+        return replay_opt_sharded(config, stream, shards);
+    }
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let policy = build_policy(kind, sets, ways);
+    if shards > 1 && policy.state_scope() == StateScope::PerSet {
+        if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
+            return replay_sharded(config, &|| build_policy(kind, sets, ways), None, stream, &index);
+        }
+    }
+    replay(config, policy, None, stream, Vec::new())
+}
+
+/// Set-sharded [`replay_kind`] that also gathers the paper's sharing
+/// characterization: one [`SharingProfile`] rides along each shard and
+/// the per-shard profiles are merged in fixed shard order. The merge is
+/// exact — every generation ends in exactly one shard with globally
+/// correct timestamps, and blocks never cross sets, so all counters are
+/// disjoint sums and the footprint union is disjoint too. Falls back to
+/// a sequential observer run under the same conditions as
+/// [`replay_kind_sharded`].
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_characterized_sharded(
+    config: &HierarchyConfig,
+    kind: PolicyKind,
+    stream: &RecordedStream,
+    shards: usize,
+) -> Result<(RunResult, SharingProfile), RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    // OPT needs its next-use annotations in either path.
+    let next_use =
+        (kind == PolicyKind::Opt).then(|| Arc::new(compute_annotations(stream, 0).next_use));
+    let make_policy = || build_policy(kind, sets, ways);
+    let make_aux = next_use.clone().map(|next_use| {
+        move || Box::new(NextUseProvider::shared(Arc::clone(&next_use))) as Box<dyn AuxProvider>
+    });
+    if shards > 1 && make_policy().state_scope() == StateScope::PerSet {
+        if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
+            let (result, profiles) = replay_sharded_core(
+                config,
+                &make_policy,
+                make_aux.as_ref().map(|f| f as AuxFactory<'_>),
+                stream,
+                &index,
+                &SharingProfile::new,
+            )?;
+            let mut merged = SharingProfile::new();
+            for profile in &profiles {
+                merged.merge(profile);
+            }
+            return Ok((result, merged));
+        }
+    }
+    let mut profile = SharingProfile::new();
+    let result = replay(
+        config,
+        make_policy(),
+        make_aux.as_ref().map(|f| f()),
+        stream,
+        vec![&mut profile],
+    )?;
+    Ok((result, profile))
 }
 
 /// Replays Belady's OPT, deriving the next-use chains from the recording
-/// itself (no extra simulation passes).
+/// itself (no extra simulation passes). Borrows donated spare workers
+/// for automatic set-sharding exactly like [`replay_kind`] — OPT's
+/// per-line next-use state is per-set, and the annotations are indexed
+/// by global stream position, which sharded replay preserves.
 ///
 /// # Errors
 ///
@@ -203,19 +524,127 @@ pub fn replay_opt(
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    let ann = compute_annotations(stream, 0);
+    let next_use = Arc::new(compute_annotations(stream, 0).next_use);
+    if observers.is_empty()
+        && build_policy(PolicyKind::Opt, sets, ways).state_scope() == StateScope::PerSet
+    {
+        let borrowed = budget::borrow(MAX_DONATED_WORKERS);
+        if borrowed.count() > 0 {
+            if let Some(index) = shard_index_for(stream, config.llc.sets(), borrowed.count() + 1) {
+                return replay_opt_on(config, &next_use, stream, &index);
+            }
+        }
+    }
     replay(
         config,
         build_policy(PolicyKind::Opt, sets, ways),
-        Some(Box::new(NextUseProvider::new(ann.next_use))),
+        Some(Box::new(NextUseProvider::shared(next_use))),
         stream,
         observers,
     )
 }
 
+/// Explicitly set-sharded [`replay_opt`] (the OPT arm of
+/// [`replay_kind_sharded`]).
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_opt_sharded(
+    config: &HierarchyConfig,
+    stream: &RecordedStream,
+    shards: usize,
+) -> Result<RunResult, RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let next_use = Arc::new(compute_annotations(stream, 0).next_use);
+    if shards > 1
+        && build_policy(PolicyKind::Opt, sets, ways).state_scope() == StateScope::PerSet
+    {
+        if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
+            return replay_opt_on(config, &next_use, stream, &index);
+        }
+    }
+    replay(
+        config,
+        build_policy(PolicyKind::Opt, sets, ways),
+        Some(Box::new(NextUseProvider::shared(next_use))),
+        stream,
+        Vec::new(),
+    )
+}
+
+/// Sharded OPT replay over an already-built index with already-computed
+/// annotations.
+fn replay_opt_on(
+    config: &HierarchyConfig,
+    next_use: &Arc<Vec<u64>>,
+    stream: &RecordedStream,
+    index: &ShardIndex,
+) -> Result<RunResult, RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let make_aux = {
+        let next_use = Arc::clone(next_use);
+        move || Box::new(NextUseProvider::shared(Arc::clone(&next_use))) as Box<dyn AuxProvider>
+    };
+    replay_sharded(
+        config,
+        &|| build_policy(PolicyKind::Opt, sets, ways),
+        Some(&make_aux),
+        stream,
+        index,
+    )
+}
+
+/// The policy and aux-provider factories of one oracle replay (both
+/// thread-safe, so one setup drives every shard of a sharded run).
+struct OracleSetup {
+    make_policy: Box<dyn Fn() -> Box<dyn ReplacementPolicy> + Sync>,
+    make_aux: Box<dyn Fn() -> Box<dyn AuxProvider> + Sync>,
+}
+
+/// Builds the factories for an oracle replay over pre-computed,
+/// [`Arc`]-shared annotations.
+fn oracle_setup(
+    base: PolicyKind,
+    mode: ProtectMode,
+    sets: usize,
+    ways: usize,
+    next_use: Arc<Vec<u64>>,
+    shared_soon: Arc<Vec<bool>>,
+) -> OracleSetup {
+    if base == PolicyKind::Opt {
+        OracleSetup {
+            make_policy: Box::new(move || {
+                Box::new(OracleWrap::with_mode(
+                    build_policy(PolicyKind::Opt, sets, ways),
+                    sets,
+                    ways,
+                    mode,
+                ))
+            }),
+            make_aux: Box::new(move || {
+                Box::new(CombinedProvider::shared(
+                    Arc::clone(&next_use),
+                    Arc::clone(&shared_soon),
+                ))
+            }),
+        }
+    } else {
+        OracleSetup {
+            make_policy: Box::new(move || build_oracle_policy_with_mode(base, sets, ways, mode)),
+            make_aux: Box::new(move || Box::new(OracleProvider::shared(Arc::clone(&shared_soon)))),
+        }
+    }
+}
+
 /// Replays the sharing-aware oracle wrapper around `base`, deriving both
 /// annotation vectors from the recording in a single fused backward scan
-/// (`None` selects [`oracle_window`]).
+/// (`None` selects [`oracle_window`]). Borrows donated spare workers for
+/// automatic set-sharding exactly like [`replay_kind`]: the oracle
+/// wrapper's own state (per-line protection bits) is per-set, so its
+/// scope is its base policy's scope.
 ///
 /// # Errors
 ///
@@ -232,29 +661,58 @@ pub fn replay_oracle(
     let ways = config.llc.ways;
     let window = window.unwrap_or_else(|| oracle_window(config));
     let ann = compute_annotations(stream, window);
-    if base == PolicyKind::Opt {
-        let policy = Box::new(OracleWrap::with_mode(
-            build_policy(PolicyKind::Opt, sets, ways),
-            sets,
-            ways,
-            mode,
-        ));
-        return replay(
-            config,
-            policy,
-            Some(Box::new(CombinedProvider::new(ann.next_use, ann.shared_soon))),
-            stream,
-            observers,
-        );
+    let setup =
+        oracle_setup(base, mode, sets, ways, Arc::new(ann.next_use), Arc::new(ann.shared_soon));
+    if observers.is_empty() && (setup.make_policy)().state_scope() == StateScope::PerSet {
+        let borrowed = budget::borrow(MAX_DONATED_WORKERS);
+        if borrowed.count() > 0 {
+            if let Some(index) = shard_index_for(stream, config.llc.sets(), borrowed.count() + 1) {
+                return replay_sharded(
+                    config,
+                    &*setup.make_policy,
+                    Some(&*setup.make_aux),
+                    stream,
+                    &index,
+                );
+            }
+        }
     }
-    let policy = build_oracle_policy_with_mode(base, sets, ways, mode);
-    replay(
-        config,
-        policy,
-        Some(Box::new(OracleProvider::new(ann.shared_soon))),
-        stream,
-        observers,
-    )
+    replay(config, (setup.make_policy)(), Some((setup.make_aux)()), stream, observers)
+}
+
+/// Explicitly set-sharded [`replay_oracle`]. Falls back to the
+/// sequential path when the base policy's state is global or the stream
+/// is not indexable, exactly like [`replay_kind_sharded`].
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_oracle_sharded(
+    config: &HierarchyConfig,
+    base: PolicyKind,
+    mode: ProtectMode,
+    window: Option<u64>,
+    stream: &RecordedStream,
+    shards: usize,
+) -> Result<RunResult, RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
+    let window = window.unwrap_or_else(|| oracle_window(config));
+    let ann = compute_annotations(stream, window);
+    let setup =
+        oracle_setup(base, mode, sets, ways, Arc::new(ann.next_use), Arc::new(ann.shared_soon));
+    if shards > 1 && (setup.make_policy)().state_scope() == StateScope::PerSet {
+        if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
+            return replay_sharded(
+                config,
+                &*setup.make_policy,
+                Some(&*setup.make_aux),
+                stream,
+                &index,
+            );
+        }
+    }
+    replay(config, (setup.make_policy)(), Some((setup.make_aux)()), stream, Vec::new())
 }
 
 /// Replays reactive (directory-driven, prediction-free) sharing
@@ -607,6 +1065,10 @@ impl StreamCache {
         }
         *guard = Some(Arc::clone(&stream));
         drop(guard);
+        // Cached streams get a shard-index slot: replays of this stream
+        // can now share lazily built `ShardIndex`es (see
+        // `shard_index_for`), which live exactly as long as the stream.
+        shard_registry::register(&stream);
 
         // Account the insert and enforce the cap (never evicting the
         // entry just inserted).

@@ -22,6 +22,8 @@
 //! hierarchies keep the historical full-simulation path (see the
 //! [`crate::replay`] module docs for why).
 
+use std::sync::Arc;
+
 use llc_policies::{
     build_oracle_policy_with_mode, build_policy, build_reactive_policy, OracleWrap, PolicyKind,
     ProtectMode,
@@ -383,14 +385,23 @@ impl LlcObserver for StreamRecorder {
 }
 
 /// Aux provider feeding next-use chains to OPT.
+///
+/// Annotation vectors are held behind [`Arc`] so set-sharded replays can
+/// hand every shard its own provider without cloning megabytes of
+/// annotations (see [`crate::replay::replay_sharded`]).
 #[derive(Debug, Clone)]
 pub struct NextUseProvider {
-    next_use: Vec<u64>,
+    next_use: Arc<Vec<u64>>,
 }
 
 impl NextUseProvider {
     /// Wraps a next-use vector (`u64::MAX` = never used again).
     pub fn new(next_use: Vec<u64>) -> Self {
+        NextUseProvider::shared(Arc::new(next_use))
+    }
+
+    /// Wraps an already-shared next-use vector.
+    pub fn shared(next_use: Arc<Vec<u64>>) -> Self {
         NextUseProvider { next_use }
     }
 }
@@ -405,12 +416,17 @@ impl AuxProvider for NextUseProvider {
 /// Aux provider feeding oracle sharing outcomes to [`OracleWrap`].
 #[derive(Debug, Clone)]
 pub struct OracleProvider {
-    outcome: Vec<bool>,
+    outcome: Arc<Vec<bool>>,
 }
 
 impl OracleProvider {
     /// Wraps an outcome vector indexed by LLC access stream position.
     pub fn new(outcome: Vec<bool>) -> Self {
+        OracleProvider::shared(Arc::new(outcome))
+    }
+
+    /// Wraps an already-shared outcome vector.
+    pub fn shared(outcome: Arc<Vec<bool>>) -> Self {
         OracleProvider { outcome }
     }
 }
@@ -425,13 +441,18 @@ impl AuxProvider for OracleProvider {
 /// Aux provider feeding both annotation kinds (for `OracleWrap<Opt>`).
 #[derive(Debug, Clone)]
 pub struct CombinedProvider {
-    next_use: Vec<u64>,
-    outcome: Vec<bool>,
+    next_use: Arc<Vec<u64>>,
+    outcome: Arc<Vec<bool>>,
 }
 
 impl CombinedProvider {
     /// Combines a next-use vector and an outcome vector.
     pub fn new(next_use: Vec<u64>, outcome: Vec<bool>) -> Self {
+        CombinedProvider::shared(Arc::new(next_use), Arc::new(outcome))
+    }
+
+    /// Combines already-shared annotation vectors.
+    pub fn shared(next_use: Arc<Vec<u64>>, outcome: Arc<Vec<bool>>) -> Self {
         CombinedProvider { next_use, outcome }
     }
 }

@@ -1,7 +1,7 @@
 //! The DIP family: LIP, BIP and set-dueling DIP (Qureshi et al., ISCA
 //! 2007), built on an LRU recency stack.
 
-use llc_sim::{splitmix64, AccessCtx, ReplacementPolicy, SetView};
+use llc_sim::{splitmix64, AccessCtx, ReplacementPolicy, SetView, StateScope};
 
 use crate::duel::SetDuel;
 
@@ -28,7 +28,9 @@ pub struct Dip {
     stamps: Vec<u64>,
     clock: u64,
     duel: SetDuel,
-    fill_seq: u64,
+    /// Per-set bimodal fill counters (see `Rrip::fill_seq`): BIP's 1-in-32
+    /// MRU promotions in a set depend only on that set's fill history.
+    fill_seq: Vec<u64>,
     seed: u64,
 }
 
@@ -56,14 +58,15 @@ impl Dip {
             stamps: vec![0; sets * ways],
             clock: 1,
             duel: SetDuel::new(sets),
-            fill_seq: 0,
+            fill_seq: vec![0; sets],
             seed,
         }
     }
 
-    fn bip_mru(&mut self) -> bool {
-        self.fill_seq += 1;
-        splitmix64(self.seed ^ self.fill_seq).is_multiple_of(BIP_EPSILON)
+    fn bip_mru(&mut self, set: usize) -> bool {
+        self.fill_seq[set] += 1;
+        let lane = splitmix64(self.seed ^ (set as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        splitmix64(lane ^ self.fill_seq[set]).is_multiple_of(BIP_EPSILON)
     }
 
     /// The recency stamp of `(set, way)` (test hook).
@@ -87,11 +90,11 @@ impl ReplacementPolicy for Dip {
         }
         let lru_insert = match self.flavor {
             DipFlavor::Lip => true,
-            DipFlavor::Bip => !self.bip_mru(),
+            DipFlavor::Bip => !self.bip_mru(set),
             DipFlavor::Dip => {
                 // Team A = LRU (MRU insertion), team B = BIP.
                 if self.duel.use_b(set) {
-                    !self.bip_mru()
+                    !self.bip_mru(set)
                 } else {
                     false
                 }
@@ -115,6 +118,16 @@ impl ReplacementPolicy for Dip {
             // infallible: the hierarchy never requests a victim from an
             // all-protected set (the oracle wrapper caps protections).
             .expect("victim candidates must be non-empty")
+    }
+
+    /// LIP and BIP keep only per-set state (stamps compared within one set,
+    /// per-set bimodal counters; the clock is global but only relative
+    /// order within a set matters). DIP proper duels with a global PSEL.
+    fn state_scope(&self) -> StateScope {
+        match self.flavor {
+            DipFlavor::Lip | DipFlavor::Bip => StateScope::PerSet,
+            DipFlavor::Dip => StateScope::Global,
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! True least-recently-used replacement.
 
-use llc_sim::{AccessCtx, ReplacementPolicy, SetView};
+use llc_sim::{AccessCtx, ReplacementPolicy, SetView, StateScope};
 
 /// True LRU: evicts the candidate whose last touch is oldest.
 ///
@@ -50,6 +50,14 @@ impl ReplacementPolicy for Lru {
             // infallible: the hierarchy never requests a victim from an
             // all-protected set (the oracle wrapper caps protections).
             .expect("victim candidates must be non-empty")
+    }
+
+    /// Per-set: the clock is global, but victim selection only ever
+    /// *compares* stamps within one set, and replaying a set's accesses in
+    /// stream order preserves their relative recency regardless of what the
+    /// clock counts in between.
+    fn state_scope(&self) -> StateScope {
+        StateScope::PerSet
     }
 }
 

@@ -1,6 +1,6 @@
 //! Not-recently-used replacement (one reference bit per line).
 
-use llc_sim::{AccessCtx, ReplacementPolicy, SetView};
+use llc_sim::{AccessCtx, ReplacementPolicy, SetView, StateScope};
 
 /// NRU: each line has one reference bit, set on fill and on hit. The victim
 /// is the first candidate (in way order, starting from a per-set rotating
@@ -53,6 +53,11 @@ impl ReplacementPolicy for Nru {
         // infallible: the hierarchy never requests a victim from an
         // all-protected set (the oracle wrapper caps protections).
         view.allowed_ways().next().expect("victim candidates must be non-empty")
+    }
+
+    /// Per-set: reference bits and the scan pointer are both keyed by set.
+    fn state_scope(&self) -> StateScope {
+        StateScope::PerSet
     }
 }
 

@@ -13,7 +13,7 @@
 //! sharing-aware": a block about to be re-referenced by another core has a
 //! near next-use and is retained automatically.
 
-use llc_sim::{AccessCtx, ReplacementPolicy, SetView};
+use llc_sim::{AccessCtx, ReplacementPolicy, SetView, StateScope};
 
 /// Belady's OPT, driven by next-use annotations.
 #[derive(Debug, Clone)]
@@ -64,6 +64,12 @@ impl ReplacementPolicy for Opt {
             // infallible: the hierarchy never requests a victim from an
             // all-protected set (the oracle wrapper caps protections).
             .expect("victim candidates must be non-empty")
+    }
+
+    /// Per-set: next-use annotations are per line and expressed as global
+    /// stream indices, which sharded replay preserves.
+    fn state_scope(&self) -> StateScope {
+        StateScope::PerSet
     }
 }
 

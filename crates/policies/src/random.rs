@@ -1,25 +1,34 @@
 //! Uniform-random replacement.
 
-use llc_sim::{splitmix64, AccessCtx, ReplacementPolicy, SetView};
+use llc_sim::{splitmix64, AccessCtx, ReplacementPolicy, SetView, StateScope};
 
 /// Evicts a uniformly random candidate way.
 ///
 /// Deterministic: the "random" stream is a counter passed through
-/// SplitMix64, so simulations are exactly reproducible.
+/// SplitMix64, so simulations are exactly reproducible. Each set draws from
+/// its own SplitMix64 chain (seeded from the policy seed and the set index),
+/// so the victim chosen in one set never depends on how many evictions other
+/// sets have suffered — the property that makes set-sharded replay exact.
 #[derive(Debug, Clone)]
 pub struct Random {
-    state: u64,
+    base: u64,
+    states: Vec<u64>,
 }
 
 impl Random {
     /// Creates a random policy with the given seed.
     pub fn new(seed: u64) -> Self {
-        Random { state: splitmix64(seed ^ 0x5eed_5eed_5eed_5eed) }
+        Random { base: splitmix64(seed ^ 0x5eed_5eed_5eed_5eed), states: Vec::new() }
     }
 
-    fn next(&mut self) -> u64 {
-        self.state = splitmix64(self.state);
-        self.state
+    fn next(&mut self, set: usize) -> u64 {
+        while self.states.len() <= set {
+            let s = self.states.len() as u64;
+            self.states.push(splitmix64(self.base ^ s.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        }
+        let state = &mut self.states[set];
+        *state = splitmix64(*state);
+        *state
     }
 }
 
@@ -38,12 +47,17 @@ impl ReplacementPolicy for Random {
 
     fn on_hit(&mut self, _set: usize, _way: usize, _ctx: &AccessCtx) {}
 
-    fn choose_victim(&mut self, _set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
+    fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
         let n = view.allowed.count_ones() as u64;
         debug_assert!(n > 0, "victim candidates must be non-empty");
-        let k = self.next() % n;
+        let k = self.next(set) % n;
         // infallible: k < n = count of allowed ways by construction.
         view.allowed_ways().nth(k as usize).expect("k < candidate count")
+    }
+
+    /// Per-set: each set owns an independent SplitMix64 chain.
+    fn state_scope(&self) -> StateScope {
+        StateScope::PerSet
     }
 }
 

@@ -14,7 +14,7 @@
 //! save. The gap ReactiveWrap leaves to the oracle quantifies exactly how
 //! much of the oracle's gain requires prediction.
 
-use llc_sim::{AccessCtx, GenerationEnd, ReplacementPolicy, SetView};
+use llc_sim::{AccessCtx, GenerationEnd, ReplacementPolicy, SetView, StateScope};
 
 /// Reactive sharing protection around a base policy.
 #[derive(Debug, Clone)]
@@ -64,6 +64,14 @@ impl<P: ReplacementPolicy> ReplacementPolicy for ReactiveWrap<P> {
             *view
         };
         self.base.choose_victim(set, &restricted, ctx)
+    }
+
+    /// Conservatively global: the wrapper reads live sharer counts off the
+    /// set view, and its characterization-facing runs always attach
+    /// observers (which disable sharding anyway), so it opts out rather
+    /// than prove the per-set case.
+    fn state_scope(&self) -> StateScope {
+        StateScope::Global
     }
 }
 

@@ -6,7 +6,7 @@
 //! the distant future". Victims are lines with the maximum RRPV; if none
 //! exists, all RRPVs in the set are incremented until one appears.
 
-use llc_sim::{splitmix64, AccessCtx, ReplacementPolicy, SetView};
+use llc_sim::{splitmix64, AccessCtx, ReplacementPolicy, SetView, StateScope};
 
 use crate::duel::{SetDuel, ThreadAwareDuel};
 
@@ -44,7 +44,10 @@ pub struct Rrip {
     rrpv: Vec<u8>,
     duel: SetDuel,
     ta_duel: Option<ThreadAwareDuel>,
-    fill_seq: u64,
+    /// Per-set bimodal fill counters: the 1-in-32 "long" insertions of a
+    /// set depend only on that set's own fill history, so BRRIP stays
+    /// per-set-partitionable.
+    fill_seq: Vec<u64>,
     seed: u64,
 }
 
@@ -80,7 +83,7 @@ impl Rrip {
             rrpv: vec![RRPV_MAX; sets * ways],
             duel: SetDuel::new(sets),
             ta_duel: None,
-            fill_seq: 0,
+            fill_seq: vec![0; sets],
             seed,
         }
     }
@@ -90,9 +93,10 @@ impl Rrip {
         self.rrpv[set * self.ways + way]
     }
 
-    fn bimodal_long(&mut self) -> bool {
-        self.fill_seq += 1;
-        splitmix64(self.seed ^ self.fill_seq).is_multiple_of(BRRIP_EPSILON)
+    fn bimodal_long(&mut self, set: usize) -> bool {
+        self.fill_seq[set] += 1;
+        let lane = splitmix64(self.seed ^ (set as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        splitmix64(lane ^ self.fill_seq[set]).is_multiple_of(BRRIP_EPSILON)
     }
 
     fn insertion_rrpv(&mut self, set: usize, thread: usize) -> u8 {
@@ -106,7 +110,7 @@ impl Rrip {
             }
         };
         if bimodal {
-            if self.bimodal_long() {
+            if self.bimodal_long(set) {
                 RRPV_LONG
             } else {
                 RRPV_MAX
@@ -156,6 +160,16 @@ impl ReplacementPolicy for Rrip {
             for w in 0..self.ways {
                 self.rrpv[base + w] = (self.rrpv[base + w] + 1).min(RRPV_MAX);
             }
+        }
+    }
+
+    /// SRRIP and BRRIP keep only per-set state (RRPVs and the per-set
+    /// bimodal counter); the dueling flavors share PSEL counters across
+    /// sets and must replay sequentially.
+    fn state_scope(&self) -> StateScope {
+        match self.flavor {
+            RripFlavor::Static | RripFlavor::Bimodal => StateScope::PerSet,
+            RripFlavor::Dynamic | RripFlavor::ThreadAware => StateScope::Global,
         }
     }
 }

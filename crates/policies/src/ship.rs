@@ -8,7 +8,7 @@
 //! proposals" whose sharing-awareness the paper characterizes: it is
 //! PC-correlated but not sharing-aware.
 
-use llc_sim::{AccessCtx, GenerationEnd, ReplacementPolicy, SetView};
+use llc_sim::{AccessCtx, GenerationEnd, ReplacementPolicy, SetView, StateScope};
 
 use crate::rrip::{RRPV_LONG, RRPV_MAX};
 
@@ -98,6 +98,13 @@ impl ReplacementPolicy for Ship {
                 self.rrpv[base + w] = (self.rrpv[base + w] + 1).min(RRPV_MAX);
             }
         }
+    }
+
+    /// Global: the signature history counter table is shared by every set,
+    /// so insertion decisions in one set depend on generation outcomes in
+    /// all the others.
+    fn state_scope(&self) -> StateScope {
+        StateScope::Global
     }
 }
 

@@ -1,7 +1,7 @@
 //! The service subcommands of the `repro` binary:
 //!
 //! ```text
-//! repro serve  --listen 127.0.0.1:7119 --store ./llc-store --jobs 2
+//! repro serve  --listen 127.0.0.1:7119 --store ./llc-store --jobs 8
 //! repro submit fig7 --preset test [--watch]
 //! repro status 1 | repro watch 1 | repro result 1 | repro cancel 1
 //! repro stats  | repro stop
@@ -34,7 +34,8 @@ service subcommands:
   repro serve [--listen ADDR] [--store DIR] [--jobs N] [--timeout SECS]
               [--stream-cache-mb MB]
       host the simulation daemon (default listen 127.0.0.1:7119,
-      store ./llc-store, 2 workers, 1800 s per-job watchdog)
+      store ./llc-store, one worker per hardware thread, 1800 s
+      per-job watchdog; --jobs N overrides the worker count)
   repro submit <experiment> [--preset paper|quick|test] [--scale S]
               [--threads N] [--apps a,b,c] [--addr ADDR] [--watch]
       submit a job (with --watch: wait and print its tables)
@@ -355,6 +356,8 @@ mod tests {
         };
         assert_eq!(config.listen, DEFAULT_ADDR);
         assert!(config.stream_cache_limit.is_none());
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(config.jobs, cores, "default worker count tracks the machine");
     }
 
     #[test]

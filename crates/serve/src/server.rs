@@ -41,13 +41,14 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// A config with the default worker count (2), a 30-minute job
-    /// watchdog and the default stream-cache cap.
+    /// A config with one job worker per available hardware thread
+    /// (override with `--jobs <n>`), a 30-minute job watchdog and the
+    /// default stream-cache cap.
     pub fn new(listen: impl Into<String>, store_dir: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             listen: listen.into(),
             store_dir: store_dir.into(),
-            jobs: 2,
+            jobs: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             timeout: Some(Duration::from_secs(1800)),
             stream_cache_limit: None,
         }
@@ -162,6 +163,11 @@ impl Server {
         let state = &self.state;
         let listener = &self.listener;
         let control_flag = &self.control_flag;
+        // Every idle job worker is a donated spare worker: a lone
+        // submitted job borrows them for set-sharded replay and
+        // saturates the machine; each job reclaims one permit while it
+        // runs (see `execute_job`).
+        llc_sharing::budget::reset(self.workers);
         scoped_workers(self.workers + 1, |w| {
             if w == 0 {
                 accept_loop(listener, state, control_flag);
@@ -412,6 +418,10 @@ fn execute_job(state: &ServerState, id: JobId) {
         Ok(None) => {}
         Err(_) => state.jobs.count(|c| c.result_errors += 1),
     }
+    // This worker is busy from here on: take its permit out of the
+    // spare-worker pool (donated back below) so concurrent jobs and
+    // sharded replays never over-subscribe the `--jobs` grant.
+    llc_sharing::budget::reclaim(1);
     let mut ctx = job.spec.build_ctx();
     // All jobs share the daemon's bounded, store-backed stream cache.
     ctx.streams = state.streams.clone();
@@ -444,4 +454,5 @@ fn execute_job(state: &ServerState, id: JobId) {
         // abandoned thread's result is discarded.
         GuardedOutcome::Cancelled => {}
     }
+    llc_sharing::budget::donate(1);
 }

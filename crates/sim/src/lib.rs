@@ -69,5 +69,7 @@ pub use llc::{
     EvictCause, GenerationEnd, LiveGeneration, Llc, LlcAccess, LlcObserver, MultiObserver,
     NullObserver,
 };
-pub use replace::{AccessCtx, Aux, AuxProvider, LineView, NoAux, ReplacementPolicy, SetView};
+pub use replace::{
+    AccessCtx, Aux, AuxProvider, LineView, NoAux, ReplacementPolicy, SetView, StateScope,
+};
 pub use stats::{LlcStats, PrivateCacheStats};

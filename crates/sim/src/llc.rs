@@ -215,8 +215,22 @@ pub struct LlcAccess {
 }
 
 /// The shared last-level cache, generic over its replacement policy.
+///
+/// An `Llc` normally covers every set of the configured geometry, but it can
+/// also be constructed over a contiguous *set range* (see
+/// [`Llc::new_range`]): line storage then covers only `[set_base,
+/// set_base + set_len)` while set indexing, tag extraction and block
+/// reconstruction keep using the full geometry, so a set-range `Llc` is
+/// bit-identical to the corresponding slice of a full one. The sharded
+/// replay path in `llc-core` is built on this.
 pub struct Llc<P> {
+    /// Total sets in the *full* geometry (used for set/tag arithmetic even
+    /// when this instance only stores a sub-range).
     sets: u64,
+    /// First set covered by `lines`.
+    set_base: u64,
+    /// Number of consecutive sets covered by `lines`.
+    set_len: u64,
     ways: usize,
     lines: Vec<Line>,
     policy: P,
@@ -224,6 +238,8 @@ pub struct Llc<P> {
     time: u64,
     stats: LlcStats,
     view_buf: Vec<LineView>,
+    /// All-ways victim-candidate mask, fixed by the associativity.
+    full_mask: u64,
 }
 
 impl<P: ReplacementPolicy> Llc<P> {
@@ -234,13 +250,37 @@ impl<P: ReplacementPolicy> Llc<P> {
     /// Panics if the associativity exceeds 64 (the width of the victim
     /// candidate mask).
     pub fn new(config: CacheConfig, policy: P) -> Self {
+        let sets = config.sets();
+        Self::new_range(config, policy, 0, sets)
+    }
+
+    /// Creates an empty LLC covering only sets `[set_base, set_base +
+    /// set_len)` of the full geometry.
+    ///
+    /// Set-index and tag arithmetic still use the *full* set count, so a
+    /// block maps to the same `(set, tag)` pair as in a full LLC; only line
+    /// storage is restricted. Accessing a block outside the range is a
+    /// logic error (checked in debug builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 64, if the range is empty, or if
+    /// it extends past the last set.
+    pub fn new_range(config: CacheConfig, policy: P, set_base: u64, set_len: u64) -> Self {
         assert!(config.ways <= 64, "associativity above 64 is unsupported");
         let sets = config.sets();
+        assert!(set_len > 0, "empty set range");
+        assert!(
+            set_base.checked_add(set_len).is_some_and(|end| end <= sets),
+            "set range [{set_base}, {set_base}+{set_len}) exceeds {sets} sets"
+        );
         let ways = config.ways;
         Llc {
             sets,
+            set_base,
+            set_len,
             ways,
-            lines: vec![Line::default(); (sets * ways as u64) as usize],
+            lines: vec![Line::default(); (set_len * ways as u64) as usize],
             policy,
             aux: Box::new(NoAux),
             time: 0,
@@ -249,6 +289,7 @@ impl<P: ReplacementPolicy> Llc<P> {
                 LineView { block: BlockAddr::new(0), sharer_count: 0, dirty: false };
                 ways
             ],
+            full_mask: if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 },
         }
     }
 
@@ -287,6 +328,51 @@ impl<P: ReplacementPolicy> Llc<P> {
         self.time
     }
 
+    /// First set covered by this instance (0 for a full LLC).
+    pub fn set_base(&self) -> u64 {
+        self.set_base
+    }
+
+    /// Number of consecutive sets covered by this instance.
+    pub fn set_len(&self) -> u64 {
+        self.set_len
+    }
+
+    /// Forces the logical clock to `time`.
+    ///
+    /// Sharded replay drives each set-range `Llc` with the *global* stream
+    /// index so that fill/end timestamps, OPT's next-use comparisons and
+    /// policy clocks match the sequential run bit for bit: it seeks to the
+    /// access's global index before each [`Llc::access`] and to the stream
+    /// length before [`Llc::flush`].
+    pub fn seek_time(&mut self, time: u64) {
+        debug_assert!(time >= self.time, "logical time must not move backwards");
+        self.time = time;
+    }
+
+    /// Line-storage index of the first way of `set`, which must lie inside
+    /// this instance's range.
+    #[inline]
+    fn set_slot(&self, set: u64) -> usize {
+        debug_assert!(
+            set >= self.set_base && set < self.set_base + self.set_len,
+            "set {set} outside range [{}, {})",
+            self.set_base,
+            self.set_base + self.set_len
+        );
+        ((set - self.set_base) as usize) * self.ways
+    }
+
+    /// Returns the way holding `tag` in `set`, if resident.
+    #[inline]
+    fn find_way(&self, set: u64, tag: u64) -> Option<usize> {
+        let base = self.set_slot(set);
+        (0..self.ways).find(|&w| {
+            let line = &self.lines[base + w];
+            line.valid && line.tag == tag
+        })
+    }
+
     /// Records a coherence *upgrade*: `core` wrote a block it already had
     /// in its private cache. No LLC access takes place (the store was a
     /// private-cache hit), but the directory learns about the write, so
@@ -297,15 +383,12 @@ impl<P: ReplacementPolicy> Llc<P> {
     pub fn note_upgrade(&mut self, block: BlockAddr, core: CoreId) {
         let set = block.set_index(self.sets);
         let tag = block.tag(self.sets);
-        let base = (set as usize) * self.ways;
-        for w in 0..self.ways {
-            let line = &mut self.lines[base + w];
-            if line.valid && line.tag == tag {
-                line.sharer_mask |= core.bit();
-                line.writer_mask |= core.bit();
-                line.writes = line.writes.saturating_add(1);
-                return;
-            }
+        if let Some(w) = self.find_way(set, tag) {
+            let slot = self.set_slot(set) + w;
+            let line = &mut self.lines[slot];
+            line.sharer_mask |= core.bit();
+            line.writer_mask |= core.bit();
+            line.writes = line.writes.saturating_add(1);
         }
     }
 
@@ -313,10 +396,7 @@ impl<P: ReplacementPolicy> Llc<P> {
     pub fn contains(&self, block: BlockAddr) -> bool {
         let set = block.set_index(self.sets);
         let tag = block.tag(self.sets);
-        let base = (set as usize) * self.ways;
-        self.lines[base..base + self.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.find_way(set, tag).is_some()
     }
 
     /// Processes one demand access (a private-cache miss).
@@ -340,36 +420,34 @@ impl<P: ReplacementPolicy> Llc<P> {
 
         let set = block.set_index(self.sets);
         let tag = block.tag(self.sets);
-        let base = (set as usize) * self.ways;
+        let base = self.set_slot(set);
 
         // Hit path.
-        for w in 0..self.ways {
+        if let Some(w) = self.find_way(set, tag) {
             let line = &mut self.lines[base + w];
-            if line.valid && line.tag == tag {
-                let was_new_sharer = line.sharer_mask & core.bit() == 0;
-                line.sharer_mask |= core.bit();
-                line.hits = line.hits.saturating_add(1);
-                if core != line.fill_core {
-                    line.hits_by_non_filler = line.hits_by_non_filler.saturating_add(1);
-                    self.stats.hits_by_non_filler += 1;
-                }
-                if kind.is_write() {
-                    line.writes = line.writes.saturating_add(1);
-                    line.writer_mask |= core.bit();
-                }
-                self.stats.hits += 1;
-                let live = LiveGeneration {
-                    block,
-                    sharer_mask: line.sharer_mask,
-                    writer_mask: line.writer_mask,
-                    hits: line.hits,
-                    fill_core: line.fill_core,
-                    fill_time: line.fill_time,
-                };
-                obs.on_hit(&ctx, &live, was_new_sharer);
-                self.policy.on_hit(set as usize, w, &ctx);
-                return LlcAccess { hit: true, victim: None };
+            let was_new_sharer = line.sharer_mask & core.bit() == 0;
+            line.sharer_mask |= core.bit();
+            line.hits = line.hits.saturating_add(1);
+            if core != line.fill_core {
+                line.hits_by_non_filler = line.hits_by_non_filler.saturating_add(1);
+                self.stats.hits_by_non_filler += 1;
             }
+            if kind.is_write() {
+                line.writes = line.writes.saturating_add(1);
+                line.writer_mask |= core.bit();
+            }
+            self.stats.hits += 1;
+            let live = LiveGeneration {
+                block,
+                sharer_mask: line.sharer_mask,
+                writer_mask: line.writer_mask,
+                hits: line.hits,
+                fill_core: line.fill_core,
+                fill_time: line.fill_time,
+            };
+            obs.on_hit(&ctx, &live, was_new_sharer);
+            self.policy.on_hit(set as usize, w, &ctx);
+            return LlcAccess { hit: true, victim: None };
         }
 
         // Miss: find an invalid way or consult the policy for a victim.
@@ -392,8 +470,7 @@ impl<P: ReplacementPolicy> Llc<P> {
                         dirty: line.writes > 0,
                     };
                 }
-                let allowed = if self.ways == 64 { u64::MAX } else { (1u64 << self.ways) - 1 };
-                let view = SetView { lines: &self.view_buf, allowed };
+                let view = SetView { lines: &self.view_buf, allowed: self.full_mask };
                 let w = self.policy.choose_victim(set as usize, &view, &ctx);
                 debug_assert!(w < self.ways, "policy returned out-of-range way {w}");
                 let gen = self.end_generation(set, w, time, EvictCause::Replacement);
@@ -424,7 +501,7 @@ impl<P: ReplacementPolicy> Llc<P> {
     }
 
     fn end_generation(&mut self, set: u64, way: usize, now: u64, cause: EvictCause) -> GenerationEnd {
-        let base = (set as usize) * self.ways;
+        let base = self.set_slot(set);
         let line = &mut self.lines[base + way];
         debug_assert!(line.valid, "ending a generation of an invalid line");
         let gen = GenerationEnd {
@@ -450,9 +527,9 @@ impl<P: ReplacementPolicy> Llc<P> {
     /// so that per-generation statistics cover the whole run.
     pub fn flush(&mut self, obs: &mut dyn LlcObserver) {
         let now = self.time;
-        for set in 0..self.sets {
+        for set in self.set_base..self.set_base + self.set_len {
             for way in 0..self.ways {
-                let base = (set as usize) * self.ways;
+                let base = self.set_slot(set);
                 if self.lines[base + way].valid {
                     let gen = self.end_generation(set, way, now, EvictCause::Flush);
                     self.stats.flushed += 1;

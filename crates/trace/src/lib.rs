@@ -32,6 +32,7 @@ pub mod file;
 pub mod layout;
 pub mod multiprogram;
 pub mod patterns;
+pub mod shard;
 pub mod source;
 pub mod store;
 pub mod stream;
@@ -48,6 +49,7 @@ pub use patterns::{
     pipeline_channel, Consumer, LockHot, Migratory, Pattern, PatternAccess, PhaseAlternate,
     PrivateStream, PrivateWorkingSet, Producer, SharedReadOnly, Stencil, Transpose,
 };
+pub use shard::{ShardIndex, StreamShard};
 pub use source::{TraceSource, VecSource};
 pub use store::{atomic_write, StreamStore};
 pub use stream::{read_stream, write_stream, RecordedStream, UpgradeEvent};

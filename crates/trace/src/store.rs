@@ -236,7 +236,7 @@ mod tests {
         let leftovers: Vec<_> = fs::read_dir(store.dir())
             .expect("read dir")
             .filter_map(Result::ok)
-            .filter(|e| e.path().extension().map_or(true, |x| x != "llcs"))
+            .filter(|e| e.path().extension().is_none_or(|x| x != "llcs"))
             .collect();
         assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
         assert_eq!(store.load(1).expect("load").expect("present").len(), 8);

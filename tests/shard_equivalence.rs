@@ -1,0 +1,307 @@
+//! The set-sharded replay invariant: sharding a replay over set ranges
+//! must be **bit-identical** to the sequential replay — same `LlcStats`,
+//! same policy label, same characterization tables — for every per-set
+//! policy, and Global-scope policies must transparently fall back to the
+//! sequential path with identical results.
+//!
+//! Baselines use an explicit shard count of 1 (`replay_*_sharded(.., 1)`
+//! is documented to take the sequential path), so these tests stay
+//! deterministic even while the donated-worker budget test below is
+//! running in a sibling thread.
+
+use std::sync::Arc;
+
+use llc_sharing::{
+    budget, record_stream, replay_characterized_sharded, replay_kind, replay_kind_sharded,
+    replay_opt, replay_oracle_sharded,
+};
+use llc_sim::{EvictCause, LlcStats};
+use proptest::prelude::*;
+use sharing_aware_llc::prelude::*;
+use sharing_aware_llc::trace::VecSource;
+
+/// 8-set LLC (2 KiB, 4-way), no L2.
+fn cfg_8_sets() -> HierarchyConfig {
+    HierarchyConfig {
+        cores: 4,
+        l1: CacheConfig::from_kib(1, 2).expect("valid L1"),
+        l2: None,
+        llc: CacheConfig::from_kib(2, 4).expect("valid LLC"),
+        inclusion: Inclusion::NonInclusive,
+    }
+}
+
+/// 16-set LLC (8 KiB, 8-way) behind an L2.
+fn cfg_16_sets() -> HierarchyConfig {
+    HierarchyConfig {
+        cores: 4,
+        l1: CacheConfig::from_kib(1, 2).expect("valid L1"),
+        l2: Some(CacheConfig::from_kib(2, 2).expect("valid L2")),
+        llc: CacheConfig::from_kib(8, 8).expect("valid LLC"),
+        inclusion: Inclusion::NonInclusive,
+    }
+}
+
+const ALL_KINDS: [PolicyKind; 12] = [
+    PolicyKind::Lru,
+    PolicyKind::Random,
+    PolicyKind::Nru,
+    PolicyKind::Srrip,
+    PolicyKind::Brrip,
+    PolicyKind::Drrip,
+    PolicyKind::TaDrrip,
+    PolicyKind::Lip,
+    PolicyKind::Bip,
+    PolicyKind::Dip,
+    PolicyKind::Ship,
+    PolicyKind::Opt,
+];
+
+/// Random multi-threaded traces over a small block universe, so sets
+/// conflict, sharing happens, and upgrades occur.
+fn trace_strategy(len: usize) -> impl Strategy<Value = Vec<MemAccess>> {
+    prop::collection::vec((0usize..4, 0u64..96, prop::bool::ANY, 0u64..8), len).prop_map(|v| {
+        v.into_iter()
+            .map(|(core, block, write, pc)| MemAccess {
+                core: CoreId::new(core),
+                pc: Pc::new(0x400 + pc * 4),
+                addr: Addr::new(block * 64),
+                kind: if write { AccessKind::Write } else { AccessKind::Read },
+                instr_gap: 3,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sharded replay is bit-identical to sequential replay for every
+    /// policy kind, across set counts and shard counts (including shard
+    /// counts that do not divide the set count, and one shard per set).
+    /// Global-scope policies (DIP/DRRIP/TA-DRRIP/SHiP) exercise the
+    /// transparent sequential fallback and must also be identical.
+    #[test]
+    fn sharded_replay_is_bit_identical(trace in trace_strategy(500)) {
+        for cfg in [cfg_8_sets(), cfg_16_sets()] {
+            let stream = record_stream(&cfg, VecSource::new(trace.clone())).expect("record");
+            let sets = cfg.llc.sets() as usize;
+            for kind in ALL_KINDS {
+                let seq = replay_kind_sharded(&cfg, kind, &stream, 1).expect("sequential");
+                for shards in [2usize, 7, sets] {
+                    let sharded =
+                        replay_kind_sharded(&cfg, kind, &stream, shards).expect("sharded");
+                    prop_assert_eq!(
+                        &seq, &sharded,
+                        "kind {} at {} shards over {} sets", kind.label(), shards, sets
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sharded oracle replay (including the OPT-base combined-annotation
+    /// path) is bit-identical to the sequential oracle replay.
+    #[test]
+    fn sharded_oracle_replay_is_bit_identical(trace in trace_strategy(400)) {
+        let cfg = cfg_8_sets();
+        let stream = record_stream(&cfg, VecSource::new(trace.clone())).expect("record");
+        let sets = cfg.llc.sets() as usize;
+        for base in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Opt] {
+            for mode in [ProtectMode::Eviction, ProtectMode::Insertion] {
+                let seq = replay_oracle_sharded(&cfg, base, mode, None, &stream, 1)
+                    .expect("sequential oracle");
+                for shards in [2usize, sets] {
+                    let sharded = replay_oracle_sharded(&cfg, base, mode, None, &stream, shards)
+                        .expect("sharded oracle");
+                    prop_assert_eq!(
+                        &seq, &sharded,
+                        "oracle base {} at {} shards", base.label(), shards
+                    );
+                }
+            }
+        }
+    }
+
+    /// The characterized sharded replay merges per-shard
+    /// [`SharingProfile`]s into exactly the profile a sequential observer
+    /// run produces (generation counts, hits, occupancy, degree
+    /// histogram, and footprint alike).
+    #[test]
+    fn sharded_characterization_matches_sequential(trace in trace_strategy(400)) {
+        let cfg = cfg_8_sets();
+        let stream = record_stream(&cfg, VecSource::new(trace.clone())).expect("record");
+        let sets = cfg.llc.sets() as usize;
+        for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Opt, PolicyKind::Ship] {
+            let (seq_result, seq_profile) =
+                replay_characterized_sharded(&cfg, kind, &stream, 1).expect("sequential");
+            for shards in [2usize, 7, sets] {
+                let (result, profile) =
+                    replay_characterized_sharded(&cfg, kind, &stream, shards).expect("sharded");
+                prop_assert_eq!(&seq_result, &result, "kind {}", kind.label());
+                prop_assert_eq!(&seq_profile, &profile, "kind {}", kind.label());
+            }
+        }
+    }
+}
+
+/// Builds a synthetic finished generation for merge-property tests.
+fn generation(block: u64, sharers: u32, hits: u32, writes: u32) -> GenerationEnd {
+    GenerationEnd {
+        block: BlockAddr::new(block),
+        set: (block % 8) as usize,
+        fill_pc: Pc::new(0x400),
+        fill_core: CoreId::new(0),
+        fill_time: 0,
+        end_time: 100,
+        sharer_mask: (1u32 << sharers.min(8)) - 1,
+        writer_mask: u32::from(writes > 0),
+        hits,
+        hits_by_non_filler: if sharers > 1 { hits } else { 0 },
+        writes,
+        cause: EvictCause::Replacement,
+    }
+}
+
+fn profile_of(gens: &[GenerationEnd]) -> SharingProfile {
+    let mut p = SharingProfile::new();
+    for g in gens {
+        p.on_generation_end(g);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `SharingProfile::merge` is associative and order-insensitive: any
+    /// merge tree over the same disjoint parts equals the profile built
+    /// from all generations directly. (This is what makes the per-shard
+    /// profile merge of `replay_characterized_sharded` exact.)
+    #[test]
+    fn profile_merge_is_associative_and_order_insensitive(
+        gens in prop::collection::vec((0u64..48, 1u32..=8, 0u32..16, 0u32..4), 0..120),
+        cut_a in 0usize..1000,
+        cut_b in 0usize..1000,
+    ) {
+        let gens: Vec<GenerationEnd> =
+            gens.into_iter().map(|(b, s, h, w)| generation(b, s, h, w)).collect();
+        let n = gens.len();
+        let (mut i, mut j) = (cut_a % (n + 1), cut_b % (n + 1));
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let (p1, p2, p3) = (profile_of(&gens[..i]), profile_of(&gens[i..j]), profile_of(&gens[j..]));
+        let whole = profile_of(&gens);
+
+        // Left association, in shard order.
+        let mut left = p1.clone();
+        left.merge(&p2);
+        left.merge(&p3);
+        // Right association.
+        let mut right = p2.clone();
+        right.merge(&p3);
+        let mut right_assoc = p1.clone();
+        right_assoc.merge(&right);
+        // A permuted part order.
+        let mut permuted = p3.clone();
+        permuted.merge(&p1);
+        permuted.merge(&p2);
+
+        prop_assert_eq!(&left, &whole, "left-associated merge != direct profile");
+        prop_assert_eq!(&right_assoc, &whole, "right-associated merge != direct profile");
+        prop_assert_eq!(&permuted, &whole, "permuted merge != direct profile");
+    }
+
+    /// `LlcStats` accumulation (`+=`) is associative and commutative, so
+    /// summing per-shard stats in any fixed order reproduces the
+    /// sequential totals.
+    #[test]
+    fn llc_stats_merge_is_associative_and_commutative(
+        parts in prop::collection::vec(
+            (
+                (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+                (0u64..1000, 0u64..1000, 0u64..1000),
+            ),
+            1..8,
+        ),
+    ) {
+        let parts: Vec<LlcStats> = parts
+            .into_iter()
+            .map(|((accesses, hits, fills, evictions), (flushed, hits_by_non_filler, writes))| {
+                LlcStats {
+                    accesses: accesses + hits, // keep misses() = accesses - hits well-formed
+                    hits,
+                    fills,
+                    evictions,
+                    flushed,
+                    hits_by_non_filler,
+                    writes,
+                }
+            })
+            .collect();
+
+        let mut forward = LlcStats::default();
+        for p in &parts {
+            forward += *p;
+        }
+        let mut backward = LlcStats::default();
+        for p in parts.iter().rev() {
+            backward += *p;
+        }
+        // Pairwise tree: ((p0 + p1) + (p2 + p3)) + ...
+        let mut tree: Vec<LlcStats> = parts.clone();
+        while tree.len() > 1 {
+            let mut next = Vec::new();
+            for pair in tree.chunks(2) {
+                let mut acc = pair[0];
+                if let Some(rhs) = pair.get(1) {
+                    acc += *rhs;
+                }
+                next.push(acc);
+            }
+            tree = next;
+        }
+        prop_assert_eq!(forward, backward);
+        prop_assert_eq!(forward, tree[0]);
+    }
+}
+
+/// Donated spare workers make the plain `replay_kind`/`replay_opt` entry
+/// points shard automatically — and the result must still be
+/// bit-identical to the sequential path. (Other tests in this binary use
+/// explicit `replay_*_sharded(.., 1)` baselines, so this test's donation
+/// cannot perturb them.)
+#[test]
+fn donated_budget_auto_shards_and_stays_exact() {
+    let cfg = cfg_16_sets();
+    let trace: Vec<MemAccess> = (0..2000usize)
+        .map(|i| MemAccess {
+            core: CoreId::new(i % 4),
+            pc: Pc::new(0x400 + (i % 7) as u64 * 4),
+            addr: Addr::new((i as u64 * 13 % 160) * 64),
+            kind: if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read },
+            instr_gap: 3,
+        })
+        .collect();
+    let stream = record_stream(&cfg, VecSource::new(trace)).expect("record");
+    let stream = Arc::new(stream);
+
+    for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Opt] {
+        let seq = replay_kind_sharded(&cfg, kind, &stream, 1).expect("sequential");
+        budget::donate(3);
+        let auto = if kind == PolicyKind::Opt {
+            replay_opt(&cfg, &stream, vec![])
+        } else {
+            replay_kind(&cfg, kind, &stream, vec![])
+        }
+        .expect("auto-sharded");
+        // The replay borrows workers for its own duration only; the pool
+        // must be whole again afterwards.
+        let drained = budget::borrow(usize::MAX);
+        assert_eq!(drained.count(), 3, "auto-shard must return its borrowed workers");
+        drop(drained);
+        budget::reclaim(3);
+        assert_eq!(seq, auto, "kind {}", kind.label());
+    }
+}
