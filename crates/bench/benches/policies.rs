@@ -34,10 +34,15 @@ fn bench_policies(c: &mut Criterion) {
     ] {
         g.bench_with_input(BenchmarkId::new("run", kind.label()), &kind, |b, &kind| {
             b.iter(|| {
-                simulate_kind(&cfg, kind, &mut || App::Water.workload(8, Scale::Tiny), vec![])
-                    .expect("synthetic workload cannot fail")
-                    .llc
-                    .misses()
+                simulate_kind(
+                    &cfg,
+                    kind,
+                    &mut || App::Water.workload(8, Scale::Tiny),
+                    vec![],
+                )
+                .expect("synthetic workload cannot fail")
+                .llc
+                .misses()
             });
         });
     }

@@ -103,7 +103,9 @@ fn main() {
         .collect();
     let best = speedups[1..].iter().copied().fold(0.0f64, f64::max);
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    println!("shard/speedup_best:  {best:.2}x (gate: >= {min_speedup:.2}x, {host_threads} host threads)");
+    println!(
+        "shard/speedup_best:  {best:.2}x (gate: >= {min_speedup:.2}x, {host_threads} host threads)"
+    );
 
     let fmt_list = |items: Vec<String>| items.join(", ");
     let out = std::env::var("BENCH_SHARD_OUT")
@@ -122,7 +124,12 @@ fn main() {
         samples,
         llc_refs,
         fmt_list(SHARDS.iter().map(|s| s.to_string()).collect()),
-        fmt_list(medians.iter().map(|m| format!("{:.3}", m.as_secs_f64() * 1e3)).collect()),
+        fmt_list(
+            medians
+                .iter()
+                .map(|m| format!("{:.3}", m.as_secs_f64() * 1e3))
+                .collect()
+        ),
         fmt_list(speedups.iter().map(|s| format!("{s:.3}")).collect()),
         best,
         min_speedup,

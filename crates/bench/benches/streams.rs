@@ -72,8 +72,14 @@ fn legacy_suite(cfg: &HierarchyConfig) -> u64 {
     let ways = cfg.llc.ways;
     let mut misses = 0;
     for kind in [PolicyKind::Lru, PolicyKind::Srrip] {
-        let r = simulate(cfg, build_policy(kind, sets, ways), None, APP.workload(CORES, SCALE), vec![])
-            .expect("full simulation runs");
+        let r = simulate(
+            cfg,
+            build_policy(kind, sets, ways),
+            None,
+            APP.workload(CORES, SCALE),
+            vec![],
+        )
+        .expect("full simulation runs");
         misses += r.llc.misses();
     }
     let next = compute_next_use(cfg, APP.workload(CORES, SCALE)).expect("next-use pre-pass runs");
@@ -107,12 +113,22 @@ fn replay_suite(cfg: &HierarchyConfig) -> u64 {
     let stream = record_stream(cfg, APP.workload(CORES, SCALE)).expect("recording runs");
     let mut misses = 0;
     for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Opt] {
-        misses += replay_kind(cfg, kind, &stream, vec![]).expect("replay runs").llc.misses();
+        misses += replay_kind(cfg, kind, &stream, vec![])
+            .expect("replay runs")
+            .llc
+            .misses();
     }
-    misses += replay_oracle(cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])
-        .expect("oracle replay runs")
-        .llc
-        .misses();
+    misses += replay_oracle(
+        cfg,
+        PolicyKind::Lru,
+        ProtectMode::Eviction,
+        None,
+        &stream,
+        vec![],
+    )
+    .expect("oracle replay runs")
+    .llc
+    .misses();
     misses
 }
 
@@ -133,7 +149,10 @@ fn main() {
 
     let (legacy, legacy_misses) = time(samples, || legacy_suite(&cfg));
     let (fast, fast_misses) = time(samples, || replay_suite(&cfg));
-    assert_eq!(legacy_misses, fast_misses, "replay must reproduce the legacy miss counts");
+    assert_eq!(
+        legacy_misses, fast_misses,
+        "replay must reproduce the legacy miss counts"
+    );
 
     let speedup = legacy.as_secs_f64() / fast.as_secs_f64().max(f64::EPSILON);
     println!("streams/legacy_suite: {legacy:?}/iter over {samples} samples ({SUITE:?})");
@@ -144,8 +163,9 @@ fn main() {
         llc_refs as f64 * 100.0 / trace_accesses.max(1) as f64
     );
 
-    let out = std::env::var("BENCH_STREAMS_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streams.json").into());
+    let out = std::env::var("BENCH_STREAMS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streams.json").into()
+    });
     let json = format!(
         "{{\n  \"benchmark\": \"streams\",\n  \"workload\": \"{}\",\n  \"scale\": \"{}\",\n  \
          \"cores\": {},\n  \"policies\": [\"{}\"],\n  \"samples\": {},\n  \

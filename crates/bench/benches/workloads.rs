@@ -10,7 +10,14 @@ fn bench_generators(c: &mut Criterion) {
     let n = 8 * Scale::Tiny.thread_accesses();
     g.throughput(Throughput::Elements(n));
     g.sample_size(10);
-    for app in [App::Blackscholes, App::Bodytrack, App::Dedup, App::Fft, App::Water, App::Ocean] {
+    for app in [
+        App::Blackscholes,
+        App::Bodytrack,
+        App::Dedup,
+        App::Fft,
+        App::Water,
+        App::Ocean,
+    ] {
         g.bench_with_input(BenchmarkId::new("drain", app.label()), &app, |b, &app| {
             b.iter(|| {
                 let mut w = app.workload(8, Scale::Tiny);

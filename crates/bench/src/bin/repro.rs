@@ -6,7 +6,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Service verbs (serve/submit/status/…) go to the llc-serve layer;
     // everything else is the classic batch experiment runner.
-    if args.first().is_some_and(|v| llc_serve::cli::is_serve_verb(v)) {
+    if args
+        .first()
+        .is_some_and(|v| llc_serve::cli::is_serve_verb(v))
+    {
         let command = match llc_serve::cli::parse(&args) {
             Ok(command) => command,
             Err(e) => {
@@ -39,6 +42,9 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
+    if cli.trace_out.is_some() {
+        llc_telemetry::spans::set_enabled(true);
+    }
     // Sequential runs stream experiment by experiment so long campaigns
     // show progress even when stdout is redirected. Parallel runs
     // (--jobs != 1) must hand the whole id list to one suite invocation —
@@ -65,6 +71,25 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = &cli.trace_out {
+        // Guarded experiment threads have all exited (or been abandoned
+        // after their watchdog fired) by now, so the retired buffers
+        // hold the full timeline.
+        llc_telemetry::spans::set_enabled(false);
+        let json = llc_telemetry::spans::chrome_trace_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        let dropped = llc_telemetry::spans::dropped_events();
+        if dropped > 0 {
+            eprintln!("[trace: {dropped} span(s) dropped by ring-buffer caps]");
+        }
+        eprintln!(
+            "[trace written to {} — open in chrome://tracing or ui.perfetto.dev]",
+            path.display()
+        );
     }
     if failures > 0 {
         eprintln!("{failures} experiment(s) failed");

@@ -15,7 +15,9 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use llc_sharing::{run_suite, ExperimentCtx, ExperimentId, ExperimentOutcome, RunError, SuiteConfig};
+use llc_sharing::{
+    run_suite, ExperimentCtx, ExperimentId, ExperimentOutcome, RunError, SuiteConfig,
+};
 use llc_trace::{App, Scale};
 
 /// Parsed command line of the `repro` binary.
@@ -32,6 +34,9 @@ pub struct Cli {
     /// Replay completed experiments from an existing `--out` manifest
     /// instead of truncating it at startup.
     pub resume: bool,
+    /// Write a Chrome-trace JSON timeline of the run to this path
+    /// (span tracing is enabled for the whole invocation).
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Error produced while parsing the command line.
@@ -65,6 +70,8 @@ options:
                              default; pass 1 to force sequential runs)
   --stream-cache-mb <n>      in-memory stream cache cap in MiB (default sized
                              off --jobs: 512 MiB per job, 2 GiB floor)
+  --trace-out <path>         write a Chrome-trace JSON timeline of the run
+                             (open in chrome://tracing or ui.perfetto.dev)
   -h, --help                 show this help
 
 service mode: repro serve | submit | status | watch | result | cancel | stats | stop
@@ -82,14 +89,20 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
     let mut list = false;
     // The CLI defaults to all cores (`--jobs 0`); the library-level
     // `SuiteConfig::default()` stays sequential so embedders opt in.
-    let mut suite = SuiteConfig { jobs: 0, ..SuiteConfig::default() };
+    let mut suite = SuiteConfig {
+        jobs: 0,
+        ..SuiteConfig::default()
+    };
     let mut resume = false;
     let mut stream_cache_mb: Option<u64> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--ctx" => {
-                let v = it.next().ok_or_else(|| CliError("--ctx needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--ctx needs a value".into()))?;
                 ctx = match v.as_str() {
                     "paper" => ExperimentCtx::paper(),
                     "quick" => ExperimentCtx::quick(),
@@ -98,12 +111,16 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
                 };
             }
             "--scale" => {
-                let v = it.next().ok_or_else(|| CliError("--scale needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--scale needs a value".into()))?;
                 ctx.scale =
                     Scale::parse(&v).ok_or_else(|| CliError(format!("unknown scale '{v}'")))?;
             }
             "--apps" => {
-                let v = it.next().ok_or_else(|| CliError("--apps needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--apps needs a value".into()))?;
                 let mut apps = Vec::new();
                 for name in v.split(',') {
                     apps.push(
@@ -117,7 +134,9 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
                 ctx.apps = apps;
             }
             "--threads" => {
-                let v = it.next().ok_or_else(|| CliError("--threads needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--threads needs a value".into()))?;
                 ctx.cores = v
                     .parse::<usize>()
                     .ok()
@@ -125,26 +144,36 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
                     .ok_or_else(|| CliError(format!("bad thread count '{v}'")))?;
             }
             "--out" => {
-                let v = it.next().ok_or_else(|| CliError("--out needs a path".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--out needs a path".into()))?;
                 suite.manifest_path = Some(PathBuf::from(v));
             }
             "--resume" => resume = true,
             "--timeout" => {
-                let v = it.next().ok_or_else(|| CliError("--timeout needs seconds".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--timeout needs seconds".into()))?;
                 let secs = v
                     .parse::<u64>()
                     .map_err(|_| CliError(format!("bad timeout '{v}'")))?;
                 suite.timeout = (secs > 0).then(|| Duration::from_secs(secs));
             }
             "--retries" => {
-                let v = it.next().ok_or_else(|| CliError("--retries needs a count".into()))?;
-                suite.io_retries =
-                    v.parse::<u32>().map_err(|_| CliError(format!("bad retry count '{v}'")))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--retries needs a count".into()))?;
+                suite.io_retries = v
+                    .parse::<u32>()
+                    .map_err(|_| CliError(format!("bad retry count '{v}'")))?;
             }
             "--jobs" => {
-                let v = it.next().ok_or_else(|| CliError("--jobs needs a count".into()))?;
-                suite.jobs =
-                    v.parse::<usize>().map_err(|_| CliError(format!("bad job count '{v}'")))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--jobs needs a count".into()))?;
+                suite.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| CliError(format!("bad job count '{v}'")))?;
             }
             "--stream-cache-mb" => {
                 let v = it
@@ -156,6 +185,12 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
                         .filter(|&n| n > 0)
                         .ok_or_else(|| CliError(format!("bad cache size '{v}'")))?,
                 );
+            }
+            "--trace-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--trace-out needs a path".into()))?;
+                trace_out = Some(PathBuf::from(v));
             }
             "-h" | "--help" => return Err(CliError(USAGE.into())),
             "list" => list = true,
@@ -176,7 +211,9 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
     // Bound the shared stream cache: an explicit --stream-cache-mb wins,
     // otherwise the default is sized off the suite's concurrency.
     let effective_jobs = if suite.jobs == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         suite.jobs
     };
@@ -184,7 +221,14 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErro
         .map(|mb| mb << 20)
         .unwrap_or_else(|| llc_sharing::StreamCache::default_limit(effective_jobs));
     ctx.streams.set_limit(Some(limit));
-    Ok(Cli { ids, ctx, list, suite, resume })
+    Ok(Cli {
+        ids,
+        ctx,
+        list,
+        suite,
+        resume,
+        trace_out,
+    })
 }
 
 /// Renders the experiment list.
@@ -227,26 +271,41 @@ pub fn run_cli(cli: &Cli) -> Result<(String, usize), RunError> {
     if cli.list {
         out.push_str(&experiment_list());
     }
-    let started = std::time::Instant::now();
     let report = run_suite(&cli.ids, &cli.ctx, &cli.suite)?;
     for (id, outcome) in &report.outcomes {
         match outcome {
-            ExperimentOutcome::Completed { tables } | ExperimentOutcome::Resumed { tables } => {
+            ExperimentOutcome::Completed { tables, elapsed } => {
                 for table in tables {
                     out.push_str(&table.to_string());
                     out.push('\n');
                 }
-                let how = if matches!(outcome, ExperimentOutcome::Resumed { .. }) {
-                    "resumed from checkpoint"
-                } else {
-                    "finished"
+                out.push_str(&format!("[{} finished in {:.1?}]\n\n", id.label(), elapsed));
+            }
+            ExperimentOutcome::Resumed { tables, saved } => {
+                for table in tables {
+                    out.push_str(&table.to_string());
+                    out.push('\n');
+                }
+                let saved = match saved {
+                    Some(d) => format!(", skipped ~{:.1?}", d),
+                    None => String::new(),
                 };
-                out.push_str(&format!("[{} {how} in {:.1?}]\n\n", id.label(), started.elapsed()));
+                out.push_str(&format!(
+                    "[{} resumed from checkpoint{saved}]\n\n",
+                    id.label()
+                ));
             }
             ExperimentOutcome::Failed { reason } => {
                 out.push_str(&format!("[{} FAILED: {reason}]\n\n", id.label()));
             }
         }
+    }
+    if report.resumed() > 0 && report.time_skipped() > Duration::ZERO {
+        out.push_str(&format!(
+            "[resume skipped {} experiment(s), ~{:.1?} of recorded compute]\n\n",
+            report.resumed(),
+            report.time_skipped()
+        ));
     }
     if report.failed() > 0 || !report.checkpoint_errors.is_empty() {
         out.push_str(&report.summary().to_string());
@@ -292,20 +351,31 @@ mod tests {
         assert!(parse_cli(args("")).is_err());
         assert!(parse_cli(args("--timeout soon fig1")).is_err());
         assert!(parse_cli(args("--jobs many fig1")).is_err());
-        assert!(parse_cli(args("--resume fig1")).is_err(), "--resume requires --out");
+        assert!(
+            parse_cli(args("--resume fig1")).is_err(),
+            "--resume requires --out"
+        );
     }
 
     #[test]
     fn parses_suite_flags() {
-        let cli =
-            parse_cli(args("--out /tmp/m.json --resume --timeout 60 --retries 5 --jobs 4 fig1"))
-                .unwrap();
-        assert_eq!(cli.suite.manifest_path, Some(std::path::PathBuf::from("/tmp/m.json")));
+        let cli = parse_cli(args(
+            "--out /tmp/m.json --resume --timeout 60 --retries 5 --jobs 4 fig1",
+        ))
+        .unwrap();
+        assert_eq!(
+            cli.suite.manifest_path,
+            Some(std::path::PathBuf::from("/tmp/m.json"))
+        );
         assert!(cli.resume);
         assert_eq!(cli.suite.timeout, Some(Duration::from_secs(60)));
         assert_eq!(cli.suite.io_retries, 5);
         assert_eq!(cli.suite.jobs, 4);
-        assert_eq!(parse_cli(args("fig1")).unwrap().suite.jobs, 0, "all cores by default");
+        assert_eq!(
+            parse_cli(args("fig1")).unwrap().suite.jobs,
+            0,
+            "all cores by default"
+        );
         assert_eq!(parse_cli(args("--jobs 1 fig1")).unwrap().suite.jobs, 1);
         let cli = parse_cli(args("--timeout 0 fig1")).unwrap();
         assert_eq!(cli.suite.timeout, None, "--timeout 0 disables the watchdog");
@@ -321,7 +391,9 @@ mod tests {
             Some(llc_sharing::StreamCache::default_limit(1)),
             "sequential run: 2 GiB floor"
         );
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let cli = parse_cli(args("fig1")).unwrap();
         assert_eq!(
             cli.ctx.streams.stats().limit,
@@ -330,6 +402,14 @@ mod tests {
         );
         assert!(parse_cli(args("--stream-cache-mb 0 fig1")).is_err());
         assert!(parse_cli(args("--stream-cache-mb lots fig1")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_out() {
+        let cli = parse_cli(args("--trace-out /tmp/trace.json fig1")).unwrap();
+        assert_eq!(cli.trace_out, Some(PathBuf::from("/tmp/trace.json")));
+        assert_eq!(parse_cli(args("fig1")).unwrap().trace_out, None);
+        assert!(parse_cli(args("--trace-out")).is_err());
     }
 
     #[test]

@@ -22,20 +22,46 @@
 //! an empty pool and always replay sequentially.
 
 use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::{Arc, LazyLock};
+
+use llc_telemetry::metrics::{global, Counter, Gauge};
 
 static PERMITS: AtomicIsize = AtomicIsize::new(0);
+
+static SPARE_GAUGE: LazyLock<Arc<Gauge>> = LazyLock::new(|| {
+    global().gauge(
+        "llc_budget_spare_workers",
+        "Spare workers currently donated to the process-global pool and available for borrowing",
+    )
+});
+static BORROWED_TOTAL: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+    global().counter(
+        "llc_budget_borrowed_workers_total",
+        "Workers handed out by budget::borrow over the process lifetime",
+    )
+});
+
+/// Mirrors the pool into the spare-workers gauge (clamped at zero,
+/// matching [`available`]). Called after every pool mutation; the load
+/// races benignly with concurrent mutations — the gauge is a sample,
+/// not a ledger.
+fn sync_gauge() {
+    SPARE_GAUGE.set(PERMITS.load(Ordering::SeqCst).max(0) as i64);
+}
 
 /// Resets the pool to exactly `permits` spare workers. Schedulers call
 /// this once at start-up (suite launch, daemon bind) so permits left
 /// over from an earlier run in the same process cannot leak across.
 pub fn reset(permits: usize) {
     PERMITS.store(permits as isize, Ordering::SeqCst);
+    sync_gauge();
 }
 
 /// Donates `n` spare workers to the pool (a suite worker running out of
 /// claimable experiments, a daemon job finishing).
 pub fn donate(n: usize) {
     PERMITS.fetch_add(n as isize, Ordering::SeqCst);
+    sync_gauge();
 }
 
 /// Reclaims `n` workers from the pool (a daemon job starting). The
@@ -43,6 +69,7 @@ pub fn donate(n: usize) {
 /// currently borrowed; it self-corrects as borrows are returned.
 pub fn reclaim(n: usize) {
     PERMITS.fetch_sub(n as isize, Ordering::SeqCst);
+    sync_gauge();
 }
 
 /// Spare workers currently available for borrowing.
@@ -68,7 +95,13 @@ pub fn borrow(max: usize) -> Borrowed {
             Ordering::SeqCst,
             Ordering::SeqCst,
         ) {
-            Ok(_) => return Borrowed { taken: take as usize },
+            Ok(_) => {
+                BORROWED_TOTAL.add(take as u64);
+                sync_gauge();
+                return Borrowed {
+                    taken: take as usize,
+                };
+            }
             Err(observed) => current = observed,
         }
     }

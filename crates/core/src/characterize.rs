@@ -136,7 +136,10 @@ impl SharingProfile {
     /// Fraction of time-integrated LLC occupancy held by shared
     /// generations.
     pub fn shared_occupancy_fraction(&self) -> f64 {
-        fraction(self.shared.occupancy, self.shared.occupancy + self.private.occupancy)
+        fraction(
+            self.shared.occupancy,
+            self.shared.occupancy + self.private.occupancy,
+        )
     }
 
     /// Fraction of shared-generation hits that went to read-only shared
@@ -172,7 +175,11 @@ impl SharingProfile {
         let two = self.degree_histogram[2];
         let three_four = self.degree_histogram[3] + self.degree_histogram[4];
         let five_plus: u64 = self.degree_histogram[5..].iter().sum();
-        (fraction(two, total), fraction(three_four, total), fraction(five_plus, total))
+        (
+            fraction(two, total),
+            fraction(three_four, total),
+            fraction(five_plus, total),
+        )
     }
 }
 
@@ -186,7 +193,11 @@ fn fraction(num: u64, den: u64) -> f64 {
 
 impl LlcObserver for SharingProfile {
     fn on_generation_end(&mut self, gen: &GenerationEnd) {
-        let tally = if gen.is_shared() { &mut self.shared } else { &mut self.private };
+        let tally = if gen.is_shared() {
+            &mut self.shared
+        } else {
+            &mut self.private
+        };
         tally.generations += 1;
         tally.hits += u64::from(gen.hits);
         tally.occupancy += gen.lifetime();

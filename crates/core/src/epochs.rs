@@ -59,7 +59,10 @@ impl EpochSeries {
     /// Panics if `epoch_len` is zero.
     pub fn new(epoch_len: u64) -> Self {
         assert!(epoch_len > 0, "epoch length must be non-zero");
-        EpochSeries { epoch_len, epochs: Vec::new() }
+        EpochSeries {
+            epoch_len,
+            epochs: Vec::new(),
+        }
     }
 
     fn epoch_at(&mut self, time: u64) -> &mut EpochStat {

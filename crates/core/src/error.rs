@@ -64,7 +64,11 @@ impl fmt::Display for RunError {
                 write!(f, "experiment {label} panicked: {reason}")
             }
             RunError::TimedOut { label, limit } => {
-                write!(f, "experiment {label} exceeded its {:.0?} time budget", limit)
+                write!(
+                    f,
+                    "experiment {label} exceeded its {:.0?} time budget",
+                    limit
+                )
             }
             RunError::Io { context, source } => write!(f, "I/O error ({context}): {source}"),
             RunError::Manifest { path, reason } => {
@@ -110,10 +114,16 @@ mod tests {
 
     #[test]
     fn display_names_the_failing_layer() {
-        let e = RunError::Panicked { label: "fig7".into(), reason: "boom".into() };
+        let e = RunError::Panicked {
+            label: "fig7".into(),
+            reason: "boom".into(),
+        };
         assert!(e.to_string().contains("fig7"));
         assert!(e.to_string().contains("boom"));
-        let e = RunError::TimedOut { label: "abl1".into(), limit: Duration::from_secs(30) };
+        let e = RunError::TimedOut {
+            label: "abl1".into(),
+            limit: Duration::from_secs(30),
+        };
         assert!(e.to_string().contains("abl1"));
         let e = RunError::UnknownExperiment { id: "fig99".into() };
         assert!(e.to_string().contains("fig99"));

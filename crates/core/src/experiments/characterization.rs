@@ -28,7 +28,10 @@ fn profile_run(
 pub(crate) fn table2(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let mut t = Table::new(
-        format!("Table 2 — Workload characteristics (LRU, {} KB LLC)", cap >> 10),
+        format!(
+            "Table 2 — Workload characteristics (LRU, {} KB LLC)",
+            cap >> 10
+        ),
         &[
             "app",
             "suite",
@@ -58,7 +61,9 @@ pub(crate) fn table2(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     for r in rows {
         t.row(r);
     }
-    t.note("footprint = distinct blocks observed at the LLC; shared blocks = fraction ever shared.");
+    t.note(
+        "footprint = distinct blocks observed at the LLC; shared blocks = fraction ever shared.",
+    );
     t.note("Trace records are block-granular touches, so MPKI figures are per-block-touch, higher than per-word MPKI.");
     Ok(vec![t])
 }
@@ -80,7 +85,9 @@ pub(crate) fn fig1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         for &cap in &ctx.llc_capacities {
             let (r, p) = profile_run(ctx, app, cap)?;
             row.push(pct(p.shared_hit_fraction()));
-            row.push(pct(r.llc.hits_by_non_filler as f64 / r.llc.hits.max(1) as f64));
+            row.push(pct(
+                r.llc.hits_by_non_filler as f64 / r.llc.hits.max(1) as f64
+            ));
         }
         Ok(row)
     })?;
@@ -109,8 +116,18 @@ pub(crate) fn fig1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
 pub(crate) fn fig2(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let mut t = Table::new(
-        format!("Fig. 2 — Generation population vs occupancy vs hits (LRU, {} KB)", cap >> 10),
-        &["app", "shared gens%", "shared occupancy%", "shared hits%", "hits/gen shared", "hits/gen private"],
+        format!(
+            "Fig. 2 — Generation population vs occupancy vs hits (LRU, {} KB)",
+            cap >> 10
+        ),
+        &[
+            "app",
+            "shared gens%",
+            "shared occupancy%",
+            "shared hits%",
+            "hits/gen shared",
+            "hits/gen private",
+        ],
     );
     let rows = per_app_try(&ctx.apps, |app| {
         let (_, p) = profile_run(ctx, app, cap)?;
@@ -135,7 +152,10 @@ pub(crate) fn fig2(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
 pub(crate) fn fig3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let mut t = Table::new(
-        format!("Fig. 3 — Sharing degree of shared generations (LRU, {} KB)", cap >> 10),
+        format!(
+            "Fig. 3 — Sharing degree of shared generations (LRU, {} KB)",
+            cap >> 10
+        ),
         &["app", "2 sharers", "3-4 sharers", "5+ sharers"],
     );
     let rows = per_app_try(&ctx.apps, |app| {
@@ -153,7 +173,10 @@ pub(crate) fn fig3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
 pub(crate) fn fig4(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let mut t = Table::new(
-        format!("Fig. 4 — Read-only vs read-write shared generations (LRU, {} KB)", cap >> 10),
+        format!(
+            "Fig. 4 — Read-only vs read-write shared generations (LRU, {} KB)",
+            cap >> 10
+        ),
         &["app", "RO gens%", "RW gens%", "RO hits%", "RW hits%"],
     );
     let rows = per_app_try(&ctx.apps, |app| {

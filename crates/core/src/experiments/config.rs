@@ -12,19 +12,37 @@ use crate::runner::{simulate_kind, simulate_oracle};
 
 /// Table 1: the simulated machine.
 pub(crate) fn table1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
-    let mut t = Table::new("Table 1 — Simulated machine configuration", &["component", "value"]);
-    t.row(vec!["cores".into(), format!("{} (one thread per core)", ctx.cores)]);
+    let mut t = Table::new(
+        "Table 1 — Simulated machine configuration",
+        &["component", "value"],
+    );
+    t.row(vec![
+        "cores".into(),
+        format!("{} (one thread per core)", ctx.cores),
+    ]);
     t.row(vec!["block size".into(), format!("{} B", BLOCK_BYTES)]);
-    t.row(vec!["private L1D".into(), format!("{} per core, LRU", ctx.l1)]);
+    t.row(vec![
+        "private L1D".into(),
+        format!("{} per core, LRU", ctx.l1),
+    ]);
     let llcs = ctx
         .llc_capacities
         .iter()
         .map(|c| format!("{} MB", c >> 20).replace("0 MB", &format!("{} KB", c >> 10)))
         .collect::<Vec<_>>()
         .join(" / ");
-    t.row(vec!["shared LLC".into(), format!("{llcs}, {}-way", ctx.llc_ways)]);
-    t.row(vec!["LLC inclusion".into(), "non-inclusive (inclusive mode in abl2)".into()]);
-    t.row(vec!["coherence".into(), "directory MESI-lite (write-invalidate)".into()]);
+    t.row(vec![
+        "shared LLC".into(),
+        format!("{llcs}, {}-way", ctx.llc_ways),
+    ]);
+    t.row(vec![
+        "LLC inclusion".into(),
+        "non-inclusive (inclusive mode in abl2)".into(),
+    ]);
+    t.row(vec![
+        "coherence".into(),
+        "directory MESI-lite (write-invalidate)".into(),
+    ]);
     t.row(vec!["workload scale".into(), ctx.scale.to_string()]);
     t.note("Timing is not modelled; all results are miss-count based, as in the paper.");
     Ok(vec![t])
@@ -36,8 +54,17 @@ pub(crate) fn table1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
 pub(crate) fn abl2(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let mut t = Table::new(
-        format!("Ablation 2 — inclusive vs non-inclusive LLC ({} KB)", cap >> 10),
-        &["app", "shared-hit% NI", "shared-hit% incl", "oracle gain NI", "oracle gain incl"],
+        format!(
+            "Ablation 2 — inclusive vs non-inclusive LLC ({} KB)",
+            cap >> 10
+        ),
+        &[
+            "app",
+            "shared-hit% NI",
+            "shared-hit% incl",
+            "oracle gain NI",
+            "oracle gain incl",
+        ],
     );
     let rows = per_app_try(&ctx.apps, |app| {
         let mut result = vec![app.label().to_string()];
@@ -45,7 +72,11 @@ pub(crate) fn abl2(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             // Non-inclusive: LLC-only replay of the cached stream.
             // Inclusive: the stream is policy-dependent, so the measured
             // runs must stay full simulations (simulate_* falls back).
-            let cfg = if inclusive { ctx.config_inclusive(cap)? } else { ctx.config(cap)? };
+            let cfg = if inclusive {
+                ctx.config_inclusive(cap)?
+            } else {
+                ctx.config(cap)?
+            };
             let mut profile = SharingProfile::new();
             let lru = if inclusive {
                 simulate_kind(
@@ -69,14 +100,27 @@ pub(crate) fn abl2(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
                 )?
             } else {
                 let stream = ctx.stream(app, &cfg)?;
-                replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?
+                replay_oracle(
+                    &cfg,
+                    PolicyKind::Lru,
+                    ProtectMode::Eviction,
+                    None,
+                    &stream,
+                    vec![],
+                )?
             };
             let gain = 1.0 - oracle.llc.misses() as f64 / lru.llc.misses().max(1) as f64;
             result.push(pct(profile.shared_hit_fraction()));
             result.push(pct(gain));
         }
         // Reorder: app, sh-NI, sh-incl, gain-NI, gain-incl.
-        Ok(vec![result[0].clone(), result[1].clone(), result[3].clone(), result[2].clone(), result[4].clone()])
+        Ok(vec![
+            result[0].clone(),
+            result[1].clone(),
+            result[3].clone(),
+            result[2].clone(),
+            result[4].clone(),
+        ])
     })?;
     for r in rows {
         t.row(r);

@@ -8,12 +8,12 @@ use llc_trace::{App, Multiprogram};
 
 use crate::error::RunError;
 use crate::experiments::{per_app_try, ExperimentCtx};
+use crate::model::LatencyModel;
 use crate::replay::{
     replay_kind, replay_oracle, replay_predictor_wrap, replay_reactive, StreamKey, WorkloadId,
 };
-use crate::report::{mean, pct, Table};
-use crate::model::LatencyModel;
 use crate::report::f3;
+use crate::report::{mean, pct, Table};
 
 fn miss_reduction(base: u64, improved: u64) -> f64 {
     1.0 - improved as f64 / base.max(1) as f64
@@ -26,13 +26,26 @@ pub(crate) fn abl4(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let cfg = ctx.config(cap)?;
     let mut t = Table::new(
-        format!("Ablation 4 — reactive vs predicted vs oracle protection ({} KB LLC, base LRU)", cap >> 10),
-        &["app", "reactive gain", "PC+Phase gain", "oracle gain", "reactive/oracle"],
+        format!(
+            "Ablation 4 — reactive vs predicted vs oracle protection ({} KB LLC, base LRU)",
+            cap >> 10
+        ),
+        &[
+            "app",
+            "reactive gain",
+            "PC+Phase gain",
+            "oracle gain",
+            "reactive/oracle",
+        ],
     );
     let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
         let stream = ctx.stream(app, &cfg)?;
-        let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?.llc.misses();
-        let reactive = replay_reactive(&cfg, PolicyKind::Lru, &stream, vec![])?.llc.misses();
+        let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?
+            .llc
+            .misses();
+        let reactive = replay_reactive(&cfg, PolicyKind::Lru, &stream, vec![])?
+            .llc
+            .misses();
         let predicted = replay_predictor_wrap(
             &cfg,
             PolicyKind::Lru,
@@ -42,13 +55,24 @@ pub(crate) fn abl4(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         )?
         .llc
         .misses();
-        let oracle =
-            replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?
-                .llc
-                .misses();
+        let oracle = replay_oracle(
+            &cfg,
+            PolicyKind::Lru,
+            ProtectMode::Eviction,
+            None,
+            &stream,
+            vec![],
+        )?
+        .llc
+        .misses();
         let rg = miss_reduction(lru, reactive);
         let og = miss_reduction(lru, oracle);
-        Ok(vec![rg, miss_reduction(lru, predicted), og, if og > 0.0 { rg / og } else { 0.0 }])
+        Ok(vec![
+            rg,
+            miss_reduction(lru, predicted),
+            og,
+            if og > 0.0 { rg / og } else { 0.0 },
+        ])
     })?;
     for (app, vals) in ctx.apps.iter().zip(&rows) {
         t.row(vec![
@@ -56,7 +80,11 @@ pub(crate) fn abl4(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             pct(vals[0]),
             pct(vals[1]),
             pct(vals[2]),
-            if vals[2] > 0.0 { pct(vals[3]) } else { "-".into() },
+            if vals[2] > 0.0 {
+                pct(vals[3])
+            } else {
+                "-".into()
+            },
         ]);
     }
     let mut mrow = vec!["MEAN".to_string()];
@@ -72,9 +100,18 @@ pub(crate) fn abl4(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
 
 /// The program mixes of `abl5`: four 2-thread programs each.
 const MIXES: [(&str, [App; 4]); 3] = [
-    ("mix-shared", [App::Bodytrack, App::Ferret, App::Water, App::Barnes]),
-    ("mix-blend", [App::Canneal, App::Swim, App::Fft, App::Streamcluster]),
-    ("mix-private", [App::Swaptions, App::Blackscholes, App::Swim, App::Equake]),
+    (
+        "mix-shared",
+        [App::Bodytrack, App::Ferret, App::Water, App::Barnes],
+    ),
+    (
+        "mix-blend",
+        [App::Canneal, App::Swim, App::Fft, App::Streamcluster],
+    ),
+    (
+        "mix-private",
+        [App::Swaptions, App::Blackscholes, App::Swim, App::Equake],
+    ),
 ];
 
 /// Ablation 5: multi-programmed mixes. With programs in disjoint address
@@ -90,7 +127,10 @@ pub(crate) fn abl5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         c
     };
     let mut t = Table::new(
-        format!("Ablation 5 — multi-programmed mixes ({} KB LLC, base LRU)", cap >> 10),
+        format!(
+            "Ablation 5 — multi-programmed mixes ({} KB LLC, base LRU)",
+            cap >> 10
+        ),
         &["mix", "LRU misses", "oracle gain", "shared-hit%"],
     );
     for (name, apps) in MIXES {
@@ -100,11 +140,19 @@ pub(crate) fn abl5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             scale: ctx.scale,
             config: cfg,
         };
-        let stream = ctx.streams.get_or_record(key, || Multiprogram::new(&apps, 2, ctx.scale))?;
+        let stream = ctx
+            .streams
+            .get_or_record(key, || Multiprogram::new(&apps, 2, ctx.scale))?;
         let mut profile = crate::characterize::SharingProfile::new();
         let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![&mut profile])?;
-        let oracle =
-            replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?;
+        let oracle = replay_oracle(
+            &cfg,
+            PolicyKind::Lru,
+            ProtectMode::Eviction,
+            None,
+            &stream,
+            vec![],
+        )?;
         t.row(vec![
             name.to_string(),
             lru.llc.misses().to_string(),
@@ -125,7 +173,10 @@ pub(crate) fn fig12(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     for &cap in &ctx.llc_capacities {
         let cfg = ctx.config(cap)?;
         let mut t = Table::new(
-            format!("Fig. 12 — modelled performance of Oracle(LRU) ({} KB LLC)", cap >> 10),
+            format!(
+                "Fig. 12 — modelled performance of Oracle(LRU) ({} KB LLC)",
+                cap >> 10
+            ),
             &["app", "LRU AMAT", "Oracle AMAT", "speedup"],
         );
         let rows: Vec<(String, f64, f64, f64)> = per_app_try(&ctx.apps, |app| {

@@ -110,7 +110,10 @@ impl ExperimentCtx {
     ///
     /// Same conditions as [`ExperimentCtx::config`].
     pub fn config_inclusive(&self, llc_capacity: u64) -> Result<HierarchyConfig, RunError> {
-        Ok(HierarchyConfig { inclusion: Inclusion::Inclusive, ..self.config(llc_capacity)? })
+        Ok(HierarchyConfig {
+            inclusion: Inclusion::Inclusive,
+            ..self.config(llc_capacity)?
+        })
     }
 
     /// The primary (smallest) LLC configuration.
@@ -169,10 +172,16 @@ where
 {
     let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = apps.iter().map(|&app| scope.spawn(move || f(app))).collect();
+        let handles: Vec<_> = apps
+            .iter()
+            .map(|&app| scope.spawn(move || f(app)))
+            .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     })
 }
@@ -276,9 +285,16 @@ mod tests {
 
     #[test]
     fn contexts_validate() {
-        for ctx in [ExperimentCtx::paper(), ExperimentCtx::quick(), ExperimentCtx::test()] {
+        for ctx in [
+            ExperimentCtx::paper(),
+            ExperimentCtx::quick(),
+            ExperimentCtx::test(),
+        ] {
             for &cap in &ctx.llc_capacities {
-                ctx.config(cap).expect("valid config").validate().expect("valid hierarchy");
+                ctx.config(cap)
+                    .expect("valid config")
+                    .validate()
+                    .expect("valid hierarchy");
                 ctx.config_inclusive(cap)
                     .expect("valid config")
                     .validate()

@@ -35,9 +35,18 @@ pub(crate) fn fig7(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             let cfg = ctx.config(cap)?;
             let stream = ctx.stream(app, &cfg)?;
             let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?;
-            let oracle =
-                replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?;
-            cols.push((lru.llc.misses(), miss_reduction(lru.llc.misses(), oracle.llc.misses())));
+            let oracle = replay_oracle(
+                &cfg,
+                PolicyKind::Lru,
+                ProtectMode::Eviction,
+                None,
+                &stream,
+                vec![],
+            )?;
+            cols.push((
+                lru.llc.misses(),
+                miss_reduction(lru.llc.misses(), oracle.llc.misses()),
+            ));
         }
         Ok((app.label().to_string(), cols))
     })?;
@@ -63,14 +72,22 @@ pub(crate) fn fig7(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
 /// Fig. 8: the same oracle wrapped around the recent proposals,
 /// quantifying how much sharing-awareness each is still missing.
 pub(crate) fn fig8(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
-    let bases = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Drrip, PolicyKind::Ship];
+    let bases = [
+        PolicyKind::Lru,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Ship,
+    ];
     let mut tables = Vec::new();
     for &cap in &ctx.llc_capacities {
         let cfg = ctx.config(cap)?;
         let mut headers: Vec<String> = vec!["app".into()];
         headers.extend(bases.iter().map(|b| format!("Oracle({})", b.label())));
         let mut t = Table::new(
-            format!("Fig. 8 — Oracle miss reduction per base policy ({} KB LLC)", cap >> 10),
+            format!(
+                "Fig. 8 — Oracle miss reduction per base policy ({} KB LLC)",
+                cap >> 10
+            ),
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
         let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
@@ -94,7 +111,9 @@ pub(crate) fn fig8(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             mrow.push(pct(mean(rows.iter().map(|r| r[i]))));
         }
         t.row(mrow);
-        t.note("Each column compares a base policy against the same policy with the sharing oracle.");
+        t.note(
+            "Each column compares a base policy against the same policy with the sharing oracle.",
+        );
         tables.push(t);
     }
     Ok(tables)
@@ -110,7 +129,10 @@ pub(crate) fn abl1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let mut headers: Vec<String> = vec!["app".into(), "LRU misses".into()];
     headers.extend(factors.iter().map(|f| format!("W={f}x lines")));
     let mut t = Table::new(
-        format!("Ablation 1 — oracle retention horizon ({} KB LLC, Oracle(LRU))", cap >> 10),
+        format!(
+            "Ablation 1 — oracle retention horizon ({} KB LLC, Oracle(LRU))",
+            cap >> 10
+        ),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let rows = per_app_try(&ctx.apps, |app| {
@@ -142,8 +164,11 @@ pub(crate) fn abl1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
 pub(crate) fn abl3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let cfg = ctx.config(cap)?;
-    let modes =
-        [ProtectMode::Eviction, ProtectMode::Insertion, ProtectMode::Both];
+    let modes = [
+        ProtectMode::Eviction,
+        ProtectMode::Insertion,
+        ProtectMode::Both,
+    ];
     let bases = [PolicyKind::Lru, PolicyKind::Srrip];
     let mut headers: Vec<String> = vec!["app".into()];
     for b in bases {
@@ -152,7 +177,10 @@ pub(crate) fn abl3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         }
     }
     let mut t = Table::new(
-        format!("Ablation 3 — oracle protection mode ({} KB LLC), miss reduction", cap >> 10),
+        format!(
+            "Ablation 3 — oracle protection mode ({} KB LLC), miss reduction",
+            cap >> 10
+        ),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {

@@ -26,13 +26,21 @@ pub(crate) fn fig11(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         .copied()
         .filter(|a| matches!(a, App::Fft | App::Ocean | App::Mgrid | App::Radix))
         .collect();
-    let rest: Vec<App> = ctx.apps.iter().copied().filter(|a| !apps.contains(a)).collect();
+    let rest: Vec<App> = ctx
+        .apps
+        .iter()
+        .copied()
+        .filter(|a| !apps.contains(a))
+        .collect();
     apps.extend(rest);
 
     let mut headers: Vec<String> = vec!["app".into(), "burstiness".into()];
     headers.extend((1..=SERIES_POINTS).map(|i| format!("e{i}")));
     let mut t = Table::new(
-        format!("Fig. 11 — Shared-hit fraction per epoch (LRU, {} KB LLC)", cap >> 10),
+        format!(
+            "Fig. 11 — Shared-hit fraction per epoch (LRU, {} KB LLC)",
+            cap >> 10
+        ),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let rows = per_app_try(&apps, |app| {
@@ -44,7 +52,11 @@ pub(crate) fn fig11(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         replay_kind(&cfg, PolicyKind::Lru, &stream, vec![&mut series])?;
         let mut cells = vec![app.label().to_string(), f3(series.sharing_burstiness())];
         for i in 0..SERIES_POINTS {
-            let v = series.epochs().get(i).map(|e| e.shared_hit_fraction()).unwrap_or(0.0);
+            let v = series
+                .epochs()
+                .get(i)
+                .map(|e| e.shared_hit_fraction())
+                .unwrap_or(0.0);
             cells.push(pct(v));
         }
         Ok(cells)

@@ -35,12 +35,17 @@ pub(crate) fn fig5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         let mut headers: Vec<String> = vec!["app".into()];
         headers.extend(LINEUP.iter().map(|p| p.label().to_string()));
         let mut t = Table::new(
-            format!("Fig. 5 — LLC misses normalized to LRU ({} KB LLC)", cap >> 10),
+            format!(
+                "Fig. 5 — LLC misses normalized to LRU ({} KB LLC)",
+                cap >> 10
+            ),
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
         let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
             let stream = ctx.stream(app, &cfg)?;
-            let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?.llc.misses();
+            let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?
+                .llc
+                .misses();
             let mut vals = Vec::with_capacity(LINEUP.len());
             for &kind in &LINEUP {
                 let misses = if kind == PolicyKind::Lru {
@@ -62,7 +67,9 @@ pub(crate) fn fig5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             gm.push(f3(geomean(rows.iter().map(|r| r[i]))));
         }
         t.row(gm);
-        t.note("Below 1.000 = fewer misses than LRU. OPT is the non-bypassing optimal lower bound.");
+        t.note(
+            "Below 1.000 = fewer misses than LRU. OPT is the non-bypassing optimal lower bound.",
+        );
         tables.push(t);
     }
     Ok(tables)
@@ -87,7 +94,11 @@ pub(crate) fn fig6(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         headers.push(format!("{} shvic%", p.label()));
     }
     let mut t = Table::new(
-        format!("Fig. 6 — Premature (shared) victimization rates ({} KB LLC, window {})", cap >> 10, window),
+        format!(
+            "Fig. 6 — Premature (shared) victimization rates ({} KB LLC, window {})",
+            cap >> 10,
+            window
+        ),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let rows = per_app_try(&ctx.apps, |app| {
@@ -104,7 +115,9 @@ pub(crate) fn fig6(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     for r in rows {
         t.row(r);
     }
-    t.note("prem% = evictions refilled within the window; shvic% = those whose refill became shared.");
+    t.note(
+        "prem% = evictions refilled within the window; shvic% = those whose refill became shared.",
+    );
     t.note("OPT's near-zero shvic% is what 'OPT is naturally sharing-aware' means quantitatively.");
     Ok(vec![t])
 }

@@ -27,8 +27,19 @@ pub(crate) fn fig9(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let mut tables = Vec::new();
     for &design in &designs {
         let mut t = Table::new(
-            format!("Fig. 9 — {design} fill-time sharing predictor ({} KB LLC, LRU)", cap >> 10),
-            &["app", "shared rate", "accuracy", "precision", "recall", "MCC", "coverage"],
+            format!(
+                "Fig. 9 — {design} fill-time sharing predictor ({} KB LLC, LRU)",
+                cap >> 10
+            ),
+            &[
+                "app",
+                "shared rate",
+                "accuracy",
+                "precision",
+                "recall",
+                "MCC",
+                "coverage",
+            ],
         );
         let rows = per_app_try(&ctx.apps, |app| {
             let stream = ctx.stream(app, &cfg)?;
@@ -64,15 +75,34 @@ pub(crate) fn fig10(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let cfg = ctx.config(cap)?;
     let mut t = Table::new(
-        format!("Fig. 10 — End-to-end: predictor-driven wrapper vs oracle ({} KB LLC, base LRU)", cap >> 10),
-        &["app", "oracle gain", "Addr gain", "PC gain", "Addr+PC gain", "Region gain", "PC+Phase gain"],
+        format!(
+            "Fig. 10 — End-to-end: predictor-driven wrapper vs oracle ({} KB LLC, base LRU)",
+            cap >> 10
+        ),
+        &[
+            "app",
+            "oracle gain",
+            "Addr gain",
+            "PC gain",
+            "Addr+PC gain",
+            "Region gain",
+            "PC+Phase gain",
+        ],
     );
     let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
         let stream = ctx.stream(app, &cfg)?;
-        let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?.llc.misses();
+        let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?
+            .llc
+            .misses();
         let red = |m: u64| 1.0 - m as f64 / lru.max(1) as f64;
-        let oracle =
-            replay_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &stream, vec![])?;
+        let oracle = replay_oracle(
+            &cfg,
+            PolicyKind::Lru,
+            ProtectMode::Eviction,
+            None,
+            &stream,
+            vec![],
+        )?;
         let mut vals = vec![red(oracle.llc.misses())];
         for design in [
             PredictorKind::Address,
@@ -112,9 +142,27 @@ pub(crate) fn table3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
     let cap = ctx.llc_capacities[0];
     let cfg = ctx.config(cap)?;
     let budgets = [
-        ("512e/2b", TableConfig { entries: 512, assoc: 4, counter_bits: 2, init_on_shared: 2, tag_bits: 10 }),
+        (
+            "512e/2b",
+            TableConfig {
+                entries: 512,
+                assoc: 4,
+                counter_bits: 2,
+                init_on_shared: 2,
+                tag_bits: 10,
+            },
+        ),
         ("4096e/3b", TableConfig::realistic()),
-        ("32768e/3b", TableConfig { entries: 32768, assoc: 4, counter_bits: 3, init_on_shared: 5, tag_bits: 10 }),
+        (
+            "32768e/3b",
+            TableConfig {
+                entries: 32768,
+                assoc: 4,
+                counter_bits: 3,
+                init_on_shared: 5,
+                tag_bits: 10,
+            },
+        ),
     ];
     let mut tables = Vec::new();
     for design in [PredictorKind::Address, PredictorKind::Pc] {
@@ -123,7 +171,10 @@ pub(crate) fn table3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             headers.push(format!("{name} ({}KB) acc/MCC", cfg_t.budget_bits() / 8192));
         }
         let mut t = Table::new(
-            format!("Table 3 — {design} predictor budget sweep ({} KB LLC, LRU)", cap >> 10),
+            format!(
+                "Table 3 — {design} predictor budget sweep ({} KB LLC, LRU)",
+                cap >> 10
+            ),
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
         let rows = per_app_try(&ctx.apps, |app| {

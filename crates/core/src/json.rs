@@ -33,7 +33,12 @@ pub enum Value {
 impl Value {
     /// Builds an object from `(&str, Value)` pairs.
     pub fn object(fields: Vec<(&str, Value)>) -> Value {
-        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Looks up a field if this is an object.
@@ -133,7 +138,10 @@ fn escape_into(s: &str, out: &mut String) {
 
 /// Parses a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Value, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -160,7 +168,10 @@ impl Parser<'_> {
 
     fn peek(&mut self) -> Result<u8, String> {
         self.skip_ws();
-        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
     }
 
     fn consume(&mut self, b: u8) -> Result<(), String> {
@@ -181,7 +192,10 @@ impl Parser<'_> {
             b'f' => self.literal("false", Value::Bool(false)),
             b'n' => self.literal("null", Value::Null),
             b'-' | b'0'..=b'9' => self.number(),
-            other => Err(format!("unexpected character {:?} at byte {}", other as char, self.pos)),
+            other => Err(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            )),
         }
     }
 
@@ -325,7 +339,9 @@ impl Parser<'_> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             // infallible: the scanned range contains only ASCII digit/sign bytes.
             .expect("number slice is ASCII");
-        text.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number {text:?}"))
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number {text:?}"))
     }
 }
 
@@ -337,7 +353,10 @@ pub fn table_to_json(t: &Table) -> Value {
     Value::object(vec![
         ("title", Value::Str(t.title.clone())),
         ("headers", strings(&t.headers)),
-        ("rows", Value::Array(t.rows.iter().map(|r| strings(r)).collect())),
+        (
+            "rows",
+            Value::Array(t.rows.iter().map(|r| strings(r)).collect()),
+        ),
         ("notes", strings(&t.notes)),
     ])
 }
@@ -353,11 +372,18 @@ pub fn table_from_json(v: &Value) -> Result<Table, String> {
         v.and_then(Value::as_array)
             .ok_or_else(|| format!("table missing {what}"))?
             .iter()
-            .map(|s| s.as_str().map(str::to_string).ok_or_else(|| format!("non-string in {what}")))
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("non-string in {what}"))
+            })
             .collect()
     };
-    let title =
-        v.field("title").and_then(Value::as_str).ok_or("table missing title")?.to_string();
+    let title = v
+        .field("title")
+        .and_then(Value::as_str)
+        .ok_or("table missing title")?
+        .to_string();
     let headers = strings(v.field("headers"), "headers")?;
     let rows = v
         .field("rows")
@@ -372,7 +398,12 @@ pub fn table_from_json(v: &Value) -> Result<Table, String> {
         }
     }
     let notes = strings(v.field("notes"), "notes")?;
-    Ok(Table { title, headers, rows, notes })
+    Ok(Table {
+        title,
+        headers,
+        rows,
+        notes,
+    })
 }
 
 fn utf8_width(first: u8) -> usize {
@@ -407,7 +438,15 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "\"unterminated", "{} trailing", "nul"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "{} trailing",
+            "nul",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
     }

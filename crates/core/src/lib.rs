@@ -47,9 +47,9 @@ pub mod budget;
 pub mod characterize;
 pub mod epochs;
 pub mod error;
+pub mod experiments;
 pub mod json;
 pub mod model;
-pub mod experiments;
 pub mod replay;
 pub mod report;
 pub mod runner;
@@ -59,21 +59,21 @@ pub use awareness::VictimizationStats;
 pub use characterize::{ClassTally, SharingProfile};
 pub use epochs::{EpochSeries, EpochStat};
 pub use error::RunError;
-pub use model::LatencyModel;
 pub use experiments::{per_app, run_experiment, ExperimentCtx, ExperimentId};
+pub use model::LatencyModel;
 pub use replay::{
     compute_annotations, record_stream, replay, replay_characterized_sharded, replay_kind,
     replay_kind_sharded, replay_opt, replay_opt_sharded, replay_oracle, replay_oracle_sharded,
-    replay_predictor_wrap, replay_reactive, replay_sharded, Annotations, AuxFactory,
-    PolicyFactory, StreamCache, StreamCacheStats, StreamKey, WorkloadId,
-};
-pub use suite::pool::scoped_workers;
-pub use suite::{
-    run_guarded, run_suite, run_suite_with, ExperimentOutcome, SuiteConfig, SuiteReport,
+    replay_predictor_wrap, replay_reactive, replay_sharded, Annotations, AuxFactory, PolicyFactory,
+    StreamCache, StreamCacheStats, StreamKey, WorkloadId,
 };
 pub use report::{f2, f3, geomean, mean, pct, Table};
 pub use runner::{
     compute_next_use, compute_shared_soon, oracle_window, run_simple, simulate, simulate_kind,
     simulate_opt, simulate_oracle, simulate_oracle_opt, simulate_predictor_wrap, simulate_reactive,
     CombinedProvider, NextUseProvider, OracleProvider, RunResult, StreamRecorder,
+};
+pub use suite::pool::scoped_workers;
+pub use suite::{
+    run_guarded, run_suite, run_suite_with, ExperimentOutcome, SuiteConfig, SuiteReport,
 };

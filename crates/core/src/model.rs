@@ -32,7 +32,11 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// Typical mid-2010s CMP latencies: 3 / 30 / 220 cycles.
     pub fn typical() -> Self {
-        LatencyModel { l1_hit: 3.0, llc_hit: 30.0, memory: 220.0 }
+        LatencyModel {
+            l1_hit: 3.0,
+            llc_hit: 30.0,
+            memory: 220.0,
+        }
     }
 
     /// Total execution cycles of a run under the model.
@@ -113,7 +117,11 @@ mod tests {
 
     #[test]
     fn cycles_accumulate_by_level() {
-        let m = LatencyModel { l1_hit: 1.0, llc_hit: 10.0, memory: 100.0 };
+        let m = LatencyModel {
+            l1_hit: 1.0,
+            llc_hit: 10.0,
+            memory: 100.0,
+        };
         let r = run(10, 5, 2);
         // 1000 + 10*1 + 5*10 + 2*100 = 1260.
         assert!((m.cycles(&r) - 1260.0).abs() < 1e-9);
@@ -130,7 +138,11 @@ mod tests {
 
     #[test]
     fn amat_is_weighted_latency() {
-        let m = LatencyModel { l1_hit: 1.0, llc_hit: 10.0, memory: 100.0 };
+        let m = LatencyModel {
+            l1_hit: 1.0,
+            llc_hit: 10.0,
+            memory: 100.0,
+        };
         let r = run(0, 0, 10);
         // Every access goes to memory: 1 + 10 + 100 = 111.
         assert!((m.amat(&r) - 111.0).abs() < 1e-9);
@@ -148,7 +160,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite and non-negative")]
     fn rejects_negative_latency() {
-        let m = LatencyModel { l1_hit: -1.0, llc_hit: 1.0, memory: 1.0 };
+        let m = LatencyModel {
+            l1_hit: -1.0,
+            llc_hit: 1.0,
+            memory: 1.0,
+        };
         let _ = m.cycles(&run(1, 1, 1));
     }
 }

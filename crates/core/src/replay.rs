@@ -27,7 +27,7 @@
 //! [`simulate_oracle`](crate::simulate_oracle) do exactly that.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, LazyLock, Mutex};
 
 use fxhash::FxHashMap;
 use llc_policies::{
@@ -36,9 +36,11 @@ use llc_policies::{
 };
 use llc_predictors::{PredictorWrap, SharingPredictor};
 use llc_sim::{
-    AuxProvider, BlockAddr, Cmp, ConfigError, CoreId, HierarchyConfig, Inclusion, Llc,
-    LlcObserver, LlcStats, MultiObserver, ReplacementPolicy, SimError, StateScope,
+    AuxProvider, BlockAddr, Cmp, ConfigError, CoreId, HierarchyConfig, Inclusion, Llc, LlcObserver,
+    LlcStats, MultiObserver, ReplacementPolicy, SimError, StateScope,
 };
+use llc_telemetry::metrics::{global, Counter, Gauge};
+use llc_telemetry::spans;
 use llc_trace::{App, RecordedStream, Scale, ShardIndex, StreamStore, TraceSource};
 
 use crate::budget;
@@ -48,6 +50,51 @@ use crate::runner::{
     oracle_window, CombinedProvider, NextUseProvider, OracleProvider, RunResult, StreamRecorder,
 };
 use crate::suite::pool::scoped_workers;
+
+/// Global mirrors of [`StreamCacheStats`] plus the stream-recording
+/// counter, resolved once and then touched with relaxed atomics only.
+/// Counter bumps happen at the same sites as the per-cache stats, so
+/// the `/metrics` view aggregates every cache in the process.
+struct ReplayMetrics {
+    records: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_disk_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_disk_errors: Arc<Counter>,
+    cache_bytes: Arc<Gauge>,
+}
+
+static METRICS: LazyLock<ReplayMetrics> = LazyLock::new(|| ReplayMetrics {
+    records: global().counter(
+        "llc_stream_records_total",
+        "Reference streams recorded with a full-hierarchy simulation",
+    ),
+    cache_hits: global().counter(
+        "llc_stream_cache_hits_total",
+        "Stream requests answered from process memory",
+    ),
+    cache_disk_hits: global().counter(
+        "llc_stream_cache_disk_hits_total",
+        "Stream requests answered by loading a .llcs file from the attached store",
+    ),
+    cache_misses: global().counter(
+        "llc_stream_cache_misses_total",
+        "Stream requests that had to record the stream with a full simulation",
+    ),
+    cache_evictions: global().counter(
+        "llc_stream_cache_evictions_total",
+        "Entries evicted from memory by the byte cap",
+    ),
+    cache_disk_errors: global().counter(
+        "llc_stream_cache_disk_errors_total",
+        "Stored-copy failures recovered by re-recording or shrugged off",
+    ),
+    cache_bytes: global().gauge(
+        "llc_stream_cache_bytes",
+        "Encoded stream bytes currently held in memory across all caches",
+    ),
+});
 
 /// Records the policy-independent LLC reference stream of `trace` under
 /// `config` with one full-hierarchy simulation (LRU in the LLC — the
@@ -63,6 +110,8 @@ pub fn record_stream<W: TraceSource>(
     config: &HierarchyConfig,
     mut trace: W,
 ) -> Result<RecordedStream, RunError> {
+    let _span = spans::span("record_stream");
+    METRICS.records.inc();
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
     let mut cmp =
@@ -141,6 +190,7 @@ pub fn replay(
 ) -> Result<RunResult, RunError> {
     check_replayable(config, stream)?;
     let mut llc = Llc::new(config.llc, policy);
+    let _span = spans::span_with(|| format!("replay {}", llc.policy().name()));
     if let Some(aux) = aux {
         llc.set_aux_provider(aux);
     }
@@ -154,7 +204,13 @@ pub fn replay(
             obs.on_upgrade(upgrades[up].block, upgrades[up].core);
             up += 1;
         }
-        llc.access(stream.blocks[i], stream.pcs[i], stream.cores[i], stream.kinds[i], &mut obs);
+        llc.access(
+            stream.blocks[i],
+            stream.pcs[i],
+            stream.cores[i],
+            stream.kinds[i],
+            &mut obs,
+        );
     }
     // Trailing upgrades (after the last access) land before the flush.
     while up < upgrades.len() {
@@ -230,10 +286,12 @@ where
         .into());
     }
     let shards = index.shards();
+    let _span = spans::span_with(|| format!("replay_sharded x{}", shards.len()));
     let slots: Vec<Mutex<Option<(String, LlcStats, O)>>> =
         shards.iter().map(|_| Mutex::new(None)).collect();
     scoped_workers(shards.len(), |w| {
         let shard = &shards[w];
+        let _span = spans::span_with(|| format!("shard {w}"));
         let mut llc = Llc::new_range(config.llc, make_policy(), shard.set_base, shard.set_len);
         if let Some(make_aux) = make_aux {
             llc.set_aux_provider(make_aux());
@@ -259,7 +317,13 @@ where
             // OPT next-use chains, generation spans) matches the
             // sequential run exactly.
             llc.seek_time(i as u64);
-            llc.access(stream.blocks[i], stream.pcs[i], stream.cores[i], stream.kinds[i], &mut obs);
+            llc.access(
+                stream.blocks[i],
+                stream.pcs[i],
+                stream.cores[i],
+                stream.kinds[i],
+                &mut obs,
+            );
         }
         while up < shard.upgrades.len() {
             let u = &upgrades[shard.upgrades[up] as usize];
@@ -271,6 +335,7 @@ where
         llc.flush(&mut obs);
         *lock_recovering(&slots[w]) = Some((llc.policy().name(), llc.stats(), obs));
     });
+    let _merge_span = spans::span("merge shards");
     let mut llc_stats = LlcStats::default();
     let mut policy = String::new();
     let mut observers = Vec::with_capacity(shards.len());
@@ -314,8 +379,9 @@ pub fn replay_sharded(
     stream: &RecordedStream,
     index: &ShardIndex,
 ) -> Result<RunResult, RunError> {
-    let (result, _) =
-        replay_sharded_core(config, make_policy, make_aux, stream, index, &|| DiscardObserver)?;
+    let (result, _) = replay_sharded_core(config, make_policy, make_aux, stream, index, &|| {
+        DiscardObserver
+    })?;
     Ok(result)
 }
 
@@ -345,7 +411,10 @@ mod shard_registry {
     pub(super) fn register(stream: &Arc<RecordedStream>) {
         let mut reg = lock_recovering(&REGISTRY);
         reg.retain(|(weak, _)| weak.strong_count() > 0);
-        if reg.iter().any(|(weak, _)| weak.upgrade().is_some_and(|s| Arc::ptr_eq(&s, stream))) {
+        if reg
+            .iter()
+            .any(|(weak, _)| weak.upgrade().is_some_and(|s| Arc::ptr_eq(&s, stream)))
+        {
             return;
         }
         reg.push((Arc::downgrade(stream), Arc::new(Mutex::new(HashMap::new()))));
@@ -447,7 +516,13 @@ pub fn replay_kind_sharded(
     let policy = build_policy(kind, sets, ways);
     if shards > 1 && policy.state_scope() == StateScope::PerSet {
         if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
-            return replay_sharded(config, &|| build_policy(kind, sets, ways), None, stream, &index);
+            return replay_sharded(
+                config,
+                &|| build_policy(kind, sets, ways),
+                None,
+                stream,
+                &index,
+            );
         }
     }
     replay(config, policy, None, stream, Vec::new())
@@ -558,9 +633,7 @@ pub fn replay_opt_sharded(
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
     let next_use = Arc::new(compute_annotations(stream, 0).next_use);
-    if shards > 1
-        && build_policy(PolicyKind::Opt, sets, ways).state_scope() == StateScope::PerSet
-    {
+    if shards > 1 && build_policy(PolicyKind::Opt, sets, ways).state_scope() == StateScope::PerSet {
         if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
             return replay_opt_on(config, &next_use, stream, &index);
         }
@@ -661,8 +734,14 @@ pub fn replay_oracle(
     let ways = config.llc.ways;
     let window = window.unwrap_or_else(|| oracle_window(config));
     let ann = compute_annotations(stream, window);
-    let setup =
-        oracle_setup(base, mode, sets, ways, Arc::new(ann.next_use), Arc::new(ann.shared_soon));
+    let setup = oracle_setup(
+        base,
+        mode,
+        sets,
+        ways,
+        Arc::new(ann.next_use),
+        Arc::new(ann.shared_soon),
+    );
     if observers.is_empty() && (setup.make_policy)().state_scope() == StateScope::PerSet {
         let borrowed = budget::borrow(MAX_DONATED_WORKERS);
         if borrowed.count() > 0 {
@@ -677,7 +756,13 @@ pub fn replay_oracle(
             }
         }
     }
-    replay(config, (setup.make_policy)(), Some((setup.make_aux)()), stream, observers)
+    replay(
+        config,
+        (setup.make_policy)(),
+        Some((setup.make_aux)()),
+        stream,
+        observers,
+    )
 }
 
 /// Explicitly set-sharded [`replay_oracle`]. Falls back to the
@@ -699,8 +784,14 @@ pub fn replay_oracle_sharded(
     let ways = config.llc.ways;
     let window = window.unwrap_or_else(|| oracle_window(config));
     let ann = compute_annotations(stream, window);
-    let setup =
-        oracle_setup(base, mode, sets, ways, Arc::new(ann.next_use), Arc::new(ann.shared_soon));
+    let setup = oracle_setup(
+        base,
+        mode,
+        sets,
+        ways,
+        Arc::new(ann.next_use),
+        Arc::new(ann.shared_soon),
+    );
     if shards > 1 && (setup.make_policy)().state_scope() == StateScope::PerSet {
         if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
             return replay_sharded(
@@ -712,7 +803,13 @@ pub fn replay_oracle_sharded(
             );
         }
     }
-    replay(config, (setup.make_policy)(), Some((setup.make_aux)()), stream, Vec::new())
+    replay(
+        config,
+        (setup.make_policy)(),
+        Some((setup.make_aux)()),
+        stream,
+        Vec::new(),
+    )
 }
 
 /// Replays reactive (directory-driven, prediction-free) sharing
@@ -729,7 +826,13 @@ pub fn replay_reactive(
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    replay(config, build_reactive_policy(base, sets, ways), None, stream, observers)
+    replay(
+        config,
+        build_reactive_policy(base, sets, ways),
+        None,
+        stream,
+        observers,
+    )
 }
 
 /// Replays a predictor-driven sharing-aware wrapper around `base`.
@@ -746,8 +849,12 @@ pub fn replay_predictor_wrap(
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    let policy =
-        Box::new(PredictorWrap::new(build_policy(base, sets, ways), predictor, sets, ways));
+    let policy = Box::new(PredictorWrap::new(
+        build_policy(base, sets, ways),
+        predictor,
+        sets,
+        ways,
+    ));
     replay(config, policy, None, stream, observers)
 }
 
@@ -775,6 +882,7 @@ pub struct Annotations {
 /// `next_use[i] = n1` and `shared_soon[i]` asks whether the nearest
 /// future *differing-core* access falls within `window`.
 pub fn compute_annotations(stream: &RecordedStream, window: u64) -> Annotations {
+    let _span = spans::span("compute_annotations");
     let n = stream.len();
     let mut next_use = vec![u64::MAX; n];
     let mut shared_soon = vec![false; n];
@@ -792,11 +900,26 @@ pub fn compute_annotations(stream: &RecordedStream, window: u64) -> Annotations 
             let next_diff = if e.c1 != core { e.n1 } else { e.n2 };
             shared_soon[i] = next_diff != u64::MAX && next_diff - i as u64 <= window;
         }
-        let entry = next.entry(block).or_insert(Next { n1: u64::MAX, c1: core, n2: u64::MAX });
-        let new_n2 = if entry.n1 != u64::MAX && entry.c1 != core { entry.n1 } else { entry.n2 };
-        *entry = Next { n1: i as u64, c1: core, n2: new_n2 };
+        let entry = next.entry(block).or_insert(Next {
+            n1: u64::MAX,
+            c1: core,
+            n2: u64::MAX,
+        });
+        let new_n2 = if entry.n1 != u64::MAX && entry.c1 != core {
+            entry.n1
+        } else {
+            entry.n2
+        };
+        *entry = Next {
+            n1: i as u64,
+            c1: core,
+            n2: new_n2,
+        };
     }
-    Annotations { next_use, shared_soon }
+    Annotations {
+        next_use,
+        shared_soon,
+    }
 }
 
 /// Identity of a workload for stream-cache keying.
@@ -986,7 +1109,10 @@ impl StreamCache {
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> StreamCacheStats {
         let inner = lock_recovering(&self.inner);
-        StreamCacheStats { limit: inner.limit, ..inner.stats }
+        StreamCacheStats {
+            limit: inner.limit,
+            ..inner.stats
+        }
     }
 
     /// Number of cached streams (recorded, not merely reserved).
@@ -1036,6 +1162,7 @@ impl StreamCache {
             let stream = Arc::clone(stream);
             drop(guard);
             lock_recovering(&self.inner).stats.hits += 1;
+            METRICS.cache_hits.inc();
             return Ok(stream);
         }
 
@@ -1052,6 +1179,7 @@ impl StreamCache {
             Some(Err(_)) => {
                 // Corrupt stored copy: count it, re-record, overwrite.
                 lock_recovering(&self.inner).stats.disk_errors += 1;
+                METRICS.cache_disk_errors.inc();
                 Arc::new(record_stream(&key.config, make_trace())?)
             }
             Some(Ok(None)) | None => Arc::new(record_stream(&key.config, make_trace())?),
@@ -1060,6 +1188,7 @@ impl StreamCache {
             if let Some(store) = store.as_ref() {
                 if store.save(fp, &stream).is_err() {
                     lock_recovering(&self.inner).stats.disk_errors += 1;
+                    METRICS.cache_disk_errors.inc();
                 }
             }
         }
@@ -1075,14 +1204,17 @@ impl StreamCache {
         let mut inner = lock_recovering(&self.inner);
         if from_disk {
             inner.stats.disk_hits += 1;
+            METRICS.cache_disk_hits.inc();
         } else {
             inner.stats.misses += 1;
+            METRICS.cache_misses.inc();
         }
         let size = stream.encoded_len() as u64;
         if let Some(entry) = inner.map.get_mut(&key) {
             let grown = size.saturating_sub(entry.bytes);
             entry.bytes = size;
             inner.stats.bytes += grown;
+            METRICS.cache_bytes.add(grown as i64);
         }
         Self::evict_over_limit(&mut inner, Some(&key));
         Ok(stream)
@@ -1106,6 +1238,8 @@ impl StreamCache {
             let entry = inner.map.remove(&victim).expect("victim present");
             inner.stats.bytes -= entry.bytes;
             inner.stats.evictions += 1;
+            METRICS.cache_bytes.add(-(entry.bytes as i64));
+            METRICS.cache_evictions.inc();
         }
     }
 }
@@ -1184,15 +1318,11 @@ mod tests {
         let window = 64;
         let stream = stream_of(App::Dedup);
         let ann = compute_annotations(&stream, window);
-        let next_legacy =
-            crate::runner::compute_next_use(&c, App::Dedup.workload(4, Scale::Tiny))
-                .expect("legacy next-use");
-        let shared_legacy = crate::runner::compute_shared_soon(
-            &c,
-            App::Dedup.workload(4, Scale::Tiny),
-            window,
-        )
-        .expect("legacy shared-soon");
+        let next_legacy = crate::runner::compute_next_use(&c, App::Dedup.workload(4, Scale::Tiny))
+            .expect("legacy next-use");
+        let shared_legacy =
+            crate::runner::compute_shared_soon(&c, App::Dedup.workload(4, Scale::Tiny), window)
+                .expect("legacy shared-soon");
         assert_eq!(ann.next_use, next_legacy);
         assert_eq!(ann.shared_soon, shared_legacy);
     }
@@ -1237,13 +1367,22 @@ mod tests {
                 App::Swaptions.workload(4, Scale::Tiny)
             })
             .expect("cached");
-        assert_eq!(recordings.load(Ordering::SeqCst), 1, "second get must hit the cache");
+        assert_eq!(
+            recordings.load(Ordering::SeqCst),
+            1,
+            "second get must hit the cache"
+        );
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
     }
 
     fn key_for(app: App) -> StreamKey {
-        StreamKey { workload: WorkloadId::App(app), cores: 4, scale: Scale::Tiny, config: cfg() }
+        StreamKey {
+            workload: WorkloadId::App(app),
+            cores: 4,
+            scale: Scale::Tiny,
+            config: cfg(),
+        }
     }
 
     #[test]
@@ -1265,7 +1404,11 @@ mod tests {
         other.config.llc = llc_sim::CacheConfig::from_kib(128, 8).expect("valid");
         assert_ne!(key.fingerprint(), other.fingerprint());
         assert_ne!(
-            StreamKey { workload: WorkloadId::Mix("fft"), ..key }.fingerprint(),
+            StreamKey {
+                workload: WorkloadId::Mix("fft"),
+                ..key
+            }
+            .fingerprint(),
             key.fingerprint(),
             "an app and a mix with the same name must not collide"
         );
@@ -1304,7 +1447,9 @@ mod tests {
         // A re-request of an evicted stream is a miss that re-records.
         let before = bounded.stats().misses;
         bounded
-            .get_or_record(key_for(App::Swaptions), || App::Swaptions.workload(4, Scale::Tiny))
+            .get_or_record(key_for(App::Swaptions), || {
+                App::Swaptions.workload(4, Scale::Tiny)
+            })
             .expect("re-record");
         assert_eq!(bounded.stats().misses, before + 1);
     }
@@ -1324,27 +1469,34 @@ mod tests {
         // entry must go: the victim must be Bodytrack (now the LRU), not
         // the freshly touched Swaptions.
         cache
-            .get_or_record(key_for(App::Swaptions), || App::Swaptions.workload(4, Scale::Tiny))
+            .get_or_record(key_for(App::Swaptions), || {
+                App::Swaptions.workload(4, Scale::Tiny)
+            })
             .expect("hit");
         assert_eq!(cache.stats().hits, 1);
         cache.set_limit(Some(sizes.iter().sum::<u64>() - 1));
         assert_eq!(cache.stats().evictions, 1);
         let miss_free = cache.stats().misses;
         cache
-            .get_or_record(key_for(App::Swaptions), || App::Swaptions.workload(4, Scale::Tiny))
+            .get_or_record(key_for(App::Swaptions), || {
+                App::Swaptions.workload(4, Scale::Tiny)
+            })
             .expect("still resident");
         cache
             .get_or_record(key_for(App::Dedup), || App::Dedup.workload(4, Scale::Tiny))
             .expect("still resident");
-        assert_eq!(cache.stats().misses, miss_free, "touched entries must have survived");
+        assert_eq!(
+            cache.stats().misses,
+            miss_free,
+            "touched entries must have survived"
+        );
     }
 
     #[test]
     fn store_backed_cache_reads_through_and_recovers_from_corruption() {
         use llc_trace::StreamStore;
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let dir =
-            std::env::temp_dir().join(format!("llc-cache-store-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("llc-cache-store-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = StreamStore::open(&dir).expect("open store");
         let key = key_for(App::Bodytrack);
@@ -1365,7 +1517,11 @@ mod tests {
         // stream from disk without simulating.
         let second = StreamCache::with_store(store.clone(), None);
         let b = second.get_or_record(key, make).expect("disk hit");
-        assert_eq!(recordings.load(Ordering::SeqCst), 1, "disk hit must not re-record");
+        assert_eq!(
+            recordings.load(Ordering::SeqCst),
+            1,
+            "disk hit must not re-record"
+        );
         assert_eq!(second.stats().disk_hits, 1);
         assert_eq!(second.stats().misses, 0);
         assert_eq!(*a, *b);
@@ -1378,12 +1534,20 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate");
         let third = StreamCache::with_store(store.clone(), None);
         let c = third.get_or_record(key, make).expect("recover");
-        assert_eq!(recordings.load(Ordering::SeqCst), 2, "corruption must re-record");
+        assert_eq!(
+            recordings.load(Ordering::SeqCst),
+            2,
+            "corruption must re-record"
+        );
         assert_eq!(third.stats().disk_errors, 1);
         assert_eq!(*a, *c);
         let healed = StreamCache::with_store(store.clone(), None);
         healed.get_or_record(key, make).expect("healed");
-        assert_eq!(recordings.load(Ordering::SeqCst), 2, "overwritten copy must load");
+        assert_eq!(
+            recordings.load(Ordering::SeqCst),
+            2,
+            "overwritten copy must load"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -32,7 +32,12 @@ impl Table {
     ///
     /// Panics if the cell count does not match the header count.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in '{}'", self.title);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
         self.rows.push(cells);
     }
 

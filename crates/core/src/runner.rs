@@ -31,8 +31,7 @@ use llc_policies::{
 use llc_predictors::{PredictorWrap, SharingPredictor};
 use llc_sim::{
     AccessCtx, AccessKind, Aux, AuxProvider, BlockAddr, Cmp, CoreId, HierarchyConfig, Inclusion,
-    LiveGeneration, LlcObserver, LlcStats, MultiObserver, Pc, PrivateCacheStats,
-    ReplacementPolicy,
+    LiveGeneration, LlcObserver, LlcStats, MultiObserver, Pc, PrivateCacheStats, ReplacementPolicy,
 };
 use llc_trace::{TraceSource, UpgradeEvent};
 
@@ -134,7 +133,13 @@ where
     if kind == PolicyKind::Opt {
         return simulate_opt(config, make_trace, observers);
     }
-    simulate(config, build_policy(kind, sets, ways), None, make_trace(), observers)
+    simulate(
+        config,
+        build_policy(kind, sets, ways),
+        None,
+        make_trace(),
+        observers,
+    )
 }
 
 /// Runs Belady's OPT: one recording pass captures the LLC reference
@@ -211,7 +216,10 @@ where
         return simulate(
             config,
             policy,
-            Some(Box::new(CombinedProvider::new(ann.next_use, ann.shared_soon))),
+            Some(Box::new(CombinedProvider::new(
+                ann.next_use,
+                ann.shared_soon,
+            ))),
             make_trace(),
             observers,
         );
@@ -241,7 +249,14 @@ where
     W: TraceSource,
     F: FnMut() -> W,
 {
-    simulate_oracle(config, PolicyKind::Opt, ProtectMode::Eviction, None, make_trace, observers)
+    simulate_oracle(
+        config,
+        PolicyKind::Opt,
+        ProtectMode::Eviction,
+        None,
+        make_trace,
+        observers,
+    )
 }
 
 /// Runs reactive (directory-driven, prediction-free) sharing protection
@@ -260,7 +275,13 @@ where
 {
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    simulate(config, build_reactive_policy(base, sets, ways), None, make_trace(), observers)
+    simulate(
+        config,
+        build_reactive_policy(base, sets, ways),
+        None,
+        make_trace(),
+        observers,
+    )
 }
 
 /// Runs a predictor-driven sharing-aware wrapper around `base` (the
@@ -278,7 +299,12 @@ where
 {
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    let policy = Box::new(PredictorWrap::new(build_policy(base, sets, ways), predictor, sets, ways));
+    let policy = Box::new(PredictorWrap::new(
+        build_policy(base, sets, ways),
+        predictor,
+        sets,
+        ways,
+    ));
     simulate(config, policy, None, make_trace(), observers)
 }
 
@@ -380,7 +406,11 @@ impl LlcObserver for StreamRecorder {
     fn on_upgrade(&mut self, block: BlockAddr, core: CoreId) {
         // `on_hit`/`on_fill` fire exactly once per LLC access, in order,
         // so `blocks.len()` is the LLC time this upgrade lands at.
-        self.upgrades.push(UpgradeEvent { at: self.blocks.len() as u64, block, core });
+        self.upgrades.push(UpgradeEvent {
+            at: self.blocks.len() as u64,
+            block,
+            core,
+        });
     }
 }
 
@@ -408,8 +438,15 @@ impl NextUseProvider {
 
 impl AuxProvider for NextUseProvider {
     fn aux_for(&mut self, time: u64, _block: BlockAddr) -> Aux {
-        let n = self.next_use.get(time as usize).copied().unwrap_or(u64::MAX);
-        Aux { next_use: (n != u64::MAX).then_some(n), oracle_shared: None }
+        let n = self
+            .next_use
+            .get(time as usize)
+            .copied()
+            .unwrap_or(u64::MAX);
+        Aux {
+            next_use: (n != u64::MAX).then_some(n),
+            oracle_shared: None,
+        }
     }
 }
 
@@ -434,7 +471,10 @@ impl OracleProvider {
 impl AuxProvider for OracleProvider {
     fn aux_for(&mut self, time: u64, _block: BlockAddr) -> Aux {
         let s = self.outcome.get(time as usize).copied().unwrap_or(false);
-        Aux { next_use: None, oracle_shared: Some(s) }
+        Aux {
+            next_use: None,
+            oracle_shared: Some(s),
+        }
     }
 }
 
@@ -459,9 +499,16 @@ impl CombinedProvider {
 
 impl AuxProvider for CombinedProvider {
     fn aux_for(&mut self, time: u64, _block: BlockAddr) -> Aux {
-        let n = self.next_use.get(time as usize).copied().unwrap_or(u64::MAX);
+        let n = self
+            .next_use
+            .get(time as usize)
+            .copied()
+            .unwrap_or(u64::MAX);
         let s = self.outcome.get(time as usize).copied().unwrap_or(false);
-        Aux { next_use: (n != u64::MAX).then_some(n), oracle_shared: Some(s) }
+        Aux {
+            next_use: (n != u64::MAX).then_some(n),
+            oracle_shared: Some(s),
+        }
     }
 }
 
@@ -629,10 +676,24 @@ mod tests {
     #[test]
     fn oracle_run_is_deterministic() {
         let c = cfg();
-        let a = simulate_oracle(&c, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make(App::Water), vec![])
-            .expect("run");
-        let b = simulate_oracle(&c, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make(App::Water), vec![])
-            .expect("run");
+        let a = simulate_oracle(
+            &c,
+            PolicyKind::Lru,
+            ProtectMode::Eviction,
+            None,
+            &mut make(App::Water),
+            vec![],
+        )
+        .expect("run");
+        let b = simulate_oracle(
+            &c,
+            PolicyKind::Lru,
+            ProtectMode::Eviction,
+            None,
+            &mut make(App::Water),
+            vec![],
+        )
+        .expect("run");
         assert_eq!(a.llc, b.llc);
     }
 

@@ -36,9 +36,12 @@ use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, LazyLock, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use llc_telemetry::metrics::{global, Counter, Histogram, TIME_BOUNDS};
+use llc_telemetry::spans;
 
 use crate::error::RunError;
 use crate::experiments::{run_experiment, ExperimentCtx, ExperimentId};
@@ -46,6 +49,45 @@ use crate::json;
 use crate::report::Table;
 
 pub mod pool;
+
+/// Suite-level telemetry, resolved once per process.
+struct SuiteMetrics {
+    queue_wait: Arc<Histogram>,
+    completed: Arc<Counter>,
+    resumed: Arc<Counter>,
+    failed: Arc<Counter>,
+    checkpoint_writes: Arc<Counter>,
+    checkpoint_write: Arc<Histogram>,
+}
+
+static METRICS: LazyLock<SuiteMetrics> = LazyLock::new(|| {
+    let experiments = |status| {
+        global().counter_with(
+            "llc_suite_experiments_total",
+            "Experiments finished by the suite runner, by outcome",
+            &[("status", status)],
+        )
+    };
+    SuiteMetrics {
+        queue_wait: global().histogram(
+            "llc_suite_queue_wait_seconds",
+            "Time experiments waited from suite start until a worker claimed them",
+            &TIME_BOUNDS,
+        ),
+        completed: experiments("completed"),
+        resumed: experiments("resumed"),
+        failed: experiments("failed"),
+        checkpoint_writes: global().counter(
+            "llc_suite_checkpoint_writes_total",
+            "Checkpoint manifest writes attempted after completed experiments",
+        ),
+        checkpoint_write: global().histogram(
+            "llc_suite_checkpoint_write_seconds",
+            "Duration of checkpoint manifest serialization + atomic write",
+            &TIME_BOUNDS,
+        ),
+    }
+});
 
 /// Configuration of the suite harness.
 #[derive(Debug, Clone)]
@@ -94,11 +136,18 @@ pub enum ExperimentOutcome {
     Completed {
         /// The experiment's rendered tables.
         tables: Vec<Table>,
+        /// Wall time the experiment took (isolation thread + watchdog
+        /// included); checkpointed so later resumes can report it.
+        elapsed: Duration,
     },
     /// Replayed from the checkpoint manifest without recomputation.
     Resumed {
         /// The tables as checkpointed by the earlier invocation.
         tables: Vec<Table>,
+        /// Wall time the checkpointed run took — i.e. roughly what the
+        /// resume just saved. `None` for manifests written before the
+        /// field existed.
+        saved: Option<Duration>,
     },
     /// Did not produce tables; the suite recorded why and moved on.
     Failed {
@@ -112,9 +161,8 @@ impl ExperimentOutcome {
     /// The tables, if the experiment produced any.
     pub fn tables(&self) -> Option<&[Table]> {
         match self {
-            ExperimentOutcome::Completed { tables } | ExperimentOutcome::Resumed { tables } => {
-                Some(tables)
-            }
+            ExperimentOutcome::Completed { tables, .. }
+            | ExperimentOutcome::Resumed { tables, .. } => Some(tables),
             ExperimentOutcome::Failed { .. } => None,
         }
     }
@@ -142,12 +190,44 @@ impl SuiteReport {
 
     /// Experiments replayed from the checkpoint manifest.
     pub fn resumed(&self) -> usize {
-        self.outcomes.iter().filter(|(_, o)| matches!(o, ExperimentOutcome::Resumed { .. })).count()
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, ExperimentOutcome::Resumed { .. }))
+            .count()
     }
 
     /// Experiments that failed (error, panic or timeout).
     pub fn failed(&self) -> usize {
-        self.outcomes.iter().filter(|(_, o)| matches!(o, ExperimentOutcome::Failed { .. })).count()
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, ExperimentOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// Total wall time spent by experiments completed in this
+    /// invocation (per-experiment times, so parallel runs sum to more
+    /// than the suite's own wall clock).
+    pub fn time_spent(&self) -> Duration {
+        self.outcomes
+            .iter()
+            .filter_map(|(_, o)| match o {
+                ExperimentOutcome::Completed { elapsed, .. } => Some(*elapsed),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total wall time the resumes skipped, as recorded by the earlier
+    /// invocations that checkpointed them (experiments resumed from
+    /// manifests predating the timing field contribute nothing).
+    pub fn time_skipped(&self) -> Duration {
+        self.outcomes
+            .iter()
+            .filter_map(|(_, o)| match o {
+                ExperimentOutcome::Resumed { saved, .. } => *saved,
+                _ => None,
+            })
+            .sum()
     }
 
     /// A one-row-per-experiment status table for the end of a report.
@@ -155,11 +235,19 @@ impl SuiteReport {
         let mut t = Table::new("Suite summary", &["experiment", "status", "detail"]);
         for (id, outcome) in &self.outcomes {
             let (status, detail) = match outcome {
-                ExperimentOutcome::Completed { tables } => {
-                    ("completed".to_string(), format!("{} table(s)", tables.len()))
-                }
-                ExperimentOutcome::Resumed { tables } => {
-                    ("resumed".to_string(), format!("{} table(s) from checkpoint", tables.len()))
+                ExperimentOutcome::Completed { tables, elapsed } => (
+                    "completed".to_string(),
+                    format!("{} table(s) in {:.1?}", tables.len(), elapsed),
+                ),
+                ExperimentOutcome::Resumed { tables, saved } => {
+                    let saved = match saved {
+                        Some(d) => format!(", ~{:.1?} skipped", d),
+                        None => String::new(),
+                    };
+                    (
+                        "resumed".to_string(),
+                        format!("{} table(s) from checkpoint{saved}", tables.len()),
+                    )
                 }
                 ExperimentOutcome::Failed { reason } => ("FAILED".to_string(), reason.clone()),
             };
@@ -216,8 +304,12 @@ where
     let mut pending: Vec<(usize, ExperimentId)> = Vec::new();
     for (i, &id) in ids.iter().enumerate() {
         match manifest.get(id.label()) {
-            Some(tables) => {
-                slots.push(Some(ExperimentOutcome::Resumed { tables: tables.to_vec() }));
+            Some((tables, elapsed_ms)) => {
+                METRICS.resumed.inc();
+                slots.push(Some(ExperimentOutcome::Resumed {
+                    tables: tables.to_vec(),
+                    saved: elapsed_ms.map(Duration::from_millis),
+                }));
             }
             None => {
                 slots.push(None);
@@ -240,22 +332,34 @@ where
     // claimable experiments, so the tail of a suite — a few long
     // stragglers on an otherwise idle machine — still saturates it.
     crate::budget::reset(config.effective_jobs().saturating_sub(workers));
+    let suite_start = Instant::now();
     pool::scoped_workers(workers, |_| loop {
         let w = next.fetch_add(1, Ordering::SeqCst);
         let Some(&(slot, id)) = pending.get(w) else {
             crate::budget::donate(1);
             break;
         };
+        // Queue wait: how long the experiment sat behind others before a
+        // worker picked it up (zero-ish for the first `workers` claims).
+        METRICS.queue_wait.observe_duration(suite_start.elapsed());
         let outcome = run_isolated(id, ctx, config, Arc::clone(&run_fn));
-        if let (Some(path), ExperimentOutcome::Completed { tables }) =
+        if let (Some(path), ExperimentOutcome::Completed { tables, elapsed }) =
             (&config.manifest_path, &outcome)
         {
-            let mut guard = checkpoint.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let _span = spans::span("checkpoint write");
+            let write_start = Instant::now();
+            let mut guard = checkpoint
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             let (manifest, errors) = &mut *guard;
-            manifest.insert(id.label(), tables.clone());
+            manifest.insert(id.label(), tables.clone(), Some(elapsed.as_millis() as u64));
             if let Err(e) = save_manifest(manifest, path, config) {
                 errors.push(e.to_string());
             }
+            METRICS.checkpoint_writes.inc();
+            METRICS
+                .checkpoint_write
+                .observe_duration(write_start.elapsed());
         }
         *result_slots[slot].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
     });
@@ -273,9 +377,13 @@ where
             (id, outcome)
         })
         .collect();
-    let (_, checkpoint_errors) =
-        checkpoint.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
-    Ok(SuiteReport { outcomes, checkpoint_errors })
+    let (_, checkpoint_errors) = checkpoint
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    Ok(SuiteReport {
+        outcomes,
+        checkpoint_errors,
+    })
 }
 
 /// Runs `work` on a dedicated thread under `catch_unwind` and a watchdog,
@@ -326,7 +434,10 @@ where
             Ok(r) => r,
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 drop(handle); // abandon the worker; see the function docs
-                return Err(RunError::TimedOut { label: label.to_string(), limit });
+                return Err(RunError::TimedOut {
+                    label: label.to_string(),
+                    limit,
+                });
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => return Err(disconnected()),
         },
@@ -357,9 +468,22 @@ where
     F: Fn(ExperimentId, &ExperimentCtx) -> Result<Vec<Table>, RunError> + Send + Sync + 'static,
 {
     let ctx = ctx.clone();
+    let _span = spans::span_with(|| format!("experiment {}", id.label()));
+    let start = Instant::now();
     match run_guarded(id.label(), config.timeout, move || run_fn(id, &ctx)) {
-        Ok(tables) => ExperimentOutcome::Completed { tables },
-        Err(e) => ExperimentOutcome::Failed { reason: e.to_string() },
+        Ok(tables) => {
+            METRICS.completed.inc();
+            ExperimentOutcome::Completed {
+                tables,
+                elapsed: start.elapsed(),
+            }
+        }
+        Err(e) => {
+            METRICS.failed.inc();
+            ExperimentOutcome::Failed {
+                reason: e.to_string(),
+            }
+        }
     }
 }
 
@@ -400,23 +524,43 @@ fn with_retries<T>(
     })
 }
 
-/// The checkpoint manifest: completed experiments and their tables, in
-/// completion order.
+/// The checkpoint manifest: completed experiments, their tables and
+/// (since the timing field was added) their wall time, in completion
+/// order.
 #[derive(Debug, Default)]
 struct Manifest {
-    entries: Vec<(String, Vec<Table>)>,
+    entries: Vec<ManifestEntry>,
+}
+
+#[derive(Debug)]
+struct ManifestEntry {
+    label: String,
+    tables: Vec<Table>,
+    /// Wall time of the run that produced the tables. Optional so
+    /// manifests written before the field existed still parse (the
+    /// format version stays at 1 — old readers ignore unknown fields
+    /// and old writers simply omit this one).
+    elapsed_ms: Option<u64>,
 }
 
 impl Manifest {
-    fn get(&self, label: &str) -> Option<&[Table]> {
-        self.entries.iter().find(|(l, _)| l == label).map(|(_, t)| t.as_slice())
+    fn get(&self, label: &str) -> Option<(&[Table], Option<u64>)> {
+        self.entries
+            .iter()
+            .find(|e| e.label == label)
+            .map(|e| (e.tables.as_slice(), e.elapsed_ms))
     }
 
-    fn insert(&mut self, label: &str, tables: Vec<Table>) {
-        if let Some(entry) = self.entries.iter_mut().find(|(l, _)| l == label) {
-            entry.1 = tables;
+    fn insert(&mut self, label: &str, tables: Vec<Table>, elapsed_ms: Option<u64>) {
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.label == label) {
+            entry.tables = tables;
+            entry.elapsed_ms = elapsed_ms;
         } else {
-            self.entries.push((label.to_string(), tables));
+            self.entries.push(ManifestEntry {
+                label: label.to_string(),
+                tables,
+                elapsed_ms,
+            });
         }
     }
 }
@@ -427,9 +571,11 @@ fn load_manifest(path: &Path, config: &SuiteConfig) -> Result<Manifest, RunError
     if !path.exists() {
         return Ok(Manifest::default());
     }
-    let text = with_retries(config, &format!("reading manifest {}", path.display()), || {
-        std::fs::read_to_string(path)
-    })?;
+    let text = with_retries(
+        config,
+        &format!("reading manifest {}", path.display()),
+        || std::fs::read_to_string(path),
+    )?;
     parse_manifest(&text).map_err(|reason| RunError::Manifest {
         path: path.display().to_string(),
         reason,
@@ -442,9 +588,11 @@ fn load_manifest(path: &Path, config: &SuiteConfig) -> Result<Manifest, RunError
 /// half-written manifest where the next run would find it.
 fn save_manifest(manifest: &Manifest, path: &Path, config: &SuiteConfig) -> Result<(), RunError> {
     let text = render_manifest(manifest);
-    with_retries(config, &format!("writing manifest {}", path.display()), || {
-        llc_trace::atomic_write(path, text.as_bytes())
-    })
+    with_retries(
+        config,
+        &format!("writing manifest {}", path.display()),
+        || llc_trace::atomic_write(path, text.as_bytes()),
+    )
 }
 
 const MANIFEST_VERSION: u64 = 1;
@@ -454,11 +602,18 @@ fn render_manifest(manifest: &Manifest) -> String {
     let entries: Vec<Value> = manifest
         .entries
         .iter()
-        .map(|(label, tables)| {
-            Value::object(vec![
-                ("id", Value::Str(label.clone())),
-                ("tables", Value::Array(tables.iter().map(json::table_to_json).collect())),
-            ])
+        .map(|entry| {
+            let mut fields = vec![
+                ("id", Value::Str(entry.label.clone())),
+                (
+                    "tables",
+                    Value::Array(entry.tables.iter().map(json::table_to_json).collect()),
+                ),
+            ];
+            if let Some(ms) = entry.elapsed_ms {
+                fields.push(("elapsed_ms", Value::Num(ms as f64)));
+            }
+            Value::object(fields)
         })
         .collect();
     let doc = Value::object(vec![
@@ -473,11 +628,17 @@ fn render_manifest(manifest: &Manifest) -> String {
 fn parse_manifest(text: &str) -> Result<Manifest, String> {
     use json::Value;
     let doc = json::parse(text)?;
-    let version = doc.field("version").and_then(Value::as_u64).ok_or("missing version")?;
+    let version = doc
+        .field("version")
+        .and_then(Value::as_u64)
+        .ok_or("missing version")?;
     if version != MANIFEST_VERSION {
         return Err(format!("unsupported manifest version {version}"));
     }
-    let entries = doc.field("entries").and_then(Value::as_array).ok_or("missing entries")?;
+    let entries = doc
+        .field("entries")
+        .and_then(Value::as_array)
+        .ok_or("missing entries")?;
     let mut manifest = Manifest::default();
     for entry in entries {
         let label = entry
@@ -485,10 +646,13 @@ fn parse_manifest(text: &str) -> Result<Manifest, String> {
             .and_then(Value::as_str)
             .ok_or("entry missing id")?
             .to_string();
-        let tables = entry.field("tables").and_then(Value::as_array).ok_or("entry missing tables")?;
-        let tables: Result<Vec<Table>, String> =
-            tables.iter().map(json::table_from_json).collect();
-        manifest.insert(&label, tables?);
+        let tables = entry
+            .field("tables")
+            .and_then(Value::as_array)
+            .ok_or("entry missing tables")?;
+        let tables: Result<Vec<Table>, String> = tables.iter().map(json::table_from_json).collect();
+        let elapsed_ms = entry.field("elapsed_ms").and_then(Value::as_u64);
+        manifest.insert(&label, tables?, elapsed_ms);
     }
     Ok(manifest)
 }
@@ -517,16 +681,30 @@ mod tests {
     #[test]
     fn manifest_round_trips_tables() {
         let mut m = Manifest::default();
-        m.insert("fig7", vec![table("Fig 7 — «headline», 100%")]);
-        m.insert("table1", vec![table("T1"), table("T1b")]);
+        m.insert("fig7", vec![table("Fig 7 — «headline», 100%")], Some(4321));
+        m.insert("table1", vec![table("T1"), table("T1b")], None);
         let text = render_manifest(&m);
         let back = parse_manifest(&text).expect("parse own output");
         assert_eq!(back.entries.len(), 2);
-        let fig7 = back.get("fig7").expect("fig7 present");
+        let (fig7, elapsed) = back.get("fig7").expect("fig7 present");
         assert_eq!(fig7.len(), 1);
         assert_eq!(fig7[0].title, "Fig 7 — «headline», 100%");
         assert_eq!(fig7[0].rows, vec![vec!["a".to_string(), "1".to_string()]]);
-        assert_eq!(back.get("table1").map(<[Table]>::len), Some(2));
+        assert_eq!(elapsed, Some(4321), "wall time survives the round trip");
+        let (t1, t1_elapsed) = back.get("table1").expect("table1 present");
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t1_elapsed, None);
+    }
+
+    #[test]
+    fn manifest_without_elapsed_field_still_parses() {
+        // The exact shape PR 1 wrote, before per-experiment timing
+        // existed: same version, no elapsed_ms.
+        let text = "{\"version\": 1, \"entries\": [{\"id\": \"fig1\", \"tables\": []}]}";
+        let m = parse_manifest(text).expect("old manifests stay readable");
+        let (tables, elapsed) = m.get("fig1").expect("entry present");
+        assert!(tables.is_empty());
+        assert_eq!(elapsed, None);
     }
 
     #[test]
@@ -542,9 +720,9 @@ mod tests {
         let ids = [ExperimentId::Table1, ExperimentId::Fig1, ExperimentId::Fig2];
         let report = run_suite_with(&ids, &ctx, &quick_config(), |id, _ctx| match id {
             ExperimentId::Fig1 => panic!("injected panic"),
-            ExperimentId::Fig2 => {
-                Err(RunError::UnknownExperiment { id: "injected error".into() })
-            }
+            ExperimentId::Fig2 => Err(RunError::UnknownExperiment {
+                id: "injected error".into(),
+            }),
             _ => Ok(vec![Table::new("ok", &["x"])]),
         })
         .expect("suite runs");
@@ -563,7 +741,10 @@ mod tests {
     #[test]
     fn watchdog_times_out_hung_experiments() {
         let ctx = ExperimentCtx::test();
-        let config = SuiteConfig { timeout: Some(Duration::from_millis(50)), ..quick_config() };
+        let config = SuiteConfig {
+            timeout: Some(Duration::from_millis(50)),
+            ..quick_config()
+        };
         let ids = [ExperimentId::Table1, ExperimentId::Fig1];
         let report = run_suite_with(&ids, &ctx, &config, |id, _ctx| {
             if id == ExperimentId::Table1 {
@@ -586,8 +767,10 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("temp dir");
         let manifest = dir.join("manifest.json");
         let _ = std::fs::remove_file(&manifest);
-        let config =
-            SuiteConfig { manifest_path: Some(manifest.clone()), ..quick_config() };
+        let config = SuiteConfig {
+            manifest_path: Some(manifest.clone()),
+            ..quick_config()
+        };
         let ctx = ExperimentCtx::test();
         let ids = [ExperimentId::Table1, ExperimentId::Fig1];
 
@@ -600,7 +783,10 @@ mod tests {
         })
         .expect("first run");
         assert_eq!(report.completed(), 1);
-        assert!(manifest.exists(), "completed experiment must be checkpointed");
+        assert!(
+            manifest.exists(),
+            "completed experiment must be checkpointed"
+        );
 
         // Second run: table1 must come from the checkpoint (the closure
         // panics if asked to recompute it), fig1 runs for real now.
@@ -614,6 +800,14 @@ mod tests {
         assert_eq!(report.resumed(), 1);
         assert_eq!(report.completed(), 1);
         assert_eq!(report.failed(), 0);
+        // The resume reports how much wall time the checkpoint saved
+        // (the first run recorded its elapsed time in the manifest).
+        match &report.outcomes[0].1 {
+            ExperimentOutcome::Resumed { saved, .. } => {
+                assert!(saved.is_some(), "checkpointed run must carry its wall time")
+            }
+            other => panic!("expected resume, got {other:?}"),
+        }
         let _ = std::fs::remove_file(&manifest);
         let _ = std::fs::remove_dir(&dir);
     }
@@ -623,7 +817,10 @@ mod tests {
         let dir = std::env::temp_dir();
         let manifest = dir.join(format!("llc-suite-corrupt-{}.json", std::process::id()));
         std::fs::write(&manifest, "this is not json").expect("write corrupt file");
-        let config = SuiteConfig { manifest_path: Some(manifest.clone()), ..quick_config() };
+        let config = SuiteConfig {
+            manifest_path: Some(manifest.clone()),
+            ..quick_config()
+        };
         let ctx = ExperimentCtx::test();
         let r = run_suite_with(&[ExperimentId::Table1], &ctx, &config, |_, _| Ok(vec![]));
         assert!(matches!(r, Err(RunError::Manifest { .. })));
@@ -649,11 +846,18 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("temp dir");
         let manifest = dir.join("manifest.json");
         let _ = std::fs::remove_file(&manifest);
-        let config =
-            SuiteConfig { jobs: 4, manifest_path: Some(manifest.clone()), ..quick_config() };
+        let config = SuiteConfig {
+            jobs: 4,
+            manifest_path: Some(manifest.clone()),
+            ..quick_config()
+        };
         let ctx = ExperimentCtx::test();
-        let ids =
-            [ExperimentId::Table1, ExperimentId::Fig1, ExperimentId::Fig2, ExperimentId::Fig3];
+        let ids = [
+            ExperimentId::Table1,
+            ExperimentId::Fig1,
+            ExperimentId::Fig2,
+            ExperimentId::Fig3,
+        ];
         let in_flight = Arc::new(AtomicUsize::new(0));
         let peak = Arc::new(AtomicUsize::new(0));
         let report = {
@@ -683,16 +887,30 @@ mod tests {
         let saved = parse_manifest(&std::fs::read_to_string(&manifest).expect("manifest"))
             .expect("valid manifest");
         assert!(saved.get("table1").is_some());
-        assert!(saved.get("fig2").is_none(), "failed experiment must not be checkpointed");
+        assert!(
+            saved.get("fig2").is_none(),
+            "failed experiment must not be checkpointed"
+        );
+        let (_, elapsed) = saved.get("fig1").expect("fig1 checkpointed");
+        assert!(
+            elapsed.is_some(),
+            "checkpoints record per-experiment wall time"
+        );
         let _ = std::fs::remove_file(&manifest);
         let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]
     fn zero_jobs_resolves_to_available_parallelism() {
-        let config = SuiteConfig { jobs: 0, ..quick_config() };
+        let config = SuiteConfig {
+            jobs: 0,
+            ..quick_config()
+        };
         assert!(config.effective_jobs() >= 1);
-        let config = SuiteConfig { jobs: 3, ..quick_config() };
+        let config = SuiteConfig {
+            jobs: 3,
+            ..quick_config()
+        };
         assert_eq!(config.effective_jobs(), 3);
     }
 
@@ -700,8 +918,26 @@ mod tests {
     fn summary_table_shows_one_row_per_experiment() {
         let report = SuiteReport {
             outcomes: vec![
-                (ExperimentId::Table1, ExperimentOutcome::Completed { tables: vec![] }),
-                (ExperimentId::Fig1, ExperimentOutcome::Failed { reason: "boom".into() }),
+                (
+                    ExperimentId::Table1,
+                    ExperimentOutcome::Completed {
+                        tables: vec![],
+                        elapsed: Duration::from_millis(1500),
+                    },
+                ),
+                (
+                    ExperimentId::Fig1,
+                    ExperimentOutcome::Failed {
+                        reason: "boom".into(),
+                    },
+                ),
+                (
+                    ExperimentId::Fig2,
+                    ExperimentOutcome::Resumed {
+                        tables: vec![],
+                        saved: Some(Duration::from_secs(42)),
+                    },
+                ),
             ],
             checkpoint_errors: vec!["disk full".into()],
         };
@@ -710,5 +946,11 @@ mod tests {
         assert!(s.contains("FAILED"));
         assert!(s.contains("boom"));
         assert!(s.contains("disk full"));
+        assert!(
+            s.contains("skipped"),
+            "resume rows show the time the checkpoint saved: {s}"
+        );
+        assert_eq!(report.time_spent(), Duration::from_millis(1500));
+        assert_eq!(report.time_skipped(), Duration::from_secs(42));
     }
 }

@@ -146,7 +146,10 @@ mod tests {
         }
         p.on_fill(0, 3, &ctx(20)); // LIP fill: LRU position
         let lines = full_view(4);
-        let view = SetView { lines: &lines, allowed: 0b1111 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b1111,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx(21)), 3);
     }
 
@@ -157,7 +160,10 @@ mod tests {
         p.on_fill(0, 1, &ctx(1));
         p.on_hit(0, 1, &ctx(2));
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b11 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b11,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx(3)), 0);
     }
 
@@ -180,7 +186,9 @@ mod tests {
         let sets = 64;
         let mut p = Dip::dip(sets, 2, 5);
         let duel = SetDuel::new(sets);
-        let a = (0..sets).find(|&s| duel.team(s) == crate::duel::Team::LeaderA).unwrap();
+        let a = (0..sets)
+            .find(|&s| duel.team(s) == crate::duel::Team::LeaderA)
+            .unwrap();
         p.on_fill(a, 0, &ctx(0));
         assert_ne!(p.stamp(a, 0), 0, "LRU-team leader must insert at MRU");
     }

@@ -37,7 +37,12 @@ impl SetDuel {
     pub fn new(sets: usize) -> Self {
         let leaders = LEADERS_PER_TEAM.min(sets / 2).max(1);
         let stride = (sets / leaders).max(2);
-        SetDuel { stride, offset_b: stride / 2, psel: 512, max: 1023 }
+        SetDuel {
+            stride,
+            offset_b: stride / 2,
+            psel: 512,
+            max: 1023,
+        }
     }
 
     /// Returns the team of `set`.
@@ -81,7 +86,6 @@ impl SetDuel {
         self.psel
     }
 }
-
 
 /// Thread-aware set dueling (TA-DIP / TA-DRRIP, Jaleel et al.): one PSEL
 /// per hardware thread, so each thread independently picks the insertion

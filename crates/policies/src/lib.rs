@@ -198,7 +198,12 @@ pub fn build_oracle_policy_with_mode(
     ways: usize,
     mode: ProtectMode,
 ) -> Box<dyn ReplacementPolicy> {
-    Box::new(OracleWrap::with_mode(build_policy(kind, sets, ways), sets, ways, mode))
+    Box::new(OracleWrap::with_mode(
+        build_policy(kind, sets, ways),
+        sets,
+        ways,
+        mode,
+    ))
 }
 
 #[cfg(test)]

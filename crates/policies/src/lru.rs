@@ -16,7 +16,11 @@ pub struct Lru {
 impl Lru {
     /// Creates an LRU policy for an LLC with `sets` sets of `ways` ways.
     pub fn new(sets: usize, ways: usize) -> Self {
-        Lru { ways, stamps: vec![0; sets * ways], clock: 0 }
+        Lru {
+            ways,
+            stamps: vec![0; sets * ways],
+            clock: 0,
+        }
     }
 
     fn touch(&mut self, set: usize, way: usize) {
@@ -74,7 +78,10 @@ mod tests {
         }
         p.on_hit(0, 0, &ctx(10)); // refresh way 0
         let lines = full_view(4);
-        let view = SetView { lines: &lines, allowed: 0b1111 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b1111,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx(11)), 1);
     }
 
@@ -86,7 +93,10 @@ mod tests {
         }
         // Way 0 is oldest but masked out.
         let lines = full_view(4);
-        let view = SetView { lines: &lines, allowed: 0b1110 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b1110,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx(9)), 1);
     }
 

@@ -16,7 +16,11 @@ pub struct Nru {
 impl Nru {
     /// Creates an NRU policy for `sets` sets of `ways` ways.
     pub fn new(sets: usize, ways: usize) -> Self {
-        Nru { ways, refbit: vec![false; sets * ways], scan_ptr: vec![0; sets] }
+        Nru {
+            ways,
+            refbit: vec![false; sets * ways],
+            scan_ptr: vec![0; sets],
+        }
     }
 }
 
@@ -52,7 +56,9 @@ impl ReplacementPolicy for Nru {
         }
         // infallible: the hierarchy never requests a victim from an
         // all-protected set (the oracle wrapper caps protections).
-        view.allowed_ways().next().expect("victim candidates must be non-empty")
+        view.allowed_ways()
+            .next()
+            .expect("victim candidates must be non-empty")
     }
 
     /// Per-set: reference bits and the scan pointer are both keyed by set.
@@ -75,7 +81,10 @@ mod tests {
         // All referenced: a victim request clears bits and picks the scan
         // start.
         let lines = full_view(4);
-        let view = SetView { lines: &lines, allowed: 0b1111 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b1111,
+        };
         let v1 = p.choose_victim(0, &view, &ctx(4));
         assert_eq!(v1, 0);
         // Now refill way 0 (sets its bit) and hit way 2.
@@ -92,7 +101,10 @@ mod tests {
         p.on_fill(0, 0, &ctx(0));
         p.on_fill(0, 1, &ctx(1));
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b11 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b11,
+        };
         let v = p.choose_victim(0, &view, &ctx(2));
         assert!(v < 2);
         // After clearing, the other way must be victimizable without
@@ -108,7 +120,10 @@ mod tests {
             p.on_fill(0, w, &ctx(w as u64));
         }
         let lines = full_view(4);
-        let view = SetView { lines: &lines, allowed: 0b1000 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b1000,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx(9)), 3);
     }
 }

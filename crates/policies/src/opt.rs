@@ -28,7 +28,10 @@ const NEVER: u64 = u64::MAX;
 impl Opt {
     /// Creates an OPT policy for `sets` sets of `ways` ways.
     pub fn new(sets: usize, ways: usize) -> Self {
-        Opt { ways, next_use: vec![NEVER; sets * ways] }
+        Opt {
+            ways,
+            next_use: vec![NEVER; sets * ways],
+        }
     }
 
     fn record(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
@@ -85,7 +88,10 @@ mod tests {
         p.on_fill(0, 1, &ctx_aux(1, Some(100), None));
         p.on_fill(0, 2, &ctx_aux(2, Some(50), None));
         let lines = full_view(3);
-        let view = SetView { lines: &lines, allowed: 0b111 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b111,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx_aux(3, None, None)), 1);
     }
 
@@ -95,7 +101,10 @@ mod tests {
         p.on_fill(0, 0, &ctx_aux(0, Some(5), None));
         p.on_fill(0, 1, &ctx_aux(1, None, None));
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b11 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b11,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx_aux(2, None, None)), 1);
         assert_eq!(p.next_use(0, 1), u64::MAX);
     }
@@ -108,7 +117,10 @@ mod tests {
         // Way 0's next access happens and its following use is far away.
         p.on_hit(0, 0, &ctx_aux(3, Some(1000), None));
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b11 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b11,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx_aux(5, None, None)), 0);
     }
 
@@ -119,7 +131,10 @@ mod tests {
         p.on_fill(0, 1, &ctx_aux(1, Some(10), None));
         p.on_fill(0, 2, &ctx_aux(2, Some(20), None));
         let lines = full_view(3);
-        let view = SetView { lines: &lines, allowed: 0b110 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b110,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx_aux(3, None, None)), 2);
     }
 }

@@ -60,7 +60,12 @@ impl<P: ReplacementPolicy> OracleWrap<P> {
     /// Wraps `base` with an explicit [`ProtectMode`] (used by the `abl3`
     /// ablation).
     pub fn with_mode(base: P, sets: usize, ways: usize, mode: ProtectMode) -> Self {
-        OracleWrap { base, mode, ways, predicted_shared: vec![false; sets * ways] }
+        OracleWrap {
+            base,
+            mode,
+            ways,
+            predicted_shared: vec![false; sets * ways],
+        }
     }
 
     /// The wrapped base policy.
@@ -118,7 +123,10 @@ impl<P: ReplacementPolicy> ReplacementPolicy for OracleWrap<P> {
             }
         }
         let restricted = if private_mask != 0 {
-            SetView { lines: view.lines, allowed: private_mask }
+            SetView {
+                lines: view.lines,
+                allowed: private_mask,
+            }
         } else {
             *view
         };
@@ -145,7 +153,10 @@ mod tests {
         p.on_fill(0, 1, &ctx_aux(1, None, Some(false)));
         p.on_fill(0, 2, &ctx_aux(2, None, Some(false)));
         let lines = full_view(3);
-        let view = SetView { lines: &lines, allowed: 0b111 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b111,
+        };
         // LRU would pick way 0; the oracle shields it, so the oldest
         // private line (way 1) dies.
         assert_eq!(p.choose_victim(0, &view, &ctx_aux(3, None, None)), 1);
@@ -157,7 +168,10 @@ mod tests {
         p.on_fill(0, 0, &ctx_aux(0, None, Some(true)));
         p.on_fill(0, 1, &ctx_aux(1, None, Some(true)));
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b11 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b11,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx_aux(2, None, None)), 0); // plain LRU order
     }
 
@@ -184,15 +198,17 @@ mod tests {
         // a plain fill made later... it does not — promotion matters for
         // RRIP-like bases. Verify via SRRIP: a shared fill lands at RRPV 0.
         use crate::rrip::Rrip;
-        let mut p =
-            OracleWrap::with_mode(Rrip::srrip(1, 2), 1, 2, ProtectMode::Insertion);
+        let mut p = OracleWrap::with_mode(Rrip::srrip(1, 2), 1, 2, ProtectMode::Insertion);
         p.on_fill(0, 0, &ctx_aux(0, None, Some(true)));
         p.on_fill(0, 1, &ctx_aux(1, None, Some(false)));
         assert_eq!(p.base().rrpv(0, 0), 0); // promoted
         assert_ne!(p.base().rrpv(0, 1), 0); // normal long insertion
-        // And eviction is NOT restricted in insertion mode.
+                                            // And eviction is NOT restricted in insertion mode.
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b10 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b10,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx_aux(2, None, None)), 1);
     }
 

@@ -18,13 +18,18 @@ pub struct Random {
 impl Random {
     /// Creates a random policy with the given seed.
     pub fn new(seed: u64) -> Self {
-        Random { base: splitmix64(seed ^ 0x5eed_5eed_5eed_5eed), states: Vec::new() }
+        Random {
+            base: splitmix64(seed ^ 0x5eed_5eed_5eed_5eed),
+            states: Vec::new(),
+        }
     }
 
     fn next(&mut self, set: usize) -> u64 {
         while self.states.len() <= set {
             let s = self.states.len() as u64;
-            self.states.push(splitmix64(self.base ^ s.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            self.states.push(splitmix64(
+                self.base ^ s.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ));
         }
         let state = &mut self.states[set];
         *state = splitmix64(*state);
@@ -52,7 +57,9 @@ impl ReplacementPolicy for Random {
         debug_assert!(n > 0, "victim candidates must be non-empty");
         let k = self.next(set) % n;
         // infallible: k < n = count of allowed ways by construction.
-        view.allowed_ways().nth(k as usize).expect("k < candidate count")
+        view.allowed_ways()
+            .nth(k as usize)
+            .expect("k < candidate count")
     }
 
     /// Per-set: each set owns an independent SplitMix64 chain.
@@ -70,7 +77,10 @@ mod tests {
     fn only_picks_allowed_ways() {
         let mut p = Random::new(7);
         let lines = full_view(8);
-        let view = SetView { lines: &lines, allowed: 0b0101_0000 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b0101_0000,
+        };
         for t in 0..100 {
             let v = p.choose_victim(0, &view, &ctx(t));
             assert!(v == 4 || v == 6, "picked disallowed way {v}");
@@ -81,7 +91,10 @@ mod tests {
     fn covers_all_candidates_eventually() {
         let mut p = Random::new(1);
         let lines = full_view(4);
-        let view = SetView { lines: &lines, allowed: 0b1111 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b1111,
+        };
         let mut seen = [false; 4];
         for t in 0..200 {
             seen[p.choose_victim(0, &view, &ctx(t))] = true;
@@ -92,11 +105,17 @@ mod tests {
     #[test]
     fn deterministic_for_same_seed() {
         let lines = full_view(8);
-        let view = SetView { lines: &lines, allowed: 0xff };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0xff,
+        };
         let mut a = Random::new(42);
         let mut b = Random::new(42);
         for t in 0..50 {
-            assert_eq!(a.choose_victim(0, &view, &ctx(t)), b.choose_victim(0, &view, &ctx(t)));
+            assert_eq!(
+                a.choose_victim(0, &view, &ctx(t)),
+                b.choose_victim(0, &view, &ctx(t))
+            );
         }
     }
 }

@@ -59,7 +59,10 @@ impl<P: ReplacementPolicy> ReplacementPolicy for ReactiveWrap<P> {
             }
         }
         let restricted = if private_mask != 0 {
-            SetView { lines: view.lines, allowed: private_mask }
+            SetView {
+                lines: view.lines,
+                allowed: private_mask,
+            }
         } else {
             *view
         };
@@ -90,11 +93,26 @@ mod tests {
         }
         // Way 0 is oldest but has two sharers.
         let lines = vec![
-            LineView { block: BlockAddr::new(0), sharer_count: 2, dirty: false },
-            LineView { block: BlockAddr::new(1), sharer_count: 1, dirty: false },
-            LineView { block: BlockAddr::new(2), sharer_count: 1, dirty: false },
+            LineView {
+                block: BlockAddr::new(0),
+                sharer_count: 2,
+                dirty: false,
+            },
+            LineView {
+                block: BlockAddr::new(1),
+                sharer_count: 1,
+                dirty: false,
+            },
+            LineView {
+                block: BlockAddr::new(2),
+                sharer_count: 1,
+                dirty: false,
+            },
         ];
-        let view = SetView { lines: &lines, allowed: 0b111 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b111,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx(5)), 1);
     }
 
@@ -104,10 +122,21 @@ mod tests {
         p.on_fill(0, 0, &ctx(0));
         p.on_fill(0, 1, &ctx(1));
         let lines = vec![
-            LineView { block: BlockAddr::new(0), sharer_count: 3, dirty: false },
-            LineView { block: BlockAddr::new(1), sharer_count: 2, dirty: false },
+            LineView {
+                block: BlockAddr::new(0),
+                sharer_count: 3,
+                dirty: false,
+            },
+            LineView {
+                block: BlockAddr::new(1),
+                sharer_count: 2,
+                dirty: false,
+            },
         ];
-        let view = SetView { lines: &lines, allowed: 0b11 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b11,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx(2)), 0); // LRU order
     }
 

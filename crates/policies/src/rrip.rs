@@ -106,7 +106,10 @@ impl Rrip {
             RripFlavor::Dynamic => self.duel.use_b(set),
             RripFlavor::ThreadAware => {
                 // infallible: ta_duel is always built for this flavor.
-                self.ta_duel.as_ref().expect("TA duel present").use_b(set, thread)
+                self.ta_duel
+                    .as_ref()
+                    .expect("TA duel present")
+                    .use_b(set, thread)
             }
         };
         if bimodal {
@@ -136,7 +139,10 @@ impl ReplacementPolicy for Rrip {
             RripFlavor::Dynamic => self.duel.on_miss(set),
             RripFlavor::ThreadAware => {
                 // infallible: ta_duel is always built for this flavor.
-                self.ta_duel.as_mut().expect("TA duel present").on_miss(set, ctx.core.index());
+                self.ta_duel
+                    .as_mut()
+                    .expect("TA duel present")
+                    .on_miss(set, ctx.core.index());
             }
             _ => {}
         }
@@ -196,7 +202,10 @@ mod tests {
         }
         p.on_hit(0, 1, &ctx(3)); // way 1 becomes RRPV 0
         let lines = full_view(3);
-        let view = SetView { lines: &lines, allowed: 0b111 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b111,
+        };
         let v = p.choose_victim(0, &view, &ctx(4));
         // Ways 0 and 2 sit at RRPV_LONG; one aging round takes them to
         // RRPV_MAX; way 1 is younger.
@@ -226,7 +235,10 @@ mod tests {
             p.on_fill(0, w, &ctx(w as u64));
         }
         let lines = full_view(4);
-        let view = SetView { lines: &lines, allowed: 0b0100 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b0100,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx(5)), 2);
     }
 
@@ -236,7 +248,9 @@ mod tests {
         let mut p = Rrip::drrip(sets, 2, 3);
         // Find an SRRIP (team A) leader and verify long insertion.
         let duel = SetDuel::new(sets);
-        let a_leader = (0..sets).find(|&s| duel.team(s) == crate::duel::Team::LeaderA).unwrap();
+        let a_leader = (0..sets)
+            .find(|&s| duel.team(s) == crate::duel::Team::LeaderA)
+            .unwrap();
         p.on_fill(a_leader, 0, &ctx(0));
         assert_eq!(p.rrpv(a_leader, 0), RRPV_LONG);
     }
@@ -249,7 +263,10 @@ mod tests {
         p.on_hit(0, 0, &ctx(2));
         p.on_hit(0, 1, &ctx(3)); // both at RRPV 0
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b01 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b01,
+        };
         // Needs 3 aging rounds; must not loop forever and must return the
         // only allowed way.
         assert_eq!(p.choose_victim(0, &view, &ctx(4)), 0);

@@ -65,7 +65,11 @@ impl ReplacementPolicy for Ship {
         let i = set * self.ways + way;
         self.line_sig[i] = sig;
         self.line_outcome[i] = false;
-        self.rrpv[i] = if self.shct[sig as usize] == 0 { RRPV_MAX } else { RRPV_LONG };
+        self.rrpv[i] = if self.shct[sig as usize] == 0 {
+            RRPV_MAX
+        } else {
+            RRPV_LONG
+        };
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
@@ -188,7 +192,10 @@ mod tests {
         p.on_fill(0, 1, &ctx_at(1, 2, 0x2));
         p.on_hit(0, 0, &ctx_at(2, 1, 0x1));
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b11 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b11,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx_at(3, 3, 0x3)), 1);
     }
 }

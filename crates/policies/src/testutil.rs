@@ -34,13 +34,20 @@ pub fn ctx_aux(t: u64, next_use: Option<u64>, oracle_shared: Option<bool>) -> Ac
         core: CoreId::new(0),
         kind: AccessKind::Read,
         time: t,
-        aux: Aux { next_use, oracle_shared },
+        aux: Aux {
+            next_use,
+            oracle_shared,
+        },
     }
 }
 
 /// A set of `ways` anonymous valid lines.
 pub fn full_view(ways: usize) -> Vec<LineView> {
     (0..ways)
-        .map(|w| LineView { block: BlockAddr::new(w as u64), sharer_count: 1, dirty: false })
+        .map(|w| LineView {
+            block: BlockAddr::new(w as u64),
+            sharer_count: 1,
+            dirty: false,
+        })
         .collect()
 }

@@ -32,15 +32,26 @@ fn ctx(t: u64, oracle_shared: Option<bool>) -> AccessCtx {
         block: BlockAddr::new(t % 97),
         pc: Pc::new(0x400 + (t % 13) * 4),
         core: CoreId::new((t % 4) as usize),
-        kind: if t.is_multiple_of(5) { AccessKind::Write } else { AccessKind::Read },
+        kind: if t.is_multiple_of(5) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
         time: t,
-        aux: Aux { next_use: Some(t + 1 + t % 31), oracle_shared },
+        aux: Aux {
+            next_use: Some(t + 1 + t % 31),
+            oracle_shared,
+        },
     }
 }
 
 fn lines() -> Vec<LineView> {
     (0..WAYS)
-        .map(|w| LineView { block: BlockAddr::new(w as u64), sharer_count: 1, dirty: false })
+        .map(|w| LineView {
+            block: BlockAddr::new(w as u64),
+            sharer_count: 1,
+            dirty: false,
+        })
         .collect()
 }
 

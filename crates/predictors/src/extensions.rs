@@ -84,7 +84,10 @@ pub struct PhasePredictor {
 impl PhasePredictor {
     /// Creates the predictor.
     pub fn new(config: TableConfig) -> Self {
-        PhasePredictor { table: HistoryTable::new(config), activity: 0 }
+        PhasePredictor {
+            table: HistoryTable::new(config),
+            activity: 0,
+        }
     }
 
     /// The realistic default budget.
@@ -185,6 +188,9 @@ mod tests {
             p.train(b(1000 + i), pc(0x400), true);
         }
         let active = p.predict(b(999), pc(0x400));
-        assert!(active.shared, "active-phase prediction should flip to shared");
+        assert!(
+            active.shared,
+            "active-phase prediction should flip to shared"
+        );
     }
 }

@@ -187,8 +187,20 @@ mod tests {
 
     #[test]
     fn add_assign_merges() {
-        let mut a = ConfusionMatrix { tp: 1, fp: 2, tn: 3, fn_: 4, covered: 5 };
-        a += ConfusionMatrix { tp: 10, fp: 20, tn: 30, fn_: 40, covered: 50 };
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+            covered: 5,
+        };
+        a += ConfusionMatrix {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+            covered: 50,
+        };
         assert_eq!(a.tp, 11);
         assert_eq!(a.total(), 110);
         assert_eq!(a.covered, 55);

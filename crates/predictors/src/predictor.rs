@@ -51,7 +51,9 @@ pub struct AddressPredictor {
 impl AddressPredictor {
     /// Creates the predictor with an explicit table budget.
     pub fn new(config: TableConfig) -> Self {
-        AddressPredictor { table: HistoryTable::new(config) }
+        AddressPredictor {
+            table: HistoryTable::new(config),
+        }
     }
 
     /// The realistic default budget.
@@ -87,7 +89,9 @@ pub struct PcPredictor {
 impl PcPredictor {
     /// Creates the predictor with an explicit table budget.
     pub fn new(config: TableConfig) -> Self {
-        PcPredictor { table: HistoryTable::new(config) }
+        PcPredictor {
+            table: HistoryTable::new(config),
+        }
     }
 
     /// The realistic default budget.
@@ -131,7 +135,10 @@ impl TournamentPredictor {
     ///
     /// Panics if `chooser_entries` is not a power of two.
     pub fn new(addr: TableConfig, pc: TableConfig, chooser_entries: usize) -> Self {
-        assert!(chooser_entries.is_power_of_two(), "chooser entries must be a power of two");
+        assert!(
+            chooser_entries.is_power_of_two(),
+            "chooser entries must be a power of two"
+        );
         TournamentPredictor {
             addr: AddressPredictor::new(addr),
             pc: PcPredictor::new(pc),
@@ -168,7 +175,10 @@ impl SharingPredictor for TournamentPredictor {
         } else if second.covered {
             second
         } else {
-            Lookup { shared: false, covered: false }
+            Lookup {
+                shared: false,
+                covered: false,
+            }
         }
     }
 
@@ -200,7 +210,10 @@ impl SharingPredictor for AlwaysShared {
         "AlwaysShared".into()
     }
     fn predict(&mut self, _: BlockAddr, _: Pc) -> Lookup {
-        Lookup { shared: true, covered: true }
+        Lookup {
+            shared: true,
+            covered: true,
+        }
     }
     fn train(&mut self, _: BlockAddr, _: Pc, _: bool) {}
 }
@@ -215,7 +228,10 @@ impl SharingPredictor for NeverShared {
         "NeverShared".into()
     }
     fn predict(&mut self, _: BlockAddr, _: Pc) -> Lookup {
-        Lookup { shared: false, covered: true }
+        Lookup {
+            shared: false,
+            covered: true,
+        }
     }
     fn train(&mut self, _: BlockAddr, _: Pc, _: bool) {}
 }
@@ -291,7 +307,9 @@ pub fn build_predictor_with(kind: PredictorKind, config: TableConfig) -> Box<dyn
         PredictorKind::Address => Box::new(AddressPredictor::new(config)),
         PredictorKind::Pc => Box::new(PcPredictor::new(config)),
         PredictorKind::Tournament => Box::new(TournamentPredictor::new(config, config, 1024)),
-        PredictorKind::Region => Box::new(crate::extensions::RegionPredictor::new(config, 256 << 10)),
+        PredictorKind::Region => {
+            Box::new(crate::extensions::RegionPredictor::new(config, 256 << 10))
+        }
         PredictorKind::PcPhase => Box::new(crate::extensions::PhasePredictor::new(config)),
         PredictorKind::AlwaysShared => Box::new(AlwaysShared),
         PredictorKind::NeverShared => Box::new(NeverShared),

@@ -25,7 +25,11 @@ pub struct PredictorStudy {
 impl PredictorStudy {
     /// Creates a study around `predictor`.
     pub fn new(predictor: Box<dyn SharingPredictor>) -> Self {
-        PredictorStudy { predictor, pending: HashMap::new(), matrix: ConfusionMatrix::default() }
+        PredictorStudy {
+            predictor,
+            pending: HashMap::new(),
+            matrix: ConfusionMatrix::default(),
+        }
     }
 
     /// The scores accumulated so far.
@@ -49,9 +53,11 @@ impl LlcObserver for PredictorStudy {
         // A block can only be resident once, so the pending entry is the
         // prediction made at this generation's fill.
         if let Some(lookup) = self.pending.remove(&gen.block) {
-            self.matrix.record(lookup.shared, gen.is_shared(), lookup.covered);
+            self.matrix
+                .record(lookup.shared, gen.is_shared(), lookup.covered);
         }
-        self.predictor.train(gen.block, gen.fill_pc, gen.is_shared());
+        self.predictor
+            .train(gen.block, gen.fill_pc, gen.is_shared());
     }
 }
 

@@ -28,18 +28,39 @@ impl TableConfig {
     /// The default realistic budget: 4096 entries, 4-way, 3-bit counters,
     /// 10-bit partial tags (≈ 4096 × (3 + 10) bits ≈ 6.5 KB).
     pub fn realistic() -> Self {
-        TableConfig { entries: 4096, assoc: 4, counter_bits: 3, init_on_shared: 5, tag_bits: 10 }
+        TableConfig {
+            entries: 4096,
+            assoc: 4,
+            counter_bits: 3,
+            init_on_shared: 5,
+            tag_bits: 10,
+        }
     }
 
     /// A tiny table for unit tests.
     pub fn tiny() -> Self {
-        TableConfig { entries: 16, assoc: 2, counter_bits: 2, init_on_shared: 2, tag_bits: 8 }
+        TableConfig {
+            entries: 16,
+            assoc: 2,
+            counter_bits: 2,
+            init_on_shared: 2,
+            tag_bits: 8,
+        }
     }
 
     fn validate(&self) {
-        assert!(self.entries.is_power_of_two(), "entries must be a power of two");
-        assert!(self.assoc >= 1 && self.entries.is_multiple_of(self.assoc), "bad associativity");
-        assert!(self.tag_bits >= 1 && self.tag_bits <= 16, "tag bits must be 1..=16");
+        assert!(
+            self.entries.is_power_of_two(),
+            "entries must be a power of two"
+        );
+        assert!(
+            self.assoc >= 1 && self.entries.is_multiple_of(self.assoc),
+            "bad associativity"
+        );
+        assert!(
+            self.tag_bits >= 1 && self.tag_bits <= 16,
+            "tag bits must be 1..=16"
+        );
     }
 
     /// Hardware budget of the table in bits (counters + tags), for the
@@ -122,10 +143,16 @@ impl HistoryTable {
         let base = index * self.config.assoc;
         for e in &self.entries[base..base + self.config.assoc] {
             if e.valid && e.tag == tag {
-                return Lookup { shared: e.counter.is_high(), covered: true };
+                return Lookup {
+                    shared: e.counter.is_high(),
+                    covered: true,
+                };
             }
         }
-        Lookup { shared: false, covered: false }
+        Lookup {
+            shared: false,
+            covered: false,
+        }
     }
 
     /// Trains `key` with an observed generation outcome, allocating an
@@ -156,7 +183,11 @@ impl HistoryTable {
             .map(|(w, _)| w)
             .unwrap_or_else(|| {
                 // infallible: predictor sets have assoc >= 1 entries.
-                set.iter().enumerate().min_by_key(|(_, e)| e.lru).map(|(w, _)| w).unwrap()
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(w, _)| w)
+                    .unwrap()
             });
         set[way] = Entry {
             valid: true,
@@ -164,7 +195,9 @@ impl HistoryTable {
             counter: SatCounter::new(
                 self.config.counter_bits,
                 if shared {
-                    self.config.init_on_shared.min(((1u16 << self.config.counter_bits) - 1) as u8)
+                    self.config
+                        .init_on_shared
+                        .min(((1u16 << self.config.counter_bits) - 1) as u8)
                 } else {
                     0
                 },
@@ -223,7 +256,13 @@ mod tests {
 
     #[test]
     fn conflicting_keys_evict_lru() {
-        let cfg = TableConfig { entries: 4, assoc: 2, counter_bits: 2, init_on_shared: 3, tag_bits: 8 };
+        let cfg = TableConfig {
+            entries: 4,
+            assoc: 2,
+            counter_bits: 2,
+            init_on_shared: 3,
+            tag_bits: 8,
+        };
         let mut t = HistoryTable::new(cfg);
         // sets = 2; keys with the same low bit collide.
         let k = |i: u64| i * 2; // all map to set 0
@@ -257,7 +296,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_entries() {
-        let cfg = TableConfig { entries: 17, ..TableConfig::tiny() };
+        let cfg = TableConfig {
+            entries: 17,
+            ..TableConfig::tiny()
+        };
         let _ = HistoryTable::new(cfg);
     }
 }

@@ -25,7 +25,12 @@ pub struct PredictorWrap<P> {
 impl<P: ReplacementPolicy> PredictorWrap<P> {
     /// Wraps `base` with `predictor` for an LLC of `sets` × `ways`.
     pub fn new(base: P, predictor: Box<dyn SharingPredictor>, sets: usize, ways: usize) -> Self {
-        PredictorWrap { base, predictor, ways, predicted_shared: vec![false; sets * ways] }
+        PredictorWrap {
+            base,
+            predictor,
+            ways,
+            predicted_shared: vec![false; sets * ways],
+        }
     }
 
     /// The wrapped base policy.
@@ -56,7 +61,8 @@ impl<P: ReplacementPolicy> ReplacementPolicy for PredictorWrap<P> {
     }
 
     fn on_evict(&mut self, set: usize, way: usize, gen: &GenerationEnd) {
-        self.predictor.train(gen.block, gen.fill_pc, gen.is_shared());
+        self.predictor
+            .train(gen.block, gen.fill_pc, gen.is_shared());
         self.base.on_evict(set, way, gen);
     }
 
@@ -69,7 +75,10 @@ impl<P: ReplacementPolicy> ReplacementPolicy for PredictorWrap<P> {
             }
         }
         let restricted = if private_mask != 0 {
-            SetView { lines: view.lines, allowed: private_mask }
+            SetView {
+                lines: view.lines,
+                allowed: private_mask,
+            }
         } else {
             *view
         };
@@ -91,9 +100,7 @@ mod tests {
     use super::*;
     use crate::predictor::{AddressPredictor, AlwaysShared};
     use crate::table::TableConfig;
-    use llc_sim::{
-        AccessKind, Aux, BlockAddr, CoreId, EvictCause, LineView, Pc,
-    };
+    use llc_sim::{AccessKind, Aux, BlockAddr, CoreId, EvictCause, LineView, Pc};
 
     /// Minimal LRU for wrapper tests (avoids a dev-dependency cycle with
     /// llc-policies).
@@ -106,7 +113,11 @@ mod tests {
 
     impl MiniLru {
         fn new(sets: usize, ways: usize) -> Self {
-            MiniLru { ways, stamps: vec![0; sets * ways], clock: 0 }
+            MiniLru {
+                ways,
+                stamps: vec![0; sets * ways],
+                clock: 0,
+            }
         }
     }
 
@@ -123,7 +134,9 @@ mod tests {
             self.stamps[set * self.ways + way] = self.clock;
         }
         fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _: &AccessCtx) -> usize {
-            view.allowed_ways().min_by_key(|&w| self.stamps[set * self.ways + w]).unwrap()
+            view.allowed_ways()
+                .min_by_key(|&w| self.stamps[set * self.ways + w])
+                .unwrap()
         }
     }
 
@@ -157,7 +170,11 @@ mod tests {
 
     fn full_view(ways: usize) -> Vec<LineView> {
         (0..ways)
-            .map(|w| LineView { block: BlockAddr::new(w as u64), sharer_count: 1, dirty: false })
+            .map(|w| LineView {
+                block: BlockAddr::new(w as u64),
+                sharer_count: 1,
+                dirty: false,
+            })
             .collect()
     }
 
@@ -173,7 +190,10 @@ mod tests {
         assert!(p.is_predicted_shared(0, 0));
         assert!(!p.is_predicted_shared(0, 1));
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b11 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b11,
+        };
         // LRU says way 0, but way 0 is predicted shared.
         assert_eq!(p.choose_victim(0, &view, &ctx(2, 3, 0x400)), 1);
     }
@@ -184,7 +204,10 @@ mod tests {
         p.on_fill(0, 0, &ctx(0, 1, 0x1));
         p.on_fill(0, 1, &ctx(1, 2, 0x2));
         let lines = full_view(2);
-        let view = SetView { lines: &lines, allowed: 0b11 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b11,
+        };
         assert_eq!(p.choose_victim(0, &view, &ctx(2, 3, 0x3)), 0);
     }
 

@@ -105,7 +105,10 @@ pub enum ServeCommand {
 
 /// `true` if `verb` names a service subcommand this module handles.
 pub fn is_serve_verb(verb: &str) -> bool {
-    matches!(verb, "serve" | "submit" | "status" | "watch" | "result" | "cancel" | "stats" | "stop")
+    matches!(
+        verb,
+        "serve" | "submit" | "status" | "watch" | "result" | "cancel" | "stats" | "stop"
+    )
 }
 
 /// Parses a service subcommand (the first argument must satisfy
@@ -125,7 +128,9 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| {
-                    it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
                 };
                 match arg.as_str() {
                     "--listen" => config.listen = value("--listen")?,
@@ -140,8 +145,7 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
                     }
                     "--timeout" => {
                         let v = value("--timeout")?;
-                        let secs =
-                            v.parse::<u64>().map_err(|_| format!("bad timeout '{v}'"))?;
+                        let secs = v.parse::<u64>().map_err(|_| format!("bad timeout '{v}'"))?;
                         config.timeout = (secs > 0).then(|| Duration::from_secs(secs));
                     }
                     "--stream-cache-mb" => {
@@ -167,7 +171,9 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| {
-                    it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
                 };
                 match arg.as_str() {
                     "--addr" => addr = value("--addr")?,
@@ -215,7 +221,13 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
             };
             let experiment = llc_sharing::ExperimentId::parse(experiment)
                 .ok_or_else(|| format!("unknown experiment '{experiment}'"))?;
-            let spec = JobSpec { experiment, preset, scale, threads, apps };
+            let spec = JobSpec {
+                experiment,
+                preset,
+                scale,
+                threads,
+                apps,
+            };
             return Ok(ServeCommand::Submit { addr, spec, watch });
         }
         _ => {}
@@ -225,14 +237,17 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
-            it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
         };
         match arg.as_str() {
             "--addr" => addr = value("--addr")?,
             "--deadline" => {
                 let v = value("--deadline")?;
                 deadline = Duration::from_secs(
-                    v.parse::<u64>().map_err(|_| format!("bad deadline '{v}'"))?,
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad deadline '{v}'"))?,
                 );
             }
             other => positional.push(other.to_string()),
@@ -242,13 +257,28 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
         let [id] = positional else {
             return Err(format!("{verb} needs exactly one job id\n\n{USAGE}"));
         };
-        id.parse::<u64>().map(JobId).map_err(|_| format!("bad job id '{id}'"))
+        id.parse::<u64>()
+            .map(JobId)
+            .map_err(|_| format!("bad job id '{id}'"))
     };
     match verb.as_str() {
-        "status" => Ok(ServeCommand::Status { addr, id: job_id(&positional)? }),
-        "watch" => Ok(ServeCommand::Watch { addr, id: job_id(&positional)?, deadline }),
-        "result" => Ok(ServeCommand::Result { addr, id: job_id(&positional)? }),
-        "cancel" => Ok(ServeCommand::Cancel { addr, id: job_id(&positional)? }),
+        "status" => Ok(ServeCommand::Status {
+            addr,
+            id: job_id(&positional)?,
+        }),
+        "watch" => Ok(ServeCommand::Watch {
+            addr,
+            id: job_id(&positional)?,
+            deadline,
+        }),
+        "result" => Ok(ServeCommand::Result {
+            addr,
+            id: job_id(&positional)?,
+        }),
+        "cancel" => Ok(ServeCommand::Cancel {
+            addr,
+            id: job_id(&positional)?,
+        }),
         "stats" if positional.is_empty() => Ok(ServeCommand::Stats { addr }),
         "stop" if positional.is_empty() => Ok(ServeCommand::Stop { addr }),
         _ => Err(format!("unknown service subcommand '{verb}'\n\n{USAGE}")),
@@ -289,24 +319,26 @@ pub fn run(command: &ServeCommand) -> Result<String, ServeError> {
             }
             render_result(&client.result(id)?)
         }
-        ServeCommand::Status { addr, id } => {
-            Ok(format!("{}\n", Client::new(addr.clone()).status(*id)?.render()))
-        }
-        ServeCommand::Watch { addr, id, deadline } => {
-            Ok(format!("{}\n", Client::new(addr.clone()).watch(*id, *deadline)?.render()))
-        }
-        ServeCommand::Result { addr, id } => {
-            render_result(&Client::new(addr.clone()).result(*id)?)
-        }
-        ServeCommand::Cancel { addr, id } => {
-            Ok(format!("{}\n", Client::new(addr.clone()).cancel(*id)?.render()))
-        }
+        ServeCommand::Status { addr, id } => Ok(format!(
+            "{}\n",
+            Client::new(addr.clone()).status(*id)?.render()
+        )),
+        ServeCommand::Watch { addr, id, deadline } => Ok(format!(
+            "{}\n",
+            Client::new(addr.clone()).watch(*id, *deadline)?.render()
+        )),
+        ServeCommand::Result { addr, id } => render_result(&Client::new(addr.clone()).result(*id)?),
+        ServeCommand::Cancel { addr, id } => Ok(format!(
+            "{}\n",
+            Client::new(addr.clone()).cancel(*id)?.render()
+        )),
         ServeCommand::Stats { addr } => {
             Ok(format!("{}\n", Client::new(addr.clone()).stats()?.render()))
         }
-        ServeCommand::Stop { addr } => {
-            Ok(format!("{}\n", Client::new(addr.clone()).shutdown()?.render()))
-        }
+        ServeCommand::Stop { addr } => Ok(format!(
+            "{}\n",
+            Client::new(addr.clone()).shutdown()?.render()
+        )),
     }
 }
 
@@ -345,7 +377,9 @@ mod tests {
             "serve --listen 127.0.0.1:0 --store /tmp/s --jobs 3 --timeout 60 --stream-cache-mb 64",
         ))
         .expect("parse");
-        let ServeCommand::Serve(config) = cmd else { panic!("not serve: {cmd:?}") };
+        let ServeCommand::Serve(config) = cmd else {
+            panic!("not serve: {cmd:?}")
+        };
         assert_eq!(config.listen, "127.0.0.1:0");
         assert_eq!(config.store_dir, std::path::PathBuf::from("/tmp/s"));
         assert_eq!(config.jobs, 3);
@@ -356,8 +390,13 @@ mod tests {
         };
         assert_eq!(config.listen, DEFAULT_ADDR);
         assert!(config.stream_cache_limit.is_none());
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        assert_eq!(config.jobs, cores, "default worker count tracks the machine");
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(
+            config.jobs, cores,
+            "default worker count tracks the machine"
+        );
     }
 
     #[test]
@@ -366,7 +405,9 @@ mod tests {
             "submit fig7 --preset test --scale tiny --threads 4 --apps fft,dedup --watch",
         ))
         .expect("parse");
-        let ServeCommand::Submit { spec, watch, addr } = cmd else { panic!("not submit") };
+        let ServeCommand::Submit { spec, watch, addr } = cmd else {
+            panic!("not submit")
+        };
         assert_eq!(spec.experiment, ExperimentId::Fig7);
         assert_eq!(spec.preset, "test");
         assert_eq!(spec.threads, Some(4));
@@ -384,10 +425,22 @@ mod tests {
             parse(&args("watch 2 --deadline 5")).expect("parse"),
             ServeCommand::Watch { id: JobId(2), deadline, .. } if deadline == Duration::from_secs(5)
         ));
-        assert!(matches!(parse(&args("result 1")).expect("parse"), ServeCommand::Result { .. }));
-        assert!(matches!(parse(&args("cancel 1")).expect("parse"), ServeCommand::Cancel { .. }));
-        assert!(matches!(parse(&args("stats")).expect("parse"), ServeCommand::Stats { .. }));
-        assert!(matches!(parse(&args("stop")).expect("parse"), ServeCommand::Stop { .. }));
+        assert!(matches!(
+            parse(&args("result 1")).expect("parse"),
+            ServeCommand::Result { .. }
+        ));
+        assert!(matches!(
+            parse(&args("cancel 1")).expect("parse"),
+            ServeCommand::Cancel { .. }
+        ));
+        assert!(matches!(
+            parse(&args("stats")).expect("parse"),
+            ServeCommand::Stats { .. }
+        ));
+        assert!(matches!(
+            parse(&args("stop")).expect("parse"),
+            ServeCommand::Stop { .. }
+        ));
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl Client {
     /// A client for the daemon at `addr` (e.g. `127.0.0.1:7119`) with a
     /// 10-second per-request socket timeout.
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into(), timeout: Duration::from_secs(10) }
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(10),
+        }
     }
 
     /// The daemon address this client talks to.
@@ -39,7 +42,40 @@ impl Client {
     /// [`ServeError::Io`] for socket failures, [`ServeError::Protocol`]
     /// for unparsable answers, and [`ServeError::Api`] for any non-2xx
     /// status (carrying the server's `error` message).
-    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<Value, ServeError> {
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Value, ServeError> {
+        let (status, text) = self.request_text(method, path, body)?;
+        let value = json::parse(&text)
+            .map_err(|e| ServeError::Protocol(format!("bad JSON in response: {e}")))?;
+        if (200..300).contains(&status) {
+            Ok(value)
+        } else {
+            let message = value
+                .field("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified server error")
+                .to_string();
+            Err(ServeError::Api { status, message })
+        }
+    }
+
+    /// Performs one request and returns the status code and raw body —
+    /// for non-JSON endpoints like the Prometheus `/metrics` exposition.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for socket failures and [`ServeError::Protocol`]
+    /// for answers without a parsable status line.
+    pub fn request_text(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ServeError> {
         let mut stream = TcpStream::connect(&self.addr)
             .map_err(|e| io_err(format!("connecting to {}", self.addr), e))?;
         stream
@@ -59,18 +95,24 @@ impl Client {
         stream
             .read_to_end(&mut raw)
             .map_err(|e| io_err(format!("reading the {method} {path} response"), e))?;
-        let (status, text) = parse_response(&raw)?;
-        let value = json::parse(&text)
-            .map_err(|e| ServeError::Protocol(format!("bad JSON in response: {e}")))?;
+        parse_response(&raw)
+    }
+
+    /// Scrapes the daemon's Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_text`]; a non-2xx status is a
+    /// [`ServeError::Api`] carrying the raw body as its message.
+    pub fn metrics(&self) -> Result<String, ServeError> {
+        let (status, text) = self.request_text("GET", "/metrics", None)?;
         if (200..300).contains(&status) {
-            Ok(value)
+            Ok(text)
         } else {
-            let message = value
-                .field("error")
-                .and_then(Value::as_str)
-                .unwrap_or("unspecified server error")
-                .to_string();
-            Err(ServeError::Api { status, message })
+            Err(ServeError::Api {
+                status,
+                message: text,
+            })
         }
     }
 
@@ -140,7 +182,11 @@ impl Client {
         let started = Instant::now();
         loop {
             let status = self.status(id)?;
-            let state = status.field("state").and_then(Value::as_str).unwrap_or("?").to_string();
+            let state = status
+                .field("state")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string();
             if matches!(state.as_str(), "done" | "failed" | "cancelled") {
                 return Ok(status);
             }

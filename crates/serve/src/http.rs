@@ -30,14 +30,29 @@ pub struct Request {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
     pub body: String,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response { status, body: body.into() }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition endpoint).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+        }
     }
 
     /// A JSON error response: `{"error": <message>}`.
@@ -45,7 +60,11 @@ impl Response {
         let mut body = String::from("{\"error\":");
         body.push_str(&llc_sharing::json::Value::Str(message.to_string()).render());
         body.push('}');
-        Response { status, body }
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
     }
 }
 
@@ -91,7 +110,9 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
         .to_string();
     let version = parts.next().unwrap_or("HTTP/1.1");
     if !version.starts_with("HTTP/1.") {
-        return Err(ServeError::Protocol(format!("unsupported version {version:?}")));
+        return Err(ServeError::Protocol(format!(
+            "unsupported version {version:?}"
+        )));
     }
 
     let mut content_length = 0usize;
@@ -131,17 +152,18 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
     Ok(Request { method, path, body })
 }
 
-/// Serializes `response` onto `stream` (JSON content type, explicit
-/// length, `Connection: close`).
+/// Serializes `response` onto `stream` (the response's content type,
+/// explicit length, `Connection: close`).
 ///
 /// # Errors
 ///
 /// Propagates socket write failures.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -193,10 +215,8 @@ mod tests {
 
     #[test]
     fn parses_request_with_body() {
-        let r = round_trip(
-            "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
-        )
-        .expect("parse");
+        let r = round_trip("POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .expect("parse");
         assert_eq!(r.method, "POST");
         assert_eq!(r.path, "/jobs");
         assert_eq!(r.body, "{\"a\":1}");
@@ -216,7 +236,10 @@ mod tests {
         assert!(round_trip("GET\r\n\r\n").is_err());
         assert!(round_trip("GET / SPDY/99\r\n\r\n").is_err());
         assert!(round_trip("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
-        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
         assert!(round_trip(&huge).is_err());
     }
 

@@ -9,13 +9,39 @@ use std::collections::HashMap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, LazyLock, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use llc_sharing::RunError;
+use llc_telemetry::metrics::{global, Counter};
 
 use crate::spec::JobSpec;
+
+/// `llc_jobs_total{state=...}` — one series per lifecycle milestone
+/// (`submitted` on accept, the terminal labels as jobs finish).
+struct JobMetrics {
+    submitted: Arc<Counter>,
+    done: Arc<Counter>,
+    failed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+}
+
+static METRICS: LazyLock<JobMetrics> = LazyLock::new(|| {
+    let series = |state| {
+        global().counter_with(
+            "llc_jobs_total",
+            "Jobs by lifecycle milestone (submitted on accept, terminal states on finish)",
+            &[("state", state)],
+        )
+    };
+    JobMetrics {
+        submitted: series("submitted"),
+        done: series("done"),
+        failed: series("failed"),
+        cancelled: series("cancelled"),
+    }
+});
 
 /// A job's identifier, unique within one daemon process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,7 +90,10 @@ impl JobState {
 
     /// `true` once the job can no longer change state.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Done { .. } | JobState::Failed { .. } | JobState::Cancelled)
+        matches!(
+            self,
+            JobState::Done { .. } | JobState::Failed { .. } | JobState::Cancelled
+        )
     }
 }
 
@@ -81,6 +110,8 @@ pub struct JobRecord {
     pub state: JobState,
     /// Cooperative cancellation flag, shared with the executing worker.
     pub cancel: Arc<AtomicBool>,
+    /// When `POST /jobs` accepted the job (queue-wait telemetry).
+    pub submitted_at: Instant,
 }
 
 /// Monotone service counters, exposed via `GET /store/stats`.
@@ -129,9 +160,11 @@ impl JobTable {
             fingerprint,
             state: JobState::Queued,
             cancel: Arc::new(AtomicBool::new(false)),
+            submitted_at: Instant::now(),
         };
         lock_recovering(&self.jobs).insert(id.0, record.clone());
         lock_recovering(&self.counters).submitted += 1;
+        METRICS.submitted.inc();
         record
     }
 
@@ -148,9 +181,18 @@ impl JobTable {
         let record = jobs.get_mut(&id.0)?;
         if !record.state.is_terminal() {
             match &state {
-                JobState::Done { .. } => lock_recovering(&self.counters).completed += 1,
-                JobState::Failed { .. } => lock_recovering(&self.counters).failed += 1,
-                JobState::Cancelled => lock_recovering(&self.counters).cancelled += 1,
+                JobState::Done { .. } => {
+                    lock_recovering(&self.counters).completed += 1;
+                    METRICS.done.inc();
+                }
+                JobState::Failed { .. } => {
+                    lock_recovering(&self.counters).failed += 1;
+                    METRICS.failed.inc();
+                }
+                JobState::Cancelled => {
+                    lock_recovering(&self.counters).cancelled += 1;
+                    METRICS.cancelled.inc();
+                }
                 _ => {}
             }
             record.state = state;
@@ -215,11 +257,13 @@ where
     F: FnOnce() -> Result<T, RunError> + Send + 'static,
 {
     let (tx, rx) = mpsc::channel();
-    let spawned = thread::Builder::new().name(format!("job-{label}")).spawn(move || {
-        let result = panic::catch_unwind(AssertUnwindSafe(work));
-        // The receiver may be gone after a cancel/timeout; that is fine.
-        let _ = tx.send(result);
-    });
+    let spawned = thread::Builder::new()
+        .name(format!("job-{label}"))
+        .spawn(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(work));
+            // The receiver may be gone after a cancel/timeout; that is fine.
+            let _ = tx.send(result);
+        });
     let handle = match spawned {
         Ok(h) => h,
         Err(e) => {
@@ -264,7 +308,10 @@ where
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".into());
-            Err(RunError::Panicked { label: label.to_string(), reason })
+            Err(RunError::Panicked {
+                label: label.to_string(),
+                reason,
+            })
         }
     })
 }
@@ -342,15 +389,11 @@ mod tests {
     #[test]
     fn run_cancellable_times_out_and_cancels() {
         let cancel = AtomicBool::new(false);
-        let outcome = run_cancellable::<(), _>(
-            "slow",
-            Some(Duration::from_millis(30)),
-            &cancel,
-            || {
+        let outcome =
+            run_cancellable::<(), _>("slow", Some(Duration::from_millis(30)), &cancel, || {
                 thread::sleep(Duration::from_secs(30));
                 Ok(())
-            },
-        );
+            });
         assert!(matches!(
             outcome,
             GuardedOutcome::Finished(Err(RunError::TimedOut { .. }))

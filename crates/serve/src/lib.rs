@@ -28,7 +28,10 @@
 //! | `GET /jobs/{id}/result`| the completed job's tables                   |
 //! | `DELETE /jobs/{id}`    | cancel (a running job is abandoned, exactly  |
 //! |                        | like a suite watchdog timeout)               |
-//! | `GET /store/stats`     | hit/miss/eviction counters, bytes on disk    |
+//! | `GET /store/stats`     | hit/miss/eviction counters, bytes on disk,   |
+//! |                        | worker-budget state                          |
+//! | `GET /metrics`         | Prometheus text exposition (jobs, request    |
+//! |                        | latencies, stream cache, worker budget)      |
 //! | `GET /healthz`         | liveness probe                               |
 //!
 //! The `repro` binary wires this up as `repro serve` (daemon) and
@@ -110,7 +113,10 @@ impl From<RunError> for ServeError {
 
 /// Wraps an [`io::Error`] with a context string.
 pub(crate) fn io_err(context: impl Into<String>, source: io::Error) -> ServeError {
-    ServeError::Io { context: context.into(), source }
+    ServeError::Io {
+        context: context.into(),
+        source,
+    }
 }
 
 #[cfg(test)]
@@ -121,9 +127,15 @@ mod tests {
     fn display_names_the_layer() {
         let e = ServeError::Protocol("bad request line".into());
         assert!(e.to_string().contains("bad request line"));
-        let e = ServeError::Api { status: 404, message: "no such job".into() };
+        let e = ServeError::Api {
+            status: 404,
+            message: "no such job".into(),
+        };
         assert!(e.to_string().contains("404"));
-        let e = io_err("binding listener", io::Error::new(io::ErrorKind::AddrInUse, "busy"));
+        let e = io_err(
+            "binding listener",
+            io::Error::new(io::ErrorKind::AddrInUse, "busy"),
+        );
         assert!(e.to_string().contains("binding listener"));
         assert!(std::error::Error::source(&e).is_some());
     }

@@ -10,11 +10,13 @@
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, LazyLock, Mutex};
+use std::time::{Duration, Instant};
 
 use llc_sharing::json::Value;
 use llc_sharing::{run_experiment, scoped_workers, StreamCache};
+use llc_telemetry::metrics::{global, Histogram, TIME_BOUNDS};
+use llc_telemetry::spans;
 use llc_trace::StreamStore;
 
 use crate::http::{read_request, write_response, Request, Response};
@@ -22,6 +24,71 @@ use crate::jobs::{run_cancellable, GuardedOutcome, JobId, JobRecord, JobState, J
 use crate::spec::JobSpec;
 use crate::store::ResultStore;
 use crate::{io_err, ServeError};
+
+/// Request/job latency histograms, resolved once per process. The
+/// per-verb request counters are registered on first use in
+/// [`observe_request`] (labelled by method and *route pattern*, never by
+/// raw path, so series cardinality stays bounded).
+struct ServerMetrics {
+    queue_wait: Arc<Histogram>,
+    job_run: Arc<Histogram>,
+}
+
+static METRICS: LazyLock<ServerMetrics> = LazyLock::new(|| ServerMetrics {
+    queue_wait: global().histogram(
+        "llc_job_queue_wait_seconds",
+        "Time jobs spent queued before a worker started them",
+        &TIME_BOUNDS,
+    ),
+    job_run: global().histogram(
+        "llc_job_run_seconds",
+        "Wall time of job execution (store re-check through terminal state)",
+        &TIME_BOUNDS,
+    ),
+});
+
+/// The route pattern a request path falls under — the bounded label set
+/// for the HTTP metrics (`{id}` instead of each job id).
+fn route_pattern(segments: &[&str]) -> &'static str {
+    match segments {
+        ["jobs"] => "/jobs",
+        ["jobs", _] => "/jobs/{id}",
+        ["jobs", _, "result"] => "/jobs/{id}/result",
+        ["store", "stats"] => "/store/stats",
+        ["metrics"] => "/metrics",
+        ["healthz"] => "/healthz",
+        ["shutdown"] => "/shutdown",
+        _ => "other",
+    }
+}
+
+/// Counts one handled request and records its latency, labelled by
+/// method and route pattern.
+fn observe_request(method: &str, pattern: &'static str, elapsed: Duration) {
+    // Methods outside the API's verb set collapse into one label value
+    // to keep the series set bounded against scanners.
+    let method = match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        "DELETE" => "DELETE",
+        _ => "other",
+    };
+    global()
+        .counter_with(
+            "llc_http_requests_total",
+            "HTTP requests handled, by method and route pattern",
+            &[("method", method), ("route", pattern)],
+        )
+        .inc();
+    global()
+        .histogram_with(
+            "llc_http_request_seconds",
+            "Request handling latency (read + route + handler), by route pattern",
+            &TIME_BOUNDS,
+            &[("route", pattern)],
+        )
+        .observe_duration(elapsed);
+}
 
 /// How the daemon is wired up.
 #[derive(Debug, Clone)]
@@ -63,6 +130,9 @@ struct ServerState {
     streams: StreamCache,
     stream_store: StreamStore,
     timeout: Option<Duration>,
+    /// The `--jobs` worker grant, reported as `budget.granted` in
+    /// `GET /store/stats`.
+    workers: usize,
     queue_tx: Mutex<mpsc::Sender<JobId>>,
     queue_rx: Mutex<mpsc::Receiver<JobId>>,
     shutdown: AtomicBool,
@@ -114,7 +184,10 @@ impl Server {
             .local_addr()
             .map_err(|e| io_err("reading bound address", e))?;
         let stream_store = StreamStore::open(config.store_dir.join("streams")).map_err(|e| {
-            io_err(format!("creating stream store under {}", config.store_dir.display()), e)
+            io_err(
+                format!("creating stream store under {}", config.store_dir.display()),
+                e,
+            )
         })?;
         let results = ResultStore::open(config.store_dir.join("results"))?;
         let workers = config.jobs.max(1);
@@ -129,11 +202,18 @@ impl Server {
             streams,
             stream_store,
             timeout: config.timeout,
+            workers,
             queue_tx: Mutex::new(tx),
             queue_rx: Mutex::new(rx),
             shutdown: AtomicBool::new(false),
         });
-        Ok(Server { listener, addr, state, control_flag: Arc::new(AtomicBool::new(false)), workers })
+        Ok(Server {
+            listener,
+            addr,
+            state,
+            control_flag: Arc::new(AtomicBool::new(false)),
+            workers,
+        })
     }
 
     /// The bound address (useful with `listen = "127.0.0.1:0"`).
@@ -144,7 +224,10 @@ impl Server {
     /// A handle that can stop this server from another thread (or via
     /// `POST /shutdown` on the socket).
     pub fn control(&self) -> ServerControl {
-        ServerControl { shutdown: Arc::clone(&self.control_flag), addr: self.addr }
+        ServerControl {
+            shutdown: Arc::clone(&self.control_flag),
+            addr: self.addr,
+        }
     }
 
     /// Runs the daemon until [`ServerControl::shutdown`] or
@@ -203,8 +286,15 @@ fn accept_loop(listener: &TcpListener, state: &ServerState, control_flag: &Atomi
 fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let started = Instant::now();
     let response = match read_request(&mut stream) {
-        Ok(request) => route(state, &request),
+        Ok(request) => {
+            let path = request.path.trim_end_matches('/');
+            let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+            let response = route(state, &request, &segments);
+            observe_request(&request.method, route_pattern(&segments), started.elapsed());
+            response
+        }
         Err(ServeError::Protocol(msg)) => Response::error(400, &msg),
         Err(_) => return, // peer vanished mid-request; nothing to answer
     };
@@ -212,10 +302,8 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
 }
 
 /// Dispatches one request to its handler.
-fn route(state: &ServerState, request: &Request) -> Response {
-    let path = request.path.trim_end_matches('/');
-    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (request.method.as_str(), segments.as_slice()) {
+fn route(state: &ServerState, request: &Request, segments: &[&str]) -> Response {
+    match (request.method.as_str(), segments) {
         ("POST", ["jobs"]) => submit_job(state, &request.body),
         ("GET", ["jobs", id]) => with_job(state, id, |job| Response::json(200, job_json(&job))),
         ("GET", ["jobs", id, "result"]) => with_job(state, id, |job| job_result(state, &job)),
@@ -227,21 +315,31 @@ fn route(state: &ServerState, request: &Request) -> Response {
             Response::json(200, job_json(&job))
         }),
         ("GET", ["store", "stats"]) => store_stats(state),
+        ("GET", ["metrics"]) => Response::text(200, global().encode()),
         ("GET", ["healthz"]) => Response::json(200, "{\"ok\":true}"),
         ("POST", ["shutdown"]) => {
             state.shutdown.store(true, Ordering::Relaxed);
             Response::json(200, "{\"ok\":true}")
         }
-        (_, ["jobs", ..]) | (_, ["store", ..]) | (_, ["healthz"]) | (_, ["shutdown"]) => {
-            Response::error(405, &format!("{} not supported on {}", request.method, request.path))
-        }
+        (_, ["jobs", ..])
+        | (_, ["store", ..])
+        | (_, ["metrics"])
+        | (_, ["healthz"])
+        | (_, ["shutdown"]) => Response::error(
+            405,
+            &format!("{} not supported on {}", request.method, request.path),
+        ),
         _ => Response::error(404, &format!("no such route {}", request.path)),
     }
 }
 
 /// Parses `{id}` and hands the job snapshot to `f`, or answers 404.
 fn with_job(state: &ServerState, id: &str, f: impl FnOnce(JobRecord) -> Response) -> Response {
-    match id.parse::<u64>().ok().and_then(|n| state.jobs.get(JobId(n))) {
+    match id
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| state.jobs.get(JobId(n)))
+    {
         Some(job) => f(job),
         None => Response::error(404, &format!("no such job {id:?}")),
     }
@@ -296,13 +394,22 @@ fn job_result(state: &ServerState, job: &JobRecord) -> Response {
             Ok(Some(tables)) => {
                 let doc = Value::object(vec![
                     ("id", Value::Num(job.id.0 as f64)),
-                    ("experiment", Value::Str(job.spec.experiment.label().to_string())),
-                    ("fingerprint", Value::Str(format!("{:016x}", job.fingerprint))),
+                    (
+                        "experiment",
+                        Value::Str(job.spec.experiment.label().to_string()),
+                    ),
+                    (
+                        "fingerprint",
+                        Value::Str(format!("{:016x}", job.fingerprint)),
+                    ),
                     ("from_store", Value::Bool(*from_store)),
                     (
                         "tables",
                         Value::Array(
-                            tables.iter().map(llc_sharing::json::table_to_json).collect(),
+                            tables
+                                .iter()
+                                .map(llc_sharing::json::table_to_json)
+                                .collect(),
                         ),
                     ),
                 ]);
@@ -359,6 +466,13 @@ fn store_stats(state: &ServerState) -> Response {
                 ("simulated", num(c.simulated)),
             ]),
         ),
+        (
+            "budget",
+            Value::object(vec![
+                ("granted", num(state.workers as u64)),
+                ("available", num(llc_sharing::budget::available() as u64)),
+            ]),
+        ),
     ]);
     Response::json(200, doc.render())
 }
@@ -368,8 +482,14 @@ fn job_json(job: &JobRecord) -> String {
     let mut fields = vec![
         ("id", Value::Num(job.id.0 as f64)),
         ("state", Value::Str(job.state.label().to_string())),
-        ("experiment", Value::Str(job.spec.experiment.label().to_string())),
-        ("fingerprint", Value::Str(format!("{:016x}", job.fingerprint))),
+        (
+            "experiment",
+            Value::Str(job.spec.experiment.label().to_string()),
+        ),
+        (
+            "fingerprint",
+            Value::Str(format!("{:016x}", job.fingerprint)),
+        ),
         ("summary", Value::Str(job.spec.summary())),
     ];
     if let JobState::Done { from_store } = &job.state {
@@ -402,17 +522,26 @@ fn worker_loop(state: &ServerState) {
 
 /// Runs one queued job to a terminal state.
 fn execute_job(state: &ServerState, id: JobId) {
-    let Some(job) = state.jobs.get(id) else { return };
+    let Some(job) = state.jobs.get(id) else {
+        return;
+    };
     if job.state.is_terminal() {
         return; // cancelled (or already answered) while queued
     }
+    METRICS
+        .queue_wait
+        .observe_duration(job.submitted_at.elapsed());
+    let run_started = Instant::now();
+    let _span = spans::span_with(|| format!("job {} {}", id.0, job.spec.experiment.label()));
     state.jobs.transition(id, JobState::Running);
     // A duplicate spec submitted moments earlier may have finished while
     // this copy sat in the queue; re-check the store before simulating.
     match state.results.load(job.fingerprint) {
         Ok(Some(_)) => {
             state.jobs.count(|c| c.result_hits += 1);
-            state.jobs.transition(id, JobState::Done { from_store: true });
+            state
+                .jobs
+                .transition(id, JobState::Done { from_store: true });
             return;
         }
         Ok(None) => {}
@@ -433,26 +562,39 @@ fn execute_job(state: &ServerState, id: JobId) {
     match outcome {
         GuardedOutcome::Finished(Ok(tables)) => {
             state.jobs.count(|c| c.simulated += 1);
-            match state.results.save(job.fingerprint, experiment.label(), &tables) {
+            match state
+                .results
+                .save(job.fingerprint, experiment.label(), &tables)
+            {
                 Ok(()) => {
-                    state.jobs.transition(id, JobState::Done { from_store: false });
+                    state
+                        .jobs
+                        .transition(id, JobState::Done { from_store: false });
                 }
                 Err(e) => {
                     // GET result reads from disk, so an unsaved result is
                     // a failed job, not a silent success.
                     state.jobs.transition(
                         id,
-                        JobState::Failed { reason: format!("persisting result: {e}") },
+                        JobState::Failed {
+                            reason: format!("persisting result: {e}"),
+                        },
                     );
                 }
             }
         }
         GuardedOutcome::Finished(Err(e)) => {
-            state.jobs.transition(id, JobState::Failed { reason: e.to_string() });
+            state.jobs.transition(
+                id,
+                JobState::Failed {
+                    reason: e.to_string(),
+                },
+            );
         }
         // The cancel handler already moved the job to Cancelled; the
         // abandoned thread's result is discarded.
         GuardedOutcome::Cancelled => {}
     }
     llc_sharing::budget::donate(1);
+    METRICS.job_run.observe_duration(run_started.elapsed());
 }

@@ -37,7 +37,13 @@ impl JobSpec {
     /// A spec that runs `experiment` under the given preset with no
     /// overrides.
     pub fn new(experiment: ExperimentId, preset: &str) -> JobSpec {
-        JobSpec { experiment, preset: preset.to_string(), scale: None, threads: None, apps: None }
+        JobSpec {
+            experiment,
+            preset: preset.to_string(),
+            scale: None,
+            threads: None,
+            apps: None,
+        }
     }
 
     /// Parses and validates a submission body.
@@ -77,16 +83,18 @@ impl JobSpec {
                     saw_experiment = true;
                 }
                 "preset" => {
-                    let s =
-                        value.as_str().ok_or_else(|| bad("\"preset\" must be a string".into()))?;
+                    let s = value
+                        .as_str()
+                        .ok_or_else(|| bad("\"preset\" must be a string".into()))?;
                     if !matches!(s, "paper" | "quick" | "test") {
                         return Err(bad(format!("unknown preset {s:?}")));
                     }
                     spec.preset = s.to_string();
                 }
                 "scale" => {
-                    let s =
-                        value.as_str().ok_or_else(|| bad("\"scale\" must be a string".into()))?;
+                    let s = value
+                        .as_str()
+                        .ok_or_else(|| bad("\"scale\" must be a string".into()))?;
                     spec.scale =
                         Some(Scale::parse(s).ok_or_else(|| bad(format!("unknown scale {s:?}")))?);
                 }
@@ -111,9 +119,7 @@ impl JobSpec {
                         let s = item
                             .as_str()
                             .ok_or_else(|| bad("\"apps\" must be an array of strings".into()))?;
-                        apps.push(
-                            App::parse(s).ok_or_else(|| bad(format!("unknown app {s:?}")))?,
-                        );
+                        apps.push(App::parse(s).ok_or_else(|| bad(format!("unknown app {s:?}")))?);
                     }
                     if apps.is_empty() {
                         return Err(bad("\"apps\" must name at least one app".into()));
@@ -133,7 +139,10 @@ impl JobSpec {
     /// order, overrides omitted when unset).
     pub fn to_json(&self) -> Value {
         let mut fields = vec![
-            ("experiment", Value::Str(self.experiment.label().to_string())),
+            (
+                "experiment",
+                Value::Str(self.experiment.label().to_string()),
+            ),
             ("preset", Value::Str(self.preset.clone())),
         ];
         if let Some(scale) = self.scale {
@@ -145,7 +154,11 @@ impl JobSpec {
         if let Some(apps) = &self.apps {
             fields.push((
                 "apps",
-                Value::Array(apps.iter().map(|a| Value::Str(a.label().to_string())).collect()),
+                Value::Array(
+                    apps.iter()
+                        .map(|a| Value::Str(a.label().to_string()))
+                        .collect(),
+                ),
             ));
         }
         Value::object(fields)
@@ -266,7 +279,10 @@ mod tests {
             "{\"experiment\":\"fig1\",\"apps\":[\"nope\"]}",
             "{\"experiment\":\"fig1\",\"frobnicate\":1}",
         ] {
-            assert!(JobSpec::from_json_text(bad).is_err(), "{bad:?} should be rejected");
+            assert!(
+                JobSpec::from_json_text(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
     }
 
@@ -283,8 +299,10 @@ mod tests {
         assert_eq!(implicit.fingerprint(), explicit.fingerprint());
 
         let other_exp = JobSpec::new(ExperimentId::Fig8, "test");
-        let other_threads =
-            JobSpec { threads: Some(2), ..JobSpec::new(ExperimentId::Fig7, "test") };
+        let other_threads = JobSpec {
+            threads: Some(2),
+            ..JobSpec::new(ExperimentId::Fig7, "test")
+        };
         let other_apps = JobSpec {
             apps: Some(vec![App::Fft]),
             ..JobSpec::new(ExperimentId::Fig7, "test")
@@ -298,6 +316,9 @@ mod tests {
     #[test]
     fn summary_names_the_work() {
         let s = JobSpec::new(ExperimentId::Fig7, "test").summary();
-        assert!(s.contains("fig7") && s.contains("test") && s.contains("4 threads"), "{s}");
+        assert!(
+            s.contains("fig7") && s.contains("test") && s.contains("4 threads"),
+            "{s}"
+        );
     }
 }

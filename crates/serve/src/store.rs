@@ -126,7 +126,10 @@ impl ResultStore {
             ("version", Value::Num(RESULT_FORMAT_VERSION as f64)),
             ("fingerprint", Value::Str(format!("{fp:016x}"))),
             ("experiment", Value::Str(experiment.to_string())),
-            ("tables", Value::Array(tables.iter().map(table_to_json).collect())),
+            (
+                "tables",
+                Value::Array(tables.iter().map(table_to_json).collect()),
+            ),
         ]);
         let path = self.path_for(fp);
         atomic_write(&path, doc.render().as_bytes())
@@ -203,8 +206,11 @@ mod tests {
     fn rejects_future_format_versions() {
         let store = temp_store("version");
         let path = store.path_for(1);
-        fs::write(&path, "{\"version\":99,\"fingerprint\":\"0000000000000001\",\"tables\":[]}")
-            .expect("write");
+        fs::write(
+            &path,
+            "{\"version\":99,\"fingerprint\":\"0000000000000001\",\"tables\":[]}",
+        )
+        .expect("write");
         assert!(matches!(store.load(1), Err(ServeError::Protocol(_))));
         let _ = fs::remove_dir_all(store.dir());
     }

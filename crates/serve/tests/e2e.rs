@@ -44,7 +44,21 @@ fn stat(stats: &Value, group: &str, field: &str) -> u64 {
 }
 
 fn state_of(doc: &Value) -> String {
-    doc.field("state").and_then(Value::as_str).unwrap_or("?").to_string()
+    doc.field("state")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string()
+}
+
+/// The sample value of the series whose name (with any labels) is
+/// exactly `series`, or 0.0 when it is not exposed.
+fn sample(exposition: &str, series: &str) -> f64 {
+    exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| l.strip_prefix(series).map(str::trim))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
 }
 
 #[test]
@@ -65,15 +79,70 @@ fn daemon_serves_jobs_and_survives_restart() {
     assert_eq!(finished.field("from_store"), Some(&Value::Bool(false)));
 
     let result = client.result(id).expect("result");
-    let tables = result.field("tables").and_then(Value::as_array).expect("tables");
+    let tables = result
+        .field("tables")
+        .and_then(Value::as_array)
+        .expect("tables");
     assert!(!tables.is_empty(), "fig1 produces tables");
     let first_render = result.render();
 
     let stats = client.stats().expect("stats");
     assert_eq!(stat(&stats, "jobs", "simulated"), 1);
-    assert!(stat(&stats, "streams", "misses") > 0, "first run records streams");
-    assert!(stat(&stats, "streams", "disk_files") > 0, "recordings are persisted");
+    assert!(
+        stat(&stats, "streams", "misses") > 0,
+        "first run records streams"
+    );
+    assert!(
+        stat(&stats, "streams", "disk_files") > 0,
+        "recordings are persisted"
+    );
     assert_eq!(stat(&stats, "results", "disk_files"), 1);
+    assert!(
+        stat(&stats, "budget", "granted") >= 1,
+        "worker-budget state is exposed"
+    );
+
+    // The Prometheus exposition covers the completed job, the HTTP
+    // traffic we just generated, and the stream cache behind the run.
+    // The registry is process-global and this binary's tests share it,
+    // so assert lower bounds, not exact counts.
+    let metrics = client.metrics().expect("scrape /metrics");
+    assert!(
+        sample(&metrics, "llc_jobs_total{state=\"done\"}") >= 1.0,
+        "job lifecycle series missing:\n{metrics}"
+    );
+    assert!(
+        sample(
+            &metrics,
+            "llc_http_requests_total{method=\"POST\",route=\"/jobs\"}"
+        ) >= 1.0,
+        "request counter series missing:\n{metrics}"
+    );
+    assert!(
+        sample(
+            &metrics,
+            "llc_http_request_seconds_bucket{route=\"/jobs\",le=\"+Inf\"}"
+        ) >= 1.0,
+        "latency histogram missing:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "llc_job_run_seconds_count") >= 1.0,
+        "run timing missing:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE llc_stream_cache_misses_total counter"),
+        "stream-cache series missing:\n{metrics}"
+    );
+    for line in metrics
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let value = line.rsplit(' ').next().unwrap_or("");
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparsable sample {value:?} in {line:?}"
+        );
+    }
 
     // Re-submitting the identical spec is a store hit: answered `done`
     // at submission time, no new simulation, identical tables.
@@ -99,13 +168,24 @@ fn daemon_serves_jobs_and_survives_restart() {
     let cancelled = client.cancel(id).expect("cancel finished job");
     assert_eq!(state_of(&cancelled), "done", "terminal state sticks");
     let err = client.status(JobId(999_999)).expect_err("unknown job");
-    assert!(matches!(err, llc_serve::ServeError::Api { status: 404, .. }), "{err}");
+    assert!(
+        matches!(err, llc_serve::ServeError::Api { status: 404, .. }),
+        "{err}"
+    );
     let err = client
         .request("POST", "/jobs", Some("{\"experiment\":\"nope\"}"))
         .expect_err("bad spec");
-    assert!(matches!(err, llc_serve::ServeError::Api { status: 400, .. }), "{err}");
-    let err = client.request("GET", "/no/such/route", None).expect_err("bad route");
-    assert!(matches!(err, llc_serve::ServeError::Api { status: 404, .. }), "{err}");
+    assert!(
+        matches!(err, llc_serve::ServeError::Api { status: 400, .. }),
+        "{err}"
+    );
+    let err = client
+        .request("GET", "/no/such/route", None)
+        .expect_err("bad route");
+    assert!(
+        matches!(err, llc_serve::ServeError::Api { status: 404, .. }),
+        "{err}"
+    );
 
     client.shutdown().expect("shutdown");
     handle.join().expect("daemon thread");
@@ -115,18 +195,34 @@ fn daemon_serves_jobs_and_survives_restart() {
     // stores are not: the same spec completes with zero simulations.
     let (client, handle) = start_daemon(&store);
     let resub = client.submit(&tiny_spec()).expect("submit after restart");
-    assert_eq!(state_of(&resub), "done", "after restart: {}", resub.render());
+    assert_eq!(
+        state_of(&resub),
+        "done",
+        "after restart: {}",
+        resub.render()
+    );
     assert_eq!(resub.field("from_store"), Some(&Value::Bool(true)));
     let resub_id = job_id_of(&resub).expect("id");
     let resub_result = client.result(resub_id).expect("result after restart");
     assert_eq!(
         resub_result.field("tables").map(Value::render),
-        llc_sharing::json::parse(&first_render).expect("parse").field("tables").map(Value::render),
+        llc_sharing::json::parse(&first_render)
+            .expect("parse")
+            .field("tables")
+            .map(Value::render),
         "tables survive the restart byte-for-byte"
     );
     let stats = client.stats().expect("stats");
-    assert_eq!(stat(&stats, "jobs", "simulated"), 0, "restart: nothing re-simulated");
-    assert_eq!(stat(&stats, "streams", "misses"), 0, "restart: nothing re-recorded");
+    assert_eq!(
+        stat(&stats, "jobs", "simulated"),
+        0,
+        "restart: nothing re-simulated"
+    );
+    assert_eq!(
+        stat(&stats, "streams", "misses"),
+        0,
+        "restart: nothing re-recorded"
+    );
     assert_eq!(stat(&stats, "results", "hits"), 1);
 
     client.shutdown().expect("shutdown");
@@ -162,17 +258,28 @@ fn cancelling_a_queued_job_prevents_execution() {
 
     let cancelled = client.cancel(target_id).expect("cancel queued");
     assert_eq!(state_of(&cancelled), "cancelled", "{}", cancelled.render());
-    let err = client.result(target_id).expect_err("no result for a cancelled job");
-    assert!(matches!(err, llc_serve::ServeError::Api { status: 409, .. }), "{err}");
+    let err = client
+        .result(target_id)
+        .expect_err("no result for a cancelled job");
+    assert!(
+        matches!(err, llc_serve::ServeError::Api { status: 409, .. }),
+        "{err}"
+    );
 
     // The filler jobs still complete normally around it.
     for id in filler_ids {
-        let finished = client.watch(id, Duration::from_secs(120)).expect("watch filler");
+        let finished = client
+            .watch(id, Duration::from_secs(120))
+            .expect("watch filler");
         assert_eq!(state_of(&finished), "done");
     }
     let stats = client.stats().expect("stats");
     assert_eq!(stat(&stats, "jobs", "cancelled"), 1);
-    assert_eq!(stat(&stats, "jobs", "simulated"), 2, "cancelled job never ran");
+    assert_eq!(
+        stat(&stats, "jobs", "simulated"),
+        2,
+        "cancelled job never ran"
+    );
 
     client.shutdown().expect("shutdown");
     handle.join().expect("daemon thread");

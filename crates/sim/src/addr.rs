@@ -185,7 +185,10 @@ impl CoreId {
     ///
     /// Panics if `id >= MAX_CORES`.
     pub fn new(id: usize) -> Self {
-        assert!(id < MAX_CORES, "core id {id} exceeds MAX_CORES ({MAX_CORES})");
+        assert!(
+            id < MAX_CORES,
+            "core id {id} exceeds MAX_CORES ({MAX_CORES})"
+        );
         CoreId(id as u8)
     }
 
@@ -255,7 +258,10 @@ mod tests {
     #[test]
     fn addr_block_roundtrip() {
         let a = Addr::new(0xdead_beef);
-        assert_eq!(a.block().first_byte().raw(), 0xdead_beef & !(BLOCK_BYTES - 1));
+        assert_eq!(
+            a.block().first_byte().raw(),
+            0xdead_beef & !(BLOCK_BYTES - 1)
+        );
         assert_eq!(a.block_offset(), 0xdead_beef & (BLOCK_BYTES - 1));
     }
 

@@ -46,7 +46,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(e) => write!(f, "{e}"),
             SimError::CoreOutOfRange { core, cores } => {
-                write!(f, "access from core {core} but the hierarchy has {cores} cores")
+                write!(
+                    f,
+                    "access from core {core} but the hierarchy has {cores} cores"
+                )
             }
         }
     }
@@ -84,7 +87,10 @@ impl CacheConfig {
     /// Returns an error if the implied number of sets is zero or not a power
     /// of two, or if `ways` is zero.
     pub fn new(capacity_bytes: u64, ways: usize) -> Result<Self, ConfigError> {
-        let cfg = CacheConfig { capacity_bytes, ways };
+        let cfg = CacheConfig {
+            capacity_bytes,
+            ways,
+        };
         cfg.validate()?;
         Ok(cfg)
     }
@@ -129,7 +135,9 @@ impl CacheConfig {
         }
         let sets = blocks / self.ways as u64;
         if !sets.is_power_of_two() {
-            return Err(ConfigError(format!("set count {sets} is not a power of two")));
+            return Err(ConfigError(format!(
+                "set count {sets} is not a power of two"
+            )));
         }
         Ok(())
     }
@@ -148,7 +156,12 @@ impl CacheConfig {
 impl fmt::Display for CacheConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.capacity_bytes.is_multiple_of(1024 * 1024) {
-            write!(f, "{} MB {}-way", self.capacity_bytes / 1024 / 1024, self.ways)
+            write!(
+                f,
+                "{} MB {}-way",
+                self.capacity_bytes / 1024 / 1024,
+                self.ways
+            )
         } else {
             write!(f, "{} KB {}-way", self.capacity_bytes / 1024, self.ways)
         }

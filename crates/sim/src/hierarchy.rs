@@ -50,7 +50,13 @@ pub struct MemAccess {
 impl MemAccess {
     /// Convenience constructor with `instr_gap = 1`.
     pub fn new(core: CoreId, pc: Pc, addr: Addr, kind: AccessKind) -> Self {
-        MemAccess { core, pc, addr, kind, instr_gap: 1 }
+        MemAccess {
+            core,
+            pc,
+            addr,
+            kind,
+            instr_gap: 1,
+        }
     }
 }
 
@@ -76,9 +82,13 @@ impl<P: ReplacementPolicy> Cmp<P> {
     /// Returns an error if the configuration is invalid.
     pub fn new(config: HierarchyConfig, policy: P) -> Result<Self, ConfigError> {
         config.validate()?;
-        let l1 = (0..config.cores).map(|_| PrivateCache::new(config.l1)).collect();
+        let l1 = (0..config.cores)
+            .map(|_| PrivateCache::new(config.l1))
+            .collect();
         let l2 = match config.l2 {
-            Some(l2cfg) => (0..config.cores).map(|_| PrivateCache::new(l2cfg)).collect(),
+            Some(l2cfg) => (0..config.cores)
+                .map(|_| PrivateCache::new(l2cfg))
+                .collect(),
             None => Vec::new(),
         };
         Ok(Cmp {
@@ -257,7 +267,9 @@ impl<P: ReplacementPolicy> Cmp<P> {
     }
 
     fn invalidate_remote(&mut self, block: BlockAddr, writer: CoreId) {
-        let Some(&mask) = self.private_dir.get(&block) else { return };
+        let Some(&mask) = self.private_dir.get(&block) else {
+            return;
+        };
         let remote = mask & !writer.bit();
         if remote == 0 {
             return;
@@ -277,7 +289,9 @@ impl<P: ReplacementPolicy> Cmp<P> {
     }
 
     fn back_invalidate(&mut self, block: BlockAddr) {
-        let Some(mask) = self.private_dir.remove(&block) else { return };
+        let Some(mask) = self.private_dir.remove(&block) else {
+            return;
+        };
         for c in 0..self.config.cores {
             if mask & (1u32 << c) != 0 {
                 self.l1[c].invalidate(block, true);
@@ -342,11 +356,21 @@ mod tests {
     }
 
     fn read(core: usize, addr: u64) -> MemAccess {
-        MemAccess::new(CoreId::new(core), Pc::new(0x400), Addr::new(addr), AccessKind::Read)
+        MemAccess::new(
+            CoreId::new(core),
+            Pc::new(0x400),
+            Addr::new(addr),
+            AccessKind::Read,
+        )
     }
 
     fn write(core: usize, addr: u64) -> MemAccess {
-        MemAccess::new(CoreId::new(core), Pc::new(0x500), Addr::new(addr), AccessKind::Write)
+        MemAccess::new(
+            CoreId::new(core),
+            Pc::new(0x500),
+            Addr::new(addr),
+            AccessKind::Write,
+        )
     }
 
     #[test]
@@ -483,7 +507,11 @@ mod tests {
         cmp.access(read(0, 0x6000), &mut obs);
         cmp.access(read(1, 0x6000), &mut obs);
         cmp.access(write(1, 0x6000), &mut obs);
-        assert_eq!(cmp.llc_stats().accesses, 2, "upgrade must not be an LLC access");
+        assert_eq!(
+            cmp.llc_stats().accesses,
+            2,
+            "upgrade must not be an LLC access"
+        );
         cmp.finish(&mut obs);
         let gen = obs.0.expect("one generation flushed");
         assert!(gen.sharer_mask.count_ones() >= 2);
@@ -492,7 +520,7 @@ mod tests {
     }
 
     #[test]
-    fn finish_flushes_llc(){
+    fn finish_flushes_llc() {
         let mut cmp = Cmp::new(cfg(), FifoPolicy::default()).unwrap();
         let mut obs = NullObserver;
         cmp.access(read(0, 0x7000), &mut obs);

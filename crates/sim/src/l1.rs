@@ -112,11 +112,19 @@ impl PrivateCache {
         let line = &mut lines[victim_way];
         let victim = if !found_invalid && line.valid {
             let victim_block = BlockAddr::new(line.tag * sets + set);
-            Some(L1Victim { block: victim_block, dirty: line.dirty })
+            Some(L1Victim {
+                block: victim_block,
+                dirty: line.dirty,
+            })
         } else {
             None
         };
-        *line = Line { valid: true, tag, stamp: clock, dirty: write };
+        *line = Line {
+            valid: true,
+            tag,
+            stamp: clock,
+            dirty: write,
+        };
         debug_assert!(victim.is_none_or(|v| v.block != block));
         let _ = ways;
         if victim.is_some() {
@@ -183,7 +191,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = tiny();
-        assert!(matches!(c.access(blk(0, 1), false), L1Access::Miss { victim: None }));
+        assert!(matches!(
+            c.access(blk(0, 1), false),
+            L1Access::Miss { victim: None }
+        ));
         assert_eq!(c.access(blk(0, 1), false), L1Access::Hit);
         assert_eq!(c.stats().accesses, 2);
         assert_eq!(c.stats().hits, 1);
@@ -245,7 +256,10 @@ mod tests {
         assert_eq!(c.stats().invalidations, 1);
         // Re-access misses and refills the invalidated way without an
         // eviction.
-        assert!(matches!(c.access(blk(2, 7), false), L1Access::Miss { victim: None }));
+        assert!(matches!(
+            c.access(blk(2, 7), false),
+            L1Access::Miss { victim: None }
+        ));
     }
 
     #[test]

@@ -138,7 +138,9 @@ impl<'a> MultiObserver<'a> {
 
 impl std::fmt::Debug for MultiObserver<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MultiObserver").field("observers", &self.observers.len()).finish()
+        f.debug_struct("MultiObserver")
+            .field("observers", &self.observers.len())
+            .finish()
     }
 }
 
@@ -286,10 +288,18 @@ impl<P: ReplacementPolicy> Llc<P> {
             time: 0,
             stats: LlcStats::default(),
             view_buf: vec![
-                LineView { block: BlockAddr::new(0), sharer_count: 0, dirty: false };
+                LineView {
+                    block: BlockAddr::new(0),
+                    sharer_count: 0,
+                    dirty: false
+                };
                 ways
             ],
-            full_mask: if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 },
+            full_mask: if ways == 64 {
+                u64::MAX
+            } else {
+                (1u64 << ways) - 1
+            },
         }
     }
 
@@ -416,7 +426,14 @@ impl<P: ReplacementPolicy> Llc<P> {
         }
 
         let aux = self.aux.aux_for(time, block);
-        let ctx = AccessCtx { block, pc, core, kind, time, aux };
+        let ctx = AccessCtx {
+            block,
+            pc,
+            core,
+            kind,
+            time,
+            aux,
+        };
 
         let set = block.set_index(self.sets);
         let tag = block.tag(self.sets);
@@ -447,7 +464,10 @@ impl<P: ReplacementPolicy> Llc<P> {
             };
             obs.on_hit(&ctx, &live, was_new_sharer);
             self.policy.on_hit(set as usize, w, &ctx);
-            return LlcAccess { hit: true, victim: None };
+            return LlcAccess {
+                hit: true,
+                victim: None,
+            };
         }
 
         // Miss: find an invalid way or consult the policy for a victim.
@@ -470,7 +490,10 @@ impl<P: ReplacementPolicy> Llc<P> {
                         dirty: line.writes > 0,
                     };
                 }
-                let view = SetView { lines: &self.view_buf, allowed: self.full_mask };
+                let view = SetView {
+                    lines: &self.view_buf,
+                    allowed: self.full_mask,
+                };
                 let w = self.policy.choose_victim(set as usize, &view, &ctx);
                 debug_assert!(w < self.ways, "policy returned out-of-range way {w}");
                 let gen = self.end_generation(set, w, time, EvictCause::Replacement);
@@ -497,10 +520,19 @@ impl<P: ReplacementPolicy> Llc<P> {
         };
         obs.on_fill(&ctx);
         self.policy.on_fill(set as usize, way, &ctx);
-        LlcAccess { hit: false, victim: victim_block }
+        LlcAccess {
+            hit: false,
+            victim: victim_block,
+        }
     }
 
-    fn end_generation(&mut self, set: u64, way: usize, now: u64, cause: EvictCause) -> GenerationEnd {
+    fn end_generation(
+        &mut self,
+        set: u64,
+        way: usize,
+        now: u64,
+        cause: EvictCause,
+    ) -> GenerationEnd {
         let base = self.set_slot(set);
         let line = &mut self.lines[base + way];
         debug_assert!(line.valid, "ending a generation of an invalid line");
@@ -594,7 +626,11 @@ mod tests {
 
     impl Recorder {
         fn new() -> Self {
-            Recorder { gens: Vec::new(), fills: 0, hits: 0 }
+            Recorder {
+                gens: Vec::new(),
+                fills: 0,
+                hits: 0,
+            }
         }
     }
 
@@ -694,8 +730,20 @@ mod tests {
         let mut llc = tiny_llc();
         let mut rec = Recorder::new();
         assert_eq!(llc.time(), 0);
-        llc.access(blk(0, 0), Pc::new(1), CoreId::new(0), AccessKind::Read, &mut rec);
-        llc.access(blk(0, 0), Pc::new(1), CoreId::new(0), AccessKind::Read, &mut rec);
+        llc.access(
+            blk(0, 0),
+            Pc::new(1),
+            CoreId::new(0),
+            AccessKind::Read,
+            &mut rec,
+        );
+        llc.access(
+            blk(0, 0),
+            Pc::new(1),
+            CoreId::new(0),
+            AccessKind::Read,
+            &mut rec,
+        );
         assert_eq!(llc.time(), 2);
         llc.flush(&mut rec);
         let gen = &rec.gens[0];

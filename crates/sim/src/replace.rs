@@ -204,10 +204,17 @@ mod tests {
     #[test]
     fn set_view_allowed_iteration() {
         let lines = vec![
-            LineView { block: BlockAddr::new(1), sharer_count: 1, dirty: false };
+            LineView {
+                block: BlockAddr::new(1),
+                sharer_count: 1,
+                dirty: false
+            };
             8
         ];
-        let view = SetView { lines: &lines, allowed: 0b1010_0001 };
+        let view = SetView {
+            lines: &lines,
+            allowed: 0b1010_0001,
+        };
         let ways: Vec<usize> = view.allowed_ways().collect();
         assert_eq!(ways, vec![0, 5, 7]);
         assert!(view.is_allowed(0));

@@ -144,7 +144,11 @@ mod tests {
 
     #[test]
     fn misses_are_accesses_minus_hits() {
-        let s = LlcStats { accesses: 10, hits: 3, ..LlcStats::default() };
+        let s = LlcStats {
+            accesses: 10,
+            hits: 3,
+            ..LlcStats::default()
+        };
         assert_eq!(s.misses(), 7);
         assert!((s.miss_ratio() - 0.7).abs() < 1e-12);
         assert!((s.hit_ratio() - 0.3).abs() < 1e-12);
@@ -152,14 +156,31 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = LlcStats { accesses: 1, hits: 1, ..LlcStats::default() };
-        a += LlcStats { accesses: 2, hits: 0, fills: 2, ..LlcStats::default() };
+        let mut a = LlcStats {
+            accesses: 1,
+            hits: 1,
+            ..LlcStats::default()
+        };
+        a += LlcStats {
+            accesses: 2,
+            hits: 0,
+            fills: 2,
+            ..LlcStats::default()
+        };
         assert_eq!(a.accesses, 3);
         assert_eq!(a.hits, 1);
         assert_eq!(a.fills, 2);
 
-        let mut p = PrivateCacheStats { accesses: 5, hits: 4, ..Default::default() };
-        p += PrivateCacheStats { accesses: 5, hits: 1, ..Default::default() };
+        let mut p = PrivateCacheStats {
+            accesses: 5,
+            hits: 4,
+            ..Default::default()
+        };
+        p += PrivateCacheStats {
+            accesses: 5,
+            hits: 1,
+            ..Default::default()
+        };
         assert_eq!(p.accesses, 10);
         assert_eq!(p.misses(), 5);
     }

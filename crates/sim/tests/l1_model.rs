@@ -16,7 +16,12 @@ struct ModelLru {
 
 impl ModelLru {
     fn new(sets: u64, ways: usize) -> Self {
-        ModelLru { sets, ways, sets_map: HashMap::new(), clock: 0 }
+        ModelLru {
+            sets,
+            ways,
+            sets_map: HashMap::new(),
+            clock: 0,
+        }
     }
 
     /// Returns (hit, victim).
@@ -29,8 +34,11 @@ impl ModelLru {
         }
         let mut victim = None;
         if set.len() == self.ways {
-            let (idx, _) =
-                set.iter().enumerate().min_by_key(|(_, (_, t))| *t).expect("full set");
+            let (idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .expect("full set");
             victim = Some(set.remove(idx).0);
         }
         set.push((block, self.clock));

@@ -1,0 +1,49 @@
+//! # llc-telemetry — metrics and span tracing for the simulation stack
+//!
+//! A std-only observability layer with two independent halves:
+//!
+//! * [`metrics`] — a process-global **metrics registry** of lock-free
+//!   atomic [`Counter`]s and [`Gauge`]s plus fixed-bucket
+//!   [`Histogram`]s, cheap enough to live on replay hot paths (one
+//!   relaxed atomic RMW per event once the handle is cached), with a
+//!   Prometheus text-exposition encoder behind `GET /metrics`.
+//! * [`spans`] — a **span tracer**: scoped RAII spans recorded into
+//!   per-thread ring buffers and exported as Chrome-trace JSON
+//!   (loadable in `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)).
+//!   Tracing is off by default; a disabled span costs a single relaxed
+//!   atomic load, so instrumentation can stay in place permanently.
+//!
+//! The two halves share a design rule: **registration is slow-path,
+//! recording is hot-path**. Callers resolve a metric handle once (a
+//! `LazyLock<Arc<Counter>>` next to the instrumented code is the
+//! idiom) and then only touch atomics; spans only touch their own
+//! thread's buffer, so recording never contends across threads.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::{Arc, LazyLock};
+//! use llc_telemetry::metrics::{global, Counter};
+//! use llc_telemetry::spans;
+//!
+//! static REPLAYS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+//!     global().counter("my_replays_total", "Replays run by this example")
+//! });
+//!
+//! spans::set_enabled(true);
+//! {
+//!     let _span = spans::span("replay");
+//!     REPLAYS.inc();
+//! }
+//! assert!(global().encode().contains("my_replays_total"));
+//! assert!(spans::chrome_trace_json().contains("\"replay\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod metrics;
+pub mod spans;
+
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use spans::{chrome_trace_json, set_enabled, span, span_owned, span_with, SpanGuard};

@@ -1,0 +1,590 @@
+//! The process-global metrics registry: lock-free atomic counters and
+//! gauges plus fixed-bucket histograms, with a Prometheus
+//! text-exposition encoder.
+//!
+//! # Hot-path cost model
+//!
+//! Registration (name → handle) takes a mutex and is meant to happen
+//! once, at first use — the idiom is a `LazyLock<Arc<Counter>>` next to
+//! the instrumented code. After that every recording is one (counter,
+//! gauge) or a handful (histogram) of *relaxed* atomic operations on
+//! cache-hot memory; there is no per-event locking, formatting or
+//! allocation, which is what makes it safe to leave instrumentation on
+//! permanently in replay hot paths.
+//!
+//! # Naming
+//!
+//! Metric and label names are sanitized to the Prometheus grammar
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*` for metrics, no `:` for labels): every
+//! illegal character becomes `_` and a leading digit is prefixed with
+//! `_`. Re-registering the same (name, labels) pair returns the same
+//! handle; re-registering a name as a *different* metric kind (or a
+//! histogram with different buckets) panics — that is a programming
+//! error, not an operational condition.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A monotonically increasing counter (`_total` series).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram. Buckets are defined by their *upper
+/// bounds* (`le` in the exposition); an implicit `+Inf` bucket catches
+/// everything above the last bound. Observation is lock-free: one
+/// relaxed `fetch_add` on the matching bucket, one on the count, and a
+/// CAS loop folding the value into the bit-packed `f64` sum.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>, // bounds.len() + 1 (the +Inf bucket)
+    count: AtomicU64,
+    sum_bits: AtomicU64, // f64 bits, CAS-accumulated
+}
+
+/// Default buckets for latency histograms, in seconds: 250 µs … 2 min.
+pub const TIME_BOUNDS: [f64; 16] = [
+    0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
+    30.0, 120.0,
+];
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.total_cmp(b));
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        // First bucket whose upper bound satisfies `v <= bound`; past
+        // the last bound, the +Inf bucket.
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) observation counts, `+Inf` last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Series {
+    /// Sanitized `(label, value)` pairs, sorted by label name.
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// A collection of named metrics with a Prometheus text encoder.
+///
+/// Most code uses the process-global instance via [`global`]; separate
+/// registries exist so tests (and embedders wanting isolation) can
+/// encode without the rest of the process's series.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+static GLOBAL: LazyLock<Registry> = LazyLock::new(Registry::default);
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+impl Registry {
+    /// A new, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or finds) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or finds) a counter with the given labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, Kind::Counter, labels, &[]) {
+            Metric::Counter(c) => c,
+            // infallible: `register` guarantees the kind matches.
+            _ => unreachable!("registered counter"),
+        }
+    }
+
+    /// Registers (or finds) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or finds) a gauge with the given labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, Kind::Gauge, labels, &[]) {
+            Metric::Gauge(g) => g,
+            // infallible: `register` guarantees the kind matches.
+            _ => unreachable!("registered gauge"),
+        }
+    }
+
+    /// Registers (or finds) an unlabelled histogram over `bounds`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Registers (or finds) a labelled histogram over `bounds`. Every
+    /// series of one histogram family must use the same bounds.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.register(name, help, Kind::Histogram, labels, bounds) {
+            Metric::Histogram(h) => h,
+            // infallible: `register` guarantees the kind matches.
+            _ => unreachable!("registered histogram"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Metric {
+        let name = sanitize_metric_name(name);
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (sanitize_label_name(k), (*v).to_string()))
+            .collect();
+        labels.sort();
+        let mut families = lock_recovering(&self.families);
+        let family = families.entry(name.clone()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: Vec::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} already registered as a {}, cannot re-register as a {}",
+            family.kind.label(),
+            kind.label()
+        );
+        if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+            if let (Metric::Histogram(h), Kind::Histogram) = (&series.metric, kind) {
+                assert!(
+                    h.bounds() == Histogram::new(bounds).bounds(),
+                    "histogram {name:?} re-registered with different buckets"
+                );
+            }
+            return clone_metric(&series.metric);
+        }
+        let metric = match kind {
+            Kind::Counter => Metric::Counter(Arc::new(Counter::default())),
+            Kind::Gauge => Metric::Gauge(Arc::new(Gauge::default())),
+            Kind::Histogram => Metric::Histogram(Arc::new(Histogram::new(bounds))),
+        };
+        let handle = clone_metric(&metric);
+        family.series.push(Series { labels, metric });
+        handle
+    }
+
+    /// Encodes every registered metric in the Prometheus text
+    /// exposition format (version 0.0.4), families in name order and
+    /// series in label order.
+    pub fn encode(&self) -> String {
+        let families = lock_recovering(&self.families);
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(&family.help)));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.label()));
+            let mut series: Vec<&Series> = family.series.iter().collect();
+            series.sort_by(|a, b| a.labels.cmp(&b.labels));
+            for s in series {
+                match &s.metric {
+                    Metric::Counter(c) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(&s.labels, None),
+                            c.get()
+                        ));
+                    }
+                    Metric::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(&s.labels, None),
+                            g.get()
+                        ));
+                    }
+                    Metric::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
+                            cumulative += count;
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cumulative}\n",
+                                render_labels(&s.labels, Some(&fmt_f64(*bound)))
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{} {}\n",
+                            render_labels(&s.labels, Some("+Inf")),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            render_labels(&s.labels, None),
+                            fmt_f64(h.sum())
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {}\n",
+                            render_labels(&s.labels, None),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn clone_metric(metric: &Metric) -> Metric {
+    match metric {
+        Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+        Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+        Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+    }
+}
+
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// `{label="value",...}` (with the optional `le` bound appended), or
+/// the empty string for an unlabelled series.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Formats an `f64` the way Prometheus expects (shortest round-trip
+/// decimal; integral values keep no trailing `.0` — both forms parse).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Escapes a HELP string: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double quote and newline.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Sanitizes a metric name to `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn sanitize_metric_name(name: &str) -> String {
+    sanitize(name, true)
+}
+
+/// Sanitizes a label name to `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn sanitize_label_name(name: &str) -> String {
+    sanitize(name, false)
+}
+
+fn sanitize(name: &str, allow_colon: bool) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for c in name.chars() {
+        let legal = c.is_ascii_alphanumeric() || c == '_' || (allow_colon && c == ':');
+        out.push(if legal { c } else { '_' });
+    }
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let r = Registry::new();
+        let c = r.counter("requests_total", "requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("workers", "spare workers");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        let text = r.encode();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total 5"));
+        assert!(text.contains("# TYPE workers gauge"));
+        assert!(text.contains("workers 4"));
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("hits_total", "hits");
+        let b = r.counter("hits_total", "hits");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.inc();
+        assert_eq!(b.get(), 1);
+        // Distinct label sets are distinct series of one family.
+        let x = r.counter_with("jobs_total", "jobs", &[("state", "done")]);
+        let y = r.counter_with("jobs_total", "jobs", &[("state", "failed")]);
+        assert!(!Arc::ptr_eq(&x, &y));
+        x.add(2);
+        y.inc();
+        let text = r.encode();
+        assert!(text.contains("jobs_total{state=\"done\"} 2"));
+        assert!(text.contains("jobs_total{state=\"failed\"} 1"));
+        // One HELP/TYPE header per family, not per series.
+        assert_eq!(text.matches("# TYPE jobs_total counter").count(), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_le_inclusive() {
+        let r = Registry::new();
+        let h = r.histogram("latency_seconds", "latency", &[1.0, 2.0, 5.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 7.0] {
+            h.observe(v);
+        }
+        // Non-cumulative: (≤1): 0.5, 1.0 · (≤2): 1.5, 2.0 · (≤5): none ·
+        // +Inf: 7.0. A value equal to a bound lands in that bound's
+        // bucket (`le` is inclusive).
+        assert_eq!(h.bucket_counts(), vec![2, 2, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 12.0).abs() < 1e-9);
+        let text = r.encode();
+        assert!(text.contains("latency_seconds_bucket{le=\"1\"} 2"));
+        assert!(
+            text.contains("latency_seconds_bucket{le=\"2\"} 4"),
+            "buckets are cumulative"
+        );
+        assert!(text.contains("latency_seconds_bucket{le=\"5\"} 4"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("latency_seconds_sum 12"));
+        assert!(text.contains("latency_seconds_count 5"));
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_deduped() {
+        let r = Registry::new();
+        let h = r.histogram("h", "h", &[5.0, 1.0, 5.0, f64::INFINITY, 2.0]);
+        assert_eq!(
+            h.bounds(),
+            &[1.0, 2.0, 5.0],
+            "+Inf is implicit, duplicates collapse"
+        );
+        h.observe_duration(Duration::from_secs(3));
+        assert_eq!(h.bucket_counts(), vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn names_and_labels_are_sanitized() {
+        let r = Registry::new();
+        r.counter("2bad-name.total", "leading digit and punctuation")
+            .inc();
+        r.counter_with("ok_total", "ok", &[("bad-label", "v")])
+            .inc();
+        let text = r.encode();
+        assert!(text.contains("_2bad_name_total 1"));
+        assert!(text.contains("ok_total{bad_label=\"v\"} 1"));
+    }
+
+    #[test]
+    fn help_and_label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with(
+            "esc_total",
+            "line\nbreak \\ slash",
+            &[("p", "say \"hi\"\n\\")],
+        )
+        .inc();
+        let text = r.encode();
+        assert!(text.contains("# HELP esc_total line\\nbreak \\\\ slash"));
+        assert!(text.contains("esc_total{p=\"say \\\"hi\\\"\\n\\\\\"} 1"));
+        // Escaping keeps the exposition line-parseable: exactly one
+        // physical line per series.
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("esc_total{")).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let r = Registry::new();
+        let c = r.counter("par_total", "parallel");
+        let h = r.histogram("par_seconds", "parallel", &TIME_BOUNDS);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(f64::from(i) * 1e-4);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 8000);
+        let expected: f64 = (0..1000).map(|i| f64::from(i) * 1e-4).sum::<f64>() * 8.0;
+        assert!(
+            (h.sum() - expected).abs() < 1e-6,
+            "CAS sum must not lose updates"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot re-register")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        r.counter("clash", "as counter");
+        r.gauge("clash", "as gauge");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = global().counter("llc_telemetry_selftest_total", "self test");
+        let b = global().counter("llc_telemetry_selftest_total", "self test");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -227,7 +227,13 @@ impl std::fmt::Display for App {
 
 /// Per-app deterministic seed.
 pub(crate) fn app_seed(app: App) -> u64 {
-    llc_sim::splitmix64(0x5ee_d00 ^ app.label().bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b))))
+    llc_sim::splitmix64(
+        0x5ee_d00
+            ^ app
+                .label()
+                .bytes()
+                .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b))),
+    )
 }
 
 #[cfg(test)]
@@ -259,9 +265,18 @@ mod tests {
 
     #[test]
     fn suites_partition_the_apps() {
-        let parsec = App::ALL.iter().filter(|a| a.suite() == Suite::Parsec).count();
-        let splash = App::ALL.iter().filter(|a| a.suite() == Suite::Splash2).count();
-        let spec = App::ALL.iter().filter(|a| a.suite() == Suite::SpecOmp).count();
+        let parsec = App::ALL
+            .iter()
+            .filter(|a| a.suite() == Suite::Parsec)
+            .count();
+        let splash = App::ALL
+            .iter()
+            .filter(|a| a.suite() == Suite::Splash2)
+            .count();
+        let spec = App::ALL
+            .iter()
+            .filter(|a| a.suite() == Suite::SpecOmp)
+            .count();
         assert_eq!(parsec, 8);
         assert_eq!(splash, 5);
         assert_eq!(spec, 3);

@@ -157,7 +157,10 @@ pub(crate) fn ferret(threads: usize, scale: Scale) -> Workload {
         }
         // Middle stages do the ranking: database-heavy.
         let db_weight = if t == 0 || t == stages - 1 { 2 } else { 8 };
-        arms.push(arm(db_weight, SharedReadOnly::new(database, db_site, 0.9, 7)));
+        arms.push(arm(
+            db_weight,
+            SharedReadOnly::new(database, db_site, 0.9, 7),
+        ));
         let scratch = b.region(96);
         let s = b.site(2);
         arms.push(arm(2, PrivateWorkingSet::new(scratch, s, 0.8, 25, 4)));
@@ -186,7 +189,10 @@ pub(crate) fn fluidanimate(threads: usize, scale: Scale) -> Workload {
         let scratch = b.region(64);
         specs.push(ThreadSpec::new(
             vec![
-                arm(10, Stencil::new(partitions[t], left, right, stencil_site, 32, 6)),
+                arm(
+                    10,
+                    Stencil::new(partitions[t], left, right, stencil_site, 32, 6),
+                ),
                 arm(1, LockHot::new(locks, locks_site, 10)),
                 arm(2, PrivateWorkingSet::new(scratch, s, 0.8, 30, 4)),
             ],

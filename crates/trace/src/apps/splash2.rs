@@ -26,7 +26,10 @@ pub(crate) fn barnes(threads: usize, scale: Scale) -> Workload {
         specs.push(ThreadSpec::new(
             vec![
                 arm(6, SharedReadOnly::new(tree, tree_site, 0.6, 8)),
-                arm(3, Migratory::new(bodies, bodies_site, 128, 12, t as u64, threads as u64, 7)),
+                arm(
+                    3,
+                    Migratory::new(bodies, bodies_site, 128, 12, t as u64, threads as u64, 7),
+                ),
                 arm(2, PrivateStream::new(scratch, s, 4, 4)),
                 arm(1, LockHot::new(locks, locks_site, 10)),
             ],
@@ -136,7 +139,10 @@ pub(crate) fn water(threads: usize, scale: Scale) -> Workload {
         let s = b.site(2);
         specs.push(ThreadSpec::new(
             vec![
-                arm(7, Migratory::new(molecules, mol_site, 512, 16, t as u64, threads as u64, 8)),
+                arm(
+                    7,
+                    Migratory::new(molecules, mol_site, 512, 16, t as u64, threads as u64, 8),
+                ),
                 arm(3, PrivateStream::new(scratch, s, 4, 4)),
                 arm(1, LockHot::new(globals, glob_site, 11)),
             ],

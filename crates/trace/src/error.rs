@@ -99,28 +99,40 @@ impl TraceError {
             TraceError::UnsupportedVersion { version } => {
                 TraceError::UnsupportedVersion { version: *version }
             }
-            TraceError::TruncatedHeader { got, expected } => {
-                TraceError::TruncatedHeader { got: *got, expected: *expected }
-            }
-            TraceError::Truncated { decoded, declared } => {
-                TraceError::Truncated { decoded: *decoded, declared: *declared }
-            }
-            TraceError::CoreOutOfRange { core, limit, index } => {
-                TraceError::CoreOutOfRange { core: *core, limit: *limit, index: *index }
-            }
-            TraceError::BadKind { kind, index } => {
-                TraceError::BadKind { kind: *kind, index: *index }
-            }
-            TraceError::CountMismatch { declared, written } => {
-                TraceError::CountMismatch { declared: *declared, written: *written }
-            }
-            TraceError::RecordOverflow { declared } => {
-                TraceError::RecordOverflow { declared: *declared }
-            }
+            TraceError::TruncatedHeader { got, expected } => TraceError::TruncatedHeader {
+                got: *got,
+                expected: *expected,
+            },
+            TraceError::Truncated { decoded, declared } => TraceError::Truncated {
+                decoded: *decoded,
+                declared: *declared,
+            },
+            TraceError::CoreOutOfRange { core, limit, index } => TraceError::CoreOutOfRange {
+                core: *core,
+                limit: *limit,
+                index: *index,
+            },
+            TraceError::BadKind { kind, index } => TraceError::BadKind {
+                kind: *kind,
+                index: *index,
+            },
+            TraceError::CountMismatch { declared, written } => TraceError::CountMismatch {
+                declared: *declared,
+                written: *written,
+            },
+            TraceError::RecordOverflow { declared } => TraceError::RecordOverflow {
+                declared: *declared,
+            },
             TraceError::CoreUnencodable { core } => TraceError::CoreUnencodable { core: *core },
-            TraceError::BadUpgrade { at, accesses, index } => {
-                TraceError::BadUpgrade { at: *at, accesses: *accesses, index: *index }
-            }
+            TraceError::BadUpgrade {
+                at,
+                accesses,
+                index,
+            } => TraceError::BadUpgrade {
+                at: *at,
+                accesses: *accesses,
+                index: *index,
+            },
         }
     }
 }
@@ -139,13 +151,22 @@ impl fmt::Display for TraceError {
                 write!(f, "truncated header: got {got} of {expected} bytes")
             }
             TraceError::Truncated { decoded, declared } => {
-                write!(f, "truncated trace: decoded {decoded} of {declared} declared records")
+                write!(
+                    f,
+                    "truncated trace: decoded {decoded} of {declared} declared records"
+                )
             }
             TraceError::CoreOutOfRange { core, limit, index } => {
-                write!(f, "record {index}: core id {core} out of range (limit {limit})")
+                write!(
+                    f,
+                    "record {index}: core id {core} out of range (limit {limit})"
+                )
             }
             TraceError::BadKind { kind, index } => {
-                write!(f, "record {index}: invalid access kind {kind} (expected 0 or 1)")
+                write!(
+                    f,
+                    "record {index}: invalid access kind {kind} (expected 0 or 1)"
+                )
             }
             TraceError::CountMismatch { declared, written } => {
                 write!(f, "declared {declared} records but wrote {written}")
@@ -156,7 +177,11 @@ impl fmt::Display for TraceError {
             TraceError::CoreUnencodable { core } => {
                 write!(f, "core id {core} does not fit the 1-byte record encoding")
             }
-            TraceError::BadUpgrade { at, accesses, index } => {
+            TraceError::BadUpgrade {
+                at,
+                accesses,
+                index,
+            } => {
                 write!(
                     f,
                     "upgrade record {index}: position {at} is out of order or past the \
@@ -189,16 +214,54 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let cases: Vec<(TraceError, &str)> = vec![
-            (TraceError::BadMagic { found: *b"NOPE" }, "not an LLCT trace"),
+            (
+                TraceError::BadMagic { found: *b"NOPE" },
+                "not an LLCT trace",
+            ),
             (TraceError::UnsupportedVersion { version: 9 }, "version 9"),
-            (TraceError::TruncatedHeader { got: 3, expected: 16 }, "3 of 16"),
-            (TraceError::Truncated { decoded: 5, declared: 10 }, "5 of 10"),
-            (TraceError::CoreOutOfRange { core: 40, limit: 32, index: 7 }, "core id 40"),
-            (TraceError::BadKind { kind: 3, index: 2 }, "invalid access kind 3"),
-            (TraceError::CountMismatch { declared: 2, written: 1 }, "declared 2"),
+            (
+                TraceError::TruncatedHeader {
+                    got: 3,
+                    expected: 16,
+                },
+                "3 of 16",
+            ),
+            (
+                TraceError::Truncated {
+                    decoded: 5,
+                    declared: 10,
+                },
+                "5 of 10",
+            ),
+            (
+                TraceError::CoreOutOfRange {
+                    core: 40,
+                    limit: 32,
+                    index: 7,
+                },
+                "core id 40",
+            ),
+            (
+                TraceError::BadKind { kind: 3, index: 2 },
+                "invalid access kind 3",
+            ),
+            (
+                TraceError::CountMismatch {
+                    declared: 2,
+                    written: 1,
+                },
+                "declared 2",
+            ),
             (TraceError::RecordOverflow { declared: 1 }, "more records"),
             (TraceError::CoreUnencodable { core: 300 }, "core id 300"),
-            (TraceError::BadUpgrade { at: 9, accesses: 4, index: 1 }, "position 9"),
+            (
+                TraceError::BadUpgrade {
+                    at: 9,
+                    accesses: 4,
+                    index: 1,
+                },
+                "position 9",
+            ),
         ];
         for (e, needle) in cases {
             let s = e.to_string();

@@ -119,7 +119,12 @@ impl<R: Read> CorruptingReader<R> {
                 Fault::DuplicateRecord { .. } | Fault::DropRecord { .. } => {}
             }
         }
-        CorruptingReader { inner, pos: 0, flips, truncate_at }
+        CorruptingReader {
+            inner,
+            pos: 0,
+            flips,
+            truncate_at,
+        }
     }
 }
 
@@ -127,7 +132,9 @@ impl<R: Read> Read for CorruptingReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let limit = match self.truncate_at {
             Some(t) if self.pos >= t => return Ok(0),
-            Some(t) => usize::try_from(t - self.pos).unwrap_or(usize::MAX).min(buf.len()),
+            Some(t) => usize::try_from(t - self.pos)
+                .unwrap_or(usize::MAX)
+                .min(buf.len()),
             None => buf.len(),
         };
         let n = self.inner.read(&mut buf[..limit])?;
@@ -172,7 +179,13 @@ impl<S: TraceSource> FaultInjectingSource<S> {
                 Fault::BitFlip { .. } | Fault::TruncateAt { .. } => {}
             }
         }
-        FaultInjectingSource { inner, duplicate_at, drop_at, next_index: 0, pending: None }
+        FaultInjectingSource {
+            inner,
+            duplicate_at,
+            drop_at,
+            next_index: 0,
+            pending: None,
+        }
     }
 }
 
@@ -220,7 +233,11 @@ mod tests {
                     CoreId::new(i % 4),
                     Pc::new(0x400 + i as u64),
                     Addr::new(64 * i as u64),
-                    if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read },
+                    if i % 3 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
                 )
             })
             .collect()
@@ -234,10 +251,16 @@ mod tests {
 
     #[test]
     fn bit_flip_in_magic_yields_bad_magic() {
-        let plan = FaultPlan::new().with(Fault::BitFlip { offset: 1, mask: 0x40 });
+        let plan = FaultPlan::new().with(Fault::BitFlip {
+            offset: 1,
+            mask: 0x40,
+        });
         let bytes = encoded(4);
         let r = CorruptingReader::new(bytes.as_slice(), &plan);
-        assert!(matches!(TraceFileSource::new(r), Err(TraceError::BadMagic { .. })));
+        assert!(matches!(
+            TraceFileSource::new(r),
+            Err(TraceError::BadMagic { .. })
+        ));
     }
 
     #[test]
@@ -249,7 +272,10 @@ mod tests {
         let src = TraceFileSource::new(r).expect("header intact");
         assert!(matches!(
             src.read_all(),
-            Err(TraceError::Truncated { decoded: 2, declared: 8 })
+            Err(TraceError::Truncated {
+                decoded: 2,
+                declared: 8
+            })
         ));
     }
 
@@ -304,7 +330,10 @@ mod tests {
         let mut buf = Vec::new();
         assert!(matches!(
             write_trace(faulty, &mut buf),
-            Err(TraceError::CountMismatch { declared: 5, written: 4 })
+            Err(TraceError::CountMismatch {
+                declared: 5,
+                written: 4
+            })
         ));
     }
 
@@ -319,6 +348,9 @@ mod tests {
         while let Some(a) = faulty.next_access() {
             got.push(a);
         }
-        assert_eq!(got, vec![original[0], original[1], original[1], original[2]]);
+        assert_eq!(
+            got,
+            vec![original[0], original[1], original[1], original[2]]
+        );
     }
 }

@@ -65,7 +65,11 @@ impl<W: Write> TraceWriter<W> {
         sink.write_all(&VERSION.to_le_bytes())?;
         sink.write_all(&0u16.to_le_bytes())?;
         sink.write_all(&records.to_le_bytes())?;
-        Ok(TraceWriter { sink, declared: records, written: 0 })
+        Ok(TraceWriter {
+            sink,
+            declared: records,
+            written: 0,
+        })
     }
 
     /// Appends one record.
@@ -78,7 +82,9 @@ impl<W: Write> TraceWriter<W> {
     /// errors.
     pub fn write(&mut self, a: &MemAccess) -> Result<(), TraceError> {
         if self.written == self.declared {
-            return Err(TraceError::RecordOverflow { declared: self.declared });
+            return Err(TraceError::RecordOverflow {
+                declared: self.declared,
+            });
         }
         let core = a.core.index();
         if core > usize::from(u8::MAX) {
@@ -184,7 +190,10 @@ impl<R: Read> TraceFileSource<R> {
     pub fn new(mut reader: R) -> Result<Self, TraceError> {
         let mut header = [0u8; HEADER_BYTES];
         read_exact_or_truncated(&mut reader, &mut header).map_err(|failure| match failure {
-            ReadFailure::Eof(got) => TraceError::TruncatedHeader { got, expected: HEADER_BYTES },
+            ReadFailure::Eof(got) => TraceError::TruncatedHeader {
+                got,
+                expected: HEADER_BYTES,
+            },
             ReadFailure::Io(e) => TraceError::Io(e),
         })?;
         if header[0..4] != MAGIC {
@@ -280,9 +289,10 @@ impl<R: Read> TraceFileSource<R> {
     fn read_record(&mut self) -> Result<MemAccess, TraceError> {
         let mut rec = [0u8; RECORD_BYTES];
         read_exact_or_truncated(&mut self.reader, &mut rec).map_err(|failure| match failure {
-            ReadFailure::Eof(_) => {
-                TraceError::Truncated { decoded: self.decoded, declared: self.total }
-            }
+            ReadFailure::Eof(_) => TraceError::Truncated {
+                decoded: self.decoded,
+                declared: self.total,
+            },
             ReadFailure::Io(e) => TraceError::Io(e),
         })?;
         let core = usize::from(rec[0]);
@@ -296,15 +306,24 @@ impl<R: Read> TraceFileSource<R> {
         let kind = match rec[1] {
             0 => AccessKind::Read,
             1 => AccessKind::Write,
-            k => return Err(TraceError::BadKind { kind: k, index: self.decoded }),
+            k => {
+                return Err(TraceError::BadKind {
+                    kind: k,
+                    index: self.decoded,
+                })
+            }
         };
         // infallible: both slices are fixed 8-byte windows of a 20-byte record.
         Ok(MemAccess {
             core: CoreId::new(core),
             kind,
             instr_gap: u32::from(u16::from_le_bytes([rec[2], rec[3]])),
-            pc: Pc::new(u64::from_le_bytes(rec[4..12].try_into().expect("8 record bytes"))),
-            addr: Addr::new(u64::from_le_bytes(rec[12..20].try_into().expect("8 record bytes"))),
+            pc: Pc::new(u64::from_le_bytes(
+                rec[4..12].try_into().expect("8 record bytes"),
+            )),
+            addr: Addr::new(u64::from_le_bytes(
+                rec[12..20].try_into().expect("8 record bytes"),
+            )),
         })
     }
 }
@@ -362,7 +381,10 @@ mod tests {
         let mut original = Vec::new();
         for _ in 0..5000 {
             original.push(w.next_access().ok_or({
-                TraceError::Truncated { decoded: original.len() as u64, declared: 5000 }
+                TraceError::Truncated {
+                    decoded: original.len() as u64,
+                    declared: 5000,
+                }
             })?);
         }
         let mut buf = Vec::new();
@@ -393,7 +415,10 @@ mod tests {
     fn truncated_header_is_a_typed_error() {
         assert!(matches!(
             TraceFileSource::new(&b"LLCT"[..]),
-            Err(TraceError::TruncatedHeader { got: 4, expected: HEADER_BYTES })
+            Err(TraceError::TruncatedHeader {
+                got: 4,
+                expected: HEADER_BYTES
+            })
         ));
     }
 
@@ -417,7 +442,10 @@ mod tests {
         assert_eq!(got.len(), 50);
         assert!(matches!(
             replay.take_error(),
-            Some(TraceError::Truncated { decoded: 50, declared: 100 })
+            Some(TraceError::Truncated {
+                decoded: 50,
+                declared: 100
+            })
         ));
         assert!(replay.take_error().is_none(), "take_error drains the slot");
 
@@ -425,7 +453,10 @@ mod tests {
         let strict = TraceFileSource::new(buf.as_slice())?;
         assert!(matches!(
             strict.read_all(),
-            Err(TraceError::Truncated { decoded: 50, declared: 100 })
+            Err(TraceError::Truncated {
+                decoded: 50,
+                declared: 100
+            })
         ));
         Ok(())
     }
@@ -456,7 +487,10 @@ mod tests {
         let w2 = TraceWriter::new(&mut buf2, 2)?;
         assert!(matches!(
             w2.finish(),
-            Err(TraceError::CountMismatch { declared: 2, written: 0 })
+            Err(TraceError::CountMismatch {
+                declared: 2,
+                written: 0
+            })
         ));
         Ok(())
     }
@@ -481,7 +515,9 @@ mod tests {
         let a = MemAccess::new(CoreId::new(0), Pc::new(4), Addr::new(64), AccessKind::Read);
         // Budget covers the header plus one record; the second record hits
         // the sink error, which must propagate as TraceError::Io.
-        let sink = FailingSink { budget: HEADER_BYTES + RECORD_BYTES };
+        let sink = FailingSink {
+            budget: HEADER_BYTES + RECORD_BYTES,
+        };
         let r = write_trace(VecSource::new(vec![a, a]), sink);
         assert!(matches!(r, Err(TraceError::Io(ref e)) if e.kind() == io::ErrorKind::StorageFull));
     }
@@ -502,9 +538,8 @@ mod tests {
 
     #[test]
     fn core_limit_rejects_out_of_config_cores() -> Result<(), TraceError> {
-        let a = |c: usize| {
-            MemAccess::new(CoreId::new(c), Pc::new(4), Addr::new(64), AccessKind::Read)
-        };
+        let a =
+            |c: usize| MemAccess::new(CoreId::new(c), Pc::new(4), Addr::new(64), AccessKind::Read);
         let mut buf = Vec::new();
         write_trace(VecSource::new(vec![a(0), a(6), a(1)]), &mut buf)?;
         // Within MAX_CORES the plain decoder accepts core 6 …
@@ -513,7 +548,11 @@ mod tests {
         let strict = TraceFileSource::new(buf.as_slice())?.with_core_limit(4);
         assert!(matches!(
             strict.read_all(),
-            Err(TraceError::CoreOutOfRange { core: 6, limit: 4, index: 1 })
+            Err(TraceError::CoreOutOfRange {
+                core: 6,
+                limit: 4,
+                index: 1
+            })
         ));
         Ok(())
     }

@@ -51,7 +51,11 @@ impl Region {
     ///
     /// Panics if `n` is zero or exceeds the number of blocks.
     pub fn split(&self, n: usize) -> Vec<Region> {
-        assert!(n > 0 && (n as u64) <= self.blocks, "cannot split {} blocks into {n}", self.blocks);
+        assert!(
+            n > 0 && (n as u64) <= self.blocks,
+            "cannot split {} blocks into {n}",
+            self.blocks
+        );
         let chunk = self.blocks / n as u64;
         (0..n as u64)
             .map(|i| {
@@ -81,7 +85,9 @@ impl AddressSpace {
     /// Creates an address space whose data segment starts at 256 MB (clear
     /// of the synthetic code addresses).
     pub fn new() -> Self {
-        AddressSpace { next_block: (256 << 20) / BLOCK_BYTES }
+        AddressSpace {
+            next_block: (256 << 20) / BLOCK_BYTES,
+        }
     }
 
     /// Allocates a page-aligned region of at least `blocks` cache blocks.
@@ -93,7 +99,10 @@ impl AddressSpace {
         assert!(blocks > 0, "cannot allocate an empty region");
         let blocks_per_page = PAGE_BYTES / BLOCK_BYTES;
         let rounded = blocks.div_ceil(blocks_per_page) * blocks_per_page;
-        let region = Region { base_block: self.next_block, blocks };
+        let region = Region {
+            base_block: self.next_block,
+            blocks,
+        };
         self.next_block += rounded;
         region
     }
@@ -186,7 +195,7 @@ mod tests {
         assert_eq!(parts.len(), 3);
         assert_eq!(parts.iter().map(Region::blocks).sum::<u64>(), 10);
         assert_eq!(parts[2].blocks(), 4); // remainder absorbed
-        // Disjoint and covering.
+                                          // Disjoint and covering.
         for i in 0..10 {
             let b = r.block(i);
             let owners = parts.iter().filter(|p| p.contains(b)).count();

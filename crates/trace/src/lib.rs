@@ -42,8 +42,8 @@ pub mod zipf;
 pub use apps::{App, Scale, SharingClass, Suite};
 pub use error::TraceError;
 pub use fault::{CorruptingReader, Fault, FaultInjectingSource, FaultPlan};
-pub use layout::{AddressSpace, PcAllocator, PcSite, Region, PAGE_BYTES};
 pub use file::{write_trace, TraceFileSource, TraceWriter};
+pub use layout::{AddressSpace, PcAllocator, PcSite, Region, PAGE_BYTES};
 pub use multiprogram::Multiprogram;
 pub use patterns::{
     pipeline_channel, Consumer, LockHot, Migratory, Pattern, PatternAccess, PhaseAlternate,

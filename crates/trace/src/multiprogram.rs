@@ -42,9 +42,14 @@ impl Multiprogram {
     pub fn new(apps: &[App], threads_each: usize, scale: Scale) -> Self {
         assert!(!apps.is_empty(), "a mix needs at least one program");
         assert!(threads_each > 0, "programs need at least one thread");
-        assert!(apps.len() * threads_each <= MAX_CORES, "mix exceeds MAX_CORES");
-        let programs: Vec<Workload> =
-            apps.iter().map(|a| a.workload(threads_each, scale)).collect();
+        assert!(
+            apps.len() * threads_each <= MAX_CORES,
+            "mix exceeds MAX_CORES"
+        );
+        let programs: Vec<Workload> = apps
+            .iter()
+            .map(|a| a.workload(threads_each, scale))
+            .collect();
         let total = programs.iter().map(|w| w.len_hint().unwrap_or(0)).sum();
         Multiprogram {
             core_base: (0..apps.len()).map(|i| i * threads_each).collect(),

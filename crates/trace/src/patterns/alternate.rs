@@ -29,7 +29,13 @@ impl PhaseAlternate {
     /// Panics if either phase length is zero.
     pub fn new(a: Box<dyn Pattern>, a_len: u64, b: Box<dyn Pattern>, b_len: u64) -> Self {
         assert!(a_len > 0 && b_len > 0, "phase lengths must be non-zero");
-        PhaseAlternate { a, b, a_len, b_len, step: 0 }
+        PhaseAlternate {
+            a,
+            b,
+            a_len,
+            b_len,
+            step: 0,
+        }
     }
 
     /// `true` while the next access comes from pattern `a`.

@@ -84,7 +84,11 @@ impl Pattern for Migratory {
         PatternAccess {
             block: self.region.block(obj * self.blocks_per_obj + block_in_obj),
             pc: self.site.pc(if write { 1 } else { 0 }),
-            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
             instr_gap: self.instr_gap,
         }
     }

@@ -37,8 +37,20 @@ pub fn pipeline_channel(
 ) -> (Producer, Consumer) {
     let head: ChannelHead = Rc::new(Cell::new(0));
     (
-        Producer { ring, site: producer_site, head: Rc::clone(&head), instr_gap },
-        Consumer { ring, site: consumer_site, head, lag: lag.max(1), pos: 0, instr_gap },
+        Producer {
+            ring,
+            site: producer_site,
+            head: Rc::clone(&head),
+            instr_gap,
+        },
+        Consumer {
+            ring,
+            site: consumer_site,
+            head,
+            lag: lag.max(1),
+            pos: 0,
+            instr_gap,
+        },
     )
 }
 

@@ -26,7 +26,14 @@ pub struct PrivateStream {
 impl PrivateStream {
     /// Creates a streaming pattern over `region`.
     pub fn new(region: Region, site: PcSite, write_every: u32, instr_gap: u32) -> Self {
-        PrivateStream { region, site, pos: 0, write_every, counter: 0, instr_gap }
+        PrivateStream {
+            region,
+            site,
+            pos: 0,
+            write_every,
+            counter: 0,
+            instr_gap,
+        }
     }
 }
 
@@ -37,7 +44,11 @@ impl Pattern for PrivateStream {
         let a = PatternAccess {
             block: self.region.block(self.pos),
             pc: self.site.pc(if write { 1 } else { 0 }),
-            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
             instr_gap: self.instr_gap,
         };
         self.pos += 1;
@@ -66,7 +77,13 @@ impl PrivateWorkingSet {
     pub fn new(region: Region, site: PcSite, theta: f64, write_pct: u8, instr_gap: u32) -> Self {
         assert!(write_pct <= 100, "write percentage out of range");
         let zipf = ZipfSampler::new(region.blocks().min(crate::zipf::MAX_SUPPORT), theta);
-        PrivateWorkingSet { region, site, zipf, write_pct, instr_gap }
+        PrivateWorkingSet {
+            region,
+            site,
+            zipf,
+            write_pct,
+            instr_gap,
+        }
     }
 }
 
@@ -80,7 +97,11 @@ impl Pattern for PrivateWorkingSet {
         PatternAccess {
             block: self.region.block(idx),
             pc: self.site.pc(if write { 1 } else { 0 }),
-            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
             instr_gap: self.instr_gap,
         }
     }

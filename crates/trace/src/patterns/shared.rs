@@ -25,7 +25,12 @@ impl SharedReadOnly {
     /// the *same* region.
     pub fn new(region: Region, site: PcSite, theta: f64, instr_gap: u32) -> Self {
         let zipf = ZipfSampler::new(region.blocks().min(crate::zipf::MAX_SUPPORT), theta);
-        SharedReadOnly { region, site, zipf, instr_gap }
+        SharedReadOnly {
+            region,
+            site,
+            zipf,
+            instr_gap,
+        }
     }
 }
 
@@ -59,7 +64,13 @@ impl LockHot {
     /// over the *same* small region.
     pub fn new(region: Region, site: PcSite, instr_gap: u32) -> Self {
         let zipf = ZipfSampler::new(region.blocks(), 0.6);
-        LockHot { region, site, zipf, pending_store: None, instr_gap }
+        LockHot {
+            region,
+            site,
+            zipf,
+            pending_store: None,
+            instr_gap,
+        }
     }
 }
 
@@ -107,8 +118,10 @@ mod tests {
         let pcs = PcAllocator::new().alloc(1);
         let mut t0 = SharedReadOnly::new(r, pcs, 1.0, 2);
         let mut t1 = SharedReadOnly::new(r, pcs, 1.0, 2);
-        let a0: std::collections::HashSet<_> = drain(&mut t0, 500).iter().map(|a| a.block).collect();
-        let a1: std::collections::HashSet<_> = drain(&mut t1, 500).iter().map(|a| a.block).collect();
+        let a0: std::collections::HashSet<_> =
+            drain(&mut t0, 500).iter().map(|a| a.block).collect();
+        let a1: std::collections::HashSet<_> =
+            drain(&mut t1, 500).iter().map(|a| a.block).collect();
         let common = a0.intersection(&a1).count();
         assert!(common > 20, "threads share only {common} blocks");
     }

@@ -41,7 +41,15 @@ impl Stencil {
         instr_gap: u32,
     ) -> Self {
         assert!(row_blocks > 0, "rows must be non-empty");
-        Stencil { own, left, right, site, row_blocks, step: 0, instr_gap }
+        Stencil {
+            own,
+            left,
+            right,
+            site,
+            row_blocks,
+            step: 0,
+            instr_gap,
+        }
     }
 }
 
@@ -77,7 +85,11 @@ impl Pattern for Stencil {
         PatternAccess {
             block: self.own.block(i),
             pc: self.site.pc(if write { 3 } else { 2 }),
-            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
             instr_gap: self.instr_gap,
         }
     }
@@ -114,9 +126,19 @@ impl Transpose {
         phase_len: u64,
         instr_gap: u32,
     ) -> Self {
-        assert!(!segments.is_empty() && own < segments.len(), "bad segment index");
+        assert!(
+            !segments.is_empty() && own < segments.len(),
+            "bad segment index"
+        );
         assert!(phase_len > 0, "phase length must be non-zero");
-        Transpose { segments, own, site, phase_len, step: 0, instr_gap }
+        Transpose {
+            segments,
+            own,
+            site,
+            phase_len,
+            step: 0,
+            instr_gap,
+        }
     }
 
     /// The phase the pattern is currently in.

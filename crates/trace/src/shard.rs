@@ -122,7 +122,10 @@ struct Partition {
 impl Partition {
     fn new(sets: u64, count: u64) -> Self {
         debug_assert!(count >= 1 && count <= sets);
-        Partition { quot: sets / count, rem: sets % count }
+        Partition {
+            quot: sets / count,
+            rem: sets % count,
+        }
     }
 
     /// `(set_base, set_len)` of shard `s`.
@@ -130,7 +133,10 @@ impl Partition {
         if s < self.rem {
             (s * (self.quot + 1), self.quot + 1)
         } else {
-            (self.rem * (self.quot + 1) + (s - self.rem) * self.quot, self.quot)
+            (
+                self.rem * (self.quot + 1) + (s - self.rem) * self.quot,
+                self.quot,
+            )
         }
     }
 
@@ -233,7 +239,11 @@ mod tests {
         assert_eq!(shard.set_base, 0);
         assert_eq!(shard.set_len, sets);
         assert_eq!(shard.accesses.len(), s.len());
-        assert!(shard.accesses.iter().enumerate().all(|(i, &v)| v as usize == i));
+        assert!(shard
+            .accesses
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v as usize == i));
     }
 
     #[test]

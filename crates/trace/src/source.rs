@@ -53,7 +53,10 @@ impl VecSource {
     /// Creates a source replaying `accesses` in order.
     pub fn new(accesses: Vec<MemAccess>) -> Self {
         let len = accesses.len() as u64;
-        VecSource { accesses: accesses.into_iter(), len }
+        VecSource {
+            accesses: accesses.into_iter(),
+            len,
+        }
     }
 }
 
@@ -78,7 +81,12 @@ mod tests {
     use llc_sim::{AccessKind, Addr, CoreId, Pc};
 
     fn acc(i: u64) -> MemAccess {
-        MemAccess::new(CoreId::new(0), Pc::new(i), Addr::new(i * 64), AccessKind::Read)
+        MemAccess::new(
+            CoreId::new(0),
+            Pc::new(i),
+            Addr::new(i * 64),
+            AccessKind::Read,
+        )
     }
 
     #[test]

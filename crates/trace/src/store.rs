@@ -175,7 +175,11 @@ mod tests {
     use llc_sim::{AccessKind, BlockAddr, CoreId, Pc};
 
     fn sample(n: usize) -> RecordedStream {
-        let mut s = RecordedStream { fingerprint: 42, instructions: 10, ..Default::default() };
+        let mut s = RecordedStream {
+            fingerprint: 42,
+            instructions: 10,
+            ..Default::default()
+        };
         for i in 0..n {
             s.blocks.push(BlockAddr::new(i as u64));
             s.cores.push(CoreId::new(i % 2));
@@ -238,7 +242,10 @@ mod tests {
             .filter_map(Result::ok)
             .filter(|e| e.path().extension().is_none_or(|x| x != "llcs"))
             .collect();
-        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         assert_eq!(store.load(1).expect("load").expect("present").len(), 8);
         let _ = fs::remove_dir_all(store.dir());
     }

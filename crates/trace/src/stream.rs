@@ -207,7 +207,11 @@ pub fn write_stream<W: Write>(stream: &RecordedStream, mut sink: W) -> Result<()
     let mut prev_at = 0u64;
     for (i, u) in stream.upgrades.iter().enumerate() {
         if u.at < prev_at || u.at > n {
-            return Err(TraceError::BadUpgrade { at: u.at, accesses: n, index: i as u64 });
+            return Err(TraceError::BadUpgrade {
+                at: u.at,
+                accesses: n,
+                index: i as u64,
+            });
         }
         prev_at = u.at;
         let core = u.core.index();
@@ -238,9 +242,10 @@ pub fn write_stream<W: Write>(stream: &RecordedStream, mut sink: W) -> Result<()
 pub fn read_stream<R: Read>(mut reader: R) -> Result<RecordedStream, TraceError> {
     let mut header = [0u8; STREAM_HEADER_BYTES];
     read_exact_or_truncated(&mut reader, &mut header).map_err(|failure| match failure {
-        ReadFailure::Eof(got) => {
-            TraceError::TruncatedHeader { got, expected: STREAM_HEADER_BYTES }
-        }
+        ReadFailure::Eof(got) => TraceError::TruncatedHeader {
+            got,
+            expected: STREAM_HEADER_BYTES,
+        },
         ReadFailure::Io(e) => TraceError::Io(e),
     })?;
     if header[0..4] != STREAM_MAGIC {
@@ -272,7 +277,9 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<RecordedStream, TraceError>
     stream.pcs.reserve(cap);
     stream.kinds.reserve(cap);
     stream.instr_deltas.reserve(cap);
-    stream.upgrades.reserve(usize::try_from(upgrades).unwrap_or(0).min(1 << 20));
+    stream
+        .upgrades
+        .reserve(usize::try_from(upgrades).unwrap_or(0).min(1 << 20));
 
     let mut decoded = 0u64;
     for index in 0..accesses {
@@ -283,7 +290,11 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<RecordedStream, TraceError>
         })?;
         let core = usize::from(rec[0]);
         if core >= MAX_CORES {
-            return Err(TraceError::CoreOutOfRange { core: rec[0], limit: MAX_CORES, index });
+            return Err(TraceError::CoreOutOfRange {
+                core: rec[0],
+                limit: MAX_CORES,
+                index,
+            });
         }
         let kind = match rec[1] {
             0 => AccessKind::Read,
@@ -307,12 +318,20 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<RecordedStream, TraceError>
         })?;
         let at = read_u64(&rec[0..8]);
         if at < prev_at || at > accesses {
-            return Err(TraceError::BadUpgrade { at, accesses, index });
+            return Err(TraceError::BadUpgrade {
+                at,
+                accesses,
+                index,
+            });
         }
         prev_at = at;
         let core = usize::from(rec[16]);
         if core >= MAX_CORES {
-            return Err(TraceError::CoreOutOfRange { core: rec[16], limit: MAX_CORES, index });
+            return Err(TraceError::CoreOutOfRange {
+                core: rec[16],
+                limit: MAX_CORES,
+                index,
+            });
         }
         stream.upgrades.push(UpgradeEvent {
             at,
@@ -349,14 +368,34 @@ mod tests {
             s.blocks.push(BlockAddr::new(i as u64 * 3 % 17));
             s.cores.push(CoreId::new(i % 4));
             s.pcs.push(Pc::new(0x400 + i as u64));
-            s.kinds.push(if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read });
+            s.kinds.push(if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            });
             s.instr_deltas.push(i as u64 + 1);
         }
         s.upgrades = vec![
-            UpgradeEvent { at: 0, block: BlockAddr::new(3), core: CoreId::new(1) },
-            UpgradeEvent { at: 7, block: BlockAddr::new(6), core: CoreId::new(2) },
-            UpgradeEvent { at: 7, block: BlockAddr::new(9), core: CoreId::new(0) },
-            UpgradeEvent { at: 40, block: BlockAddr::new(12), core: CoreId::new(3) },
+            UpgradeEvent {
+                at: 0,
+                block: BlockAddr::new(3),
+                core: CoreId::new(1),
+            },
+            UpgradeEvent {
+                at: 7,
+                block: BlockAddr::new(6),
+                core: CoreId::new(2),
+            },
+            UpgradeEvent {
+                at: 7,
+                block: BlockAddr::new(9),
+                core: CoreId::new(0),
+            },
+            UpgradeEvent {
+                at: 40,
+                block: BlockAddr::new(12),
+                core: CoreId::new(3),
+            },
         ];
         s
     }
@@ -385,7 +424,10 @@ mod tests {
     fn rejects_bad_magic_version_and_short_header() {
         assert!(matches!(
             read_stream(&b"NOPE"[..]),
-            Err(TraceError::TruncatedHeader { got: 4, expected: STREAM_HEADER_BYTES })
+            Err(TraceError::TruncatedHeader {
+                got: 4,
+                expected: STREAM_HEADER_BYTES
+            })
         ));
         let mut bytes = sample().to_vec().expect("encode");
         bytes[0] = b'X';
@@ -407,13 +449,19 @@ mod tests {
         let cut = STREAM_HEADER_BYTES + 5 * ACCESS_RECORD_BYTES + 3;
         assert!(matches!(
             RecordedStream::from_slice(&bytes[..cut]),
-            Err(TraceError::Truncated { decoded: 5, declared: 44 })
+            Err(TraceError::Truncated {
+                decoded: 5,
+                declared: 44
+            })
         ));
         // Cut inside the upgrade section too.
         let cut = STREAM_HEADER_BYTES + 40 * ACCESS_RECORD_BYTES + UPGRADE_RECORD_BYTES + 1;
         assert!(matches!(
             RecordedStream::from_slice(&bytes[..cut]),
-            Err(TraceError::Truncated { decoded: 41, declared: 44 })
+            Err(TraceError::Truncated {
+                decoded: 41,
+                declared: 44
+            })
         ));
     }
 
@@ -429,7 +477,11 @@ mod tests {
         bytes[STREAM_HEADER_BYTES] = 200; // core of record 0
         assert!(matches!(
             RecordedStream::from_slice(&bytes),
-            Err(TraceError::CoreOutOfRange { core: 200, index: 0, .. })
+            Err(TraceError::CoreOutOfRange {
+                core: 200,
+                index: 0,
+                ..
+            })
         ));
     }
 
@@ -442,21 +494,33 @@ mod tests {
         bytes[off..off + 8].copy_from_slice(&1u64.to_le_bytes());
         assert!(matches!(
             RecordedStream::from_slice(&bytes),
-            Err(TraceError::BadUpgrade { at: 1, accesses: 40, index: 2 })
+            Err(TraceError::BadUpgrade {
+                at: 1,
+                accesses: 40,
+                index: 2
+            })
         ));
         // …and to point past the stream (41 > 40 accesses).
         let mut bytes = sample().to_vec().expect("encode");
         bytes[off..off + 8].copy_from_slice(&41u64.to_le_bytes());
         assert!(matches!(
             RecordedStream::from_slice(&bytes),
-            Err(TraceError::BadUpgrade { at: 41, accesses: 40, index: 2 })
+            Err(TraceError::BadUpgrade {
+                at: 41,
+                accesses: 40,
+                index: 2
+            })
         ));
         // Writer side: refuse to encode what the decoder would reject.
         let mut s = sample();
         s.upgrades[0].at = 99;
         assert!(matches!(
             s.to_vec(),
-            Err(TraceError::BadUpgrade { at: 99, accesses: 40, index: 0 })
+            Err(TraceError::BadUpgrade {
+                at: 99,
+                accesses: 40,
+                index: 0
+            })
         ));
     }
 

@@ -27,7 +27,11 @@ impl ThreadSpec {
         assert!(!arms.is_empty(), "a thread needs at least one pattern");
         let total_weight: u32 = arms.iter().map(|(w, _)| *w).sum();
         assert!(total_weight > 0, "total pattern weight must be non-zero");
-        ThreadSpec { arms, total_weight, accesses }
+        ThreadSpec {
+            arms,
+            total_weight,
+            accesses,
+        }
     }
 
     /// Convenience: a thread running a single pattern.
@@ -112,7 +116,9 @@ impl Workload {
             .map(|(i, spec)| ThreadState {
                 core: CoreId::new(i),
                 spec,
-                rng: SmallRng::seed_from_u64(splitmix64(seed ^ (i as u64).wrapping_mul(0x1234_5678_9abc))),
+                rng: SmallRng::seed_from_u64(splitmix64(
+                    seed ^ (i as u64).wrapping_mul(0x1234_5678_9abc),
+                )),
                 issued: 0,
             })
             .collect();
@@ -186,8 +192,9 @@ mod tests {
     fn produces_exactly_the_budgeted_accesses() {
         let mut space = AddressSpace::new();
         let mut pcs = PcAllocator::new();
-        let threads =
-            (0..4).map(|_| stream_thread(&mut space, &mut pcs, 100)).collect::<Vec<_>>();
+        let threads = (0..4)
+            .map(|_| stream_thread(&mut space, &mut pcs, 100))
+            .collect::<Vec<_>>();
         let mut w = Workload::new(threads, 42);
         assert_eq!(w.len_hint(), Some(400));
         let mut count = 0;
@@ -204,8 +211,9 @@ mod tests {
     fn interleaving_mixes_cores() {
         let mut space = AddressSpace::new();
         let mut pcs = PcAllocator::new();
-        let threads =
-            (0..2).map(|_| stream_thread(&mut space, &mut pcs, 1000)).collect::<Vec<_>>();
+        let threads = (0..2)
+            .map(|_| stream_thread(&mut space, &mut pcs, 1000))
+            .collect::<Vec<_>>();
         let mut w = Workload::new(threads, 7);
         let mut switches = 0;
         let mut last = None;
@@ -225,8 +233,9 @@ mod tests {
         let build = || {
             let mut space = AddressSpace::new();
             let mut pcs = PcAllocator::new();
-            let threads =
-                (0..3).map(|_| stream_thread(&mut space, &mut pcs, 50)).collect::<Vec<_>>();
+            let threads = (0..3)
+                .map(|_| stream_thread(&mut space, &mut pcs, 50))
+                .collect::<Vec<_>>();
             Workload::new(threads, 99)
         };
         let mut a = build();

@@ -27,7 +27,10 @@ impl ZipfSampler {
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "support must be non-empty");
         assert!(n <= MAX_SUPPORT, "support {n} exceeds MAX_SUPPORT");
-        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and non-negative");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0;
         for i in 1..=n {

@@ -35,7 +35,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id from a function name and a parameter.
     pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
     }
 }
 
@@ -60,7 +62,8 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let iters =
+            (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
         let mut best = Duration::MAX;
         for _ in 0..self.samples {
             let start = Instant::now();
@@ -70,7 +73,10 @@ impl Bencher {
             let per_iter = start.elapsed() / iters as u32;
             best = best.min(per_iter);
         }
-        self.result = Some(Sample { per_iter: best, iters });
+        self.result = Some(Sample {
+            per_iter: best,
+            iters,
+        });
     }
 }
 
@@ -95,9 +101,16 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` under `id` within this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkIdOrName>, mut f: F) {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkIdOrName>,
+        mut f: F,
+    ) {
         let id = id.into().0;
-        let mut b = Bencher { samples: self.samples, result: None };
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
         f(&mut b);
         self.report(&id, &b);
     }
@@ -109,7 +122,10 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) {
-        let mut b = Bencher { samples: self.samples, result: None };
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
         f(&mut b, input);
         self.report(&id.name, &b);
     }
@@ -173,7 +189,12 @@ pub struct Criterion {
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, samples: 10 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            samples: 10,
+        }
     }
 
     /// Benchmarks `f` outside any group.

@@ -136,7 +136,11 @@ mod tests {
             high.insert(h >> 54);
         }
         assert_eq!(full.len(), 4096, "sequential blocks must not collide");
-        assert!(high.len() > 900, "poor high-bit spread: {} buckets", high.len());
+        assert!(
+            high.len() > 900,
+            "poor high-bit spread: {} buckets",
+            high.len()
+        );
     }
 
     #[test]

@@ -45,7 +45,9 @@ impl TestRng {
         for b in name.bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng { state: h ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: h ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Next 64 uniformly random bits.
@@ -229,7 +231,10 @@ pub mod collection {
 
     /// Builds a [`VecStrategy`] of `size` elements.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S>
@@ -317,7 +322,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             l != r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($lhs), stringify!($rhs), l
+            stringify!($lhs),
+            stringify!($rhs),
+            l
         );
     }};
 }

@@ -200,7 +200,12 @@ pub mod rngs {
             }
             // An all-zero state is a fixed point of xoshiro; nudge it.
             if s == [0; 4] {
-                s = [0x9E37_79B9_7F4A_7C15, 0x6A09_E667_F3BC_C909, 0xBB67_AE85_84CA_A73B, 1];
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    1,
+                ];
             }
             SmallRng { s }
         }
@@ -235,7 +240,10 @@ mod tests {
             let f: f64 = rng.gen();
             assert!((0.0..1.0).contains(&f));
         }
-        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range appear"
+        );
     }
 
     #[test]

@@ -30,17 +30,36 @@ fn main() {
     let mut gains_drrip = Vec::new();
     for app in App::ALL {
         let mut make = || app.workload(cfg.cores, Scale::Small);
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).expect("run").llc.misses();
-        let o_lru = simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])
+        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])
             .expect("run")
             .llc
             .misses();
-        let drrip = simulate_kind(&cfg, PolicyKind::Drrip, &mut make, vec![]).expect("run").llc.misses();
-        let o_drrip =
-            simulate_oracle(&cfg, PolicyKind::Drrip, ProtectMode::Eviction, None, &mut make, vec![])
-                .expect("run")
-                .llc
-                .misses();
+        let o_lru = simulate_oracle(
+            &cfg,
+            PolicyKind::Lru,
+            ProtectMode::Eviction,
+            None,
+            &mut make,
+            vec![],
+        )
+        .expect("run")
+        .llc
+        .misses();
+        let drrip = simulate_kind(&cfg, PolicyKind::Drrip, &mut make, vec![])
+            .expect("run")
+            .llc
+            .misses();
+        let o_drrip = simulate_oracle(
+            &cfg,
+            PolicyKind::Drrip,
+            ProtectMode::Eviction,
+            None,
+            &mut make,
+            vec![],
+        )
+        .expect("run")
+        .llc
+        .misses();
         let g1 = 1.0 - o_lru as f64 / lru.max(1) as f64;
         let g2 = 1.0 - o_drrip as f64 / drrip.max(1) as f64;
         gains_lru.push(g1);

@@ -14,7 +14,10 @@ fn main() {
         .next()
         .map(|s| App::parse(&s).unwrap_or_else(|| panic!("unknown app '{s}'")))
         .unwrap_or(App::Ferret);
-    let llc_kib: u64 = args.next().map(|s| s.parse().expect("llc size in KiB")).unwrap_or(1024);
+    let llc_kib: u64 = args
+        .next()
+        .map(|s| s.parse().expect("llc size in KiB"))
+        .unwrap_or(1024);
 
     let cfg = HierarchyConfig {
         cores: 8,

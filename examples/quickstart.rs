@@ -29,7 +29,11 @@ fn main() {
         inclusion: Inclusion::NonInclusive,
     };
 
-    println!("app      : {app} ({}, {} sharing)", app.suite(), app.sharing_class());
+    println!(
+        "app      : {app} ({}, {} sharing)",
+        app.suite(),
+        app.sharing_class()
+    );
     println!("machine  : {cfg}");
     println!("scale    : {scale}\n");
 
@@ -45,7 +49,10 @@ fn main() {
         std::process::exit(1);
     });
 
-    println!("trace    : {} accesses, {} instructions", result.trace_accesses, result.instructions);
+    println!(
+        "trace    : {} accesses, {} instructions",
+        result.trace_accesses, result.instructions
+    );
     println!("L1       : {}", result.l1);
     println!("LLC      : {}", result.llc);
     println!("LLC MPKI : {:.2}\n", result.llc_mpki());

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let what = args.next().unwrap_or_else(|| "ferret".into());
     let dir = args.next().unwrap_or_else(|| {
-        std::env::temp_dir().join("sharing-aware-llc-store").display().to_string()
+        std::env::temp_dir()
+            .join("sharing-aware-llc-store")
+            .display()
+            .to_string()
     });
     let app = App::parse(&what).unwrap_or_else(|| panic!("unknown app '{what}'"));
 
@@ -68,13 +71,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fresh_stats = fresh.stats();
     assert_eq!(fresh_stats.misses, 0, "a fresh cache must not re-record");
     assert_eq!(fresh_stats.disk_hits, 1, "the stream comes from the store");
-    assert_eq!(*restored, *stream, "the disk copy is the recording, byte for byte");
+    assert_eq!(
+        *restored, *stream,
+        "the disk copy is the recording, byte for byte"
+    );
     println!("fresh cache restored the stream from disk without simulating ✓");
 
     // Phase 3 — the disk-restored stream replays bit-identically to
     // simulating the live generator.
-    let live =
-        simulate_kind(&cfg, PolicyKind::Lru, &mut || app.workload(cfg.cores, Scale::Tiny), vec![])?;
+    let live = simulate_kind(
+        &cfg,
+        PolicyKind::Lru,
+        &mut || app.workload(cfg.cores, Scale::Tiny),
+        vec![],
+    )?;
     let replayed = replay_kind(&cfg, PolicyKind::Lru, &restored, vec![])?;
     println!("live run   : {}", live.llc);
     println!("replay run : {}", replayed.llc);

@@ -18,7 +18,10 @@
 //!   pre-passes, and the experiment index regenerating every table and
 //!   figure;
 //! * [`serve`] — the job-queue simulation daemon (`repro serve`) with its
-//!   persistent content-addressed stream & result store.
+//!   persistent content-addressed stream & result store;
+//! * [`telemetry`] — process-global metrics (Prometheus text exposition)
+//!   and RAII span tracing (Chrome trace-event JSON), wired through the
+//!   replay, suite, and serve layers.
 //!
 //! This facade crate re-exports the workspace and hosts the runnable
 //! examples (`examples/`) and the cross-crate integration tests
@@ -50,6 +53,7 @@ pub use llc_predictors as predictors;
 pub use llc_serve as serve;
 pub use llc_sharing as sharing;
 pub use llc_sim as sim;
+pub use llc_telemetry as telemetry;
 pub use llc_trace as trace;
 
 /// The most commonly used items across the workspace, in one import.

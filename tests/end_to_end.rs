@@ -87,11 +87,23 @@ fn accounting_identities_hold() {
         )
         .expect("run");
         // Every fill ends exactly one generation (incl. the final flush).
-        assert_eq!(r.llc.fills, profile.generations(), "{app}: fills vs generations");
-        assert_eq!(r.llc.fills, r.llc.evictions + r.llc.flushed, "{app}: fill balance");
+        assert_eq!(
+            r.llc.fills,
+            profile.generations(),
+            "{app}: fills vs generations"
+        );
+        assert_eq!(
+            r.llc.fills,
+            r.llc.evictions + r.llc.flushed,
+            "{app}: fill balance"
+        );
         // Hits attributed to generations equal the LLC's hit counter.
         assert_eq!(r.llc.hits, profile.hits(), "{app}: hit attribution");
-        assert_eq!(r.llc.accesses, r.llc.hits + r.llc.fills, "{app}: access balance");
+        assert_eq!(
+            r.llc.accesses,
+            r.llc.hits + r.llc.fills,
+            "{app}: access balance"
+        );
         assert_eq!(
             r.llc.hits_by_non_filler, profile.hits_by_non_filler,
             "{app}: cross-core hit attribution"
@@ -104,9 +116,15 @@ fn opt_lower_bounds_all_policies_on_all_test_apps() {
     let cfg = test_cfg();
     for app in [App::Bodytrack, App::Water, App::Radix, App::Swim] {
         let mut make = || app.workload(cfg.cores, Scale::Tiny);
-        let opt = simulate_opt(&cfg, &mut make, vec![]).expect("run").llc.misses();
+        let opt = simulate_opt(&cfg, &mut make, vec![])
+            .expect("run")
+            .llc
+            .misses();
         for kind in PolicyKind::REALISTIC {
-            let m = simulate_kind(&cfg, kind, &mut make, vec![]).expect("run").llc.misses();
+            let m = simulate_kind(&cfg, kind, &mut make, vec![])
+                .expect("run")
+                .llc
+                .misses();
             assert!(opt <= m, "{app}: OPT {opt} > {} {m}", kind.label());
         }
     }
@@ -117,12 +135,21 @@ fn oracle_gains_concentrate_on_sharing_heavy_apps() {
     let cfg = test_cfg();
     let gain = |app: App| {
         let mut make = || app.workload(cfg.cores, Scale::Tiny);
-        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).expect("run").llc.misses();
-        let oracle =
-            simulate_oracle(&cfg, PolicyKind::Lru, ProtectMode::Eviction, None, &mut make, vec![])
-                .expect("run")
-                .llc
-                .misses();
+        let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])
+            .expect("run")
+            .llc
+            .misses();
+        let oracle = simulate_oracle(
+            &cfg,
+            PolicyKind::Lru,
+            ProtectMode::Eviction,
+            None,
+            &mut make,
+            vec![],
+        )
+        .expect("run")
+        .llc
+        .misses();
         1.0 - oracle as f64 / lru.max(1) as f64
     };
     let private = gain(App::Swaptions);
@@ -143,10 +170,18 @@ fn oracle_cannot_improve_opt() {
     let cfg = test_cfg();
     let app = App::Bodytrack;
     let mut make = || app.workload(cfg.cores, Scale::Tiny);
-    let opt = simulate_opt(&cfg, &mut make, vec![]).expect("run").llc.misses();
-    let wrapped =
-        llc_sharing::simulate_oracle_opt(&cfg, &mut make, vec![]).expect("run").llc.misses();
-    assert!(wrapped >= opt, "wrapping OPT cannot reduce misses ({wrapped} < {opt})");
+    let opt = simulate_opt(&cfg, &mut make, vec![])
+        .expect("run")
+        .llc
+        .misses();
+    let wrapped = llc_sharing::simulate_oracle_opt(&cfg, &mut make, vec![])
+        .expect("run")
+        .llc
+        .misses();
+    assert!(
+        wrapped >= opt,
+        "wrapping OPT cannot reduce misses ({wrapped} < {opt})"
+    );
 }
 
 #[test]
@@ -177,7 +212,10 @@ fn predictor_wrapper_is_safe_even_with_bad_predictions() {
     let cfg = test_cfg();
     let app = App::Ocean;
     let mut make = || app.workload(cfg.cores, Scale::Tiny);
-    let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![]).expect("run").llc.misses();
+    let lru = simulate_kind(&cfg, PolicyKind::Lru, &mut make, vec![])
+        .expect("run")
+        .llc
+        .misses();
     let wrapped = simulate_predictor_wrap(
         &cfg,
         PolicyKind::Lru,
@@ -217,5 +255,8 @@ fn phase_shifting_apps_are_burstier_than_steady_ones() {
     };
     let fft = burstiness(App::Fft);
     let bodytrack = burstiness(App::Bodytrack);
-    assert!(fft > bodytrack, "fft burstiness {fft:.3} <= bodytrack {bodytrack:.3}");
+    assert!(
+        fft > bodytrack,
+        "fft burstiness {fft:.3} <= bodytrack {bodytrack:.3}"
+    );
 }

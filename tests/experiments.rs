@@ -21,7 +21,12 @@ fn every_experiment_produces_tables() {
             assert!(!t.headers.is_empty());
             assert!(!t.rows.is_empty(), "{id}: empty table '{}'", t.title);
             for row in &t.rows {
-                assert_eq!(row.len(), t.headers.len(), "{id}: ragged row in '{}'", t.title);
+                assert_eq!(
+                    row.len(),
+                    t.headers.len(),
+                    "{id}: ragged row in '{}'",
+                    t.title
+                );
             }
             // Render both formats without panicking.
             let _ = t.to_string();
@@ -48,13 +53,21 @@ fn fig5_normalizes_lru_to_one() {
     let tables = run_experiment(ExperimentId::Fig5, &ctx).expect("fig5 runs");
     assert_eq!(tables.len(), ctx.llc_capacities.len());
     for t in &tables {
-        let lru_col = t.headers.iter().position(|h| h == "LRU").expect("LRU column");
+        let lru_col = t
+            .headers
+            .iter()
+            .position(|h| h == "LRU")
+            .expect("LRU column");
         for row in t.rows.iter().filter(|r| r[0] != "GEOMEAN") {
             let v: f64 = row[lru_col].parse().expect("numeric cell");
             assert!((v - 1.0).abs() < 1e-9, "LRU column must be 1.000, got {v}");
         }
         // OPT never exceeds 1.0 (it cannot lose to LRU).
-        let opt_col = t.headers.iter().position(|h| h == "OPT").expect("OPT column");
+        let opt_col = t
+            .headers
+            .iter()
+            .position(|h| h == "OPT")
+            .expect("OPT column");
         for row in &t.rows {
             let v: f64 = row[opt_col].parse().expect("numeric cell");
             assert!(v <= 1.0 + 1e-9, "OPT normalized misses {v} > 1");

@@ -102,16 +102,22 @@ fn replaying_a_wider_trace_on_a_narrower_machine_is_a_typed_error() {
 fn record_level_faults_are_caught_by_the_writer() {
     let accesses: Vec<MemAccess> = {
         let mut src = App::Fft.workload(4, Scale::Tiny);
-        std::iter::from_fn(move || src.next_access()).take(100).collect()
+        std::iter::from_fn(move || src.next_access())
+            .take(100)
+            .collect()
     };
     let plan = FaultPlan::new().with(Fault::DropRecord { index: 42 });
-    let faulty = sharing_aware_llc::trace::FaultInjectingSource::new(
-        VecSource::new(accesses),
-        &plan,
-    );
+    let faulty =
+        sharing_aware_llc::trace::FaultInjectingSource::new(VecSource::new(accesses), &plan);
     let mut out = Vec::new();
     let err = write_trace(faulty, &mut out).expect_err("dropped record must be caught");
-    assert!(matches!(err, TraceError::CountMismatch { declared: 100, written: 99 }));
+    assert!(matches!(
+        err,
+        TraceError::CountMismatch {
+            declared: 100,
+            written: 99
+        }
+    ));
 }
 
 #[test]
@@ -131,7 +137,11 @@ fn suite_isolates_a_panicking_experiment_and_finishes_the_rest() {
     })
     .expect("suite itself must not fail");
     assert_eq!(report.outcomes.len(), 3, "every experiment gets an outcome");
-    assert_eq!(report.completed(), 2, "siblings of the crash still complete");
+    assert_eq!(
+        report.completed(),
+        2,
+        "siblings of the crash still complete"
+    );
     assert_eq!(report.failed(), 1);
     let summary = report.summary().to_string();
     assert!(summary.contains("FAILED"));
@@ -140,8 +150,8 @@ fn suite_isolates_a_panicking_experiment_and_finishes_the_rest() {
 
 #[test]
 fn killed_suite_resumes_from_checkpoint_without_recomputing() {
-    let manifest = std::env::temp_dir()
-        .join(format!("llc-failsafe-resume-{}.json", std::process::id()));
+    let manifest =
+        std::env::temp_dir().join(format!("llc-failsafe-resume-{}.json", std::process::id()));
     let _ = std::fs::remove_file(&manifest);
     let config = SuiteConfig {
         manifest_path: Some(manifest.clone()),
@@ -160,7 +170,10 @@ fn killed_suite_resumes_from_checkpoint_without_recomputing() {
         if id == ExperimentId::Fig3 {
             panic!("process killed here");
         }
-        Ok(vec![Table::new(format!("result of {}", id.label()), &["col"])])
+        Ok(vec![Table::new(
+            format!("result of {}", id.label()),
+            &["col"],
+        )])
     })
     .expect("first invocation");
     assert_eq!(report.completed(), 2);
@@ -173,7 +186,10 @@ fn killed_suite_resumes_from_checkpoint_without_recomputing() {
     let counter2 = Arc::clone(&runs2);
     let report = run_suite_with(&ids, &ctx, &config, move |id, _| {
         counter2.fetch_add(1, Ordering::SeqCst);
-        Ok(vec![Table::new(format!("result of {}", id.label()), &["col"])])
+        Ok(vec![Table::new(
+            format!("result of {}", id.label()),
+            &["col"],
+        )])
     })
     .expect("second invocation");
     assert_eq!(runs2.load(Ordering::SeqCst), 1, "only fig3 is recomputed");
@@ -181,7 +197,10 @@ fn killed_suite_resumes_from_checkpoint_without_recomputing() {
     assert_eq!(report.completed(), 1);
     assert_eq!(report.failed(), 0);
     let t1 = report.outcomes[0].1.tables().expect("resumed tables");
-    assert_eq!(t1[0].title, "result of table1", "checkpointed content survives");
+    assert_eq!(
+        t1[0].title, "result of table1",
+        "checkpointed content survives"
+    );
     let _ = std::fs::remove_file(&manifest);
 }
 
@@ -217,8 +236,8 @@ fn real_experiment_suite_checkpoints_and_resumes() {
     // keeps this fast while exercising the exact code path `repro --out
     // --resume` uses, including OPT/oracle pre-pass recomputation being
     // skipped on resume.
-    let manifest = std::env::temp_dir()
-        .join(format!("llc-failsafe-real-{}.json", std::process::id()));
+    let manifest =
+        std::env::temp_dir().join(format!("llc-failsafe-real-{}.json", std::process::id()));
     let _ = std::fs::remove_file(&manifest);
     let mut ctx = ExperimentCtx::test();
     ctx.apps.truncate(2);

@@ -23,7 +23,12 @@ fn small_cfg() -> HierarchyConfig {
 }
 
 fn key_for(app: App, cfg: HierarchyConfig) -> StreamKey {
-    StreamKey { workload: WorkloadId::App(app), cores: cfg.cores, scale: Scale::Tiny, config: cfg }
+    StreamKey {
+        workload: WorkloadId::App(app),
+        cores: cfg.cores,
+        scale: Scale::Tiny,
+        config: cfg,
+    }
 }
 
 #[test]
@@ -101,7 +106,10 @@ fn corruption_is_a_typed_error_and_the_cache_re_records() {
     let bytes = std::fs::read(&path).expect("read");
     std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate");
     assert!(
-        matches!(store.load(key.fingerprint()), Err(TraceError::Truncated { .. })),
+        matches!(
+            store.load(key.fingerprint()),
+            Err(TraceError::Truncated { .. })
+        ),
         "truncation surfaces as TraceError::Truncated"
     );
 
@@ -111,11 +119,17 @@ fn corruption_is_a_typed_error_and_the_cache_re_records() {
     let recovered = fresh
         .get_or_record(key, || App::Swaptions.workload(cfg.cores, Scale::Tiny))
         .expect("re-record over corruption");
-    assert_eq!(*recovered, *original, "deterministic workloads re-record identically");
+    assert_eq!(
+        *recovered, *original,
+        "deterministic workloads re-record identically"
+    );
     let stats = fresh.stats();
     assert_eq!(stats.disk_errors, 1, "the bad copy was counted");
     assert_eq!(stats.misses, 1, "recovery ran one recording simulation");
-    let healed = store.load(key.fingerprint()).expect("healed load").expect("present");
+    let healed = store
+        .load(key.fingerprint())
+        .expect("healed load")
+        .expect("present");
     assert_eq!(healed, *original, "the overwritten file is intact again");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -24,7 +24,11 @@ fn trace_strategy(len: usize) -> impl Strategy<Value = Vec<MemAccess>> {
                 core: CoreId::new(core),
                 pc: Pc::new(0x400 + pc * 4),
                 addr: Addr::new(block * 64),
-                kind: if write { AccessKind::Write } else { AccessKind::Read },
+                kind: if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 instr_gap: 3,
             })
             .collect()

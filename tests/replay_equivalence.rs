@@ -50,7 +50,11 @@ fn trace_strategy(len: usize) -> impl Strategy<Value = Vec<MemAccess>> {
                 core: CoreId::new(core),
                 pc: Pc::new(0x400 + pc * 4),
                 addr: Addr::new(block * 64),
-                kind: if write { AccessKind::Write } else { AccessKind::Read },
+                kind: if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 instr_gap: 3,
             })
             .collect()
@@ -128,7 +132,9 @@ struct CountingSource {
 impl CountingSource {
     fn new(trace: Vec<MemAccess>, count: &Rc<Cell<usize>>) -> Self {
         count.set(count.get() + 1);
-        CountingSource { inner: VecSource::new(trace) }
+        CountingSource {
+            inner: VecSource::new(trace),
+        }
     }
 }
 
@@ -231,15 +237,27 @@ fn annotated_runs_instantiate_the_trace_once() {
             core: CoreId::new(i % 4),
             pc: Pc::new(0x400),
             addr: Addr::new((i as u64 % 64) * 64),
-            kind: if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read },
+            kind: if i % 5 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
             instr_gap: 3,
         })
         .collect();
 
     let count = Rc::new(Cell::new(0usize));
-    simulate_opt(&cfg, &mut || CountingSource::new(trace.clone(), &count), vec![])
-        .expect("OPT run");
-    assert_eq!(count.get(), 1, "simulate_opt must record the stream exactly once");
+    simulate_opt(
+        &cfg,
+        &mut || CountingSource::new(trace.clone(), &count),
+        vec![],
+    )
+    .expect("OPT run");
+    assert_eq!(
+        count.get(),
+        1,
+        "simulate_opt must record the stream exactly once"
+    );
 
     count.set(0);
     simulate_oracle(
@@ -251,7 +269,11 @@ fn annotated_runs_instantiate_the_trace_once() {
         vec![],
     )
     .expect("oracle(OPT) run");
-    assert_eq!(count.get(), 1, "simulate_oracle(base=Opt) must record the stream exactly once");
+    assert_eq!(
+        count.get(),
+        1,
+        "simulate_oracle(base=Opt) must record the stream exactly once"
+    );
 
     count.set(0);
     simulate_oracle(
@@ -263,5 +285,9 @@ fn annotated_runs_instantiate_the_trace_once() {
         vec![],
     )
     .expect("oracle(LRU) run");
-    assert_eq!(count.get(), 1, "simulate_oracle(base=Lru) must record the stream exactly once");
+    assert_eq!(
+        count.get(),
+        1,
+        "simulate_oracle(base=Lru) must record the stream exactly once"
+    );
 }

@@ -66,7 +66,11 @@ fn trace_strategy(len: usize) -> impl Strategy<Value = Vec<MemAccess>> {
                 core: CoreId::new(core),
                 pc: Pc::new(0x400 + pc * 4),
                 addr: Addr::new(block * 64),
-                kind: if write { AccessKind::Write } else { AccessKind::Read },
+                kind: if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 instr_gap: 3,
             })
             .collect()
@@ -280,7 +284,11 @@ fn donated_budget_auto_shards_and_stays_exact() {
             core: CoreId::new(i % 4),
             pc: Pc::new(0x400 + (i % 7) as u64 * 4),
             addr: Addr::new((i as u64 * 13 % 160) * 64),
-            kind: if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read },
+            kind: if i % 5 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
             instr_gap: 3,
         })
         .collect();
@@ -299,7 +307,11 @@ fn donated_budget_auto_shards_and_stays_exact() {
         // The replay borrows workers for its own duration only; the pool
         // must be whole again afterwards.
         let drained = budget::borrow(usize::MAX);
-        assert_eq!(drained.count(), 3, "auto-shard must return its borrowed workers");
+        assert_eq!(
+            drained.count(),
+            3,
+            "auto-shard must return its borrowed workers"
+        );
         drop(drained);
         budget::reclaim(3);
         assert_eq!(seq, auto, "kind {}", kind.label());
