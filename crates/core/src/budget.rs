@@ -107,6 +107,37 @@ pub fn borrow(max: usize) -> Borrowed {
     }
 }
 
+/// Reclaims `n` workers for the lifetime of the returned guard, which
+/// donates them back on drop — the panic-safe form of a
+/// [`reclaim`]/[`donate`] pair. Schedulers wrap each busy worker in one
+/// of these so a panicking (or early-returning) job body can never leak
+/// its permit out of the pool.
+pub fn reclaim_scoped(n: usize) -> Reclaimed {
+    reclaim(n);
+    Reclaimed { taken: n }
+}
+
+/// An RAII reclaim of workers; donates them back to the pool on drop.
+#[derive(Debug)]
+pub struct Reclaimed {
+    taken: usize,
+}
+
+impl Reclaimed {
+    /// Number of workers this guard holds out of the pool.
+    pub fn count(&self) -> usize {
+        self.taken
+    }
+}
+
+impl Drop for Reclaimed {
+    fn drop(&mut self) {
+        if self.taken > 0 {
+            donate(self.taken);
+        }
+    }
+}
+
 /// A borrow of spare workers; returns them to the pool on drop.
 #[derive(Debug)]
 pub struct Borrowed {
@@ -174,6 +205,25 @@ mod tests {
         let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
         reset(0);
         assert_eq!(borrow(8).count(), 0);
+    }
+
+    #[test]
+    fn reclaim_scoped_returns_permits_even_on_unwind() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        reset(4);
+        {
+            let held = reclaim_scoped(3);
+            assert_eq!(held.count(), 3);
+            assert_eq!(available(), 1);
+        }
+        assert_eq!(available(), 4, "drop donates the permits back");
+        let unwound = std::panic::catch_unwind(|| {
+            let _held = reclaim_scoped(2);
+            panic!("job body panics");
+        });
+        assert!(unwound.is_err());
+        assert_eq!(available(), 4, "a panicking holder cannot leak permits");
+        reset(0);
     }
 
     #[test]

@@ -62,6 +62,7 @@ struct ReplayMetrics {
     cache_misses: Arc<Counter>,
     cache_evictions: Arc<Counter>,
     cache_disk_errors: Arc<Counter>,
+    cache_quarantined: Arc<Counter>,
     cache_bytes: Arc<Gauge>,
 }
 
@@ -89,6 +90,11 @@ static METRICS: LazyLock<ReplayMetrics> = LazyLock::new(|| ReplayMetrics {
     cache_disk_errors: global().counter(
         "llc_stream_cache_disk_errors_total",
         "Stored-copy failures recovered by re-recording or shrugged off",
+    ),
+    cache_quarantined: global().counter_with(
+        "llc_store_quarantined_total",
+        "Corrupt store entries moved to quarantine/ instead of being deleted",
+        &[("store", "streams")],
     ),
     cache_bytes: global().gauge(
         "llc_stream_cache_bytes",
@@ -1006,6 +1012,9 @@ pub struct StreamCacheStats {
     /// Stored-copy failures that were recovered by re-recording (a
     /// corrupt `.llcs` file) or shrugged off (a failed persist).
     pub disk_errors: u64,
+    /// Corrupt `.llcs` files moved into the store's `quarantine/`
+    /// directory (a subset of `disk_errors`).
+    pub quarantined: u64,
     /// Encoded bytes currently held in memory.
     pub bytes: u64,
     /// The configured in-memory byte cap, if any.
@@ -1177,9 +1186,20 @@ impl StreamCache {
                 Arc::new(stream)
             }
             Some(Err(_)) => {
-                // Corrupt stored copy: count it, re-record, overwrite.
-                lock_recovering(&self.inner).stats.disk_errors += 1;
-                METRICS.cache_disk_errors.inc();
+                // Corrupt stored copy: count it, move the evidence to
+                // quarantine/ (never delete it), re-record, overwrite.
+                {
+                    let mut inner = lock_recovering(&self.inner);
+                    inner.stats.disk_errors += 1;
+                    METRICS.cache_disk_errors.inc();
+                    if let Some(store) = inner.store.clone() {
+                        drop(inner);
+                        if let Ok(Some(_)) = store.quarantine(fp) {
+                            lock_recovering(&self.inner).stats.quarantined += 1;
+                            METRICS.cache_quarantined.inc();
+                        }
+                    }
+                }
                 Arc::new(record_stream(&key.config, make_trace())?)
             }
             Some(Ok(None)) | None => Arc::new(record_stream(&key.config, make_trace())?),
@@ -1540,6 +1560,17 @@ mod tests {
             "corruption must re-record"
         );
         assert_eq!(third.stats().disk_errors, 1);
+        assert_eq!(
+            third.stats().quarantined,
+            1,
+            "corrupt copy is quarantined, not deleted"
+        );
+        assert!(
+            dir.join(llc_trace::QUARANTINE_DIR)
+                .join(format!("{:016x}.llcs", key.fingerprint()))
+                .exists(),
+            "quarantined evidence file exists"
+        );
         assert_eq!(*a, *c);
         let healed = StreamCache::with_store(store.clone(), None);
         healed.get_or_record(key, make).expect("healed");

@@ -11,12 +11,14 @@
 //! hosts the daemon in-process. Both sides resolve a submission through
 //! the same [`JobSpec`] → `ExperimentCtx` path the batch runner uses.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use llc_sharing::json::{table_from_json, Value};
 use llc_trace::{App, Scale};
 
 use crate::client::{job_id_of, Client};
+use crate::gc;
 use crate::jobs::JobId;
 use crate::server::{Server, ServerConfig};
 use crate::spec::JobSpec;
@@ -32,19 +34,30 @@ pub const DEFAULT_STORE: &str = "llc-store";
 pub const USAGE: &str = "\
 service subcommands:
   repro serve [--listen ADDR] [--store DIR] [--jobs N] [--timeout SECS]
-              [--stream-cache-mb MB]
+              [--stream-cache-mb MB] [--max-queue N] [--max-inflight N]
+              [--max-conns N] [--grace SECS] [--store-cap-mb MB]
+              [--chaos-seed N]
       host the simulation daemon (default listen 127.0.0.1:7119,
       store ./llc-store, one worker per hardware thread, 1800 s
-      per-job watchdog; --jobs N overrides the worker count)
+      per-job watchdog; --jobs N overrides the worker count;
+      submissions past --max-queue/--max-inflight get HTTP 429;
+      --store-cap-mb enables background LRU store GC; on stop the
+      daemon drains for --grace seconds and checkpoints queued specs;
+      --chaos-seed injects deterministic faults — testing only)
   repro submit <experiment> [--preset paper|quick|test] [--scale S]
-              [--threads N] [--apps a,b,c] [--addr ADDR] [--watch]
-      submit a job (with --watch: wait and print its tables)
+              [--threads N] [--apps a,b,c] [--deadline SECS]
+              [--addr ADDR] [--watch]
+      submit a job (with --watch: wait and print its tables;
+      --deadline bounds the job's queue + run time server-side)
   repro status <id>   [--addr ADDR]   job state
   repro watch  <id>   [--addr ADDR] [--deadline SECS]   wait for a job
   repro result <id>   [--addr ADDR]   print a finished job's tables
   repro cancel <id>   [--addr ADDR]   cancel a job
   repro stats         [--addr ADDR]   store/service counters (JSON)
-  repro stop          [--addr ADDR]   shut the daemon down
+  repro stop          [--addr ADDR]   shut the daemon down (drains)
+  repro gc [--store DIR] [--store-cap-mb MB] [--verify]
+      offline store sweep: --verify quarantines corrupt entries,
+      --store-cap-mb evicts least-recently-used entries to fit
 ";
 
 /// A parsed service subcommand.
@@ -101,13 +114,22 @@ pub enum ServeCommand {
         /// Daemon address.
         addr: String,
     },
+    /// Sweep a store directory offline (verify and/or evict to a cap).
+    Gc {
+        /// The store root (`streams/` + `results/` live under it).
+        store: PathBuf,
+        /// Byte budget to evict down to; `None` skips eviction.
+        cap: Option<u64>,
+        /// Quarantine entries that fail verification.
+        verify: bool,
+    },
 }
 
 /// `true` if `verb` names a service subcommand this module handles.
 pub fn is_serve_verb(verb: &str) -> bool {
     matches!(
         verb,
-        "serve" | "submit" | "status" | "watch" | "result" | "cancel" | "stats" | "stop"
+        "serve" | "submit" | "status" | "watch" | "result" | "cancel" | "stats" | "stop" | "gc"
     )
 }
 
@@ -157,16 +179,93 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
                             .ok_or_else(|| format!("bad cache size '{v}'"))?;
                         config.stream_cache_limit = Some(mb << 20);
                     }
+                    "--max-queue" => {
+                        let v = value("--max-queue")?;
+                        config.max_queue = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad queue bound '{v}'"))?;
+                    }
+                    "--max-inflight" => {
+                        let v = value("--max-inflight")?;
+                        config.max_inflight = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad in-flight bound '{v}'"))?;
+                    }
+                    "--max-conns" => {
+                        let v = value("--max-conns")?;
+                        config.max_connections = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad connection bound '{v}'"))?;
+                    }
+                    "--grace" => {
+                        let v = value("--grace")?;
+                        let secs = v.parse::<u64>().map_err(|_| format!("bad grace '{v}'"))?;
+                        config.grace = Duration::from_secs(secs);
+                    }
+                    "--store-cap-mb" => {
+                        let v = value("--store-cap-mb")?;
+                        let mb = v
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad store cap '{v}'"))?;
+                        config.store_cap = Some(mb << 20);
+                    }
+                    "--chaos-seed" => {
+                        let v = value("--chaos-seed")?;
+                        let seed = v
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad chaos seed '{v}'"))?;
+                        config.chaos = Some(std::sync::Arc::new(
+                            crate::chaos::ChaosPlan::from_seed(seed),
+                        ));
+                    }
                     other => return Err(format!("unknown serve flag '{other}'\n\n{USAGE}")),
                 }
             }
             return Ok(ServeCommand::Serve(config));
+        }
+        "gc" => {
+            let mut store = PathBuf::from(DEFAULT_STORE);
+            let mut cap = None;
+            let mut verify = false;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+                };
+                match arg.as_str() {
+                    "--store" => store = value("--store")?.into(),
+                    "--store-cap-mb" => {
+                        let v = value("--store-cap-mb")?;
+                        let mb = v
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad store cap '{v}'"))?;
+                        cap = Some(mb << 20);
+                    }
+                    "--verify" => verify = true,
+                    other => return Err(format!("unknown gc flag '{other}'\n\n{USAGE}")),
+                }
+            }
+            if cap.is_none() && !verify {
+                return Err(format!(
+                    "gc needs --store-cap-mb and/or --verify (otherwise it has nothing to do)\n\n{USAGE}"
+                ));
+            }
+            return Ok(ServeCommand::Gc { store, cap, verify });
         }
         "submit" => {
             let mut preset = "paper".to_string();
             let mut scale = None;
             let mut threads = None;
             let mut apps = None;
+            let mut deadline_secs = None;
             let mut watch = false;
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
@@ -212,6 +311,15 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
                         }
                         apps = Some(parsed);
                     }
+                    "--deadline" => {
+                        let v = value("--deadline")?;
+                        deadline_secs = Some(
+                            v.parse::<u64>()
+                                .ok()
+                                .filter(|&n| (1..=86_400).contains(&n))
+                                .ok_or_else(|| format!("bad deadline '{v}'"))?,
+                        );
+                    }
                     "--watch" => watch = true,
                     other => positional.push(other.to_string()),
                 }
@@ -227,6 +335,7 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
                 scale,
                 threads,
                 apps,
+                deadline_secs,
             };
             return Ok(ServeCommand::Submit { addr, spec, watch });
         }
@@ -339,6 +448,10 @@ pub fn run(command: &ServeCommand) -> Result<String, ServeError> {
             "{}\n",
             Client::new(addr.clone()).shutdown()?.render()
         )),
+        ServeCommand::Gc { store, cap, verify } => {
+            let report = gc::sweep(store, *cap, *verify)?;
+            Ok(format!("{}\n", report.to_json().render()))
+        }
     }
 }
 
@@ -385,11 +498,28 @@ mod tests {
         assert_eq!(config.jobs, 3);
         assert_eq!(config.timeout, Some(Duration::from_secs(60)));
         assert_eq!(config.stream_cache_limit, Some(64 << 20));
+        let ServeCommand::Serve(config) = parse(&args(
+            "serve --max-queue 8 --max-inflight 16 --max-conns 4 --grace 3 --store-cap-mb 2",
+        ))
+        .expect("overload flags") else {
+            panic!()
+        };
+        assert_eq!(config.max_queue, 8);
+        assert_eq!(config.max_inflight, 16);
+        assert_eq!(config.max_connections, 4);
+        assert_eq!(config.grace, Duration::from_secs(3));
+        assert_eq!(config.store_cap, Some(2 << 20));
+        let ServeCommand::Serve(config) = parse(&args("serve --chaos-seed 7")).expect("chaos flag")
+        else {
+            panic!()
+        };
+        assert_eq!(config.chaos.expect("chaos plan").seed(), 7);
         let ServeCommand::Serve(config) = parse(&args("serve")).expect("defaults") else {
             panic!()
         };
         assert_eq!(config.listen, DEFAULT_ADDR);
         assert!(config.stream_cache_limit.is_none());
+        assert!(config.store_cap.is_none() && config.chaos.is_none());
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -402,7 +532,7 @@ mod tests {
     #[test]
     fn parses_submit() {
         let cmd = parse(&args(
-            "submit fig7 --preset test --scale tiny --threads 4 --apps fft,dedup --watch",
+            "submit fig7 --preset test --scale tiny --threads 4 --apps fft,dedup --deadline 90 --watch",
         ))
         .expect("parse");
         let ServeCommand::Submit { spec, watch, addr } = cmd else {
@@ -411,8 +541,27 @@ mod tests {
         assert_eq!(spec.experiment, ExperimentId::Fig7);
         assert_eq!(spec.preset, "test");
         assert_eq!(spec.threads, Some(4));
+        assert_eq!(spec.deadline_secs, Some(90));
         assert!(watch);
         assert_eq!(addr, DEFAULT_ADDR);
+    }
+
+    #[test]
+    fn parses_gc() {
+        let cmd = parse(&args("gc --store /tmp/s --store-cap-mb 64 --verify")).expect("parse");
+        let ServeCommand::Gc { store, cap, verify } = cmd else {
+            panic!("not gc")
+        };
+        assert_eq!(store, PathBuf::from("/tmp/s"));
+        assert_eq!(cap, Some(64 << 20));
+        assert!(verify);
+        let ServeCommand::Gc { store, cap, verify } =
+            parse(&args("gc --verify")).expect("defaults")
+        else {
+            panic!()
+        };
+        assert_eq!(store, PathBuf::from(DEFAULT_STORE));
+        assert!(cap.is_none() && verify);
     }
 
     #[test]
@@ -456,11 +605,17 @@ mod tests {
             "stats 1",
             "serve --jobs 0",
             "serve --bogus",
+            "serve --max-queue 0",
+            "serve --max-inflight nope",
+            "serve --chaos-seed pie",
+            "submit fig7 --deadline 0",
+            "gc",
+            "gc --bogus",
             "frobnicate",
         ] {
             assert!(parse(&args(bad)).is_err(), "{bad:?} should be rejected");
         }
-        assert!(is_serve_verb("serve") && is_serve_verb("watch"));
+        assert!(is_serve_verb("serve") && is_serve_verb("watch") && is_serve_verb("gc"));
         assert!(!is_serve_verb("fig7"));
     }
 }

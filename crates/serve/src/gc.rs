@@ -1,0 +1,397 @@
+//! Store garbage collection: bound the persistent store's disk
+//! footprint by evicting least-recently-used entries, quarantining (not
+//! deleting) anything that fails verification along the way.
+//!
+//! The store is content-addressed, so eviction is always *safe* — a
+//! re-submitted spec whose artifacts were evicted simply recomputes and
+//! re-stores them. GC therefore only trades recompute time for disk
+//! space, never correctness, which is what makes an automatic background
+//! sweep (`repro serve --store-cap-mb`) acceptable.
+//!
+//! Recency comes from file mtimes, which both stores touch on every
+//! successful load; eviction removes the oldest entries first until the
+//! combined `streams/` + `results/` footprint fits the cap, then fsyncs
+//! each affected directory so the new directory contents are durable.
+//! Corrupt entries found by `--verify` are moved into `quarantine/`
+//! (bytes preserved for post-mortems) and do not count against the cap.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::sync::LazyLock;
+use std::time::SystemTime;
+
+use llc_sharing::json::Value;
+use llc_telemetry::metrics::{global, Counter};
+use llc_trace::{quarantine_file, sync_dir, StreamStore};
+
+use crate::store::{ResultStore, RESULT_FILE_EXT};
+use crate::{io_err, ServeError};
+
+/// `llc_store_gc_*` counters, labelled by store.
+struct GcMetrics {
+    evicted_streams: Arc<Counter>,
+    evicted_results: Arc<Counter>,
+    evicted_bytes: Arc<Counter>,
+    quarantined_streams: Arc<Counter>,
+    quarantined_results: Arc<Counter>,
+}
+
+static METRICS: LazyLock<GcMetrics> = LazyLock::new(|| {
+    let evicted = |store| {
+        global().counter_with(
+            "llc_store_gc_evicted_total",
+            "Store entries evicted by LRU garbage collection",
+            &[("store", store)],
+        )
+    };
+    let quarantined = |store| {
+        global().counter_with(
+            "llc_store_quarantined_total",
+            "Corrupt store entries moved to quarantine/ instead of being deleted",
+            &[("store", store)],
+        )
+    };
+    GcMetrics {
+        evicted_streams: evicted("streams"),
+        evicted_results: evicted("results"),
+        evicted_bytes: global().counter(
+            "llc_store_gc_evicted_bytes_total",
+            "Bytes reclaimed by LRU store garbage collection",
+        ),
+        quarantined_streams: quarantined("streams"),
+        quarantined_results: quarantined("results"),
+    }
+});
+
+/// Forces registration of the GC metric series (all-zero until the
+/// first sweep) so scrapes see them from daemon start-up.
+pub(crate) fn register_metrics() {
+    LazyLock::force(&METRICS);
+}
+
+/// Which store an entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Streams,
+    Results,
+}
+
+#[derive(Debug)]
+struct Entry {
+    path: PathBuf,
+    kind: Kind,
+    bytes: u64,
+    mtime: SystemTime,
+}
+
+/// What one GC sweep did, reported by `repro gc` and logged by the
+/// daemon's background sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries examined across both stores.
+    pub scanned_files: u64,
+    /// Their combined size before the sweep.
+    pub scanned_bytes: u64,
+    /// Entries removed to fit the byte cap.
+    pub evicted_files: u64,
+    /// Bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
+    /// Corrupt entries moved to `quarantine/` by verification.
+    pub quarantined_files: u64,
+    /// Combined store size after the sweep.
+    pub remaining_bytes: u64,
+}
+
+impl GcReport {
+    /// The report's JSON wire form.
+    pub fn to_json(&self) -> Value {
+        let num = |n: u64| Value::Num(n as f64);
+        Value::object(vec![
+            ("scanned_files", num(self.scanned_files)),
+            ("scanned_bytes", num(self.scanned_bytes)),
+            ("evicted_files", num(self.evicted_files)),
+            ("evicted_bytes", num(self.evicted_bytes)),
+            ("quarantined_files", num(self.quarantined_files)),
+            ("remaining_bytes", num(self.remaining_bytes)),
+        ])
+    }
+}
+
+/// Collects the entries of one store subdirectory (non-recursive; the
+/// `quarantine/` subdirectory is skipped by the extension check).
+fn scan(dir: &Path, ext: &str, kind: Kind, out: &mut Vec<Entry>) -> Result<(), ServeError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(io_err(format!("scanning {}", dir.display()), e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(format!("scanning {}", dir.display()), e))?;
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != ext) {
+            continue;
+        }
+        let meta = entry
+            .metadata()
+            .map_err(|e| io_err(format!("inspecting {}", path.display()), e))?;
+        out.push(Entry {
+            path,
+            kind,
+            bytes: meta.len(),
+            mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+        });
+    }
+    Ok(())
+}
+
+/// The entry's fingerprint, recovered from its `%016x` file stem.
+fn stem_fingerprint(path: &Path) -> Option<u64> {
+    let stem = path.file_stem()?.to_str()?;
+    u64::from_str_radix(stem, 16).ok()
+}
+
+/// `true` when the entry decodes and validates under its fingerprint.
+fn verifies(entry: &Entry, streams: &StreamStore, results: &ResultStore) -> bool {
+    let Some(fp) = stem_fingerprint(&entry.path) else {
+        // A store file whose name is not a fingerprint cannot be
+        // validated (or ever loaded) — treat it as corrupt.
+        return false;
+    };
+    match entry.kind {
+        Kind::Streams => matches!(streams.load(fp), Ok(Some(_))),
+        Kind::Results => matches!(results.load(fp), Ok(Some(_))),
+    }
+}
+
+/// Sweeps the store rooted at `root` (the daemon's `--store` directory):
+/// optionally verifies every entry (corrupt ones are quarantined), then
+/// evicts least-recently-used entries until the combined footprint of
+/// `streams/` and `results/` fits under `cap_bytes`.
+///
+/// Safe to run against a live daemon's store: writes are atomic renames
+/// and a concurrently-evicted entry is re-recorded on next use.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; per-entry verification failures are
+/// handled (quarantined), not raised.
+pub fn sweep(root: &Path, cap_bytes: Option<u64>, verify: bool) -> Result<GcReport, ServeError> {
+    let streams_dir = root.join("streams");
+    let results_dir = root.join("results");
+    let mut entries = Vec::new();
+    scan(
+        &streams_dir,
+        llc_trace::store::STREAM_FILE_EXT,
+        Kind::Streams,
+        &mut entries,
+    )?;
+    scan(&results_dir, RESULT_FILE_EXT, Kind::Results, &mut entries)?;
+
+    let mut report = GcReport {
+        scanned_files: entries.len() as u64,
+        scanned_bytes: entries.iter().map(|e| e.bytes).sum(),
+        ..GcReport::default()
+    };
+
+    if verify {
+        let streams = StreamStore::open(&streams_dir)
+            .map_err(|e| io_err(format!("opening stream store {}", streams_dir.display()), e))?;
+        let results = ResultStore::open(&results_dir)?;
+        entries.retain(|entry| {
+            if verifies(entry, &streams, &results) {
+                return true;
+            }
+            // Quarantine failures are not fatal to the sweep: a vanished
+            // entry is simply no longer ours to manage.
+            if let Ok(Some(_)) = quarantine_file(&entry.path) {
+                report.quarantined_files += 1;
+                match entry.kind {
+                    Kind::Streams => METRICS.quarantined_streams.inc(),
+                    Kind::Results => METRICS.quarantined_results.inc(),
+                }
+            }
+            false
+        });
+    }
+
+    let mut remaining: u64 = entries.iter().map(|e| e.bytes).sum();
+    if let Some(cap) = cap_bytes {
+        entries.sort_by_key(|e| e.mtime);
+        let mut touched_streams = false;
+        let mut touched_results = false;
+        for entry in &entries {
+            if remaining <= cap {
+                break;
+            }
+            match fs::remove_file(&entry.path) {
+                Ok(()) => {}
+                // Concurrently re-recorded/removed: skip, it is in use.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_err(format!("evicting {}", entry.path.display()), e)),
+            }
+            remaining = remaining.saturating_sub(entry.bytes);
+            report.evicted_files += 1;
+            report.evicted_bytes += entry.bytes;
+            match entry.kind {
+                Kind::Streams => {
+                    METRICS.evicted_streams.inc();
+                    touched_streams = true;
+                }
+                Kind::Results => {
+                    METRICS.evicted_results.inc();
+                    touched_results = true;
+                }
+            }
+        }
+        METRICS.evicted_bytes.add(report.evicted_bytes);
+        // Make the deletions durable before reporting them reclaimed.
+        if touched_streams {
+            sync_dir(&streams_dir).map_err(|e| io_err("syncing streams/ after GC", e))?;
+        }
+        if touched_results {
+            sync_dir(&results_dir).map_err(|e| io_err("syncing results/ after GC", e))?;
+        }
+    }
+    report.remaining_bytes = remaining;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filetime_shim::set_mtime;
+    use llc_sharing::Table;
+
+    /// Sets a file's mtime without external crates: `File::set_modified`.
+    mod filetime_shim {
+        use std::fs;
+        use std::path::Path;
+        use std::time::{Duration, SystemTime};
+
+        pub fn set_mtime(path: &Path, age: Duration) {
+            let f = fs::File::options()
+                .write(true)
+                .open(path)
+                .expect("open for utimes");
+            f.set_modified(SystemTime::now() - age).expect("set mtime");
+        }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("llcs-gc-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_tables() -> Vec<Table> {
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        vec![t]
+    }
+
+    fn seed_results(root: &Path, fingerprints: &[u64]) -> ResultStore {
+        let store = ResultStore::open(root.join("results")).expect("open results");
+        for &fp in fingerprints {
+            store.save(fp, "fig7", &sample_tables()).expect("save");
+        }
+        store
+    }
+
+    #[test]
+    fn evicts_oldest_first_until_under_cap() {
+        let root = temp_root("lru");
+        let store = seed_results(&root, &[1, 2, 3]);
+        let per_file = fs::metadata(store.path_for(1)).expect("meta").len();
+        // Ages: 1 oldest, 3 newest.
+        for (fp, days) in [(1u64, 3u64), (2, 2), (3, 1)] {
+            set_mtime(
+                &store.path_for(fp),
+                std::time::Duration::from_secs(days * 86_400),
+            );
+        }
+        let report = sweep(&root, Some(per_file * 2), false).expect("sweep");
+        assert_eq!(report.scanned_files, 3);
+        assert_eq!(report.evicted_files, 1);
+        assert_eq!(report.evicted_bytes, per_file);
+        assert_eq!(report.remaining_bytes, per_file * 2);
+        assert!(!store.contains(1), "the oldest entry goes first");
+        assert!(store.contains(2) && store.contains(3));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cap_of_zero_empties_the_store_and_missing_store_is_empty() {
+        let root = temp_root("zero");
+        let store = seed_results(&root, &[7, 8]);
+        let report = sweep(&root, Some(0), false).expect("sweep");
+        assert_eq!(report.evicted_files, 2);
+        assert_eq!(report.remaining_bytes, 0);
+        assert!(!store.contains(7) && !store.contains(8));
+        // Sweeping a store that never existed is a no-op, not an error.
+        let empty = sweep(&temp_root("nonexistent"), Some(0), true).expect("sweep");
+        assert_eq!(empty, GcReport::default());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn verify_quarantines_corrupt_entries_without_counting_them_evicted() {
+        let root = temp_root("verify");
+        let store = seed_results(&root, &[10, 11]);
+        fs::write(store.path_for(10), "{ not json").expect("corrupt");
+        let report = sweep(&root, None, true).expect("sweep");
+        assert_eq!(report.quarantined_files, 1);
+        assert_eq!(report.evicted_files, 0, "no cap, no eviction");
+        assert!(!store.contains(10));
+        let q = root
+            .join("results")
+            .join(llc_trace::QUARANTINE_DIR)
+            .join(format!("{:016x}.json", 10));
+        assert_eq!(fs::read_to_string(q).expect("evidence"), "{ not json");
+        assert!(store.load(11).expect("load").is_some(), "good entry stays");
+        // The quarantined entry no longer counts toward the footprint.
+        assert_eq!(
+            report.remaining_bytes,
+            fs::metadata(store.path_for(11)).expect("meta").len()
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sweep_covers_streams_too() {
+        let root = temp_root("streams");
+        let streams = StreamStore::open(root.join("streams")).expect("open streams");
+        // A syntactically-invalid stream entry under a valid name.
+        llc_trace::atomic_write(&streams.path_for(0x5), b"definitely not a stream").expect("write");
+        // A stray file whose name is not a fingerprint.
+        llc_trace::atomic_write(&root.join("streams").join("stray.llcs"), b"junk")
+            .expect("write stray");
+        let report = sweep(&root, None, true).expect("sweep");
+        assert_eq!(report.quarantined_files, 2);
+        assert!(!streams.contains(0x5));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn report_renders_as_json() {
+        let report = GcReport {
+            scanned_files: 4,
+            scanned_bytes: 400,
+            evicted_files: 1,
+            evicted_bytes: 100,
+            quarantined_files: 1,
+            remaining_bytes: 200,
+        };
+        let v = report.to_json();
+        assert_eq!(
+            v.field("evicted_files").and_then(Value::as_u64),
+            Some(1),
+            "{}",
+            v.render()
+        );
+        assert_eq!(
+            v.field("remaining_bytes").and_then(Value::as_u64),
+            Some(200)
+        );
+    }
+}

@@ -131,6 +131,12 @@ pub struct JobCounters {
     pub simulated: u64,
     /// Stored results that failed to decode and were recomputed.
     pub result_errors: u64,
+    /// Submissions refused by admission control (429/503 answers).
+    pub rejected: u64,
+    /// Jobs failed because their deadline lapsed (queued or running).
+    pub expired: u64,
+    /// Corrupt result-store entries moved to `quarantine/`.
+    pub quarantined: u64,
 }
 
 /// The daemon's shared job table.
@@ -139,6 +145,10 @@ pub struct JobTable {
     jobs: Mutex<HashMap<u64, JobRecord>>,
     next: AtomicU64,
     counters: Mutex<JobCounters>,
+    /// Jobs admitted but not yet terminal (queued + running). This is
+    /// the quantity admission control caps — the table itself keeps
+    /// terminal records around for status queries.
+    inflight: AtomicU64,
 }
 
 fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -164,6 +174,7 @@ impl JobTable {
         };
         lock_recovering(&self.jobs).insert(id.0, record.clone());
         lock_recovering(&self.counters).submitted += 1;
+        self.inflight.fetch_add(1, Ordering::Relaxed);
         METRICS.submitted.inc();
         record
     }
@@ -180,6 +191,9 @@ impl JobTable {
         let mut jobs = lock_recovering(&self.jobs);
         let record = jobs.get_mut(&id.0)?;
         if !record.state.is_terminal() {
+            if state.is_terminal() {
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
+            }
             match &state {
                 JobState::Done { .. } => {
                     lock_recovering(&self.counters).completed += 1;
@@ -217,6 +231,35 @@ impl JobTable {
     /// Bumps one counter through `f`.
     pub fn count(&self, f: impl FnOnce(&mut JobCounters)) {
         f(&mut lock_recovering(&self.counters));
+    }
+
+    /// Jobs admitted and not yet terminal (queued + running) — the
+    /// quantity `--max-inflight` caps.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of every job still in [`JobState::Queued`] — the
+    /// shutdown path checkpoints these specs to the store so queued work
+    /// survives a drain.
+    pub fn queued_specs(&self) -> Vec<(JobId, JobSpec)> {
+        let jobs = lock_recovering(&self.jobs);
+        let mut queued: Vec<(JobId, JobSpec)> = jobs
+            .values()
+            .filter(|r| r.state == JobState::Queued)
+            .map(|r| (r.id, r.spec.clone()))
+            .collect();
+        queued.sort_by_key(|(id, _)| id.0);
+        queued
+    }
+
+    /// Ids of every job currently [`JobState::Running`].
+    pub fn running_ids(&self) -> Vec<JobId> {
+        lock_recovering(&self.jobs)
+            .values()
+            .filter(|r| r.state == JobState::Running)
+            .map(|r| r.id)
+            .collect()
     }
 
     /// Number of jobs ever submitted.
@@ -360,6 +403,40 @@ mod tests {
         );
         let c = table.counters();
         assert_eq!((c.cancelled, c.completed), (1, 0));
+    }
+
+    #[test]
+    fn inflight_tracks_admitted_minus_terminal() {
+        let table = JobTable::new();
+        let a = table.submit(spec(), 1);
+        let b = table.submit(spec(), 2);
+        assert_eq!(table.inflight(), 2);
+        table.transition(a.id, JobState::Running);
+        assert_eq!(table.inflight(), 2, "running jobs are still in flight");
+        table.transition(a.id, JobState::Done { from_store: false });
+        assert_eq!(table.inflight(), 1);
+        // A late transition on an already-terminal job must not
+        // double-decrement.
+        table.transition(a.id, JobState::Cancelled);
+        assert_eq!(table.inflight(), 1);
+        table.cancel(b.id);
+        assert_eq!(table.inflight(), 0);
+    }
+
+    #[test]
+    fn queued_specs_snapshots_only_queued_jobs() {
+        let table = JobTable::new();
+        let a = table.submit(spec(), 1);
+        let b = table.submit(spec(), 2);
+        let c = table.submit(spec(), 3);
+        table.transition(b.id, JobState::Running);
+        table.cancel(c.id);
+        let queued = table.queued_specs();
+        assert_eq!(
+            queued.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![a.id]
+        );
+        assert_eq!(table.running_ids(), vec![b.id]);
     }
 
     #[test]

@@ -40,15 +40,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod cli;
 pub mod client;
+pub mod gc;
 pub mod http;
 pub mod jobs;
 pub mod server;
 pub mod spec;
 pub mod store;
 
-pub use client::Client;
+pub use chaos::{ChaosPlan, ChaosPoint};
+pub use client::{Client, RetryPolicy};
+pub use gc::GcReport;
 pub use jobs::{JobId, JobState};
 pub use server::{Server, ServerConfig, ServerControl};
 pub use spec::JobSpec;
@@ -71,6 +75,12 @@ pub enum ServeError {
     },
     /// The peer spoke malformed HTTP or JSON.
     Protocol(String),
+    /// A read or wait lapsed its wall-clock deadline (slow peer,
+    /// saturated server). Retryable, unlike [`ServeError::Protocol`].
+    Timeout {
+        /// What was being waited for.
+        context: String,
+    },
     /// The server answered a client request with an error status.
     Api {
         /// The HTTP status code.
@@ -87,6 +97,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Io { context, source } => write!(f, "I/O error ({context}): {source}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Timeout { context } => write!(f, "timed out while {context}"),
             ServeError::Api { status, message } => {
                 write!(f, "server rejected the request (HTTP {status}): {message}")
             }

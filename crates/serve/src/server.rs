@@ -1,29 +1,66 @@
-//! The daemon: a `TcpListener` accept loop plus a bounded worker pool
-//! (the same [`llc_sharing::scoped_workers`] primitive the suite runner
-//! schedules on), all over one shared [`ServerState`].
+//! The daemon: a `TcpListener` accept loop, per-connection handler
+//! threads behind a connection cap, and a bounded worker pool (the same
+//! [`llc_sharing::scoped_workers`] primitive the suite runner schedules
+//! on), all over one shared [`ServerState`].
 //!
-//! Worker 0 owns the socket; workers `1..=jobs` drain the job queue.
-//! Every expensive artifact is memoized through the persistent stores,
-//! so a re-submitted spec — even after a daemon restart — completes as a
+//! Worker 0 owns the socket and, once shutdown is requested, supervises
+//! the drain; workers `1..=jobs` pop the bounded job queue. Every
+//! expensive artifact is memoized through the persistent stores, so a
+//! re-submitted spec — even after a daemon restart — completes as a
 //! store hit without touching the simulator.
+//!
+//! ## Overload and failure model
+//!
+//! The daemon is designed to degrade, not fall over:
+//!
+//! * **Admission control** — the job queue is bounded (`--max-queue`)
+//!   and admitted-but-unfinished jobs are capped (`--max-inflight`).
+//!   Over-limit submissions get HTTP 429 with a `Retry-After` hint
+//!   derived from the observed queue-wait distribution. Duplicate
+//!   submissions are checked against the store *before* admission, so
+//!   they stay free even under overload.
+//! * **Slow peers** — connections are capped, each one is served on its
+//!   own thread, and a whole-request read deadline turns a slow-loris
+//!   upload into HTTP 408 instead of a pinned handler.
+//! * **Deadlines** — a spec may carry `deadline_secs`; queue wait counts
+//!   against it and the run watchdog is clamped to the remainder.
+//! * **Graceful drain** — SIGTERM/SIGINT, `POST /shutdown` or
+//!   [`ServerControl::shutdown`] stop admissions, checkpoint queued
+//!   specs to `<store>/queued-jobs.json` (restored on next start), give
+//!   running jobs a bounded grace period, then cancel stragglers.
+//! * **Store hygiene** — corrupt store entries are quarantined, and an
+//!   optional byte cap (`--store-cap-mb`) triggers background LRU GC
+//!   sweeps (see [`crate::gc`]).
+//! * **Chaos** — a [`ChaosPlan`] injects deterministic faults at the
+//!   admission/worker/store seams for the chaos harness; production
+//!   runs carry none.
 
+use std::collections::VecDeque;
+use std::fs;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, LazyLock, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, LazyLock, Mutex};
+use std::thread;
 use std::time::{Duration, Instant};
 
-use llc_sharing::json::Value;
-use llc_sharing::{run_experiment, scoped_workers, StreamCache};
-use llc_telemetry::metrics::{global, Histogram, TIME_BOUNDS};
+use llc_sharing::json::{self, Value};
+use llc_sharing::{run_experiment, scoped_workers, StreamCache, Table};
+use llc_telemetry::metrics::{global, Counter, Gauge, Histogram, TIME_BOUNDS};
 use llc_telemetry::spans;
-use llc_trace::StreamStore;
+use llc_trace::{atomic_write, StreamStore};
 
-use crate::http::{read_request, write_response, Request, Response};
+use crate::chaos::{ChaosPlan, ChaosPoint};
+use crate::gc;
+use crate::http::{read_request_deadline, write_response, Request, Response};
 use crate::jobs::{run_cancellable, GuardedOutcome, JobId, JobRecord, JobState, JobTable};
 use crate::spec::JobSpec;
 use crate::store::ResultStore;
 use crate::{io_err, ServeError};
+
+/// File name (under the store root) of the queued-jobs checkpoint
+/// written by a graceful drain and consumed on the next start.
+pub const CHECKPOINT_FILE: &str = "queued-jobs.json";
 
 /// Request/job latency histograms, resolved once per process. The
 /// per-verb request counters are registered on first use in
@@ -32,6 +69,8 @@ use crate::{io_err, ServeError};
 struct ServerMetrics {
     queue_wait: Arc<Histogram>,
     job_run: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    deadline_expired: Arc<Counter>,
 }
 
 static METRICS: LazyLock<ServerMetrics> = LazyLock::new(|| ServerMetrics {
@@ -45,7 +84,47 @@ static METRICS: LazyLock<ServerMetrics> = LazyLock::new(|| ServerMetrics {
         "Wall time of job execution (store re-check through terminal state)",
         &TIME_BOUNDS,
     ),
+    queue_depth: global().gauge(
+        "llc_job_queue_depth",
+        "Jobs currently waiting in the bounded queue",
+    ),
+    deadline_expired: global().counter(
+        "llc_deadline_expired_total",
+        "Jobs failed because their client-supplied deadline lapsed",
+    ),
 });
+
+/// The `llc_admission_rejected_total{reason=...}` counter for one
+/// rejection reason.
+fn admission_rejected(reason: &'static str) -> Arc<Counter> {
+    global().counter_with(
+        "llc_admission_rejected_total",
+        "Submissions and connections refused by admission control",
+        &[("reason", reason)],
+    )
+}
+
+/// `llc_store_quarantined_total{store="results"}` (the `streams` series
+/// lives with the stream cache in `llc-sharing`).
+fn quarantined_results() -> Arc<Counter> {
+    global().counter_with(
+        "llc_store_quarantined_total",
+        "Corrupt store entries moved to quarantine/ instead of being deleted",
+        &[("store", "results")],
+    )
+}
+
+/// Registers every metric series the daemon can ever emit, so scrapes
+/// (and the CI smoke test) see the full set from the first response,
+/// not only after the corresponding event fired.
+fn register_eager_metrics() {
+    LazyLock::force(&METRICS);
+    for reason in ["queue_full", "inflight", "shutdown", "connections"] {
+        admission_rejected(reason);
+    }
+    quarantined_results();
+    gc::register_metrics();
+}
 
 /// The route pattern a request path falls under — the bounded label set
 /// for the HTTP metrics (`{id}` instead of each job id).
@@ -100,17 +179,33 @@ pub struct ServerConfig {
     pub store_dir: PathBuf,
     /// Concurrent job workers.
     pub jobs: usize,
-    /// Per-job wall-clock budget (`None` disables the watchdog).
+    /// Per-job wall-clock budget (`None` disables the watchdog). Also
+    /// the upper bound applied to client-supplied `deadline_secs`.
     pub timeout: Option<Duration>,
     /// In-memory stream-cache byte cap; `None` applies
     /// [`StreamCache::default_limit`] for the worker count.
     pub stream_cache_limit: Option<u64>,
+    /// Bounded job-queue depth; submissions past it get HTTP 429.
+    pub max_queue: usize,
+    /// Cap on admitted-but-unfinished jobs (queued + running).
+    pub max_inflight: usize,
+    /// Cap on concurrently-served connections; excess gets HTTP 503.
+    pub max_connections: usize,
+    /// How long a graceful drain waits for running jobs before
+    /// cancelling them.
+    pub grace: Duration,
+    /// Combined `streams/` + `results/` byte budget; `Some` enables
+    /// periodic background LRU GC sweeps.
+    pub store_cap: Option<u64>,
+    /// Deterministic fault injection for the chaos harness; production
+    /// daemons run with `None`.
+    pub chaos: Option<Arc<ChaosPlan>>,
 }
 
 impl ServerConfig {
     /// A config with one job worker per available hardware thread
-    /// (override with `--jobs <n>`), a 30-minute job watchdog and the
-    /// default stream-cache cap.
+    /// (override with `--jobs <n>`), a 30-minute job watchdog, the
+    /// default stream-cache cap and moderate overload limits.
     pub fn new(listen: impl Into<String>, store_dir: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             listen: listen.into(),
@@ -118,7 +213,116 @@ impl ServerConfig {
             jobs: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             timeout: Some(Duration::from_secs(1800)),
             stream_cache_limit: None,
+            max_queue: 256,
+            max_inflight: 1024,
+            max_connections: 64,
+            grace: Duration::from_secs(10),
+            store_cap: None,
+            chaos: None,
         }
+    }
+}
+
+/// What happened to a [`JobQueue::push_with`].
+#[derive(Debug, PartialEq, Eq)]
+enum PushError {
+    /// The queue is at `--max-queue`; the submission was not admitted.
+    Full,
+    /// The daemon is draining; no further admissions.
+    Closed,
+}
+
+/// One [`JobQueue::pop`] outcome.
+enum Pop {
+    Job(JobId),
+    Empty,
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    deque: VecDeque<JobId>,
+    closed: bool,
+}
+
+/// The bounded job queue: capacity enforced under the same lock that
+/// registers the job, so admission never over-commits; a condvar wakes
+/// workers on push and on close.
+#[derive(Debug)]
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+fn lock_queue(q: &JobQueue) -> std::sync::MutexGuard<'_, QueueInner> {
+    q.inner.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admits one job if there is room: `make` runs (registering the job
+    /// in the table) only after capacity is confirmed, under the queue
+    /// lock, so a rejected submission leaves no job record behind.
+    fn push_with(&self, make: impl FnOnce() -> JobRecord) -> Result<JobRecord, PushError> {
+        let mut inner = lock_queue(self);
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.deque.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        let record = make();
+        inner.deque.push_back(record.id);
+        METRICS.queue_depth.set(inner.deque.len() as i64);
+        self.ready.notify_one();
+        Ok(record)
+    }
+
+    /// Pops the next job, waiting up to `wait` for one to arrive.
+    fn pop(&self, wait: Duration) -> Pop {
+        let mut inner = lock_queue(self);
+        if let Some(id) = inner.deque.pop_front() {
+            METRICS.queue_depth.set(inner.deque.len() as i64);
+            return Pop::Job(id);
+        }
+        if inner.closed {
+            return Pop::Closed;
+        }
+        let (mut inner, _) = self
+            .ready
+            .wait_timeout(inner, wait)
+            .unwrap_or_else(|p| p.into_inner());
+        match inner.deque.pop_front() {
+            Some(id) => {
+                METRICS.queue_depth.set(inner.deque.len() as i64);
+                Pop::Job(id)
+            }
+            None if inner.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
+    }
+
+    /// Closes the queue to further admissions and takes everything still
+    /// waiting (the drain path checkpoints these).
+    fn drain_and_close(&self) -> Vec<JobId> {
+        let mut inner = lock_queue(self);
+        inner.closed = true;
+        let ids: Vec<JobId> = inner.deque.drain(..).collect();
+        METRICS.queue_depth.set(0);
+        self.ready.notify_all();
+        ids
+    }
+
+    fn len(&self) -> usize {
+        lock_queue(self).deque.len()
     }
 }
 
@@ -129,13 +333,67 @@ struct ServerState {
     results: ResultStore,
     streams: StreamCache,
     stream_store: StreamStore,
+    store_dir: PathBuf,
     timeout: Option<Duration>,
     /// The `--jobs` worker grant, reported as `budget.granted` in
     /// `GET /store/stats`.
     workers: usize,
-    queue_tx: Mutex<mpsc::Sender<JobId>>,
-    queue_rx: Mutex<mpsc::Receiver<JobId>>,
+    queue: JobQueue,
+    max_inflight: usize,
+    max_connections: usize,
+    conns: AtomicUsize,
+    grace: Duration,
+    store_cap: Option<u64>,
+    gc_running: AtomicBool,
+    chaos: Option<Arc<ChaosPlan>>,
     shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn chaos_fires(&self, point: ChaosPoint) -> bool {
+        self.chaos.as_ref().is_some_and(|plan| plan.fire(point))
+    }
+}
+
+/// Raises a process-wide flag on SIGTERM/SIGINT so the accept loop can
+/// start a graceful drain. Registered through `signal(2)` directly (the
+/// handler only stores to an atomic, which is async-signal-safe); on
+/// non-unix targets the flag simply never fires.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
 }
 
 /// A handle for stopping a running [`Server`] from another thread.
@@ -153,7 +411,7 @@ impl ServerControl {
         self.addr
     }
 
-    /// Asks the daemon to stop; `Server::run` returns shortly after.
+    /// Asks the daemon to stop; `Server::run` drains and returns.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
     }
@@ -195,16 +453,23 @@ impl Server {
             .stream_cache_limit
             .unwrap_or_else(|| StreamCache::default_limit(workers));
         let streams = StreamCache::with_store(stream_store.clone(), Some(limit));
-        let (tx, rx) = mpsc::channel();
+        register_eager_metrics();
         let state = Arc::new(ServerState {
             jobs: JobTable::new(),
             results,
             streams,
             stream_store,
+            store_dir: config.store_dir.clone(),
             timeout: config.timeout,
             workers,
-            queue_tx: Mutex::new(tx),
-            queue_rx: Mutex::new(rx),
+            queue: JobQueue::new(config.max_queue),
+            max_inflight: config.max_inflight.max(1),
+            max_connections: config.max_connections.max(1),
+            conns: AtomicUsize::new(0),
+            grace: config.grace,
+            store_cap: config.store_cap,
+            gc_running: AtomicBool::new(false),
+            chaos: config.chaos.clone(),
             shutdown: AtomicBool::new(false),
         });
         Ok(Server {
@@ -230,9 +495,11 @@ impl Server {
         }
     }
 
-    /// Runs the daemon until [`ServerControl::shutdown`] or
-    /// `POST /shutdown`: worker 0 accepts connections, the rest execute
-    /// jobs. Returns once every worker has drained.
+    /// Runs the daemon until [`ServerControl::shutdown`], SIGTERM/SIGINT
+    /// or `POST /shutdown`: worker 0 accepts connections (and then
+    /// supervises the drain), the rest execute jobs. Queued specs
+    /// checkpointed by a previous drain are restored first. Returns once
+    /// every worker has drained.
     ///
     /// # Errors
     ///
@@ -243,9 +510,11 @@ impl Server {
         self.listener
             .set_nonblocking(true)
             .map_err(|e| io_err("setting the listener non-blocking", e))?;
+        sig::install();
         let state = &self.state;
         let listener = &self.listener;
         let control_flag = &self.control_flag;
+        restore_checkpoint(state);
         // Every idle job worker is a donated spare worker: a lone
         // submitted job borrows them for set-sharded replay and
         // saturates the machine; each job reclaims one permit while it
@@ -254,6 +523,7 @@ impl Server {
         scoped_workers(self.workers + 1, |w| {
             if w == 0 {
                 accept_loop(listener, state, control_flag);
+                drain(state);
             } else {
                 worker_loop(state);
             }
@@ -262,32 +532,125 @@ impl Server {
     }
 }
 
-/// Accepts and answers connections until shutdown, then raises the
-/// state's flag so job workers drain too.
-fn accept_loop(listener: &TcpListener, state: &ServerState, control_flag: &AtomicBool) {
+/// Accepts connections and dispatches each to its own handler thread
+/// until shutdown is requested, then raises the state's flag so the
+/// drain can begin. Also ticks the background GC sweep.
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, control_flag: &AtomicBool) {
+    // First sweep promptly after start-up (a restart may inherit an
+    // over-budget store), then at a steady cadence.
+    let mut next_gc = Instant::now();
     loop {
-        if control_flag.load(Ordering::Relaxed) || state.shutdown.load(Ordering::Relaxed) {
+        if control_flag.load(Ordering::Relaxed)
+            || state.shutdown.load(Ordering::Relaxed)
+            || sig::requested()
+        {
             break;
         }
+        maybe_sweep(state, &mut next_gc);
         match listener.accept() {
-            Ok((stream, _peer)) => handle_connection(stream, state),
+            Ok((stream, _peer)) => dispatch_connection(stream, state),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+                thread::sleep(Duration::from_millis(10));
             }
             // Transient accept errors (aborted handshakes etc.) are not
             // fatal for a daemon; back off briefly and keep serving.
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => thread::sleep(Duration::from_millis(10)),
         }
     }
     state.shutdown.store(true, Ordering::Relaxed);
 }
 
-/// Reads one request, routes it, writes one response.
-fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+/// Kicks off a background GC sweep when a store cap is configured, the
+/// cadence timer says so, and no sweep is already running.
+fn maybe_sweep(state: &Arc<ServerState>, next_gc: &mut Instant) {
+    let Some(cap) = state.store_cap else { return };
+    if Instant::now() < *next_gc {
+        return;
+    }
+    *next_gc = Instant::now() + Duration::from_secs(5);
+    if state.gc_running.swap(true, Ordering::SeqCst) {
+        return; // previous sweep still in flight
+    }
+    let sweeper = Arc::clone(state);
+    let spawned = thread::Builder::new()
+        .name("llc-serve-gc".into())
+        .spawn(move || {
+            // Sweep failures are logged-by-metric (the counters simply
+            // do not move) and retried at the next tick.
+            let _ = gc::sweep(&sweeper.store_dir, Some(cap), false);
+            sweeper.gc_running.store(false, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        state.gc_running.store(false, Ordering::SeqCst);
+    }
+}
+
+/// An RAII connection slot; dropping it frees the slot.
+struct ConnPermit {
+    state: Arc<ServerState>,
+}
+
+impl ConnPermit {
+    fn try_acquire(state: &Arc<ServerState>) -> Option<ConnPermit> {
+        let mut current = state.conns.load(Ordering::Relaxed);
+        loop {
+            if current >= state.max_connections {
+                return None;
+            }
+            match state.conns.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(ConnPermit {
+                        state: Arc::clone(state),
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.state.conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Hands an accepted connection to its own handler thread, or answers
+/// 503 inline when the connection cap is reached (cheap by design: no
+/// request parsing for rejected connections).
+fn dispatch_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let Some(permit) = ConnPermit::try_acquire(state) else {
+        state.jobs.count(|c| c.rejected += 1);
+        admission_rejected("connections").inc();
+        let _ = write_response(
+            &mut stream,
+            &Response::error(503, "connection limit reached").retry_after(1),
+        );
+        return;
+    };
+    let state = Arc::clone(state);
+    let spawned = thread::Builder::new()
+        .name("llc-serve-conn".into())
+        .spawn(move || {
+            let _permit = permit;
+            handle_connection(stream, &state);
+        });
+    // Thread exhaustion: dropping the closure closes the socket, which
+    // the client's retry layer treats like any transient I/O failure.
+    drop(spawned);
+}
+
+/// Reads one request (under the slow-loris deadline), routes it, writes
+/// one response.
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     let started = Instant::now();
-    let response = match read_request(&mut stream) {
+    let response = match read_request_deadline(&mut stream, crate::http::DEFAULT_READ_DEADLINE) {
         Ok(request) => {
             let path = request.path.trim_end_matches('/');
             let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
@@ -296,6 +659,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
             response
         }
         Err(ServeError::Protocol(msg)) => Response::error(400, &msg),
+        Err(ServeError::Timeout { context }) => Response::error(408, &format!("gave up {context}")),
         Err(_) => return, // peer vanished mid-request; nothing to answer
     };
     let _ = write_response(&mut stream, &response);
@@ -345,9 +709,74 @@ fn with_job(state: &ServerState, id: &str, f: impl FnOnce(JobRecord) -> Response
     }
 }
 
-/// `POST /jobs`: validate, register, and either answer from the
-/// persistent result store (no simulation, HTTP 200) or enqueue for a
-/// worker (HTTP 202).
+/// Loads a stored result, with the chaos `StoreRead` seam in front and
+/// quarantine-on-corruption behind: a document that fails to decode is
+/// moved to `quarantine/` (bytes preserved) so the next lookup is a
+/// clean miss instead of a repeated decode failure.
+fn load_result(state: &ServerState, fp: u64) -> Result<Option<Vec<Table>>, ServeError> {
+    if state.chaos_fires(ChaosPoint::StoreRead) {
+        state.jobs.count(|c| c.result_errors += 1);
+        return Err(ServeError::Protocol(
+            "chaos: injected store-read fault".into(),
+        ));
+    }
+    match state.results.load(fp) {
+        Ok(found) => Ok(found),
+        Err(e) => {
+            state.jobs.count(|c| c.result_errors += 1);
+            if let Ok(Some(_)) = state.results.quarantine(fp) {
+                state.jobs.count(|c| c.quarantined += 1);
+                quarantined_results().inc();
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Persists a computed result, with the chaos `StoreWrite` seam in
+/// front.
+fn save_result(
+    state: &ServerState,
+    fp: u64,
+    experiment: &str,
+    tables: &[Table],
+) -> Result<(), ServeError> {
+    if state.chaos_fires(ChaosPoint::StoreWrite) {
+        return Err(ServeError::Protocol(
+            "chaos: injected store-write fault".into(),
+        ));
+    }
+    state.results.save(fp, experiment, tables)
+}
+
+/// The `Retry-After` hint for a rejected submission: the median observed
+/// queue wait, scaled by how much queue is ahead of the client per
+/// worker. Clamped to a sane range — the hint is advice, not a promise.
+fn retry_after_hint(state: &ServerState) -> u64 {
+    let queued = state.queue.len() as f64;
+    let per_job = METRICS.queue_wait.quantile(0.5).unwrap_or(1.0).max(0.25);
+    let estimate = per_job * queued.max(1.0) / state.workers.max(1) as f64;
+    (estimate.ceil() as u64).clamp(1, 60)
+}
+
+/// Counts and answers one rejected submission.
+fn reject(state: &ServerState, status: u16, reason: &'static str, message: &str) -> Response {
+    state.jobs.count(|c| c.rejected += 1);
+    admission_rejected(reason).inc();
+    let secs = match reason {
+        "shutdown" => 5,
+        _ => retry_after_hint(state),
+    };
+    Response::error(status, message).retry_after(secs)
+}
+
+/// `POST /jobs`: validate, check the store, then run admission control
+/// and either enqueue (HTTP 202) or refuse with a typed, retryable
+/// answer (HTTP 429/503 + `Retry-After`).
+///
+/// The store check deliberately runs *before* admission: a duplicate of
+/// finished work is answered from disk (HTTP 200) for free, so overload
+/// never makes already-computed answers unavailable.
 fn submit_job(state: &ServerState, body: &str) -> Response {
     let spec = match JobSpec::from_json_text(body) {
         Ok(spec) => spec,
@@ -355,42 +784,48 @@ fn submit_job(state: &ServerState, body: &str) -> Response {
         Err(e) => return Response::error(500, &e.to_string()),
     };
     let fingerprint = spec.fingerprint();
-    let job = state.jobs.submit(spec, fingerprint);
-    // Serve straight from the store when the result is already on disk —
-    // the content-address makes re-submission free, across restarts.
-    match state.results.load(fingerprint) {
-        Ok(Some(_tables)) => {
-            state.jobs.count(|c| c.result_hits += 1);
-            let now = state
-                .jobs
-                .transition(job.id, JobState::Done { from_store: true })
-                // infallible: the job was inserted above.
-                .expect("job exists");
-            let mut job = job;
-            job.state = now;
-            return Response::json(200, job_json(&job));
-        }
-        Ok(None) => {}
-        Err(_) => {
-            // A corrupt stored result is recomputed, like a corrupt
-            // stream recording.
-            state.jobs.count(|c| c.result_errors += 1);
-        }
+    if let Ok(Some(_tables)) = load_result(state, fingerprint) {
+        let job = state.jobs.submit(spec, fingerprint);
+        state.jobs.count(|c| c.result_hits += 1);
+        let now = state
+            .jobs
+            .transition(job.id, JobState::Done { from_store: true })
+            // infallible: the job was inserted above.
+            .expect("job exists");
+        let mut job = job;
+        job.state = now;
+        return Response::json(200, job_json(&job));
     }
-    // infallible: the receiver lives in the same state object.
-    state
-        .queue_tx
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-        .send(job.id)
-        .expect("queue receiver outlives the listener");
-    Response::json(202, job_json(&job))
+    if state.shutdown.load(Ordering::Relaxed) {
+        return reject(state, 503, "shutdown", "daemon is draining");
+    }
+    if state.chaos_fires(ChaosPoint::QueueFull) {
+        // Indistinguishable from a real queue-full answer on purpose:
+        // the client contract under test is "handle 429 correctly".
+        return reject(state, 429, "queue_full", "job queue is full");
+    }
+    if state.jobs.inflight() >= state.max_inflight as u64 {
+        return reject(
+            state,
+            429,
+            "inflight",
+            &format!("{} jobs already in flight", state.max_inflight),
+        );
+    }
+    match state
+        .queue
+        .push_with(|| state.jobs.submit(spec, fingerprint))
+    {
+        Ok(job) => Response::json(202, job_json(&job)),
+        Err(PushError::Full) => reject(state, 429, "queue_full", "job queue is full"),
+        Err(PushError::Closed) => reject(state, 503, "shutdown", "daemon is draining"),
+    }
 }
 
 /// `GET /jobs/{id}/result`.
 fn job_result(state: &ServerState, job: &JobRecord) -> Response {
     match &job.state {
-        JobState::Done { from_store } => match state.results.load(job.fingerprint) {
+        JobState::Done { from_store } => match load_result(state, job.fingerprint) {
             Ok(Some(tables)) => {
                 let doc = Value::object(vec![
                     ("id", Value::Num(job.id.0 as f64)),
@@ -425,7 +860,7 @@ fn job_result(state: &ServerState, job: &JobRecord) -> Response {
 }
 
 /// `GET /store/stats`: stream-cache counters, disk usage of both stores,
-/// and the job counters.
+/// the job counters and the admission/queue state.
 fn store_stats(state: &ServerState) -> Response {
     let s = state.streams.stats();
     let (stream_files, stream_bytes) = state.stream_store.disk_stats().unwrap_or((0, 0));
@@ -441,6 +876,7 @@ fn store_stats(state: &ServerState) -> Response {
                 ("misses", num(s.misses)),
                 ("evictions", num(s.evictions)),
                 ("disk_errors", num(s.disk_errors)),
+                ("quarantined", num(s.quarantined)),
                 ("memory_bytes", num(s.bytes)),
                 ("memory_limit", s.limit.map_or(Value::Null, num)),
                 ("disk_files", num(stream_files)),
@@ -452,6 +888,7 @@ fn store_stats(state: &ServerState) -> Response {
             Value::object(vec![
                 ("hits", num(c.result_hits)),
                 ("errors", num(c.result_errors)),
+                ("quarantined", num(c.quarantined)),
                 ("disk_files", num(result_files)),
                 ("disk_bytes", num(result_bytes)),
             ]),
@@ -464,6 +901,22 @@ fn store_stats(state: &ServerState) -> Response {
                 ("failed", num(c.failed)),
                 ("cancelled", num(c.cancelled)),
                 ("simulated", num(c.simulated)),
+                ("expired", num(c.expired)),
+            ]),
+        ),
+        (
+            "admission",
+            Value::object(vec![
+                ("rejected", num(c.rejected)),
+                ("queued", num(state.queue.len() as u64)),
+                ("queue_cap", num(state.queue.cap as u64)),
+                ("inflight", num(state.jobs.inflight())),
+                ("inflight_cap", num(state.max_inflight as u64)),
+                (
+                    "connections",
+                    num(state.conns.load(Ordering::Relaxed) as u64),
+                ),
+                ("connection_cap", num(state.max_connections as u64)),
             ]),
         ),
         (
@@ -501,23 +954,39 @@ fn job_json(job: &JobRecord) -> String {
     Value::object(fields).render()
 }
 
-/// Pops queued jobs and executes them until shutdown.
+/// Pops queued jobs and executes them until the queue closes.
 fn worker_loop(state: &ServerState) {
     loop {
-        if state.shutdown.load(Ordering::Relaxed) {
-            break;
-        }
-        let received = state
-            .queue_rx
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .recv_timeout(Duration::from_millis(50));
-        match received {
-            Ok(id) => execute_job(state, id),
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        match state.queue.pop(Duration::from_millis(50)) {
+            Pop::Job(id) => execute_job(state, id),
+            Pop::Empty => continue,
+            Pop::Closed => break,
         }
     }
+}
+
+/// The deadline in effect for a job: the client's request, clamped by
+/// the server's `--timeout` ceiling. Measured from admission, so queue
+/// wait counts against it.
+fn effective_deadline(spec: &JobSpec, server_max: Option<Duration>) -> Option<Duration> {
+    let requested = spec.deadline_secs.map(Duration::from_secs);
+    match (requested, server_max) {
+        (Some(d), Some(max)) => Some(d.min(max)),
+        (Some(d), None) => Some(d),
+        (None, _) => None,
+    }
+}
+
+/// Fails a job because its deadline lapsed.
+fn expire_job(state: &ServerState, id: JobId, deadline: Duration, phase: &str) {
+    state.jobs.count(|c| c.expired += 1);
+    METRICS.deadline_expired.inc();
+    state.jobs.transition(
+        id,
+        JobState::Failed {
+            reason: format!("deadline of {}s exceeded while {phase}", deadline.as_secs()),
+        },
+    );
 }
 
 /// Runs one queued job to a terminal state.
@@ -525,47 +994,68 @@ fn execute_job(state: &ServerState, id: JobId) {
     let Some(job) = state.jobs.get(id) else {
         return;
     };
-    if job.state.is_terminal() {
-        return; // cancelled (or already answered) while queued
+    // Claim the job by transitioning it ourselves: if a cancel (or the
+    // drain) won the race between dequeue and here, the transition
+    // reports the terminal state and this worker walks away without
+    // recording a queue-wait sample or touching the run counters.
+    if state.jobs.transition(id, JobState::Running) != Some(JobState::Running) {
+        return;
     }
     METRICS
         .queue_wait
         .observe_duration(job.submitted_at.elapsed());
     let run_started = Instant::now();
     let _span = spans::span_with(|| format!("job {} {}", id.0, job.spec.experiment.label()));
-    state.jobs.transition(id, JobState::Running);
-    // A duplicate spec submitted moments earlier may have finished while
-    // this copy sat in the queue; re-check the store before simulating.
-    match state.results.load(job.fingerprint) {
-        Ok(Some(_)) => {
-            state.jobs.count(|c| c.result_hits += 1);
-            state
-                .jobs
-                .transition(id, JobState::Done { from_store: true });
+    let deadline = effective_deadline(&job.spec, state.timeout);
+    if let Some(d) = deadline {
+        if job.submitted_at.elapsed() >= d {
+            expire_job(state, id, d, "queued");
             return;
         }
-        Ok(None) => {}
-        Err(_) => state.jobs.count(|c| c.result_errors += 1),
+    }
+    // A duplicate spec submitted moments earlier may have finished while
+    // this copy sat in the queue; re-check the store before simulating.
+    // (Errors — including injected chaos — fall through to recompute.)
+    if let Ok(Some(_)) = load_result(state, job.fingerprint) {
+        state.jobs.count(|c| c.result_hits += 1);
+        state
+            .jobs
+            .transition(id, JobState::Done { from_store: true });
+        return;
     }
     // This worker is busy from here on: take its permit out of the
-    // spare-worker pool (donated back below) so concurrent jobs and
-    // sharded replays never over-subscribe the `--jobs` grant.
-    llc_sharing::budget::reclaim(1);
+    // spare-worker pool (donated back when the guard drops, even on
+    // unwind) so concurrent jobs and sharded replays never
+    // over-subscribe the `--jobs` grant.
+    let _busy = llc_sharing::budget::reclaim_scoped(1);
     let mut ctx = job.spec.build_ctx();
     // All jobs share the daemon's bounded, store-backed stream cache.
     ctx.streams = state.streams.clone();
     let experiment = job.spec.experiment;
     let label = format!("{}-job{}", experiment.label(), id.0);
-    let outcome = run_cancellable(&label, state.timeout, &job.cancel, move || {
+    // The watchdog is the tighter of the server budget and what remains
+    // of the job's deadline after its queue wait.
+    let remaining = deadline.map(|d| d.saturating_sub(job.submitted_at.elapsed()));
+    let limit = match (state.timeout, remaining) {
+        (Some(t), Some(r)) => Some(t.min(r)),
+        (t, r) => t.or(r),
+    };
+    let deadline_binds = match (remaining, state.timeout) {
+        (Some(r), Some(t)) => r < t,
+        (Some(_), None) => true,
+        (None, _) => false,
+    };
+    let chaos_panic = state.chaos_fires(ChaosPoint::WorkerPanic);
+    let outcome = run_cancellable(&label, limit, &job.cancel, move || {
+        if chaos_panic {
+            panic!("chaos: injected worker panic");
+        }
         run_experiment(experiment, &ctx)
     });
     match outcome {
         GuardedOutcome::Finished(Ok(tables)) => {
             state.jobs.count(|c| c.simulated += 1);
-            match state
-                .results
-                .save(job.fingerprint, experiment.label(), &tables)
-            {
+            match save_result(state, job.fingerprint, experiment.label(), &tables) {
                 Ok(()) => {
                     state
                         .jobs
@@ -584,17 +1074,91 @@ fn execute_job(state: &ServerState, id: JobId) {
             }
         }
         GuardedOutcome::Finished(Err(e)) => {
-            state.jobs.transition(
-                id,
-                JobState::Failed {
-                    reason: e.to_string(),
-                },
-            );
+            if deadline_binds && matches!(e, llc_sharing::RunError::TimedOut { .. }) {
+                // infallible: deadline_binds implies remaining is Some.
+                expire_job(state, id, deadline.expect("deadline set"), "running");
+            } else {
+                state.jobs.transition(
+                    id,
+                    JobState::Failed {
+                        reason: e.to_string(),
+                    },
+                );
+            }
         }
         // The cancel handler already moved the job to Cancelled; the
         // abandoned thread's result is discarded.
         GuardedOutcome::Cancelled => {}
     }
-    llc_sharing::budget::donate(1);
     METRICS.job_run.observe_duration(run_started.elapsed());
+}
+
+/// Worker 0's post-accept phase: close the queue, checkpoint what was
+/// still waiting, give running jobs a bounded grace period, then cancel
+/// stragglers so the pool can join.
+fn drain(state: &Arc<ServerState>) {
+    let drained = state.queue.drain_and_close();
+    let mut specs = Vec::new();
+    for id in drained {
+        let Some(job) = state.jobs.get(id) else {
+            continue;
+        };
+        if job.state.is_terminal() {
+            continue;
+        }
+        specs.push(job.spec.clone());
+        state.jobs.transition(
+            id,
+            JobState::Failed {
+                reason: "daemon stopping; spec checkpointed for the next start".into(),
+            },
+        );
+    }
+    if !specs.is_empty() {
+        let doc = Value::object(vec![
+            ("version", Value::Num(1.0)),
+            (
+                "specs",
+                Value::Array(specs.iter().map(JobSpec::to_json).collect()),
+            ),
+        ]);
+        let path = state.store_dir.join(CHECKPOINT_FILE);
+        // Checkpoint failure only costs the queued work its restart
+        // survival, never the drain itself.
+        let _ = atomic_write(&path, doc.render().as_bytes());
+    }
+    let grace_started = Instant::now();
+    while state.jobs.inflight() > 0 && grace_started.elapsed() < state.grace {
+        thread::sleep(Duration::from_millis(25));
+    }
+    // Past grace: abandon what is still running, exactly like a client
+    // cancel — the guarded threads are detached and their results
+    // discarded.
+    for id in state.jobs.running_ids() {
+        state.jobs.cancel(id);
+    }
+}
+
+/// Re-admits the queued specs a previous drain checkpointed. Unparsable
+/// files (or specs past the queue bound) are dropped — the checkpoint is
+/// best-effort continuity, not a durability promise.
+fn restore_checkpoint(state: &ServerState) {
+    let path = state.store_dir.join(CHECKPOINT_FILE);
+    let Ok(text) = fs::read_to_string(&path) else {
+        return;
+    };
+    let _ = fs::remove_file(&path);
+    let Ok(doc) = json::parse(&text) else { return };
+    let Some(items) = doc.field("specs").and_then(Value::as_array) else {
+        return;
+    };
+    for item in items {
+        let Ok(spec) = JobSpec::from_json(item) else {
+            continue;
+        };
+        let fingerprint = spec.fingerprint();
+        let _ = state
+            .queue
+            .push_with(|| state.jobs.submit(spec, fingerprint));
+    }
 }

@@ -18,7 +18,9 @@ use crate::ServeError;
 /// ```
 ///
 /// `experiment` is required; everything else defaults to the preset
-/// (`paper` when omitted), exactly like `repro --ctx`.
+/// (`paper` when omitted), exactly like `repro --ctx`. An optional
+/// `deadline_secs` bounds the job's total queue + run time (clamped by
+/// the server's `--timeout`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Which table/figure to produce.
@@ -31,6 +33,12 @@ pub struct JobSpec {
     pub threads: Option<usize>,
     /// App-subset override.
     pub apps: Option<Vec<App>>,
+    /// Client-requested deadline in seconds, measured from admission
+    /// (queue wait counts against it). Scheduling metadata only: it is
+    /// deliberately *not* part of [`JobSpec::fingerprint`], because the
+    /// tables a spec produces do not depend on how long the client was
+    /// willing to wait for them.
+    pub deadline_secs: Option<u64>,
 }
 
 impl JobSpec {
@@ -43,6 +51,7 @@ impl JobSpec {
             scale: None,
             threads: None,
             apps: None,
+            deadline_secs: None,
         }
     }
 
@@ -126,6 +135,15 @@ impl JobSpec {
                     }
                     spec.apps = Some(apps);
                 }
+                "deadline_secs" => {
+                    let n = value
+                        .as_u64()
+                        .filter(|&n| (1..=86_400).contains(&n))
+                        .ok_or_else(|| {
+                            bad("\"deadline_secs\" must be an integer in 1..=86400".into())
+                        })?;
+                    spec.deadline_secs = Some(n);
+                }
                 other => return Err(bad(format!("unknown job spec field {other:?}"))),
             }
         }
@@ -160,6 +178,9 @@ impl JobSpec {
                         .collect(),
                 ),
             ));
+        }
+        if let Some(secs) = self.deadline_secs {
+            fields.push(("deadline_secs", Value::Num(secs as f64)));
         }
         Value::object(fields)
     }
@@ -249,6 +270,7 @@ mod tests {
             scale: Some(Scale::Tiny),
             threads: Some(4),
             apps: Some(vec![App::Fft, App::Dedup]),
+            deadline_secs: Some(90),
         };
         let text = spec.to_json().render();
         let back = JobSpec::from_json_text(&text).expect("round trip");
@@ -278,6 +300,9 @@ mod tests {
             "{\"experiment\":\"fig1\",\"apps\":[]}",
             "{\"experiment\":\"fig1\",\"apps\":[\"nope\"]}",
             "{\"experiment\":\"fig1\",\"frobnicate\":1}",
+            "{\"experiment\":\"fig1\",\"deadline_secs\":0}",
+            "{\"experiment\":\"fig1\",\"deadline_secs\":86401}",
+            "{\"experiment\":\"fig1\",\"deadline_secs\":\"soon\"}",
         ] {
             assert!(
                 JobSpec::from_json_text(bad).is_err(),
@@ -311,6 +336,15 @@ mod tests {
         assert_ne!(base, other_exp.fingerprint());
         assert_ne!(base, other_threads.fingerprint());
         assert_ne!(base, other_apps.fingerprint());
+
+        // A deadline changes scheduling, not the produced tables, so an
+        // impatient client must still hit the patient client's stored
+        // result.
+        let with_deadline = JobSpec {
+            deadline_secs: Some(5),
+            ..JobSpec::new(ExperimentId::Fig7, "test")
+        };
+        assert_eq!(base, with_deadline.fingerprint());
     }
 
     #[test]

@@ -88,6 +88,11 @@ impl ResultStore {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(io_err(format!("reading {}", path.display()), e)),
         };
+        // Touch the mtime so LRU eviction (`repro gc`) ranks results by
+        // last use. Best-effort: a read-only store is still servable.
+        if let Ok(f) = fs::File::open(&path) {
+            let _ = f.set_modified(std::time::SystemTime::now());
+        }
         let bad = |msg: String| ServeError::Protocol(format!("{}: {msg}", path.display()));
         let v = json::parse(&text).map_err(|e| bad(format!("bad JSON: {e}")))?;
         let version = v.field("version").and_then(Value::as_u64);
@@ -134,6 +139,18 @@ impl ResultStore {
         let path = self.path_for(fp);
         atomic_write(&path, doc.render().as_bytes())
             .map_err(|e| io_err(format!("writing {}", path.display()), e))
+    }
+
+    /// Moves the (presumed corrupt) entry for `fp` into the store's
+    /// `quarantine/` subdirectory instead of deleting it, preserving the
+    /// evidence for post-mortems. Returns the quarantine path, or
+    /// `Ok(None)` when there was no entry to move.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn quarantine(&self, fp: u64) -> io::Result<Option<PathBuf>> {
+        llc_trace::quarantine_file(&self.path_for(fp))
     }
 
     /// Counts the stored results and their total size in bytes.
@@ -199,6 +216,26 @@ mod tests {
         // Recovery: overwrite the bad entry.
         store.save(0xdead, "fig7", &tables).expect("overwrite");
         assert!(store.load(0xdead).expect("load").is_some());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn quarantine_preserves_the_corrupt_document() {
+        let store = temp_store("quarantine");
+        store.save(0xabad, "fig7", &sample_tables()).expect("save");
+        let path = store.path_for(0xabad);
+        fs::write(&path, "{ not json").expect("corrupt");
+        assert!(matches!(store.load(0xabad), Err(ServeError::Protocol(_))));
+        let moved = store.quarantine(0xabad).expect("quarantine").expect("some");
+        assert!(moved.starts_with(store.dir().join(llc_trace::QUARANTINE_DIR)));
+        assert_eq!(fs::read_to_string(&moved).expect("evidence"), "{ not json");
+        assert!(!store.contains(0xabad));
+        assert!(store.load(0xabad).expect("now a miss").is_none());
+        // Idempotent on a missing entry.
+        assert!(store.quarantine(0xabad).expect("repeat").is_none());
+        // Quarantined files no longer count toward disk stats.
+        let (files, _) = store.disk_stats().expect("stats");
+        assert_eq!(files, 0);
         let _ = fs::remove_dir_all(store.dir());
     }
 

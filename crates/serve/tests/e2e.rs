@@ -32,6 +32,7 @@ fn tiny_spec() -> JobSpec {
         scale: None,
         threads: None,
         apps: Some(vec![App::Fft, App::Dedup]),
+        deadline_secs: None,
     }
 }
 

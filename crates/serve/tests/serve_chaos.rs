@@ -1,0 +1,302 @@
+//! Chaos harness: drives a live daemon through seeded fault schedules
+//! ([`ChaosPlan`]) plus malformed wire traffic and asserts the overload
+//! contract — every request gets a typed error or a well-formed
+//! 4xx/5xx, no worker wedges, and the persistent store survives every
+//! run uncorrupted (verified by a `gc --verify` sweep afterwards).
+//!
+//! Schedules are deterministic per seed, so a failure here reproduces
+//! with `LLC_CHAOS_SEED=<seed> cargo test --test serve_chaos`. CI runs
+//! a fixed seed matrix through the same binary.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use llc_serve::chaos::truncated_submit;
+use llc_serve::client::job_id_of;
+use llc_serve::http::parse_response_full;
+use llc_serve::{ChaosPlan, ChaosPoint, Client, JobSpec, Server, ServerConfig};
+use llc_sharing::json::Value;
+use llc_sharing::ExperimentId;
+use llc_trace::App;
+
+/// Every status the daemon is allowed to answer with. Anything else —
+/// or no answer at all — is a broken overload contract.
+const ALLOWED: &[u16] = &[200, 202, 400, 404, 408, 409, 429, 500, 503];
+
+/// The storm seeds; `LLC_CHAOS_SEED` narrows the run to one seed (this
+/// is how CI fans the matrix out and how a failure is replayed).
+fn seeds() -> Vec<u64> {
+    match std::env::var("LLC_CHAOS_SEED") {
+        Ok(raw) => vec![raw.trim().parse().expect("LLC_CHAOS_SEED must be a u64")],
+        Err(_) => vec![11, 53],
+    }
+}
+
+fn store_dir(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("llc-chaos-{tag}-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(config: &ServerConfig) -> (Client, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind daemon");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("daemon run"));
+    (Client::new(addr.to_string()), handle)
+}
+
+/// A known-good spec (the e2e suite simulates it successfully); the
+/// `salt` varies the app pair so fingerprints differ per call site.
+fn spec_for(salt: usize) -> JobSpec {
+    let apps = [
+        App::ALL[salt % App::ALL.len()],
+        App::ALL[(salt + 1) % App::ALL.len()],
+    ];
+    JobSpec {
+        experiment: ExperimentId::Fig1,
+        preset: "test".into(),
+        scale: None,
+        threads: None,
+        apps: Some(apps.to_vec()),
+        deadline_secs: Some(60),
+    }
+}
+
+fn state_of(doc: &Value) -> String {
+    doc.field("state")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string()
+}
+
+/// Writes `raw` to a fresh connection, half-closes it, and returns the
+/// daemon's full answer (empty if it closed without one).
+fn raw_exchange(addr: &str, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.write_all(raw).expect("write request");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut answer = String::new();
+    let _ = stream.read_to_string(&mut answer);
+    answer
+}
+
+/// Asserts `answer` is a well-formed response with an allowed status,
+/// returning `(status, headers)`.
+fn assert_allowed(answer: &str, context: &str) -> (u16, Vec<(String, String)>) {
+    let (status, headers, _body) = parse_response_full(answer.as_bytes())
+        .unwrap_or_else(|e| panic!("{context}: bad answer ({e})"));
+    assert!(
+        ALLOWED.contains(&status),
+        "{context}: status {status} is outside the overload contract"
+    );
+    (status, headers)
+}
+
+/// After any chaos run the store must hold only loadable entries: a
+/// verifying sweep quarantines nothing.
+fn assert_store_uncorrupted(store: &Path) {
+    let report = llc_serve::gc::sweep(store, None, true).expect("verify sweep");
+    assert_eq!(
+        report.quarantined_files,
+        0,
+        "chaos corrupted the store: {}",
+        report.to_json().render()
+    );
+}
+
+/// The main storm: seeded fault rates at every seam, mixed well-formed
+/// and malformed traffic, then the daemon must still be healthy, every
+/// admitted job must reach a terminal state, and the store must verify
+/// clean.
+#[test]
+fn chaos_storm_never_panics_wedges_or_corrupts() {
+    for seed in seeds() {
+        let store = store_dir("storm", seed);
+        let mut config = ServerConfig::new("127.0.0.1:0", &store);
+        config.jobs = 2;
+        config.timeout = Some(Duration::from_secs(60));
+        config.max_queue = 4;
+        config.max_inflight = 8;
+        config.chaos = Some(Arc::new(ChaosPlan::from_seed(seed)));
+        let (client, handle) = start(&config);
+
+        let mut admitted = Vec::new();
+        for i in 0..24usize {
+            match i % 6 {
+                // Well-formed submissions (some duplicates: salt repeats
+                // mod 3 → dedupe and store-hit paths get traffic too).
+                0 | 1 => match client.submit(&spec_for(i % 3)) {
+                    Ok(doc) => admitted.push(job_id_of(&doc).expect("job id")),
+                    Err(llc_serve::ServeError::Api { status, .. }) => {
+                        assert!(ALLOWED.contains(&status), "submit answered {status}")
+                    }
+                    Err(e) => panic!("submit {i}: untyped failure {e}"),
+                },
+                // Garbage JSON → 400.
+                2 => {
+                    let err = client
+                        .request("POST", "/jobs", Some("{\"experiment\":\"nope\"}"))
+                        .expect_err("garbage spec");
+                    match err {
+                        llc_serve::ServeError::Api { status, .. } => {
+                            assert!(ALLOWED.contains(&status));
+                        }
+                        other => panic!("garbage spec: untyped failure {other}"),
+                    }
+                }
+                // Truncated wire bodies (seeded): typed 4xx, never a hang.
+                3 => {
+                    let body = spec_for(i).to_json().render();
+                    let full = format!(
+                        "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+                        body.len(),
+                        body
+                    );
+                    let raw = truncated_submit(seed ^ i as u64, &full);
+                    let answer = raw_exchange(client.addr(), &raw);
+                    if !answer.is_empty() {
+                        assert_allowed(&answer, "truncated submit");
+                    }
+                }
+                // Reads for jobs that may or may not exist.
+                4 => match client.status(llc_serve::JobId(i as u64)) {
+                    Ok(doc) => assert!(!state_of(&doc).is_empty()),
+                    Err(llc_serve::ServeError::Api { status, .. }) => {
+                        assert!(ALLOWED.contains(&status));
+                    }
+                    Err(e) => panic!("status {i}: untyped failure {e}"),
+                },
+                // Observability endpoints stay up throughout.
+                _ => {
+                    let stats = client.stats().expect("stats under chaos");
+                    assert!(stats.field("jobs").is_some(), "{}", stats.render());
+                }
+            }
+        }
+
+        // Every admitted job settles — done, failed (injected faults are
+        // a legitimate reason), or expired — nothing wedges.
+        for id in admitted {
+            let doc = client.watch(id, Duration::from_secs(120)).expect("settle");
+            assert!(
+                matches!(state_of(&doc).as_str(), "done" | "failed" | "cancelled"),
+                "job {id} did not settle: {}",
+                doc.render()
+            );
+        }
+
+        // The daemon is still healthy and its exposition still renders
+        // the overload series (eagerly registered at bind).
+        let health = client.request("GET", "/healthz", None).expect("healthz");
+        assert_eq!(health.field("ok"), Some(&Value::Bool(true)));
+        let metrics = client.metrics().expect("scrape");
+        for series in [
+            "llc_admission_rejected_total",
+            "llc_store_quarantined_total",
+            "llc_deadline_expired_total",
+        ] {
+            assert!(metrics.contains(series), "{series} missing:\n{metrics}");
+        }
+
+        client.shutdown().expect("shutdown");
+        handle.join().expect("daemon thread survived the storm");
+        assert_store_uncorrupted(&store);
+        let _ = std::fs::remove_dir_all(&store);
+    }
+}
+
+/// With `WorkerPanic` firing on every run, jobs fail with a typed
+/// reason — and the worker pool keeps draining the queue instead of
+/// dying with the first panic.
+#[test]
+fn panicking_workers_fail_jobs_without_wedging_the_pool() {
+    let store = store_dir("panic", 0);
+    let mut config = ServerConfig::new("127.0.0.1:0", &store);
+    config.jobs = 1;
+    config.chaos = Some(Arc::new(
+        ChaosPlan::quiet(9).with_rate(ChaosPoint::WorkerPanic, 100),
+    ));
+    let (client, handle) = start(&config);
+
+    // Two jobs through one worker: the second only settles if the
+    // worker survived the first panic.
+    for salt in [5usize, 7] {
+        let id = job_id_of(&client.submit(&spec_for(salt)).expect("submit")).expect("id");
+        let doc = client.watch(id, Duration::from_secs(60)).expect("settle");
+        assert_eq!(state_of(&doc), "failed", "{}", doc.render());
+        let reason = doc.field("reason").and_then(Value::as_str).unwrap_or("");
+        assert!(
+            reason.contains("panic"),
+            "untyped failure: {}",
+            doc.render()
+        );
+    }
+    let stats = client.stats().expect("stats");
+    let failed = stats
+        .field("jobs")
+        .and_then(|j| j.field("failed"))
+        .and_then(Value::as_u64)
+        .expect("jobs.failed");
+    assert_eq!(failed, 2);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// With `QueueFull` firing on every admission, fresh work gets 429 +
+/// `Retry-After` — but a spec whose result is already on disk is still
+/// answered `done`, because dedupe runs before admission control.
+#[test]
+fn saturated_queue_rejects_fresh_work_but_serves_stored_results() {
+    let store = store_dir("full", 0);
+
+    // First lifetime, no chaos: compute one result into the store.
+    let mut config = ServerConfig::new("127.0.0.1:0", &store);
+    config.jobs = 1;
+    let (client, handle) = start(&config);
+    let known = spec_for(1);
+    let id = job_id_of(&client.submit(&known).expect("submit")).expect("id");
+    let done = client.watch(id, Duration::from_secs(120)).expect("settle");
+    assert_eq!(state_of(&done), "done", "{}", done.render());
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+
+    // Second lifetime over the same store: the queue "is always full".
+    let mut config = ServerConfig::new("127.0.0.1:0", &store);
+    config.jobs = 1;
+    config.chaos = Some(Arc::new(
+        ChaosPlan::quiet(3).with_rate(ChaosPoint::QueueFull, 100),
+    ));
+    let (client, handle) = start(&config);
+
+    // Fresh specs are turned away with backpressure the wire can see.
+    let body = spec_for(4).to_json().render();
+    let raw = format!(
+        "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let answer = raw_exchange(client.addr(), raw.as_bytes());
+    let (status, headers) = assert_allowed(&answer, "fresh submit at saturation");
+    assert_eq!(status, 429);
+    assert!(
+        headers.iter().any(|(name, _)| name == "retry-after"),
+        "429 without Retry-After: {answer}"
+    );
+
+    // The known spec never needs the queue: answered from the store.
+    let hit = client.submit(&known).expect("stored spec under overload");
+    assert_eq!(state_of(&hit), "done", "{}", hit.render());
+    assert_eq!(hit.field("from_store"), Some(&Value::Bool(true)));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -151,6 +151,32 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// An upper-bound estimate of the `q`-quantile (`0.0..=1.0`) of the
+    /// observations so far: the upper bound of the first bucket whose
+    /// cumulative count reaches `q * count`.
+    ///
+    /// Returns `None` when the histogram is empty or the quantile falls
+    /// in the `+Inf` bucket (no finite bound describes it) — callers
+    /// should fall back to a policy default. The estimate races benignly
+    /// with concurrent observations; it is a planning signal (e.g. the
+    /// daemon's `Retry-After` computation), not a ledger.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -476,6 +502,23 @@ mod tests {
         assert!(text.contains("jobs_total{state=\"failed\"} 1"));
         // One HELP/TYPE header per family, not per series.
         assert_eq!(text.matches("# TYPE jobs_total counter").count(), 1);
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        let r = Registry::new();
+        let h = r.histogram("wait_seconds", "wait", &[1.0, 2.0, 5.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        for v in [0.5, 0.7, 1.5, 1.6, 1.7, 1.8, 3.0, 4.0, 4.5, 4.9] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.2), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        // A quantile landing in the +Inf bucket has no finite bound.
+        h.observe(100.0);
+        assert_eq!(h.quantile(1.0), None);
     }
 
     #[test]

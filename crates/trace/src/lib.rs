@@ -51,7 +51,7 @@ pub use patterns::{
 };
 pub use shard::{ShardIndex, StreamShard};
 pub use source::{TraceSource, VecSource};
-pub use store::{atomic_write, StreamStore};
+pub use store::{atomic_write, quarantine_file, sync_dir, StreamStore, QUARANTINE_DIR};
 pub use stream::{read_stream, write_stream, RecordedStream, UpgradeEvent};
 pub use workload::{ThreadSpec, Workload};
 pub use zipf::ZipfSampler;
