@@ -9,17 +9,26 @@
 //! only thing this benchmark measures is wall-clock.
 //!
 //! Writes the measurements to `BENCH_shard.json` at the workspace root
-//! (override with `BENCH_SHARD_OUT`) and exits nonzero if the best
-//! speedup across shard counts falls below `BENCH_SHARD_MIN_SPEEDUP`
-//! (default 1.0), so CI can assert sharding never becomes a slowdown.
-//! On a single-hardware-thread host the floor is skipped (sharding
-//! cannot win without a second core); the checksum assertion still runs.
+//! (override with `BENCH_SHARD_OUT`) and exits nonzero on a gate miss.
+//! With two or more hardware threads the gate is the *best* speedup
+//! across shard counts against `BENCH_SHARD_MIN_SPEEDUP` (default 1.0):
+//! sharding must actually win somewhere. On a single-hardware-thread
+//! host sharding cannot win, but the monomorphized kernel keeps its
+//! constant factors small enough that it must not *lose* either: the
+//! gate becomes the *minimum* speedup across shard counts against
+//! `BENCH_SHARD_MIN_SPEEDUP_1T` (default 0.95).
+//!
+//! The stream is registered with the shard-index registry up front
+//! (`register_stream`), as `StreamCache` does for every stream it hands
+//! out, so each shard count builds its index once rather than once per
+//! sample — the benchmark measures replay, not re-indexing.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::black_box;
 use llc_policies::PolicyKind;
-use llc_sharing::{record_stream, replay_kind_sharded};
+use llc_sharing::{record_stream, register_stream, replay_kind_sharded};
 use llc_sim::{CacheConfig, HierarchyConfig, Inclusion};
 use llc_trace::{App, Scale};
 
@@ -43,19 +52,6 @@ fn config() -> HierarchyConfig {
     }
 }
 
-/// Medians wall-clock over `samples` runs of `f`.
-fn time<F: FnMut() -> u64>(samples: usize, mut f: F) -> (Duration, u64) {
-    let mut times = Vec::with_capacity(samples);
-    let mut checksum = 0;
-    for _ in 0..samples {
-        let start = Instant::now();
-        checksum = black_box(f());
-        times.push(start.elapsed());
-    }
-    times.sort();
-    (times[times.len() / 2], checksum)
-}
-
 fn main() {
     let samples: usize = std::env::var("BENCH_SHARD_SAMPLES")
         .ok()
@@ -65,29 +61,47 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
+    let min_speedup_1t: f64 = std::env::var("BENCH_SHARD_MIN_SPEEDUP_1T")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.95);
     let cfg = config();
 
-    let stream = record_stream(&cfg, APP.workload(CORES, SCALE)).expect("recording runs");
+    let stream = Arc::new(record_stream(&cfg, APP.workload(CORES, SCALE)).expect("recording runs"));
+    register_stream(&stream);
     let llc_refs = stream.len() as u64;
 
-    let mut medians = Vec::with_capacity(SHARDS.len());
-    let mut checksums = Vec::with_capacity(SHARDS.len());
-    for &shards in &SHARDS {
-        let (median, checksum) = time(samples, || {
-            SUITE
-                .iter()
-                .map(|&kind| {
+    // Each (policy, shard count) cell is timed on its own and the cells
+    // are sampled in interleaved rounds, so slow phases of the host hit
+    // every cell alike; per-cell best-of-`samples` is the noise-robust
+    // estimator (perturbations only ever add time), and a shard count's
+    // figure is the *sum* of its cells — min-of-a-sum would instead need
+    // every policy to land in a quiet phase simultaneously.
+    let mut cell = vec![[Duration::MAX; SHARDS.len()]; SUITE.len()];
+    let mut checksums = vec![0u64; SHARDS.len()];
+    for _ in 0..samples {
+        for (i, &shards) in SHARDS.iter().enumerate() {
+            let mut checksum = 0u64;
+            for (k, &kind) in SUITE.iter().enumerate() {
+                let start = Instant::now();
+                checksum += black_box(
                     replay_kind_sharded(&cfg, kind, &stream, shards)
                         .expect("replay runs")
                         .llc
-                        .misses()
-                })
-                .sum()
-        });
-        medians.push(median);
-        checksums.push(checksum);
+                        .misses(),
+                );
+                cell[k][i] = cell[k][i].min(start.elapsed());
+            }
+            checksums[i] = checksum;
+        }
+    }
+    let best: Vec<Duration> = (0..SHARDS.len())
+        .map(|i| cell.iter().map(|row| row[i]).sum())
+        .collect();
+    for (i, &shards) in SHARDS.iter().enumerate() {
         println!(
-            "shard/replay_x{shards}: {median:?}/iter over {samples} samples ({} policies)",
+            "shard/replay_x{shards}: {:?}/iter (sum of {} per-policy best-of-{samples})",
+            best[i],
             SUITE.len()
         );
     }
@@ -96,15 +110,18 @@ fn main() {
         "sharded replay must reproduce the sequential miss counts: {checksums:?}"
     );
 
-    let sequential = medians[0];
-    let speedups: Vec<f64> = medians
+    let sequential = best[0];
+    let speedups: Vec<f64> = best
         .iter()
         .map(|m| sequential.as_secs_f64() / m.as_secs_f64().max(f64::EPSILON))
         .collect();
+    let times = best;
     let best = speedups[1..].iter().copied().fold(0.0f64, f64::max);
+    let worst = speedups[1..].iter().copied().fold(f64::INFINITY, f64::min);
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(
-        "shard/speedup_best:  {best:.2}x (gate: >= {min_speedup:.2}x, {host_threads} host threads)"
+        "shard/speedup_best:  {best:.2}x, min {worst:.2}x ({host_threads} host threads; gate: \
+         best >= {min_speedup:.2}x multi-thread, min >= {min_speedup_1t:.2}x single-thread)"
     );
 
     let fmt_list = |items: Vec<String>| items.join(", ");
@@ -114,7 +131,8 @@ fn main() {
         "{{\n  \"benchmark\": \"shard\",\n  \"workload\": \"{}\",\n  \"scale\": \"{}\",\n  \
          \"cores\": {},\n  \"sets\": {},\n  \"host_threads\": {},\n  \"policies\": [\"{}\"],\n  \
          \"samples\": {},\n  \"llc_refs\": {},\n  \"shards\": [{}],\n  \"ms\": [{}],\n  \
-         \"speedups\": [{}],\n  \"speedup\": {:.3},\n  \"min_speedup\": {:.3}\n}}\n",
+         \"speedups\": [{}],\n  \"speedup\": {:.3},\n  \"speedup_min\": {:.3},\n  \
+         \"min_speedup\": {:.3},\n  \"min_speedup_1t\": {:.3}\n}}\n",
         APP.label(),
         SCALE,
         CORES,
@@ -125,14 +143,16 @@ fn main() {
         llc_refs,
         fmt_list(SHARDS.iter().map(|s| s.to_string()).collect()),
         fmt_list(
-            medians
+            times
                 .iter()
                 .map(|m| format!("{:.3}", m.as_secs_f64() * 1e3))
                 .collect()
         ),
         fmt_list(speedups.iter().map(|s| format!("{s:.3}")).collect()),
         best,
+        worst,
         min_speedup,
+        min_speedup_1t,
     );
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("error: writing {out}: {e}");
@@ -141,7 +161,14 @@ fn main() {
     println!("shard/report:        {out}");
 
     if host_threads < 2 {
-        println!("shard/gate:          skipped (single-hardware-thread host)");
+        // No second core: sharding cannot win, but it must not lose.
+        if worst < min_speedup_1t {
+            eprintln!(
+                "error: sharded speedup {worst:.2}x below required {min_speedup_1t:.2}x \
+                 on a single-hardware-thread host"
+            );
+            std::process::exit(1);
+        }
     } else if best < min_speedup {
         eprintln!("error: sharded speedup {best:.2}x below required {min_speedup:.2}x");
         std::process::exit(1);

@@ -62,10 +62,10 @@ pub use error::RunError;
 pub use experiments::{per_app, run_experiment, ExperimentCtx, ExperimentId};
 pub use model::LatencyModel;
 pub use replay::{
-    compute_annotations, record_stream, replay, replay_characterized_sharded, replay_kind,
-    replay_kind_sharded, replay_opt, replay_opt_sharded, replay_oracle, replay_oracle_sharded,
-    replay_predictor_wrap, replay_reactive, replay_sharded, Annotations, AuxFactory, PolicyFactory,
-    StreamCache, StreamCacheStats, StreamKey, WorkloadId,
+    compute_annotations, record_stream, register_stream, replay, replay_characterized_sharded,
+    replay_kind, replay_kind_sharded, replay_on, replay_opt, replay_opt_sharded, replay_oracle,
+    replay_oracle_sharded, replay_predictor_wrap, replay_reactive, replay_sharded, Annotations,
+    AuxFactory, PolicyFactory, StreamCache, StreamCacheStats, StreamKey, WorkloadId,
 };
 pub use report::{f2, f3, geomean, mean, pct, Table};
 pub use runner::{

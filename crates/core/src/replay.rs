@@ -31,13 +31,12 @@ use std::sync::{Arc, LazyLock, Mutex};
 
 use fxhash::FxHashMap;
 use llc_policies::{
-    build_oracle_policy_with_mode, build_policy, build_reactive_policy, OracleWrap, PolicyKind,
-    ProtectMode,
+    build_policy, mono, with_policy, OracleWrap, PolicyKind, ProtectMode, ReactiveWrap,
 };
 use llc_predictors::{PredictorWrap, SharingPredictor};
 use llc_sim::{
     AuxProvider, BlockAddr, Cmp, ConfigError, CoreId, HierarchyConfig, Inclusion, Llc, LlcObserver,
-    LlcStats, MultiObserver, ReplacementPolicy, SimError, StateScope,
+    LlcStats, MultiObserver, NullObserver, ReplacementPolicy, SimError, StateScope,
 };
 use llc_telemetry::metrics::{global, Counter, Gauge};
 use llc_telemetry::spans;
@@ -194,29 +193,73 @@ pub fn replay(
     stream: &RecordedStream,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
+    replay_on(
+        config,
+        policy,
+        aux,
+        stream,
+        &mut MultiObserver::new(observers),
+    )
+}
+
+/// The monomorphized replay driver: [`replay`] generic over the concrete
+/// policy *and* observer types, so each (`P`, `O`) pair compiles its own
+/// specialized inner loop — policy callbacks and observer hooks are
+/// static calls (inlined for trivial hooks like [`NullObserver`]'s), and
+/// a policy replayed without an aux provider skips the per-access virtual
+/// `aux_for` call entirely. The `PolicyKind`-driven entry points
+/// ([`replay_kind`] & co.) dispatch here through
+/// [`with_policy!`](llc_policies::with_policy); [`replay`] is the
+/// `Box<dyn>` compatibility wrapper for external policies.
+///
+/// All telemetry is phase-level: one span per replay, zero atomics on the
+/// per-access path (see `tests/telemetry.rs`).
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_on<P, O>(
+    config: &HierarchyConfig,
+    policy: P,
+    aux: Option<Box<dyn AuxProvider>>,
+    stream: &RecordedStream,
+    obs: &mut O,
+) -> Result<RunResult, RunError>
+where
+    P: ReplacementPolicy,
+    O: LlcObserver + ?Sized,
+{
     check_replayable(config, stream)?;
     let mut llc = Llc::new(config.llc, policy);
     let _span = spans::span_with(|| format!("replay {}", llc.policy().name()));
     if let Some(aux) = aux {
         llc.set_aux_provider(aux);
     }
-    let mut obs = MultiObserver::new(observers);
     let upgrades = &stream.upgrades;
     let mut up = 0usize;
-    for i in 0..stream.len() {
+    // Next upgrade timestamp, hoisted so the common no-upgrade-due case
+    // is one register compare per access instead of a bounds check plus
+    // a load from the upgrade list.
+    let mut next_at = upgrades.first().map_or(u64::MAX, |u| u.at);
+    // Lockstep iterators over the access planes (instead of four indexed
+    // loads) keep the inner loop free of bounds checks.
+    let accesses = stream
+        .blocks
+        .iter()
+        .zip(&stream.pcs)
+        .zip(&stream.cores)
+        .zip(&stream.kinds);
+    for (i, (((&block, &pc), &core), &kind)) in accesses.enumerate() {
         // Upgrades recorded at LLC time `i` happened before access `i`.
-        while up < upgrades.len() && upgrades[up].at <= i as u64 {
-            llc.note_upgrade(upgrades[up].block, upgrades[up].core);
-            obs.on_upgrade(upgrades[up].block, upgrades[up].core);
-            up += 1;
+        if i as u64 >= next_at {
+            while up < upgrades.len() && upgrades[up].at <= i as u64 {
+                llc.note_upgrade(upgrades[up].block, upgrades[up].core);
+                obs.on_upgrade(upgrades[up].block, upgrades[up].core);
+                up += 1;
+            }
+            next_at = upgrades.get(up).map_or(u64::MAX, |u| u.at);
         }
-        llc.access(
-            stream.blocks[i],
-            stream.pcs[i],
-            stream.cores[i],
-            stream.kinds[i],
-            &mut obs,
-        );
+        llc.access(block, pc, core, kind, obs);
     }
     // Trailing upgrades (after the last access) land before the flush.
     while up < upgrades.len() {
@@ -224,7 +267,7 @@ pub fn replay(
         obs.on_upgrade(upgrades[up].block, upgrades[up].core);
         up += 1;
     }
-    llc.flush(&mut obs);
+    llc.flush(obs);
     Ok(RunResult {
         policy: llc.policy().name(),
         llc: llc.stats(),
@@ -249,14 +292,9 @@ pub type AuxFactory<'a> = &'a (dyn Fn() -> Box<dyn AuxProvider> + Sync);
 /// not a tuning knob (the pool itself reflects the `--jobs` grant).
 const MAX_DONATED_WORKERS: usize = 63;
 
-/// Observer for sharded replays that were asked for stats only.
-struct DiscardObserver;
-
-impl LlcObserver for DiscardObserver {}
-
 /// Replays a stream split into contiguous set-range shards, one LLC (and
 /// one policy instance, and one observer) per shard, fanned out over
-/// scoped worker threads — the parallel twin of [`replay`].
+/// scoped worker threads — the parallel twin of [`replay_on`].
 ///
 /// Each shard's LLC covers only its set range but keeps the full
 /// geometry for indexing, and is driven with the *global* stream index
@@ -268,19 +306,30 @@ impl LlcObserver for DiscardObserver {}
 /// the public wrappers ([`replay_kind_sharded`] & co.) fall back to
 /// sequential replay for [`StateScope::Global`] policies.
 ///
+/// Generic over the policy factory's return type, so the `PolicyKind`
+/// entry points construct one *concrete* policy per shard — no `Box<dyn>`
+/// allocation and no virtual dispatch inside any shard's loop. The loop
+/// itself walks the shard's own gathered access planes
+/// ([`llc_trace::StreamShard`]) front to back: sequential reads of
+/// shard-compact arrays instead of strided gathers through the full
+/// stream, which is what makes k shards on one host thread cost ~the
+/// sequential replay instead of k× its memory traffic.
+///
 /// Returns the merged result plus the per-shard observers (in ascending
 /// set order) for the caller to merge.
-fn replay_sharded_core<O, F>(
+fn replay_sharded_on<P, O, FP, FO>(
     config: &HierarchyConfig,
-    make_policy: PolicyFactory<'_>,
+    make_policy: &FP,
     make_aux: Option<AuxFactory<'_>>,
     stream: &RecordedStream,
     index: &ShardIndex,
-    make_obs: &F,
+    make_obs: &FO,
 ) -> Result<(RunResult, Vec<O>), RunError>
 where
+    P: ReplacementPolicy,
     O: LlcObserver + Send,
-    F: Fn() -> O + Sync,
+    FP: Fn() -> P + Sync + ?Sized,
+    FO: Fn() -> O + Sync + ?Sized,
 {
     check_replayable(config, stream)?;
     if index.sets() != config.llc.sets() {
@@ -295,7 +344,7 @@ where
     let _span = spans::span_with(|| format!("replay_sharded x{}", shards.len()));
     let slots: Vec<Mutex<Option<(String, LlcStats, O)>>> =
         shards.iter().map(|_| Mutex::new(None)).collect();
-    scoped_workers(shards.len(), |w| {
+    let run_shard = |w: usize| {
         let shard = &shards[w];
         let _span = spans::span_with(|| format!("shard {w}"));
         let mut llc = Llc::new_range(config.llc, make_policy(), shard.set_base, shard.set_len);
@@ -305,31 +354,44 @@ where
         let mut obs = make_obs();
         let upgrades = &stream.upgrades;
         let mut up = 0usize;
-        for &pos in &shard.accesses {
-            let i = pos as usize;
+        let mut next_at = shard
+            .upgrades
+            .first()
+            .map_or(u64::MAX, |&u| upgrades[u as usize].at);
+        // Zipped like the sequential inner loop: one bounds check for the
+        // whole walk instead of four per access.
+        let planes = shard
+            .accesses
+            .iter()
+            .zip(&shard.blocks)
+            .zip(&shard.pcs)
+            .zip(&shard.cores)
+            .zip(&shard.kinds);
+        for ((((&pos, &block), &pc), &core), &kind) in planes {
+            let i = pos as u64;
             // Upgrades recorded at LLC time `i` happened before access
             // `i`; only this shard's upgrades touch this shard's lines.
-            while up < shard.upgrades.len() {
-                let u = &upgrades[shard.upgrades[up] as usize];
-                if u.at > i as u64 {
-                    break;
+            if i >= next_at {
+                while up < shard.upgrades.len() {
+                    let u = &upgrades[shard.upgrades[up] as usize];
+                    if u.at > i {
+                        break;
+                    }
+                    llc.note_upgrade(u.block, u.core);
+                    obs.on_upgrade(u.block, u.core);
+                    up += 1;
                 }
-                llc.note_upgrade(u.block, u.core);
-                obs.on_upgrade(u.block, u.core);
-                up += 1;
+                next_at = shard
+                    .upgrades
+                    .get(up)
+                    .map_or(u64::MAX, |&u| upgrades[u as usize].at);
             }
             // The shard's logical clock is the *global* stream index, so
             // every timestamp the policy or observer sees (LRU order,
             // OPT next-use chains, generation spans) matches the
             // sequential run exactly.
-            llc.seek_time(i as u64);
-            llc.access(
-                stream.blocks[i],
-                stream.pcs[i],
-                stream.cores[i],
-                stream.kinds[i],
-                &mut obs,
-            );
+            llc.seek_time(i);
+            llc.access(block, pc, core, kind, &mut obs);
         }
         while up < shard.upgrades.len() {
             let u = &upgrades[shard.upgrades[up] as usize];
@@ -340,7 +402,31 @@ where
         llc.seek_time(stream.len() as u64);
         llc.flush(&mut obs);
         *lock_recovering(&slots[w]) = Some((llc.policy().name(), llc.stats(), obs));
-    });
+    };
+    // More shards than hardware threads just timeslice against each
+    // other (context switches plus cache churn between shard working
+    // sets), so clamp the thread count and let workers claim shards from
+    // a counter; shard results land in fixed slots, so the merge order —
+    // and the merged bits — don't depend on who ran what. One worker
+    // means no spawn at all: the shards run inline back to back, which
+    // is what makes k-shard replay on a single-thread host cost ~the
+    // sequential replay.
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = shards.len().min(host_threads);
+    if workers <= 1 {
+        for w in 0..shards.len() {
+            run_shard(w);
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        scoped_workers(workers, |_| loop {
+            let w = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if w >= shards.len() {
+                break;
+            }
+            run_shard(w);
+        });
+    }
     let _merge_span = spans::span("merge shards");
     let mut llc_stats = LlcStats::default();
     let mut policy = String::new();
@@ -385,8 +471,8 @@ pub fn replay_sharded(
     stream: &RecordedStream,
     index: &ShardIndex,
 ) -> Result<RunResult, RunError> {
-    let (result, _) = replay_sharded_core(config, make_policy, make_aux, stream, index, &|| {
-        DiscardObserver
+    let (result, _) = replay_sharded_on(config, make_policy, make_aux, stream, index, &|| {
+        NullObserver
     })?;
     Ok(result)
 }
@@ -436,12 +522,23 @@ mod shard_registry {
     }
 }
 
+/// Registers `stream` with the process-global shard-index registry, so
+/// subsequent sharded replays of the *same* [`Arc`] share one
+/// [`ShardIndex`] build per shard count instead of re-indexing the
+/// stream on every call. Streams handed out by a [`StreamCache`] are
+/// registered automatically; call this for ad-hoc streams (benchmarks,
+/// tests, external drivers) that replay more than once. Idempotent;
+/// entries die with their stream's last `Arc`.
+pub fn register_stream(stream: &Arc<RecordedStream>) {
+    shard_registry::register(stream);
+}
+
 /// Builds (or fetches) the shard index splitting `stream` over `shards`
 /// contiguous set ranges. Streams handed out by a [`StreamCache`] cache
 /// their indices next to the stream, so concurrent replays of the same
-/// recording share one build; ad-hoc streams build privately. Returns
-/// `None` for streams too large for `u32` index positions (the caller
-/// replays sequentially).
+/// recording share one build; ad-hoc streams build privately (see
+/// [`register_stream`]). Returns `None` for streams too large for `u32`
+/// index positions (the caller replays sequentially).
 fn shard_index_for(stream: &RecordedStream, sets: u64, shards: usize) -> Option<Arc<ShardIndex>> {
     match shard_registry::lookup(stream) {
         Some(map) => {
@@ -481,22 +578,38 @@ pub fn replay_kind(
     }
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    let policy = build_policy(kind, sets, ways);
-    if observers.is_empty() && policy.state_scope() == StateScope::PerSet {
-        let borrowed = budget::borrow(MAX_DONATED_WORKERS);
-        if borrowed.count() > 0 {
-            if let Some(index) = shard_index_for(stream, config.llc.sets(), borrowed.count() + 1) {
-                return replay_sharded(
-                    config,
-                    &|| build_policy(kind, sets, ways),
-                    None,
-                    stream,
-                    &index,
-                );
+    with_policy!(kind, |ctor| {
+        let policy = ctor(sets, ways);
+        if observers.is_empty() {
+            if policy.state_scope() == StateScope::PerSet {
+                let borrowed = budget::borrow(MAX_DONATED_WORKERS);
+                if borrowed.count() > 0 {
+                    if let Some(index) =
+                        shard_index_for(stream, config.llc.sets(), borrowed.count() + 1)
+                    {
+                        let (result, _) = replay_sharded_on(
+                            config,
+                            &|| ctor(sets, ways),
+                            None,
+                            stream,
+                            &index,
+                            &|| NullObserver,
+                        )?;
+                        return Ok(result);
+                    }
+                }
             }
+            replay_on(config, policy, None, stream, &mut NullObserver)
+        } else {
+            replay_on(
+                config,
+                policy,
+                None,
+                stream,
+                &mut MultiObserver::new(observers),
+            )
         }
-    }
-    replay(config, policy, None, stream, observers)
+    })
 }
 
 /// Explicitly set-sharded [`replay_kind`]: splits the stream into (at
@@ -519,19 +632,21 @@ pub fn replay_kind_sharded(
     }
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    let policy = build_policy(kind, sets, ways);
-    if shards > 1 && policy.state_scope() == StateScope::PerSet {
-        if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
-            return replay_sharded(
-                config,
-                &|| build_policy(kind, sets, ways),
-                None,
-                stream,
-                &index,
-            );
+    with_policy!(kind, |ctor| {
+        let policy = ctor(sets, ways);
+        if shards > 1 && policy.state_scope() == StateScope::PerSet {
+            if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
+                // One concrete policy per shard, straight from the
+                // constructor — no per-shard `Box<dyn>` allocation.
+                let (result, _) =
+                    replay_sharded_on(config, &|| ctor(sets, ways), None, stream, &index, &|| {
+                        NullObserver
+                    })?;
+                return Ok(result);
+            }
         }
-    }
-    replay(config, policy, None, stream, Vec::new())
+        replay_on(config, policy, None, stream, &mut NullObserver)
+    })
 }
 
 /// Set-sharded [`replay_kind`] that also gathers the paper's sharing
@@ -557,36 +672,38 @@ pub fn replay_characterized_sharded(
     // OPT needs its next-use annotations in either path.
     let next_use =
         (kind == PolicyKind::Opt).then(|| Arc::new(compute_annotations(stream, 0).next_use));
-    let make_policy = || build_policy(kind, sets, ways);
-    let make_aux = next_use.clone().map(|next_use| {
+    let make_aux = next_use.map(|next_use| {
         move || Box::new(NextUseProvider::shared(Arc::clone(&next_use))) as Box<dyn AuxProvider>
     });
-    if shards > 1 && make_policy().state_scope() == StateScope::PerSet {
-        if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
-            let (result, profiles) = replay_sharded_core(
-                config,
-                &make_policy,
-                make_aux.as_ref().map(|f| f as AuxFactory<'_>),
-                stream,
-                &index,
-                &SharingProfile::new,
-            )?;
-            let mut merged = SharingProfile::new();
-            for profile in &profiles {
-                merged.merge(profile);
+    with_policy!(kind, |ctor| {
+        let policy = ctor(sets, ways);
+        if shards > 1 && policy.state_scope() == StateScope::PerSet {
+            if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
+                let (result, profiles) = replay_sharded_on(
+                    config,
+                    &|| ctor(sets, ways),
+                    make_aux.as_ref().map(|f| f as AuxFactory<'_>),
+                    stream,
+                    &index,
+                    &SharingProfile::new,
+                )?;
+                let mut merged = SharingProfile::new();
+                for profile in &profiles {
+                    merged.merge(profile);
+                }
+                return Ok((result, merged));
             }
-            return Ok((result, merged));
         }
-    }
-    let mut profile = SharingProfile::new();
-    let result = replay(
-        config,
-        make_policy(),
-        make_aux.as_ref().map(|f| f()),
-        stream,
-        vec![&mut profile],
-    )?;
-    Ok((result, profile))
+        let mut profile = SharingProfile::new();
+        let result = replay_on(
+            config,
+            policy,
+            make_aux.as_ref().map(|f| f()),
+            stream,
+            &mut profile,
+        )?;
+        Ok((result, profile))
+    })
 }
 
 /// Replays Belady's OPT, deriving the next-use chains from the recording
@@ -606,22 +723,27 @@ pub fn replay_opt(
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
     let next_use = Arc::new(compute_annotations(stream, 0).next_use);
-    if observers.is_empty()
-        && build_policy(PolicyKind::Opt, sets, ways).state_scope() == StateScope::PerSet
-    {
+    if observers.is_empty() && mono::opt(sets, ways).state_scope() == StateScope::PerSet {
         let borrowed = budget::borrow(MAX_DONATED_WORKERS);
         if borrowed.count() > 0 {
             if let Some(index) = shard_index_for(stream, config.llc.sets(), borrowed.count() + 1) {
                 return replay_opt_on(config, &next_use, stream, &index);
             }
         }
+        return replay_on(
+            config,
+            mono::opt(sets, ways),
+            Some(Box::new(NextUseProvider::shared(next_use))),
+            stream,
+            &mut NullObserver,
+        );
     }
-    replay(
+    replay_on(
         config,
-        build_policy(PolicyKind::Opt, sets, ways),
+        mono::opt(sets, ways),
         Some(Box::new(NextUseProvider::shared(next_use))),
         stream,
-        observers,
+        &mut MultiObserver::new(observers),
     )
 }
 
@@ -639,17 +761,17 @@ pub fn replay_opt_sharded(
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
     let next_use = Arc::new(compute_annotations(stream, 0).next_use);
-    if shards > 1 && build_policy(PolicyKind::Opt, sets, ways).state_scope() == StateScope::PerSet {
+    if shards > 1 && mono::opt(sets, ways).state_scope() == StateScope::PerSet {
         if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
             return replay_opt_on(config, &next_use, stream, &index);
         }
     }
-    replay(
+    replay_on(
         config,
-        build_policy(PolicyKind::Opt, sets, ways),
+        mono::opt(sets, ways),
         Some(Box::new(NextUseProvider::shared(next_use))),
         stream,
-        Vec::new(),
+        &mut NullObserver,
     )
 }
 
@@ -667,55 +789,15 @@ fn replay_opt_on(
         let next_use = Arc::clone(next_use);
         move || Box::new(NextUseProvider::shared(Arc::clone(&next_use))) as Box<dyn AuxProvider>
     };
-    replay_sharded(
+    let (result, _) = replay_sharded_on(
         config,
-        &|| build_policy(PolicyKind::Opt, sets, ways),
+        &|| mono::opt(sets, ways),
         Some(&make_aux),
         stream,
         index,
-    )
-}
-
-/// The policy and aux-provider factories of one oracle replay (both
-/// thread-safe, so one setup drives every shard of a sharded run).
-struct OracleSetup {
-    make_policy: Box<dyn Fn() -> Box<dyn ReplacementPolicy> + Sync>,
-    make_aux: Box<dyn Fn() -> Box<dyn AuxProvider> + Sync>,
-}
-
-/// Builds the factories for an oracle replay over pre-computed,
-/// [`Arc`]-shared annotations.
-fn oracle_setup(
-    base: PolicyKind,
-    mode: ProtectMode,
-    sets: usize,
-    ways: usize,
-    next_use: Arc<Vec<u64>>,
-    shared_soon: Arc<Vec<bool>>,
-) -> OracleSetup {
-    if base == PolicyKind::Opt {
-        OracleSetup {
-            make_policy: Box::new(move || {
-                Box::new(OracleWrap::with_mode(
-                    build_policy(PolicyKind::Opt, sets, ways),
-                    sets,
-                    ways,
-                    mode,
-                ))
-            }),
-            make_aux: Box::new(move || {
-                Box::new(CombinedProvider::shared(
-                    Arc::clone(&next_use),
-                    Arc::clone(&shared_soon),
-                ))
-            }),
-        }
-    } else {
-        OracleSetup {
-            make_policy: Box::new(move || build_oracle_policy_with_mode(base, sets, ways, mode)),
-            make_aux: Box::new(move || Box::new(OracleProvider::shared(Arc::clone(&shared_soon)))),
-        }
-    }
+        &|| NullObserver,
+    )?;
+    Ok(result)
 }
 
 /// Replays the sharing-aware oracle wrapper around `base`, deriving both
@@ -740,35 +822,58 @@ pub fn replay_oracle(
     let ways = config.llc.ways;
     let window = window.unwrap_or_else(|| oracle_window(config));
     let ann = compute_annotations(stream, window);
-    let setup = oracle_setup(
-        base,
-        mode,
-        sets,
-        ways,
-        Arc::new(ann.next_use),
-        Arc::new(ann.shared_soon),
-    );
-    if observers.is_empty() && (setup.make_policy)().state_scope() == StateScope::PerSet {
-        let borrowed = budget::borrow(MAX_DONATED_WORKERS);
-        if borrowed.count() > 0 {
-            if let Some(index) = shard_index_for(stream, config.llc.sets(), borrowed.count() + 1) {
-                return replay_sharded(
-                    config,
-                    &*setup.make_policy,
-                    Some(&*setup.make_aux),
-                    stream,
-                    &index,
-                );
+    let next_use = Arc::new(ann.next_use);
+    let shared_soon = Arc::new(ann.shared_soon);
+    with_policy!(base, |ctor| {
+        let make_policy = || OracleWrap::with_mode(ctor(sets, ways), sets, ways, mode);
+        // OPT under the oracle needs both annotation vectors; every other
+        // base only consumes the shared-soon answers.
+        let make_aux = || -> Box<dyn AuxProvider> {
+            if base == PolicyKind::Opt {
+                Box::new(CombinedProvider::shared(
+                    Arc::clone(&next_use),
+                    Arc::clone(&shared_soon),
+                ))
+            } else {
+                Box::new(OracleProvider::shared(Arc::clone(&shared_soon)))
             }
+        };
+        if observers.is_empty() {
+            if make_policy().state_scope() == StateScope::PerSet {
+                let borrowed = budget::borrow(MAX_DONATED_WORKERS);
+                if borrowed.count() > 0 {
+                    if let Some(index) =
+                        shard_index_for(stream, config.llc.sets(), borrowed.count() + 1)
+                    {
+                        let (result, _) = replay_sharded_on(
+                            config,
+                            &make_policy,
+                            Some(&make_aux),
+                            stream,
+                            &index,
+                            &|| NullObserver,
+                        )?;
+                        return Ok(result);
+                    }
+                }
+            }
+            replay_on(
+                config,
+                make_policy(),
+                Some(make_aux()),
+                stream,
+                &mut NullObserver,
+            )
+        } else {
+            replay_on(
+                config,
+                make_policy(),
+                Some(make_aux()),
+                stream,
+                &mut MultiObserver::new(observers),
+            )
         }
-    }
-    replay(
-        config,
-        (setup.make_policy)(),
-        Some((setup.make_aux)()),
-        stream,
-        observers,
-    )
+    })
 }
 
 /// Explicitly set-sharded [`replay_oracle`]. Falls back to the
@@ -790,32 +895,41 @@ pub fn replay_oracle_sharded(
     let ways = config.llc.ways;
     let window = window.unwrap_or_else(|| oracle_window(config));
     let ann = compute_annotations(stream, window);
-    let setup = oracle_setup(
-        base,
-        mode,
-        sets,
-        ways,
-        Arc::new(ann.next_use),
-        Arc::new(ann.shared_soon),
-    );
-    if shards > 1 && (setup.make_policy)().state_scope() == StateScope::PerSet {
-        if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
-            return replay_sharded(
-                config,
-                &*setup.make_policy,
-                Some(&*setup.make_aux),
-                stream,
-                &index,
-            );
+    let next_use = Arc::new(ann.next_use);
+    let shared_soon = Arc::new(ann.shared_soon);
+    with_policy!(base, |ctor| {
+        let make_policy = || OracleWrap::with_mode(ctor(sets, ways), sets, ways, mode);
+        let make_aux = || -> Box<dyn AuxProvider> {
+            if base == PolicyKind::Opt {
+                Box::new(CombinedProvider::shared(
+                    Arc::clone(&next_use),
+                    Arc::clone(&shared_soon),
+                ))
+            } else {
+                Box::new(OracleProvider::shared(Arc::clone(&shared_soon)))
+            }
+        };
+        if shards > 1 && make_policy().state_scope() == StateScope::PerSet {
+            if let Some(index) = shard_index_for(stream, config.llc.sets(), shards) {
+                let (result, _) = replay_sharded_on(
+                    config,
+                    &make_policy,
+                    Some(&make_aux),
+                    stream,
+                    &index,
+                    &|| NullObserver,
+                )?;
+                return Ok(result);
+            }
         }
-    }
-    replay(
-        config,
-        (setup.make_policy)(),
-        Some((setup.make_aux)()),
-        stream,
-        Vec::new(),
-    )
+        replay_on(
+            config,
+            make_policy(),
+            Some(make_aux()),
+            stream,
+            &mut NullObserver,
+        )
+    })
 }
 
 /// Replays reactive (directory-driven, prediction-free) sharing
@@ -832,13 +946,14 @@ pub fn replay_reactive(
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    replay(
+    // ReactiveWrap's directory state is global, so no sharding arm.
+    with_policy!(base, |ctor| replay_on(
         config,
-        build_reactive_policy(base, sets, ways),
+        ReactiveWrap::new(ctor(sets, ways)),
         None,
         stream,
-        observers,
-    )
+        &mut MultiObserver::new(observers),
+    ))
 }
 
 /// Replays a predictor-driven sharing-aware wrapper around `base`.
@@ -855,13 +970,13 @@ pub fn replay_predictor_wrap(
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    let policy = Box::new(PredictorWrap::new(
-        build_policy(base, sets, ways),
-        predictor,
-        sets,
-        ways,
-    ));
-    replay(config, policy, None, stream, observers)
+    with_policy!(base, |ctor| replay_on(
+        config,
+        PredictorWrap::new(ctor(sets, ways), predictor, sets, ways),
+        None,
+        stream,
+        &mut MultiObserver::new(observers),
+    ))
 }
 
 /// Both offline annotation vectors, produced by one fused backward scan

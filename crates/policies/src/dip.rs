@@ -84,6 +84,7 @@ impl ReplacementPolicy for Dip {
         }
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         if self.flavor == DipFlavor::Dip {
             self.duel.on_miss(set);
@@ -107,11 +108,13 @@ impl ReplacementPolicy for Dip {
         self.stamps[set * self.ways + way] = if lru_insert { 0 } else { self.clock };
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         self.clock += 1;
         self.stamps[set * self.ways + way] = self.clock;
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
         view.allowed_ways()
             .min_by_key(|&w| self.stamps[set * self.ways + w])
@@ -128,6 +131,10 @@ impl ReplacementPolicy for Dip {
             DipFlavor::Lip | DipFlavor::Bip => StateScope::PerSet,
             DipFlavor::Dip => StateScope::Global,
         }
+    }
+    /// Victims come from this policy's own state; `lines` is never read.
+    fn needs_line_views(&self) -> bool {
+        false
     }
 }
 

@@ -57,6 +57,19 @@ pub use ship::{Ship, SHCT_ENTRIES, SHCT_MAX};
 
 use llc_sim::ReplacementPolicy;
 
+/// Returns `true` when `view.allowed` covers all `ways` ways — the common
+/// case outside the masking wrappers, where victim scans may take a dense
+/// (mask-test-free, vectorizable) path over the whole row.
+#[inline]
+pub(crate) fn full_row_mask(view: &llc_sim::SetView<'_>, ways: usize) -> bool {
+    let full = if ways >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << ways) - 1
+    };
+    view.allowed == full
+}
+
 /// The policies the experiment harness can instantiate by name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
@@ -149,25 +162,154 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
-/// Instantiates a policy for an LLC of `sets` sets and `ways` ways.
+/// The monomorphization matrix: one constructor per [`PolicyKind`],
+/// returning the *concrete* policy type (no `Box<dyn>`), so generic
+/// drivers instantiated through [`with_policy!`] compile one specialized
+/// copy per concrete type — `Lru`, `Random`, `Nru`, `Rrip` (×4 kinds),
+/// `Dip` (×3 kinds), `Ship` and `Opt` resolve to seven distinct
+/// instantiations.
+///
+/// These are the single source of truth for the fixed seeds of the
+/// pseudo-random policies; [`build_policy`] is defined on top, so the
+/// boxed and monomorphized paths construct bit-identical policies by
+/// construction.
+pub mod mono {
+    use super::{Dip, Lru, Nru, Opt, Random, Rrip, Ship};
+
+    /// True LRU.
+    pub fn lru(sets: usize, ways: usize) -> Lru {
+        Lru::new(sets, ways)
+    }
+    /// Uniform-random replacement (fixed seed).
+    pub fn random(_sets: usize, _ways: usize) -> Random {
+        Random::new(0x9d2c_5680)
+    }
+    /// Not-recently-used.
+    pub fn nru(sets: usize, ways: usize) -> Nru {
+        Nru::new(sets, ways)
+    }
+    /// Static RRIP.
+    pub fn srrip(sets: usize, ways: usize) -> Rrip {
+        Rrip::srrip(sets, ways)
+    }
+    /// Bimodal RRIP (fixed seed).
+    pub fn brrip(sets: usize, ways: usize) -> Rrip {
+        Rrip::brrip(sets, ways, 0xb111)
+    }
+    /// Dynamic (set-dueling) RRIP (fixed seed).
+    pub fn drrip(sets: usize, ways: usize) -> Rrip {
+        Rrip::drrip(sets, ways, 0xd111)
+    }
+    /// Thread-aware DRRIP (fixed seed, per-thread PSELs).
+    pub fn ta_drrip(sets: usize, ways: usize) -> Rrip {
+        Rrip::ta_drrip(sets, ways, llc_sim::MAX_CORES, 0x7ad1)
+    }
+    /// LRU-insertion policy.
+    pub fn lip(sets: usize, ways: usize) -> Dip {
+        Dip::lip(sets, ways)
+    }
+    /// Bimodal insertion policy (fixed seed).
+    pub fn bip(sets: usize, ways: usize) -> Dip {
+        Dip::bip(sets, ways, 0xb19)
+    }
+    /// Dynamic (set-dueling) insertion policy (fixed seed).
+    pub fn dip(sets: usize, ways: usize) -> Dip {
+        Dip::dip(sets, ways, 0xd19)
+    }
+    /// SHiP-PC.
+    pub fn ship(sets: usize, ways: usize) -> Ship {
+        Ship::new(sets, ways)
+    }
+    /// Belady's OPT.
+    pub fn opt(sets: usize, ways: usize) -> Opt {
+        Opt::new(sets, ways)
+    }
+}
+
+/// Dispatches on a [`PolicyKind`] at runtime, binding `$ctor` to the
+/// *monomorphic* constructor function for that kind (a plain `fn(usize,
+/// usize) -> ConcretePolicy` item from [`mono`]) and evaluating `$body`
+/// once per arm. Each arm therefore compiles `$body` against a concrete
+/// policy type — this is how the replay drivers in `llc-sharing` get a
+/// specialized, devirtualized inner loop per policy while keeping a single
+/// generic implementation.
+///
+/// The constructor is a `Copy` function item, so `$body` can call it any
+/// number of times (e.g. once per shard) or wrap it in `Sync` closures.
+///
+/// ```
+/// use llc_policies::{with_policy, PolicyKind};
+/// use llc_sim::ReplacementPolicy;
+///
+/// let name = with_policy!(PolicyKind::Srrip, |ctor| ctor(64, 8).name());
+/// assert_eq!(name, "SRRIP");
+/// ```
+#[macro_export]
+macro_rules! with_policy {
+    ($kind:expr, |$ctor:ident| $body:expr) => {
+        match $kind {
+            $crate::PolicyKind::Lru => {
+                let $ctor = $crate::mono::lru;
+                $body
+            }
+            $crate::PolicyKind::Random => {
+                let $ctor = $crate::mono::random;
+                $body
+            }
+            $crate::PolicyKind::Nru => {
+                let $ctor = $crate::mono::nru;
+                $body
+            }
+            $crate::PolicyKind::Srrip => {
+                let $ctor = $crate::mono::srrip;
+                $body
+            }
+            $crate::PolicyKind::Brrip => {
+                let $ctor = $crate::mono::brrip;
+                $body
+            }
+            $crate::PolicyKind::Drrip => {
+                let $ctor = $crate::mono::drrip;
+                $body
+            }
+            $crate::PolicyKind::TaDrrip => {
+                let $ctor = $crate::mono::ta_drrip;
+                $body
+            }
+            $crate::PolicyKind::Lip => {
+                let $ctor = $crate::mono::lip;
+                $body
+            }
+            $crate::PolicyKind::Bip => {
+                let $ctor = $crate::mono::bip;
+                $body
+            }
+            $crate::PolicyKind::Dip => {
+                let $ctor = $crate::mono::dip;
+                $body
+            }
+            $crate::PolicyKind::Ship => {
+                let $ctor = $crate::mono::ship;
+                $body
+            }
+            $crate::PolicyKind::Opt => {
+                let $ctor = $crate::mono::opt;
+                $body
+            }
+        }
+    };
+}
+
+/// Instantiates a policy for an LLC of `sets` sets and `ways` ways,
+/// behind a `Box<dyn>` — the compatibility fallback for callers that need
+/// type erasure (full-hierarchy simulation, external policies). The fast
+/// replay drivers dispatch through [`with_policy!`] instead and never box.
 ///
 /// Deterministic: pseudo-random policies (Random, BRRIP, BIP and their
-/// dueling variants) derive their streams from fixed internal seeds.
+/// dueling variants) derive their streams from fixed internal seeds (see
+/// [`mono`]).
 pub fn build_policy(kind: PolicyKind, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
-    match kind {
-        PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
-        PolicyKind::Random => Box::new(Random::new(0x9d2c_5680)),
-        PolicyKind::Nru => Box::new(Nru::new(sets, ways)),
-        PolicyKind::Srrip => Box::new(Rrip::srrip(sets, ways)),
-        PolicyKind::Brrip => Box::new(Rrip::brrip(sets, ways, 0xb111)),
-        PolicyKind::Drrip => Box::new(Rrip::drrip(sets, ways, 0xd111)),
-        PolicyKind::TaDrrip => Box::new(Rrip::ta_drrip(sets, ways, llc_sim::MAX_CORES, 0x7ad1)),
-        PolicyKind::Lip => Box::new(Dip::lip(sets, ways)),
-        PolicyKind::Bip => Box::new(Dip::bip(sets, ways, 0xb19)),
-        PolicyKind::Dip => Box::new(Dip::dip(sets, ways, 0xd19)),
-        PolicyKind::Ship => Box::new(Ship::new(sets, ways)),
-        PolicyKind::Opt => Box::new(Opt::new(sets, ways)),
-    }
+    with_policy!(kind, |ctor| Box::new(ctor(sets, ways)))
 }
 
 /// Instantiates `kind` wrapped in reactive (directory-driven) sharing

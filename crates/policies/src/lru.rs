@@ -40,17 +40,30 @@ impl ReplacementPolicy for Lru {
         "LRU".into()
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         self.touch(set, way);
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         self.touch(set, way);
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
+        let stamps = &self.stamps[set * self.ways..(set + 1) * self.ways];
+        if crate::full_row_mask(view, stamps.len()) {
+            // Dense scan over the whole row — no mask tests.
+            let (w, _) = stamps
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &s)| s)
+                .expect("sets have at least one way");
+            return w;
+        }
         view.allowed_ways()
-            .min_by_key(|&w| self.stamps[set * self.ways + w])
+            .min_by_key(|&w| stamps[w])
             // infallible: the hierarchy never requests a victim from an
             // all-protected set (the oracle wrapper caps protections).
             .expect("victim candidates must be non-empty")
@@ -62,6 +75,10 @@ impl ReplacementPolicy for Lru {
     /// clock counts in between.
     fn state_scope(&self) -> StateScope {
         StateScope::PerSet
+    }
+    /// Victims come from this policy's own state; `lines` is never read.
+    fn needs_line_views(&self) -> bool {
+        false
     }
 }
 

@@ -29,14 +29,17 @@ impl ReplacementPolicy for Nru {
         "NRU".into()
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         self.refbit[set * self.ways + way] = true;
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         self.refbit[set * self.ways + way] = true;
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
         let base = set * self.ways;
         let start = self.scan_ptr[set] as usize % self.ways;
@@ -64,6 +67,10 @@ impl ReplacementPolicy for Nru {
     /// Per-set: reference bits and the scan pointer are both keyed by set.
     fn state_scope(&self) -> StateScope {
         StateScope::PerSet
+    }
+    /// Victims come from this policy's own state; `lines` is never read.
+    fn needs_line_views(&self) -> bool {
+        false
     }
 }
 

@@ -53,14 +53,17 @@ impl ReplacementPolicy for Opt {
         "OPT".into()
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         self.record(set, way, ctx);
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         self.record(set, way, ctx);
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
         view.allowed_ways()
             .max_by_key(|&w| self.next_use[set * self.ways + w])
@@ -73,6 +76,10 @@ impl ReplacementPolicy for Opt {
     /// stream indices, which sharded replay preserves.
     fn state_scope(&self) -> StateScope {
         StateScope::PerSet
+    }
+    /// Victims come from this policy's own state; `lines` is never read.
+    fn needs_line_views(&self) -> bool {
+        false
     }
 }
 

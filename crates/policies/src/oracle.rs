@@ -89,6 +89,7 @@ impl<P: ReplacementPolicy> ReplacementPolicy for OracleWrap<P> {
         }
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         let shared = ctx.aux.oracle_shared.unwrap_or(false);
         self.predicted_shared[set * self.ways + way] = shared;
@@ -98,6 +99,7 @@ impl<P: ReplacementPolicy> ReplacementPolicy for OracleWrap<P> {
         }
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         // Refresh the prediction: the oracle's answer at the latest access
         // reflects the remaining residency most accurately.
@@ -107,10 +109,12 @@ impl<P: ReplacementPolicy> ReplacementPolicy for OracleWrap<P> {
         self.base.on_hit(set, way, ctx);
     }
 
+    #[inline]
     fn on_evict(&mut self, set: usize, way: usize, gen: &GenerationEnd) {
         self.base.on_evict(set, way, gen);
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, ctx: &AccessCtx) -> usize {
         if !self.mode.protects_eviction() {
             return self.base.choose_victim(set, view, ctx);
@@ -137,6 +141,12 @@ impl<P: ReplacementPolicy> ReplacementPolicy for OracleWrap<P> {
     /// the overall scope is whatever the base policy declares.
     fn state_scope(&self) -> StateScope {
         self.base.state_scope()
+    }
+
+    /// The wrapper only restricts the candidate mask; `lines` is read
+    /// exactly when the base policy reads it.
+    fn needs_line_views(&self) -> bool {
+        self.base.needs_line_views()
     }
 }
 

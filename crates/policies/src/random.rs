@@ -48,10 +48,13 @@ impl ReplacementPolicy for Random {
         "Random".into()
     }
 
+    #[inline]
     fn on_fill(&mut self, _set: usize, _way: usize, _ctx: &AccessCtx) {}
 
+    #[inline]
     fn on_hit(&mut self, _set: usize, _way: usize, _ctx: &AccessCtx) {}
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
         let n = view.allowed.count_ones() as u64;
         debug_assert!(n > 0, "victim candidates must be non-empty");
@@ -65,6 +68,10 @@ impl ReplacementPolicy for Random {
     /// Per-set: each set owns an independent SplitMix64 chain.
     fn state_scope(&self) -> StateScope {
         StateScope::PerSet
+    }
+    /// Victims come from this policy's own state; `lines` is never read.
+    fn needs_line_views(&self) -> bool {
+        false
     }
 }
 

@@ -39,18 +39,22 @@ impl<P: ReplacementPolicy> ReplacementPolicy for ReactiveWrap<P> {
         format!("Reactive({})", self.base.name())
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         self.base.on_fill(set, way, ctx);
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         self.base.on_hit(set, way, ctx);
     }
 
+    #[inline]
     fn on_evict(&mut self, set: usize, way: usize, gen: &GenerationEnd) {
         self.base.on_evict(set, way, gen);
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, ctx: &AccessCtx) -> usize {
         let mut private_mask = 0u64;
         for w in view.allowed_ways() {

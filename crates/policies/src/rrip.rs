@@ -124,6 +124,93 @@ impl Rrip {
     }
 }
 
+/// RRIP victim selection over one set's RRPV row: the way with the maximum
+/// ("distant") RRPV, aging every line until an allowed way reaches it.
+///
+/// The textbook formulation rescans after each unit increment; since aging
+/// is a uniform `+1` clamped at [`RRPV_MAX`], the number of rounds is just
+/// the deficit of the most-distant allowed way, so one aging pass with that
+/// delta produces bit-identical RRPVs and the identical victim (the first
+/// allowed way, in way order, whose original RRPV was maximal).
+/// 0x01 in every byte: one flag bit per RRPV lane of a SWAR word.
+const LANE_LSB: u64 = 0x0101_0101_0101_0101;
+
+/// Returns `0x01` flags in the lanes of `x` (8 RRPV bytes, each ≤
+/// [`RRPV_MAX`]) whose value is exactly `RRPV_MAX` (binary `11`).
+#[inline]
+fn lanes_at_max(x: u64) -> u64 {
+    x & (x >> 1) & LANE_LSB
+}
+
+#[inline]
+pub(crate) fn choose_rrip_victim(rrpv: &mut [u8], view: &SetView<'_>) -> usize {
+    // Dense SWAR path: with every way allowed and 2-bit RRPVs, a u64 word
+    // holds 8 lanes, "some lane is distant" is three ALU ops, and the
+    // common case (a distant way already exists) decides the victim
+    // without touching memory again. Byte-loop formulations of this scan
+    // compile to either serial bit tests or variable-shift SIMD, both an
+    // order of magnitude slower per miss.
+    if crate::full_row_mask(view, rrpv.len()) && rrpv.len().is_multiple_of(8) {
+        let mut any2 = false;
+        let mut any1 = false;
+        for (c, chunk) in rrpv.chunks_exact(8).enumerate() {
+            // infallible: chunks_exact yields 8-byte windows.
+            let x = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            let f = lanes_at_max(x);
+            if f != 0 {
+                return c * 8 + f.trailing_zeros() as usize / 8;
+            }
+            any2 |= (x >> 1) & !x & LANE_LSB != 0;
+            any1 |= x & !(x >> 1) & LANE_LSB != 0;
+        }
+        // No distant way: age every lane by the deficit of the current
+        // maximum, which lands the max lanes exactly on RRPV_MAX (so the
+        // add needs no clamp), then take the first such lane.
+        let delta = if any2 {
+            1
+        } else if any1 {
+            2
+        } else {
+            3
+        };
+        let mut victim = None;
+        for (c, chunk) in rrpv.chunks_exact_mut(8).enumerate() {
+            // infallible: chunks_exact_mut yields 8-byte windows.
+            let x = u64::from_le_bytes((&*chunk).try_into().expect("8-byte chunk"));
+            let aged = x + delta * LANE_LSB;
+            chunk.copy_from_slice(&aged.to_le_bytes());
+            if victim.is_none() {
+                let f = lanes_at_max(aged);
+                if f != 0 {
+                    victim = Some(c * 8 + f.trailing_zeros() as usize / 8);
+                }
+            }
+        }
+        return victim.expect("the maximal lane reaches RRPV_MAX after aging");
+    }
+
+    // Masked (wrapper) or odd-width path: plain scalar scan.
+    let allowed = view.allowed;
+    let mut max_allowed = 0u8;
+    for (w, &v) in rrpv.iter().enumerate() {
+        if allowed >> w & 1 != 0 {
+            max_allowed = max_allowed.max(v);
+        }
+    }
+    let delta = RRPV_MAX - max_allowed;
+    if delta > 0 {
+        for v in rrpv.iter_mut() {
+            *v = (*v + delta).min(RRPV_MAX);
+        }
+    }
+    for (w, &v) in rrpv.iter().enumerate() {
+        if allowed >> w & 1 != 0 && v == RRPV_MAX {
+            return w;
+        }
+    }
+    unreachable!("an allowed way reaches RRPV_MAX after aging");
+}
+
 impl ReplacementPolicy for Rrip {
     fn name(&self) -> String {
         match self.flavor {
@@ -134,7 +221,15 @@ impl ReplacementPolicy for Rrip {
         }
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
+        // Static (SRRIP) is the unconditional fast path: no dueling state,
+        // no bimodal stream — keep the hot insertion free of the generic
+        // machinery below.
+        if self.flavor == RripFlavor::Static {
+            self.rrpv[set * self.ways + way] = RRPV_LONG;
+            return;
+        }
         match self.flavor {
             RripFlavor::Dynamic => self.duel.on_miss(set),
             RripFlavor::ThreadAware => {
@@ -150,23 +245,16 @@ impl ReplacementPolicy for Rrip {
         self.rrpv[set * self.ways + way] = ins;
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         // Hit promotion policy: promote to "near-immediate" (RRPV = 0).
         self.rrpv[set * self.ways + way] = 0;
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
-        let base = set * self.ways;
-        loop {
-            for w in 0..self.ways {
-                if view.is_allowed(w) && self.rrpv[base + w] == RRPV_MAX {
-                    return w;
-                }
-            }
-            for w in 0..self.ways {
-                self.rrpv[base + w] = (self.rrpv[base + w] + 1).min(RRPV_MAX);
-            }
-        }
+        let rrpv = &mut self.rrpv[set * self.ways..(set + 1) * self.ways];
+        choose_rrip_victim(rrpv, view)
     }
 
     /// SRRIP and BRRIP keep only per-set state (RRPVs and the per-set
@@ -177,6 +265,10 @@ impl ReplacementPolicy for Rrip {
             RripFlavor::Static | RripFlavor::Bimodal => StateScope::PerSet,
             RripFlavor::Dynamic | RripFlavor::ThreadAware => StateScope::Global,
         }
+    }
+    /// Victims come from this policy's own state; `lines` is never read.
+    fn needs_line_views(&self) -> bool {
+        false
     }
 }
 

@@ -19,29 +19,55 @@ pub const SHCT_ENTRIES: usize = 16 * 1024;
 pub const SHCT_MAX: u8 = 7;
 
 /// SHiP-PC replacement.
+///
+/// Per-line state (RRPV, fill signature, reuse outcome) lives in one
+/// set-blocked arena: each set owns a `4 * ways`-byte block laid out as
+/// `[rrpv; ways][outcome; ways][sig as 2 LE bytes; ways]`. Every hook
+/// therefore touches a single ~cache-line-sized region per set (separate
+/// per-field vectors cost three scattered lines per access), and the RRPV
+/// row is contiguous, so victim selection reuses the RRIP family's SWAR
+/// scan.
 #[derive(Debug, Clone)]
 pub struct Ship {
     ways: usize,
-    rrpv: Vec<u8>,
-    line_sig: Vec<u16>,
-    line_outcome: Vec<bool>,
+    /// `4 * ways` bytes per set.
+    stride: usize,
+    arena: Vec<u8>,
     shct: Vec<u8>,
 }
 
 impl Ship {
     /// Creates a SHiP-PC policy for `sets` sets of `ways` ways.
     pub fn new(sets: usize, ways: usize) -> Self {
+        let stride = 4 * ways;
+        let mut arena = vec![0u8; sets * stride];
+        for set in 0..sets {
+            // Empty ways never consult the policy; distant for definiteness.
+            arena[set * stride..set * stride + ways].fill(RRPV_MAX);
+        }
         Ship {
             ways,
-            rrpv: vec![RRPV_MAX; sets * ways],
-            line_sig: vec![0; sets * ways],
-            line_outcome: vec![false; sets * ways],
+            stride,
+            arena,
             shct: vec![1; SHCT_ENTRIES],
         }
     }
 
     fn signature(ctx: &AccessCtx) -> u16 {
         (ctx.pc.hash() % SHCT_ENTRIES as u64) as u16
+    }
+
+    /// The set's arena block: one bounds check per hook.
+    #[inline]
+    fn block(&mut self, set: usize) -> &mut [u8] {
+        let base = set * self.stride;
+        &mut self.arena[base..base + self.stride]
+    }
+
+    #[inline]
+    fn sig_at(&self, set: usize, way: usize) -> u16 {
+        let i = set * self.stride + 2 * self.ways + 2 * way;
+        u16::from_le_bytes([self.arena[i], self.arena[i + 1]])
     }
 
     /// Current SHCT counter for a signature (test hook).
@@ -51,7 +77,12 @@ impl Ship {
 
     /// Signature of the line currently in `(set, way)` (test hook).
     pub fn line_signature(&self, set: usize, way: usize) -> u16 {
-        self.line_sig[set * self.ways + way]
+        self.sig_at(set, way)
+    }
+
+    /// RRPV of the line currently in `(set, way)` (test hook).
+    pub fn rrpv(&self, set: usize, way: usize) -> u8 {
+        self.arena[set * self.stride + way]
     }
 }
 
@@ -60,48 +91,49 @@ impl ReplacementPolicy for Ship {
         "SHiP".into()
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         let sig = Self::signature(ctx);
-        let i = set * self.ways + way;
-        self.line_sig[i] = sig;
-        self.line_outcome[i] = false;
-        self.rrpv[i] = if self.shct[sig as usize] == 0 {
+        let rrpv = if self.shct[sig as usize] == 0 {
             RRPV_MAX
         } else {
             RRPV_LONG
         };
+        let ways = self.ways;
+        let block = self.block(set);
+        block[way] = rrpv;
+        block[ways + way] = 0;
+        let i = 2 * ways + 2 * way;
+        block[i..i + 2].copy_from_slice(&sig.to_le_bytes());
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
-        let i = set * self.ways + way;
-        self.rrpv[i] = 0;
-        if !self.line_outcome[i] {
-            self.line_outcome[i] = true;
-            let c = &mut self.shct[self.line_sig[i] as usize];
+        let ways = self.ways;
+        let block = self.block(set);
+        block[way] = 0;
+        if block[ways + way] == 0 {
+            block[ways + way] = 1;
+            let i = 2 * ways + 2 * way;
+            let sig = u16::from_le_bytes([block[i], block[i + 1]]);
+            let c = &mut self.shct[sig as usize];
             *c = (*c + 1).min(SHCT_MAX);
         }
     }
 
+    #[inline]
     fn on_evict(&mut self, set: usize, way: usize, _gen: &GenerationEnd) {
-        let i = set * self.ways + way;
-        if !self.line_outcome[i] {
-            let c = &mut self.shct[self.line_sig[i] as usize];
+        if self.arena[set * self.stride + self.ways + way] == 0 {
+            let sig = self.sig_at(set, way);
+            let c = &mut self.shct[sig as usize];
             *c = c.saturating_sub(1);
         }
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, _ctx: &AccessCtx) -> usize {
-        let base = set * self.ways;
-        loop {
-            for w in 0..self.ways {
-                if view.is_allowed(w) && self.rrpv[base + w] == RRPV_MAX {
-                    return w;
-                }
-            }
-            for w in 0..self.ways {
-                self.rrpv[base + w] = (self.rrpv[base + w] + 1).min(RRPV_MAX);
-            }
-        }
+        let rrpv = &mut self.arena[set * self.stride..set * self.stride + self.ways];
+        crate::rrip::choose_rrip_victim(rrpv, view)
     }
 
     /// Global: the signature history counter table is shared by every set,
@@ -109,6 +141,10 @@ impl ReplacementPolicy for Ship {
     /// all the others.
     fn state_scope(&self) -> StateScope {
         StateScope::Global
+    }
+    /// Victims come from this policy's own state; `lines` is never read.
+    fn needs_line_views(&self) -> bool {
+        false
     }
 }
 
@@ -147,7 +183,7 @@ mod tests {
         }
         assert_eq!(p.shct(sig), 0);
         p.on_fill(0, 0, &c);
-        assert_eq!(p.rrpv[0], RRPV_MAX);
+        assert_eq!(p.rrpv(0, 0), RRPV_MAX);
     }
 
     #[test]
@@ -155,9 +191,9 @@ mod tests {
         let mut p = Ship::new(1, 2);
         let c = ctx_at(0, 1, 0xdef);
         p.on_fill(0, 0, &c);
-        assert_eq!(p.rrpv[0], RRPV_LONG); // initial counter is 1
+        assert_eq!(p.rrpv(0, 0), RRPV_LONG); // initial counter is 1
         p.on_hit(0, 0, &c);
-        assert_eq!(p.rrpv[0], 0);
+        assert_eq!(p.rrpv(0, 0), 0);
         let sig = Ship::signature(&c);
         assert_eq!(p.shct(sig), 2); // hit incremented the counter
     }

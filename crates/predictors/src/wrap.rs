@@ -50,22 +50,26 @@ impl<P: ReplacementPolicy> ReplacementPolicy for PredictorWrap<P> {
         format!("Pred[{}]({})", self.predictor.name(), self.base.name())
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         let lookup = self.predictor.predict(ctx.block, ctx.pc);
         self.predicted_shared[set * self.ways + way] = lookup.shared;
         self.base.on_fill(set, way, ctx);
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         self.base.on_hit(set, way, ctx);
     }
 
+    #[inline]
     fn on_evict(&mut self, set: usize, way: usize, gen: &GenerationEnd) {
         self.predictor
             .train(gen.block, gen.fill_pc, gen.is_shared());
         self.base.on_evict(set, way, gen);
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, ctx: &AccessCtx) -> usize {
         let base_idx = set * self.ways;
         let mut private_mask = 0u64;
@@ -83,6 +87,12 @@ impl<P: ReplacementPolicy> ReplacementPolicy for PredictorWrap<P> {
             *view
         };
         self.base.choose_victim(set, &restricted, ctx)
+    }
+
+    /// The wrapper only restricts the candidate mask; `lines` is read
+    /// exactly when the base policy reads it.
+    fn needs_line_views(&self) -> bool {
+        self.base.needs_line_views()
     }
 }
 

@@ -11,7 +11,7 @@
 
 use crate::addr::{AccessKind, BlockAddr, CoreId, Pc};
 use crate::config::CacheConfig;
-use crate::replace::{AccessCtx, AuxProvider, LineView, NoAux, ReplacementPolicy, SetView};
+use crate::replace::{AccessCtx, Aux, AuxProvider, LineView, ReplacementPolicy, SetView};
 use crate::stats::LlcStats;
 
 /// Why a generation ended.
@@ -191,17 +191,17 @@ impl LiveGeneration {
     }
 }
 
+/// Per-line sharing bookkeeping and fill metadata, kept as one record per
+/// line (see the [`Llc`] storage-layout notes).
 #[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    valid: bool,
-    tag: u64,
+struct LineMeta {
     sharer_mask: u32,
     writer_mask: u32,
     hits: u32,
     hits_by_non_filler: u32,
     writes: u32,
-    fill_pc: Pc,
     fill_core: CoreId,
+    fill_pc: Pc,
     fill_time: u64,
 }
 
@@ -225,21 +225,52 @@ pub struct LlcAccess {
 /// reconstruction keep using the full geometry, so a set-range `Llc` is
 /// bit-identical to the corresponding slice of a full one. The sharded
 /// replay path in `llc-core` is built on this.
+///
+/// # Storage layout
+///
+/// Line state is split by access pattern, indexed by `(set - set_base) *
+/// ways + way`:
+///
+/// * **probe planes** — `tags` (one contiguous `u64` row per set; a
+///   16-way set is exactly two cache lines) and a per-set `u64` `valid`
+///   bitmask. These are the only state the resident-line scan reads, and
+///   the scan compiles to a branchless, SIMD-friendly compare-to-mask
+///   over the tag row.
+/// * **bookkeeping plane** — one [`LineMeta`] record per line holding the
+///   sharing masks, hit/write counters and fill metadata. These fields
+///   are always read and written *together* (on a hit, a fill or a
+///   generation end), so they stay struct-grouped: one meta record is one
+///   cache-line touch, where a field-per-plane split costs six scattered
+///   ones per access (measured slower than the old array-of-structs
+///   layout it replaced — see DESIGN.md §15).
 pub struct Llc<P> {
     /// Total sets in the *full* geometry (used for set/tag arithmetic even
     /// when this instance only stores a sub-range).
     sets: u64,
-    /// First set covered by `lines`.
+    /// First set covered by the line planes.
     set_base: u64,
-    /// Number of consecutive sets covered by `lines`.
+    /// Number of consecutive sets covered by the line planes.
     set_len: u64,
     ways: usize,
-    lines: Vec<Line>,
+    /// Probe plane: the tag of each way. Stale values of evicted lines
+    /// stay in place and are masked out by `valid`.
+    tags: Vec<u64>,
+    /// Per-set valid bitmask (bit `w` set ⇒ way `w` holds a live line).
+    valid: Vec<u64>,
+    /// Bookkeeping plane: per-generation sharing state and fill metadata.
+    meta: Vec<LineMeta>,
+    /// Reusable victim-view buffer (one entry per way), filled on misses
+    /// to full sets before consulting the policy.
+    view_buf: Vec<LineView>,
     policy: P,
-    aux: Box<dyn AuxProvider>,
+    /// Offline side-channel, absent for realistic policies so the hot loop
+    /// skips the virtual call entirely.
+    aux: Option<Box<dyn AuxProvider>>,
     time: u64,
     stats: LlcStats,
-    view_buf: Vec<LineView>,
+    /// `log2(sets)`, for rebuilding block addresses from `(tag, set)`
+    /// without a multiply.
+    set_shift: u32,
     /// All-ways victim-candidate mask, fixed by the associativity.
     full_mask: u64,
 }
@@ -277,16 +308,15 @@ impl<P: ReplacementPolicy> Llc<P> {
             "set range [{set_base}, {set_base}+{set_len}) exceeds {sets} sets"
         );
         let ways = config.ways;
+        let slots = (set_len * ways as u64) as usize;
         Llc {
             sets,
             set_base,
             set_len,
             ways,
-            lines: vec![Line::default(); (set_len * ways as u64) as usize],
-            policy,
-            aux: Box::new(NoAux),
-            time: 0,
-            stats: LlcStats::default(),
+            tags: vec![0; slots],
+            valid: vec![0; set_len as usize],
+            meta: vec![LineMeta::default(); slots],
             view_buf: vec![
                 LineView {
                     block: BlockAddr::new(0),
@@ -295,6 +325,11 @@ impl<P: ReplacementPolicy> Llc<P> {
                 };
                 ways
             ],
+            policy,
+            aux: None,
+            time: 0,
+            stats: LlcStats::default(),
+            set_shift: sets.trailing_zeros(),
             full_mask: if ways == 64 {
                 u64::MAX
             } else {
@@ -305,7 +340,7 @@ impl<P: ReplacementPolicy> Llc<P> {
 
     /// Installs an [`AuxProvider`] (OPT next-use chains, oracle bits).
     pub fn set_aux_provider(&mut self, aux: Box<dyn AuxProvider>) {
-        self.aux = aux;
+        self.aux = Some(aux);
     }
 
     /// Number of sets.
@@ -373,14 +408,26 @@ impl<P: ReplacementPolicy> Llc<P> {
         ((set - self.set_base) as usize) * self.ways
     }
 
+    /// Branchless tag match: bit `w` of the result is set iff way `w`
+    /// holds a live line whose tag equals `tag`. The compare runs over the
+    /// set's contiguous tag row (no per-way branch, SIMD-friendly) and the
+    /// valid mask is folded in at the end.
+    #[inline]
+    fn match_mask(&self, set: u64, tag: u64) -> u64 {
+        let base = self.set_slot(set);
+        let tags = &self.tags[base..base + self.ways];
+        let mut mask = 0u64;
+        for (w, &t) in tags.iter().enumerate() {
+            mask |= u64::from(t == tag) << w;
+        }
+        mask & self.valid[(set - self.set_base) as usize]
+    }
+
     /// Returns the way holding `tag` in `set`, if resident.
     #[inline]
     fn find_way(&self, set: u64, tag: u64) -> Option<usize> {
-        let base = self.set_slot(set);
-        (0..self.ways).find(|&w| {
-            let line = &self.lines[base + w];
-            line.valid && line.tag == tag
-        })
+        let mask = self.match_mask(set, tag);
+        (mask != 0).then(|| mask.trailing_zeros() as usize)
     }
 
     /// Records a coherence *upgrade*: `core` wrote a block it already had
@@ -395,10 +442,10 @@ impl<P: ReplacementPolicy> Llc<P> {
         let tag = block.tag(self.sets);
         if let Some(w) = self.find_way(set, tag) {
             let slot = self.set_slot(set) + w;
-            let line = &mut self.lines[slot];
-            line.sharer_mask |= core.bit();
-            line.writer_mask |= core.bit();
-            line.writes = line.writes.saturating_add(1);
+            let meta = &mut self.meta[slot];
+            meta.sharer_mask |= core.bit();
+            meta.writer_mask |= core.bit();
+            meta.writes = meta.writes.saturating_add(1);
         }
     }
 
@@ -410,13 +457,17 @@ impl<P: ReplacementPolicy> Llc<P> {
     }
 
     /// Processes one demand access (a private-cache miss).
-    pub fn access(
+    ///
+    /// Generic over the observer so monomorphized drivers with a concrete
+    /// (e.g. null) observer pay no virtual dispatch; `&mut dyn
+    /// LlcObserver` callers keep working unchanged.
+    pub fn access<O: LlcObserver + ?Sized>(
         &mut self,
         block: BlockAddr,
         pc: Pc,
         core: CoreId,
         kind: AccessKind,
-        obs: &mut dyn LlcObserver,
+        obs: &mut O,
     ) -> LlcAccess {
         let time = self.time;
         self.time += 1;
@@ -425,7 +476,10 @@ impl<P: ReplacementPolicy> Llc<P> {
             self.stats.writes += 1;
         }
 
-        let aux = self.aux.aux_for(time, block);
+        let aux = match self.aux.as_mut() {
+            Some(aux) => aux.aux_for(time, block),
+            None => Aux::default(),
+        };
         let ctx = AccessCtx {
             block,
             pc,
@@ -438,29 +492,32 @@ impl<P: ReplacementPolicy> Llc<P> {
         let set = block.set_index(self.sets);
         let tag = block.tag(self.sets);
         let base = self.set_slot(set);
+        let set_idx = (set - self.set_base) as usize;
 
         // Hit path.
-        if let Some(w) = self.find_way(set, tag) {
-            let line = &mut self.lines[base + w];
-            let was_new_sharer = line.sharer_mask & core.bit() == 0;
-            line.sharer_mask |= core.bit();
-            line.hits = line.hits.saturating_add(1);
-            if core != line.fill_core {
-                line.hits_by_non_filler = line.hits_by_non_filler.saturating_add(1);
+        let mask = self.match_mask(set, tag);
+        if mask != 0 {
+            let w = mask.trailing_zeros() as usize;
+            let meta = &mut self.meta[base + w];
+            let was_new_sharer = meta.sharer_mask & core.bit() == 0;
+            meta.sharer_mask |= core.bit();
+            meta.hits = meta.hits.saturating_add(1);
+            if core != meta.fill_core {
+                meta.hits_by_non_filler = meta.hits_by_non_filler.saturating_add(1);
                 self.stats.hits_by_non_filler += 1;
             }
             if kind.is_write() {
-                line.writes = line.writes.saturating_add(1);
-                line.writer_mask |= core.bit();
+                meta.writes = meta.writes.saturating_add(1);
+                meta.writer_mask |= core.bit();
             }
             self.stats.hits += 1;
             let live = LiveGeneration {
                 block,
-                sharer_mask: line.sharer_mask,
-                writer_mask: line.writer_mask,
-                hits: line.hits,
-                fill_core: line.fill_core,
-                fill_time: line.fill_time,
+                sharer_mask: meta.sharer_mask,
+                writer_mask: meta.writer_mask,
+                hits: meta.hits,
+                fill_core: meta.fill_core,
+                fill_time: meta.fill_time,
             };
             obs.on_hit(&ctx, &live, was_new_sharer);
             self.policy.on_hit(set as usize, w, &ctx);
@@ -470,52 +527,56 @@ impl<P: ReplacementPolicy> Llc<P> {
             };
         }
 
-        // Miss: find an invalid way or consult the policy for a victim.
-        let mut fill_way = None;
-        for w in 0..self.ways {
-            if !self.lines[base + w].valid {
-                fill_way = Some(w);
-                break;
-            }
-        }
+        // Miss: fill the lowest invalid way, or consult the policy for a
+        // victim if the set is full.
+        let invalid = !self.valid[set_idx] & self.full_mask;
         let mut victim_block = None;
-        let way = match fill_way {
-            Some(w) => w,
-            None => {
+        let way = if invalid != 0 {
+            invalid.trailing_zeros() as usize
+        } else {
+            // The line-view gather touches every way's bookkeeping record —
+            // by far the widest memory footprint in the miss path — so it
+            // only runs for policies that declare they read `lines`. In the
+            // monomorphized drivers the branch folds away statically.
+            let lines: &[LineView] = if self.policy.needs_line_views() {
                 for w in 0..self.ways {
-                    let line = &self.lines[base + w];
+                    let slot = base + w;
                     self.view_buf[w] = LineView {
-                        block: BlockAddr::new(line.tag * self.sets + set),
-                        sharer_count: line.sharer_mask.count_ones(),
-                        dirty: line.writes > 0,
+                        block: BlockAddr::new((self.tags[slot] << self.set_shift) | set),
+                        sharer_count: self.meta[slot].sharer_mask.count_ones(),
+                        dirty: self.meta[slot].writes > 0,
                     };
                 }
-                let view = SetView {
-                    lines: &self.view_buf,
-                    allowed: self.full_mask,
-                };
-                let w = self.policy.choose_victim(set as usize, &view, &ctx);
-                debug_assert!(w < self.ways, "policy returned out-of-range way {w}");
-                let gen = self.end_generation(set, w, time, EvictCause::Replacement);
-                victim_block = Some(gen.block);
-                self.stats.evictions += 1;
-                self.policy.on_evict(set as usize, w, &gen);
-                obs.on_generation_end(&gen);
-                w
-            }
+                &self.view_buf
+            } else {
+                &[]
+            };
+            let view = SetView {
+                lines,
+                allowed: self.full_mask,
+            };
+            let w = self.policy.choose_victim(set as usize, &view, &ctx);
+            debug_assert!(w < self.ways, "policy returned out-of-range way {w}");
+            let gen = self.end_generation(set, w, time, EvictCause::Replacement);
+            victim_block = Some(gen.block);
+            self.stats.evictions += 1;
+            self.policy.on_evict(set as usize, w, &gen);
+            obs.on_generation_end(&gen);
+            w
         };
 
         self.stats.fills += 1;
-        self.lines[base + way] = Line {
-            valid: true,
-            tag,
+        let slot = base + way;
+        self.valid[set_idx] |= 1u64 << way;
+        self.tags[slot] = tag;
+        self.meta[slot] = LineMeta {
             sharer_mask: core.bit(),
             writer_mask: if kind.is_write() { core.bit() } else { 0 },
             hits: 0,
             hits_by_non_filler: 0,
             writes: if kind.is_write() { 1 } else { 0 },
-            fill_pc: pc,
             fill_core: core,
+            fill_pc: pc,
             fill_time: time,
         };
         obs.on_fill(&ctx);
@@ -533,48 +594,53 @@ impl<P: ReplacementPolicy> Llc<P> {
         now: u64,
         cause: EvictCause,
     ) -> GenerationEnd {
-        let base = self.set_slot(set);
-        let line = &mut self.lines[base + way];
-        debug_assert!(line.valid, "ending a generation of an invalid line");
+        let set_idx = (set - self.set_base) as usize;
+        let slot = self.set_slot(set) + way;
+        debug_assert!(
+            self.valid[set_idx] & (1u64 << way) != 0,
+            "ending a generation of an invalid line"
+        );
+        let meta = &self.meta[slot];
         let gen = GenerationEnd {
-            block: BlockAddr::new(line.tag * self.sets + set),
+            block: BlockAddr::new((self.tags[slot] << self.set_shift) | set),
             set: set as usize,
-            fill_pc: line.fill_pc,
-            fill_core: line.fill_core,
-            fill_time: line.fill_time,
+            fill_pc: meta.fill_pc,
+            fill_core: meta.fill_core,
+            fill_time: meta.fill_time,
             end_time: now,
-            sharer_mask: line.sharer_mask,
-            writer_mask: line.writer_mask,
-            hits: line.hits,
-            hits_by_non_filler: line.hits_by_non_filler,
-            writes: line.writes,
+            sharer_mask: meta.sharer_mask,
+            writer_mask: meta.writer_mask,
+            hits: meta.hits,
+            hits_by_non_filler: meta.hits_by_non_filler,
+            writes: meta.writes,
             cause,
         };
-        line.valid = false;
+        self.valid[set_idx] &= !(1u64 << way);
         gen
     }
 
     /// Ends every live generation with [`EvictCause::Flush`], reporting each
     /// to the policy and the observer. Call once at the end of a simulation
     /// so that per-generation statistics cover the whole run.
-    pub fn flush(&mut self, obs: &mut dyn LlcObserver) {
+    pub fn flush<O: LlcObserver + ?Sized>(&mut self, obs: &mut O) {
         let now = self.time;
         for set in self.set_base..self.set_base + self.set_len {
-            for way in 0..self.ways {
-                let base = self.set_slot(set);
-                if self.lines[base + way].valid {
-                    let gen = self.end_generation(set, way, now, EvictCause::Flush);
-                    self.stats.flushed += 1;
-                    self.policy.on_evict(set as usize, way, &gen);
-                    obs.on_generation_end(&gen);
-                }
+            // Ascending-way order, exactly as the per-way scan reported.
+            let mut live = self.valid[(set - self.set_base) as usize];
+            while live != 0 {
+                let way = live.trailing_zeros() as usize;
+                live &= live - 1;
+                let gen = self.end_generation(set, way, now, EvictCause::Flush);
+                self.stats.flushed += 1;
+                self.policy.on_evict(set as usize, way, &gen);
+                obs.on_generation_end(&gen);
             }
         }
     }
 
     /// Number of currently valid lines.
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 }
 

@@ -76,10 +76,17 @@ pub struct SetView<'a> {
 }
 
 impl SetView<'_> {
-    /// Iterates over the indices of the allowed ways.
+    /// Iterates over the indices of the allowed ways in ascending order.
+    ///
+    /// Bounded by the mask's highest set bit rather than `lines.len()`
+    /// (which may be zero — see
+    /// [`ReplacementPolicy::needs_line_views`]). The indexed filter keeps
+    /// iterations independent; a pop-lowest-bit loop would chain every
+    /// step on the previous mask value and serialize the victim scan.
     pub fn allowed_ways(&self) -> impl Iterator<Item = usize> + '_ {
         let mask = self.allowed;
-        (0..self.lines.len()).filter(move |w| mask & (1u64 << w) != 0)
+        let n = 64 - mask.leading_zeros() as usize;
+        (0..n).filter(move |w| mask & (1u64 << w) != 0)
     }
 
     /// Returns `true` if way `w` is an eviction candidate.
@@ -133,6 +140,7 @@ pub trait ReplacementPolicy {
     /// inclusive back-invalidation, or end-of-simulation flush). Policies
     /// that learn from generation outcomes (SHiP, the predictor-driven
     /// wrapper) train here.
+    #[inline]
     fn on_evict(&mut self, set: usize, way: usize, gen: &GenerationEnd) {
         let _ = (set, way, gen);
     }
@@ -153,26 +161,48 @@ pub trait ReplacementPolicy {
     fn state_scope(&self) -> StateScope {
         StateScope::Global
     }
+
+    /// Declares whether [`ReplacementPolicy::choose_victim`] reads
+    /// [`SetView::lines`].
+    ///
+    /// Gathering the per-line views (sharer counts, dirty bits, block
+    /// reconstruction for every way) is the most expensive part of the
+    /// cache's miss path, yet most policies pick victims from their own
+    /// state and only use [`SetView::allowed`]. A policy that returns
+    /// `false` is handed a view with an **empty** `lines` slice and the
+    /// cache skips the gather entirely. The default is `true` — the
+    /// conservative answer. Wrapper policies must forward their base's
+    /// answer unless they read `lines` themselves.
+    fn needs_line_views(&self) -> bool {
+        true
+    }
 }
 
 impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
     fn name(&self) -> String {
         (**self).name()
     }
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         (**self).on_fill(set, way, ctx)
     }
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         (**self).on_hit(set, way, ctx)
     }
+    #[inline]
     fn on_evict(&mut self, set: usize, way: usize, gen: &GenerationEnd) {
         (**self).on_evict(set, way, gen)
     }
+    #[inline]
     fn choose_victim(&mut self, set: usize, view: &SetView<'_>, ctx: &AccessCtx) -> usize {
         (**self).choose_victim(set, view, ctx)
     }
     fn state_scope(&self) -> StateScope {
         (**self).state_scope()
+    }
+    fn needs_line_views(&self) -> bool {
+        (**self).needs_line_views()
     }
 }
 

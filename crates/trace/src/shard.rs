@@ -8,10 +8,13 @@
 //! lists the stream indices of the accesses (and the upgrade-event indices)
 //! that fall inside the range.
 //!
-//! The index stores positions, not copies: replaying a shard walks the
-//! original stream's parallel vectors through the index list, driving the
-//! shard's LLC with the *global* stream index as its logical clock so that
-//! every timestamp matches the sequential run bit for bit.
+//! The index stores the global positions *and* a gathered copy of the
+//! stream rows that fall in each shard: replaying a shard walks its own
+//! contiguous access planes front to back (no strided reads through the
+//! full stream) while the position list supplies the *global* stream index
+//! as the shard LLC's logical clock, so every timestamp matches the
+//! sequential run bit for bit. The gather costs one pass at build time and
+//! duplicates the stream once per cached shard count; replays amortize it.
 //!
 //! Indices are `u32` to halve the footprint (one `u32` per access per
 //! cached shard count). Streams with `u32::MAX` or more accesses — far
@@ -20,19 +23,29 @@
 //! sequential path.
 
 use crate::stream::RecordedStream;
+use llc_sim::{AccessKind, BlockAddr, CoreId, Pc};
 
-/// One contiguous set range of a [`ShardIndex`] and the stream positions
-/// that touch it.
+/// One contiguous set range of a [`ShardIndex`]: the stream positions
+/// that touch it plus a gathered, contiguous copy of those accesses.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StreamShard {
     /// First set of the range.
     pub set_base: u64,
     /// Number of consecutive sets in the range (> 0).
     pub set_len: u64,
-    /// Indices into the stream's access vectors, in stream order.
+    /// Indices into the stream's access vectors, in stream order. These
+    /// are the global logical clocks the shard's LLC is driven with.
     pub accesses: Vec<u32>,
     /// Indices into the stream's upgrade list, in stream order.
     pub upgrades: Vec<u32>,
+    /// Gathered block of each access in `accesses` (same order).
+    pub blocks: Vec<BlockAddr>,
+    /// Gathered PC of each access.
+    pub pcs: Vec<Pc>,
+    /// Gathered issuing core of each access.
+    pub cores: Vec<CoreId>,
+    /// Gathered read/write kind of each access.
+    pub kinds: Vec<AccessKind>,
 }
 
 /// Per-set-range access/upgrade index lists over one [`RecordedStream`],
@@ -64,18 +77,27 @@ impl ShardIndex {
         let mut out: Vec<StreamShard> = (0..count)
             .map(|s| {
                 let (set_base, set_len) = part.range(s);
+                // Pre-size to the even share; skewed workloads grow.
+                let share = stream.len() / count as usize + 1;
                 StreamShard {
                     set_base,
                     set_len,
-                    // Pre-size to the even share; skewed workloads grow.
-                    accesses: Vec::with_capacity(stream.len() / count as usize + 1),
+                    accesses: Vec::with_capacity(share),
                     upgrades: Vec::new(),
+                    blocks: Vec::with_capacity(share),
+                    pcs: Vec::with_capacity(share),
+                    cores: Vec::with_capacity(share),
+                    kinds: Vec::with_capacity(share),
                 }
             })
             .collect();
-        for (i, block) in stream.blocks.iter().enumerate() {
-            let shard = part.shard_of(block.set_index(sets));
-            out[shard as usize].accesses.push(i as u32);
+        for (i, &block) in stream.blocks.iter().enumerate() {
+            let shard = &mut out[part.shard_of(block.set_index(sets)) as usize];
+            shard.accesses.push(i as u32);
+            shard.blocks.push(block);
+            shard.pcs.push(stream.pcs[i]);
+            shard.cores.push(stream.cores[i]);
+            shard.kinds.push(stream.kinds[i]);
         }
         for (i, u) in stream.upgrades.iter().enumerate() {
             let shard = part.shard_of(u.block.set_index(sets));
@@ -106,6 +128,11 @@ impl ShardIndex {
             .map(|s| {
                 std::mem::size_of::<StreamShard>()
                     + (s.accesses.len() + s.upgrades.len()) * std::mem::size_of::<u32>()
+                    + s.blocks.len()
+                        * (std::mem::size_of::<BlockAddr>()
+                            + std::mem::size_of::<Pc>()
+                            + std::mem::size_of::<CoreId>()
+                            + std::mem::size_of::<AccessKind>())
             })
             .sum()
     }

@@ -1,0 +1,59 @@
+//! The replay inner loop must do **zero** telemetry work per access:
+//! spans and counters are phase-level only, so a disabled tracer costs
+//! nothing on the hot path and an enabled one buffers a constant number
+//! of events per replay regardless of stream length.
+//!
+//! This lives in its own integration-test binary (its own process) so no
+//! concurrently running test can flip the process-global span switch
+//! under the assertions.
+
+use sharing_aware_llc::prelude::*;
+use sharing_aware_llc::sharing::{record_stream, replay_kind};
+use sharing_aware_llc::telemetry::spans;
+
+#[test]
+fn disabled_telemetry_is_zero_atomics_per_replay_access() {
+    let cfg = HierarchyConfig::tiny();
+    let small = record_stream(&cfg, App::Bodytrack.workload(cfg.cores, Scale::Tiny))
+        .expect("record small stream");
+    let large = record_stream(&cfg, App::Bodytrack.workload(cfg.cores, Scale::Small))
+        .expect("record large stream");
+    assert!(
+        large.len() > 2 * small.len(),
+        "the two streams must differ in length for the scaling assertions \
+         (small {}, large {})",
+        small.len(),
+        large.len()
+    );
+
+    // Disabled (the default): a replay buffers no span events at all, no
+    // matter how many accesses it drives.
+    assert!(!spans::enabled(), "spans must start disabled");
+    let before = spans::event_count();
+    let run = replay_kind(&cfg, PolicyKind::Lru, &large, vec![]).expect("replay");
+    assert!(run.llc.accesses > 0);
+    assert_eq!(
+        spans::event_count(),
+        before,
+        "a disabled tracer must record nothing during replay"
+    );
+
+    // Enabled: the event count is per-*phase*, not per-access — replaying
+    // a stream twice the length buffers exactly as many events.
+    spans::set_enabled(true);
+    let before = spans::event_count();
+    replay_kind(&cfg, PolicyKind::Lru, &small, vec![]).expect("replay small");
+    let per_small = spans::event_count() - before;
+    let before = spans::event_count();
+    replay_kind(&cfg, PolicyKind::Lru, &large, vec![]).expect("replay large");
+    let per_large = spans::event_count() - before;
+    spans::set_enabled(false);
+    assert_eq!(
+        per_small, per_large,
+        "span events per replay must be independent of stream length"
+    );
+    assert!(
+        per_large as u64 <= 4,
+        "replay must emit a handful of phase-level spans, not {per_large}"
+    );
+}

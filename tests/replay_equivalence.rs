@@ -12,10 +12,11 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use llc_sharing::{
-    oracle_window, record_stream, replay_kind, replay_oracle, simulate, simulate_opt,
-    simulate_oracle, NextUseProvider, OracleProvider,
+    compute_annotations, oracle_window, record_stream, replay, replay_kind, replay_kind_sharded,
+    replay_oracle, simulate, simulate_opt, simulate_oracle, CombinedProvider, NextUseProvider,
+    OracleProvider,
 };
-use llc_sim::{AccessCtx, LiveGeneration};
+use llc_sim::{AccessCtx, AuxProvider, LiveGeneration};
 use proptest::prelude::*;
 use sharing_aware_llc::policies::build_oracle_policy_with_mode;
 use sharing_aware_llc::prelude::*;
@@ -222,6 +223,159 @@ proptest! {
             let fast = replay_oracle(
                 &cfg, base, ProtectMode::Eviction, None, &stream, vec![]).expect("oracle replay");
             prop_assert_eq!(full.llc, fast.llc, "base {}", base.label());
+        }
+    }
+}
+
+/// Every policy kind, for iterating the differential suites below.
+const ALL_KINDS: [PolicyKind; 12] = [
+    PolicyKind::Lru,
+    PolicyKind::Random,
+    PolicyKind::Nru,
+    PolicyKind::Srrip,
+    PolicyKind::Brrip,
+    PolicyKind::Drrip,
+    PolicyKind::TaDrrip,
+    PolicyKind::Lip,
+    PolicyKind::Bip,
+    PolicyKind::Dip,
+    PolicyKind::Ship,
+    PolicyKind::Opt,
+];
+
+/// A small deterministic multi-threaded trace (blocks conflict across a
+/// compact universe so replacement decisions actually differ by policy).
+fn fixed_trace(len: usize, blocks: u64) -> Vec<MemAccess> {
+    (0..len)
+        .map(|i| {
+            let r = llc_sim::splitmix64(i as u64 ^ 0x5eed);
+            MemAccess {
+                core: CoreId::new((r % 4) as usize),
+                pc: Pc::new(0x400 + (r >> 8) % 16 * 4),
+                addr: Addr::new((r >> 16) % blocks * 64),
+                kind: if r.is_multiple_of(5) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                instr_gap: 3,
+            }
+        })
+        .collect()
+}
+
+/// The monomorphized drivers (`replay_kind`, dispatched per `PolicyKind`
+/// through `with_policy!`) are bit-identical to the `Box<dyn>`
+/// compatibility path (`replay` over `build_policy`) for **every** kind.
+#[test]
+fn monomorphized_replay_matches_dyn_for_every_kind() {
+    let cfg = no_l2_cfg();
+    let sets = cfg.llc.sets() as usize;
+    let ways = cfg.llc.ways;
+    let trace = fixed_trace(900, 96);
+    let stream = record_stream(&cfg, VecSource::new(trace)).expect("record");
+    for kind in ALL_KINDS {
+        let aux: Option<Box<dyn AuxProvider>> = (kind == PolicyKind::Opt).then(|| {
+            Box::new(NextUseProvider::new(
+                compute_annotations(&stream, 0).next_use,
+            )) as Box<dyn AuxProvider>
+        });
+        let dyn_run =
+            replay(&cfg, build_policy(kind, sets, ways), aux, &stream, vec![]).expect("dyn replay");
+        let mono_run = replay_kind(&cfg, kind, &stream, vec![]).expect("mono replay");
+        assert_eq!(dyn_run.llc, mono_run.llc, "kind {}", kind.label());
+        assert_eq!(dyn_run.policy, mono_run.policy, "kind {}", kind.label());
+    }
+}
+
+/// Same differential, oracle-wrapped: the monomorphized `replay_oracle`
+/// matches the boxed `build_oracle_policy_with_mode` path for every base
+/// kind (including OPT, which consumes both annotation vectors).
+#[test]
+fn monomorphized_oracle_matches_dyn_for_every_base() {
+    let cfg = no_l2_cfg();
+    let sets = cfg.llc.sets() as usize;
+    let ways = cfg.llc.ways;
+    let window = oracle_window(&cfg);
+    let trace = fixed_trace(700, 96);
+    let stream = record_stream(&cfg, VecSource::new(trace)).expect("record");
+    let ann = compute_annotations(&stream, window);
+    for base in ALL_KINDS {
+        let aux: Box<dyn AuxProvider> = if base == PolicyKind::Opt {
+            Box::new(CombinedProvider::new(
+                ann.next_use.clone(),
+                ann.shared_soon.clone(),
+            ))
+        } else {
+            Box::new(OracleProvider::new(ann.shared_soon.clone()))
+        };
+        let dyn_run = replay(
+            &cfg,
+            build_oracle_policy_with_mode(base, sets, ways, ProtectMode::Eviction),
+            Some(aux),
+            &stream,
+            vec![],
+        )
+        .expect("dyn oracle replay");
+        let mono_run = replay_oracle(
+            &cfg,
+            base,
+            ProtectMode::Eviction,
+            Some(window),
+            &stream,
+            vec![],
+        )
+        .expect("mono oracle replay");
+        assert_eq!(dyn_run.llc, mono_run.llc, "oracle base {}", base.label());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kernel-edge sweep: associativities across the whole supported
+    /// range — including `ways = 64`, where the branchless scan's
+    /// `full_mask` must saturate to all-ones without overflowing — and
+    /// shard counts that do not divide the set count (non-power-of-two
+    /// per-shard set ranges). Monomorphized sequential, `Box<dyn>`
+    /// sequential and monomorphized sharded replay must all agree.
+    #[test]
+    fn kernel_edges_ways_and_shard_sweep(
+        trace in trace_strategy(300),
+        ways in 1usize..=64,
+        sets_pow in 0u32..4,
+        shards in 1usize..=7,
+    ) {
+        let sets = 1u64 << sets_pow;
+        let cfg = HierarchyConfig {
+            cores: 4,
+            l1: CacheConfig::from_kib(1, 2).expect("valid L1"),
+            l2: None,
+            llc: CacheConfig::new(sets * ways as u64 * 64, ways).expect("valid LLC"),
+            inclusion: Inclusion::NonInclusive,
+        };
+        let stream = record_stream(&cfg, VecSource::new(trace)).expect("record");
+        for kind in [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Opt] {
+            let aux: Option<Box<dyn AuxProvider>> = (kind == PolicyKind::Opt).then(|| {
+                Box::new(NextUseProvider::new(compute_annotations(&stream, 0).next_use))
+                    as Box<dyn AuxProvider>
+            });
+            let dyn_run = replay(
+                &cfg,
+                build_policy(kind, cfg.llc.sets() as usize, ways),
+                aux,
+                &stream,
+                vec![],
+            ).expect("dyn replay");
+            let mono_run = replay_kind(&cfg, kind, &stream, vec![]).expect("mono replay");
+            let sharded = replay_kind_sharded(&cfg, kind, &stream, shards).expect("sharded");
+            prop_assert_eq!(
+                &dyn_run.llc, &mono_run.llc,
+                "mono vs dyn, kind {} ways {} sets {}", kind.label(), ways, sets);
+            prop_assert_eq!(
+                &mono_run.llc, &sharded.llc,
+                "sharded vs sequential, kind {} ways {} sets {} shards {}",
+                kind.label(), ways, sets, shards);
         }
     }
 }
