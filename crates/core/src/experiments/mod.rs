@@ -6,11 +6,12 @@ mod config;
 mod extensions;
 mod oracle;
 mod phases;
-mod policies;
+pub(crate) mod policies;
 mod predictor;
 
 use std::sync::Arc;
 
+use llc_dag::DagStore;
 use llc_sim::{CacheConfig, HierarchyConfig, Inclusion};
 use llc_trace::{App, RecordedStream, Scale};
 
@@ -37,6 +38,11 @@ pub struct ExperimentCtx {
     /// suite run (cloning the ctx shares the cache): each (workload,
     /// hierarchy) pair is recorded once, then every policy replays it.
     pub streams: StreamCache,
+    /// Optional content-addressed artifact DAG: when attached, pure-stats
+    /// replays resolve through [`ExperimentCtx::replay_cached`] and the
+    /// fused annotation pre-passes are persisted per (stream, window), so
+    /// near-duplicate specs only pay for their delta.
+    pub dag: Option<DagStore>,
 }
 
 impl ExperimentCtx {
@@ -52,6 +58,7 @@ impl ExperimentCtx {
             scale: Scale::Medium,
             apps: App::ALL.to_vec(),
             streams: StreamCache::new(),
+            dag: None,
         }
     }
 
@@ -68,6 +75,7 @@ impl ExperimentCtx {
             scale: Scale::Small,
             apps: App::ALL.to_vec(),
             streams: StreamCache::new(),
+            dag: None,
         }
     }
 
@@ -83,6 +91,7 @@ impl ExperimentCtx {
             scale: Scale::Tiny,
             apps: vec![App::Swaptions, App::Bodytrack, App::Dedup, App::Fft],
             streams: StreamCache::new(),
+            dag: None,
         }
     }
 
@@ -136,6 +145,17 @@ impl ExperimentCtx {
         app.workload(self.cores, self.scale)
     }
 
+    /// The [`StreamKey`] `app` resolves to under `config` — the identity
+    /// a stream node is fingerprinted by, computable without recording.
+    pub fn stream_key(&self, app: App, config: &HierarchyConfig) -> StreamKey {
+        StreamKey {
+            workload: WorkloadId::App(app),
+            cores: self.cores,
+            scale: self.scale,
+            config: *config,
+        }
+    }
+
     /// The recorded LLC reference stream of `app` under `config`, from the
     /// shared [`StreamCache`] (recorded on first use, replay-ready after).
     ///
@@ -147,13 +167,8 @@ impl ExperimentCtx {
         app: App,
         config: &HierarchyConfig,
     ) -> Result<Arc<RecordedStream>, RunError> {
-        let key = StreamKey {
-            workload: WorkloadId::App(app),
-            cores: self.cores,
-            scale: self.scale,
-            config: *config,
-        };
-        self.streams.get_or_record(key, || self.workload(app))
+        self.streams
+            .get_or_record(self.stream_key(app, config), || self.workload(app))
     }
 }
 

@@ -6,12 +6,13 @@
 //! (one recording per app and LLC size), so an oracle run costs a single
 //! backward scan plus an LLC-only replay.
 
+use llc_dag::ReplayDesc;
 use llc_policies::{PolicyKind, ProtectMode};
 
 use crate::error::RunError;
 use crate::experiments::{per_app_try, ExperimentCtx};
-use crate::replay::{replay_kind, replay_oracle};
 use crate::report::{mean, pct, Table};
+use crate::runner::oracle_window;
 
 fn miss_reduction(base: u64, improved: u64) -> f64 {
     1.0 - improved as f64 / base.max(1) as f64
@@ -33,15 +34,11 @@ pub(crate) fn fig7(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         let mut cols = Vec::new();
         for &cap in &ctx.llc_capacities {
             let cfg = ctx.config(cap)?;
-            let stream = ctx.stream(app, &cfg)?;
-            let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?;
-            let oracle = replay_oracle(
+            let lru = ctx.replay_cached(app, &cfg, &ReplayDesc::plain(PolicyKind::Lru))?;
+            let oracle = ctx.replay_cached(
+                app,
                 &cfg,
-                PolicyKind::Lru,
-                ProtectMode::Eviction,
-                None,
-                &stream,
-                vec![],
+                &ReplayDesc::oracle(PolicyKind::Lru, ProtectMode::Eviction, oracle_window(&cfg)),
             )?;
             cols.push((
                 lru.llc.misses(),
@@ -90,13 +87,16 @@ pub(crate) fn fig8(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             ),
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
+        let w = oracle_window(&cfg);
         let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
-            let stream = ctx.stream(app, &cfg)?;
             let mut vals = Vec::with_capacity(bases.len());
             for &base in &bases {
-                let plain = replay_kind(&cfg, base, &stream, vec![])?;
-                let oracle =
-                    replay_oracle(&cfg, base, ProtectMode::Eviction, None, &stream, vec![])?;
+                let plain = ctx.replay_cached(app, &cfg, &ReplayDesc::plain(base))?;
+                let oracle = ctx.replay_cached(
+                    app,
+                    &cfg,
+                    &ReplayDesc::oracle(base, ProtectMode::Eviction, w),
+                )?;
                 vals.push(miss_reduction(plain.llc.misses(), oracle.llc.misses()));
             }
             Ok(vals)
@@ -136,17 +136,13 @@ pub(crate) fn abl1(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let rows = per_app_try(&ctx.apps, |app| {
-        let stream = ctx.stream(app, &cfg)?;
-        let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?;
+        let lru = ctx.replay_cached(app, &cfg, &ReplayDesc::plain(PolicyKind::Lru))?;
         let mut cells = vec![app.label().to_string(), lru.llc.misses().to_string()];
         for f in factors {
-            let o = replay_oracle(
+            let o = ctx.replay_cached(
+                app,
                 &cfg,
-                PolicyKind::Lru,
-                ProtectMode::Eviction,
-                Some(f * lines),
-                &stream,
-                vec![],
+                &ReplayDesc::oracle(PolicyKind::Lru, ProtectMode::Eviction, f * lines),
             )?;
             cells.push(pct(miss_reduction(lru.llc.misses(), o.llc.misses())));
         }
@@ -183,13 +179,13 @@ pub(crate) fn abl3(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
         ),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
+    let w = oracle_window(&cfg);
     let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
-        let stream = ctx.stream(app, &cfg)?;
         let mut vals = Vec::new();
         for &base in &bases {
-            let plain = replay_kind(&cfg, base, &stream, vec![])?;
+            let plain = ctx.replay_cached(app, &cfg, &ReplayDesc::plain(base))?;
             for &mode in &modes {
-                let o = replay_oracle(&cfg, base, mode, None, &stream, vec![])?;
+                let o = ctx.replay_cached(app, &cfg, &ReplayDesc::oracle(base, mode, w))?;
                 vals.push(miss_reduction(plain.llc.misses(), o.llc.misses()));
             }
         }

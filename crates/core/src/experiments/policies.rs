@@ -6,6 +6,7 @@
 //! policy over it — the whole lineup costs one hierarchy simulation per
 //! app instead of one per policy.
 
+use llc_dag::ReplayDesc;
 use llc_policies::PolicyKind;
 
 use crate::awareness::VictimizationStats;
@@ -42,8 +43,8 @@ pub(crate) fn fig5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
             &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
         let rows: Vec<Vec<f64>> = per_app_try(&ctx.apps, |app| {
-            let stream = ctx.stream(app, &cfg)?;
-            let lru = replay_kind(&cfg, PolicyKind::Lru, &stream, vec![])?
+            let lru = ctx
+                .replay_cached(app, &cfg, &ReplayDesc::plain(PolicyKind::Lru))?
                 .llc
                 .misses();
             let mut vals = Vec::with_capacity(LINEUP.len());
@@ -51,7 +52,9 @@ pub(crate) fn fig5(ctx: &ExperimentCtx) -> Result<Vec<Table>, RunError> {
                 let misses = if kind == PolicyKind::Lru {
                     lru
                 } else {
-                    replay_kind(&cfg, kind, &stream, vec![])?.llc.misses()
+                    ctx.replay_cached(app, &cfg, &ReplayDesc::plain(kind))?
+                        .llc
+                        .misses()
                 };
                 vals.push(misses as f64 / lru.max(1) as f64);
             }

@@ -49,7 +49,9 @@ pub mod epochs;
 pub mod error;
 pub mod experiments;
 pub mod json;
+pub mod memo;
 pub mod model;
+pub mod planner;
 pub mod replay;
 pub mod report;
 pub mod runner;
@@ -60,7 +62,9 @@ pub use characterize::{ClassTally, SharingProfile};
 pub use epochs::{EpochSeries, EpochStat};
 pub use error::RunError;
 pub use experiments::{per_app, run_experiment, ExperimentCtx, ExperimentId};
+pub use memo::{record_of, result_of};
 pub use model::LatencyModel;
+pub use planner::{configs_for, plan_experiment, replay_lineup};
 pub use replay::{
     compute_annotations, record_stream, register_stream, replay, replay_characterized_sharded,
     replay_kind, replay_kind_sharded, replay_on, replay_opt, replay_opt_sharded, replay_oracle,

@@ -1,0 +1,170 @@
+//! DAG-memoized replay: the execution side of the artifact graph.
+//!
+//! [`ExperimentCtx::replay_cached`] is the single entry through which
+//! pure-stats experiment replays resolve when a [`DagStore`] is
+//! attached. Resolution order per [`ReplayDesc`]:
+//!
+//! 1. **Replay node** (`replay_fp(stream_fp, desc_fp)`): a hit returns
+//!    the stored [`llc_dag::ReplayRecord`] converted back to a
+//!    [`RunResult`] — without touching the stream at all, so a fully
+//!    warmed spec never loads a `.llcs` file.
+//! 2. **Annotation node** (`annotations_fp(stream_fp, window)`), for
+//!    descriptors that need a pre-pass (oracle wraps, OPT): loaded from
+//!    the store or computed once with the fused backward scan and
+//!    persisted.
+//! 3. The replay executes through the annotation-injected drivers
+//!    ([`replay_opt_with`]/[`replay_oracle_with`]) and the result is
+//!    persisted as a new replay node.
+//!
+//! Bit-identity holds by construction: a replay node stores the exact
+//! counters of the run that produced it, and annotation artifacts store
+//! the exact vectors the scan produced, so warm and cold paths feed
+//! byte-identical inputs to byte-identical kernels. Observer-carrying
+//! runs never come through here — observers see per-access events that
+//! a cached result cannot reproduce.
+//!
+//! Persistence failures only bump counters; corruption is quarantined
+//! inside [`DagStore`] and surfaces here as a miss.
+
+use std::sync::Arc;
+
+use llc_dag::{
+    annotations_fp, replay_fp, AnnotationsData, DagStore, NodeKind, ReplayDesc, ReplayRecord,
+    ReplayWrap,
+};
+use llc_policies::PolicyKind;
+use llc_sim::HierarchyConfig;
+use llc_trace::{App, RecordedStream};
+
+use crate::error::RunError;
+use crate::experiments::ExperimentCtx;
+use crate::replay::{compute_annotations, replay_kind, replay_opt_with, replay_oracle_with};
+use crate::runner::RunResult;
+
+/// Converts a run result into its storable record.
+pub fn record_of(result: &RunResult) -> ReplayRecord {
+    ReplayRecord {
+        policy: result.policy.clone(),
+        llc: result.llc,
+        l1: result.l1,
+        l2: result.l2,
+        instructions: result.instructions,
+        trace_accesses: result.trace_accesses,
+    }
+}
+
+/// Converts a stored record back into a run result.
+pub fn result_of(rec: ReplayRecord) -> RunResult {
+    RunResult {
+        policy: rec.policy,
+        llc: rec.llc,
+        l1: rec.l1,
+        l2: rec.l2,
+        instructions: rec.instructions,
+        trace_accesses: rec.trace_accesses,
+    }
+}
+
+/// Resolves the annotation vectors for `window` over `stream`: from the
+/// DAG store when attached and intact, otherwise by one fused backward
+/// scan (persisted back when a store is attached). The loaded artifact
+/// is shape-checked against the stream — a mismatch (which the
+/// fingerprint should make impossible) recomputes rather than corrupts.
+fn resolve_annotations(
+    dag: Option<(&DagStore, u64)>,
+    stream: &RecordedStream,
+    window: u64,
+) -> (Arc<Vec<u64>>, Arc<Vec<bool>>) {
+    let Some((dag, stream_fp)) = dag else {
+        let ann = compute_annotations(stream, window);
+        return (Arc::new(ann.next_use), Arc::new(ann.shared_soon));
+    };
+    let fp = annotations_fp(stream_fp, window);
+    if let Some(data) = dag.load_annotations(fp) {
+        if data.window == window && data.next_use.len() == stream.len() {
+            dag.record_hit(NodeKind::Annotations);
+            return (Arc::new(data.next_use), Arc::new(data.shared_soon));
+        }
+    }
+    dag.record_miss(NodeKind::Annotations);
+    let ann = compute_annotations(stream, window);
+    let saved = dag.save_annotations(
+        fp,
+        &AnnotationsData {
+            window,
+            next_use: ann.next_use.clone(),
+            shared_soon: ann.shared_soon.clone(),
+        },
+    );
+    if saved.is_err() {
+        dag.record_disk_error();
+    }
+    (Arc::new(ann.next_use), Arc::new(ann.shared_soon))
+}
+
+/// Runs one descriptor over `stream`, resolving any needed annotations
+/// through the DAG.
+fn execute(
+    dag: Option<(&DagStore, u64)>,
+    config: &HierarchyConfig,
+    desc: &ReplayDesc,
+    stream: &RecordedStream,
+) -> Result<RunResult, RunError> {
+    match desc.wrap {
+        ReplayWrap::Plain if desc.kind == PolicyKind::Opt => {
+            let (next_use, _) = resolve_annotations(dag, stream, 0);
+            replay_opt_with(config, next_use, stream, vec![])
+        }
+        ReplayWrap::Plain => replay_kind(config, desc.kind, stream, vec![]),
+        ReplayWrap::Oracle { mode, window } => {
+            let (next_use, shared_soon) = resolve_annotations(dag, stream, window);
+            replay_oracle_with(
+                config,
+                desc.kind,
+                mode,
+                next_use,
+                shared_soon,
+                stream,
+                vec![],
+            )
+        }
+    }
+}
+
+impl ExperimentCtx {
+    /// Replays `desc` for `app` under `config`, resolving through the
+    /// attached DAG store: a cached replay node answers without loading
+    /// the stream; a miss records/loads the stream, reuses any cached
+    /// annotation pre-pass, executes exactly one replay and persists
+    /// both partials. Without a DAG this is a plain uncached replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recording/replay errors; store problems never fail
+    /// the call (they surface as misses and counter bumps).
+    pub fn replay_cached(
+        &self,
+        app: App,
+        config: &HierarchyConfig,
+        desc: &ReplayDesc,
+    ) -> Result<RunResult, RunError> {
+        let Some(dag) = &self.dag else {
+            let stream = self.stream(app, config)?;
+            return execute(None, config, desc, &stream);
+        };
+        let stream_fp = self.stream_key(app, config).fingerprint();
+        let node_fp = replay_fp(stream_fp, desc.fingerprint());
+        if let Some(rec) = dag.load_replay(node_fp) {
+            dag.record_hit(NodeKind::Replay);
+            return Ok(result_of(rec));
+        }
+        dag.record_miss(NodeKind::Replay);
+        let stream = self.stream(app, config)?;
+        let result = execute(Some((dag, stream_fp)), config, desc, &stream)?;
+        dag.record_replay_executed();
+        if dag.save_replay(node_fp, &record_of(&result)).is_err() {
+            dag.record_disk_error();
+        }
+        Ok(result)
+    }
+}

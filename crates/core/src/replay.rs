@@ -63,6 +63,8 @@ struct ReplayMetrics {
     cache_disk_errors: Arc<Counter>,
     cache_quarantined: Arc<Counter>,
     cache_bytes: Arc<Gauge>,
+    index_hits: Arc<Counter>,
+    index_misses: Arc<Counter>,
 }
 
 static METRICS: LazyLock<ReplayMetrics> = LazyLock::new(|| ReplayMetrics {
@@ -98,6 +100,18 @@ static METRICS: LazyLock<ReplayMetrics> = LazyLock::new(|| ReplayMetrics {
     cache_bytes: global().gauge(
         "llc_stream_cache_bytes",
         "Encoded stream bytes currently held in memory across all caches",
+    ),
+    // Shard indexes are memory-resident DAG nodes; their hit/miss
+    // series share the llc_dag_* names so one scrape covers the graph.
+    index_hits: global().counter_with(
+        "llc_dag_node_hits_total",
+        "DAG nodes resolved from a cached artifact, by node kind",
+        &[("kind", "index")],
+    ),
+    index_misses: global().counter_with(
+        "llc_dag_node_misses_total",
+        "DAG nodes that had to be computed, by node kind",
+        &[("kind", "index")],
     ),
 });
 
@@ -544,13 +558,18 @@ fn shard_index_for(stream: &RecordedStream, sets: u64, shards: usize) -> Option<
         Some(map) => {
             let mut map = lock_recovering(&map);
             if let Some(index) = map.get(&(sets, shards)) {
+                METRICS.index_hits.inc();
                 return Some(Arc::clone(index));
             }
+            METRICS.index_misses.inc();
             let index = Arc::new(ShardIndex::build(stream, sets, shards)?);
             map.insert((sets, shards), Arc::clone(&index));
             Some(index)
         }
-        None => ShardIndex::build(stream, sets, shards).map(Arc::new),
+        None => {
+            METRICS.index_misses.inc();
+            ShardIndex::build(stream, sets, shards).map(Arc::new)
+        }
     }
 }
 
@@ -720,9 +739,26 @@ pub fn replay_opt(
     stream: &RecordedStream,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
+    let next_use = Arc::new(compute_annotations(stream, 0).next_use);
+    replay_opt_with(config, next_use, stream, observers)
+}
+
+/// [`replay_opt`] with caller-supplied next-use annotations (the DAG
+/// memo layer injects a cached pre-pass instead of rescanning the
+/// stream). `next_use` must index `stream` positions — i.e. come from
+/// [`compute_annotations`] over this exact stream.
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_opt_with(
+    config: &HierarchyConfig,
+    next_use: Arc<Vec<u64>>,
+    stream: &RecordedStream,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
     let ways = config.llc.ways;
-    let next_use = Arc::new(compute_annotations(stream, 0).next_use);
     if observers.is_empty() && mono::opt(sets, ways).state_scope() == StateScope::PerSet {
         let borrowed = budget::borrow(MAX_DONATED_WORKERS);
         if borrowed.count() > 0 {
@@ -818,12 +854,39 @@ pub fn replay_oracle(
     stream: &RecordedStream,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
-    let sets = config.llc.sets() as usize;
-    let ways = config.llc.ways;
     let window = window.unwrap_or_else(|| oracle_window(config));
     let ann = compute_annotations(stream, window);
-    let next_use = Arc::new(ann.next_use);
-    let shared_soon = Arc::new(ann.shared_soon);
+    replay_oracle_with(
+        config,
+        base,
+        mode,
+        Arc::new(ann.next_use),
+        Arc::new(ann.shared_soon),
+        stream,
+        observers,
+    )
+}
+
+/// [`replay_oracle`] with caller-supplied annotation vectors (the DAG
+/// memo layer injects a cached pre-pass instead of rescanning the
+/// stream). Both vectors must come from [`compute_annotations`] over
+/// this exact stream; the retention window is already baked into
+/// `shared_soon`, so none is passed.
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_oracle_with(
+    config: &HierarchyConfig,
+    base: PolicyKind,
+    mode: ProtectMode,
+    next_use: Arc<Vec<u64>>,
+    shared_soon: Arc<Vec<bool>>,
+    stream: &RecordedStream,
+    observers: Vec<&mut dyn LlcObserver>,
+) -> Result<RunResult, RunError> {
+    let sets = config.llc.sets() as usize;
+    let ways = config.llc.ways;
     with_policy!(base, |ctor| {
         let make_policy = || OracleWrap::with_mode(ctor(sets, ways), sets, ways, mode);
         // OPT under the oracle needs both annotation vectors; every other
@@ -1252,6 +1315,40 @@ impl StreamCache {
     /// `true` if nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Non-destructive availability probe for DAG planners: the encoded
+    /// size of `key`'s stream if it is resident in memory or present in
+    /// the attached store, `None` otherwise. Never records, loads or
+    /// touches LRU state, so planning a spec cannot perturb the cache.
+    pub fn probe(&self, key: &StreamKey) -> Option<u64> {
+        let (slot, store) = {
+            let inner = lock_recovering(&self.inner);
+            (
+                inner.map.get(key).map(|e| Arc::clone(&e.slot)),
+                inner.store.clone(),
+            )
+        };
+        if let Some(slot) = slot {
+            if let Some(stream) = lock_recovering(&slot).as_ref() {
+                return Some(stream.encoded_len() as u64);
+            }
+        }
+        let store = store?;
+        std::fs::metadata(store.path_for(key.fingerprint()))
+            .ok()
+            .map(|m| m.len())
+    }
+
+    /// `true` if `key`'s stream is resident in memory right now — the
+    /// condition under which its registered shard indexes are alive (a
+    /// planner's approximation of the index node's hit state).
+    pub fn resident(&self, key: &StreamKey) -> bool {
+        let slot = {
+            let inner = lock_recovering(&self.inner);
+            inner.map.get(key).map(|e| Arc::clone(&e.slot))
+        };
+        slot.is_some_and(|slot| lock_recovering(&slot).is_some())
     }
 
     /// Returns the stream for `key`: from memory if resident, else from

@@ -1,0 +1,192 @@
+//! Replay descriptors: the "policy parameters" axis of a replay node.
+//!
+//! A [`ReplayDesc`] names everything a per-policy replay depends on
+//! *besides* the stream: the base [`PolicyKind`] and, for oracle-wrapped
+//! runs, the [`ProtectMode`] and the **resolved** retention window.
+//! Callers must resolve defaulted windows (`oracle_window(config)`)
+//! before building a descriptor — a descriptor never stores "default",
+//! so the same effective run always maps to the same fingerprint no
+//! matter how it was spelled.
+
+use llc_policies::{PolicyKind, ProtectMode};
+
+use crate::fingerprint::Fold;
+
+/// The wrapper (if any) around the base policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayWrap {
+    /// The base policy replayed bare.
+    Plain,
+    /// The sharing-aware oracle wrapper with an explicit mode and a
+    /// resolved retention window (in LLC accesses).
+    Oracle {
+        /// How predicted-shared lines are protected.
+        mode: ProtectMode,
+        /// The resolved retention window, in LLC accesses.
+        window: u64,
+    },
+}
+
+/// Everything a per-policy replay depends on besides the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayDesc {
+    /// The base replacement policy.
+    pub kind: PolicyKind,
+    /// The wrapper configuration.
+    pub wrap: ReplayWrap,
+}
+
+/// `ProtectMode` as a stable small integer (the enum lives in
+/// `llc-policies` without a serialization contract, so the mapping is
+/// pinned here where it feeds on-disk fingerprints).
+fn mode_code(mode: ProtectMode) -> u64 {
+    match mode {
+        ProtectMode::Eviction => 0,
+        ProtectMode::Insertion => 1,
+        ProtectMode::Both => 2,
+    }
+}
+
+/// Short display name for a [`ProtectMode`].
+fn mode_label(mode: ProtectMode) -> &'static str {
+    match mode {
+        ProtectMode::Eviction => "evict",
+        ProtectMode::Insertion => "insert",
+        ProtectMode::Both => "both",
+    }
+}
+
+impl ReplayDesc {
+    /// A bare replay of `kind`.
+    pub fn plain(kind: PolicyKind) -> ReplayDesc {
+        ReplayDesc {
+            kind,
+            wrap: ReplayWrap::Plain,
+        }
+    }
+
+    /// An oracle-wrapped replay of `base` with a **resolved** window.
+    pub fn oracle(base: PolicyKind, mode: ProtectMode, window: u64) -> ReplayDesc {
+        ReplayDesc {
+            kind: base,
+            wrap: ReplayWrap::Oracle { mode, window },
+        }
+    }
+
+    /// Stable fingerprint of the descriptor alone (fold it into
+    /// [`crate::replay_fp`] with the stream fingerprint to address the
+    /// replay node). Folds the policy label rather than the enum
+    /// discriminant so reordering `PolicyKind` variants cannot silently
+    /// re-key every stored replay.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fold::new(0x4c4c_4344_4453_4331); // "LLCDDSC1"
+        f.str(self.kind.label());
+        match self.wrap {
+            ReplayWrap::Plain => {
+                f.u64(0);
+            }
+            ReplayWrap::Oracle { mode, window } => {
+                f.u64(1).u64(mode_code(mode)).u64(window);
+            }
+        }
+        f.finish()
+    }
+
+    /// Human-readable descriptor label for plans and `repro explain`
+    /// output, e.g. `LRU` or `oracle(LRU, evict, w=4096)`.
+    pub fn label(&self) -> String {
+        match self.wrap {
+            ReplayWrap::Plain => self.kind.label().to_string(),
+            ReplayWrap::Oracle { mode, window } => format!(
+                "oracle({}, {}, w={window})",
+                self.kind.label(),
+                mode_label(mode)
+            ),
+        }
+    }
+
+    /// The annotation window this replay needs, if any: oracle wraps
+    /// need the shared-soon vector for their window, and a bare OPT
+    /// replay needs the next-use chains (window 0 — the next-use vector
+    /// is window-independent). Plain realistic policies need none.
+    pub fn annotation_window(&self) -> Option<u64> {
+        match self.wrap {
+            ReplayWrap::Oracle { window, .. } => Some(window),
+            ReplayWrap::Plain if self.kind == PolicyKind::Opt => Some(0),
+            ReplayWrap::Plain => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const KINDS: [PolicyKind; 5] = [
+        PolicyKind::Lru,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Ship,
+        PolicyKind::Opt,
+    ];
+    const MODES: [ProtectMode; 3] = [
+        ProtectMode::Eviction,
+        ProtectMode::Insertion,
+        ProtectMode::Both,
+    ];
+
+    #[test]
+    fn every_field_feeds_the_fingerprint() {
+        let base = ReplayDesc::oracle(PolicyKind::Lru, ProtectMode::Eviction, 4096);
+        assert_ne!(
+            base.fingerprint(),
+            ReplayDesc::oracle(PolicyKind::Srrip, ProtectMode::Eviction, 4096).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ReplayDesc::oracle(PolicyKind::Lru, ProtectMode::Insertion, 4096).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ReplayDesc::oracle(PolicyKind::Lru, ProtectMode::Eviction, 4097).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ReplayDesc::plain(PolicyKind::Lru).fingerprint()
+        );
+    }
+
+    #[test]
+    fn annotation_windows() {
+        assert_eq!(ReplayDesc::plain(PolicyKind::Lru).annotation_window(), None);
+        assert_eq!(
+            ReplayDesc::plain(PolicyKind::Opt).annotation_window(),
+            Some(0)
+        );
+        assert_eq!(
+            ReplayDesc::oracle(PolicyKind::Srrip, ProtectMode::Both, 77).annotation_window(),
+            Some(77)
+        );
+    }
+
+    proptest! {
+        /// All distinct descriptors get distinct fingerprints across the
+        /// sampled space (kinds × wrap × modes × windows).
+        #[test]
+        fn fingerprints_are_injective_over_sampled_space(
+            lhs in (0usize..KINDS.len(), 0usize..MODES.len(), 0u64..1024, proptest::bool::ANY),
+            rhs in (0usize..KINDS.len(), 0usize..MODES.len(), 0u64..1024, proptest::bool::ANY),
+        ) {
+            let mk = |(k, m, w, oracle): (usize, usize, u64, bool)| {
+                if oracle {
+                    ReplayDesc::oracle(KINDS[k], MODES[m], w)
+                } else {
+                    ReplayDesc::plain(KINDS[k])
+                }
+            };
+            let (a, b) = (mk(lhs), mk(rhs));
+            prop_assert_eq!(a == b, a.fingerprint() == b.fingerprint());
+        }
+    }
+}

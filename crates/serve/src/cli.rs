@@ -55,6 +55,11 @@ service subcommands:
   repro cancel <id>   [--addr ADDR]   cancel a job
   repro stats         [--addr ADDR]   store/service counters (JSON)
   repro stop          [--addr ADDR]   shut the daemon down (drains)
+  repro explain <spec.json> [--store DIR | --addr ADDR]
+      resolve a job spec against the artifact DAG and print the plan:
+      per-node kind, fingerprint, hit/miss and stored bytes. With
+      --addr the running daemon answers (POST /plan, sees its live
+      stream cache); otherwise the store directory is read offline
   repro gc [--store DIR] [--store-cap-mb MB] [--verify]
       offline store sweep: --verify quarantines corrupt entries,
       --store-cap-mb evicts least-recently-used entries to fit
@@ -114,6 +119,15 @@ pub enum ServeCommand {
         /// Daemon address.
         addr: String,
     },
+    /// Print a spec's DAG plan (hit/miss per artifact node).
+    Explain {
+        /// Path of the JSON job spec to plan.
+        spec_path: PathBuf,
+        /// Ask a running daemon instead of reading the store offline.
+        addr: Option<String>,
+        /// The store root for offline planning.
+        store: PathBuf,
+    },
     /// Sweep a store directory offline (verify and/or evict to a cap).
     Gc {
         /// The store root (`streams/` + `results/` live under it).
@@ -129,7 +143,16 @@ pub enum ServeCommand {
 pub fn is_serve_verb(verb: &str) -> bool {
     matches!(
         verb,
-        "serve" | "submit" | "status" | "watch" | "result" | "cancel" | "stats" | "stop" | "gc"
+        "serve"
+            | "submit"
+            | "status"
+            | "watch"
+            | "result"
+            | "cancel"
+            | "stats"
+            | "stop"
+            | "explain"
+            | "gc"
     )
 }
 
@@ -259,6 +282,34 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
                 ));
             }
             return Ok(ServeCommand::Gc { store, cap, verify });
+        }
+        "explain" => {
+            let mut store = PathBuf::from(DEFAULT_STORE);
+            let mut explain_addr = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+                };
+                match arg.as_str() {
+                    "--store" => store = value("--store")?.into(),
+                    "--addr" => explain_addr = Some(value("--addr")?),
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown explain flag '{other}'\n\n{USAGE}"));
+                    }
+                    other => positional.push(other.to_string()),
+                }
+            }
+            let [spec_path] = positional.as_slice() else {
+                return Err(format!("explain needs exactly one spec file\n\n{USAGE}"));
+            };
+            return Ok(ServeCommand::Explain {
+                spec_path: spec_path.into(),
+                addr: explain_addr,
+                store,
+            });
         }
         "submit" => {
             let mut preset = "paper".to_string();
@@ -448,11 +499,78 @@ pub fn run(command: &ServeCommand) -> Result<String, ServeError> {
             "{}\n",
             Client::new(addr.clone()).shutdown()?.render()
         )),
+        ServeCommand::Explain {
+            spec_path,
+            addr,
+            store,
+        } => {
+            let text = std::fs::read_to_string(spec_path)
+                .map_err(|e| crate::io_err(format!("reading spec {}", spec_path.display()), e))?;
+            let spec = JobSpec::from_json_text(&text)?;
+            let doc = match addr {
+                Some(addr) => Client::new(addr.clone()).plan(&spec)?,
+                None => crate::server::plan_offline(store, &spec)?,
+            };
+            render_plan(&doc)
+        }
         ServeCommand::Gc { store, cap, verify } => {
             let report = gc::sweep(store, *cap, *verify)?;
             Ok(format!("{}\n", report.to_json().render()))
         }
     }
+}
+
+/// Renders a plan document as an aligned hit/miss listing:
+///
+/// ```text
+/// fig7 (fingerprint 8641…) — 7 nodes: 5 hit, 2 miss, 1.2 MB cached (plan 0.8 ms)
+///   HIT   stream       86416d06bf5688ce  fft @256KB  (1234 B)
+///   MISS  replay       6f6ea12fe192733f  fft @256KB oracle(LRU, evict, w=4096)
+/// ```
+fn render_plan(doc: &Value) -> Result<String, ServeError> {
+    let bad = || ServeError::Protocol("malformed plan document".into());
+    let experiment = doc
+        .field("experiment")
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    let fingerprint = doc
+        .field("fingerprint")
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    let summary = doc.field("summary").ok_or_else(bad)?;
+    let grab = |name: &str| summary.field(name).and_then(Value::as_u64).unwrap_or(0);
+    let plan_ms = match summary.field("plan_ms") {
+        Some(Value::Num(n)) => *n,
+        _ => 0.0,
+    };
+    let mut out = format!(
+        "{experiment} (fingerprint {fingerprint}) — {} nodes: {} hit, {} miss, {} B cached (plan {plan_ms:.1} ms)\n",
+        grab("nodes"),
+        grab("hits"),
+        grab("misses"),
+        grab("cached_bytes"),
+    );
+    for node in doc
+        .field("nodes")
+        .and_then(Value::as_array)
+        .ok_or_else(bad)?
+    {
+        let hit = node.field("hit") == Some(&Value::Bool(true));
+        let kind = node.field("kind").and_then(Value::as_str).unwrap_or("?");
+        let fp = node.field("fp").and_then(Value::as_str).unwrap_or("?");
+        let detail = node.field("detail").and_then(Value::as_str).unwrap_or("");
+        let bytes = node.field("bytes").and_then(Value::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<5} {kind:<12} {fp}  {detail}{}\n",
+            if hit { "HIT" } else { "MISS" },
+            if hit && bytes > 0 {
+                format!("  ({bytes} B)")
+            } else {
+                String::new()
+            },
+        ));
+    }
+    Ok(out)
 }
 
 /// Renders a result document's tables as the same text the batch runner
@@ -565,6 +683,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_explain() {
+        let cmd = parse(&args("explain spec.json --store /tmp/s")).expect("parse");
+        let ServeCommand::Explain {
+            spec_path,
+            addr,
+            store,
+        } = cmd
+        else {
+            panic!("not explain: {cmd:?}")
+        };
+        assert_eq!(spec_path, PathBuf::from("spec.json"));
+        assert!(addr.is_none());
+        assert_eq!(store, PathBuf::from("/tmp/s"));
+        let ServeCommand::Explain { addr, store, .. } =
+            parse(&args("explain spec.json --addr 127.0.0.1:9")).expect("addr form")
+        else {
+            panic!()
+        };
+        assert_eq!(addr.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(store, PathBuf::from(DEFAULT_STORE));
+    }
+
+    #[test]
     fn parses_job_verbs_and_stats() {
         assert!(matches!(
             parse(&args("status 7 --addr 127.0.0.1:9")).expect("parse"),
@@ -611,11 +752,15 @@ mod tests {
             "submit fig7 --deadline 0",
             "gc",
             "gc --bogus",
+            "explain",
+            "explain a.json b.json",
+            "explain a.json --bogus x",
             "frobnicate",
         ] {
             assert!(parse(&args(bad)).is_err(), "{bad:?} should be rejected");
         }
         assert!(is_serve_verb("serve") && is_serve_verb("watch") && is_serve_verb("gc"));
+        assert!(is_serve_verb("explain"));
         assert!(!is_serve_verb("fig7"));
     }
 }

@@ -270,6 +270,18 @@ impl Client {
         self.request("POST", "/jobs", Some(&spec.to_json().render()))
     }
 
+    /// Resolves a spec against the daemon's artifact DAG without
+    /// admitting it: the answer lists every node the run would touch
+    /// with its kind, fingerprint, hit/miss state and stored size.
+    /// Read-only and safe to retry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn plan(&self, spec: &JobSpec) -> Result<Value, ServeError> {
+        self.request("POST", "/plan", Some(&spec.to_json().render()))
+    }
+
     /// Fetches a job's status document.
     ///
     /// # Errors

@@ -8,19 +8,28 @@
 //! space, never correctness, which is what makes an automatic background
 //! sweep (`repro serve --store-cap-mb`) acceptable.
 //!
-//! Recency comes from file mtimes, which both stores touch on every
+//! Recency comes from file mtimes, which every store touches on each
 //! successful load; eviction removes the oldest entries first until the
-//! combined `streams/` + `results/` footprint fits the cap, then fsyncs
-//! each affected directory so the new directory contents are durable.
-//! Corrupt entries found by `--verify` are moved into `quarantine/`
-//! (bytes preserved for post-mortems) and do not count against the cap.
+//! combined `streams/` + `results/` + `dag/` footprint fits the cap,
+//! then fsyncs each affected directory so the new directory contents
+//! are durable. Corrupt entries found by `--verify` are moved into
+//! `quarantine/` (bytes preserved for post-mortems) and do not count
+//! against the cap. `--verify` also walks the DAG manifests: annotation
+//! and replay partials referenced by no manifest are orphans (their
+//! producing job's manifest was evicted, or the job never finished) and
+//! are collected outright.
 
+use std::collections::HashSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::sync::LazyLock;
 use std::time::SystemTime;
 
+use llc_dag::{
+    decode_annotations, decode_manifest, decode_replay, NodeKind, ANN_FILE_EXT, MANIFEST_FILE_EXT,
+    REPLAY_FILE_EXT,
+};
 use llc_sharing::json::Value;
 use llc_telemetry::metrics::{global, Counter};
 use llc_trace::{quarantine_file, sync_dir, StreamStore};
@@ -32,9 +41,12 @@ use crate::{io_err, ServeError};
 struct GcMetrics {
     evicted_streams: Arc<Counter>,
     evicted_results: Arc<Counter>,
+    evicted_dag: Arc<Counter>,
     evicted_bytes: Arc<Counter>,
     quarantined_streams: Arc<Counter>,
     quarantined_results: Arc<Counter>,
+    quarantined_dag: Arc<Counter>,
+    orphaned_dag: Arc<Counter>,
 }
 
 static METRICS: LazyLock<GcMetrics> = LazyLock::new(|| {
@@ -55,12 +67,18 @@ static METRICS: LazyLock<GcMetrics> = LazyLock::new(|| {
     GcMetrics {
         evicted_streams: evicted("streams"),
         evicted_results: evicted("results"),
+        evicted_dag: evicted("dag"),
         evicted_bytes: global().counter(
             "llc_store_gc_evicted_bytes_total",
             "Bytes reclaimed by LRU store garbage collection",
         ),
         quarantined_streams: quarantined("streams"),
         quarantined_results: quarantined("results"),
+        quarantined_dag: quarantined("dag"),
+        orphaned_dag: global().counter(
+            "llc_store_gc_orphaned_total",
+            "DAG partials collected because no manifest references them",
+        ),
     }
 });
 
@@ -75,6 +93,15 @@ pub(crate) fn register_metrics() {
 enum Kind {
     Streams,
     Results,
+    DagAnn,
+    DagReplay,
+    DagManifest,
+}
+
+impl Kind {
+    fn is_dag(self) -> bool {
+        matches!(self, Kind::DagAnn | Kind::DagReplay | Kind::DagManifest)
+    }
 }
 
 #[derive(Debug)]
@@ -99,6 +126,8 @@ pub struct GcReport {
     pub evicted_bytes: u64,
     /// Corrupt entries moved to `quarantine/` by verification.
     pub quarantined_files: u64,
+    /// DAG partials removed because no manifest references them.
+    pub orphaned_files: u64,
     /// Combined store size after the sweep.
     pub remaining_bytes: u64,
 }
@@ -113,6 +142,7 @@ impl GcReport {
             ("evicted_files", num(self.evicted_files)),
             ("evicted_bytes", num(self.evicted_bytes)),
             ("quarantined_files", num(self.quarantined_files)),
+            ("orphaned_files", num(self.orphaned_files)),
             ("remaining_bytes", num(self.remaining_bytes)),
         ])
     }
@@ -152,15 +182,23 @@ fn stem_fingerprint(path: &Path) -> Option<u64> {
 }
 
 /// `true` when the entry decodes and validates under its fingerprint.
+/// DAG entries are decoded directly from bytes (not through
+/// [`llc_dag::DagStore`], whose loads quarantine as a side effect —
+/// the sweep wants to count and quarantine on its own terms).
 fn verifies(entry: &Entry, streams: &StreamStore, results: &ResultStore) -> bool {
     let Some(fp) = stem_fingerprint(&entry.path) else {
         // A store file whose name is not a fingerprint cannot be
         // validated (or ever loaded) — treat it as corrupt.
         return false;
     };
+    let decodes =
+        |f: &dyn Fn(&[u8], u64) -> bool| fs::read(&entry.path).is_ok_and(|raw| f(&raw, fp));
     match entry.kind {
         Kind::Streams => matches!(streams.load(fp), Ok(Some(_))),
         Kind::Results => matches!(results.load(fp), Ok(Some(_))),
+        Kind::DagAnn => decodes(&|raw, fp| decode_annotations(raw, fp).is_ok()),
+        Kind::DagReplay => decodes(&|raw, fp| decode_replay(raw, fp).is_ok()),
+        Kind::DagManifest => decodes(&|raw, fp| decode_manifest(raw, fp).is_ok()),
     }
 }
 
@@ -179,6 +217,10 @@ fn verifies(entry: &Entry, streams: &StreamStore, results: &ResultStore) -> bool
 pub fn sweep(root: &Path, cap_bytes: Option<u64>, verify: bool) -> Result<GcReport, ServeError> {
     let streams_dir = root.join("streams");
     let results_dir = root.join("results");
+    let dag_dir = root.join("dag");
+    let ann_dir = dag_dir.join("ann");
+    let replays_dir = dag_dir.join("replays");
+    let manifests_dir = dag_dir.join("manifests");
     let mut entries = Vec::new();
     scan(
         &streams_dir,
@@ -187,6 +229,14 @@ pub fn sweep(root: &Path, cap_bytes: Option<u64>, verify: bool) -> Result<GcRepo
         &mut entries,
     )?;
     scan(&results_dir, RESULT_FILE_EXT, Kind::Results, &mut entries)?;
+    scan(&ann_dir, ANN_FILE_EXT, Kind::DagAnn, &mut entries)?;
+    scan(&replays_dir, REPLAY_FILE_EXT, Kind::DagReplay, &mut entries)?;
+    scan(
+        &manifests_dir,
+        MANIFEST_FILE_EXT,
+        Kind::DagManifest,
+        &mut entries,
+    )?;
 
     let mut report = GcReport {
         scanned_files: entries.len() as u64,
@@ -209,10 +259,55 @@ pub fn sweep(root: &Path, cap_bytes: Option<u64>, verify: bool) -> Result<GcRepo
                 match entry.kind {
                     Kind::Streams => METRICS.quarantined_streams.inc(),
                     Kind::Results => METRICS.quarantined_results.inc(),
+                    k if k.is_dag() => METRICS.quarantined_dag.inc(),
+                    _ => unreachable!(),
                 }
             }
             false
         });
+
+        // Orphan collection: a DAG partial that no (surviving) manifest
+        // references can never be resolved by a plan — its producing
+        // job's manifest was evicted, or the job never completed.
+        // Partials are cheap to recompute, so collect them outright
+        // rather than quarantining.
+        let mut live: HashSet<(NodeKind, u64)> = HashSet::new();
+        for entry in entries.iter().filter(|e| e.kind == Kind::DagManifest) {
+            let Some(fp) = stem_fingerprint(&entry.path) else {
+                continue;
+            };
+            if let Some(manifest) = fs::read(&entry.path)
+                .ok()
+                .and_then(|raw| decode_manifest(&raw, fp).ok())
+            {
+                live.extend(manifest.nodes);
+            }
+        }
+        entries.retain(|entry| {
+            let node_kind = match entry.kind {
+                Kind::DagAnn => NodeKind::Annotations,
+                Kind::DagReplay => NodeKind::Replay,
+                _ => return true,
+            };
+            let referenced =
+                stem_fingerprint(&entry.path).is_some_and(|fp| live.contains(&(node_kind, fp)));
+            if referenced {
+                return true;
+            }
+            // A concurrently-vanished orphan was collected for us.
+            if fs::remove_file(&entry.path).is_ok() {
+                report.orphaned_files += 1;
+                METRICS.orphaned_dag.inc();
+            }
+            false
+        });
+        if report.orphaned_files > 0 {
+            for dir in [&ann_dir, &replays_dir] {
+                if dir.exists() {
+                    sync_dir(dir).map_err(|e| io_err("syncing dag/ after orphan collection", e))?;
+                }
+            }
+        }
     }
 
     let mut remaining: u64 = entries.iter().map(|e| e.bytes).sum();
@@ -220,6 +315,7 @@ pub fn sweep(root: &Path, cap_bytes: Option<u64>, verify: bool) -> Result<GcRepo
         entries.sort_by_key(|e| e.mtime);
         let mut touched_streams = false;
         let mut touched_results = false;
+        let mut touched_dag = false;
         for entry in &entries {
             if remaining <= cap {
                 break;
@@ -242,6 +338,11 @@ pub fn sweep(root: &Path, cap_bytes: Option<u64>, verify: bool) -> Result<GcRepo
                     METRICS.evicted_results.inc();
                     touched_results = true;
                 }
+                k if k.is_dag() => {
+                    METRICS.evicted_dag.inc();
+                    touched_dag = true;
+                }
+                _ => unreachable!(),
             }
         }
         METRICS.evicted_bytes.add(report.evicted_bytes);
@@ -251,6 +352,13 @@ pub fn sweep(root: &Path, cap_bytes: Option<u64>, verify: bool) -> Result<GcRepo
         }
         if touched_results {
             sync_dir(&results_dir).map_err(|e| io_err("syncing results/ after GC", e))?;
+        }
+        if touched_dag {
+            for dir in [&ann_dir, &replays_dir, &manifests_dir] {
+                if dir.exists() {
+                    sync_dir(dir).map_err(|e| io_err("syncing dag/ after GC", e))?;
+                }
+            }
         }
     }
     report.remaining_bytes = remaining;
@@ -373,6 +481,56 @@ mod tests {
     }
 
     #[test]
+    fn verify_collects_unreferenced_dag_partials_and_quarantines_corrupt_ones() {
+        use llc_dag::{AnnotationsData, DagStore, Manifest, ReplayRecord};
+        let root = temp_root("dag");
+        let dag = DagStore::open(root.join("dag")).expect("open dag");
+        let ann = AnnotationsData {
+            window: 64,
+            next_use: vec![1, u64::MAX],
+            shared_soon: vec![true, false],
+        };
+        let rec = ReplayRecord {
+            policy: "LRU".into(),
+            instructions: 10,
+            trace_accesses: 2,
+            ..ReplayRecord::default()
+        };
+        // Referenced pair (kept), orphaned pair (collected), corrupt
+        // replay under a valid name (quarantined before the orphan pass).
+        dag.save_annotations(0xA1, &ann).expect("save ann");
+        dag.save_replay(0xB1, &rec).expect("save replay");
+        dag.save_annotations(0xA2, &ann).expect("save orphan ann");
+        dag.save_replay(0xB2, &rec).expect("save orphan replay");
+        llc_trace::atomic_write(&dag.replay_path(0xB3), b"not a replay").expect("corrupt");
+        dag.save_manifest(
+            0xF1,
+            &Manifest {
+                nodes: vec![(NodeKind::Annotations, 0xA1), (NodeKind::Replay, 0xB1)],
+            },
+        )
+        .expect("save manifest");
+
+        let report = sweep(&root, None, true).expect("sweep");
+        assert_eq!(report.quarantined_files, 1, "{report:?}");
+        assert_eq!(report.orphaned_files, 2, "{report:?}");
+        assert!(dag.load_annotations(0xA1).is_some(), "referenced ann stays");
+        assert!(dag.load_replay(0xB1).is_some(), "referenced replay stays");
+        assert!(!dag.ann_path(0xA2).exists(), "orphan ann collected");
+        assert!(!dag.replay_path(0xB2).exists(), "orphan replay collected");
+        assert!(
+            !dag.replay_path(0xB3).exists(),
+            "corrupt replay quarantined"
+        );
+
+        // A second verify sweep is a fixed point.
+        let again = sweep(&root, None, true).expect("sweep again");
+        assert_eq!(again.quarantined_files, 0);
+        assert_eq!(again.orphaned_files, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn report_renders_as_json() {
         let report = GcReport {
             scanned_files: 4,
@@ -380,6 +538,7 @@ mod tests {
             evicted_files: 1,
             evicted_bytes: 100,
             quarantined_files: 1,
+            orphaned_files: 0,
             remaining_bytes: 200,
         };
         let v = report.to_json();

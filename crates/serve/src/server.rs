@@ -44,8 +44,9 @@ use std::sync::{Arc, Condvar, LazyLock, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use llc_dag::{DagStore, Manifest, NodeKind, Plan};
 use llc_sharing::json::{self, Value};
-use llc_sharing::{run_experiment, scoped_workers, StreamCache, Table};
+use llc_sharing::{plan_experiment, run_experiment, scoped_workers, StreamCache, Table};
 use llc_telemetry::metrics::{global, Counter, Gauge, Histogram, TIME_BOUNDS};
 use llc_telemetry::spans;
 use llc_trace::{atomic_write, StreamStore};
@@ -71,6 +72,7 @@ struct ServerMetrics {
     job_run: Arc<Histogram>,
     queue_depth: Arc<Gauge>,
     deadline_expired: Arc<Counter>,
+    plan_latency: Arc<Histogram>,
 }
 
 static METRICS: LazyLock<ServerMetrics> = LazyLock::new(|| ServerMetrics {
@@ -91,6 +93,11 @@ static METRICS: LazyLock<ServerMetrics> = LazyLock::new(|| ServerMetrics {
     deadline_expired: global().counter(
         "llc_deadline_expired_total",
         "Jobs failed because their client-supplied deadline lapsed",
+    ),
+    plan_latency: global().histogram(
+        "llc_dag_plan_seconds",
+        "DAG planner latency per planned spec (submission or POST /plan)",
+        &TIME_BOUNDS,
     ),
 });
 
@@ -124,6 +131,7 @@ fn register_eager_metrics() {
     }
     quarantined_results();
     gc::register_metrics();
+    llc_dag::register_metrics();
 }
 
 /// The route pattern a request path falls under — the bounded label set
@@ -133,6 +141,7 @@ fn route_pattern(segments: &[&str]) -> &'static str {
         ["jobs"] => "/jobs",
         ["jobs", _] => "/jobs/{id}",
         ["jobs", _, "result"] => "/jobs/{id}/result",
+        ["plan"] => "/plan",
         ["store", "stats"] => "/store/stats",
         ["metrics"] => "/metrics",
         ["healthz"] => "/healthz",
@@ -331,6 +340,7 @@ impl JobQueue {
 struct ServerState {
     jobs: JobTable,
     results: ResultStore,
+    dag: DagStore,
     streams: StreamCache,
     stream_store: StreamStore,
     store_dir: PathBuf,
@@ -448,6 +458,12 @@ impl Server {
             )
         })?;
         let results = ResultStore::open(config.store_dir.join("results"))?;
+        let dag = DagStore::open(config.store_dir.join("dag")).map_err(|e| {
+            io_err(
+                format!("creating DAG store under {}", config.store_dir.display()),
+                e,
+            )
+        })?;
         let workers = config.jobs.max(1);
         let limit = config
             .stream_cache_limit
@@ -457,6 +473,7 @@ impl Server {
         let state = Arc::new(ServerState {
             jobs: JobTable::new(),
             results,
+            dag,
             streams,
             stream_store,
             store_dir: config.store_dir.clone(),
@@ -669,6 +686,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
 fn route(state: &ServerState, request: &Request, segments: &[&str]) -> Response {
     match (request.method.as_str(), segments) {
         ("POST", ["jobs"]) => submit_job(state, &request.body),
+        ("POST", ["plan"]) => plan_only(state, &request.body),
         ("GET", ["jobs", id]) => with_job(state, id, |job| Response::json(200, job_json(&job))),
         ("GET", ["jobs", id, "result"]) => with_job(state, id, |job| job_result(state, &job)),
         ("DELETE", ["jobs", id]) => with_job(state, id, |job| {
@@ -686,6 +704,7 @@ fn route(state: &ServerState, request: &Request, segments: &[&str]) -> Response 
             Response::json(200, "{\"ok\":true}")
         }
         (_, ["jobs", ..])
+        | (_, ["plan"])
         | (_, ["store", ..])
         | (_, ["metrics"])
         | (_, ["healthz"])
@@ -749,6 +768,134 @@ fn save_result(
     state.results.save(fp, experiment, tables)
 }
 
+/// Plans `spec` against the stream cache, the DAG store and the result
+/// store: every artifact node its run would resolve, plus the final
+/// merged-table node (keyed by the whole-spec fingerprint, like the
+/// result store itself). Observes planner latency.
+fn plan_spec(state: &ServerState, spec: &JobSpec, fingerprint: u64) -> (Plan, Duration) {
+    let started = Instant::now();
+    let mut ctx = spec.build_ctx();
+    ctx.streams = state.streams.clone();
+    let mut plan = plan_experiment(spec.experiment, &ctx, Some(&state.dag));
+    let table_bytes = fs::metadata(state.results.path_for(fingerprint))
+        .map(|m| m.len())
+        .ok();
+    plan.push(
+        NodeKind::Table,
+        fingerprint,
+        format!("{} merged table", spec.experiment.label()),
+        table_bytes.is_some(),
+        table_bytes.unwrap_or(0),
+    );
+    let elapsed = started.elapsed();
+    METRICS.plan_latency.observe_duration(elapsed);
+    (plan, elapsed)
+}
+
+/// The compact plan summary attached to submission responses.
+fn plan_summary_json(plan: &Plan, elapsed: Duration) -> Value {
+    let num = |n: u64| Value::Num(n as f64);
+    Value::object(vec![
+        ("nodes", num(plan.nodes.len() as u64)),
+        ("hits", num(plan.hits() as u64)),
+        ("misses", num(plan.misses() as u64)),
+        ("cached_streams", num(plan.hits_of(NodeKind::Stream) as u64)),
+        ("cached_bytes", num(plan.cached_bytes())),
+        ("plan_ms", Value::Num(elapsed.as_secs_f64() * 1000.0)),
+    ])
+}
+
+/// The full plan document: per-node kind, fingerprint, hit/miss and
+/// stored size. Shared by `POST /plan` and the offline `repro explain`.
+pub(crate) fn plan_document(
+    spec: &JobSpec,
+    fingerprint: u64,
+    plan: &Plan,
+    elapsed: Duration,
+) -> Value {
+    Value::object(vec![
+        (
+            "experiment",
+            Value::Str(spec.experiment.label().to_string()),
+        ),
+        ("fingerprint", Value::Str(format!("{fingerprint:016x}"))),
+        ("summary", plan_summary_json(plan, elapsed)),
+        (
+            "nodes",
+            Value::Array(
+                plan.nodes
+                    .iter()
+                    .map(|n| {
+                        Value::object(vec![
+                            ("kind", Value::Str(n.kind.label().to_string())),
+                            ("fp", Value::Str(format!("{:016x}", n.fp))),
+                            ("detail", Value::Str(n.detail.clone())),
+                            ("hit", Value::Bool(n.hit)),
+                            ("bytes", Value::Num(n.bytes as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Plans a spec against an on-disk store without a running daemon —
+/// the offline backend of `repro explain`. Memory-residency hits are
+/// naturally absent (no live cache), so stream/index state reflects
+/// disk alone.
+pub(crate) fn plan_offline(
+    store_dir: &std::path::Path,
+    spec: &JobSpec,
+) -> Result<Value, ServeError> {
+    let stream_store = StreamStore::open(store_dir.join("streams")).map_err(|e| {
+        io_err(
+            format!("opening stream store under {}", store_dir.display()),
+            e,
+        )
+    })?;
+    let dag = DagStore::open(store_dir.join("dag")).map_err(|e| {
+        io_err(
+            format!("opening DAG store under {}", store_dir.display()),
+            e,
+        )
+    })?;
+    let results = ResultStore::open(store_dir.join("results"))?;
+    let started = Instant::now();
+    let fingerprint = spec.fingerprint();
+    let mut ctx = spec.build_ctx();
+    ctx.streams = StreamCache::with_store(stream_store, None);
+    let mut plan = plan_experiment(spec.experiment, &ctx, Some(&dag));
+    let table_bytes = fs::metadata(results.path_for(fingerprint))
+        .map(|m| m.len())
+        .ok();
+    plan.push(
+        NodeKind::Table,
+        fingerprint,
+        format!("{} merged table", spec.experiment.label()),
+        table_bytes.is_some(),
+        table_bytes.unwrap_or(0),
+    );
+    Ok(plan_document(spec, fingerprint, &plan, started.elapsed()))
+}
+
+/// `POST /plan`: resolve a spec against the DAG without admitting it —
+/// per-node kind, fingerprint, hit/miss and stored size, for
+/// `repro explain` and CI cache-reuse assertions.
+fn plan_only(state: &ServerState, body: &str) -> Response {
+    let spec = match JobSpec::from_json_text(body) {
+        Ok(spec) => spec,
+        Err(ServeError::Protocol(msg)) => return Response::error(400, &msg),
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    let fingerprint = spec.fingerprint();
+    let (plan, elapsed) = plan_spec(state, &spec, fingerprint);
+    Response::json(
+        200,
+        plan_document(&spec, fingerprint, &plan, elapsed).render(),
+    )
+}
+
 /// The `Retry-After` hint for a rejected submission: the median observed
 /// queue wait, scaled by how much queue is ahead of the client per
 /// worker. Clamped to a sane range — the hint is advice, not a promise.
@@ -784,6 +931,12 @@ fn submit_job(state: &ServerState, body: &str) -> Response {
         Err(e) => return Response::error(500, &e.to_string()),
     };
     let fingerprint = spec.fingerprint();
+    // Plan before admission: the resolver walks the artifact graph and
+    // tells the client exactly which nodes (streams, annotations,
+    // per-policy replays, the merged table) are already on disk — a
+    // whole-spec table hit is just the plan's last node hitting.
+    let (plan, plan_elapsed) = plan_spec(state, &spec, fingerprint);
+    let plan_summary = plan_summary_json(&plan, plan_elapsed);
     if let Ok(Some(_tables)) = load_result(state, fingerprint) {
         let job = state.jobs.submit(spec, fingerprint);
         state.jobs.count(|c| c.result_hits += 1);
@@ -794,7 +947,7 @@ fn submit_job(state: &ServerState, body: &str) -> Response {
             .expect("job exists");
         let mut job = job;
         job.state = now;
-        return Response::json(200, job_json(&job));
+        return Response::json(200, job_value(&job, Some(plan_summary)).render());
     }
     if state.shutdown.load(Ordering::Relaxed) {
         return reject(state, 503, "shutdown", "daemon is draining");
@@ -816,7 +969,7 @@ fn submit_job(state: &ServerState, body: &str) -> Response {
         .queue
         .push_with(|| state.jobs.submit(spec, fingerprint))
     {
-        Ok(job) => Response::json(202, job_json(&job)),
+        Ok(job) => Response::json(202, job_value(&job, Some(plan_summary)).render()),
         Err(PushError::Full) => reject(state, 429, "queue_full", "job queue is full"),
         Err(PushError::Closed) => reject(state, 503, "shutdown", "daemon is draining"),
     }
@@ -865,6 +1018,8 @@ fn store_stats(state: &ServerState) -> Response {
     let s = state.streams.stats();
     let (stream_files, stream_bytes) = state.stream_store.disk_stats().unwrap_or((0, 0));
     let (result_files, result_bytes) = state.results.disk_stats().unwrap_or((0, 0));
+    let (dag_files, dag_bytes) = state.dag.disk_stats().unwrap_or((0, 0));
+    let d = state.dag.stats();
     let c = state.jobs.counters();
     let num = |n: u64| Value::Num(n as f64);
     let doc = Value::object(vec![
@@ -891,6 +1046,20 @@ fn store_stats(state: &ServerState) -> Response {
                 ("quarantined", num(c.quarantined)),
                 ("disk_files", num(result_files)),
                 ("disk_bytes", num(result_bytes)),
+            ]),
+        ),
+        (
+            "dag",
+            Value::object(vec![
+                ("replays_executed", num(d.replayed)),
+                ("replay_hits", num(d.hits_of(NodeKind::Replay))),
+                ("replay_misses", num(d.misses_of(NodeKind::Replay))),
+                ("annotation_hits", num(d.hits_of(NodeKind::Annotations))),
+                ("annotation_misses", num(d.misses_of(NodeKind::Annotations))),
+                ("quarantined", num(d.quarantined)),
+                ("disk_errors", num(d.disk_errors)),
+                ("disk_files", num(dag_files)),
+                ("disk_bytes", num(dag_bytes)),
             ]),
         ),
         (
@@ -932,6 +1101,12 @@ fn store_stats(state: &ServerState) -> Response {
 
 /// The wire form of a job snapshot.
 fn job_json(job: &JobRecord) -> String {
+    job_value(job, None).render()
+}
+
+/// The job snapshot as a JSON value, optionally carrying the DAG plan
+/// summary computed at submission.
+fn job_value(job: &JobRecord, plan: Option<Value>) -> Value {
     let mut fields = vec![
         ("id", Value::Num(job.id.0 as f64)),
         ("state", Value::Str(job.state.label().to_string())),
@@ -951,7 +1126,10 @@ fn job_json(job: &JobRecord) -> String {
     if let JobState::Failed { reason } = &job.state {
         fields.push(("reason", Value::Str(reason.clone())));
     }
-    Value::object(fields).render()
+    if let Some(plan) = plan {
+        fields.push(("plan", plan));
+    }
+    Value::object(fields)
 }
 
 /// Pops queued jobs and executes them until the queue closes.
@@ -1029,8 +1207,11 @@ fn execute_job(state: &ServerState, id: JobId) {
     // over-subscribe the `--jobs` grant.
     let _busy = llc_sharing::budget::reclaim_scoped(1);
     let mut ctx = job.spec.build_ctx();
-    // All jobs share the daemon's bounded, store-backed stream cache.
+    // All jobs share the daemon's bounded, store-backed stream cache and
+    // the artifact DAG: pure-stats replays resolve through cached
+    // per-policy partials instead of re-simulating.
     ctx.streams = state.streams.clone();
+    ctx.dag = Some(state.dag.clone());
     let experiment = job.spec.experiment;
     let label = format!("{}-job{}", experiment.label(), id.0);
     // The watchdog is the tighter of the server budget and what remains
@@ -1057,6 +1238,7 @@ fn execute_job(state: &ServerState, id: JobId) {
             state.jobs.count(|c| c.simulated += 1);
             match save_result(state, job.fingerprint, experiment.label(), &tables) {
                 Ok(()) => {
+                    save_manifest(state, &job);
                     state
                         .jobs
                         .transition(id, JobState::Done { from_store: false });
@@ -1091,6 +1273,20 @@ fn execute_job(state: &ServerState, id: JobId) {
         GuardedOutcome::Cancelled => {}
     }
     METRICS.job_run.observe_duration(run_started.elapsed());
+}
+
+/// Records which DAG nodes a completed job's artifacts resolve to —
+/// re-planned now that every node exists — so `repro gc --verify` can
+/// tell live partials from orphans. Best-effort: a manifest write
+/// failure costs GC precision, never the job.
+fn save_manifest(state: &ServerState, job: &JobRecord) {
+    let (plan, _) = plan_spec(state, &job.spec, job.fingerprint);
+    let manifest = Manifest {
+        nodes: plan.nodes.iter().map(|n| (n.kind, n.fp)).collect(),
+    };
+    if state.dag.save_manifest(job.fingerprint, &manifest).is_err() {
+        state.dag.record_disk_error();
+    }
 }
 
 /// Worker 0's post-accept phase: close the queue, checkpoint what was

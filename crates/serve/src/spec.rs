@@ -133,7 +133,15 @@ impl JobSpec {
                     if apps.is_empty() {
                         return Err(bad("\"apps\" must name at least one app".into()));
                     }
-                    spec.apps = Some(apps);
+                    // Canonicalize: suite order, deduplicated, so
+                    // ["dedup","fft"] and ["fft","fft","dedup"] share
+                    // one fingerprint and one wire form.
+                    let ordered: Vec<App> = App::ALL
+                        .iter()
+                        .copied()
+                        .filter(|a| apps.contains(a))
+                        .collect();
+                    spec.apps = Some(ordered);
                 }
                 "deadline_secs" => {
                     let n = value
@@ -269,7 +277,8 @@ mod tests {
             preset: "test".into(),
             scale: Some(Scale::Tiny),
             threads: Some(4),
-            apps: Some(vec![App::Fft, App::Dedup]),
+            // Canonical (App::ALL) order — parsing normalizes to it.
+            apps: Some(vec![App::Dedup, App::Fft]),
             deadline_secs: Some(90),
         };
         let text = spec.to_json().render();
@@ -345,6 +354,41 @@ mod tests {
             ..JobSpec::new(ExperimentId::Fig7, "test")
         };
         assert_eq!(base, with_deadline.fingerprint());
+    }
+
+    #[test]
+    fn canonicalization_makes_spellings_converge() {
+        // Same work, three spellings: shuffled JSON field order,
+        // shuffled app order, duplicated apps. All must share one
+        // fingerprint AND one canonical wire form, or the serve store
+        // (and the DAG table node) would compute duplicates.
+        let canonical = JobSpec::from_json_text(
+            "{\"experiment\":\"fig7\",\"preset\":\"test\",\"apps\":[\"fft\",\"dedup\"]}",
+        )
+        .expect("canonical");
+        let reordered_fields = JobSpec::from_json_text(
+            "{\"apps\":[\"fft\",\"dedup\"],\"preset\":\"test\",\"experiment\":\"fig7\"}",
+        )
+        .expect("reordered fields");
+        let reordered_apps = JobSpec::from_json_text(
+            "{\"experiment\":\"fig7\",\"preset\":\"test\",\"apps\":[\"dedup\",\"fft\"]}",
+        )
+        .expect("reordered apps");
+        let duplicated_apps = JobSpec::from_json_text(
+            "{\"experiment\":\"fig7\",\"preset\":\"test\",\"apps\":[\"dedup\",\"fft\",\"dedup\"]}",
+        )
+        .expect("duplicated apps");
+        let wire = canonical.to_json().render();
+        for other in [&reordered_fields, &reordered_apps, &duplicated_apps] {
+            assert_eq!(other.fingerprint(), canonical.fingerprint());
+            assert_eq!(other.to_json().render(), wire);
+        }
+        // Canonicalization must never conflate different app sets.
+        let fewer = JobSpec::from_json_text(
+            "{\"experiment\":\"fig7\",\"preset\":\"test\",\"apps\":[\"fft\"]}",
+        )
+        .expect("subset");
+        assert_ne!(fewer.fingerprint(), canonical.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Incremental-recompilation gate for the artifact DAG: mutating one
+//! policy in a suite re-executes exactly that policy's replay, and the
+//! incrementally-assembled results are bit-identical to a from-scratch
+//! run of the mutated suite.
+
+use std::path::PathBuf;
+
+use llc_dag::{DagStore, NodeKind, ReplayDesc};
+use llc_policies::{PolicyKind, ProtectMode};
+use llc_sharing::{plan_experiment, ExperimentCtx, ExperimentId, RunResult};
+use llc_trace::App;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("llc-dag-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The four-policy oracle suite the gate mutates: a fixed window so the
+/// annotation node is shared by every member.
+fn suite(window: u64) -> Vec<ReplayDesc> {
+    [
+        PolicyKind::Lru,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Ship,
+    ]
+    .into_iter()
+    .map(|base| ReplayDesc::oracle(base, ProtectMode::Eviction, window))
+    .collect()
+}
+
+fn run_suite(ctx: &ExperimentCtx, descs: &[ReplayDesc]) -> Vec<RunResult> {
+    let config = ctx.main_config().expect("config");
+    descs
+        .iter()
+        .map(|desc| {
+            ctx.replay_cached(App::Fft, &config, desc)
+                .expect("replay_cached")
+        })
+        .collect()
+}
+
+#[test]
+fn mutating_one_policy_replays_exactly_one_and_matches_scratch() {
+    let root = temp_store("incremental");
+    const WINDOW: u64 = 256;
+
+    // Cold run: everything misses, one annotation pass shared four ways.
+    let mut ctx = ExperimentCtx::test();
+    ctx.dag = Some(DagStore::open(&root).expect("open dag"));
+    let descs = suite(WINDOW);
+    let cold = run_suite(&ctx, &descs);
+    let stats = ctx.dag.as_ref().expect("dag").stats();
+    assert_eq!(stats.replayed, 4, "cold run executes every policy");
+    assert_eq!(stats.misses_of(NodeKind::Replay), 4);
+    assert_eq!(stats.misses_of(NodeKind::Annotations), 1);
+    assert_eq!(stats.hits_of(NodeKind::Annotations), 3, "window shared");
+
+    // Mutate one member (protect mode of the third policy) and resolve
+    // through a fresh handle so the counters isolate the warm run.
+    let mut mutated = descs.clone();
+    mutated[2] = ReplayDesc::oracle(PolicyKind::Drrip, ProtectMode::Both, WINDOW);
+    let mut warm_ctx = ExperimentCtx::test();
+    warm_ctx.dag = Some(DagStore::open(&root).expect("reopen dag"));
+    let warm = run_suite(&warm_ctx, &mutated);
+    let stats = warm_ctx.dag.as_ref().expect("dag").stats();
+    assert_eq!(stats.replayed, 1, "only the mutated policy re-executes");
+    assert_eq!(stats.hits_of(NodeKind::Replay), 3);
+    assert_eq!(stats.misses_of(NodeKind::Replay), 1);
+    assert_eq!(
+        stats.hits_of(NodeKind::Annotations),
+        1,
+        "the mutated replay reuses the cached annotation pass"
+    );
+
+    // Unchanged members come back bit-identical from the store.
+    for (i, (w, c)) in warm.iter().zip(&cold).enumerate() {
+        if i != 2 {
+            assert_eq!(w, c, "desc {i} must be served verbatim from cache");
+        }
+    }
+
+    // And the whole warm suite equals a from-scratch (DAG-less) run.
+    let scratch_ctx = ExperimentCtx::test();
+    let scratch = run_suite(&scratch_ctx, &mutated);
+    assert_eq!(warm, scratch, "incremental result must be bit-identical");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn plans_are_sibling_insensitive() {
+    // A node's fingerprint depends only on its own inputs: planning an
+    // experiment with extra sibling apps present must not change the
+    // fingerprints of the apps both plans share.
+    let mut narrow = ExperimentCtx::test();
+    narrow.apps = vec![App::Fft];
+    let mut wide = ExperimentCtx::test();
+    wide.apps = vec![App::Fft, App::Dedup, App::Swaptions];
+
+    let plan_a = plan_experiment(ExperimentId::Fig7, &narrow, None);
+    let plan_b = plan_experiment(ExperimentId::Fig7, &wide, None);
+    let fps = |plan: &llc_dag::Plan| {
+        plan.nodes
+            .iter()
+            .map(|n| (n.kind, n.fp))
+            .collect::<std::collections::HashSet<_>>()
+    };
+    let (a, b) = (fps(&plan_a), fps(&plan_b));
+    assert!(
+        a.is_subset(&b),
+        "narrow plan's nodes must appear unchanged in the wide plan"
+    );
+    assert!(b.len() > a.len(), "the wide plan adds sibling nodes");
+}
