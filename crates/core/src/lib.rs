@@ -68,8 +68,9 @@ pub use planner::{configs_for, plan_experiment, replay_lineup};
 pub use replay::{
     compute_annotations, record_stream, register_stream, replay, replay_characterized_sharded,
     replay_kind, replay_kind_sharded, replay_on, replay_opt, replay_opt_sharded, replay_oracle,
-    replay_oracle_sharded, replay_predictor_wrap, replay_reactive, replay_sharded, Annotations,
-    AuxFactory, PolicyFactory, StreamCache, StreamCacheStats, StreamKey, WorkloadId,
+    replay_oracle_sharded, replay_predictor_wrap, replay_reactive, replay_sharded,
+    set_host_thread_override, Annotations, AuxFactory, CachedAccessIter, CachedStream,
+    PolicyFactory, StreamCache, StreamCacheStats, StreamKey, WorkloadId,
 };
 pub use report::{f2, f3, geomean, mean, pct, Table};
 pub use runner::{

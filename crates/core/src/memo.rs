@@ -34,11 +34,13 @@ use llc_dag::{
 };
 use llc_policies::PolicyKind;
 use llc_sim::HierarchyConfig;
-use llc_trace::{App, RecordedStream};
+use llc_trace::{App, StreamAccess};
 
 use crate::error::RunError;
 use crate::experiments::ExperimentCtx;
-use crate::replay::{compute_annotations, replay_kind, replay_opt_with, replay_oracle_with};
+use crate::replay::{
+    compute_annotations, replay_kind, replay_opt_with, replay_oracle_with, CachedStream,
+};
 use crate::runner::RunResult;
 
 /// Converts a run result into its storable record.
@@ -70,9 +72,9 @@ pub fn result_of(rec: ReplayRecord) -> RunResult {
 /// scan (persisted back when a store is attached). The loaded artifact
 /// is shape-checked against the stream — a mismatch (which the
 /// fingerprint should make impossible) recomputes rather than corrupts.
-fn resolve_annotations(
+fn resolve_annotations<S: StreamAccess>(
     dag: Option<(&DagStore, u64)>,
-    stream: &RecordedStream,
+    stream: &S,
     window: u64,
 ) -> (Arc<Vec<u64>>, Arc<Vec<bool>>) {
     let Some((dag, stream_fp)) = dag else {
@@ -103,12 +105,15 @@ fn resolve_annotations(
 }
 
 /// Runs one descriptor over `stream`, resolving any needed annotations
-/// through the DAG.
-fn execute(
+/// through the DAG. Generic so the daemon path monomorphizes separately
+/// for owned streams and zero-copy views — the [`CachedStream`] enum is
+/// matched exactly once, in [`dispatch`], and the replay loops below run
+/// branch-free over the concrete representation.
+fn execute<S: StreamAccess + Sync>(
     dag: Option<(&DagStore, u64)>,
     config: &HierarchyConfig,
     desc: &ReplayDesc,
-    stream: &RecordedStream,
+    stream: &S,
 ) -> Result<RunResult, RunError> {
     match desc.wrap {
         ReplayWrap::Plain if desc.kind == PolicyKind::Opt => {
@@ -131,6 +136,21 @@ fn execute(
     }
 }
 
+/// The single point where a [`CachedStream`]'s representation is
+/// branched on: everything downstream of here is monomorphized for the
+/// concrete stream type.
+fn dispatch(
+    dag: Option<(&DagStore, u64)>,
+    config: &HierarchyConfig,
+    desc: &ReplayDesc,
+    stream: &CachedStream,
+) -> Result<RunResult, RunError> {
+    match stream {
+        CachedStream::Owned(s) => execute(dag, config, desc, &**s),
+        CachedStream::View(v) => execute(dag, config, desc, &**v),
+    }
+}
+
 impl ExperimentCtx {
     /// Replays `desc` for `app` under `config`, resolving through the
     /// attached DAG store: a cached replay node answers without loading
@@ -150,7 +170,7 @@ impl ExperimentCtx {
     ) -> Result<RunResult, RunError> {
         let Some(dag) = &self.dag else {
             let stream = self.stream(app, config)?;
-            return execute(None, config, desc, &stream);
+            return dispatch(None, config, desc, &stream);
         };
         let stream_fp = self.stream_key(app, config).fingerprint();
         let node_fp = replay_fp(stream_fp, desc.fingerprint());
@@ -160,7 +180,7 @@ impl ExperimentCtx {
         }
         dag.record_miss(NodeKind::Replay);
         let stream = self.stream(app, config)?;
-        let result = execute(Some((dag, stream_fp)), config, desc, &stream)?;
+        let result = dispatch(Some((dag, stream_fp)), config, desc, &stream)?;
         dag.record_replay_executed();
         if dag.save_replay(node_fp, &record_of(&result)).is_err() {
             dag.record_disk_error();

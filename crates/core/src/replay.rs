@@ -30,17 +30,21 @@ use std::collections::HashMap;
 use std::sync::{Arc, LazyLock, Mutex};
 
 use fxhash::FxHashMap;
-use llc_policies::{
-    build_policy, mono, with_policy, OracleWrap, PolicyKind, ProtectMode, ReactiveWrap,
-};
+use llc_policies::{mono, with_policy, OracleWrap, PolicyKind, ProtectMode, ReactiveWrap};
 use llc_predictors::{PredictorWrap, SharingPredictor};
 use llc_sim::{
     AuxProvider, BlockAddr, Cmp, ConfigError, CoreId, HierarchyConfig, Inclusion, Llc, LlcObserver,
-    LlcStats, MultiObserver, NullObserver, ReplacementPolicy, SimError, StateScope,
+    LlcStats, MemAccess, MultiObserver, NullObserver, PrivateCacheStats, RecordCmp,
+    ReplacementPolicy, SimError, StateScope,
 };
 use llc_telemetry::metrics::{global, Counter, Gauge};
 use llc_telemetry::spans;
-use llc_trace::{App, RecordedStream, Scale, ShardIndex, StreamStore, TraceSource};
+use llc_trace::stream::OwnedAccessIter;
+use llc_trace::view::ViewAccessIter;
+use llc_trace::{
+    AccessRecord, App, RecordedStream, Scale, ShardIndex, ShardIndexSlot, StreamAccess,
+    StreamStore, StreamView, TraceSource, UpgradeEvent,
+};
 
 use crate::budget;
 use crate::characterize::SharingProfile;
@@ -63,6 +67,7 @@ struct ReplayMetrics {
     cache_disk_errors: Arc<Counter>,
     cache_quarantined: Arc<Counter>,
     cache_bytes: Arc<Gauge>,
+    view_loads: Arc<Counter>,
     index_hits: Arc<Counter>,
     index_misses: Arc<Counter>,
 }
@@ -101,6 +106,10 @@ static METRICS: LazyLock<ReplayMetrics> = LazyLock::new(|| ReplayMetrics {
         "llc_stream_cache_bytes",
         "Encoded stream bytes currently held in memory across all caches",
     ),
+    view_loads: global().counter(
+        "llc_stream_view_loads_total",
+        "Disk hits loaded as zero-copy stream views (no per-record decode)",
+    ),
     // Shard indexes are memory-resident DAG nodes; their hit/miss
     // series share the llc_dag_* names so one scrape covers the graph.
     index_hits: global().counter_with(
@@ -127,28 +136,122 @@ static METRICS: LazyLock<ReplayMetrics> = LazyLock::new(|| ReplayMetrics {
 /// decode error.
 pub fn record_stream<W: TraceSource>(
     config: &HierarchyConfig,
-    mut trace: W,
+    trace: W,
 ) -> Result<RecordedStream, RunError> {
     let _span = spans::span("record_stream");
     METRICS.records.inc();
-    let sets = config.llc.sets() as usize;
-    let ways = config.llc.ways;
-    let mut cmp =
-        Cmp::new(*config, build_policy(PolicyKind::Lru, sets, ways)).map_err(SimError::from)?;
+    if config.inclusion == Inclusion::NonInclusive {
+        // Non-inclusive: the stream is independent of LLC state, so the
+        // record kernel skips LLC simulation entirely — private levels and
+        // the coherence directory are the whole hierarchy.
+        let kernel = RecordCmp::new(*config).map_err(SimError::from)?;
+        record_stream_with(config, trace, kernel)
+    } else {
+        // Inclusive (approximation, see `compute_shared_soon`): the LLC's
+        // back-invalidations shape the stream, so drive the full
+        // hierarchy. The recording LLC is a concrete monomorphized LRU.
+        let sets = config.llc.sets() as usize;
+        let ways = config.llc.ways;
+        let kernel = Cmp::new(*config, mono::lru(sets, ways)).map_err(SimError::from)?;
+        record_stream_with(config, trace, kernel)
+    }
+}
+
+/// A hierarchy the record loop can drive: the full [`Cmp`] (inclusive
+/// configs) or the LLC-free [`RecordCmp`] (non-inclusive configs). The
+/// loop monomorphizes per kernel, and the recorder observer is concrete,
+/// so the record hot path compiles with zero virtual dispatch — the only
+/// indirect call left per *trace record* is the generator's
+/// `next_access`, batched below.
+trait RecordKernel {
+    fn check_access(&self, a: &MemAccess) -> Result<(), SimError>;
+    fn access(&mut self, a: MemAccess, rec: &mut StreamRecorder);
+    fn instructions(&self) -> u64;
+    fn trace_accesses(&self) -> u64;
+    fn l1_stats(&self) -> PrivateCacheStats;
+    fn l2_stats(&self) -> PrivateCacheStats;
+}
+
+impl<P: ReplacementPolicy> RecordKernel for Cmp<P> {
+    fn check_access(&self, a: &MemAccess) -> Result<(), SimError> {
+        Cmp::check_access(self, a)
+    }
+    fn access(&mut self, a: MemAccess, rec: &mut StreamRecorder) {
+        Cmp::access(self, a, rec);
+    }
+    fn instructions(&self) -> u64 {
+        Cmp::instructions(self)
+    }
+    fn trace_accesses(&self) -> u64 {
+        Cmp::trace_accesses(self)
+    }
+    fn l1_stats(&self) -> PrivateCacheStats {
+        Cmp::l1_stats(self)
+    }
+    fn l2_stats(&self) -> PrivateCacheStats {
+        Cmp::l2_stats(self)
+    }
+}
+
+impl RecordKernel for RecordCmp {
+    fn check_access(&self, a: &MemAccess) -> Result<(), SimError> {
+        RecordCmp::check_access(self, a)
+    }
+    fn access(&mut self, a: MemAccess, rec: &mut StreamRecorder) {
+        RecordCmp::access(self, a, rec);
+    }
+    fn instructions(&self) -> u64 {
+        RecordCmp::instructions(self)
+    }
+    fn trace_accesses(&self) -> u64 {
+        RecordCmp::trace_accesses(self)
+    }
+    fn l1_stats(&self) -> PrivateCacheStats {
+        RecordCmp::l1_stats(self)
+    }
+    fn l2_stats(&self) -> PrivateCacheStats {
+        RecordCmp::l2_stats(self)
+    }
+}
+
+fn record_stream_with<W: TraceSource, K: RecordKernel>(
+    config: &HierarchyConfig,
+    mut trace: W,
+    mut kernel: K,
+) -> Result<RecordedStream, RunError> {
     let mut rec = StreamRecorder::with_capacity(trace.len_hint());
     let mut instr_deltas = Vec::with_capacity(rec.blocks.capacity());
     // Instructions accumulated since the previous LLC access; folded into
     // the next access's delta (an observer cannot see `instr_gap`, so the
     // recording loop threads it through here).
     let mut pending_instr = 0u64;
-    while let Some(a) = trace.next_access() {
-        cmp.check_access(&a)?;
-        pending_instr += u64::from(a.instr_gap.max(1));
-        let before = rec.blocks.len();
-        cmp.access(a, &mut rec);
-        if rec.blocks.len() > before {
-            instr_deltas.push(pending_instr);
-            pending_instr = 0;
+    // Batch trace generation so the generator's per-record virtual
+    // dispatch and the private-cache probe loop stop interleaving: fill a
+    // chunk of records, then simulate the chunk in one tight loop. The
+    // chunk fits comfortably in L1d (4096 × 32 B), so the handoff costs
+    // one extra pass over cache-resident data.
+    const RECORD_CHUNK: usize = 4096;
+    let mut chunk: Vec<MemAccess> = Vec::with_capacity(RECORD_CHUNK);
+    loop {
+        chunk.clear();
+        while chunk.len() < RECORD_CHUNK {
+            match trace.next_access() {
+                Some(a) => chunk.push(a),
+                None => break,
+            }
+        }
+        for &a in &chunk {
+            kernel.check_access(&a)?;
+            pending_instr += u64::from(a.instr_gap.max(1));
+            let before = rec.blocks.len();
+            kernel.access(a, &mut rec);
+            if rec.blocks.len() > before {
+                instr_deltas.push(pending_instr);
+                pending_instr = 0;
+            }
+        }
+        if chunk.len() < RECORD_CHUNK {
+            break;
         }
     }
     if let Some(e) = trace.take_error() {
@@ -162,14 +265,14 @@ pub fn record_stream<W: TraceSource>(
         kinds: rec.kinds,
         instr_deltas,
         upgrades: rec.upgrades,
-        instructions: cmp.instructions(),
-        trace_accesses: cmp.trace_accesses(),
-        l1: cmp.l1_stats(),
-        l2: cmp.l2_stats(),
+        instructions: kernel.instructions(),
+        trace_accesses: kernel.trace_accesses(),
+        l1: kernel.l1_stats(),
+        l2: kernel.l2_stats(),
     })
 }
 
-fn check_replayable(config: &HierarchyConfig, stream: &RecordedStream) -> Result<(), RunError> {
+fn check_replayable<S: StreamAccess>(config: &HierarchyConfig, stream: &S) -> Result<(), RunError> {
     config.validate().map_err(SimError::from)?;
     if config.inclusion == Inclusion::Inclusive {
         return Err(ConfigError::new(
@@ -178,10 +281,10 @@ fn check_replayable(config: &HierarchyConfig, stream: &RecordedStream) -> Result
         )
         .into());
     }
-    if stream.fingerprint != config.fingerprint() {
+    if stream.fingerprint() != config.fingerprint() {
         return Err(ConfigError::new(format!(
             "recorded stream fingerprint {:#x} does not match hierarchy fingerprint {:#x}",
-            stream.fingerprint,
+            stream.fingerprint(),
             config.fingerprint()
         ))
         .into());
@@ -189,22 +292,24 @@ fn check_replayable(config: &HierarchyConfig, stream: &RecordedStream) -> Result
     Ok(())
 }
 
-/// Replays `policy` over a [`RecordedStream`]: the `LlcOnly` driver. Only
-/// the LLC is simulated; the result's L1/L2 counters and instruction
-/// totals come from the recording. For any non-inclusive configuration
-/// the returned [`LlcStats`](llc_sim::LlcStats) are bit-identical to a
-/// full [`simulate`](crate::simulate) of the same policy over the same
-/// workload.
+/// Replays `policy` over a recorded stream (owned [`RecordedStream`],
+/// zero-copy [`StreamView`] or cache-handle [`CachedStream`] — anything
+/// [`StreamAccess`]): the `LlcOnly` driver. Only the LLC is simulated;
+/// the result's L1/L2 counters and instruction totals come from the
+/// recording. For any non-inclusive configuration the returned
+/// [`LlcStats`](llc_sim::LlcStats) are bit-identical to a full
+/// [`simulate`](crate::simulate) of the same policy over the same
+/// workload — whichever stream representation drives it.
 ///
 /// # Errors
 ///
 /// Returns [`RunError::Sim`] if the configuration is invalid, inclusive
 /// (see the module docs), or does not match the stream's fingerprint.
-pub fn replay(
+pub fn replay<S: StreamAccess>(
     config: &HierarchyConfig,
     policy: Box<dyn ReplacementPolicy>,
     aux: Option<Box<dyn AuxProvider>>,
-    stream: &RecordedStream,
+    stream: &S,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
     replay_on(
@@ -232,16 +337,17 @@ pub fn replay(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_on<P, O>(
+pub fn replay_on<P, O, S>(
     config: &HierarchyConfig,
     policy: P,
     aux: Option<Box<dyn AuxProvider>>,
-    stream: &RecordedStream,
+    stream: &S,
     obs: &mut O,
 ) -> Result<RunResult, RunError>
 where
     P: ReplacementPolicy,
     O: LlcObserver + ?Sized,
+    S: StreamAccess,
 {
     check_replayable(config, stream)?;
     let mut llc = Llc::new(config.llc, policy);
@@ -249,21 +355,16 @@ where
     if let Some(aux) = aux {
         llc.set_aux_provider(aux);
     }
-    let upgrades = &stream.upgrades;
+    let upgrades = stream.upgrades();
     let mut up = 0usize;
     // Next upgrade timestamp, hoisted so the common no-upgrade-due case
     // is one register compare per access instead of a bounds check plus
     // a load from the upgrade list.
     let mut next_at = upgrades.first().map_or(u64::MAX, |u| u.at);
-    // Lockstep iterators over the access planes (instead of four indexed
-    // loads) keep the inner loop free of bounds checks.
-    let accesses = stream
-        .blocks
-        .iter()
-        .zip(&stream.pcs)
-        .zip(&stream.cores)
-        .zip(&stream.kinds);
-    for (i, (((&block, &pc), &core), &kind)) in accesses.enumerate() {
+    // The stream's own access iterator: lockstep plane walks for an
+    // owned stream, in-place record decode for a view — either way the
+    // inner loop is free of bounds checks and per-record virtual calls.
+    for (i, a) in stream.accesses().enumerate() {
         // Upgrades recorded at LLC time `i` happened before access `i`.
         if i as u64 >= next_at {
             while up < upgrades.len() && upgrades[up].at <= i as u64 {
@@ -273,7 +374,7 @@ where
             }
             next_at = upgrades.get(up).map_or(u64::MAX, |u| u.at);
         }
-        llc.access(block, pc, core, kind, obs);
+        llc.access(a.block, a.pc, a.core, a.kind, obs);
     }
     // Trailing upgrades (after the last access) land before the flush.
     while up < upgrades.len() {
@@ -285,10 +386,10 @@ where
     Ok(RunResult {
         policy: llc.policy().name(),
         llc: llc.stats(),
-        l1: stream.l1,
-        l2: stream.l2,
-        instructions: stream.instructions,
-        trace_accesses: stream.trace_accesses,
+        l1: stream.l1_stats(),
+        l2: stream.l2_stats(),
+        instructions: stream.instructions(),
+        trace_accesses: stream.trace_accesses(),
     })
 }
 
@@ -305,6 +406,25 @@ pub type AuxFactory<'a> = &'a (dyn Fn() -> Box<dyn AuxProvider> + Sync);
 /// donation pool — a sanity bound far above any realistic core count,
 /// not a tuning knob (the pool itself reflects the `--jobs` grant).
 const MAX_DONATED_WORKERS: usize = 63;
+
+/// Process-global override of the sharded-replay worker clamp; 0 means
+/// "use `available_parallelism`" (the default).
+static HOST_THREAD_OVERRIDE: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// Overrides the number of host threads sharded replay clamps its worker
+/// pool to; `None` restores the `available_parallelism` default.
+///
+/// A measurement knob, not a tuning knob: `benches/shard.rs` uses it to
+/// record both the 1-thread floor (`Some(1)` — every shard runs inline,
+/// which is what the ≥ 0.95× sequential gate measures) and the
+/// multi-thread speedup on whatever host CI lands on. The override is
+/// process-global and racy-by-design (a relaxed atomic): flipping it
+/// mid-replay only changes how many workers the *next* replay spawns,
+/// never the replayed bits.
+pub fn set_host_thread_override(threads: Option<usize>) {
+    HOST_THREAD_OVERRIDE.store(threads.unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
+}
 
 /// Replays a stream split into contiguous set-range shards, one LLC (and
 /// one policy instance, and one observer) per shard, fanned out over
@@ -331,17 +451,18 @@ const MAX_DONATED_WORKERS: usize = 63;
 ///
 /// Returns the merged result plus the per-shard observers (in ascending
 /// set order) for the caller to merge.
-fn replay_sharded_on<P, O, FP, FO>(
+fn replay_sharded_on<P, O, S, FP, FO>(
     config: &HierarchyConfig,
     make_policy: &FP,
     make_aux: Option<AuxFactory<'_>>,
-    stream: &RecordedStream,
+    stream: &S,
     index: &ShardIndex,
     make_obs: &FO,
 ) -> Result<(RunResult, Vec<O>), RunError>
 where
     P: ReplacementPolicy,
     O: LlcObserver + Send,
+    S: StreamAccess + Sync,
     FP: Fn() -> P + Sync + ?Sized,
     FO: Fn() -> O + Sync + ?Sized,
 {
@@ -366,7 +487,7 @@ where
             llc.set_aux_provider(make_aux());
         }
         let mut obs = make_obs();
-        let upgrades = &stream.upgrades;
+        let upgrades = stream.upgrades();
         let mut up = 0usize;
         let mut next_at = shard
             .upgrades
@@ -425,7 +546,10 @@ where
     // means no spawn at all: the shards run inline back to back, which
     // is what makes k-shard replay on a single-thread host cost ~the
     // sequential replay.
-    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let host_threads = match HOST_THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    };
     let workers = shards.len().min(host_threads);
     if workers <= 1 {
         for w in 0..shards.len() {
@@ -460,10 +584,10 @@ where
         RunResult {
             policy,
             llc: llc_stats,
-            l1: stream.l1,
-            l2: stream.l2,
-            instructions: stream.instructions,
-            trace_accesses: stream.trace_accesses,
+            l1: stream.l1_stats(),
+            l2: stream.l2_stats(),
+            instructions: stream.instructions(),
+            trace_accesses: stream.trace_accesses(),
         },
         observers,
     ))
@@ -478,11 +602,11 @@ where
 ///
 /// Same conditions as [`replay`], plus a config error if `index` was
 /// built for a different set count.
-pub fn replay_sharded(
+pub fn replay_sharded<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     make_policy: PolicyFactory<'_>,
     make_aux: Option<AuxFactory<'_>>,
-    stream: &RecordedStream,
+    stream: &S,
     index: &ShardIndex,
 ) -> Result<RunResult, RunError> {
     let (result, _) = replay_sharded_on(config, make_policy, make_aux, stream, index, &|| {
@@ -503,13 +627,14 @@ mod shard_registry {
     use std::collections::HashMap;
     use std::sync::{Arc, Mutex, Weak};
 
-    use llc_trace::{RecordedStream, ShardIndex};
+    use llc_trace::{RecordedStream, ShardIndexSlot};
 
     use super::lock_recovering;
 
     /// Per-stream cache of shard indices, keyed by (set count, shard
-    /// count).
-    pub(super) type IndexMap = Mutex<HashMap<(u64, usize), Arc<ShardIndex>>>;
+    /// count) — the same map type a view-backed stream carries in-struct
+    /// (see [`llc_trace::StreamAccess::shard_slot`]).
+    pub(super) type IndexMap = ShardIndexSlot;
 
     static REGISTRY: Mutex<Vec<(Weak<RecordedStream>, Arc<IndexMap>)>> = Mutex::new(Vec::new());
 
@@ -526,12 +651,18 @@ mod shard_registry {
         reg.push((Arc::downgrade(stream), Arc::new(Mutex::new(HashMap::new()))));
     }
 
-    /// The index map of a registered stream, or `None` for ad-hoc
-    /// streams that never went through a cache.
-    pub(super) fn lookup(stream: &RecordedStream) -> Option<Arc<IndexMap>> {
+    /// The index map of the registered stream whose allocation sits at
+    /// `addr` (see [`llc_trace::StreamAccess::registry_addr`]), or
+    /// `None` for ad-hoc streams that never went through a cache. The
+    /// `Weak` upgrade makes the raw-address comparison safe: a live
+    /// registered allocation cannot share an address with anything else.
+    pub(super) fn lookup(addr: usize) -> Option<Arc<IndexMap>> {
         let reg = lock_recovering(&REGISTRY);
         reg.iter()
-            .find(|(weak, _)| weak.upgrade().is_some_and(|s| std::ptr::eq(&*s, stream)))
+            .find(|(weak, _)| {
+                weak.upgrade()
+                    .is_some_and(|s| Arc::as_ptr(&s) as *const u8 as usize == addr)
+            })
             .map(|(_, map)| Arc::clone(map))
     }
 }
@@ -548,24 +679,33 @@ pub fn register_stream(stream: &Arc<RecordedStream>) {
 }
 
 /// Builds (or fetches) the shard index splitting `stream` over `shards`
-/// contiguous set ranges. Streams handed out by a [`StreamCache`] cache
-/// their indices next to the stream, so concurrent replays of the same
-/// recording share one build; ad-hoc streams build privately (see
-/// [`register_stream`]). Returns `None` for streams too large for `u32`
-/// index positions (the caller replays sequentially).
-fn shard_index_for(stream: &RecordedStream, sets: u64, shards: usize) -> Option<Arc<ShardIndex>> {
-    match shard_registry::lookup(stream) {
-        Some(map) => {
-            let mut map = lock_recovering(&map);
-            if let Some(index) = map.get(&(sets, shards)) {
-                METRICS.index_hits.inc();
-                return Some(Arc::clone(index));
-            }
-            METRICS.index_misses.inc();
-            let index = Arc::new(ShardIndex::build(stream, sets, shards)?);
-            map.insert((sets, shards), Arc::clone(&index));
-            Some(index)
+/// contiguous set ranges. View-backed streams carry their own index
+/// slot; owned streams handed out by a [`StreamCache`] cache their
+/// indices in the allocation-identity registry — either way concurrent
+/// replays of the same recording share one build, and ad-hoc streams
+/// build privately (see [`register_stream`]). Returns `None` for streams
+/// too large for `u32` index positions (the caller replays
+/// sequentially).
+fn shard_index_for<S: StreamAccess>(
+    stream: &S,
+    sets: u64,
+    shards: usize,
+) -> Option<Arc<ShardIndex>> {
+    let fetch_or_build = |map: &mut HashMap<(u64, usize), Arc<ShardIndex>>| {
+        if let Some(index) = map.get(&(sets, shards)) {
+            METRICS.index_hits.inc();
+            return Some(Arc::clone(index));
         }
+        METRICS.index_misses.inc();
+        let index = Arc::new(ShardIndex::build(stream, sets, shards)?);
+        map.insert((sets, shards), Arc::clone(&index));
+        Some(index)
+    };
+    if let Some(slot) = stream.shard_slot() {
+        return fetch_or_build(&mut lock_recovering(slot));
+    }
+    match shard_registry::lookup(stream.registry_addr()) {
+        Some(map) => fetch_or_build(&mut lock_recovering(&map)),
         None => {
             METRICS.index_misses.inc();
             ShardIndex::build(stream, sets, shards).map(Arc::new)
@@ -586,10 +726,10 @@ fn shard_index_for(stream: &RecordedStream, sets: u64, shards: usize) -> Option<
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_kind(
+pub fn replay_kind<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     kind: PolicyKind,
-    stream: &RecordedStream,
+    stream: &S,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
     if kind == PolicyKind::Opt {
@@ -640,10 +780,10 @@ pub fn replay_kind(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_kind_sharded(
+pub fn replay_kind_sharded<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     kind: PolicyKind,
-    stream: &RecordedStream,
+    stream: &S,
     shards: usize,
 ) -> Result<RunResult, RunError> {
     if kind == PolicyKind::Opt {
@@ -680,10 +820,10 @@ pub fn replay_kind_sharded(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_characterized_sharded(
+pub fn replay_characterized_sharded<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     kind: PolicyKind,
-    stream: &RecordedStream,
+    stream: &S,
     shards: usize,
 ) -> Result<(RunResult, SharingProfile), RunError> {
     let sets = config.llc.sets() as usize;
@@ -734,9 +874,9 @@ pub fn replay_characterized_sharded(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_opt(
+pub fn replay_opt<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
-    stream: &RecordedStream,
+    stream: &S,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
     let next_use = Arc::new(compute_annotations(stream, 0).next_use);
@@ -751,10 +891,10 @@ pub fn replay_opt(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_opt_with(
+pub fn replay_opt_with<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     next_use: Arc<Vec<u64>>,
-    stream: &RecordedStream,
+    stream: &S,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
@@ -789,9 +929,9 @@ pub fn replay_opt_with(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_opt_sharded(
+pub fn replay_opt_sharded<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
-    stream: &RecordedStream,
+    stream: &S,
     shards: usize,
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
@@ -813,10 +953,10 @@ pub fn replay_opt_sharded(
 
 /// Sharded OPT replay over an already-built index with already-computed
 /// annotations.
-fn replay_opt_on(
+fn replay_opt_on<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     next_use: &Arc<Vec<u64>>,
-    stream: &RecordedStream,
+    stream: &S,
     index: &ShardIndex,
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
@@ -846,12 +986,12 @@ fn replay_opt_on(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_oracle(
+pub fn replay_oracle<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     base: PolicyKind,
     mode: ProtectMode,
     window: Option<u64>,
-    stream: &RecordedStream,
+    stream: &S,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
     let window = window.unwrap_or_else(|| oracle_window(config));
@@ -876,13 +1016,13 @@ pub fn replay_oracle(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_oracle_with(
+pub fn replay_oracle_with<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     base: PolicyKind,
     mode: ProtectMode,
     next_use: Arc<Vec<u64>>,
     shared_soon: Arc<Vec<bool>>,
-    stream: &RecordedStream,
+    stream: &S,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
@@ -946,12 +1086,12 @@ pub fn replay_oracle_with(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_oracle_sharded(
+pub fn replay_oracle_sharded<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     base: PolicyKind,
     mode: ProtectMode,
     window: Option<u64>,
-    stream: &RecordedStream,
+    stream: &S,
     shards: usize,
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
@@ -1001,10 +1141,10 @@ pub fn replay_oracle_sharded(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_reactive(
+pub fn replay_reactive<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     base: PolicyKind,
-    stream: &RecordedStream,
+    stream: &S,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
@@ -1024,11 +1164,11 @@ pub fn replay_reactive(
 /// # Errors
 ///
 /// Same conditions as [`replay`].
-pub fn replay_predictor_wrap(
+pub fn replay_predictor_wrap<S: StreamAccess + Sync>(
     config: &HierarchyConfig,
     base: PolicyKind,
     predictor: Box<dyn SharingPredictor>,
-    stream: &RecordedStream,
+    stream: &S,
     observers: Vec<&mut dyn LlcObserver>,
 ) -> Result<RunResult, RunError> {
     let sets = config.llc.sets() as usize;
@@ -1065,7 +1205,7 @@ pub struct Annotations {
 /// nearest future access by a core other than `c1` (`n2`). Then
 /// `next_use[i] = n1` and `shared_soon[i]` asks whether the nearest
 /// future *differing-core* access falls within `window`.
-pub fn compute_annotations(stream: &RecordedStream, window: u64) -> Annotations {
+pub fn compute_annotations<S: StreamAccess>(stream: &S, window: u64) -> Annotations {
     let _span = spans::span("compute_annotations");
     let n = stream.len();
     let mut next_use = vec![u64::MAX; n];
@@ -1076,9 +1216,11 @@ pub fn compute_annotations(stream: &RecordedStream, window: u64) -> Annotations 
         n2: u64,
     }
     let mut next: FxHashMap<BlockAddr, Next> = FxHashMap::default();
-    for i in (0..n).rev() {
-        let block = stream.blocks[i];
-        let core = stream.cores[i];
+    // Backward walk over the stream's own iterator (the trait requires
+    // `DoubleEnded + ExactSize` exactly for this pass).
+    for (i, a) in stream.accesses().enumerate().rev() {
+        let block = a.block;
+        let core = a.core;
         if let Some(e) = next.get(&block) {
             next_use[i] = e.n1;
             let next_diff = if e.c1 != core { e.n1 } else { e.n2 };
@@ -1171,7 +1313,175 @@ impl StreamKey {
     }
 }
 
-type Slot = Arc<Mutex<Option<Arc<RecordedStream>>>>;
+/// A replayable handle from [`StreamCache::get_or_record`]: either a
+/// fully decoded in-memory recording or a zero-copy [`StreamView`] over
+/// one `.llcs` arena loaded from the attached store. Both replay
+/// bit-identically — the variants only decide how the record bytes are
+/// held — and the whole dispatch cost is one predicted branch per record
+/// inside [`CachedAccessIter`]. Callers that want the branch gone
+/// entirely (the daemon's memo path) match once and hand the inner
+/// stream to the monomorphized drivers directly.
+#[derive(Debug, Clone)]
+pub enum CachedStream {
+    /// A stream recorded in this process: plane vectors, registered in
+    /// the process-wide shard-index registry.
+    Owned(Arc<RecordedStream>),
+    /// A disk hit held as a validated view over the loaded arena: one
+    /// allocation, no per-record decode, shard-index slot carried in the
+    /// view itself.
+    View(Arc<StreamView>),
+}
+
+impl CachedStream {
+    /// Number of LLC accesses (inherent mirror of [`StreamAccess::len`]
+    /// so call sites need no trait import).
+    #[allow(clippy::len_without_is_empty)] // is_empty is right below
+    pub fn len(&self) -> usize {
+        match self {
+            CachedStream::Owned(s) => StreamAccess::len(&**s),
+            CachedStream::View(v) => StreamAccess::len(&**v),
+        }
+    }
+
+    /// `true` if the stream holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The decoded plane-vector recording behind this handle, if it is
+    /// one (recorded in this process); `None` for zero-copy disk views.
+    pub fn as_owned(&self) -> Option<&Arc<RecordedStream>> {
+        match self {
+            CachedStream::Owned(s) => Some(s),
+            CachedStream::View(_) => None,
+        }
+    }
+
+    /// The exact `.llcs` encoding size — for a view, the bytes of the
+    /// shared arena, charged against the cache cap exactly once.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            CachedStream::Owned(s) => StreamAccess::encoded_len(&**s),
+            CachedStream::View(v) => StreamAccess::encoded_len(&**v),
+        }
+    }
+}
+
+/// [`CachedStream`]'s access iterator: the owned-plane or view-decode
+/// iterator behind one enum tag.
+#[derive(Debug)]
+pub enum CachedAccessIter<'a> {
+    /// Iterating decoded plane vectors.
+    Owned(OwnedAccessIter<'a>),
+    /// Decoding records out of a view's arena on the fly.
+    View(ViewAccessIter<'a>),
+}
+
+impl Iterator for CachedAccessIter<'_> {
+    type Item = AccessRecord;
+
+    fn next(&mut self) -> Option<AccessRecord> {
+        match self {
+            CachedAccessIter::Owned(it) => it.next(),
+            CachedAccessIter::View(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            CachedAccessIter::Owned(it) => it.size_hint(),
+            CachedAccessIter::View(it) => it.size_hint(),
+        }
+    }
+}
+
+impl DoubleEndedIterator for CachedAccessIter<'_> {
+    fn next_back(&mut self) -> Option<AccessRecord> {
+        match self {
+            CachedAccessIter::Owned(it) => it.next_back(),
+            CachedAccessIter::View(it) => it.next_back(),
+        }
+    }
+}
+
+impl ExactSizeIterator for CachedAccessIter<'_> {}
+
+impl StreamAccess for CachedStream {
+    type Iter<'a> = CachedAccessIter<'a>;
+
+    fn len(&self) -> usize {
+        CachedStream::len(self)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match self {
+            CachedStream::Owned(s) => s.fingerprint(),
+            CachedStream::View(v) => StreamAccess::fingerprint(&**v),
+        }
+    }
+
+    fn accesses(&self) -> CachedAccessIter<'_> {
+        match self {
+            CachedStream::Owned(s) => CachedAccessIter::Owned(s.accesses()),
+            CachedStream::View(v) => CachedAccessIter::View(v.accesses()),
+        }
+    }
+
+    fn upgrades(&self) -> &[UpgradeEvent] {
+        match self {
+            CachedStream::Owned(s) => StreamAccess::upgrades(&**s),
+            CachedStream::View(v) => StreamAccess::upgrades(&**v),
+        }
+    }
+
+    fn instructions(&self) -> u64 {
+        match self {
+            CachedStream::Owned(s) => StreamAccess::instructions(&**s),
+            CachedStream::View(v) => StreamAccess::instructions(&**v),
+        }
+    }
+
+    fn trace_accesses(&self) -> u64 {
+        match self {
+            CachedStream::Owned(s) => StreamAccess::trace_accesses(&**s),
+            CachedStream::View(v) => StreamAccess::trace_accesses(&**v),
+        }
+    }
+
+    fn l1_stats(&self) -> PrivateCacheStats {
+        match self {
+            CachedStream::Owned(s) => StreamAccess::l1_stats(&**s),
+            CachedStream::View(v) => StreamAccess::l1_stats(&**v),
+        }
+    }
+
+    fn l2_stats(&self) -> PrivateCacheStats {
+        match self {
+            CachedStream::Owned(s) => StreamAccess::l2_stats(&**s),
+            CachedStream::View(v) => StreamAccess::l2_stats(&**v),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        CachedStream::encoded_len(self)
+    }
+
+    fn shard_slot(&self) -> Option<&ShardIndexSlot> {
+        match self {
+            CachedStream::Owned(s) => StreamAccess::shard_slot(&**s),
+            CachedStream::View(v) => StreamAccess::shard_slot(&**v),
+        }
+    }
+
+    fn registry_addr(&self) -> usize {
+        match self {
+            CachedStream::Owned(s) => s.registry_addr(),
+            CachedStream::View(v) => StreamAccess::registry_addr(&**v),
+        }
+    }
+}
+
+type Slot = Arc<Mutex<Option<CachedStream>>>;
 
 /// Counters of a [`StreamCache`] and its optional disk backing — the
 /// numbers `llc-serve` reports under `GET /store/stats`.
@@ -1182,6 +1492,11 @@ pub struct StreamCacheStats {
     /// Requests answered by loading a `.llcs` file from the attached
     /// [`StreamStore`] (no simulation ran).
     pub disk_hits: u64,
+    /// Disk hits served as zero-copy [`StreamView`]s — no per-record
+    /// decode, arena bytes charged once (a subset of `disk_hits`; today
+    /// every disk hit loads as a view, so the split exists to catch the
+    /// day that stops being true).
+    pub view_loads: u64,
     /// Requests that had to record the stream with a full simulation.
     pub misses: u64,
     /// Entries evicted from memory by the byte cap (their disk copies,
@@ -1352,9 +1667,10 @@ impl StreamCache {
     }
 
     /// Returns the stream for `key`: from memory if resident, else from
-    /// the attached store's `.llcs` file if present and intact, else by
-    /// recording it via `make_trace` under `key.config` (and persisting
-    /// the recording if a store is attached).
+    /// the attached store's `.llcs` file if present and intact (loaded
+    /// as a zero-copy [`CachedStream::View`]), else by recording it via
+    /// `make_trace` under `key.config` (and persisting the recording if
+    /// a store is attached).
     ///
     /// # Errors
     ///
@@ -1365,7 +1681,7 @@ impl StreamCache {
         &self,
         key: StreamKey,
         make_trace: F,
-    ) -> Result<Arc<RecordedStream>, RunError>
+    ) -> Result<CachedStream, RunError>
     where
         W: TraceSource,
         F: FnOnce() -> W,
@@ -1380,7 +1696,7 @@ impl StreamCache {
         };
         let mut guard = lock_recovering(&slot);
         if let Some(stream) = guard.as_ref() {
-            let stream = Arc::clone(stream);
+            let stream = stream.clone();
             drop(guard);
             lock_recovering(&self.inner).stats.hits += 1;
             METRICS.cache_hits.inc();
@@ -1389,13 +1705,15 @@ impl StreamCache {
 
         // Not in memory: try the persistent store, then record. Both
         // happen under the slot lock so concurrent requesters of the same
-        // key share one load/recording.
+        // key share one load/recording. A disk hit is served zero-copy:
+        // the `.llcs` bytes are validated in place and replayed straight
+        // out of the arena, with no per-record decode into plane vectors.
         let fp = key.fingerprint();
         let mut from_disk = false;
-        let stream = match store.as_ref().map(|s| s.load(fp)) {
-            Some(Ok(Some(stream))) => {
+        let stream = match store.as_ref().map(|s| s.load_view(fp)) {
+            Some(Ok(Some(view))) => {
                 from_disk = true;
-                Arc::new(stream)
+                CachedStream::View(Arc::new(view))
             }
             Some(Err(_)) => {
                 // Corrupt stored copy: count it, move the evidence to
@@ -1412,31 +1730,39 @@ impl StreamCache {
                         }
                     }
                 }
-                Arc::new(record_stream(&key.config, make_trace())?)
+                CachedStream::Owned(Arc::new(record_stream(&key.config, make_trace())?))
             }
-            Some(Ok(None)) | None => Arc::new(record_stream(&key.config, make_trace())?),
+            Some(Ok(None)) | None => {
+                CachedStream::Owned(Arc::new(record_stream(&key.config, make_trace())?))
+            }
         };
-        if !from_disk {
-            if let Some(store) = store.as_ref() {
-                if store.save(fp, &stream).is_err() {
-                    lock_recovering(&self.inner).stats.disk_errors += 1;
-                    METRICS.cache_disk_errors.inc();
-                }
+        if let (false, Some(store), CachedStream::Owned(owned)) =
+            (from_disk, store.as_ref(), &stream)
+        {
+            if store.save(fp, owned).is_err() {
+                lock_recovering(&self.inner).stats.disk_errors += 1;
+                METRICS.cache_disk_errors.inc();
             }
         }
-        *guard = Some(Arc::clone(&stream));
+        *guard = Some(stream.clone());
         drop(guard);
         // Cached streams get a shard-index slot: replays of this stream
         // can now share lazily built `ShardIndex`es (see
         // `shard_index_for`), which live exactly as long as the stream.
-        shard_registry::register(&stream);
+        // Views carry the slot inside themselves; owned streams register
+        // in the process-wide allocation-identity registry.
+        if let CachedStream::Owned(owned) = &stream {
+            shard_registry::register(owned);
+        }
 
         // Account the insert and enforce the cap (never evicting the
         // entry just inserted).
         let mut inner = lock_recovering(&self.inner);
         if from_disk {
             inner.stats.disk_hits += 1;
+            inner.stats.view_loads += 1;
             METRICS.cache_disk_hits.inc();
+            METRICS.view_loads.inc();
         } else {
             inner.stats.misses += 1;
             METRICS.cache_misses.inc();
@@ -1604,7 +1930,10 @@ mod tests {
             1,
             "second get must hit the cache"
         );
-        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(
+            a.as_owned().expect("recorded"),
+            b.as_owned().expect("cached")
+        ));
         assert_eq!(cache.len(), 1);
     }
 
@@ -1756,7 +2085,14 @@ mod tests {
         );
         assert_eq!(second.stats().disk_hits, 1);
         assert_eq!(second.stats().misses, 0);
-        assert_eq!(*a, *b);
+        assert_eq!(
+            second.stats().view_loads,
+            1,
+            "the disk hit loads as a zero-copy view"
+        );
+        assert!(b.as_owned().is_none(), "disk hits are views, not decodes");
+        assert!(a.accesses().eq(b.accesses()));
+        assert_eq!(a.upgrades(), b.upgrades());
 
         // Corrupt the stored copy: the next fresh cache falls back to
         // re-recording (typed error internally, never surfaced) and
@@ -1783,7 +2119,10 @@ mod tests {
                 .exists(),
             "quarantined evidence file exists"
         );
-        assert_eq!(*a, *c);
+        assert_eq!(
+            **a.as_owned().expect("recorded"),
+            **c.as_owned().expect("re-recorded")
+        );
         let healed = StreamCache::with_store(store.clone(), None);
         healed.get_or_record(key, make).expect("healed");
         assert_eq!(

@@ -16,13 +16,12 @@
 //! * In [`Inclusion::Inclusive`] mode an LLC eviction back-invalidates all
 //!   private copies of the victim.
 
-use fxhash::FxHashMap;
-
 use crate::addr::{AccessKind, Addr, BlockAddr, CoreId, Pc};
 use crate::config::{ConfigError, HierarchyConfig, Inclusion, SimError};
+use crate::dir::CoherenceDir;
 use crate::l1::{L1Access, PrivateCache};
 use crate::llc::{Llc, LlcObserver};
-use crate::replace::{AuxProvider, ReplacementPolicy};
+use crate::replace::{AccessCtx, Aux, AuxProvider, ReplacementPolicy};
 use crate::stats::{LlcStats, PrivateCacheStats};
 
 /// One record of a multi-threaded memory trace.
@@ -60,16 +59,250 @@ impl MemAccess {
     }
 }
 
+/// Outcome of running one access through the private levels: either it was
+/// filtered by an L1/L2 hit (carrying whether it was a write, i.e. a MESI
+/// upgrade the shared level must observe), or it must proceed to the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrivateOutcome {
+    Hit { write: bool },
+    Miss,
+}
+
+/// Core-count threshold for the coherence bookkeeping strategy. At or
+/// below this many cores, a store resolves remote private copies by
+/// probing every other core's L1/L2 tag planes directly (a handful of
+/// cache-resident loads, and an always-correct truth source), which is
+/// cheaper than maintaining a directory entry on every LLC fill and
+/// private eviction. Above it, the per-store probe count outgrows the
+/// amortized cost of a [`CoherenceDir`] entry.
+const PROBE_ALL_MAX_CORES: usize = 8;
+
+/// The private side of the hierarchy: per-core L1 (and optional L2) caches
+/// plus the coherence bookkeeping tracking which cores privately hold each
+/// block. Shared verbatim between the full simulator ([`Cmp`]) and the
+/// LLC-free record kernel ([`RecordCmp`]) so the two can never diverge on
+/// coherence behaviour.
+struct PrivateLevels {
+    cores: usize,
+    l1: Vec<PrivateCache>,
+    l2: Vec<PrivateCache>,
+    /// For each block, the bit-vector of cores holding it in a private
+    /// cache. Entries are removed when the mask drops to zero.
+    ///
+    /// `None` selects the probe-all strategy (core counts up to
+    /// [`PROBE_ALL_MAX_CORES`]): stores and back-invalidations probe the
+    /// private tag planes of every other core instead, and fills and
+    /// evictions do no bookkeeping at all. Both strategies produce
+    /// bit-identical streams and statistics — [`PrivateCache::invalidate`]
+    /// is a no-op (and counts nothing) when the block is absent, exactly
+    /// like a cleared directory bit.
+    private_dir: Option<CoherenceDir>,
+}
+
+impl PrivateLevels {
+    /// Builds empty private levels from a (validated) configuration,
+    /// choosing the coherence strategy by core count.
+    fn new(config: &HierarchyConfig) -> Self {
+        Self::with_directory(config, config.cores > PROBE_ALL_MAX_CORES)
+    }
+
+    /// Builds empty private levels with an explicit coherence strategy
+    /// (exposed to tests so both strategies can run on the same
+    /// configuration and be compared record-for-record).
+    fn with_directory(config: &HierarchyConfig, use_dir: bool) -> Self {
+        let l1 = (0..config.cores)
+            .map(|_| PrivateCache::new(config.l1))
+            .collect();
+        let l2 = match config.l2 {
+            Some(l2cfg) => (0..config.cores)
+                .map(|_| PrivateCache::new(l2cfg))
+                .collect(),
+            None => Vec::new(),
+        };
+        PrivateLevels {
+            cores: config.cores,
+            l1,
+            l2,
+            private_dir: use_dir.then(CoherenceDir::new),
+        }
+    }
+
+    /// Runs one access through the coherence step and the private levels.
+    ///
+    /// A write first invalidates remote private copies (so remote readers
+    /// re-fetch through the LLC), then the block probes L1 and — on an L1
+    /// miss — the optional L2, handling private victims along the way.
+    ///
+    /// Directory invariant (directory strategy only): if a core holds a
+    /// block in its L1 or L2, its directory bit is set. Fills set the bit
+    /// (the caller's miss path invokes [`PrivateLevels::dir_set`]); every
+    /// path that drops a private copy (private eviction, remote
+    /// invalidation, back-invalidation) clears the bit in the same step.
+    /// Hit paths skip the table entirely — the upsert they used to perform
+    /// was always a no-op. Under the probe-all strategy no bookkeeping
+    /// happens at all: the tag planes themselves are the directory.
+    #[inline]
+    fn filter(&mut self, block: BlockAddr, core: CoreId, is_write: bool) -> PrivateOutcome {
+        if is_write {
+            self.invalidate_remote(block, core);
+        }
+
+        // L1. An L1 victim can only survive privately in the same core's
+        // L2 — the L1 that just evicted it cannot still hold it.
+        match self.l1[core.index()].access(block, is_write) {
+            L1Access::Hit => {
+                debug_assert!(self.dir_holds(block, core), "L1 hit without dir bit");
+                return PrivateOutcome::Hit { write: is_write };
+            }
+            L1Access::Miss { victim } => {
+                if let Some(v) = victim {
+                    if self.private_dir.is_some() {
+                        let still_held = self
+                            .l2
+                            .get(core.index())
+                            .is_some_and(|l2| l2.contains(v.block));
+                        if !still_held {
+                            self.dir_clear(v.block, core);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Optional L2. Symmetrically, an L2 victim can only survive in the
+        // same core's L1.
+        if !self.l2.is_empty() {
+            match self.l2[core.index()].access(block, is_write) {
+                L1Access::Hit => {
+                    debug_assert!(self.dir_holds(block, core), "L2 hit without dir bit");
+                    return PrivateOutcome::Hit { write: is_write };
+                }
+                L1Access::Miss { victim } => {
+                    if let Some(v) = victim {
+                        if self.private_dir.is_some() && !self.l1[core.index()].contains(v.block) {
+                            self.dir_clear(v.block, core);
+                        }
+                    }
+                }
+            }
+        }
+
+        PrivateOutcome::Miss
+    }
+
+    /// Debug-build check of the directory invariant on private-hit paths
+    /// (compiled but unused in release builds — `debug_assert!` still
+    /// type-checks its condition there).
+    /// Debug-build check of the directory invariant on private-hit paths
+    /// (trivially true under probe-all, where the tag planes are the
+    /// directory and the caller just hit one of them).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn dir_holds(&self, block: BlockAddr, core: CoreId) -> bool {
+        match &self.private_dir {
+            Some(dir) => dir
+                .get(block.raw())
+                .is_some_and(|mask| mask & core.bit() != 0),
+            None => true,
+        }
+    }
+
+    fn dir_set(&mut self, block: BlockAddr, core: CoreId) {
+        if let Some(dir) = &mut self.private_dir {
+            dir.set_bit(block.raw(), core.bit());
+        }
+    }
+
+    /// Clears `core`'s directory bit for `block` (the caller has verified
+    /// the directory strategy is active and none of that core's private
+    /// caches still holds the block).
+    fn dir_clear(&mut self, block: BlockAddr, core: CoreId) {
+        if let Some(dir) = &mut self.private_dir {
+            dir.clear_bit(block.raw(), core.bit());
+        }
+    }
+
+    fn invalidate_remote(&mut self, block: BlockAddr, writer: CoreId) {
+        let Some(dir) = &mut self.private_dir else {
+            // Probe-all: ask every other core's tag planes directly.
+            // `invalidate` no-ops (and counts nothing) when absent, so
+            // this is observably identical to the directory walk.
+            for c in 0..self.cores {
+                if c == writer.index() {
+                    continue;
+                }
+                self.l1[c].invalidate(block, false);
+                if let Some(l2) = self.l2.get_mut(c) {
+                    l2.invalidate(block, false);
+                }
+            }
+            return;
+        };
+        let Some(mask) = dir.get(block.raw()) else {
+            return;
+        };
+        let remote = mask & !writer.bit();
+        if remote == 0 {
+            return;
+        }
+        for c in 0..self.cores {
+            if remote & (1u32 << c) != 0 {
+                self.l1[c].invalidate(block, false);
+                if let Some(l2) = self.l2.get_mut(c) {
+                    l2.invalidate(block, false);
+                }
+            }
+        }
+        self.private_dir
+            .as_mut()
+            .expect("directory strategy checked above")
+            .retain_only(block.raw(), writer.bit());
+    }
+
+    fn back_invalidate(&mut self, block: BlockAddr) {
+        let Some(dir) = &mut self.private_dir else {
+            for c in 0..self.cores {
+                self.l1[c].invalidate(block, true);
+                if let Some(l2) = self.l2.get_mut(c) {
+                    l2.invalidate(block, true);
+                }
+            }
+            return;
+        };
+        let Some(mask) = dir.remove(block.raw()) else {
+            return;
+        };
+        for c in 0..self.cores {
+            if mask & (1u32 << c) != 0 {
+                self.l1[c].invalidate(block, true);
+                if let Some(l2) = self.l2.get_mut(c) {
+                    l2.invalidate(block, true);
+                }
+            }
+        }
+    }
+
+    fn l1_stats(&self) -> PrivateCacheStats {
+        let mut total = PrivateCacheStats::default();
+        for c in &self.l1 {
+            total += c.stats();
+        }
+        total
+    }
+
+    fn l2_stats(&self) -> PrivateCacheStats {
+        let mut total = PrivateCacheStats::default();
+        for c in &self.l2 {
+            total += c.stats();
+        }
+        total
+    }
+}
+
 /// The simulated chip-multiprocessor.
 pub struct Cmp<P> {
     config: HierarchyConfig,
-    l1: Vec<PrivateCache>,
-    l2: Vec<PrivateCache>,
+    private: PrivateLevels,
     llc: Llc<P>,
-    /// For each block, the bit-vector of cores holding it in a private
-    /// cache. Entries are removed when the mask drops to zero. FxHash-keyed:
-    /// this map is consulted on every trace record (the coherence hot path).
-    private_dir: FxHashMap<BlockAddr, u32>,
     instructions: u64,
     trace_accesses: u64,
 }
@@ -82,21 +315,10 @@ impl<P: ReplacementPolicy> Cmp<P> {
     /// Returns an error if the configuration is invalid.
     pub fn new(config: HierarchyConfig, policy: P) -> Result<Self, ConfigError> {
         config.validate()?;
-        let l1 = (0..config.cores)
-            .map(|_| PrivateCache::new(config.l1))
-            .collect();
-        let l2 = match config.l2 {
-            Some(l2cfg) => (0..config.cores)
-                .map(|_| PrivateCache::new(l2cfg))
-                .collect(),
-            None => Vec::new(),
-        };
         Ok(Cmp {
             config,
-            l1,
-            l2,
+            private: PrivateLevels::new(&config),
             llc: Llc::new(config.llc, policy),
-            private_dir: FxHashMap::default(),
             instructions: 0,
             trace_accesses: 0,
         })
@@ -134,25 +356,17 @@ impl<P: ReplacementPolicy> Cmp<P> {
 
     /// Aggregated L1 counters over all cores.
     pub fn l1_stats(&self) -> PrivateCacheStats {
-        let mut total = PrivateCacheStats::default();
-        for c in &self.l1 {
-            total += c.stats();
-        }
-        total
+        self.private.l1_stats()
     }
 
     /// Per-core L1 counters.
     pub fn l1_stats_per_core(&self) -> Vec<PrivateCacheStats> {
-        self.l1.iter().map(|c| c.stats()).collect()
+        self.private.l1.iter().map(|c| c.stats()).collect()
     }
 
     /// Aggregated L2 counters over all cores (zero if no L2 is configured).
     pub fn l2_stats(&self) -> PrivateCacheStats {
-        let mut total = PrivateCacheStats::default();
-        for c in &self.l2 {
-            total += c.stats();
-        }
-        total
+        self.private.l2_stats()
     }
 
     /// Validates that `a` can be processed by this hierarchy (its core id
@@ -177,129 +391,179 @@ impl<P: ReplacementPolicy> Cmp<P> {
     }
 
     /// Processes one trace record through the hierarchy.
-    pub fn access(&mut self, a: MemAccess, obs: &mut dyn LlcObserver) {
+    ///
+    /// Generic over the observer so that monomorphized record kernels pay
+    /// no virtual dispatch per record; `&mut dyn LlcObserver` still
+    /// satisfies the bound for callers that need dynamic observers.
+    pub fn access<O: LlcObserver + ?Sized>(&mut self, a: MemAccess, obs: &mut O) {
         debug_assert!(a.core.index() < self.config.cores, "core out of range");
         self.trace_accesses += 1;
         self.instructions += u64::from(a.instr_gap.max(1));
         let block = a.addr.block();
-        let core = a.core.index();
 
-        // Coherence: a store invalidates remote private copies so remote
-        // readers re-fetch through the LLC.
-        if a.kind.is_write() {
-            self.invalidate_remote(block, a.core);
-        }
-
-        // L1.
-        match self.l1[core].access(block, a.kind.is_write()) {
-            L1Access::Hit => {
-                if a.kind.is_write() {
-                    // MESI upgrade: the directory observes the write even
-                    // though no LLC data access occurs.
-                    self.llc.note_upgrade(block, a.core);
-                    obs.on_upgrade(block, a.core);
-                }
-                self.dir_set(block, a.core);
-                return;
+        match self.private.filter(block, a.core, a.kind.is_write()) {
+            PrivateOutcome::Hit { write: true } => {
+                // MESI upgrade: the directory observes the write even
+                // though no LLC data access occurs.
+                self.llc.note_upgrade(block, a.core);
+                obs.on_upgrade(block, a.core);
             }
-            L1Access::Miss { victim } => {
-                if let Some(v) = victim {
-                    self.note_private_eviction(v.block, a.core);
-                }
-            }
-        }
-
-        // Optional L2.
-        if !self.l2.is_empty() {
-            match self.l2[core].access(block, a.kind.is_write()) {
-                L1Access::Hit => {
-                    if a.kind.is_write() {
-                        self.llc.note_upgrade(block, a.core);
-                        obs.on_upgrade(block, a.core);
-                    }
-                    self.dir_set(block, a.core);
-                    return;
-                }
-                L1Access::Miss { victim } => {
-                    if let Some(v) = victim {
-                        self.note_private_eviction(v.block, a.core);
+            PrivateOutcome::Hit { write: false } => {}
+            PrivateOutcome::Miss => {
+                let result = self.llc.access(block, a.pc, a.core, a.kind, obs);
+                if self.config.inclusion == Inclusion::Inclusive {
+                    if let Some(victim) = result.victim {
+                        self.private.back_invalidate(victim);
                     }
                 }
+                self.private.dir_set(block, a.core);
             }
         }
-
-        // LLC.
-        let result = self.llc.access(block, a.pc, a.core, a.kind, obs);
-        if self.config.inclusion == Inclusion::Inclusive {
-            if let Some(victim) = result.victim {
-                self.back_invalidate(victim);
-            }
-        }
-        self.dir_set(block, a.core);
     }
 
     /// Flushes all live LLC generations (call once at end of simulation).
-    pub fn finish(&mut self, obs: &mut dyn LlcObserver) {
+    pub fn finish<O: LlcObserver + ?Sized>(&mut self, obs: &mut O) {
         self.llc.flush(obs);
     }
+}
 
-    fn dir_set(&mut self, block: BlockAddr, core: CoreId) {
-        *self.private_dir.entry(block).or_insert(0) |= core.bit();
+/// LLC-free record kernel for non-inclusive hierarchies.
+///
+/// In [`Inclusion::NonInclusive`] mode the LLC reference stream is
+/// independent of the LLC's contents and replacement policy (dirty private
+/// victims write back to memory and LLC evictions never touch the private
+/// levels), so *recording* the stream does not require simulating the LLC
+/// at all. This kernel runs only the private levels and the coherence
+/// directory — the exact [`PrivateLevels`] logic the full [`Cmp`] uses —
+/// and reports every LLC-bound reference to the observer via
+/// [`LlcObserver::on_fill`] with a monotonically increasing logical time.
+///
+/// Hit/fill classification is deliberately absent: it would require an LLC
+/// policy and is irrelevant to the recorded stream (a stream recorder
+/// appends the same record for either callback). Coherence upgrades arrive
+/// via [`LlcObserver::on_upgrade`] exactly as in [`Cmp`]. Compared to
+/// driving a full [`Cmp`], this removes the LLC tag planes, LRU stamps,
+/// victim scans, and generation bookkeeping — hundreds of kilobytes of
+/// simulated state — from the record hot loop.
+pub struct RecordCmp {
+    config: HierarchyConfig,
+    private: PrivateLevels,
+    /// LLC logical time: the number of LLC references reported so far.
+    time: u64,
+    instructions: u64,
+    trace_accesses: u64,
+}
+
+impl RecordCmp {
+    /// Builds an empty record kernel from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or not
+    /// [`Inclusion::NonInclusive`] — inclusive back-invalidations feed LLC
+    /// state back into the private caches, so an inclusive stream cannot
+    /// be recorded without simulating the LLC (use [`Cmp`] there).
+    pub fn new(config: HierarchyConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if config.inclusion != Inclusion::NonInclusive {
+            return Err(ConfigError::new(
+                "RecordCmp requires a non-inclusive hierarchy: inclusive back-invalidations \
+                 make the LLC reference stream depend on LLC state, so recording must drive \
+                 the full Cmp simulation",
+            ));
+        }
+        Ok(RecordCmp {
+            config,
+            private: PrivateLevels::new(&config),
+            time: 0,
+            instructions: 0,
+            trace_accesses: 0,
+        })
     }
 
-    /// Clears `core`'s directory bit for `block` unless the block is still
-    /// held by one of that core's private caches.
-    fn note_private_eviction(&mut self, block: BlockAddr, core: CoreId) {
-        let still_held = self.l1[core.index()].contains(block)
-            || self
-                .l2
-                .get(core.index())
-                .is_some_and(|l2| l2.contains(block));
-        if still_held {
-            return;
+    /// The configuration this kernel was built from.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Total instructions represented by the processed trace records.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total trace records processed.
+    pub fn trace_accesses(&self) -> u64 {
+        self.trace_accesses
+    }
+
+    /// Number of LLC references reported so far (the stream length).
+    pub fn llc_refs(&self) -> u64 {
+        self.time
+    }
+
+    /// Aggregated L1 counters over all cores.
+    pub fn l1_stats(&self) -> PrivateCacheStats {
+        self.private.l1_stats()
+    }
+
+    /// Aggregated L2 counters over all cores (zero if no L2 is configured).
+    pub fn l2_stats(&self) -> PrivateCacheStats {
+        self.private.l2_stats()
+    }
+
+    /// Validates that `a` can be processed by this hierarchy; see
+    /// [`Cmp::check_access`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CoreOutOfRange`] when the record's core id is
+    /// not below the configured core count.
+    pub fn check_access(&self, a: &MemAccess) -> Result<(), SimError> {
+        if a.core.index() >= self.config.cores {
+            return Err(SimError::CoreOutOfRange {
+                core: a.core.index(),
+                cores: self.config.cores,
+            });
         }
-        if let Some(mask) = self.private_dir.get_mut(&block) {
-            *mask &= !core.bit();
-            if *mask == 0 {
-                self.private_dir.remove(&block);
+        Ok(())
+    }
+
+    /// Processes one trace record: identical private-level and coherence
+    /// behaviour to [`Cmp::access`], with the LLC reference reported
+    /// straight to the observer instead of simulated.
+    pub fn access<O: LlcObserver + ?Sized>(&mut self, a: MemAccess, obs: &mut O) {
+        debug_assert!(a.core.index() < self.config.cores, "core out of range");
+        self.trace_accesses += 1;
+        self.instructions += u64::from(a.instr_gap.max(1));
+        let block = a.addr.block();
+
+        match self.private.filter(block, a.core, a.kind.is_write()) {
+            PrivateOutcome::Hit { write: true } => obs.on_upgrade(block, a.core),
+            PrivateOutcome::Hit { write: false } => {}
+            PrivateOutcome::Miss => {
+                let ctx = AccessCtx {
+                    block,
+                    pc: a.pc,
+                    core: a.core,
+                    kind: a.kind,
+                    time: self.time,
+                    aux: Aux::default(),
+                };
+                self.time += 1;
+                obs.on_fill(&ctx);
+                self.private.dir_set(block, a.core);
             }
         }
     }
+}
 
-    fn invalidate_remote(&mut self, block: BlockAddr, writer: CoreId) {
-        let Some(&mask) = self.private_dir.get(&block) else {
-            return;
-        };
-        let remote = mask & !writer.bit();
-        if remote == 0 {
-            return;
-        }
-        for c in 0..self.config.cores {
-            if remote & (1u32 << c) != 0 {
-                self.l1[c].invalidate(block, false);
-                if let Some(l2) = self.l2.get_mut(c) {
-                    l2.invalidate(block, false);
-                }
-            }
-        }
-        self.private_dir.insert(block, mask & writer.bit());
-        if mask & writer.bit() == 0 {
-            self.private_dir.remove(&block);
-        }
-    }
-
-    fn back_invalidate(&mut self, block: BlockAddr) {
-        let Some(mask) = self.private_dir.remove(&block) else {
-            return;
-        };
-        for c in 0..self.config.cores {
-            if mask & (1u32 << c) != 0 {
-                self.l1[c].invalidate(block, true);
-                if let Some(l2) = self.l2.get_mut(c) {
-                    l2.invalidate(block, true);
-                }
-            }
-        }
+impl std::fmt::Debug for RecordCmp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordCmp")
+            .field("config", &self.config)
+            .field("llc_refs", &self.time)
+            .field("instructions", &self.instructions)
+            .finish_non_exhaustive()
     }
 }
 
@@ -517,6 +781,129 @@ mod tests {
         assert!(gen.sharer_mask.count_ones() >= 2);
         assert_eq!(gen.writes, 1, "the upgrade write must be recorded");
         assert_eq!(gen.writer_mask.count_ones(), 1);
+    }
+
+    /// Observer capturing the full LLC reference stream plus upgrades, to
+    /// compare coherence strategies record-for-record.
+    #[derive(Debug, Default, PartialEq)]
+    struct Tape {
+        refs: Vec<(BlockAddr, CoreId, bool)>,
+        upgrades: Vec<(u64, BlockAddr, CoreId)>,
+    }
+
+    impl LlcObserver for Tape {
+        fn on_hit(&mut self, ctx: &AccessCtx, _: &crate::llc::LiveGeneration, _: bool) {
+            self.refs.push((ctx.block, ctx.core, true));
+        }
+        fn on_fill(&mut self, ctx: &AccessCtx) {
+            self.refs.push((ctx.block, ctx.core, false));
+        }
+        fn on_upgrade(&mut self, block: BlockAddr, core: CoreId) {
+            self.upgrades.push((self.refs.len() as u64, block, core));
+        }
+    }
+
+    /// Deterministic xorshift access mix with heavy read-write sharing, to
+    /// stress both coherence strategies on the same records.
+    fn sharing_stimulus(cores: usize, n: usize) -> Vec<MemAccess> {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let core = (x as usize >> 4) % cores;
+                // Small shared region + per-core private region.
+                let addr = if x % 3 == 0 {
+                    (x >> 16) % 0x40 * 64
+                } else {
+                    0x10000 * (core as u64 + 1) + ((x >> 16) % 0x200) * 64
+                };
+                let kind = if x % 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                MemAccess::new(
+                    CoreId::new(core),
+                    Pc::new(0x400 + i as u64 % 32),
+                    Addr::new(addr),
+                    kind,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn probe_all_and_directory_strategies_agree() {
+        let mut c = cfg();
+        c.l2 = Some(CacheConfig::new(8 * 4 * 64, 4).unwrap());
+        for inclusion in [Inclusion::NonInclusive, Inclusion::Inclusive] {
+            c.inclusion = inclusion;
+            let mut probe_all = Cmp::new(c, FifoPolicy::default()).unwrap();
+            let mut with_dir = Cmp::new(c, FifoPolicy::default()).unwrap();
+            // 4 cores default to probe-all; force the directory strategy
+            // on the second instance before any accesses are processed.
+            assert!(probe_all.private.private_dir.is_none());
+            with_dir.private = PrivateLevels::with_directory(&c, true);
+            let (mut ta, mut tb) = (Tape::default(), Tape::default());
+            for a in sharing_stimulus(4, 20_000) {
+                probe_all.access(a, &mut ta);
+                with_dir.access(a, &mut tb);
+            }
+            assert_eq!(ta, tb, "streams diverged ({inclusion:?})");
+            assert_eq!(probe_all.llc_stats(), with_dir.llc_stats());
+            assert_eq!(probe_all.l1_stats(), with_dir.l1_stats());
+            assert_eq!(probe_all.l2_stats(), with_dir.l2_stats());
+        }
+    }
+
+    #[test]
+    fn large_core_count_uses_directory_strategy() {
+        let mut c = cfg();
+        c.cores = 16;
+        let mut cmp = Cmp::new(c, FifoPolicy::default()).unwrap();
+        assert!(cmp.private.private_dir.is_some());
+        let mut obs = NullObserver;
+        // Every core reads the block, then core 0 writes it: all 15 remote
+        // copies must die and re-fetch through the LLC.
+        for core in 0..16 {
+            cmp.access(read(core, 0x8000), &mut obs);
+        }
+        cmp.access(write(0, 0x8000), &mut obs);
+        assert_eq!(cmp.l1_stats().invalidations, 15);
+        cmp.access(read(5, 0x8000), &mut obs);
+        assert_eq!(cmp.llc_stats().accesses, 17);
+    }
+
+    #[test]
+    fn record_cmp_matches_full_cmp_stream() {
+        let mut c = cfg();
+        c.l2 = Some(CacheConfig::new(8 * 4 * 64, 4).unwrap());
+        let mut full = Cmp::new(c, FifoPolicy::default()).unwrap();
+        let mut kernel = RecordCmp::new(c).unwrap();
+        let (mut tf, mut tk) = (Tape::default(), Tape::default());
+        for a in sharing_stimulus(4, 20_000) {
+            full.access(a, &mut tf);
+            kernel.access(a, &mut tk);
+        }
+        // RecordCmp reports every reference as a fill; erase the hit flag.
+        let full_refs: Vec<_> = tf.refs.iter().map(|&(b, c, _)| (b, c)).collect();
+        let kernel_refs: Vec<_> = tk.refs.iter().map(|&(b, c, _)| (b, c)).collect();
+        assert_eq!(full_refs, kernel_refs);
+        assert_eq!(tf.upgrades, tk.upgrades);
+        assert_eq!(full.l1_stats(), kernel.l1_stats());
+        assert_eq!(full.l2_stats(), kernel.l2_stats());
+        assert_eq!(full.instructions(), kernel.instructions());
+        assert_eq!(full.trace_accesses(), kernel.trace_accesses());
+        assert_eq!(kernel.llc_refs(), kernel_refs.len() as u64);
+    }
+
+    #[test]
+    fn record_cmp_rejects_inclusive_configs() {
+        let mut c = cfg();
+        c.inclusion = Inclusion::Inclusive;
+        assert!(RecordCmp::new(c).is_err());
     }
 
     #[test]

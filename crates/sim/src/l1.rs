@@ -6,19 +6,29 @@
 //! realistic reference stream: only private-cache misses reach it, and
 //! coherence invalidations expose read-write sharing to the LLC as repeated
 //! misses from alternating cores.
+//!
+//! # Storage layout
+//!
+//! The private caches are the hottest structures on the record path: every
+//! trace record probes the issuing core's L1 (and usually hits), while the
+//! LLC only sees the filtered miss stream. Storage therefore mirrors the
+//! hybrid SoA layout `Llc` proved out for replay:
+//!
+//! * **probe planes** — `tags` (one contiguous `u64` row per set; an 8-way
+//!   set is exactly one cache line) and a per-set `u64` `valid` bitmask,
+//!   compared by a branchless [`match_mask`](PrivateCache::access) that
+//!   folds the whole row into a hit mask without early-exit branches;
+//! * **update planes** — per-line LRU `stamps` (touched once on a hit, and
+//!   scanned only on the miss path when no invalid way exists) and a
+//!   per-set `dirty` bitmask (bit ops instead of a byte store per line).
+//!
+//! The AoS `Vec<Line>` form this replaces walked 24-byte line structs with
+//! a data-dependent branch per way; the SoA probe touches one tag row and
+//! one mask word for the ~90 % of records that hit.
 
 use crate::addr::BlockAddr;
 use crate::config::CacheConfig;
 use crate::stats::PrivateCacheStats;
-
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    valid: bool,
-    tag: u64,
-    /// LRU timestamp: larger = more recently used.
-    stamp: u64,
-    dirty: bool,
-}
 
 /// Result of a demand access to a private cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,33 +53,68 @@ pub struct L1Victim {
     pub dirty: bool,
 }
 
-/// A private set-associative LRU cache.
+/// A private set-associative LRU cache (hybrid SoA storage).
 #[derive(Debug, Clone)]
 pub struct PrivateCache {
     sets: u64,
     ways: usize,
-    lines: Vec<Line>,
+    /// `log2(sets)`: block reconstruction is `(tag << set_shift) | set`.
+    set_shift: u32,
+    /// Tag of every line, one contiguous row of `ways` entries per set.
+    tags: Vec<u64>,
+    /// Per-set bitmask of valid ways (bit `w` = way `w` holds a block).
+    valid: Vec<u64>,
+    /// Per-line LRU timestamp: larger = more recently used.
+    stamps: Vec<u64>,
+    /// Per-set bitmask of dirty ways.
+    dirty: Vec<u64>,
+    /// All-ways mask for this associativity.
+    full_mask: u64,
     clock: u64,
     stats: PrivateCacheStats,
 }
 
 impl PrivateCache {
     /// Creates an empty private cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 64 (the width of the per-set
+    /// valid/dirty bitmasks), matching the limit `Llc` imposes.
     pub fn new(config: CacheConfig) -> Self {
+        assert!(config.ways <= 64, "associativity above 64 is unsupported");
         let sets = config.sets();
         let ways = config.ways;
+        let slots = (sets * ways as u64) as usize;
         PrivateCache {
             sets,
             ways,
-            lines: vec![Line::default(); (sets * ways as u64) as usize],
+            set_shift: sets.trailing_zeros(),
+            tags: vec![0; slots],
+            valid: vec![0; sets as usize],
+            stamps: vec![0; slots],
+            dirty: vec![0; sets as usize],
+            full_mask: if ways == 64 {
+                u64::MAX
+            } else {
+                (1u64 << ways) - 1
+            },
             clock: 0,
             stats: PrivateCacheStats::default(),
         }
     }
 
-    fn set_slice_mut(&mut self, set: u64) -> &mut [Line] {
-        let base = (set as usize) * self.ways;
-        &mut self.lines[base..base + self.ways]
+    /// Branchless probe: bitmask of valid ways in `set` whose tag equals
+    /// `tag` (at most one bit for a well-formed cache).
+    #[inline]
+    fn match_mask(&self, set: usize, tag: u64) -> u64 {
+        let base = set * self.ways;
+        let row = &self.tags[base..base + self.ways];
+        let mut mask = 0u64;
+        for (w, &t) in row.iter().enumerate() {
+            mask |= u64::from(t == tag) << w;
+        }
+        mask & self.valid[set]
     }
 
     /// Performs a demand access, filling on a miss (write-allocate).
@@ -77,91 +122,80 @@ impl PrivateCache {
         self.stats.accesses += 1;
         self.clock += 1;
         let clock = self.clock;
-        let set = block.set_index(self.sets);
+        let set = block.set_index(self.sets) as usize;
         let tag = block.tag(self.sets);
-        let ways = self.ways;
-        let sets = self.sets;
-        let lines = self.set_slice_mut(set);
+        let base = set * self.ways;
 
-        // Hit path.
-        for line in lines.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.stamp = clock;
-                line.dirty |= write;
-                self.stats.hits += 1;
-                return L1Access::Hit;
-            }
+        // Hit path: one branchless row scan, one stamp store, one mask or.
+        let hit = self.match_mask(set, tag);
+        if hit != 0 {
+            let way = hit.trailing_zeros() as usize;
+            self.stamps[base + way] = clock;
+            self.dirty[set] |= u64::from(write) << way;
+            self.stats.hits += 1;
+            return L1Access::Hit;
         }
 
-        // Miss: prefer an invalid way, else evict the LRU way.
-        let mut victim_way = 0;
-        let mut victim_stamp = u64::MAX;
-        let mut found_invalid = false;
-        for (w, line) in lines.iter().enumerate() {
-            if !line.valid {
-                victim_way = w;
-                found_invalid = true;
-                break;
+        // Miss: prefer the lowest invalid way, else evict the LRU way
+        // (lowest way wins stamp ties, matching the original scan order).
+        let invalid = !self.valid[set] & self.full_mask;
+        let (way, evicting) = if invalid != 0 {
+            (invalid.trailing_zeros() as usize, false)
+        } else {
+            let row = &self.stamps[base..base + self.ways];
+            let mut victim_way = 0usize;
+            let mut victim_stamp = u64::MAX;
+            for (w, &s) in row.iter().enumerate() {
+                if s < victim_stamp {
+                    victim_stamp = s;
+                    victim_way = w;
+                }
             }
-            if line.stamp < victim_stamp {
-                victim_stamp = line.stamp;
-                victim_way = w;
-            }
-        }
+            (victim_way, true)
+        };
 
-        let line = &mut lines[victim_way];
-        let victim = if !found_invalid && line.valid {
-            let victim_block = BlockAddr::new(line.tag * sets + set);
+        let victim = if evicting {
+            let victim_block =
+                BlockAddr::new((self.tags[base + way] << self.set_shift) | set as u64);
+            self.stats.evictions += 1;
             Some(L1Victim {
                 block: victim_block,
-                dirty: line.dirty,
+                dirty: self.dirty[set] >> way & 1 != 0,
             })
         } else {
             None
         };
-        *line = Line {
-            valid: true,
-            tag,
-            stamp: clock,
-            dirty: write,
-        };
+        self.tags[base + way] = tag;
+        self.stamps[base + way] = clock;
+        self.valid[set] |= 1u64 << way;
+        self.dirty[set] = (self.dirty[set] & !(1u64 << way)) | u64::from(write) << way;
         debug_assert!(victim.is_none_or(|v| v.block != block));
-        let _ = ways;
-        if victim.is_some() {
-            self.stats.evictions += 1;
-        }
         L1Access::Miss { victim }
     }
 
     /// Returns `true` if `block` is currently cached (no LRU update).
     pub fn contains(&self, block: BlockAddr) -> bool {
-        let set = block.set_index(self.sets);
-        let tag = block.tag(self.sets);
-        let base = (set as usize) * self.ways;
-        self.lines[base..base + self.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        let set = block.set_index(self.sets) as usize;
+        self.match_mask(set, block.tag(self.sets)) != 0
     }
 
     /// Removes `block` if present (coherence invalidation). Returns `true`
     /// if the block was present.
     pub fn invalidate(&mut self, block: BlockAddr, back: bool) -> bool {
-        let set = block.set_index(self.sets);
-        let tag = block.tag(self.sets);
-        let lines = self.set_slice_mut(set);
-        for line in lines.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.valid = false;
-                line.dirty = false;
-                if back {
-                    self.stats.back_invalidations += 1;
-                } else {
-                    self.stats.invalidations += 1;
-                }
-                return true;
-            }
+        let set = block.set_index(self.sets) as usize;
+        let hit = self.match_mask(set, block.tag(self.sets));
+        if hit == 0 {
+            return false;
         }
-        false
+        let way = hit.trailing_zeros();
+        self.valid[set] &= !(1u64 << way);
+        self.dirty[set] &= !(1u64 << way);
+        if back {
+            self.stats.back_invalidations += 1;
+        } else {
+            self.stats.invalidations += 1;
+        }
+        true
     }
 
     /// Accumulated counters.
@@ -171,7 +205,7 @@ impl PrivateCache {
 
     /// Number of currently valid lines (for tests and occupancy checks).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 }
 
@@ -246,6 +280,23 @@ mod tests {
     }
 
     #[test]
+    fn refill_of_evicted_way_clears_stale_dirty_bit() {
+        let mut c = tiny();
+        c.access(blk(1, 1), true); // way 0, dirty
+        c.access(blk(1, 2), false); // way 1
+        c.access(blk(1, 3), false); // evicts dirty tag 1, fills way 0 clean
+        c.access(blk(1, 2), false); // keep tag 2 MRU
+        let r = c.access(blk(1, 4), false); // evicts tag 3: must be clean
+        match r {
+            L1Access::Miss { victim: Some(v) } => {
+                assert_eq!(v.block, blk(1, 3));
+                assert!(!v.dirty, "stale dirty bit leaked into refilled way");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn invalidate_removes_block() {
         let mut c = tiny();
         c.access(blk(2, 7), false);
@@ -282,6 +333,24 @@ mod tests {
         for set in 0..4 {
             assert!(c.contains(blk(set, 1)));
             assert!(c.contains(blk(set, 2)));
+        }
+    }
+
+    #[test]
+    fn full_associativity_uses_every_way() {
+        // 1 set x 64 ways: the full-mask edge case.
+        let mut c = PrivateCache::new(CacheConfig::new(64 * 64, 64).unwrap());
+        for tag in 0..64 {
+            assert!(matches!(
+                c.access(BlockAddr::new(tag), false),
+                L1Access::Miss { victim: None }
+            ));
+        }
+        assert_eq!(c.valid_lines(), 64);
+        // Way 65 evicts the LRU (tag 0).
+        match c.access(BlockAddr::new(64), false) {
+            L1Access::Miss { victim: Some(v) } => assert_eq!(v.block, BlockAddr::new(0)),
+            other => panic!("unexpected {other:?}"),
         }
     }
 }

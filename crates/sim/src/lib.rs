@@ -53,6 +53,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod dir;
 pub mod hierarchy;
 pub mod l1;
 pub mod llc;
@@ -63,7 +64,8 @@ pub use addr::{
     splitmix64, AccessKind, Addr, BlockAddr, CoreId, Pc, BLOCK_BYTES, BLOCK_SHIFT, MAX_CORES,
 };
 pub use config::{CacheConfig, ConfigError, HierarchyConfig, Inclusion, SimError};
-pub use hierarchy::{Cmp, MemAccess};
+pub use dir::CoherenceDir;
+pub use hierarchy::{Cmp, MemAccess, RecordCmp};
 pub use l1::{L1Access, L1Victim, PrivateCache};
 pub use llc::{
     EvictCause, GenerationEnd, LiveGeneration, Llc, LlcAccess, LlcObserver, MultiObserver,

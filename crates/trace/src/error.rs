@@ -73,6 +73,18 @@ pub enum TraceError {
         /// The offending core id.
         core: usize,
     },
+    /// A `.llcs` arena's byte length does not match the section sizes its
+    /// header declares. The zero-copy view decoder requires an
+    /// exactly-sized arena: a *shorter* one is reported as
+    /// [`TraceError::Truncated`], so this variant specifically means the
+    /// arena carries trailing bytes no section accounts for (a misaligned
+    /// or garbage-padded file).
+    ArenaSizeMismatch {
+        /// Bytes the header's record counts require.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
     /// An upgrade record in a `.llcs` stream recording is out of order or
     /// points past the end of the access stream.
     BadUpgrade {
@@ -124,6 +136,10 @@ impl TraceError {
                 declared: *declared,
             },
             TraceError::CoreUnencodable { core } => TraceError::CoreUnencodable { core: *core },
+            TraceError::ArenaSizeMismatch { expected, actual } => TraceError::ArenaSizeMismatch {
+                expected: *expected,
+                actual: *actual,
+            },
             TraceError::BadUpgrade {
                 at,
                 accesses,
@@ -176,6 +192,12 @@ impl fmt::Display for TraceError {
             }
             TraceError::CoreUnencodable { core } => {
                 write!(f, "core id {core} does not fit the 1-byte record encoding")
+            }
+            TraceError::ArenaSizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "arena size mismatch: header declares {expected} bytes but {actual} are present"
+                )
             }
             TraceError::BadUpgrade {
                 at,
@@ -254,6 +276,13 @@ mod tests {
             ),
             (TraceError::RecordOverflow { declared: 1 }, "more records"),
             (TraceError::CoreUnencodable { core: 300 }, "core id 300"),
+            (
+                TraceError::ArenaSizeMismatch {
+                    expected: 128,
+                    actual: 130,
+                },
+                "declares 128 bytes",
+            ),
             (
                 TraceError::BadUpgrade {
                     at: 9,

@@ -36,6 +36,7 @@ pub mod shard;
 pub mod source;
 pub mod store;
 pub mod stream;
+pub mod view;
 pub mod workload;
 pub mod zipf;
 
@@ -49,9 +50,12 @@ pub use patterns::{
     pipeline_channel, Consumer, LockHot, Migratory, Pattern, PatternAccess, PhaseAlternate,
     PrivateStream, PrivateWorkingSet, Producer, SharedReadOnly, Stencil, Transpose,
 };
-pub use shard::{ShardIndex, StreamShard};
+pub use shard::{ShardIndex, ShardIndexSlot, StreamShard};
 pub use source::{TraceSource, VecSource};
 pub use store::{atomic_write, quarantine_file, sync_dir, StreamStore, QUARANTINE_DIR};
-pub use stream::{read_stream, write_stream, RecordedStream, UpgradeEvent};
+pub use stream::{
+    read_stream, write_stream, AccessRecord, RecordedStream, StreamAccess, UpgradeEvent,
+};
+pub use view::StreamView;
 pub use workload::{ThreadSpec, Workload};
 pub use zipf::ZipfSampler;

@@ -22,8 +22,19 @@
 //! [`ShardIndex::build`] returns `None` and callers fall back to the
 //! sequential path.
 
-use crate::stream::RecordedStream;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::stream::StreamAccess;
 use llc_sim::{AccessKind, BlockAddr, CoreId, Pc};
+
+/// A per-stream cache of shard indices, keyed by `(set count, shard
+/// count)`. Stream representations that carry their own slot (see
+/// [`StreamAccess::shard_slot`]) let sharded replay share one index
+/// build per shard count across concurrent policies without any global
+/// registry; `llc_sharing::replay` keeps the same map type behind its
+/// allocation-identity registry for owned streams.
+pub type ShardIndexSlot = Mutex<HashMap<(u64, usize), Arc<ShardIndex>>>;
 
 /// One contiguous set range of a [`ShardIndex`]: the stream positions
 /// that touch it plus a gathered, contiguous copy of those accesses.
@@ -68,8 +79,8 @@ impl ShardIndex {
     ///
     /// Returns `None` if the stream is too large to index with `u32`
     /// positions; callers must then use the sequential path.
-    pub fn build(stream: &RecordedStream, sets: u64, shards: usize) -> Option<Self> {
-        if stream.len() >= u32::MAX as usize || stream.upgrades.len() >= u32::MAX as usize {
+    pub fn build<S: StreamAccess>(stream: &S, sets: u64, shards: usize) -> Option<Self> {
+        if stream.len() >= u32::MAX as usize || stream.upgrades().len() >= u32::MAX as usize {
             return None;
         }
         let count = (shards.max(1) as u64).min(sets).max(1);
@@ -91,15 +102,15 @@ impl ShardIndex {
                 }
             })
             .collect();
-        for (i, &block) in stream.blocks.iter().enumerate() {
-            let shard = &mut out[part.shard_of(block.set_index(sets)) as usize];
+        for (i, rec) in stream.accesses().enumerate() {
+            let shard = &mut out[part.shard_of(rec.block.set_index(sets)) as usize];
             shard.accesses.push(i as u32);
-            shard.blocks.push(block);
-            shard.pcs.push(stream.pcs[i]);
-            shard.cores.push(stream.cores[i]);
-            shard.kinds.push(stream.kinds[i]);
+            shard.blocks.push(rec.block);
+            shard.pcs.push(rec.pc);
+            shard.cores.push(rec.core);
+            shard.kinds.push(rec.kind);
         }
-        for (i, u) in stream.upgrades.iter().enumerate() {
+        for (i, u) in stream.upgrades().iter().enumerate() {
             let shard = part.shard_of(u.block.set_index(sets));
             out[shard as usize].upgrades.push(i as u32);
         }
@@ -181,7 +192,7 @@ impl Partition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::UpgradeEvent;
+    use crate::stream::{RecordedStream, UpgradeEvent};
     use llc_sim::{AccessKind, BlockAddr, CoreId, Pc};
 
     fn stream(n: usize, sets: u64) -> RecordedStream {

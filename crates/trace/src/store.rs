@@ -24,6 +24,7 @@ use std::path::{Path, PathBuf};
 
 use crate::error::TraceError;
 use crate::stream::{read_stream, RecordedStream};
+use crate::view::StreamView;
 
 /// File extension of stored stream recordings.
 pub const STREAM_FILE_EXT: &str = "llcs";
@@ -173,6 +174,38 @@ impl StreamStore {
         // still servable.
         let _ = file.set_modified(std::time::SystemTime::now());
         read_stream(io::BufReader::new(file)).map(Some)
+    }
+
+    /// Loads the recording stored under `fp` as a zero-copy
+    /// [`StreamView`], or `Ok(None)` if there is none.
+    ///
+    /// One read, one allocation: the file lands in a single arena and
+    /// the view validates it in place — no per-record decode into
+    /// parallel vectors. This is the load path `llc_sharing`'s
+    /// `StreamCache` uses on a disk hit.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`StreamStore::load`]: a file that exists but
+    /// does not validate is a typed [`TraceError`], so callers can
+    /// quarantine it and fall back to re-recording.
+    pub fn load_view(&self, fp: u64) -> Result<Option<StreamView>, TraceError> {
+        let path = self.path_for(fp);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(TraceError::Io(e)),
+        };
+        // Touch the mtime so LRU eviction (`repro gc`) ranks entries by
+        // last *use*, not last write. Best-effort: a read-only store is
+        // still servable.
+        let _ = file.set_modified(std::time::SystemTime::now());
+        let mut bytes = match file.metadata() {
+            Ok(m) => Vec::with_capacity(m.len() as usize),
+            Err(_) => Vec::new(),
+        };
+        io::Read::read_to_end(&mut file, &mut bytes).map_err(TraceError::Io)?;
+        StreamView::new(bytes.into()).map(Some)
     }
 
     /// Persists `stream` under `fp` with an atomic, fsynced write,

@@ -57,3 +57,38 @@ fn disabled_telemetry_is_zero_atomics_per_replay_access() {
         "replay must emit a handful of phase-level spans, not {per_large}"
     );
 }
+
+#[test]
+fn disabled_telemetry_is_zero_atomics_per_record_access() {
+    // The record path has the same discipline as replay: one counter bump
+    // and one span per *recording*, never per trace record. With spans
+    // disabled a recording buffers nothing; enabled, a trace twice the
+    // length buffers exactly as many events.
+    let cfg = HierarchyConfig::tiny();
+    assert!(!spans::enabled(), "spans must start disabled");
+    let before = spans::event_count();
+    let stream = record_stream(&cfg, App::Fft.workload(cfg.cores, Scale::Small)).expect("record");
+    assert!(stream.len() > 0);
+    assert_eq!(
+        spans::event_count(),
+        before,
+        "a disabled tracer must record nothing during recording"
+    );
+
+    spans::set_enabled(true);
+    let before = spans::event_count();
+    record_stream(&cfg, App::Fft.workload(cfg.cores, Scale::Tiny)).expect("record tiny");
+    let per_tiny = spans::event_count() - before;
+    let before = spans::event_count();
+    record_stream(&cfg, App::Fft.workload(cfg.cores, Scale::Small)).expect("record small");
+    let per_small = spans::event_count() - before;
+    spans::set_enabled(false);
+    assert_eq!(
+        per_tiny, per_small,
+        "span events per recording must be independent of trace length"
+    );
+    assert!(
+        per_small as u64 <= 4,
+        "recording must emit a handful of phase-level spans, not {per_small}"
+    );
+}

@@ -73,7 +73,8 @@ fn llcs_files_round_trip_and_replay_identically() {
         .load(key.fingerprint())
         .expect("load")
         .expect("present");
-    assert_eq!(loaded, *recorded, "disk round-trip is lossless");
+    let recorded = recorded.as_owned().expect("recorded in this process");
+    assert_eq!(loaded, **recorded, "disk round-trip is lossless");
 
     // And the loaded copy replays bit-identically to the live workload.
     let live = simulate_kind(
@@ -119,8 +120,10 @@ fn corruption_is_a_typed_error_and_the_cache_re_records() {
     let recovered = fresh
         .get_or_record(key, || App::Swaptions.workload(cfg.cores, Scale::Tiny))
         .expect("re-record over corruption");
+    let recovered = recovered.as_owned().expect("recovery re-records");
+    let original = original.as_owned().expect("recorded in this process");
     assert_eq!(
-        *recovered, *original,
+        **recovered, **original,
         "deterministic workloads re-record identically"
     );
     let stats = fresh.stats();
@@ -130,6 +133,49 @@ fn corruption_is_a_typed_error_and_the_cache_re_records() {
         .load(key.fingerprint())
         .expect("healed load")
         .expect("present");
-    assert_eq!(healed, *original, "the overwritten file is intact again");
+    assert_eq!(healed, **original, "the overwritten file is intact again");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn load_view_survives_random_corruption_with_typed_errors() {
+    // Flip bytes all over a persisted `.llcs` image and map each mutant
+    // back through the zero-copy view loader: every outcome must be a
+    // clean `Ok` (mutation landed somewhere semantically inert) or a
+    // typed `TraceError` — never a panic, never an abort.
+    let dir = temp_dir("view-fault");
+    let store = StreamStore::open(&dir).expect("store opens");
+    let cfg = small_cfg();
+    let stream =
+        sharing_aware_llc::sharing::record_stream(&cfg, App::Fft.workload(cfg.cores, Scale::Tiny))
+            .expect("record");
+    let fp = key_for(App::Fft, cfg).fingerprint();
+    store.save(fp, &stream).expect("save");
+    let path = store.path_for(fp);
+    let clean = std::fs::read(&path).expect("read image");
+
+    let mut x = 0xdead_beef_cafe_f00du64;
+    let mut typed_errors = 0usize;
+    for _ in 0..300 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let mut bytes = clean.clone();
+        let pos = (x as usize >> 8) % bytes.len();
+        bytes[pos] ^= (x as u8) | 1;
+        // Truncations too, every few mutants.
+        if x % 7 == 0 {
+            bytes.truncate(pos);
+        }
+        std::fs::write(&path, &bytes).expect("write mutant");
+        match store.load_view(fp) {
+            Ok(_) => {}
+            Err(_) => typed_errors += 1,
+        }
+    }
+    assert!(
+        typed_errors > 0,
+        "at least some mutants must surface as typed errors"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -445,3 +445,85 @@ fn annotated_runs_instantiate_the_trace_once() {
         "simulate_oracle(base=Lru) must record the stream exactly once"
     );
 }
+
+/// Builds a zero-copy [`StreamView`] over the in-memory `.llcs` encoding
+/// of `stream` — exactly the image `StreamStore` persists and
+/// `load_view` maps back.
+fn view_of(
+    stream: &sharing_aware_llc::trace::RecordedStream,
+) -> sharing_aware_llc::trace::StreamView {
+    let bytes = stream.to_vec().expect("encode stream");
+    sharing_aware_llc::trace::StreamView::new(std::sync::Arc::from(bytes.into_boxed_slice()))
+        .expect("validated view")
+}
+
+/// Zero-copy view-backed replay is bit-identical to owned replay for
+/// **every** policy kind and **every** oracle base: the daemon's
+/// store-hit fast path (one arena allocation, per-record decode inside
+/// the kernel) must never change a single replayed bit.
+#[test]
+fn view_replay_matches_owned_for_every_kind_and_oracle_base() {
+    let cfg = with_l2_cfg();
+    let window = oracle_window(&cfg);
+    let trace = fixed_trace(900, 96);
+    let stream = record_stream(&cfg, VecSource::new(trace)).expect("record");
+    let view = view_of(&stream);
+    assert_eq!(
+        sharing_aware_llc::trace::StreamAccess::len(&view),
+        stream.len()
+    );
+
+    for kind in ALL_KINDS {
+        let owned = replay_kind(&cfg, kind, &stream, vec![]).expect("owned replay");
+        let viewed = replay_kind(&cfg, kind, &view, vec![]).expect("view replay");
+        assert_eq!(owned.llc, viewed.llc, "kind {}", kind.label());
+        assert_eq!(owned.policy, viewed.policy, "kind {}", kind.label());
+        assert_eq!(owned.l1, viewed.l1, "kind {}", kind.label());
+        assert_eq!(owned.l2, viewed.l2, "kind {}", kind.label());
+        assert_eq!(
+            owned.instructions,
+            viewed.instructions,
+            "kind {}",
+            kind.label()
+        );
+    }
+    for base in ALL_KINDS {
+        for mode in [ProtectMode::Eviction, ProtectMode::Insertion] {
+            let owned = replay_oracle(&cfg, base, mode, Some(window), &stream, vec![])
+                .expect("owned oracle replay");
+            let viewed = replay_oracle(&cfg, base, mode, Some(window), &view, vec![])
+                .expect("view oracle replay");
+            assert_eq!(
+                owned.llc,
+                viewed.llc,
+                "oracle base {} ({mode:?})",
+                base.label()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property form over random traces: the view-backed annotations and
+    /// replays reproduce the owned ones bit-for-bit (LRU and OPT — the
+    /// policies whose replays consume the stream most differently: OPT
+    /// walks it backwards first for next-use annotations).
+    #[test]
+    fn view_replay_matches_owned_on_random_traces(trace in trace_strategy(600)) {
+        let cfg = no_l2_cfg();
+        let stream = record_stream(&cfg, VecSource::new(trace)).expect("record");
+        let view = view_of(&stream);
+        let window = oracle_window(&cfg);
+        let owned_ann = compute_annotations(&stream, window);
+        let view_ann = compute_annotations(&view, window);
+        prop_assert_eq!(owned_ann.next_use, view_ann.next_use);
+        prop_assert_eq!(owned_ann.shared_soon, view_ann.shared_soon);
+        for kind in [PolicyKind::Lru, PolicyKind::Opt] {
+            let owned = replay_kind(&cfg, kind, &stream, vec![]).expect("owned replay");
+            let viewed = replay_kind(&cfg, kind, &view, vec![]).expect("view replay");
+            prop_assert_eq!(owned.llc, viewed.llc, "kind {}", kind.label());
+        }
+    }
+}

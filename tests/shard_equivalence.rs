@@ -317,3 +317,40 @@ fn donated_budget_auto_shards_and_stays_exact() {
         assert_eq!(seq, auto, "kind {}", kind.label());
     }
 }
+
+/// Sharded replay over a zero-copy [`StreamView`] is bit-identical to
+/// sharded replay over the owned stream: the per-shard view iterators
+/// decode the same records the owned planes hold, and the shard index
+/// rides in the view's own slot rather than the registry.
+#[test]
+fn view_backed_sharded_replay_is_bit_identical() {
+    let cfg = cfg_16_sets();
+    let trace: Vec<MemAccess> = (0..900)
+        .map(|i| {
+            let r = llc_sim::splitmix64(i as u64 ^ 0x51e3);
+            MemAccess {
+                core: CoreId::new((r % 4) as usize),
+                pc: Pc::new(0x400 + (r >> 8) % 16 * 4),
+                addr: Addr::new((r >> 16) % 128 * 64),
+                kind: if r.is_multiple_of(5) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                instr_gap: 3,
+            }
+        })
+        .collect();
+    let stream = record_stream(&cfg, VecSource::new(trace)).expect("record");
+    let bytes = stream.to_vec().expect("encode");
+    let view = sharing_aware_llc::trace::StreamView::new(Arc::from(bytes.into_boxed_slice()))
+        .expect("validated view");
+    let sets = cfg.llc.sets() as usize;
+    for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Opt] {
+        for shards in [1usize, 2, 7, sets] {
+            let owned = replay_kind_sharded(&cfg, kind, &stream, shards).expect("owned sharded");
+            let viewed = replay_kind_sharded(&cfg, kind, &view, shards).expect("view sharded");
+            assert_eq!(owned, viewed, "kind {} at {shards} shards", kind.label());
+        }
+    }
+}
