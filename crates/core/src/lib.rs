@@ -51,6 +51,7 @@ pub mod experiments;
 pub mod json;
 pub mod memo;
 pub mod model;
+pub mod online;
 pub mod planner;
 pub mod replay;
 pub mod report;
@@ -64,6 +65,7 @@ pub use error::RunError;
 pub use experiments::{per_app, run_experiment, ExperimentCtx, ExperimentId};
 pub use memo::{record_of, result_of};
 pub use model::LatencyModel;
+pub use online::{OnlineCharacterizer, OnlineStats, OnlineTally};
 pub use planner::{configs_for, plan_experiment, replay_lineup};
 pub use replay::{
     compute_annotations, record_stream, register_stream, replay, replay_characterized_sharded,

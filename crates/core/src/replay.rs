@@ -1698,8 +1698,20 @@ impl StreamCache {
         if let Some(stream) = guard.as_ref() {
             let stream = stream.clone();
             drop(guard);
-            lock_recovering(&self.inner).stats.hits += 1;
+            let size = stream.encoded_len() as u64;
+            let mut inner = lock_recovering(&self.inner);
+            inner.stats.hits += 1;
             METRICS.cache_hits.inc();
+            // A hit can race the byte cap: eviction may have removed the
+            // map entry between slot resolution and here while this Arc
+            // kept the stream alive. Re-adopt the slot so the bytes this
+            // handle pins stay accounted — otherwise the next request
+            // would load a second arena for a stream still resident,
+            // double-charging the cap in real memory.
+            if !inner.map.contains_key(&key) {
+                Self::charge(&mut inner, key, &slot, size);
+                Self::evict_over_limit(&mut inner, Some(&key));
+            }
             return Ok(stream);
         }
 
@@ -1768,14 +1780,35 @@ impl StreamCache {
             METRICS.cache_misses.inc();
         }
         let size = stream.encoded_len() as u64;
-        if let Some(entry) = inner.map.get_mut(&key) {
-            let grown = size.saturating_sub(entry.bytes);
-            entry.bytes = size;
-            inner.stats.bytes += grown;
-            METRICS.cache_bytes.add(grown as i64);
-        }
+        Self::charge(&mut inner, key, &slot, size);
         Self::evict_over_limit(&mut inner, Some(&key));
         Ok(stream)
+    }
+
+    /// Charges exactly `size` bytes for `key`'s filled `slot`, keeping
+    /// the invariant `stats.bytes == Σ entry.bytes`: a re-charge adjusts
+    /// by the signed difference (never drifts on shrink), and an entry
+    /// evicted while its fill was in flight is re-inserted so the stream
+    /// the caller's slot handle pins stays accounted. If another caller
+    /// already re-created the entry around a *different* slot, that copy
+    /// owns the accounting and this one is left as a transient duplicate
+    /// rather than double-charging the key.
+    fn charge(inner: &mut CacheInner, key: StreamKey, slot: &Slot, size: u64) {
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner.map.entry(key).or_insert_with(|| CacheEntry {
+            slot: Arc::clone(slot),
+            stamp: clock,
+            bytes: 0,
+        });
+        if !Arc::ptr_eq(&entry.slot, slot) {
+            return;
+        }
+        entry.stamp = clock;
+        let prev = entry.bytes;
+        entry.bytes = size;
+        inner.stats.bytes = inner.stats.bytes - prev + size;
+        METRICS.cache_bytes.add(size as i64 - prev as i64);
     }
 
     /// Evicts least-recently-used recorded entries until the cache fits

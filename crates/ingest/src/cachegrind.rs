@@ -1,0 +1,250 @@
+//! Cachegrind-like log ingestion.
+//!
+//! Valgrind's cache simulators print one event per line — an instruction
+//! fetch or a data reference, each with a hex address and a size:
+//!
+//! ```text
+//! I  0400d7d4,8
+//!  L 04f6b868,8
+//!  S 04e20e70,8
+//!  M 0421350c,4
+//! T 2
+//! ```
+//!
+//! * `I pc,size` — instruction fetch: sets the current PC and counts one
+//!   instruction toward the next data reference's
+//!   [`instr_gap`](llc_sim::MemAccess::instr_gap).
+//! * `L addr,size` — data load → a read access at the current PC.
+//! * `S addr,size` — data store → a write access.
+//! * `M addr,size` — modify (load + store) → a write access (the store
+//!   is what upgrades the line).
+//! * `T core` — our multi-threaded extension: switches the issuing
+//!   core/thread for subsequent lines (core 0 before the first `T`).
+//!
+//! Sizes are accepted and ignored — the downstream pipeline is
+//! block-granular. Leading whitespace is insignificant (cachegrind
+//! indents data lines); `#`/`=` comment lines and blanks are skipped.
+
+use std::io::{BufRead, BufReader, Read};
+
+use llc_sim::{AccessKind, Addr, CoreId, MemAccess, Pc, MAX_CORES};
+use llc_trace::{TraceError, TraceSource};
+
+const FORMAT: &str = "cachegrind";
+
+/// A streaming [`TraceSource`] over a cachegrind-like log, reading from
+/// any [`Read`]. Errors are parked at the first malformed line and
+/// surfaced through [`TraceSource::take_error`].
+#[derive(Debug)]
+pub struct CachegrindSource<R> {
+    reader: BufReader<R>,
+    line_no: u64,
+    records: u64,
+    cores: usize,
+    core: usize,
+    pc: u64,
+    pending_instr: u64,
+    error: Option<TraceError>,
+    done: bool,
+}
+
+impl<R: Read> CachegrindSource<R> {
+    /// Wraps `reader`; decoding happens lazily, line by line.
+    pub fn new(reader: R) -> Self {
+        CachegrindSource {
+            reader: BufReader::new(reader),
+            line_no: 0,
+            records: 0,
+            cores: MAX_CORES,
+            core: 0,
+            pc: 0,
+            pending_instr: 0,
+            error: None,
+            done: false,
+        }
+    }
+
+    /// Restricts accepted core ids (`T` lines) to `< cores`.
+    pub fn with_core_limit(mut self, cores: usize) -> Self {
+        self.cores = cores.min(MAX_CORES);
+        self
+    }
+
+    /// Records (data references) successfully decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.records
+    }
+
+    fn park(&mut self, e: TraceError) -> Option<MemAccess> {
+        self.error = Some(e);
+        self.done = true;
+        None
+    }
+
+    fn malformed(&mut self, reason: &'static str) -> Option<MemAccess> {
+        let index = self.line_no;
+        self.park(TraceError::MalformedRecord {
+            format: FORMAT,
+            index,
+            reason,
+        })
+    }
+
+    fn emit(&mut self, addr: u64, kind: AccessKind) -> Option<MemAccess> {
+        let gap = self.pending_instr.min(u64::from(u32::MAX)) as u32;
+        self.pending_instr = 0;
+        self.records += 1;
+        let mut a = MemAccess::new(
+            CoreId::new(self.core),
+            Pc::new(self.pc),
+            Addr::new(addr),
+            kind,
+        );
+        a.instr_gap = gap;
+        Some(a)
+    }
+}
+
+/// Splits an `addr,size` operand, returning the parsed hex address (the
+/// size is validated as numeric but otherwise ignored).
+fn parse_operand(operand: &str) -> Option<u64> {
+    let (addr, size) = operand.split_once(',')?;
+    if size.trim().parse::<u64>().is_err() {
+        return None;
+    }
+    u64::from_str_radix(addr.trim(), 16).ok()
+}
+
+impl<R: Read> TraceSource for CachegrindSource<R> {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => return self.park(TraceError::Io(e)),
+            }
+            self.line_no += 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with('=') {
+                continue;
+            }
+            let Some((tag, rest)) = line.split_once(char::is_whitespace) else {
+                return self.malformed("expected a tag followed by an operand");
+            };
+            let rest = rest.trim();
+            match tag {
+                "I" => {
+                    let Some(pc) = parse_operand(rest) else {
+                        return self.malformed("instruction line needs hex pc and decimal size");
+                    };
+                    self.pc = pc;
+                    self.pending_instr += 1;
+                }
+                "L" | "S" | "M" => {
+                    let Some(addr) = parse_operand(rest) else {
+                        return self.malformed("data line needs hex addr and decimal size");
+                    };
+                    let kind = if tag == "L" {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    };
+                    return self.emit(addr, kind);
+                }
+                "T" => {
+                    let Ok(core) = rest.parse::<u64>() else {
+                        return self.malformed("thread line needs a decimal core id");
+                    };
+                    if core >= self.cores as u64 {
+                        let (limit, index) = (self.cores, self.records);
+                        return self.park(TraceError::CoreOutOfRange {
+                            core: core.min(u8::MAX as u64) as u8,
+                            limit,
+                            index,
+                        });
+                    }
+                    self.core = core as usize;
+                }
+                _ => return self.malformed("unknown line tag (expected I, L, S, M or T)"),
+            }
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    fn take_error(&mut self) -> Option<TraceError> {
+        self.error.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<R: Read>(s: CachegrindSource<R>) -> (Vec<MemAccess>, Option<TraceError>) {
+        let mut s = s;
+        let mut out = Vec::new();
+        while let Some(a) = s.next_access() {
+            out.push(a);
+        }
+        (out, s.take_error())
+    }
+
+    #[test]
+    fn parses_instruction_data_and_thread_lines() {
+        let log = "\
+# header comment
+I  0400d7d4,8
+ L 04f6b868,8
+I  0400d7dc,4
+I  0400d7e0,4
+ S 04e20e70,8
+T 2
+ M 0421350c,4
+";
+        let (parsed, err) = drain(CachegrindSource::new(log.as_bytes()));
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].kind, AccessKind::Read);
+        assert_eq!(parsed[0].addr.raw(), 0x04f6_b868);
+        assert_eq!(parsed[0].pc.raw(), 0x0400_d7d4);
+        assert_eq!(parsed[0].instr_gap, 1);
+        assert_eq!(parsed[1].kind, AccessKind::Write);
+        assert_eq!(parsed[1].instr_gap, 2, "two I lines since the load");
+        assert_eq!(parsed[2].core.index(), 2, "T switches the core");
+        assert_eq!(parsed[2].kind, AccessKind::Write, "M emits the store");
+    }
+
+    #[test]
+    fn malformed_lines_park_typed_errors() {
+        for (log, needle) in [
+            ("L xyz,8", "hex addr"),
+            ("I 0400,nope", "decimal size"),
+            ("Q 0400,8", "unknown line tag"),
+            ("T banana", "decimal core id"),
+            ("L 04f6b868", "hex addr"),
+        ] {
+            let (_, err) = drain(CachegrindSource::new(log.as_bytes()));
+            let err = err.expect("must park an error");
+            assert!(err.to_string().contains(needle), "{log:?} → {err}");
+        }
+        let (_, err) = drain(CachegrindSource::new("T 9\n".as_bytes()).with_core_limit(4));
+        assert!(matches!(
+            err,
+            Some(TraceError::CoreOutOfRange {
+                core: 9,
+                limit: 4,
+                ..
+            })
+        ));
+    }
+}

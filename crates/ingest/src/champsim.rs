@@ -1,0 +1,314 @@
+//! ChampSim-style CSV traces: the interchange text format.
+//!
+//! One access per line, five comma-separated fields:
+//!
+//! ```text
+//! instr,core,pc,addr,kind
+//! 12,0,4005d0,7f21a8,R
+//! 15,1,4005d8,7f21e0,W
+//! ```
+//!
+//! * `instr` — the *cumulative* instruction count at this access
+//!   (decimal, non-decreasing across the file); successive differences
+//!   become [`MemAccess::instr_gap`].
+//! * `core` — issuing core/thread id (decimal).
+//! * `pc`, `addr` — hexadecimal, no `0x` prefix (as ChampSim tooling
+//!   prints them).
+//! * `kind` — `R`/`W` (case-insensitive; `0`/`1` also accepted).
+//!
+//! A single header line (`instr,core,pc,addr,kind`) is permitted and
+//! skipped; blank lines and `#` comments are ignored.
+
+use std::io::{BufRead, BufReader, Read};
+
+use llc_sim::{AccessKind, Addr, CoreId, MemAccess, Pc, MAX_CORES};
+use llc_trace::{TraceError, TraceSource};
+
+const FORMAT: &str = "champsim-csv";
+
+/// A streaming [`TraceSource`] over ChampSim-style CSV, reading from any
+/// [`Read`]. Errors are parked at the first malformed line and surfaced
+/// through [`TraceSource::take_error`].
+#[derive(Debug)]
+pub struct ChampsimCsvSource<R> {
+    reader: BufReader<R>,
+    line_no: u64,
+    records: u64,
+    last_instr: u64,
+    cores: usize,
+    header_allowed: bool,
+    error: Option<TraceError>,
+    done: bool,
+}
+
+impl<R: Read> ChampsimCsvSource<R> {
+    /// Wraps `reader`; decoding happens lazily, line by line.
+    pub fn new(reader: R) -> Self {
+        ChampsimCsvSource {
+            reader: BufReader::new(reader),
+            line_no: 0,
+            records: 0,
+            last_instr: 0,
+            cores: MAX_CORES,
+            header_allowed: true,
+            error: None,
+            done: false,
+        }
+    }
+
+    /// Restricts accepted core ids to `< cores` (a replaying hierarchy's
+    /// core count); out-of-range records park
+    /// [`TraceError::CoreOutOfRange`].
+    pub fn with_core_limit(mut self, cores: usize) -> Self {
+        self.cores = cores.min(MAX_CORES);
+        self
+    }
+
+    /// Records successfully decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.records
+    }
+
+    fn park(&mut self, e: TraceError) -> Option<MemAccess> {
+        self.error = Some(e);
+        self.done = true;
+        None
+    }
+
+    fn malformed(&mut self, reason: &'static str) -> Option<MemAccess> {
+        let index = self.line_no;
+        self.park(TraceError::MalformedRecord {
+            format: FORMAT,
+            index,
+            reason,
+        })
+    }
+}
+
+impl<R: Read> TraceSource for ChampsimCsvSource<R> {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => return self.park(TraceError::Io(e)),
+            }
+            self.line_no += 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split(',').map(str::trim);
+            let (Some(instr), Some(core), Some(pc), Some(addr), Some(kind), None) = (
+                fields.next(),
+                fields.next(),
+                fields.next(),
+                fields.next(),
+                fields.next(),
+                fields.next(),
+            ) else {
+                return self.malformed("expected 5 comma-separated fields");
+            };
+            // One header line is allowed before the first record.
+            if self.header_allowed && instr.eq_ignore_ascii_case("instr") {
+                self.header_allowed = false;
+                continue;
+            }
+            self.header_allowed = false;
+            let Ok(instr) = instr.parse::<u64>() else {
+                return self.malformed("instruction count is not a decimal integer");
+            };
+            let Ok(core) = core.parse::<u64>() else {
+                return self.malformed("core id is not a decimal integer");
+            };
+            if core >= self.cores as u64 {
+                let index = self.records;
+                return self.park(TraceError::CoreOutOfRange {
+                    core: core.min(u8::MAX as u64) as u8,
+                    limit: self.cores,
+                    index,
+                });
+            }
+            let Ok(pc) = u64::from_str_radix(pc, 16) else {
+                return self.malformed("pc is not a hex integer");
+            };
+            let Ok(addr) = u64::from_str_radix(addr, 16) else {
+                return self.malformed("address is not a hex integer");
+            };
+            let kind = match kind {
+                "R" | "r" | "0" => AccessKind::Read,
+                "W" | "w" | "1" => AccessKind::Write,
+                _ => return self.malformed("access kind must be R, W, 0 or 1"),
+            };
+            if instr < self.last_instr {
+                return self.malformed("instruction count went backwards");
+            }
+            let gap = instr - self.last_instr;
+            if gap > u64::from(u32::MAX) {
+                return self.malformed("instruction gap overflows 32 bits");
+            }
+            self.last_instr = instr;
+            self.records += 1;
+            let mut a = MemAccess::new(
+                CoreId::new(core as usize),
+                Pc::new(pc),
+                Addr::new(addr),
+                kind,
+            );
+            a.instr_gap = gap as u32;
+            return Some(a);
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    fn take_error(&mut self) -> Option<TraceError> {
+        self.error.take()
+    }
+}
+
+/// Exports a [`TraceSource`] as ChampSim-style CSV (with header line),
+/// the inverse of [`ChampsimCsvSource`]: parsing the output reproduces
+/// the exact access sequence, instruction gaps included.
+///
+/// Returns the number of records written.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on a sink failure, and any parked error of the
+/// source itself after it drains.
+pub fn export_champsim_csv<S: TraceSource, W: std::io::Write>(
+    mut source: S,
+    mut sink: W,
+) -> Result<u64, TraceError> {
+    writeln!(sink, "instr,core,pc,addr,kind")?;
+    let mut instr = 0u64;
+    let mut written = 0u64;
+    while let Some(a) = source.next_access() {
+        instr += u64::from(a.instr_gap);
+        writeln!(
+            sink,
+            "{},{},{:x},{:x},{}",
+            instr,
+            a.core.index(),
+            a.pc.raw(),
+            a.addr.raw(),
+            if a.kind.is_write() { 'W' } else { 'R' }
+        )?;
+        written += 1;
+    }
+    if let Some(e) = source.take_error() {
+        return Err(e);
+    }
+    sink.flush()?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_trace::VecSource;
+
+    fn sample(n: usize) -> Vec<MemAccess> {
+        (0..n)
+            .map(|i| {
+                let mut a = MemAccess::new(
+                    CoreId::new(i % 4),
+                    Pc::new(0x400b00 + 8 * i as u64),
+                    Addr::new(0x7f_0000 + 64 * i as u64),
+                    if i % 3 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                );
+                a.instr_gap = (i % 7) as u32;
+                a
+            })
+            .collect()
+    }
+
+    fn drain<S: TraceSource>(mut s: S) -> (Vec<MemAccess>, Option<TraceError>) {
+        let mut out = Vec::new();
+        while let Some(a) = s.next_access() {
+            out.push(a);
+        }
+        (out, s.take_error())
+    }
+
+    #[test]
+    fn export_then_parse_is_identity() {
+        let original = sample(50);
+        let mut csv = Vec::new();
+        let n = export_champsim_csv(VecSource::new(original.clone()), &mut csv).expect("export");
+        assert_eq!(n, 50);
+        let (parsed, err) = drain(ChampsimCsvSource::new(csv.as_slice()));
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn header_comments_and_blanks_are_skipped() {
+        let text = "instr,core,pc,addr,kind\n# a comment\n\n3,1,400,7f00,R\n";
+        let (parsed, err) = drain(ChampsimCsvSource::new(text.as_bytes()));
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].core.index(), 1);
+        assert_eq!(parsed[0].instr_gap, 3);
+    }
+
+    #[test]
+    fn malformed_lines_park_typed_errors() {
+        let cases: [(&str, &str); 6] = [
+            ("1,0,400", "5 comma-separated"),
+            ("x,0,400,7f00,R", "not a decimal"),
+            ("1,zz,400,7f00,R", "not a decimal"),
+            ("1,0,40g,7f00,R", "hex"),
+            ("1,0,400,7f00,Q", "kind"),
+            ("5,0,400,7f00,R\n2,0,400,7f40,R", "backwards"),
+        ];
+        for (text, needle) in cases {
+            let (_, err) = drain(ChampsimCsvSource::new(text.as_bytes()));
+            let err = err.expect("must park an error");
+            assert!(
+                matches!(err, TraceError::MalformedRecord { .. }),
+                "{text:?} → {err:?}"
+            );
+            assert!(err.to_string().contains(needle), "{text:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn core_out_of_range_is_typed() {
+        let (_, err) =
+            drain(ChampsimCsvSource::new("1,9,400,7f00,R".as_bytes()).with_core_limit(4));
+        assert!(matches!(
+            err,
+            Some(TraceError::CoreOutOfRange {
+                core: 9,
+                limit: 4,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn records_before_the_bad_line_are_delivered() {
+        let text = "1,0,400,7f00,R\n2,0,404,7f40,W\nbroken line\n";
+        let (parsed, err) = drain(ChampsimCsvSource::new(text.as_bytes()));
+        assert_eq!(parsed.len(), 2);
+        assert!(matches!(
+            err,
+            Some(TraceError::MalformedRecord { index: 3, .. })
+        ));
+    }
+}

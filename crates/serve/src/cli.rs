@@ -14,8 +14,10 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use llc_ingest::{ingest_fingerprint, IngestFormat, IngestSource};
 use llc_sharing::json::{table_from_json, Value};
-use llc_trace::{App, Scale};
+use llc_sim::HierarchyConfig;
+use llc_trace::{atomic_write, App, Scale, StreamStore};
 
 use crate::client::{job_id_of, Client};
 use crate::gc;
@@ -62,7 +64,17 @@ service subcommands:
       stream cache); otherwise the store directory is read offline
   repro gc [--store DIR] [--store-cap-mb MB] [--verify]
       offline store sweep: --verify quarantines corrupt entries,
-      --store-cap-mb evicts least-recently-used entries to fit
+      --store-cap-mb evicts least-recently-used entries to fit;
+      also walks session checkpoints and ingested streams
+  repro ingest <file> [--format champsim-csv|llcb|cachegrind]
+              [--cores N] [--llc-mib M] [--store DIR | --out FILE]
+              [--replay]
+      convert a foreign trace into a recorded .llcs stream through
+      the normal recording pipeline (format auto-detected from the
+      extension: .csv/.llcb/.cg). With --store the stream lands in
+      the daemon store under its content fingerprint; with --out it
+      goes to that file; otherwise next to the input. --replay then
+      replays every realistic policy over it and prints the table
 ";
 
 /// A parsed service subcommand.
@@ -128,6 +140,26 @@ pub enum ServeCommand {
         /// The store root for offline planning.
         store: PathBuf,
     },
+    /// Convert a foreign trace into a recorded `.llcs` stream.
+    Ingest {
+        /// The foreign trace file.
+        input: PathBuf,
+        /// Trace format; `None` auto-detects from the extension.
+        format: Option<IngestFormat>,
+        /// Core count of the recording hierarchy (also the accepted
+        /// core-id range of the trace).
+        cores: usize,
+        /// LLC size of the recording hierarchy, in MiB.
+        llc_mib: u64,
+        /// Save into this daemon store (under `streams/`, keyed by the
+        /// ingest content fingerprint).
+        store: Option<PathBuf>,
+        /// Save to this exact file instead.
+        out: Option<PathBuf>,
+        /// Replay every realistic policy over the ingested stream and
+        /// print the stats table.
+        replay: bool,
+    },
     /// Sweep a store directory offline (verify and/or evict to a cap).
     Gc {
         /// The store root (`streams/` + `results/` live under it).
@@ -153,6 +185,7 @@ pub fn is_serve_verb(verb: &str) -> bool {
             | "stop"
             | "explain"
             | "gc"
+            | "ingest"
     )
 }
 
@@ -282,6 +315,71 @@ pub fn parse(args: &[String]) -> Result<ServeCommand, String> {
                 ));
             }
             return Ok(ServeCommand::Gc { store, cap, verify });
+        }
+        "ingest" => {
+            let mut format = None;
+            let mut cores = 8usize;
+            let mut llc_mib = 4u64;
+            let mut store = None;
+            let mut out = None;
+            let mut replay = false;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+                };
+                match arg.as_str() {
+                    "--format" => {
+                        let v = value("--format")?;
+                        format = Some(
+                            IngestFormat::from_name(&v)
+                                .ok_or_else(|| format!("unknown ingest format '{v}'"))?,
+                        );
+                    }
+                    "--cores" => {
+                        let v = value("--cores")?;
+                        cores = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0 && n <= llc_sim::MAX_CORES)
+                            .ok_or_else(|| format!("bad core count '{v}'"))?;
+                    }
+                    "--llc-mib" => {
+                        let v = value("--llc-mib")?;
+                        llc_mib = v
+                            .parse::<u64>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad LLC size '{v}'"))?;
+                    }
+                    "--store" => store = Some(PathBuf::from(value("--store")?)),
+                    "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    "--replay" => replay = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown ingest flag '{other}'\n\n{USAGE}"));
+                    }
+                    other => positional.push(other.to_string()),
+                }
+            }
+            if store.is_some() && out.is_some() {
+                return Err(format!(
+                    "--store and --out are mutually exclusive\n\n{USAGE}"
+                ));
+            }
+            let [input] = positional.as_slice() else {
+                return Err(format!("ingest needs exactly one trace file\n\n{USAGE}"));
+            };
+            return Ok(ServeCommand::Ingest {
+                input: input.into(),
+                format,
+                cores,
+                llc_mib,
+                store,
+                out,
+                replay,
+            });
         }
         "explain" => {
             let mut store = PathBuf::from(DEFAULT_STORE);
@@ -517,7 +615,115 @@ pub fn run(command: &ServeCommand) -> Result<String, ServeError> {
             let report = gc::sweep(store, *cap, *verify)?;
             Ok(format!("{}\n", report.to_json().render()))
         }
+        ServeCommand::Ingest {
+            input,
+            format,
+            cores,
+            llc_mib,
+            store,
+            out,
+            replay,
+        } => run_ingest(
+            input,
+            *format,
+            *cores,
+            *llc_mib,
+            store.as_deref(),
+            out.as_deref(),
+            *replay,
+        ),
     }
+}
+
+/// `repro ingest`: decode a foreign trace through the hardened parser
+/// for its format, push it through the normal LLC-free recording kernel
+/// and persist the resulting `.llcs` stream — after which every
+/// downstream layer (replay, DAG, sharding, zero-copy views) treats it
+/// exactly like a recorded synthetic workload.
+fn run_ingest(
+    input: &std::path::Path,
+    format: Option<IngestFormat>,
+    cores: usize,
+    llc_mib: u64,
+    store: Option<&std::path::Path>,
+    out: Option<&std::path::Path>,
+    replay: bool,
+) -> Result<String, ServeError> {
+    let raw = std::fs::read(input)
+        .map_err(|e| crate::io_err(format!("reading trace {}", input.display()), e))?;
+    let format = format
+        .or_else(|| IngestFormat::detect(input))
+        .ok_or_else(|| {
+            ServeError::Protocol(format!(
+                "cannot detect the trace format of {} — pass --format",
+                input.display()
+            ))
+        })?;
+    let mut config = HierarchyConfig::baseline(llc_mib);
+    config.cores = cores;
+    let source = IngestSource::open(format, raw.as_slice(), cores)
+        .map_err(|e| ServeError::Run(llc_sharing::RunError::Trace(e)))?;
+    let stream = llc_sharing::record_stream(&config, source)?;
+    let fingerprint = ingest_fingerprint(format, &raw, cores, config.fingerprint());
+    let saved = match (store, out) {
+        (Some(store), _) => {
+            let streams = StreamStore::open(store.join("streams")).map_err(|e| {
+                crate::io_err(format!("opening stream store under {}", store.display()), e)
+            })?;
+            streams
+                .save(fingerprint, &stream)
+                .map_err(|e| ServeError::Run(llc_sharing::RunError::Trace(e)))?;
+            streams.path_for(fingerprint)
+        }
+        (None, Some(out)) => {
+            let bytes = stream
+                .to_vec()
+                .map_err(|e| ServeError::Run(llc_sharing::RunError::Trace(e)))?;
+            atomic_write(out, &bytes)
+                .map_err(|e| crate::io_err(format!("writing {}", out.display()), e))?;
+            out.to_path_buf()
+        }
+        (None, None) => {
+            let sibling = input.with_extension("llcs");
+            let bytes = stream
+                .to_vec()
+                .map_err(|e| ServeError::Run(llc_sharing::RunError::Trace(e)))?;
+            atomic_write(&sibling, &bytes)
+                .map_err(|e| crate::io_err(format!("writing {}", sibling.display()), e))?;
+            sibling
+        }
+    };
+    let mut text = format!(
+        "ingested {} ({format}): {} accesses, {} upgrades, {} instructions\n\
+         recorded under {} cores / {llc_mib} MiB LLC (config {:016x})\n\
+         stream fingerprint {fingerprint:016x} → {}\n",
+        input.display(),
+        stream.len(),
+        stream.upgrades.len(),
+        stream.instructions,
+        config.cores,
+        config.fingerprint(),
+        saved.display(),
+    );
+    if replay {
+        let mut table = llc_sharing::Table::new(
+            "ingest replay",
+            &["policy", "llc_accesses", "llc_hits", "llc_misses", "mpki"],
+        );
+        for kind in llc_policies::PolicyKind::REALISTIC {
+            let r = llc_sharing::replay_kind(&config, kind, &stream, vec![])?;
+            let mpki = r.llc.misses() as f64 * 1000.0 / r.instructions.max(1) as f64;
+            table.row(vec![
+                kind.label().to_string(),
+                r.llc.accesses.to_string(),
+                r.llc.hits.to_string(),
+                r.llc.misses().to_string(),
+                llc_sharing::f2(mpki),
+            ]);
+        }
+        text.push_str(&table.to_string());
+    }
+    Ok(text)
 }
 
 /// Renders a plan document as an aligned hit/miss listing:

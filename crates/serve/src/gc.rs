@@ -46,6 +46,7 @@ struct GcMetrics {
     quarantined_streams: Arc<Counter>,
     quarantined_results: Arc<Counter>,
     quarantined_dag: Arc<Counter>,
+    quarantined_sessions: Arc<Counter>,
     orphaned_dag: Arc<Counter>,
 }
 
@@ -75,6 +76,7 @@ static METRICS: LazyLock<GcMetrics> = LazyLock::new(|| {
         quarantined_streams: quarantined("streams"),
         quarantined_results: quarantined("results"),
         quarantined_dag: quarantined("dag"),
+        quarantined_sessions: quarantined("sessions"),
         orphaned_dag: global().counter(
             "llc_store_gc_orphaned_total",
             "DAG partials collected because no manifest references them",
@@ -202,6 +204,39 @@ fn verifies(entry: &Entry, streams: &StreamStore, results: &ResultStore) -> bool
     }
 }
 
+/// Walks `<store>/sessions/` and quarantines checkpoints that do not
+/// decode back into a session (corrupt JSON, wrong version, or a
+/// characterizer state that fails restoration).
+fn verify_sessions(dir: &Path, report: &mut GcReport) -> Result<(), ServeError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(io_err(format!("scanning {}", dir.display()), e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(format!("scanning {}", dir.display()), e))?;
+        let path = entry.path();
+        if path
+            .extension()
+            .is_none_or(|e| e != crate::sessions::SESSION_FILE_EXT)
+        {
+            continue;
+        }
+        report.scanned_files += 1;
+        report.scanned_bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+        let valid =
+            fs::read_to_string(&path).is_ok_and(|text| crate::sessions::checkpoint_is_valid(&text));
+        if valid {
+            continue;
+        }
+        if let Ok(Some(_)) = quarantine_file(&path) {
+            report.quarantined_files += 1;
+            METRICS.quarantined_sessions.inc();
+        }
+    }
+    Ok(())
+}
+
 /// Sweeps the store rooted at `root` (the daemon's `--store` directory):
 /// optionally verifies every entry (corrupt ones are quarantined), then
 /// evicts least-recently-used entries until the combined footprint of
@@ -243,6 +278,16 @@ pub fn sweep(root: &Path, cap_bytes: Option<u64>, verify: bool) -> Result<GcRepo
         scanned_bytes: entries.iter().map(|e| e.bytes).sum(),
         ..GcReport::default()
     };
+
+    // Session checkpoints are live daemon state, not content-addressed
+    // cache: they are verified (and quarantined when corrupt) but never
+    // LRU-evicted — evicting one would silently kill a drained session's
+    // restart survival. Ingested streams need no special casing: they
+    // live in `streams/` under their content fingerprint and are swept
+    // like any recorded stream.
+    if verify {
+        verify_sessions(&root.join(crate::sessions::SESSIONS_DIR), &mut report)?;
+    }
 
     if verify {
         let streams = StreamStore::open(&streams_dir)
@@ -527,6 +572,41 @@ mod tests {
         let again = sweep(&root, None, true).expect("sweep again");
         assert_eq!(again.quarantined_files, 0);
         assert_eq!(again.orphaned_files, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn verify_walks_session_checkpoints() {
+        let root = temp_root("sessions");
+        // A real checkpoint written by a drain, plus a corrupt one.
+        let table = crate::sessions::SessionTable::new(
+            &root,
+            4,
+            10_000,
+            std::time::Duration::from_secs(600),
+        );
+        table.create("{\"cores\":2,\"window\":16}", false);
+        table.batch("0", "{\"accesses\":[[0,1,64,\"R\"],[1,2,64,\"W\"]]}", false);
+        table.checkpoint_all();
+        let sessions_dir = root.join(crate::sessions::SESSIONS_DIR);
+        fs::write(sessions_dir.join("1.json"), "{ not a checkpoint").expect("corrupt");
+
+        let report = sweep(&root, None, true).expect("sweep");
+        assert_eq!(report.quarantined_files, 1, "{report:?}");
+        assert!(
+            sessions_dir.join("0.json").exists(),
+            "valid checkpoint survives"
+        );
+        assert!(!sessions_dir.join("1.json").exists());
+        assert!(sessions_dir
+            .join(llc_trace::QUARANTINE_DIR)
+            .join("1.json")
+            .exists());
+
+        // A cap-only sweep never touches session checkpoints.
+        let evict_all = sweep(&root, Some(0), false).expect("sweep");
+        assert_eq!(evict_all.evicted_files, 0, "{evict_all:?}");
+        assert!(sessions_dir.join("0.json").exists());
         let _ = fs::remove_dir_all(&root);
     }
 

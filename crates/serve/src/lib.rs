@@ -28,6 +28,12 @@
 //! | `GET /jobs/{id}/result`| the completed job's tables                   |
 //! | `DELETE /jobs/{id}`    | cancel (a running job is abandoned, exactly  |
 //! |                        | like a suite watchdog timeout)               |
+//! | `POST /sessions`       | open a live streaming characterization       |
+//! |                        | session (see [`sessions`])                   |
+//! | `POST /sessions/{id}/batch` | push an access batch; answers the       |
+//! |                        | post-batch sliding-window stats snapshot     |
+//! | `GET /sessions/{id}/stats` | the session's current characterization   |
+//! | `DELETE /sessions/{id}`| close the session and drop its checkpoint    |
 //! | `GET /store/stats`     | hit/miss/eviction counters, bytes on disk,   |
 //! |                        | worker-budget state                          |
 //! | `GET /metrics`         | Prometheus text exposition (jobs, request    |
@@ -47,6 +53,7 @@ pub mod gc;
 pub mod http;
 pub mod jobs;
 pub mod server;
+pub mod sessions;
 pub mod spec;
 pub mod store;
 
@@ -55,6 +62,7 @@ pub use client::{Client, RetryPolicy};
 pub use gc::GcReport;
 pub use jobs::{JobId, JobState};
 pub use server::{Server, ServerConfig, ServerControl};
+pub use sessions::SessionTable;
 pub use spec::JobSpec;
 pub use store::ResultStore;
 

@@ -55,6 +55,7 @@ use crate::chaos::{ChaosPlan, ChaosPoint};
 use crate::gc;
 use crate::http::{read_request_deadline, write_response, Request, Response};
 use crate::jobs::{run_cancellable, GuardedOutcome, JobId, JobRecord, JobState, JobTable};
+use crate::sessions::SessionTable;
 use crate::spec::JobSpec;
 use crate::store::ResultStore;
 use crate::{io_err, ServeError};
@@ -132,6 +133,8 @@ fn register_eager_metrics() {
     quarantined_results();
     gc::register_metrics();
     llc_dag::register_metrics();
+    llc_ingest::register_metrics();
+    crate::sessions::register_metrics();
 }
 
 /// The route pattern a request path falls under — the bounded label set
@@ -142,6 +145,10 @@ fn route_pattern(segments: &[&str]) -> &'static str {
         ["jobs", _] => "/jobs/{id}",
         ["jobs", _, "result"] => "/jobs/{id}/result",
         ["plan"] => "/plan",
+        ["sessions"] => "/sessions",
+        ["sessions", _] => "/sessions/{id}",
+        ["sessions", _, "batch"] => "/sessions/{id}/batch",
+        ["sessions", _, "stats"] => "/sessions/{id}/stats",
         ["store", "stats"] => "/store/stats",
         ["metrics"] => "/metrics",
         ["healthz"] => "/healthz",
@@ -209,6 +216,15 @@ pub struct ServerConfig {
     /// Deterministic fault injection for the chaos harness; production
     /// daemons run with `None`.
     pub chaos: Option<Arc<ChaosPlan>>,
+    /// Cap on concurrently-open streaming sessions; opens past it get
+    /// HTTP 429.
+    pub max_sessions: usize,
+    /// Per-session cumulative accepted-payload byte cap; batches past it
+    /// get HTTP 429.
+    pub session_bytes: u64,
+    /// Sessions idle longer than this are closed by the background
+    /// sweep.
+    pub session_idle: Duration,
 }
 
 impl ServerConfig {
@@ -228,6 +244,9 @@ impl ServerConfig {
             grace: Duration::from_secs(10),
             store_cap: None,
             chaos: None,
+            max_sessions: 32,
+            session_bytes: 64 * 1024 * 1024,
+            session_idle: Duration::from_secs(900),
         }
     }
 }
@@ -356,6 +375,7 @@ struct ServerState {
     store_cap: Option<u64>,
     gc_running: AtomicBool,
     chaos: Option<Arc<ChaosPlan>>,
+    sessions: SessionTable,
     shutdown: AtomicBool,
 }
 
@@ -487,6 +507,12 @@ impl Server {
             store_cap: config.store_cap,
             gc_running: AtomicBool::new(false),
             chaos: config.chaos.clone(),
+            sessions: SessionTable::new(
+                &config.store_dir,
+                config.max_sessions,
+                config.session_bytes,
+                config.session_idle,
+            ),
             shutdown: AtomicBool::new(false),
         });
         Ok(Server {
@@ -532,6 +558,7 @@ impl Server {
         let listener = &self.listener;
         let control_flag = &self.control_flag;
         restore_checkpoint(state);
+        state.sessions.restore();
         // Every idle job worker is a donated spare worker: a lone
         // submitted job borrows them for set-sharded replay and
         // saturates the machine; each job reclaims one permit while it
@@ -556,6 +583,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, control_flag: &
     // First sweep promptly after start-up (a restart may inherit an
     // over-budget store), then at a steady cadence.
     let mut next_gc = Instant::now();
+    let mut next_reap = Instant::now() + Duration::from_secs(5);
     loop {
         if control_flag.load(Ordering::Relaxed)
             || state.shutdown.load(Ordering::Relaxed)
@@ -564,6 +592,10 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, control_flag: &
             break;
         }
         maybe_sweep(state, &mut next_gc);
+        if Instant::now() >= next_reap {
+            next_reap = Instant::now() + Duration::from_secs(5);
+            state.sessions.reap_idle();
+        }
         match listener.accept() {
             Ok((stream, _peer)) => dispatch_connection(stream, state),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -696,6 +728,17 @@ fn route(state: &ServerState, request: &Request, segments: &[&str]) -> Response 
             job.state = now;
             Response::json(200, job_json(&job))
         }),
+        ("POST", ["sessions"]) => state
+            .sessions
+            .create(&request.body, state.shutdown.load(Ordering::Relaxed)),
+        ("GET", ["sessions"]) => state.sessions.list(),
+        ("POST", ["sessions", id, "batch"]) => {
+            state
+                .sessions
+                .batch(id, &request.body, state.shutdown.load(Ordering::Relaxed))
+        }
+        ("GET", ["sessions", id, "stats"]) | ("GET", ["sessions", id]) => state.sessions.stats(id),
+        ("DELETE", ["sessions", id]) => state.sessions.delete(id),
         ("GET", ["store", "stats"]) => store_stats(state),
         ("GET", ["metrics"]) => Response::text(200, global().encode()),
         ("GET", ["healthz"]) => Response::json(200, "{\"ok\":true}"),
@@ -705,6 +748,7 @@ fn route(state: &ServerState, request: &Request, segments: &[&str]) -> Response 
         }
         (_, ["jobs", ..])
         | (_, ["plan"])
+        | (_, ["sessions", ..])
         | (_, ["store", ..])
         | (_, ["metrics"])
         | (_, ["healthz"])
@@ -1087,6 +1131,8 @@ fn store_stats(state: &ServerState) -> Response {
                     num(state.conns.load(Ordering::Relaxed) as u64),
                 ),
                 ("connection_cap", num(state.max_connections as u64)),
+                ("sessions", num(state.sessions.open_count() as u64)),
+                ("session_cap", num(state.sessions.cap() as u64)),
             ]),
         ),
         (
@@ -1294,6 +1340,9 @@ fn save_manifest(state: &ServerState, job: &JobRecord) {
 /// still waiting, give running jobs a bounded grace period, then cancel
 /// stragglers so the pool can join.
 fn drain(state: &Arc<ServerState>) {
+    // Live streaming sessions checkpoint first: their sliding-window
+    // state must survive the restart exactly like queued specs do.
+    state.sessions.checkpoint_all();
     let drained = state.queue.drain_and_close();
     let mut specs = Vec::new();
     for id in drained {

@@ -1,0 +1,174 @@
+//! End-to-end exercise of live streaming sessions over a real socket:
+//! create → batches → stats → metrics, then the acceptance criterion —
+//! a daemon restart after which the session's sliding-window
+//! characterization continues exactly where it stopped.
+
+use std::time::Duration;
+
+use llc_serve::{Client, Server, ServerConfig};
+use llc_sharing::json::Value;
+
+fn start_daemon(store: &std::path::Path) -> (Client, std::thread::JoinHandle<()>) {
+    let mut config = ServerConfig::new("127.0.0.1:0", store);
+    config.jobs = 1;
+    config.timeout = Some(Duration::from_secs(60));
+    let server = Server::bind(&config).expect("bind daemon");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("daemon run"));
+    (Client::new(addr.to_string()), handle)
+}
+
+fn num(doc: &Value, field: &str) -> u64 {
+    doc.field(field)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing {field} in {}", doc.render()))
+}
+
+/// The sample value of the series whose rendered name is exactly
+/// `series`, or 0.0 when it is not exposed.
+fn sample(exposition: &str, series: &str) -> f64 {
+    exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| l.strip_prefix(series).map(str::trim))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn streaming_session_survives_restart_with_window_intact() {
+    let store = std::env::temp_dir().join(format!("llc-sessions-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // ---- First daemon lifetime: create a session and stream batches. ----
+    let (client, handle) = start_daemon(&store);
+    let created = client
+        .request("POST", "/sessions", Some(r#"{"cores":4,"window":256}"#))
+        .expect("create session");
+    let id = num(&created, "id");
+    assert_eq!(num(&created, "window"), 256);
+    assert!(!created
+        .field("restored")
+        .and_then(|v| match v {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        })
+        .unwrap_or(true));
+
+    // Three batches: block 0x40000 is written by core 0 then reused by
+    // cores 1 and 2 across batch boundaries (rw-shared reuse the window
+    // must remember), block 0x80000 stays private to core 3.
+    let batches = [
+        r#"{"accesses":[[0,"400","40000","W"],[3,"404","80000","R"]]}"#,
+        r#"{"accesses":[[1,"408","40000","R"],[3,"404","80000","R"]]}"#,
+        r#"{"accesses":[[2,"40c","40000","R"],[3,"404","80000","W"]]}"#,
+    ];
+    let mut last = Value::Null;
+    for body in batches {
+        last = client
+            .request("POST", &format!("/sessions/{id}/batch"), Some(body))
+            .expect("batch");
+    }
+    assert_eq!(num(&last, "batches"), 3);
+    assert_eq!(num(&last, "accesses"), 6);
+    assert_eq!(num(&last, "writes"), 2);
+    let shared_before = num(&last, "shared_reuses");
+    assert!(
+        shared_before >= 2,
+        "cross-core reuses of 0x40000 must count as shared: {}",
+        last.render()
+    );
+    let rw_before = num(&last, "rw_shared");
+
+    // The per-session series are exported while the session lives.
+    let metrics = client.metrics().expect("scrape /metrics");
+    assert_eq!(
+        sample(
+            &metrics,
+            &format!("llc_session_accesses{{session=\"{id}\"}}")
+        ),
+        6.0,
+        "per-session gauge missing:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "llc_sessions_open") >= 1.0,
+        "open-session gauge missing:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "llc_session_batches_total") >= 3.0,
+        "batch counter missing:\n{metrics}"
+    );
+
+    // Malformed rows are rejected atomically and change nothing.
+    let err = client
+        .request(
+            "POST",
+            &format!("/sessions/{id}/batch"),
+            Some(r#"{"accesses":[[0,"400","40000","W"],[9,"0","0","R"]]}"#),
+        )
+        .expect_err("core out of range");
+    assert!(
+        matches!(err, llc_serve::ServeError::Api { status: 400, .. }),
+        "{err}"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+
+    // ---- Second daemon lifetime over the same store directory. ----
+    let (client, handle) = start_daemon(&store);
+    let restored = client
+        .request("GET", &format!("/sessions/{id}/stats"), None)
+        .expect("restored session stats");
+    assert_eq!(restored.field("restored"), Some(&Value::Bool(true)));
+    assert_eq!(num(&restored, "accesses"), 6, "counters survive restart");
+    assert_eq!(num(&restored, "shared_reuses"), shared_before);
+    assert_eq!(num(&restored, "rw_shared"), rw_before);
+    assert_eq!(num(&restored, "batches"), 3);
+
+    // The sliding window itself crossed the restart: core 3 re-touching
+    // 0x40000 is a shared reuse only if the pre-restart touches are
+    // still in the window.
+    let after = client
+        .request(
+            "POST",
+            &format!("/sessions/{id}/batch"),
+            Some(r#"{"accesses":[[3,"410","40000","R"]]}"#),
+        )
+        .expect("post-restart batch");
+    assert_eq!(num(&after, "accesses"), 7);
+    assert_eq!(
+        num(&after, "shared_reuses"),
+        shared_before + 1,
+        "window state lost across restart: {}",
+        after.render()
+    );
+
+    // Delete tears the session down for good — and the checkpoint with
+    // it, so a further restart does not resurrect it.
+    client
+        .request("DELETE", &format!("/sessions/{id}"), None)
+        .expect("delete");
+    let err = client
+        .request("GET", &format!("/sessions/{id}/stats"), None)
+        .expect_err("deleted session");
+    assert!(
+        matches!(err, llc_serve::ServeError::Api { status: 404, .. }),
+        "{err}"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+
+    let (client, handle) = start_daemon(&store);
+    let err = client
+        .request("GET", &format!("/sessions/{id}/stats"), None)
+        .expect_err("deleted sessions stay deleted");
+    assert!(
+        matches!(err, llc_serve::ServeError::Api { status: 404, .. }),
+        "{err}"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+
+    let _ = std::fs::remove_dir_all(&store);
+}

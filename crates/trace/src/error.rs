@@ -85,6 +85,22 @@ pub enum TraceError {
         /// Bytes actually present.
         actual: u64,
     },
+    /// A record of a *foreign* trace format (ChampSim-style CSV, compact
+    /// binary, cachegrind-like log — see `llc-ingest`) is syntactically
+    /// malformed: wrong field count, an unparsable integer, an unknown
+    /// line tag. Structural problems (truncation, bad magic, out-of-range
+    /// cores) reuse the native variants above so callers match one
+    /// failure taxonomy across every format.
+    MalformedRecord {
+        /// Short name of the foreign format ("champsim-csv", "llcb",
+        /// "cachegrind").
+        format: &'static str,
+        /// Index of the offending record (line number for text formats,
+        /// counting from 1).
+        index: u64,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
     /// An upgrade record in a `.llcs` stream recording is out of order or
     /// points past the end of the access stream.
     BadUpgrade {
@@ -136,6 +152,15 @@ impl TraceError {
                 declared: *declared,
             },
             TraceError::CoreUnencodable { core } => TraceError::CoreUnencodable { core: *core },
+            TraceError::MalformedRecord {
+                format,
+                index,
+                reason,
+            } => TraceError::MalformedRecord {
+                format,
+                index: *index,
+                reason,
+            },
             TraceError::ArenaSizeMismatch { expected, actual } => TraceError::ArenaSizeMismatch {
                 expected: *expected,
                 actual: *actual,
@@ -198,6 +223,13 @@ impl fmt::Display for TraceError {
                     f,
                     "arena size mismatch: header declares {expected} bytes but {actual} are present"
                 )
+            }
+            TraceError::MalformedRecord {
+                format,
+                index,
+                reason,
+            } => {
+                write!(f, "{format} record {index}: {reason}")
             }
             TraceError::BadUpgrade {
                 at,
@@ -275,6 +307,14 @@ mod tests {
                 "declared 2",
             ),
             (TraceError::RecordOverflow { declared: 1 }, "more records"),
+            (
+                TraceError::MalformedRecord {
+                    format: "champsim-csv",
+                    index: 12,
+                    reason: "expected 5 comma-separated fields",
+                },
+                "champsim-csv record 12",
+            ),
             (TraceError::CoreUnencodable { core: 300 }, "core id 300"),
             (
                 TraceError::ArenaSizeMismatch {

@@ -10,6 +10,9 @@
 //!   tracking);
 //! * [`trace`] — sixteen synthetic PARSEC / SPLASH-2 / SPEC OMP workload
 //!   models built from sharing-pattern primitives;
+//! * [`ingest`] — foreign-trace ingestion (ChampSim-style CSV, compact
+//!   `LLCB` binary, cachegrind-like logs) into the same recording
+//!   pipeline;
 //! * [`policies`] — LRU, NRU, Random, the RRIP and DIP families, SHiP,
 //!   Belady's OPT, and the paper's generic sharing-aware oracle wrapper;
 //! * [`predictors`] — the fill-time sharing predictors (address- and
@@ -48,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub use llc_ingest as ingest;
 pub use llc_policies as policies;
 pub use llc_predictors as predictors;
 pub use llc_serve as serve;

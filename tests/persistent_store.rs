@@ -138,6 +138,138 @@ fn corruption_is_a_typed_error_and_the_cache_re_records() {
 }
 
 #[test]
+fn cache_bytes_track_view_backed_eviction_and_reload_exactly() {
+    // The cap accounting invariant: at every point, `stats.bytes` equals
+    // the sum of the resident entries' encoded sizes — including when
+    // view-backed entries are evicted and re-loaded from disk, and when
+    // a live handle pins a stream across its entry's eviction.
+    let dir = temp_dir("cache-bytes");
+    let cfg = small_cfg();
+    let store = StreamStore::open(&dir).expect("open store");
+
+    let apps = [App::Fft, App::Dedup, App::Swaptions];
+    let warm = StreamCache::with_store(store.clone(), None);
+    let mut size = std::collections::HashMap::new();
+    for &app in &apps {
+        let s = warm
+            .get_or_record(key_for(app, cfg), || app.workload(cfg.cores, Scale::Tiny))
+            .expect("record");
+        size.insert(app, s.encoded_len() as u64);
+    }
+    drop(warm);
+
+    let resident_sum = |cache: &StreamCache| -> u64 {
+        apps.iter()
+            .filter(|&&a| cache.resident(&key_for(a, cfg)))
+            .map(|&a| size[&a])
+            .sum()
+    };
+
+    // A cap one byte short of the full set forces an eviction on every
+    // third load; cycling the apps then evicts and re-loads each
+    // view-backed entry repeatedly.
+    let limit = apps.iter().map(|a| size[a]).sum::<u64>() - 1;
+    let cache = StreamCache::with_store(store.clone(), Some(limit));
+    for round in 0..4 {
+        for &app in &apps {
+            cache
+                .get_or_record(key_for(app, cfg), || app.workload(cfg.cores, Scale::Tiny))
+                .expect("load");
+            let stats = cache.stats();
+            assert_eq!(
+                stats.bytes,
+                resident_sum(&cache),
+                "drift after round {round} load of {app} ({stats:?})"
+            );
+            assert!(stats.bytes <= limit, "cap violated ({stats:?})");
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "the cap must have evicted something");
+    assert!(stats.view_loads > 0, "re-loads must be view-backed");
+
+    // A live handle pins a stream across its entry's eviction; the
+    // accounting still matches the resident set exactly, and the pinned
+    // copy is never double-counted when its key is re-loaded.
+    let pinned = cache
+        .get_or_record(key_for(App::Fft, cfg), || {
+            App::Fft.workload(cfg.cores, Scale::Tiny)
+        })
+        .expect("pin fft");
+    for &app in &apps[1..] {
+        cache
+            .get_or_record(key_for(app, cfg), || app.workload(cfg.cores, Scale::Tiny))
+            .expect("evict fft");
+    }
+    assert!(
+        !cache.resident(&key_for(App::Fft, cfg)),
+        "fft's entry was evicted while the handle is live"
+    );
+    assert_eq!(cache.stats().bytes, resident_sum(&cache));
+    cache
+        .get_or_record(key_for(App::Fft, cfg), || {
+            App::Fft.workload(cfg.cores, Scale::Tiny)
+        })
+        .expect("reload fft under a live handle");
+    assert_eq!(cache.stats().bytes, resident_sum(&cache));
+    assert_eq!(pinned.encoded_len() as u64, size[&App::Fft]);
+
+    // Shrinking the cap mid-flight evicts down and stays exact.
+    cache.set_limit(Some(size[&App::Fft]));
+    assert_eq!(cache.stats().bytes, resident_sum(&cache));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_bytes_stay_exact_under_concurrent_evict_reload() {
+    // Four threads hammer four view-backed streams through a cap that
+    // holds only half of them, so loads constantly evict entries other
+    // threads hold live handles to; once quiesced, the byte accounting
+    // must equal the resident set exactly (no drift in either direction).
+    let dir = temp_dir("cache-race");
+    let cfg = small_cfg();
+    let store = StreamStore::open(&dir).expect("open store");
+    let apps = [App::Fft, App::Dedup, App::Swaptions, App::Bodytrack];
+    let warm = StreamCache::with_store(store.clone(), None);
+    let mut total = 0u64;
+    for &app in &apps {
+        total += warm
+            .get_or_record(key_for(app, cfg), || app.workload(cfg.cores, Scale::Tiny))
+            .expect("record")
+            .encoded_len() as u64;
+    }
+    drop(warm);
+
+    let cache = StreamCache::with_store(store.clone(), Some(total / 2));
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let cache = cache.clone();
+            scope.spawn(move || {
+                for i in 0..30 {
+                    let app = apps[(t + i) % apps.len()];
+                    let _held = cache
+                        .get_or_record(key_for(app, cfg), || app.workload(cfg.cores, Scale::Tiny))
+                        .expect("load");
+                }
+            });
+        }
+    });
+    let mut resident = 0u64;
+    for &app in &apps {
+        if cache.resident(&key_for(app, cfg)) {
+            resident += cache
+                .get_or_record(key_for(app, cfg), || app.workload(cfg.cores, Scale::Tiny))
+                .expect("resident hit")
+                .encoded_len() as u64;
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.bytes, resident, "post-storm drift: {stats:?}");
+    assert!(stats.evictions > 0, "the storm must have evicted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn load_view_survives_random_corruption_with_typed_errors() {
     // Flip bytes all over a persisted `.llcs` image and map each mutant
     // back through the zero-copy view loader: every outcome must be a
